@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 4c (boot time).
+//!
+//! Runs a scaled version of the figure's workload for both driver-domain
+//! OSs; the full-size regeneration lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_boot");
+    g.sample_size(10);
+    g.bench_function("kite_vs_ubuntu_model", |b| {
+        let mut rng = kite_sim::Pcg::seeded(1);
+        b.iter(|| {
+            let k = kite_rumprun::kite_boot().sample(&mut rng);
+            let l = kite_linux::ubuntu_boot().sample(&mut rng);
+            black_box((k, l))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

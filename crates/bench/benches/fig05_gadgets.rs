@@ -1,0 +1,20 @@
+//! Criterion bench for Figure 5 (ROP gadget scan).
+//!
+//! Runs a scaled version of the figure's workload for both driver-domain
+//! OSs; the full-size regeneration lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_gadgets");
+    g.sample_size(10);
+    g.bench_function("scan_kite_image_sample", |b| {
+        let profiles = kite_security::figure5_profiles();
+        b.iter(|| black_box(kite_security::analyze(&profiles[0], 42).total()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

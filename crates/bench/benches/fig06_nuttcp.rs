@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 6 (nuttcp).
+//!
+//! Runs a scaled version of the figure's workload for both driver-domain
+//! OSs; the full-size regeneration lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_nuttcp");
+    g.sample_size(10);
+    for os in kite_system::BackendOs::both() {
+        g.bench_function(os.name(), |b| {
+            b.iter(|| {
+                let params = kite_workloads::nuttcp::NuttcpParams {
+                    duration: kite_sim::Nanos::from_millis(20),
+                    ..Default::default()
+                };
+                black_box(kite_workloads::nuttcp::run(os, &params, 1).goodput_gbps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 8 (Apache).
+//!
+//! Runs a scaled version of the figure's workload for both driver-domain
+//! OSs; the full-size regeneration lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_apache");
+    g.sample_size(10);
+    for os in kite_system::BackendOs::both() {
+        g.bench_function(os.name(), |b| {
+            b.iter(|| {
+                black_box(kite_workloads::apache::run(os, 65536, 200, 40, 1).throughput_mbps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 11 (dd).
+//!
+//! Runs a scaled version of the figure's workload for both driver-domain
+//! OSs; the full-size regeneration lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_dd");
+    g.sample_size(10);
+    for os in kite_system::BackendOs::both() {
+        g.bench_function(os.name(), |b| {
+            b.iter(|| {
+                black_box(kite_workloads::dd::run(os, true, 16 << 20, 1).mbps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for §5.5 (perfdhcp).
+//!
+//! Runs a scaled version of the figure's workload for both driver-domain
+//! OSs; the full-size regeneration lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_dhcp");
+    g.sample_size(10);
+    for d in [
+        kite_workloads::perfdhcp::DaemonOs::Rumprun,
+        kite_workloads::perfdhcp::DaemonOs::Linux,
+    ] {
+        g.bench_function(d.name(), |b| {
+            b.iter(|| black_box(kite_workloads::perfdhcp::run(d, 60, 400, 1).discover_offer_ms))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,472 @@
+//! The experiment registry: one entry per paper table/figure.
+
+use kite_security as sec;
+use kite_sim::{Nanos, OnlineStats, Pcg};
+use kite_system::BackendOs;
+use kite_workloads as wl;
+
+/// One runnable experiment.
+pub struct Experiment {
+    /// Short id (`fig7`, `table3`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Runs and prints the experiment.
+    pub run: fn(),
+}
+
+/// All experiments in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "fig1a", title: "Driver CVEs per year (context data)", run: fig1a },
+        Experiment { id: "fig5", title: "ROP gadgets by category (also Fig 1b totals)", run: fig5 },
+        Experiment { id: "table1", title: "Lines of code of Kite components", run: table1 },
+        Experiment { id: "table3", title: "CVEs prevented by syscall removal", run: table3 },
+        Experiment { id: "fig4", title: "Syscall count, image size, boot time", run: fig4 },
+        Experiment { id: "fig6", title: "nuttcp UDP throughput + loss", run: fig6 },
+        Experiment { id: "fig7", title: "Network latency: ping / Netperf / memtier", run: fig7 },
+        Experiment { id: "fig8", title: "Apache throughput (file-size sweep + 512KB detail)", run: fig8 },
+        Experiment { id: "fig9", title: "Redis pipelined SET/GET", run: fig9 },
+        Experiment { id: "fig10", title: "MySQL network-bound (throughput + DomU CPU)", run: fig10 },
+        Experiment { id: "table4", title: "Relative standard deviations", run: table4 },
+        Experiment { id: "fig11", title: "dd sequential storage throughput", run: fig11 },
+        Experiment { id: "fig12", title: "SysBench file I/O (threads + block-size sweeps)", run: fig12 },
+        Experiment { id: "fig13", title: "MySQL storage-bound", run: fig13 },
+        Experiment { id: "fig14", title: "Filebench fileserver (I/O-size sweep)", run: fig14 },
+        Experiment { id: "fig15", title: "Filebench MongoDB profile", run: fig15 },
+        Experiment { id: "fig16", title: "Filebench webserver", run: fig16 },
+        Experiment { id: "dhcp", title: "§5.5 daemon VM: perfdhcp DORA latency", run: dhcp },
+        Experiment { id: "mem", title: "Driver-domain memory footprint (§1's motivation)", run: mem },
+    ]
+}
+
+fn fig1a() {
+    println!("{:>6} {:>14} {:>16}", "year", "linux drivers", "windows drivers");
+    for (y, l, w) in sec::driver_cves_by_year() {
+        println!("{y:>6} {l:>14} {w:>16}");
+    }
+    println!("(paper: counts rise steeply across the window — shape identical)");
+}
+
+fn fig5() {
+    println!("scanning synthetic images (scale 1/{})...", sec::gadgets::SCAN_SCALE);
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "os", "total", "datamove", "arith", "ctrlflow", "ret"
+    );
+    let mut totals = Vec::new();
+    for p in sec::figure5_profiles() {
+        let c = sec::analyze(&p, 42);
+        totals.push((p.name, c.total()));
+        println!(
+            "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            p.name,
+            c.total(),
+            c.get(sec::Category::DataMove),
+            c.get(sec::Category::Arithmetic),
+            c.get(sec::Category::ControlFlow),
+            c.get(sec::Category::Ret),
+        );
+    }
+    let kite = totals[0].1 as f64;
+    println!(
+        "ratios vs Kite: default {:.1}x (paper ≈4x), Ubuntu {:.1}x (paper ≈11x)",
+        totals[1].1 as f64 / kite,
+        totals[5].1 as f64 / kite
+    );
+}
+
+fn table1() {
+    // Our analogous components, counted from the source tree at build time
+    // is overkill; report the paper's numbers beside our module map.
+    println!("paper component        paper LoC   this reproduction");
+    println!("Blkback                     1904   kite-core::blkback");
+    println!("Netback                     2791   kite-core::netback");
+    println!("HVM extension               1100   kite-xen::xenstore/xenbus + kite-core::backend");
+    println!("Configuration                450   kite-core::netapp/blockapp/config");
+    println!("Utilities                    222   kite-core::utils (ifconfig/brconfig interpreters)");
+    println!("Daemon VM                     16   kite-core::dhcpd (full server here)");
+}
+
+fn table3() {
+    let cves = sec::table3_cves();
+    let kite = sec::DomainSurface::kite_network();
+    let kite_st = sec::DomainSurface::kite_storage();
+    let ubuntu = sec::DomainSurface::ubuntu();
+    println!("{:<16} {:>6} {:>8} {:>8}", "CVE", "kite", "kite-st", "ubuntu");
+    for c in &cves {
+        println!(
+            "{:<16} {:>6} {:>8} {:>8}",
+            c.id,
+            if kite.mitigates(c) { "safe" } else { "HIT" },
+            if kite_st.mitigates(c) { "safe" } else { "HIT" },
+            if ubuntu.mitigates(c) { "safe" } else { "HIT" },
+        );
+    }
+    println!(
+        "kite mitigates {}/11, ubuntu {}/11 (paper: all 11 vs ~0)",
+        kite.mitigated(&cves).len(),
+        ubuntu.mitigated(&cves).len()
+    );
+    for c in sec::environment_cves() {
+        println!(
+            "{:<16} {:>6} {:>8} {:>8}  (toolstack class)",
+            c.id,
+            if kite.mitigates(&c) { "safe" } else { "HIT" },
+            if kite_st.mitigates(&c) { "safe" } else { "HIT" },
+            if ubuntu.mitigates(&c) { "safe" } else { "HIT" },
+        );
+    }
+}
+
+fn fig4() {
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>12}",
+        "domain", "syscalls", "image MiB", "boot s", "CVEs fixed"
+    );
+    for row in sec::surface_report() {
+        println!(
+            "{:<16} {:>10} {:>12.1} {:>10.1} {:>9}/11",
+            row.name,
+            row.syscalls,
+            row.image_bytes as f64 / (1024.0 * 1024.0),
+            row.boot_secs,
+            row.cves_mitigated
+        );
+    }
+    println!("(paper: 14/18 vs 171 syscalls; ~10x image; 7s vs 75s boot)");
+}
+
+fn fig6() {
+    println!("{:<8} {:>14} {:>10} {:>12}", "os", "goodput Gbps", "loss %", "driver CPU %");
+    for os in BackendOs::both() {
+        let r = wl::nuttcp::run(os, &wl::nuttcp::NuttcpParams::default(), 42);
+        println!(
+            "{:<8} {:>14.2} {:>10.2} {:>12.1}",
+            os.name(),
+            r.goodput_gbps,
+            r.loss * 100.0,
+            r.driver_cpu
+        );
+    }
+    println!("(paper: ≈7 Gbps, <1.5% loss for both)");
+}
+
+fn fig7() {
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "os", "ping ms", "netperf ms", "memtier ms"
+    );
+    for os in BackendOs::both() {
+        let r = wl::latency::figure7(os, 42);
+        println!(
+            "{:<8} {:>10.2} {:>12.2} {:>12.2}",
+            os.name(),
+            r.ping_ms,
+            r.netperf_ms,
+            r.memtier_ms
+        );
+    }
+    println!("(paper: ping 0.51/0.31, netperf 0.18/0.10, memtier 0.16/0.15)");
+}
+
+fn fig8() {
+    println!("-- Fig 8a: server throughput vs file size (MB/s) --");
+    print!("{:<8}", "os");
+    for sz in wl::apache::FIG8A_SIZES {
+        print!("{:>10}", human(sz));
+    }
+    println!();
+    for os in BackendOs::both() {
+        print!("{:<8}", os.name());
+        for r in wl::apache::figure8a(os, 1200, 42) {
+            print!("{:>10.0}", r.throughput_mbps);
+        }
+        println!();
+    }
+    println!("-- Fig 8b: 512KB file, 40 concurrent --");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>10}",
+        "os", "MB/s", "time s", "req/s", "lat ms"
+    );
+    for os in BackendOs::both() {
+        let r = wl::apache::run(os, 524_288, 2000, 40, 43);
+        println!(
+            "{:<8} {:>12.1} {:>10.3} {:>12.0} {:>10.2}",
+            os.name(),
+            r.throughput_mbps,
+            r.time_secs,
+            r.requests_per_sec,
+            r.latency_ms
+        );
+    }
+}
+
+fn fig9() {
+    println!(
+        "{:<8} {:>8} {:>14} {:>14}",
+        "os", "threads", "SET ops/s", "GET ops/s"
+    );
+    for os in BackendOs::both() {
+        for r in wl::redis::figure9(os, 8000, 42) {
+            println!(
+                "{:<8} {:>8} {:>14.0} {:>14.0}",
+                os.name(),
+                r.threads,
+                r.set_ops_per_sec,
+                r.get_ops_per_sec
+            );
+        }
+    }
+    println!("(paper: flat across threads, Kite ≈ Linux, log-scale)");
+}
+
+fn fig10() {
+    println!("{:<8} {:>8} {:>10} {:>14}", "os", "threads", "tps", "DomU CPU %");
+    for os in BackendOs::both() {
+        for r in wl::mysql::figure10(os, 2000, 42) {
+            println!(
+                "{:<8} {:>8} {:>10.0} {:>14.1}",
+                os.name(),
+                r.threads,
+                r.tps,
+                r.guest_cpu
+            );
+        }
+    }
+    println!("(paper: climbs to ~6k, Kite ≈ Linux on both panels)");
+}
+
+fn table4() {
+    // RSDs from repeated runs with different seeds.
+    println!("{:<10} {:>12} {:>12}", "benchmark", "Linux RSD %", "Kite RSD %");
+    let rsd = |f: &dyn Fn(u64) -> f64| -> f64 {
+        let mut s = OnlineStats::new();
+        for seed in 0..5 {
+            s.push(f(seed));
+        }
+        s.rsd_percent()
+    };
+    for (name, os) in [("Apache", BackendOs::Linux), ("Apache", BackendOs::Kite)] {
+        let v = rsd(&|seed| wl::apache::run(os, 65536, 400, 40, seed).throughput_mbps);
+        if os == BackendOs::Linux {
+            print!("{:<10} {:>12.4}", name, v);
+        } else {
+            println!(" {:>12.4}", v);
+        }
+    }
+    for (name, os) in [("Redis", BackendOs::Linux), ("Redis", BackendOs::Kite)] {
+        let v = rsd(&|seed| wl::redis::run(os, 10, 3000, seed).get_ops_per_sec);
+        if os == BackendOs::Linux {
+            print!("{:<10} {:>12.4}", name, v);
+        } else {
+            println!(" {:>12.4}", v);
+        }
+    }
+    for (name, os) in [("Memtier", BackendOs::Linux), ("Memtier", BackendOs::Kite)] {
+        let v = rsd(&|seed| wl::latency::memtier(os, 4, 600, 8192, seed).mean());
+        if os == BackendOs::Linux {
+            print!("{:<10} {:>12.4}", name, v);
+        } else {
+            println!(" {:>12.4}", v);
+        }
+    }
+    for (name, os) in [("Sysbench", BackendOs::Linux), ("Sysbench", BackendOs::Kite)] {
+        let v = rsd(&|seed| wl::mysql::run_net(os, 20, 600, seed).tps);
+        if os == BackendOs::Linux {
+            print!("{:<10} {:>12.4}", name, v);
+        } else {
+            println!(" {:>12.4}", v);
+        }
+    }
+    println!("(paper: all ≤1.5%; determinism here makes seed-variance the analog)");
+}
+
+fn fig11() {
+    println!("{:<8} {:>12} {:>12}", "os", "read MB/s", "write MB/s");
+    for os in BackendOs::both() {
+        let r = wl::dd::run(os, true, 128 << 20, 42);
+        let w = wl::dd::run(os, false, 128 << 20, 42);
+        println!("{:<8} {:>12.0} {:>12.0}", os.name(), r.mbps, w.mbps);
+    }
+    println!("(paper: ≈1 GB/s class, Kite ≈ Linux)");
+}
+
+fn fig12() {
+    println!("-- Fig 12a: 256KB blocks, thread sweep (MB/s) --");
+    print!("{:<8}", "os");
+    for t in [1u16, 5, 20, 60, 100] {
+        print!("{t:>8}");
+    }
+    println!();
+    for os in BackendOs::both() {
+        print!("{:<8}", os.name());
+        for t in [1u16, 5, 20, 60, 100] {
+            let r = wl::fileio::run(os, t, 256 * 1024, 100 + 8 * u64::from(t), 42);
+            print!("{:>8.0}", r.mbps);
+        }
+        println!();
+    }
+    println!("-- Fig 12b: 20 threads, block-size sweep (MB/s) --");
+    print!("{:<8}", "os");
+    for b in [16 << 10, 256 << 10, 4 << 20, 64 << 20] {
+        print!("{:>10}", human(b));
+    }
+    println!();
+    for os in BackendOs::both() {
+        print!("{:<8}", os.name());
+        for b in [16usize << 10, 256 << 10, 4 << 20, 64 << 20] {
+            let ops = (64usize << 20) / b.max(1 << 16) + 40;
+            let r = wl::fileio::run(os, 20, b, ops as u64, 43);
+            print!("{:>10.0}", r.mbps);
+        }
+        println!();
+    }
+    println!("(paper: rises with both threads and block size; Kite ≥ Linux at the high end)");
+}
+
+fn fig13() {
+    println!("{:<8} {:>8} {:>10} {:>12}", "os", "threads", "tps", "read MB/s");
+    for os in BackendOs::both() {
+        for t in [1u16, 10, 40, 100] {
+            let r = wl::mysql::run_storage(os, t, 10, 42);
+            println!(
+                "{:<8} {:>8} {:>10.0} {:>12.1}",
+                os.name(),
+                r.threads,
+                r.tps,
+                r.read_mbps
+            );
+        }
+    }
+    println!("(paper: identical curves for Kite and Linux)");
+}
+
+fn fig14() {
+    print!("{:<8}", "os");
+    for b in [16 << 10, 128 << 10, 1 << 20, 8 << 20] {
+        print!("{:>10}", human(b));
+    }
+    println!("  (fileserver MB/s)");
+    for os in BackendOs::both() {
+        print!("{:<8}", os.name());
+        for b in [16usize << 10, 128 << 10, 1 << 20, 8 << 20] {
+            let ops = 400usize / (1 + b / (1 << 20)) + 60;
+            let r = wl::filebench::fileserver(os, b, ops as u64, 42);
+            print!("{:>10.0}", r.mbps);
+        }
+        println!();
+    }
+    println!("(paper: 200→650 MB/s rising with I/O size, Kite slightly better)");
+}
+
+fn fig15() {
+    println!("{:<8} {:>12} {:>10} {:>10}", "os", "thpt Mbps", "us/op", "lat ms");
+    for os in BackendOs::both() {
+        let r = wl::filebench::mongodb(os, 120, 42);
+        println!(
+            "{:<8} {:>12.0} {:>10.0} {:>10.2}",
+            os.name(),
+            r.mbps * 8.0,
+            r.us_per_op,
+            r.latency_ms
+        );
+    }
+    println!("(paper: Kite outperforms at low concurrency: 770 vs 700 Mbps class)");
+}
+
+fn fig16() {
+    println!("{:<8} {:>12} {:>10} {:>10}", "os", "thpt Mbps", "us/op", "lat ms");
+    for os in BackendOs::both() {
+        let r = wl::filebench::webserver(os, 400, 42);
+        println!(
+            "{:<8} {:>12.0} {:>10.0} {:>10.2}",
+            os.name(),
+            r.mbps * 8.0,
+            r.us_per_op,
+            r.latency_ms
+        );
+    }
+    println!("(paper: Kite slightly higher throughput, lower latency)");
+}
+
+fn dhcp() {
+    println!("{:<8} {:>18} {:>16}", "daemon", "discover→offer ms", "request→ack ms");
+    for d in [wl::perfdhcp::DaemonOs::Rumprun, wl::perfdhcp::DaemonOs::Linux] {
+        let r = wl::perfdhcp::run(d, 400, 400, 42);
+        println!(
+            "{:<8} {:>18.2} {:>16.2}",
+            d.name(),
+            r.discover_offer_ms,
+            r.request_ack_ms
+        );
+    }
+    println!("(paper: ≈0.78 and ≈0.70 ms, rumprun ≈ Linux)");
+}
+
+fn mem() {
+    // The paper assigns Kite domains 1 GB vs Linux's 2 GB "since rumprun's
+    // footprint is smaller"; actual working sets are far smaller still.
+    // Run a short network workload and report reservation + pages touched.
+    println!(
+        "{:<8} {:>14} {:>12} {:>18}",
+        "os", "reservation", "image", "data-plane pages"
+    );
+    for os in BackendOs::both() {
+        let params = wl::nuttcp::NuttcpParams {
+            duration: Nanos::from_millis(20),
+            ..Default::default()
+        };
+        let _ = params;
+        let mut sys = kite_system::NetSystem::new(os, 42);
+        sys.send_udp_at(
+            Nanos::from_millis(1),
+            kite_system::Side::Client,
+            kite_system::addrs::GUEST,
+            7,
+            4000,
+            vec![0; 8192],
+        );
+        sys.run_to_quiescence();
+        let dd = sys.driver_domain();
+        let dom = sys.hv.domains.get(dd).expect("driver domain");
+        let pages = dom.pages_allocated;
+        let image_mib = match os {
+            BackendOs::Kite => {
+                kite_rumprun::kite_network_image().total_bytes as f64 / (1024.0 * 1024.0)
+            }
+            BackendOs::Linux => kite_linux::ubuntu_image_bytes() as f64 / (1024.0 * 1024.0),
+        };
+        println!(
+            "{:<8} {:>11} MiB {:>8.1} MiB {:>18}",
+            os.name(),
+            dom.mem_mib,
+            image_mib,
+            pages
+        );
+    }
+    println!("(paper: 1 GB vs 2 GB reservations; unikernel working set is KB-scale)");
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Smoke helper used by bench targets: a short deterministic run.
+pub fn quick_seed() -> Pcg {
+    Pcg::seeded(0x4b697465)
+}
+
+/// Quick sanity value used by the boot bench.
+pub fn boot_times() -> (Nanos, Nanos) {
+    (
+        kite_rumprun::kite_boot().total(),
+        kite_linux::ubuntu_boot().total(),
+    )
+}

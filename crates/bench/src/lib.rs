@@ -1,0 +1,5 @@
+//! Benchmark harness: the `repro` binary regenerates every paper table and
+//! figure (see [`experiments`]); the Criterion benches in `benches/` time
+//! the hot mechanisms and run scaled versions of each figure.
+
+pub mod experiments;

@@ -1,0 +1,46 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro --all            # everything (several minutes)
+//! repro fig7 fig11       # selected experiments
+//! repro --list           # what's available
+//! ```
+//!
+//! Each experiment prints the paper's reported values alongside this
+//! reproduction's measurements. EXPERIMENTS.md is this program's output
+//! with commentary.
+
+use kite_bench::experiments::{all_experiments, Experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exps = all_experiments();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--all | --list | <id>...]");
+        eprintln!("experiments:");
+        for e in &exps {
+            eprintln!("  {:8} {}", e.id, e.title);
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in &exps {
+            println!("{:8} {}", e.id, e.title);
+        }
+        return;
+    }
+    let run_all = args.iter().any(|a| a == "--all");
+    let selected: Vec<&Experiment> = exps
+        .iter()
+        .filter(|e| run_all || args.iter().any(|a| a == e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(2);
+    }
+    for e in selected {
+        println!("==== {} — {} ====", e.id, e.title);
+        (e.run)();
+        println!();
+    }
+}

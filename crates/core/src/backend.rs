@@ -1,0 +1,222 @@
+//! Backend invocation: discovering frontends via xenstore watches.
+//!
+//! §4.1 of the paper: the backend driver sets a watch on its backend root
+//! in xenstore; the dedicated watch-handler thread wakes on any path change,
+//! queries xenbus for unpaired frontends, and creates a backend instance
+//! for each. This module implements that flow plus the toolstack-side
+//! provisioning (what `xl` does in Dom0 when a guest config lists a device).
+
+use std::collections::HashSet;
+
+use kite_xen::xenbus::{read_state, switch_state};
+use kite_xen::{DeviceKind, DevicePaths, DomainId, Hypervisor, Perm, Result, WatchEvent, XenbusState};
+
+/// Provisions the xenstore areas for one device pair, as the toolstack in
+/// Dom0 does: creates both directories, grants each side access to the
+/// other's area, and sets both states to `Initialising`.
+pub fn provision_device(hv: &mut Hypervisor, paths: &DevicePaths) -> Result<()> {
+    let d0 = DomainId::DOM0;
+    let fe = paths.frontend();
+    let be = paths.backend();
+    hv.store.write(d0, None, &format!("{fe}/backend"), &be)?;
+    hv.store
+        .write(d0, None, &format!("{be}/frontend"), &fe)?;
+    hv.store
+        .write(d0, None, &paths.frontend_state(), &XenbusState::Initialising.value().to_string())?;
+    hv.store
+        .write(d0, None, &paths.backend_state(), &XenbusState::Initialising.value().to_string())?;
+    // The frontend's area is writable by the guest, readable by the driver
+    // domain — and vice versa.
+    hv.store.set_perm(d0, &fe, paths.front, Perm::ReadWrite)?;
+    hv.store.set_perm(d0, &fe, paths.back, Perm::Read)?;
+    hv.store.set_perm(d0, &be, paths.back, Perm::ReadWrite)?;
+    hv.store.set_perm(d0, &be, paths.front, Perm::Read)?;
+    Ok(())
+}
+
+/// The per-driver-domain backend manager: one watch, one handler thread,
+/// instances spawned on demand.
+pub struct BackendManager {
+    /// The driver domain this manager runs in.
+    pub domain: DomainId,
+    /// The device kind it serves.
+    pub kind: DeviceKind,
+    watch: Option<kite_xen::WatchId>,
+    known: HashSet<(DomainId, u32)>,
+}
+
+impl BackendManager {
+    /// Creates a manager; call [`BackendManager::start`] to arm the watch.
+    pub fn new(domain: DomainId, kind: DeviceKind) -> BackendManager {
+        BackendManager {
+            domain,
+            kind,
+            watch: None,
+            known: HashSet::new(),
+        }
+    }
+
+    /// Registers the xenstore watch on the backend root. The registration
+    /// itself fires once (Xen semantics), which triggers the initial scan.
+    pub fn start(&mut self, hv: &mut Hypervisor) -> Result<()> {
+        let root = DevicePaths::backend_root(self.domain, self.kind);
+        // Ensure the root exists so the directory scan works even before
+        // the first device is provisioned.
+        let _ = hv.store.write(DomainId::DOM0, None, &root, "");
+        hv.store
+            .set_perm(DomainId::DOM0, &root, self.domain, Perm::ReadWrite)?;
+        let w = hv.store.watch(self.domain, &root, "backend-root")?;
+        self.watch = Some(w);
+        Ok(())
+    }
+
+    /// True when the event is for this manager's watch.
+    pub fn owns_event(&self, ev: &WatchEvent) -> bool {
+        Some(ev.watch) == self.watch && ev.domain == self.domain
+    }
+
+    /// The watch-handler thread body: scans the backend root for frontends
+    /// that published their details (state `Initialised`) and are not yet
+    /// paired. Returns the device coordinates to instantiate.
+    ///
+    /// Also advertises `InitWait` on freshly provisioned devices so the
+    /// frontend knows the backend exists.
+    pub fn scan(&mut self, hv: &mut Hypervisor) -> Result<Vec<DevicePaths>> {
+        let root = DevicePaths::backend_root(self.domain, self.kind);
+        let mut ready = Vec::new();
+        let fronts = match hv.store.directory(self.domain, &root) {
+            Ok(v) => v,
+            Err(_) => return Ok(ready),
+        };
+        for f in fronts {
+            let front: DomainId = match f.parse::<u16>() {
+                Ok(n) => DomainId(n),
+                Err(_) => continue,
+            };
+            let indices = hv
+                .store
+                .directory(self.domain, &format!("{root}/{f}"))
+                .unwrap_or_default();
+            for idx in indices {
+                let index: u32 = match idx.parse() {
+                    Ok(n) => n,
+                    Err(_) => continue,
+                };
+                let paths = DevicePaths::new(front, self.domain, self.kind, index);
+                let bstate = read_state(&mut hv.store, self.domain, &paths.backend_state());
+                if bstate == XenbusState::Initialising {
+                    // Announce ourselves; frontend proceeds on seeing this.
+                    switch_state(
+                        &mut hv.store,
+                        self.domain,
+                        &paths.backend_state(),
+                        XenbusState::InitWait,
+                    )?;
+                }
+                if self.known.contains(&(front, index)) {
+                    continue;
+                }
+                let fstate = read_state(&mut hv.store, self.domain, &paths.frontend_state());
+                if fstate == XenbusState::Initialised {
+                    self.known.insert((front, index));
+                    ready.push(paths);
+                }
+            }
+        }
+        Ok(ready)
+    }
+
+    /// Forgets a device (teardown), allowing re-pairing after reconnect.
+    pub fn forget(&mut self, front: DomainId, index: u32) {
+        self.known.remove(&(front, index));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_xen::DomainKind;
+
+    fn machine() -> (Hypervisor, DomainId, DomainId) {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 8192, 4);
+        let dd = hv.create_domain("netbackend", DomainKind::Driver, 1024, 1);
+        let gu = hv.create_domain("guest", DomainKind::Guest, 5120, 22);
+        (hv, dd, gu)
+    }
+
+    #[test]
+    fn provisioning_sets_states_and_links() {
+        let (mut hv, dd, gu) = machine();
+        let paths = DevicePaths::new(gu, dd, DeviceKind::Vif, 0);
+        provision_device(&mut hv, &paths).unwrap();
+        assert_eq!(
+            read_state(&mut hv.store, DomainId::DOM0, &paths.frontend_state()),
+            XenbusState::Initialising
+        );
+        let (backlink, _) = hv.xs_read(gu, &format!("{}/backend", paths.frontend()));
+        assert_eq!(backlink.unwrap(), paths.backend());
+    }
+
+    #[test]
+    fn watch_fires_and_scan_finds_initialised_frontend() {
+        let (mut hv, dd, gu) = machine();
+        let mut mgr = BackendManager::new(dd, DeviceKind::Vif);
+        mgr.start(&mut hv).unwrap();
+        // Registration fire.
+        let evs = hv.store.take_events();
+        assert!(evs.iter().any(|e| mgr.owns_event(e)));
+        // Nothing yet.
+        assert!(mgr.scan(&mut hv).unwrap().is_empty());
+
+        let paths = DevicePaths::new(gu, dd, DeviceKind::Vif, 0);
+        provision_device(&mut hv, &paths).unwrap();
+        // Provisioning changed paths under the watch root.
+        let evs = hv.store.take_events();
+        assert!(evs.iter().any(|e| mgr.owns_event(e)));
+        // Backend sees Initialising, advertises InitWait, no pairing yet.
+        assert!(mgr.scan(&mut hv).unwrap().is_empty());
+        assert_eq!(
+            read_state(&mut hv.store, dd, &paths.backend_state()),
+            XenbusState::InitWait
+        );
+
+        // Frontend publishes its details.
+        switch_state(&mut hv.store, gu, &paths.frontend_state(), XenbusState::Initialised).unwrap();
+        let found = mgr.scan(&mut hv).unwrap();
+        assert_eq!(found, vec![paths]);
+        // Idempotent: a second scan does not re-create the instance.
+        assert!(mgr.scan(&mut hv).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiple_frontends_discovered_independently() {
+        let (mut hv, dd, gu) = machine();
+        let gu2 = hv.create_domain("guest2", DomainKind::Guest, 1024, 2);
+        let mut mgr = BackendManager::new(dd, DeviceKind::Vif);
+        mgr.start(&mut hv).unwrap();
+        let mut found = 0;
+        for (g, i) in [(gu, 0u32), (gu2, 0u32), (gu, 1u32)] {
+            let p = DevicePaths::new(g, dd, DeviceKind::Vif, i);
+            provision_device(&mut hv, &p).unwrap();
+            found += mgr.scan(&mut hv).unwrap().len();
+            switch_state(&mut hv.store, g, &p.frontend_state(), XenbusState::Initialised).unwrap();
+        }
+        found += mgr.scan(&mut hv).unwrap().len();
+        assert_eq!(found, 3);
+    }
+
+    #[test]
+    fn forget_allows_reconnect() {
+        let (mut hv, dd, gu) = machine();
+        let mut mgr = BackendManager::new(dd, DeviceKind::Vif);
+        mgr.start(&mut hv).unwrap();
+        let p = DevicePaths::new(gu, dd, DeviceKind::Vif, 0);
+        provision_device(&mut hv, &p).unwrap();
+        mgr.scan(&mut hv).unwrap();
+        switch_state(&mut hv.store, gu, &p.frontend_state(), XenbusState::Initialised).unwrap();
+        assert_eq!(mgr.scan(&mut hv).unwrap().len(), 1);
+        mgr.forget(gu, 0);
+        assert_eq!(mgr.scan(&mut hv).unwrap().len(), 1, "re-discovered after forget");
+    }
+}

@@ -1,0 +1,165 @@
+//! Driver-domain configuration — the analog of `kite_dd.cfg`.
+//!
+//! The paper's artifact boots Kite domains from `xl` config files naming
+//! the image, memory, vCPUs and the passthrough PCI BDF. This module is
+//! that file as a typed struct plus a minimal parser for the `key = value`
+//! format the artifact uses.
+
+use kite_xen::Bdf;
+
+/// What kind of driver domain to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DriverDomainKind {
+    /// Network domain: netback + NIC driver + bridge app.
+    Network,
+    /// Storage domain: blkback + NVMe driver + block status app.
+    Storage,
+}
+
+/// A driver-domain configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainConfig {
+    /// Domain name (`xl list`).
+    pub name: String,
+    /// Kind.
+    pub kind: DriverDomainKind,
+    /// Memory in MiB (the paper gives Kite domains 1 GiB vs Linux's 2 GiB).
+    pub memory_mib: u64,
+    /// Virtual CPUs (1 suffices per the paper; more supported).
+    pub vcpus: u32,
+    /// Passthrough device BDF.
+    pub pci: Bdf,
+}
+
+impl DomainConfig {
+    /// The paper's Kite network-domain configuration.
+    pub fn kite_network(bdf: Bdf) -> DomainConfig {
+        DomainConfig {
+            name: "netbackend".into(),
+            kind: DriverDomainKind::Network,
+            memory_mib: 1024,
+            vcpus: 1,
+            pci: bdf,
+        }
+    }
+
+    /// The paper's Kite storage-domain configuration.
+    pub fn kite_storage(bdf: Bdf) -> DomainConfig {
+        DomainConfig {
+            name: "blkbackend".into(),
+            kind: DriverDomainKind::Storage,
+            memory_mib: 1024,
+            vcpus: 1,
+            pci: bdf,
+        }
+    }
+
+    /// Parses an `xl`-style config fragment:
+    ///
+    /// ```text
+    /// name = "netbackend"
+    /// kind = "network"
+    /// memory = 1024
+    /// vcpus = 1
+    /// pci = ["03:00.0,permissive=1"]
+    /// ```
+    pub fn parse(text: &str) -> Result<DomainConfig, String> {
+        let mut name = None;
+        let mut kind = None;
+        let mut memory = 1024u64;
+        let mut vcpus = 1u32;
+        let mut pci = None;
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("bad line: {line}"))?;
+            let k = k.trim();
+            let v = v.trim().trim_matches(|c| c == '"' || c == '[' || c == ']');
+            match k {
+                "name" => name = Some(v.trim_matches('"').to_string()),
+                "kind" => {
+                    kind = Some(match v.trim_matches('"') {
+                        "network" => DriverDomainKind::Network,
+                        "storage" => DriverDomainKind::Storage,
+                        other => return Err(format!("unknown kind: {other}")),
+                    })
+                }
+                "memory" => memory = v.parse().map_err(|e| format!("memory: {e}"))?,
+                "vcpus" => vcpus = v.parse().map_err(|e| format!("vcpus: {e}"))?,
+                "pci" => {
+                    let bdf_str = v
+                        .trim_matches('"')
+                        .split(',')
+                        .next()
+                        .ok_or("empty pci")?;
+                    pci = Some(
+                        bdf_str
+                            .parse::<Bdf>()
+                            .map_err(|e| format!("pci: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unknown key: {other}")),
+            }
+        }
+        Ok(DomainConfig {
+            name: name.ok_or("missing name")?,
+            kind: kind.ok_or("missing kind")?,
+            memory_mib: memory,
+            vcpus,
+            pci: pci.ok_or("missing pci")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_setup() {
+        let c = DomainConfig::kite_network("03:00.0".parse().unwrap());
+        assert_eq!(c.memory_mib, 1024, "paper: Kite domains get 1GB");
+        assert_eq!(c.vcpus, 1, "paper: one vCPU suffices");
+        let s = DomainConfig::kite_storage("04:00.0".parse().unwrap());
+        assert_eq!(s.kind, DriverDomainKind::Storage);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"
+            # Kite network domain
+            name = "netbackend"
+            kind = "network"
+            memory = 1024
+            vcpus = 1
+            pci = ["03:00.0,permissive=1"]
+        "#;
+        let c = DomainConfig::parse(text).unwrap();
+        assert_eq!(c, DomainConfig::kite_network("03:00.0".parse().unwrap()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DomainConfig::parse("kind = \"network\"").is_err()); // no name/pci
+        assert!(DomainConfig::parse("name = \"x\"\nkind = \"weird\"\npci = [\"0:0.0\"]").is_err());
+        assert!(DomainConfig::parse("garbage").is_err());
+        assert!(DomainConfig::parse(
+            "name = \"x\"\nkind = \"network\"\npci = [\"zz:00.0\"]"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let c = DomainConfig::parse(
+            "name = \"n\"\nkind = \"storage\"\npci = [\"01:00.0\"]",
+        )
+        .unwrap();
+        assert_eq!(c.memory_mib, 1024);
+        assert_eq!(c.vcpus, 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! The network application (§3.2, §4.3): Kite's single-process replacement
+//! for Linux's xen driver-domain scripts.
+//!
+//! On launch it creates a bridge, assigns the gateway IP to the physical
+//! interface with the ported `ifconfig(8)`, adds the IF to the bridge with
+//! the ported `brconfig(8)`, then loops: watch for new VIFs and hotplug
+//! them into the bridge — yielding the CPU explicitly between iterations so
+//! netback, the NIC driver and the network stack make progress on the
+//! non-preemptive scheduler.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use kite_net::{
+    Bridge, BridgePort, Endpoint, EtherType, EthernetFrame, IfKind, IfTable, IpProto,
+    Ipv4Packet, MacAddr, Nat, UdpDatagram,
+};
+
+/// How the network application links VIFs to the physical NIC (§3.1
+/// names both techniques; bridging is the default, NAT the alternative).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkMode {
+    /// L2 learning bridge (NetBSD `bridge(4)` + `brconfig`).
+    Bridge,
+    /// L3 source NAT behind the gateway address.
+    Nat,
+}
+
+/// The network application's state.
+pub struct NetworkApp {
+    /// The bridge connecting the IF and all VIFs.
+    pub bridge: Bridge,
+    /// The interface table (`ifconfig` view).
+    pub ifs: IfTable,
+    /// Physical interface name.
+    pub phys_if: String,
+    /// VIF↔NIC linking technique.
+    pub mode: LinkMode,
+    /// The SNAT table (used in [`LinkMode::Nat`]).
+    pub nat: Nat,
+    ports: HashMap<String, BridgePort>,
+    yields: u64,
+}
+
+impl NetworkApp {
+    /// Boots the application: creates `bridge0`, registers and configures
+    /// the physical interface, and attaches it to the bridge.
+    pub fn start(phys_if: &str, phys_mac: MacAddr, gateway: Ipv4Addr, netmask: Ipv4Addr) -> Self {
+        let mut ifs = IfTable::new();
+        let mut bridge = Bridge::new("bridge0");
+        ifs.attach(phys_if, IfKind::Physical, phys_mac);
+        // `ifconfig ixg0 <gateway> netmask <mask> up`
+        ifs.set_addr(phys_if, gateway, netmask);
+        ifs.set_up(phys_if, true);
+        ifs.attach("bridge0", IfKind::Bridge, MacAddr::ZERO);
+        ifs.set_up("bridge0", true);
+        // `brconfig bridge0 add ixg0 up`
+        let port = bridge.add_port(phys_if);
+        let mut ports = HashMap::new();
+        ports.insert(phys_if.to_string(), port);
+        NetworkApp {
+            bridge,
+            ifs,
+            phys_if: phys_if.to_string(),
+            mode: LinkMode::Bridge,
+            nat: Nat::new(gateway),
+            ports,
+            yields: 0,
+        }
+    }
+
+    /// Switches to NAT linking (call before traffic starts).
+    pub fn use_nat(&mut self) {
+        self.mode = LinkMode::Nat;
+    }
+
+    /// NAT translation for a guest→world frame: rewrites the source
+    /// IP/port to the gateway and re-encodes checksums. Returns `None`
+    /// for frames NAT cannot carry (non-IPv4/UDP here).
+    pub fn nat_outbound(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+        let eth = EthernetFrame::decode(frame)?;
+        if eth.ethertype != EtherType::Ipv4 {
+            return None;
+        }
+        let ip = Ipv4Packet::decode(&eth.payload)?;
+        let udp = match ip.proto {
+            IpProto::Udp => UdpDatagram::decode(&ip.payload, ip.src, ip.dst)?,
+            _ => return None,
+        };
+        let ext = self.nat.translate_out(
+            IpProto::Udp,
+            Endpoint {
+                ip: ip.src,
+                port: udp.src_port,
+            },
+        );
+        let new_udp = UdpDatagram::new(ext.port, udp.dst_port, udp.payload);
+        let new_ip = Ipv4Packet::new(ext.ip, ip.dst, IpProto::Udp, new_udp.encode(ext.ip, ip.dst));
+        Some(EthernetFrame::new(eth.dst, eth.src, EtherType::Ipv4, new_ip.encode()).encode())
+    }
+
+    /// NAT translation for a world→gateway frame: rewrites the
+    /// destination back to the inside endpoint. Returns `None` for
+    /// unsolicited traffic (dropped, as a NAT does).
+    pub fn nat_inbound(&mut self, frame: &[u8], guest_mac: MacAddr) -> Option<Vec<u8>> {
+        let eth = EthernetFrame::decode(frame)?;
+        if eth.ethertype != EtherType::Ipv4 {
+            return None;
+        }
+        let ip = Ipv4Packet::decode(&eth.payload)?;
+        let udp = match ip.proto {
+            IpProto::Udp => UdpDatagram::decode(&ip.payload, ip.src, ip.dst)?,
+            _ => return None,
+        };
+        let inside = self.nat.translate_in(IpProto::Udp, udp.dst_port)?;
+        let new_udp = UdpDatagram::new(udp.src_port, inside.port, udp.payload);
+        let new_ip = Ipv4Packet::new(
+            ip.src,
+            inside.ip,
+            IpProto::Udp,
+            new_udp.encode(ip.src, inside.ip),
+        );
+        Some(
+            EthernetFrame::new(guest_mac, eth.src, EtherType::Ipv4, new_ip.encode())
+                .encode(),
+        )
+    }
+
+    /// Hotplug: a new netback VIF appeared — register it and add it to the
+    /// bridge (`brconfig bridge0 add vifN.M`).
+    pub fn add_vif(&mut self, vif: &str, mac: MacAddr) -> BridgePort {
+        self.ifs.attach(vif, IfKind::Vif, mac);
+        self.ifs.set_up(vif, true);
+        let port = self.bridge.add_port(vif);
+        self.ports.insert(vif.to_string(), port);
+        port
+    }
+
+    /// Hot-unplug: the frontend disconnected.
+    pub fn remove_vif(&mut self, vif: &str) {
+        if let Some(port) = self.ports.remove(vif) {
+            self.bridge.remove_port(port);
+        }
+        self.ifs.detach(vif);
+    }
+
+    /// The bridge port of an interface.
+    pub fn port_of(&self, ifname: &str) -> Option<BridgePort> {
+        self.ports.get(ifname).copied()
+    }
+
+    /// The interface name owning a bridge port.
+    pub fn if_of(&self, port: BridgePort) -> Option<&str> {
+        self.ports
+            .iter()
+            .find(|&(_, &p)| p == port)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// The app's main-loop yield: cooperates with the scheduler. Counted
+    /// so tests can assert the app never monopolizes the CPU.
+    pub fn yield_cpu(&mut self) {
+        self.yields += 1;
+    }
+
+    /// Yield count.
+    pub fn yields(&self) -> u64 {
+        self.yields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_net::Forward;
+    use kite_sim::Nanos;
+
+    fn gw() -> Ipv4Addr {
+        "192.168.1.50".parse().unwrap()
+    }
+
+    fn mask() -> Ipv4Addr {
+        "255.255.255.0".parse().unwrap()
+    }
+
+    #[test]
+    fn startup_configures_if_and_bridge() {
+        let app = NetworkApp::start("ixg0", MacAddr::local(1), gw(), mask());
+        let i = app.ifs.get("ixg0").unwrap();
+        assert!(i.up);
+        assert_eq!(i.addr, Some(gw()));
+        assert_eq!(app.bridge.members(), vec!["ixg0"]);
+        assert!(app.port_of("ixg0").is_some());
+    }
+
+    #[test]
+    fn vif_hotplug_and_forwarding() {
+        let mut app = NetworkApp::start("ixg0", MacAddr::local(1), gw(), mask());
+        let vif_port = app.add_vif("vif2.0", MacAddr::local(2));
+        assert_eq!(app.bridge.members(), vec!["ixg0", "vif2.0"]);
+        assert_eq!(app.if_of(vif_port), Some("vif2.0"));
+        // Guest talks out through the VIF; bridge learns.
+        let guest_mac = MacAddr::local(100);
+        let ext_mac = MacAddr::local(200);
+        app.bridge
+            .input(vif_port, guest_mac, MacAddr::BROADCAST, Nanos::ZERO);
+        let phys = app.port_of("ixg0").unwrap();
+        assert_eq!(
+            app.bridge.input(phys, ext_mac, guest_mac, Nanos(1)),
+            Forward::Unicast(vif_port)
+        );
+    }
+
+    #[test]
+    fn vif_unplug_cleans_up() {
+        let mut app = NetworkApp::start("ixg0", MacAddr::local(1), gw(), mask());
+        app.add_vif("vif2.0", MacAddr::local(2));
+        app.remove_vif("vif2.0");
+        assert_eq!(app.bridge.members(), vec!["ixg0"]);
+        assert!(app.ifs.get("vif2.0").is_none());
+        assert!(app.port_of("vif2.0").is_none());
+    }
+
+    #[test]
+    fn nat_rewrites_and_reverses() {
+        let mut app = NetworkApp::start("ixg0", MacAddr::local(1), gw(), mask());
+        app.use_nat();
+        assert_eq!(app.mode, LinkMode::Nat);
+        let guest_ip: Ipv4Addr = "192.168.1.100".parse().unwrap();
+        let client_ip: Ipv4Addr = "192.168.1.10".parse().unwrap();
+        let udp = kite_net::UdpDatagram::new(5555, 80, b"req".to_vec());
+        let ip = kite_net::Ipv4Packet::new(
+            guest_ip,
+            client_ip,
+            kite_net::IpProto::Udp,
+            udp.encode(guest_ip, client_ip),
+        );
+        let frame = kite_net::EthernetFrame::new(
+            MacAddr::local(9),
+            MacAddr::local(100),
+            kite_net::EtherType::Ipv4,
+            ip.encode(),
+        )
+        .encode();
+        // Outbound: source becomes the gateway, checksums stay valid.
+        let out = app.nat_outbound(&frame).unwrap();
+        let eth = kite_net::EthernetFrame::decode(&out).unwrap();
+        let ip2 = kite_net::Ipv4Packet::decode(&eth.payload).unwrap();
+        assert_eq!(ip2.src, gw());
+        let udp2 = kite_net::UdpDatagram::decode(&ip2.payload, ip2.src, ip2.dst).unwrap();
+        assert_eq!(udp2.payload, b"req");
+        assert_ne!(udp2.src_port, 5555, "source port rewritten");
+
+        // The client replies to the gateway endpoint; inbound restores
+        // the guest address/port.
+        let reply = kite_net::UdpDatagram::new(80, udp2.src_port, b"rsp".to_vec());
+        let rip = kite_net::Ipv4Packet::new(
+            client_ip,
+            gw(),
+            kite_net::IpProto::Udp,
+            reply.encode(client_ip, gw()),
+        );
+        let rframe = kite_net::EthernetFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(9),
+            kite_net::EtherType::Ipv4,
+            rip.encode(),
+        )
+        .encode();
+        let back = app.nat_inbound(&rframe, MacAddr::local(100)).unwrap();
+        let eth3 = kite_net::EthernetFrame::decode(&back).unwrap();
+        assert_eq!(eth3.dst, MacAddr::local(100));
+        let ip3 = kite_net::Ipv4Packet::decode(&eth3.payload).unwrap();
+        assert_eq!(ip3.dst, guest_ip);
+        let udp3 = kite_net::UdpDatagram::decode(&ip3.payload, ip3.src, ip3.dst).unwrap();
+        assert_eq!(udp3.dst_port, 5555);
+        assert_eq!(udp3.payload, b"rsp");
+    }
+
+    #[test]
+    fn nat_drops_unsolicited_inbound() {
+        let mut app = NetworkApp::start("ixg0", MacAddr::local(1), gw(), mask());
+        app.use_nat();
+        let udp = kite_net::UdpDatagram::new(80, 44444, b"scan".to_vec());
+        let client_ip: Ipv4Addr = "192.168.1.10".parse().unwrap();
+        let ip = kite_net::Ipv4Packet::new(
+            client_ip,
+            gw(),
+            kite_net::IpProto::Udp,
+            udp.encode(client_ip, gw()),
+        );
+        let frame = kite_net::EthernetFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(9),
+            kite_net::EtherType::Ipv4,
+            ip.encode(),
+        )
+        .encode();
+        assert!(app.nat_inbound(&frame, MacAddr::local(100)).is_none());
+    }
+
+    #[test]
+    fn yields_are_counted() {
+        let mut app = NetworkApp::start("ixg0", MacAddr::local(1), gw(), mask());
+        for _ in 0..5 {
+            app.yield_cpu();
+        }
+        assert_eq!(app.yields(), 5);
+    }
+}

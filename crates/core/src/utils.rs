@@ -1,0 +1,322 @@
+//! The ported NetBSD utilities (`ifconfig(8)` / `brconfig(8)`) — Table 1's
+//! "Utilities" row.
+//!
+//! Kite ports these tools into the unikernel so its single-process network
+//! application can configure interfaces and bridges without a shell. Here
+//! they are command interpreters over [`kite_net::IfTable`] and
+//! [`kite_net::Bridge`], accepting the same syntax the paper's artifact
+//! scripts use:
+//!
+//! ```text
+//! ifconfig ixg0 192.168.1.50 netmask 255.255.255.0 up
+//! ifconfig vif2.0 up
+//! ifconfig ixg0 down
+//! brconfig bridge0 add ixg0 add vif2.0 up
+//! brconfig bridge0 delete vif2.0
+//! ```
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use kite_net::{Bridge, BridgePort, IfTable};
+
+/// Errors from the utility interpreters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UtilError {
+    /// Unknown or malformed command.
+    Usage(String),
+    /// Named interface does not exist.
+    NoSuchInterface(String),
+    /// Named bridge does not exist.
+    NoSuchBridge(String),
+    /// Interface already attached to the bridge.
+    AlreadyMember(String),
+}
+
+impl core::fmt::Display for UtilError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UtilError::Usage(s) => write!(f, "usage: {s}"),
+            UtilError::NoSuchInterface(s) => write!(f, "{s}: no such interface"),
+            UtilError::NoSuchBridge(s) => write!(f, "{s}: no such bridge"),
+            UtilError::AlreadyMember(s) => write!(f, "{s}: already a bridge member"),
+        }
+    }
+}
+
+impl std::error::Error for UtilError {}
+
+/// Executes one `ifconfig` command line against an interface table.
+///
+/// Supported forms:
+/// * `ifconfig <if>` — returns the formatted state;
+/// * `ifconfig <if> <addr> netmask <mask> [up|down]`;
+/// * `ifconfig <if> up` / `ifconfig <if> down`.
+pub fn ifconfig(ifs: &mut IfTable, line: &str) -> Result<String, UtilError> {
+    let argv: Vec<&str> = line.split_whitespace().collect();
+    let usage = || UtilError::Usage("ifconfig <if> [<addr> netmask <mask>] [up|down]".into());
+    if argv.first() != Some(&"ifconfig") || argv.len() < 2 {
+        return Err(usage());
+    }
+    let name = argv[1];
+    if ifs.get(name).is_none() {
+        return Err(UtilError::NoSuchInterface(name.to_string()));
+    }
+    let mut i = 2;
+    // Optional address assignment.
+    if i < argv.len() && argv[i].parse::<Ipv4Addr>().is_ok() {
+        let addr: Ipv4Addr = argv[i].parse().expect("checked");
+        i += 1;
+        if argv.get(i) != Some(&"netmask") {
+            return Err(usage());
+        }
+        i += 1;
+        let mask: Ipv4Addr = argv
+            .get(i)
+            .and_then(|m| m.parse().ok())
+            .ok_or_else(usage)?;
+        i += 1;
+        ifs.set_addr(name, addr, mask);
+    }
+    // Optional up/down.
+    match argv.get(i) {
+        Some(&"up") => {
+            ifs.set_up(name, true);
+            i += 1;
+        }
+        Some(&"down") => {
+            ifs.set_up(name, false);
+            i += 1;
+        }
+        _ => {}
+    }
+    if i != argv.len() {
+        return Err(usage());
+    }
+    let ifc = ifs.get(name).expect("existence checked");
+    let mut out = format!(
+        "{}: flags={}<{}> mtu {}\n\tether {}",
+        ifc.name,
+        if ifc.up { "8843" } else { "8802" },
+        if ifc.up { "UP,BROADCAST,RUNNING" } else { "BROADCAST" },
+        ifc.mtu,
+        ifc.mac
+    );
+    if let (Some(a), Some(m)) = (ifc.addr, ifc.netmask) {
+        out.push_str(&format!("\n\tinet {a} netmask {m}"));
+    }
+    Ok(out)
+}
+
+/// State the `brconfig` interpreter operates on: named bridges plus the
+/// port handles it created (so `delete` can find them).
+#[derive(Default)]
+pub struct BridgeTable {
+    bridges: HashMap<String, Bridge>,
+    ports: HashMap<(String, String), BridgePort>,
+}
+
+impl BridgeTable {
+    /// Creates an empty table.
+    pub fn new() -> BridgeTable {
+        BridgeTable::default()
+    }
+
+    /// Creates a bridge (the kernel attach step; `brconfig` then manages it).
+    pub fn create(&mut self, name: &str) {
+        self.bridges
+            .insert(name.to_string(), Bridge::new(name.to_string()));
+    }
+
+    /// Access to a bridge (for forwarding).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Bridge> {
+        self.bridges.get_mut(name)
+    }
+
+    /// The port handle of a member interface.
+    pub fn port_of(&self, bridge: &str, ifname: &str) -> Option<BridgePort> {
+        self.ports.get(&(bridge.to_string(), ifname.to_string())).copied()
+    }
+}
+
+/// Executes one `brconfig` command line.
+///
+/// Supported forms (clauses may repeat, as in NetBSD):
+/// * `brconfig <bridge>` — show members;
+/// * `brconfig <bridge> add <if> [add <if>…] [up]`;
+/// * `brconfig <bridge> delete <if>`.
+pub fn brconfig(
+    bridges: &mut BridgeTable,
+    ifs: &mut IfTable,
+    line: &str,
+) -> Result<String, UtilError> {
+    let argv: Vec<&str> = line.split_whitespace().collect();
+    let usage = || UtilError::Usage("brconfig <bridge> [add <if>] [delete <if>] [up]".into());
+    if argv.first() != Some(&"brconfig") || argv.len() < 2 {
+        return Err(usage());
+    }
+    let bname = argv[1].to_string();
+    if !bridges.bridges.contains_key(&bname) {
+        return Err(UtilError::NoSuchBridge(bname));
+    }
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i] {
+            "add" => {
+                let ifname = argv.get(i + 1).ok_or_else(usage)?.to_string();
+                if ifs.get(&ifname).is_none() {
+                    return Err(UtilError::NoSuchInterface(ifname));
+                }
+                let key = (bname.clone(), ifname.clone());
+                if bridges.ports.contains_key(&key) {
+                    return Err(UtilError::AlreadyMember(ifname));
+                }
+                let port = bridges
+                    .bridges
+                    .get_mut(&bname)
+                    .expect("checked")
+                    .add_port(&ifname);
+                bridges.ports.insert(key, port);
+                i += 2;
+            }
+            "delete" => {
+                let ifname = argv.get(i + 1).ok_or_else(usage)?.to_string();
+                let key = (bname.clone(), ifname.clone());
+                let port = bridges
+                    .ports
+                    .remove(&key)
+                    .ok_or(UtilError::NoSuchInterface(ifname))?;
+                bridges
+                    .bridges
+                    .get_mut(&bname)
+                    .expect("checked")
+                    .remove_port(port);
+                i += 2;
+            }
+            "up" => {
+                ifs.set_up(&bname, true);
+                i += 1;
+            }
+            other => return Err(UtilError::Usage(format!("brconfig: unknown clause {other}"))),
+        }
+    }
+    let members = bridges.bridges[&bname].members().join(" ");
+    Ok(format!("{bname}: members: {members}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_net::{IfKind, MacAddr};
+
+    fn table() -> IfTable {
+        let mut t = IfTable::new();
+        t.attach("ixg0", IfKind::Physical, MacAddr::local(1));
+        t.attach("vif2.0", IfKind::Vif, MacAddr::local(2));
+        t.attach("bridge0", IfKind::Bridge, MacAddr::ZERO);
+        t
+    }
+
+    #[test]
+    fn ifconfig_assigns_address_and_brings_up() {
+        let mut ifs = table();
+        let out = ifconfig(&mut ifs, "ifconfig ixg0 192.168.1.50 netmask 255.255.255.0 up")
+            .unwrap();
+        assert!(out.contains("inet 192.168.1.50 netmask 255.255.255.0"), "{out}");
+        assert!(out.contains("UP"), "{out}");
+        let i = ifs.get("ixg0").unwrap();
+        assert!(i.up);
+        assert_eq!(i.addr, Some("192.168.1.50".parse().unwrap()));
+    }
+
+    #[test]
+    fn ifconfig_up_down_only() {
+        let mut ifs = table();
+        ifconfig(&mut ifs, "ifconfig vif2.0 up").unwrap();
+        assert!(ifs.get("vif2.0").unwrap().up);
+        ifconfig(&mut ifs, "ifconfig vif2.0 down").unwrap();
+        assert!(!ifs.get("vif2.0").unwrap().up);
+    }
+
+    #[test]
+    fn ifconfig_query_shows_state() {
+        let mut ifs = table();
+        let out = ifconfig(&mut ifs, "ifconfig ixg0").unwrap();
+        assert!(out.starts_with("ixg0: flags="));
+        assert!(out.contains("ether 02:00:00:00:00:01"));
+    }
+
+    #[test]
+    fn ifconfig_errors() {
+        let mut ifs = table();
+        assert_eq!(
+            ifconfig(&mut ifs, "ifconfig nope0 up"),
+            Err(UtilError::NoSuchInterface("nope0".into()))
+        );
+        assert!(matches!(
+            ifconfig(&mut ifs, "ifconfig ixg0 192.168.1.50 up"),
+            Err(UtilError::Usage(_))
+        ));
+        assert!(matches!(
+            ifconfig(&mut ifs, "ifconfig ixg0 10.0.0.1 netmask notamask"),
+            Err(UtilError::Usage(_))
+        ));
+        assert!(matches!(ifconfig(&mut ifs, "ipconfig x"), Err(UtilError::Usage(_))));
+    }
+
+    #[test]
+    fn brconfig_add_up_and_delete() {
+        let mut ifs = table();
+        let mut br = BridgeTable::new();
+        br.create("bridge0");
+        let out =
+            brconfig(&mut br, &mut ifs, "brconfig bridge0 add ixg0 add vif2.0 up").unwrap();
+        assert_eq!(out, "bridge0: members: ixg0 vif2.0");
+        assert!(ifs.get("bridge0").unwrap().up);
+        assert!(br.port_of("bridge0", "vif2.0").is_some());
+
+        let out = brconfig(&mut br, &mut ifs, "brconfig bridge0 delete vif2.0").unwrap();
+        assert_eq!(out, "bridge0: members: ixg0");
+        assert!(br.port_of("bridge0", "vif2.0").is_none());
+    }
+
+    #[test]
+    fn brconfig_errors() {
+        let mut ifs = table();
+        let mut br = BridgeTable::new();
+        br.create("bridge0");
+        assert_eq!(
+            brconfig(&mut br, &mut ifs, "brconfig nope0 add ixg0"),
+            Err(UtilError::NoSuchBridge("nope0".into()))
+        );
+        assert_eq!(
+            brconfig(&mut br, &mut ifs, "brconfig bridge0 add nope0"),
+            Err(UtilError::NoSuchInterface("nope0".into()))
+        );
+        brconfig(&mut br, &mut ifs, "brconfig bridge0 add ixg0").unwrap();
+        assert_eq!(
+            brconfig(&mut br, &mut ifs, "brconfig bridge0 add ixg0"),
+            Err(UtilError::AlreadyMember("ixg0".into()))
+        );
+        assert!(matches!(
+            brconfig(&mut br, &mut ifs, "brconfig bridge0 frobnicate"),
+            Err(UtilError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bridge_forwarding_works_through_brconfig_ports() {
+        let mut ifs = table();
+        let mut br = BridgeTable::new();
+        br.create("bridge0");
+        brconfig(&mut br, &mut ifs, "brconfig bridge0 add ixg0 add vif2.0 up").unwrap();
+        let p_if = br.port_of("bridge0", "ixg0").unwrap();
+        let p_vif = br.port_of("bridge0", "vif2.0").unwrap();
+        let b = br.get_mut("bridge0").unwrap();
+        b.input(p_vif, MacAddr::local(9), MacAddr::BROADCAST, kite_sim::Nanos::ZERO);
+        assert_eq!(
+            b.input(p_if, MacAddr::local(8), MacAddr::local(9), kite_sim::Nanos(1)),
+            kite_net::Forward::Unicast(p_vif)
+        );
+    }
+}

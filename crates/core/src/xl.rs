@@ -1,0 +1,275 @@
+//! A minimal `xl`-style toolstack front end.
+//!
+//! The artifact appendix drives everything through `xl`:
+//! `xl pci-assignable-add`, `xl create -c <cfg>`, `xl list`,
+//! `xl pci-attach`, `xl destroy`. This module interprets those commands
+//! against the simulated hypervisor so the examples and tests can follow
+//! the appendix verbatim. (Kite's whole point is that the *driver domain*
+//! needs none of this machinery — `xl` runs in Dom0.)
+
+use kite_xen::{Bdf, DomainId, DomainKind, Hypervisor, XenError};
+
+use crate::config::{DomainConfig, DriverDomainKind};
+
+/// Toolstack errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XlError {
+    /// Malformed command line.
+    Usage(String),
+    /// Config parse failure.
+    BadConfig(String),
+    /// Named domain not found.
+    NoSuchDomain(String),
+    /// Underlying hypervisor error.
+    Xen(XenError),
+}
+
+impl core::fmt::Display for XlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            XlError::Usage(s) => write!(f, "usage: {s}"),
+            XlError::BadConfig(s) => write!(f, "config: {s}"),
+            XlError::NoSuchDomain(s) => write!(f, "no such domain: {s}"),
+            XlError::Xen(e) => write!(f, "xen: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XlError {}
+
+impl From<XenError> for XlError {
+    fn from(e: XenError) -> XlError {
+        XlError::Xen(e)
+    }
+}
+
+/// One created domain's record.
+#[derive(Clone, Debug)]
+pub struct XlDomain {
+    /// Domain id.
+    pub id: DomainId,
+    /// Name from the config.
+    pub name: String,
+    /// The parsed config (for driver domains).
+    pub config: Option<DomainConfig>,
+}
+
+/// The toolstack's own state (what `xl` remembers between commands).
+#[derive(Default)]
+pub struct Xl {
+    domains: Vec<XlDomain>,
+}
+
+impl Xl {
+    /// Creates a fresh toolstack state.
+    pub fn new() -> Xl {
+        Xl::default()
+    }
+
+    /// Looks a domain up by name or numeric id.
+    pub fn find(&self, name_or_id: &str) -> Option<&XlDomain> {
+        if let Ok(n) = name_or_id.parse::<u16>() {
+            return self.domains.iter().find(|d| d.id.0 == n);
+        }
+        self.domains.iter().find(|d| d.name == name_or_id)
+    }
+
+    /// `xl pci-assignable-add <BDF>`.
+    pub fn pci_assignable_add(&mut self, hv: &mut Hypervisor, bdf: &str) -> Result<(), XlError> {
+        let bdf: Bdf = bdf
+            .parse()
+            .map_err(|_| XlError::Usage("xl pci-assignable-add <bb:dd.f>".into()))?;
+        hv.pci.make_assignable(bdf)?;
+        Ok(())
+    }
+
+    /// `xl create -c <config text>`: creates the domain, assigns its PCI
+    /// device, and registers it with the toolstack.
+    pub fn create(&mut self, hv: &mut Hypervisor, config_text: &str) -> Result<DomainId, XlError> {
+        let cfg = DomainConfig::parse(config_text).map_err(XlError::BadConfig)?;
+        let id = hv.create_domain(
+            cfg.name.clone(),
+            DomainKind::Driver,
+            cfg.memory_mib,
+            cfg.vcpus,
+        );
+        hv.pci.assign(cfg.pci, id)?;
+        self.domains.push(XlDomain {
+            id,
+            name: cfg.name.clone(),
+            config: Some(cfg),
+        });
+        Ok(id)
+    }
+
+    /// Registers an externally created guest so `xl list` shows it.
+    pub fn adopt(&mut self, id: DomainId, name: impl Into<String>) {
+        self.domains.push(XlDomain {
+            id,
+            name: name.into(),
+            config: None,
+        });
+    }
+
+    /// `xl list`: formatted like the real tool.
+    pub fn list(&self, hv: &Hypervisor) -> String {
+        let mut out = String::from("Name                ID   Mem VCPUs\n");
+        out.push_str("Domain-0             0  8192     4\n");
+        for d in &self.domains {
+            if let Ok(dom) = hv.domains.get(d.id) {
+                out.push_str(&format!(
+                    "{:<20}{:>2} {:>5} {:>5}\n",
+                    d.name, d.id.0, dom.mem_mib, dom.vcpus
+                ));
+            }
+        }
+        out
+    }
+
+    /// `xl pci-attach <domain> <BDF>`.
+    pub fn pci_attach(
+        &mut self,
+        hv: &mut Hypervisor,
+        domain: &str,
+        bdf: &str,
+    ) -> Result<(), XlError> {
+        let id = self
+            .find(domain)
+            .map(|d| d.id)
+            .ok_or_else(|| XlError::NoSuchDomain(domain.to_string()))?;
+        let bdf: Bdf = bdf
+            .parse()
+            .map_err(|_| XlError::Usage("xl pci-attach <domain> <bb:dd.f>".into()))?;
+        hv.pci.assign(bdf, id)?;
+        Ok(())
+    }
+
+    /// `xl destroy <domain>`: detaches PCI devices and kills the domain.
+    pub fn destroy(&mut self, hv: &mut Hypervisor, domain: &str) -> Result<(), XlError> {
+        let idx = self
+            .domains
+            .iter()
+            .position(|d| d.name == domain || domain.parse() == Ok(d.id.0))
+            .ok_or_else(|| XlError::NoSuchDomain(domain.to_string()))?;
+        let d = self.domains.remove(idx);
+        let bdfs: Vec<Bdf> = hv.pci.devices_of(d.id).iter().map(|p| p.bdf).collect();
+        for bdf in bdfs {
+            hv.pci.detach(bdf, d.id)?;
+        }
+        hv.domains.destroy(d.id)?;
+        Ok(())
+    }
+
+    /// The kind of driver domain a config created (for orchestration).
+    pub fn kind_of(&self, domain: &str) -> Option<DriverDomainKind> {
+        self.find(domain)?.config.as_ref().map(|c| c.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_xen::{PciClass, PciDevice};
+
+    const KITE_CFG: &str = r#"
+        name = "netbackend"
+        kind = "network"
+        memory = 1024
+        vcpus = 1
+        pci = ["03:00.0,permissive=1"]
+    "#;
+
+    fn machine() -> Hypervisor {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 8192, 4);
+        hv.pci.add_device(PciDevice {
+            bdf: "03:00.0".parse().unwrap(),
+            class: PciClass::Network,
+            name: "Intel 82599ES".into(),
+        });
+        hv.pci.add_device(PciDevice {
+            bdf: "04:00.0".parse().unwrap(),
+            class: PciClass::Nvme,
+            name: "Samsung 970 EVO Plus".into(),
+        });
+        hv
+    }
+
+    #[test]
+    fn artifact_appendix_workflow() {
+        let mut hv = machine();
+        let mut xl = Xl::new();
+        // # xl pci-assignable-add 03:00.0
+        xl.pci_assignable_add(&mut hv, "03:00.0").unwrap();
+        // # xl create -c config/network/kite_dd.cfg
+        let id = xl.create(&mut hv, KITE_CFG).unwrap();
+        assert_eq!(hv.pci.owner("03:00.0".parse().unwrap()), Some(id));
+        // # xl list
+        let listing = xl.list(&hv);
+        assert!(listing.contains("netbackend"), "{listing}");
+        assert!(listing.contains("Domain-0"));
+        // # xl destroy netbackend
+        xl.destroy(&mut hv, "netbackend").unwrap();
+        assert!(!hv.domains.alive(id));
+        assert_eq!(hv.pci.owner("03:00.0".parse().unwrap()), None);
+        assert!(!xl.list(&hv).contains("netbackend"));
+    }
+
+    #[test]
+    fn create_requires_assignable_device() {
+        let mut hv = machine();
+        let mut xl = Xl::new();
+        // Without pci-assignable-add, create fails like the real flow.
+        assert!(matches!(
+            xl.create(&mut hv, KITE_CFG),
+            Err(XlError::Xen(XenError::PciUnavailable))
+        ));
+    }
+
+    #[test]
+    fn pci_attach_post_boot() {
+        // The artifact attaches the NVMe to the storage domain after boot.
+        let mut hv = machine();
+        let mut xl = Xl::new();
+        xl.pci_assignable_add(&mut hv, "03:00.0").unwrap();
+        xl.pci_assignable_add(&mut hv, "04:00.0").unwrap();
+        let id = xl.create(&mut hv, KITE_CFG).unwrap();
+        xl.pci_attach(&mut hv, "netbackend", "04:00.0").unwrap();
+        assert_eq!(hv.pci.owner("04:00.0".parse().unwrap()), Some(id));
+        assert_eq!(hv.pci.devices_of(id).len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name_or_id() {
+        let mut hv = machine();
+        let mut xl = Xl::new();
+        xl.pci_assignable_add(&mut hv, "03:00.0").unwrap();
+        let id = xl.create(&mut hv, KITE_CFG).unwrap();
+        assert_eq!(xl.find("netbackend").unwrap().id, id);
+        assert_eq!(xl.find(&id.0.to_string()).unwrap().name, "netbackend");
+        assert!(xl.find("ghost").is_none());
+        assert_eq!(
+            xl.kind_of("netbackend"),
+            Some(crate::config::DriverDomainKind::Network)
+        );
+    }
+
+    #[test]
+    fn bad_inputs() {
+        let mut hv = machine();
+        let mut xl = Xl::new();
+        assert!(matches!(
+            xl.pci_assignable_add(&mut hv, "zz:00.0"),
+            Err(XlError::Usage(_))
+        ));
+        assert!(matches!(xl.create(&mut hv, "nonsense"), Err(XlError::BadConfig(_))));
+        assert!(matches!(
+            xl.destroy(&mut hv, "ghost"),
+            Err(XlError::NoSuchDomain(_))
+        ));
+        assert!(matches!(
+            xl.pci_attach(&mut hv, "ghost", "03:00.0"),
+            Err(XlError::NoSuchDomain(_))
+        ));
+    }
+}

@@ -1,0 +1,15 @@
+//! Physical device models for the Kite reproduction.
+//!
+//! The paper's testbed exposes two devices to driver domains via PCI
+//! passthrough: an Intel 82599ES 10GbE NIC and a Samsung 970 EVO Plus
+//! NVMe SSD. [`nic::Nic`] and [`nvme::Nvme`] model their timing envelopes
+//! (link-rate serialization, interrupt moderation; channel-parallel flash
+//! with per-command latency) while carrying *real data* — frames are real
+//! bytes, and the SSD stores written sectors sparsely for read-back
+//! verification.
+
+pub mod nic;
+pub mod nvme;
+
+pub use nic::{Nic, RxIrq};
+pub use nvme::{Nvme, NvmeOp, NvmeProfile, SECTOR_SIZE};

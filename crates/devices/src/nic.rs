@@ -1,0 +1,194 @@
+//! A 10GbE NIC model (Intel 82599ES class).
+//!
+//! The transmit side serializes frames onto a [`Link`] after a fixed
+//! per-frame driver/DMA overhead; the receive side queues arriving frames
+//! and moderates interrupts (ITR-style coalescing), which is why a driver
+//! domain sees *batches* of frames per IRQ at high rates — the behaviour
+//! Kite's `soft_start`/`pusher` threads are built around.
+
+use std::collections::VecDeque;
+
+use kite_sim::{Link, Nanos, TxOutcome};
+
+/// Receive-side interrupt decision from [`Nic::rx_enqueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxIrq {
+    /// Deliver an interrupt at the given time.
+    FireAt(Nanos),
+    /// An interrupt is already pending; the frame rides along.
+    AlreadyPending,
+    /// Receive queue overflowed; the frame was dropped.
+    Dropped,
+}
+
+/// The NIC model.
+#[derive(Clone, Debug)]
+pub struct Nic {
+    /// Wire-facing transmit side.
+    pub link: Link,
+    /// Per-frame driver overhead (descriptor write, doorbell, DMA setup).
+    pub per_frame_tx: Nanos,
+    /// Interrupt moderation window (82599 ITR default ≈ 20 µs at 10GbE).
+    pub irq_coalesce: Nanos,
+    /// Receive queue capacity in frames.
+    pub rx_queue_frames: usize,
+    rx_queue: VecDeque<Vec<u8>>,
+    irq_pending: bool,
+    last_irq: Nanos,
+    rx_frames: u64,
+    rx_bytes: u64,
+    rx_dropped: u64,
+}
+
+impl Nic {
+    /// A 10GbE NIC with 82599-like parameters.
+    pub fn ten_gbe() -> Nic {
+        let mut link = Link::ten_gbe();
+        // Driver tx ring + qdisc: sized for TSO-era bursts (BQL keeps the
+        // hardware ring short, but the qdisc absorbs tens of MB).
+        link.queue_bytes = 64 * 1024 * 1024;
+        Nic {
+            link,
+            per_frame_tx: Nanos::from_nanos(250),
+            irq_coalesce: Nanos::from_micros(20),
+            rx_queue_frames: 2048,
+            rx_queue: VecDeque::new(),
+            irq_pending: false,
+            last_irq: Nanos::ZERO,
+            rx_frames: 0,
+            rx_bytes: 0,
+            rx_dropped: 0,
+        }
+    }
+
+    /// Transmits a frame at `now`; returns wire departure/arrival or drop.
+    pub fn transmit(&mut self, now: Nanos, wire_bytes: u64) -> TxOutcome {
+        self.link.transmit(now + self.per_frame_tx, wire_bytes)
+    }
+
+    /// A frame arrived from the wire; queues it and decides on an IRQ.
+    pub fn rx_enqueue(&mut self, now: Nanos, frame: Vec<u8>) -> RxIrq {
+        if self.rx_queue.len() >= self.rx_queue_frames {
+            self.rx_dropped += 1;
+            return RxIrq::Dropped;
+        }
+        self.rx_bytes += frame.len() as u64;
+        self.rx_frames += 1;
+        self.rx_queue.push_back(frame);
+        if self.irq_pending {
+            return RxIrq::AlreadyPending;
+        }
+        self.irq_pending = true;
+        let fire = (self.last_irq + self.irq_coalesce).max(now);
+        RxIrq::FireAt(fire)
+    }
+
+    /// The driver's interrupt handler ran at `now`: drains up to `budget`
+    /// queued frames and re-arms moderation.
+    pub fn drain_rx(&mut self, now: Nanos, budget: usize) -> Vec<Vec<u8>> {
+        self.last_irq = now;
+        self.irq_pending = false;
+        let n = budget.min(self.rx_queue.len());
+        self.rx_queue.drain(..n).collect()
+    }
+
+    /// Frames still queued (driver should poll again before sleeping).
+    pub fn rx_backlog(&self) -> usize {
+        self.rx_queue.len()
+    }
+
+    /// Marks an IRQ as pending without a frame (poll-again path).
+    ///
+    /// Returns when it should fire, or `None` if one is already pending.
+    pub fn rearm_irq(&mut self, now: Nanos) -> Option<Nanos> {
+        if self.rx_queue.is_empty() || self.irq_pending {
+            return None;
+        }
+        self.irq_pending = true;
+        Some((self.last_irq + self.irq_coalesce).max(now))
+    }
+
+    /// Received frame count.
+    pub fn rx_frames(&self) -> u64 {
+        self.rx_frames
+    }
+
+    /// Received byte count.
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx_bytes
+    }
+
+    /// Frames dropped by receive-queue overflow.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_adds_overhead_then_serializes() {
+        let mut nic = Nic::ten_gbe();
+        match nic.transmit(Nanos::ZERO, 1538) {
+            TxOutcome::Sent { departs, .. } => {
+                // 250ns overhead + 1538B at 10Gbps = 1230.4ns.
+                assert_eq!(departs.as_nanos(), 250 + 1230);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_rx_fires_immediately_then_coalesces() {
+        let mut nic = Nic::ten_gbe();
+        let t0 = Nanos::from_micros(100);
+        assert_eq!(nic.rx_enqueue(t0, vec![0; 100]), RxIrq::FireAt(t0));
+        // While pending, more frames ride along.
+        assert_eq!(nic.rx_enqueue(t0, vec![0; 100]), RxIrq::AlreadyPending);
+        // Handler drains both.
+        let frames = nic.drain_rx(t0, 64);
+        assert_eq!(frames.len(), 2);
+        // Next frame soon after is moderated to last_irq + coalesce.
+        let t1 = t0 + Nanos::from_micros(1);
+        assert_eq!(
+            nic.rx_enqueue(t1, vec![0; 100]),
+            RxIrq::FireAt(t0 + Nanos::from_micros(20))
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut nic = Nic::ten_gbe();
+        nic.rx_queue_frames = 2;
+        assert!(matches!(nic.rx_enqueue(Nanos::ZERO, vec![1]), RxIrq::FireAt(_)));
+        assert_eq!(nic.rx_enqueue(Nanos::ZERO, vec![2]), RxIrq::AlreadyPending);
+        assert_eq!(nic.rx_enqueue(Nanos::ZERO, vec![3]), RxIrq::Dropped);
+        assert_eq!(nic.rx_dropped(), 1);
+        assert_eq!(nic.rx_frames(), 2);
+    }
+
+    #[test]
+    fn drain_budget_leaves_backlog_and_rearm_works() {
+        let mut nic = Nic::ten_gbe();
+        let t0 = Nanos::ZERO;
+        for i in 0..10 {
+            nic.rx_enqueue(t0, vec![i]);
+        }
+        let got = nic.drain_rx(t0, 4);
+        assert_eq!(got.len(), 4);
+        assert_eq!(nic.rx_backlog(), 6);
+        // Re-arm schedules a moderated IRQ for the backlog.
+        let fire = nic.rearm_irq(t0).unwrap();
+        assert_eq!(fire, t0 + nic.irq_coalesce);
+        // Double re-arm is suppressed.
+        assert_eq!(nic.rearm_irq(t0), None);
+    }
+
+    #[test]
+    fn rearm_with_empty_queue_is_none() {
+        let mut nic = Nic::ten_gbe();
+        assert_eq!(nic.rearm_irq(Nanos::ZERO), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Netfront: the guest-side PV network driver.
+//!
+//! Allocates the Tx/Rx shared rings and packet buffer pools, grants them to
+//! the driver domain, publishes its details in xenstore and exchanges
+//! frames with netback through the rings — the standard, unmodified guest
+//! driver the paper's DomU runs (its whole point is that frontends need no
+//! changes to talk to a Kite backend).
+
+use std::collections::VecDeque;
+
+use kite_sim::Nanos;
+use kite_xen::netif::{
+    NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse,
+};
+use kite_xen::ring::FrontRing;
+use kite_xen::xenbus::switch_state;
+use kite_xen::{
+    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenbusState, XenError,
+};
+use kite_net::MacAddr;
+
+/// Number of packet buffer pages in each direction's pool.
+const POOL: usize = 256;
+
+struct BufPool {
+    pages: Vec<PageId>,
+    grefs: Vec<GrantRef>,
+    free: Vec<u16>,
+}
+
+impl BufPool {
+    fn alloc_id(&mut self) -> Option<u16> {
+        self.free.pop()
+    }
+    fn release_id(&mut self, id: u16) {
+        debug_assert!(!self.free.contains(&id));
+        self.free.push(id);
+    }
+}
+
+/// Outcome of a frontend operation that may require notifying the backend.
+#[derive(Debug, Default)]
+pub struct FrontOp {
+    /// The backend must be notified via the event channel.
+    pub notify: bool,
+    /// Guest-side CPU cost of the operation.
+    pub cost: Nanos,
+}
+
+/// The netfront driver instance.
+pub struct Netfront {
+    /// Guest domain.
+    pub guest: DomainId,
+    /// Driver domain on the other end.
+    pub backend: DomainId,
+    /// Device index.
+    pub index: u32,
+    /// Guest-local event-channel port.
+    pub evtchn: Port,
+    /// The interface MAC.
+    pub mac: MacAddr,
+    tx: FrontRing<NetifTxRequest, NetifTxResponse>,
+    rx: FrontRing<NetifRxRequest, NetifRxResponse>,
+    tx_page: PageId,
+    rx_page: PageId,
+    tx_pool: BufPool,
+    rx_pool: BufPool,
+    received: VecDeque<Vec<u8>>,
+    tx_dropped: u64,
+}
+
+fn make_pool(hv: &mut Hypervisor, owner: DomainId, peer: DomainId, readonly: bool) -> Result<BufPool> {
+    let mut pages = Vec::with_capacity(POOL);
+    let mut grefs = Vec::with_capacity(POOL);
+    for _ in 0..POOL {
+        let p = hv.alloc_page(owner)?;
+        pages.push(p);
+        grefs.push(hv.grant_access(owner, peer, p, readonly)?);
+    }
+    Ok(BufPool {
+        pages,
+        grefs,
+        free: (0..POOL as u16).rev().collect(),
+    })
+}
+
+impl Netfront {
+    /// Creates the device: allocates rings and pools, grants them, binds
+    /// the event channel, publishes frontend details and flips the state
+    /// to `Initialised`. Also pre-posts the entire Rx buffer pool.
+    pub fn connect(hv: &mut Hypervisor, paths: &DevicePaths, mac: MacAddr) -> Result<Netfront> {
+        let guest = paths.front;
+        let backend = paths.back;
+        let tx_page = hv.alloc_page(guest)?;
+        let rx_page = hv.alloc_page(guest)?;
+        let tx = {
+            let p = hv.mem.page_mut(tx_page)?;
+            FrontRing::init(p)
+        };
+        let rx = {
+            let p = hv.mem.page_mut(rx_page)?;
+            FrontRing::init(p)
+        };
+        let tx_ref = hv.grant_access(guest, backend, tx_page, false)?;
+        let rx_ref = hv.grant_access(guest, backend, rx_page, false)?;
+        // Tx payload pages are read-only to the backend; Rx pages must be
+        // writable (the backend copies into them).
+        let tx_pool = make_pool(hv, guest, backend, true)?;
+        let rx_pool = make_pool(hv, guest, backend, false)?;
+        let (port, _) = hv.evtchn_alloc_unbound(guest, backend);
+        let fe = paths.frontend();
+        hv.store
+            .write(guest, None, &format!("{fe}/tx-ring-ref"), &tx_ref.0.to_string())?;
+        hv.store
+            .write(guest, None, &format!("{fe}/rx-ring-ref"), &rx_ref.0.to_string())?;
+        hv.store
+            .write(guest, None, &format!("{fe}/event-channel"), &port.0.to_string())?;
+        hv.store
+            .write(guest, None, &format!("{fe}/mac"), &mac.to_string())?;
+        switch_state(&mut hv.store, guest, &paths.frontend_state(), XenbusState::Initialised)?;
+        let mut nf = Netfront {
+            guest,
+            backend,
+            index: paths.index,
+            evtchn: port,
+            mac,
+            tx,
+            rx,
+            tx_page,
+            rx_page,
+            tx_pool,
+            rx_pool,
+            received: VecDeque::new(),
+            tx_dropped: 0,
+        };
+        nf.post_rx_buffers(hv)?;
+        Ok(nf)
+    }
+
+    /// Posts every free Rx buffer as a request. Returns whether the
+    /// backend should be notified.
+    pub fn post_rx_buffers(&mut self, hv: &mut Hypervisor) -> Result<bool> {
+        let mut posted = false;
+        while !self.rx.full() {
+            let id = match self.rx_pool.alloc_id() {
+                Some(i) => i,
+                None => break,
+            };
+            let gref = self.rx_pool.grefs[id as usize];
+            let page = hv.mem.page_mut(self.rx_page)?;
+            self.rx
+                .push_request(page, &NetifRxRequest { id, gref })?;
+            posted = true;
+        }
+        if posted {
+            let page = hv.mem.page_mut(self.rx_page)?;
+            Ok(self.rx.push_requests(page))
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Sends one frame. Fails with [`XenError::RingFull`] when no Tx slot
+    /// or buffer is free (UDP workloads count that as a drop).
+    pub fn send(&mut self, hv: &mut Hypervisor, frame: &[u8]) -> Result<FrontOp> {
+        if frame.len() > kite_xen::PAGE_SIZE {
+            return Err(XenError::OutOfBounds);
+        }
+        if self.tx.full() {
+            self.tx_dropped += 1;
+            return Err(XenError::RingFull);
+        }
+        let id = match self.tx_pool.alloc_id() {
+            Some(i) => i,
+            None => {
+                self.tx_dropped += 1;
+                return Err(XenError::RingFull);
+            }
+        };
+        let buf = self.tx_pool.pages[id as usize];
+        hv.mem.page_mut(buf)?[..frame.len()].copy_from_slice(frame);
+        let req = NetifTxRequest {
+            gref: self.tx_pool.grefs[id as usize],
+            offset: 0,
+            flags: 0,
+            id,
+            size: frame.len() as u16,
+        };
+        let page = hv.mem.page_mut(self.tx_page)?;
+        self.tx.push_request(page, &req)?;
+        let notify = self.tx.push_requests(page);
+        Ok(FrontOp {
+            notify,
+            // Guest-side cost: buffer copy + ring bookkeeping.
+            cost: Nanos::from_nanos(150 + frame.len() as u64 / 16),
+        })
+    }
+
+    /// The guest's interrupt handler: reaps Tx completions (freeing
+    /// buffers) and Rx deliveries (queueing frames for the stack), then
+    /// reposts Rx buffers. Returns whether the backend must be notified
+    /// (for the reposted buffers).
+    pub fn on_irq(&mut self, hv: &mut Hypervisor) -> Result<FrontOp> {
+        let mut cost = Nanos::ZERO;
+        // Tx completions.
+        loop {
+            let rsp = {
+                let page = hv.mem.page(self.tx_page)?;
+                self.tx.consume_response(page)?
+            };
+            let Some(rsp) = rsp else { break };
+            self.tx_pool.release_id(rsp.id);
+            cost += Nanos::from_nanos(80);
+        }
+        {
+            let page = hv.mem.page_mut(self.tx_page)?;
+            self.tx.final_check_for_responses(page);
+        }
+        // Rx deliveries.
+        loop {
+            let rsp = {
+                let page = hv.mem.page(self.rx_page)?;
+                self.rx.consume_response(page)?
+            };
+            let Some(rsp) = rsp else { break };
+            if rsp.status > 0 {
+                let len = rsp.status as usize;
+                let buf = self.rx_pool.pages[rsp.id as usize];
+                let data = hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len]
+                    .to_vec();
+                self.received.push_back(data);
+                cost += Nanos::from_nanos(120 + len as u64 / 16);
+            }
+            self.rx_pool.release_id(rsp.id);
+        }
+        {
+            let page = hv.mem.page_mut(self.rx_page)?;
+            self.rx.final_check_for_responses(page);
+        }
+        let notify = self.post_rx_buffers(hv)?;
+        Ok(FrontOp { notify, cost })
+    }
+
+    /// Takes the next received frame, if any.
+    pub fn recv(&mut self) -> Option<Vec<u8>> {
+        self.received.pop_front()
+    }
+
+    /// Frames received and not yet taken.
+    pub fn pending_rx(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Frames dropped at send time for want of ring space.
+    pub fn tx_dropped(&self) -> u64 {
+        self.tx_dropped
+    }
+}

@@ -1,0 +1,192 @@
+//! ARP: IPv4-over-Ethernet address resolution, plus a per-host cache.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use kite_sim::Nanos;
+
+use crate::ether::MacAddr;
+
+/// ARP operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+}
+
+/// A parsed ARP packet (Ethernet/IPv4 flavor only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sha: MacAddr,
+    /// Sender protocol address.
+    pub spa: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub tha: MacAddr,
+    /// Target protocol address.
+    pub tpa: Ipv4Addr,
+}
+
+/// Wire length of an Ethernet/IPv4 ARP packet.
+pub const ARP_LEN: usize = 28;
+
+impl ArpPacket {
+    /// Builds a who-has request.
+    pub fn request(sha: MacAddr, spa: Ipv4Addr, tpa: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sha,
+            spa,
+            tha: MacAddr::ZERO,
+            tpa,
+        }
+    }
+
+    /// Builds the matching is-at reply.
+    pub fn reply_to(&self, mac: MacAddr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sha: mac,
+            spa: self.tpa,
+            tha: self.sha,
+            tpa: self.spa,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ARP_LEN);
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype ipv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(
+            &match self.op {
+                ArpOp::Request => 1u16,
+                ArpOp::Reply => 2u16,
+            }
+            .to_be_bytes(),
+        );
+        out.extend_from_slice(&self.sha.0);
+        out.extend_from_slice(&self.spa.octets());
+        out.extend_from_slice(&self.tha.0);
+        out.extend_from_slice(&self.tpa.octets());
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn decode(bytes: &[u8]) -> Option<ArpPacket> {
+        if bytes.len() < ARP_LEN {
+            return None;
+        }
+        if bytes[0..2] != [0, 1] || bytes[2..4] != [0x08, 0] || bytes[4] != 6 || bytes[5] != 4 {
+            return None;
+        }
+        let op = match u16::from_be_bytes([bytes[6], bytes[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => return None,
+        };
+        Some(ArpPacket {
+            op,
+            sha: MacAddr(bytes[8..14].try_into().ok()?),
+            spa: Ipv4Addr::new(bytes[14], bytes[15], bytes[16], bytes[17]),
+            tha: MacAddr(bytes[18..24].try_into().ok()?),
+            tpa: Ipv4Addr::new(bytes[24], bytes[25], bytes[26], bytes[27]),
+        })
+    }
+}
+
+/// A host's ARP cache with entry timeout.
+#[derive(Clone, Debug)]
+pub struct ArpCache {
+    entries: HashMap<Ipv4Addr, (MacAddr, Nanos)>,
+    /// Entry lifetime.
+    pub timeout: Nanos,
+}
+
+impl ArpCache {
+    /// Creates a cache with the conventional 60 s timeout.
+    pub fn new() -> ArpCache {
+        ArpCache {
+            entries: HashMap::new(),
+            timeout: Nanos::from_secs(60),
+        }
+    }
+
+    /// Learns or refreshes a binding at time `now`.
+    pub fn learn(&mut self, ip: Ipv4Addr, mac: MacAddr, now: Nanos) {
+        self.entries.insert(ip, (mac, now));
+    }
+
+    /// Looks up a live binding.
+    pub fn lookup(&self, ip: Ipv4Addr, now: Nanos) -> Option<MacAddr> {
+        self.entries.get(&ip).and_then(|&(mac, at)| {
+            if now.saturating_sub(at) < self.timeout {
+                Some(mac)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl Default for ArpCache {
+    fn default() -> Self {
+        ArpCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = ArpPacket::request(MacAddr::local(1), ip("10.0.0.1"), ip("10.0.0.2"));
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), ARP_LEN);
+        assert_eq!(ArpPacket::decode(&bytes), Some(req));
+
+        let rep = req.reply_to(MacAddr::local(2));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.spa, ip("10.0.0.2"));
+        assert_eq!(rep.tpa, ip("10.0.0.1"));
+        assert_eq!(rep.tha, MacAddr::local(1));
+        assert_eq!(ArpPacket::decode(&rep.encode()), Some(rep));
+    }
+
+    #[test]
+    fn non_ethernet_ipv4_rejected() {
+        let req = ArpPacket::request(MacAddr::local(1), ip("10.0.0.1"), ip("10.0.0.2"));
+        let mut bytes = req.encode();
+        bytes[1] = 6; // htype = IEEE802
+        assert_eq!(ArpPacket::decode(&bytes), None);
+    }
+
+    #[test]
+    fn cache_learns_and_expires() {
+        let mut c = ArpCache::new();
+        let t0 = Nanos::ZERO;
+        c.learn(ip("10.0.0.2"), MacAddr::local(2), t0);
+        assert_eq!(c.lookup(ip("10.0.0.2"), t0), Some(MacAddr::local(2)));
+        assert_eq!(c.lookup(ip("10.0.0.3"), t0), None);
+        // Expired after the timeout.
+        let later = Nanos::from_secs(61);
+        assert_eq!(c.lookup(ip("10.0.0.2"), later), None);
+        // Refresh resets the clock.
+        c.learn(ip("10.0.0.2"), MacAddr::local(9), later);
+        assert_eq!(
+            c.lookup(ip("10.0.0.2"), later + Nanos::from_secs(59)),
+            Some(MacAddr::local(9))
+        );
+    }
+}

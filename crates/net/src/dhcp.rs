@@ -1,0 +1,301 @@
+//! DHCP wire format (RFC 2131) — full BOOTP framing plus the option TLVs
+//! the daemon-VM experiment needs (§5.5 of the paper: an OpenDHCP-style
+//! server running as a rumprun unikernel, benchmarked with perfdhcp).
+
+use std::net::Ipv4Addr;
+
+use crate::ether::MacAddr;
+
+/// DHCP message types (option 53).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DhcpMessageType {
+    /// Client broadcast looking for servers.
+    Discover,
+    /// Server offer of an address.
+    Offer,
+    /// Client requesting the offered address.
+    Request,
+    /// Client declining.
+    Decline,
+    /// Server acknowledgment (lease granted).
+    Ack,
+    /// Server negative acknowledgment.
+    Nak,
+    /// Client releasing its lease.
+    Release,
+}
+
+impl DhcpMessageType {
+    /// Wire value.
+    pub fn value(self) -> u8 {
+        match self {
+            DhcpMessageType::Discover => 1,
+            DhcpMessageType::Offer => 2,
+            DhcpMessageType::Request => 3,
+            DhcpMessageType::Decline => 4,
+            DhcpMessageType::Ack => 5,
+            DhcpMessageType::Nak => 6,
+            DhcpMessageType::Release => 7,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_value(v: u8) -> Option<DhcpMessageType> {
+        Some(match v {
+            1 => DhcpMessageType::Discover,
+            2 => DhcpMessageType::Offer,
+            3 => DhcpMessageType::Request,
+            4 => DhcpMessageType::Decline,
+            5 => DhcpMessageType::Ack,
+            6 => DhcpMessageType::Nak,
+            7 => DhcpMessageType::Release,
+            _ => return None,
+        })
+    }
+}
+
+/// The RFC 2131 magic cookie preceding options.
+pub const DHCP_MAGIC: [u8; 4] = [0x63, 0x82, 0x53, 0x63];
+/// UDP port the server listens on.
+pub const DHCP_SERVER_PORT: u16 = 67;
+/// UDP port the client listens on.
+pub const DHCP_CLIENT_PORT: u16 = 68;
+/// Fixed BOOTP header length before options.
+pub const BOOTP_LEN: usize = 236;
+
+/// A parsed DHCP message (the fields this reproduction uses).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DhcpMessage {
+    /// Message type (option 53).
+    pub msg_type: DhcpMessageType,
+    /// Transaction id chosen by the client.
+    pub xid: u32,
+    /// Client's current address (`ciaddr`).
+    pub ciaddr: Ipv4Addr,
+    /// "Your" address offered/assigned by the server (`yiaddr`).
+    pub yiaddr: Ipv4Addr,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// Requested IP (option 50), if present.
+    pub requested_ip: Option<Ipv4Addr>,
+    /// Server identifier (option 54), if present.
+    pub server_id: Option<Ipv4Addr>,
+    /// Lease time in seconds (option 51), if present.
+    pub lease_secs: Option<u32>,
+    /// Subnet mask (option 1), if present.
+    pub subnet_mask: Option<Ipv4Addr>,
+    /// Default router (option 3), if present.
+    pub router: Option<Ipv4Addr>,
+}
+
+impl DhcpMessage {
+    /// A minimal client message of the given type.
+    pub fn client(msg_type: DhcpMessageType, xid: u32, chaddr: MacAddr) -> DhcpMessage {
+        DhcpMessage {
+            msg_type,
+            xid,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr,
+            requested_ip: None,
+            server_id: None,
+            lease_secs: None,
+            subnet_mask: None,
+            router: None,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; BOOTP_LEN];
+        let is_reply = matches!(
+            self.msg_type,
+            DhcpMessageType::Offer | DhcpMessageType::Ack | DhcpMessageType::Nak
+        );
+        out[0] = if is_reply { 2 } else { 1 }; // op
+        out[1] = 1; // htype ethernet
+        out[2] = 6; // hlen
+        out[4..8].copy_from_slice(&self.xid.to_be_bytes());
+        out[12..16].copy_from_slice(&self.ciaddr.octets());
+        out[16..20].copy_from_slice(&self.yiaddr.octets());
+        out[28..34].copy_from_slice(&self.chaddr.0);
+        out.extend_from_slice(&DHCP_MAGIC);
+        out.extend_from_slice(&[53, 1, self.msg_type.value()]);
+        if let Some(ip) = self.requested_ip {
+            out.push(50);
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+        }
+        if let Some(ip) = self.server_id {
+            out.push(54);
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+        }
+        if let Some(t) = self.lease_secs {
+            out.push(51);
+            out.push(4);
+            out.extend_from_slice(&t.to_be_bytes());
+        }
+        if let Some(ip) = self.subnet_mask {
+            out.push(1);
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+        }
+        if let Some(ip) = self.router {
+            out.push(3);
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+        }
+        out.push(255);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn decode(bytes: &[u8]) -> Option<DhcpMessage> {
+        if bytes.len() < BOOTP_LEN + 4 {
+            return None;
+        }
+        if bytes[BOOTP_LEN..BOOTP_LEN + 4] != DHCP_MAGIC {
+            return None;
+        }
+        let xid = u32::from_be_bytes(bytes[4..8].try_into().ok()?);
+        let ciaddr = Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]);
+        let yiaddr = Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]);
+        let chaddr = MacAddr(bytes[28..34].try_into().ok()?);
+        let mut msg_type = None;
+        let mut requested_ip = None;
+        let mut server_id = None;
+        let mut lease_secs = None;
+        let mut subnet_mask = None;
+        let mut router = None;
+        let mut i = BOOTP_LEN + 4;
+        while i < bytes.len() {
+            let code = bytes[i];
+            if code == 255 {
+                break;
+            }
+            if code == 0 {
+                i += 1;
+                continue;
+            }
+            if i + 1 >= bytes.len() {
+                return None;
+            }
+            let len = bytes[i + 1] as usize;
+            if i + 2 + len > bytes.len() {
+                return None;
+            }
+            let val = &bytes[i + 2..i + 2 + len];
+            let as_ip = |v: &[u8]| -> Option<Ipv4Addr> {
+                if v.len() == 4 {
+                    Some(Ipv4Addr::new(v[0], v[1], v[2], v[3]))
+                } else {
+                    None
+                }
+            };
+            match code {
+                53 if len == 1 => msg_type = DhcpMessageType::from_value(val[0]),
+                50 => requested_ip = as_ip(val),
+                54 => server_id = as_ip(val),
+                51 if len == 4 => {
+                    lease_secs = Some(u32::from_be_bytes(val.try_into().ok()?))
+                }
+                1 => subnet_mask = as_ip(val),
+                3 => router = as_ip(val),
+                _ => {}
+            }
+            i += 2 + len;
+        }
+        Some(DhcpMessage {
+            msg_type: msg_type?,
+            xid,
+            ciaddr,
+            yiaddr,
+            chaddr,
+            requested_ip,
+            server_id,
+            lease_secs,
+            subnet_mask,
+            router,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn discover_roundtrip() {
+        let d = DhcpMessage::client(DhcpMessageType::Discover, 0xdead_beef, MacAddr::local(7));
+        let bytes = d.encode();
+        assert_eq!(DhcpMessage::decode(&bytes), Some(d));
+    }
+
+    #[test]
+    fn offer_with_all_options_roundtrip() {
+        let mut m = DhcpMessage::client(DhcpMessageType::Offer, 42, MacAddr::local(1));
+        m.yiaddr = ip("10.0.0.100");
+        m.server_id = Some(ip("10.0.0.1"));
+        m.lease_secs = Some(86400);
+        m.subnet_mask = Some(ip("255.255.255.0"));
+        m.router = Some(ip("10.0.0.1"));
+        let bytes = m.encode();
+        assert_eq!(DhcpMessage::decode(&bytes), Some(m.clone()));
+        // Replies carry op=2.
+        assert_eq!(bytes[0], 2);
+    }
+
+    #[test]
+    fn request_carries_requested_ip() {
+        let mut m = DhcpMessage::client(DhcpMessageType::Request, 42, MacAddr::local(1));
+        m.requested_ip = Some(ip("10.0.0.100"));
+        m.server_id = Some(ip("10.0.0.1"));
+        let bytes = m.encode();
+        assert_eq!(bytes[0], 1, "requests carry op=1");
+        let back = DhcpMessage::decode(&bytes).unwrap();
+        assert_eq!(back.requested_ip, Some(ip("10.0.0.100")));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let d = DhcpMessage::client(DhcpMessageType::Discover, 1, MacAddr::local(1));
+        let mut bytes = d.encode();
+        bytes[BOOTP_LEN] = 0;
+        assert_eq!(DhcpMessage::decode(&bytes), None);
+    }
+
+    #[test]
+    fn truncated_option_rejected() {
+        let d = DhcpMessage::client(DhcpMessageType::Discover, 1, MacAddr::local(1));
+        let mut bytes = d.encode();
+        // Remove the end marker and add a length running past the end.
+        bytes.pop();
+        bytes.push(50);
+        bytes.push(40);
+        assert_eq!(DhcpMessage::decode(&bytes), None);
+    }
+
+    #[test]
+    fn missing_message_type_rejected() {
+        let mut bytes = vec![0u8; BOOTP_LEN];
+        bytes[0] = 1;
+        bytes.extend_from_slice(&DHCP_MAGIC);
+        bytes.push(255);
+        assert_eq!(DhcpMessage::decode(&bytes), None);
+    }
+
+    #[test]
+    fn pad_options_skipped() {
+        let d = DhcpMessage::client(DhcpMessageType::Discover, 9, MacAddr::local(2));
+        let mut bytes = d.encode();
+        let end = bytes.pop().unwrap();
+        bytes.extend_from_slice(&[0, 0, 0]); // pad
+        bytes.push(end);
+        assert_eq!(DhcpMessage::decode(&bytes).unwrap().xid, 9);
+    }
+}

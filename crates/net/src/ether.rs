@@ -1,0 +1,197 @@
+//! Ethernet II framing.
+
+use core::fmt;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (unset).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Locally administered unicast address derived from a small id —
+    /// handy for deterministic scenario construction.
+    pub fn local(id: u32) -> MacAddr {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values used by the reproduction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Anything else.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The wire value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_value(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// Length of the Ethernet II header.
+pub const ETH_HEADER_LEN: usize = 14;
+/// Standard Ethernet MTU (payload bytes).
+pub const ETH_MTU: usize = 1500;
+/// Per-frame wire overhead beyond the header+payload: preamble (8) +
+/// FCS (4) + inter-frame gap (12).
+pub const ETH_WIRE_OVERHEAD: usize = 24;
+
+/// A parsed Ethernet frame (borrowing nothing; payload owned).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl EthernetFrame {
+    /// Builds a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Serializes into wire bytes (header + payload, no FCS).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ETH_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.value().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn decode(bytes: &[u8]) -> Option<EthernetFrame> {
+        if bytes.len() < ETH_HEADER_LEN {
+            return None;
+        }
+        Some(EthernetFrame {
+            dst: MacAddr(bytes[0..6].try_into().ok()?),
+            src: MacAddr(bytes[6..12].try_into().ok()?),
+            ethertype: EtherType::from_value(u16::from_be_bytes([bytes[12], bytes[13]])),
+            payload: bytes[ETH_HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Total bytes this frame occupies on the wire, including preamble,
+    /// FCS, inter-frame gap and minimum-frame padding.
+    pub fn wire_len(&self) -> usize {
+        let body = (ETH_HEADER_LEN + self.payload.len()).max(60);
+        body + ETH_WIRE_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_flags() {
+        let m = MacAddr([0x02, 0, 0, 0, 0, 0x2a]);
+        assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+        assert!(!m.is_multicast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn local_macs_unique_and_unicast() {
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = EthernetFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            EtherType::Ipv4,
+            b"hello world".to_vec(),
+        );
+        let bytes = f.encode();
+        assert_eq!(EthernetFrame::decode(&bytes), Some(f));
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(EthernetFrame::decode(&[0u8; 13]), None);
+    }
+
+    #[test]
+    fn ethertype_values() {
+        assert_eq!(EtherType::Ipv4.value(), 0x0800);
+        assert_eq!(EtherType::from_value(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_value(0x86dd), EtherType::Other(0x86dd));
+    }
+
+    #[test]
+    fn wire_len_includes_overhead_and_min_frame() {
+        // Tiny payload pads to 60 + 24 overhead.
+        let f = EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::Ipv4, vec![0; 10]);
+        assert_eq!(f.wire_len(), 84);
+        // Full MTU: 14 + 1500 + 24.
+        let f = EthernetFrame::new(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            EtherType::Ipv4,
+            vec![0; ETH_MTU],
+        );
+        assert_eq!(f.wire_len(), 1538);
+    }
+}

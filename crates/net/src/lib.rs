@@ -1,0 +1,38 @@
+//! Network substrate for the Kite reproduction: real packet codecs and the
+//! forwarding machinery a network driver domain is made of.
+//!
+//! Everything on the simulated wire is real bytes — Ethernet frames carry
+//! IPv4/ARP payloads with valid checksums, verified end-to-end by the
+//! integration tests. Modules:
+//!
+//! * [`ether`] — Ethernet II framing, MAC addresses, wire-length model;
+//! * [`arp`] — ARP codec + per-host cache with timeout;
+//! * [`ipv4`] / [`icmp`] / [`udp`] / [`tcp`] — protocol codecs with RFC 1071
+//!   checksums ([`checksum`]);
+//! * [`bridge`] — the learning bridge Kite's network application manages;
+//! * [`nat`] — source NAT, the alternative VIF-to-NIC linking technique;
+//! * [`dhcp`] — RFC 2131 wire format for the daemon-VM experiment;
+//! * [`iface`] — the interface table `ifconfig`/`brconfig` operate on.
+
+pub mod arp;
+pub mod bridge;
+pub mod checksum;
+pub mod dhcp;
+pub mod ether;
+pub mod icmp;
+pub mod iface;
+pub mod ipv4;
+pub mod nat;
+pub mod tcp;
+pub mod udp;
+
+pub use arp::{ArpCache, ArpOp, ArpPacket};
+pub use bridge::{Bridge, BridgePort, Forward};
+pub use dhcp::{DhcpMessage, DhcpMessageType};
+pub use ether::{EtherType, EthernetFrame, MacAddr, ETH_MTU};
+pub use icmp::IcmpMessage;
+pub use iface::{IfKind, IfTable, Interface};
+pub use ipv4::{IpProto, Ipv4Packet};
+pub use nat::{Endpoint, Nat};
+pub use tcp::{SlidingWindow, TcpSegment};
+pub use udp::UdpDatagram;

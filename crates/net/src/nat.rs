@@ -1,0 +1,129 @@
+//! Source NAT: the alternative to bridging for linking VIFs to the NIC.
+//!
+//! The paper mentions NAT alongside bridging as a netback-to-NIC linking
+//! technique. This is a classic endpoint-independent SNAT: outbound flows
+//! get an external port on the gateway address; inbound packets to that
+//! port are rewritten back.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::ipv4::IpProto;
+
+/// A transport endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Transport port.
+    pub port: u16,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct FlowKey {
+    proto: u8,
+    inside: Endpoint,
+}
+
+/// A SNAT table translating inside endpoints to gateway ports.
+#[derive(Clone, Debug)]
+pub struct Nat {
+    /// The external (gateway) address packets are rewritten to.
+    pub external_ip: Ipv4Addr,
+    next_port: u16,
+    out: HashMap<FlowKey, u16>,
+    back: HashMap<(u8, u16), Endpoint>,
+}
+
+impl Nat {
+    /// First external port handed out.
+    pub const PORT_BASE: u16 = 20000;
+
+    /// Creates a NAT in front of `external_ip`.
+    pub fn new(external_ip: Ipv4Addr) -> Nat {
+        Nat {
+            external_ip,
+            next_port: Self::PORT_BASE,
+            out: HashMap::new(),
+            back: HashMap::new(),
+        }
+    }
+
+    /// Translates an outbound packet's source; returns the external
+    /// endpoint to rewrite it to.
+    pub fn translate_out(&mut self, proto: IpProto, inside: Endpoint) -> Endpoint {
+        let key = FlowKey {
+            proto: proto.value(),
+            inside,
+        };
+        let port = *self.out.entry(key).or_insert_with(|| {
+            let p = self.next_port;
+            self.next_port = self.next_port.wrapping_add(1).max(Self::PORT_BASE);
+            self.back.insert((proto.value(), p), inside);
+            p
+        });
+        Endpoint {
+            ip: self.external_ip,
+            port,
+        }
+    }
+
+    /// Translates an inbound packet's destination back to the inside
+    /// endpoint, or `None` when no flow matches (unsolicited — dropped).
+    pub fn translate_in(&self, proto: IpProto, dst_port: u16) -> Option<Endpoint> {
+        self.back.get(&(proto.value(), dst_port)).copied()
+    }
+
+    /// Active flow count.
+    pub fn flows(&self) -> usize {
+        self.out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(ip: &str, port: u16) -> Endpoint {
+        Endpoint {
+            ip: ip.parse().unwrap(),
+            port,
+        }
+    }
+
+    #[test]
+    fn outbound_maps_and_inbound_reverses() {
+        let mut nat = Nat::new("192.168.1.50".parse().unwrap());
+        let inside = ep("10.0.0.5", 43210);
+        let outside = nat.translate_out(IpProto::Tcp, inside);
+        assert_eq!(outside.ip, "192.168.1.50".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(nat.translate_in(IpProto::Tcp, outside.port), Some(inside));
+    }
+
+    #[test]
+    fn same_flow_reuses_mapping() {
+        let mut nat = Nat::new("192.168.1.50".parse().unwrap());
+        let inside = ep("10.0.0.5", 43210);
+        let a = nat.translate_out(IpProto::Udp, inside);
+        let b = nat.translate_out(IpProto::Udp, inside);
+        assert_eq!(a, b);
+        assert_eq!(nat.flows(), 1);
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let mut nat = Nat::new("192.168.1.50".parse().unwrap());
+        let a = nat.translate_out(IpProto::Tcp, ep("10.0.0.5", 1000));
+        let b = nat.translate_out(IpProto::Tcp, ep("10.0.0.6", 1000));
+        let c = nat.translate_out(IpProto::Udp, ep("10.0.0.5", 1000));
+        assert_ne!(a.port, b.port);
+        assert_ne!(a.port, c.port);
+        assert_eq!(nat.flows(), 3);
+    }
+
+    #[test]
+    fn unsolicited_inbound_dropped() {
+        let nat = Nat::new("192.168.1.50".parse().unwrap());
+        assert_eq!(nat.translate_in(IpProto::Tcp, 12345), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! TCP: header codec plus a window-limited flow model.
+//!
+//! The macro-benchmarks (Apache, Redis, MySQL) run over TCP in the paper.
+//! We encode real TCP headers on the wire but model the transport as a
+//! sliding window over a reliable substrate (the simulated datacenter link
+//! is lossless once past the NIC queue), which captures what matters to the
+//! figures: per-segment costs through the netback path, MSS segmentation,
+//! and window-bounded bytes in flight.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+
+/// Length of the option-less TCP header.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+pub mod flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A parsed TCP segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Advertised receive window.
+    pub window: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Serializes with a pseudo-header checksum.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = TCP_HEADER_LEN + self.payload.len();
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(((TCP_HEADER_LEN / 4) as u8) << 4);
+        out.push(self.flags);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        out.extend_from_slice(&self.payload);
+        let mut acc = checksum::pseudo_header_sum(src, dst, 6, len as u16);
+        acc = checksum::sum(&out, acc);
+        let c = checksum::finish(acc);
+        out[16..18].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    /// Parses and verifies.
+    pub fn decode(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Option<TcpSegment> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return None;
+        }
+        let data_off = ((bytes[12] >> 4) as usize) * 4;
+        if data_off < TCP_HEADER_LEN || data_off > bytes.len() {
+            return None;
+        }
+        let acc = checksum::pseudo_header_sum(src, dst, 6, bytes.len() as u16);
+        if checksum::finish(checksum::sum(bytes, acc)) != 0 {
+            return None;
+        }
+        Some(TcpSegment {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes(bytes[4..8].try_into().ok()?),
+            ack: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
+            flags: bytes[13],
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            payload: bytes[data_off..].to_vec(),
+        })
+    }
+}
+
+/// A one-direction sliding-window sender model.
+///
+/// Tracks bytes in flight against a window; the caller segments at `mss`
+/// and acknowledges as the receiver drains. This is deliberately simpler
+/// than full TCP — loss recovery never triggers on the lossless simulated
+/// path — but it bounds in-flight data exactly the way a real connection's
+/// receive window does.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    /// Maximum segment size.
+    pub mss: usize,
+    /// Window size in bytes.
+    pub window: usize,
+    sent: u64,
+    acked: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a flow with the given MSS and window.
+    pub fn new(mss: usize, window: usize) -> SlidingWindow {
+        SlidingWindow {
+            mss,
+            window,
+            sent: 0,
+            acked: 0,
+        }
+    }
+
+    /// Bytes currently unacknowledged.
+    pub fn in_flight(&self) -> usize {
+        (self.sent - self.acked) as usize
+    }
+
+    /// How many bytes may be sent right now.
+    pub fn sendable(&self) -> usize {
+        self.window.saturating_sub(self.in_flight())
+    }
+
+    /// Largest segment that may be sent now (capped at MSS).
+    pub fn next_segment(&self, remaining: usize) -> usize {
+        remaining.min(self.mss).min(self.sendable())
+    }
+
+    /// Records `n` bytes sent.
+    pub fn on_send(&mut self, n: usize) {
+        debug_assert!(n <= self.sendable());
+        self.sent += n as u64;
+    }
+
+    /// Records `n` bytes acknowledged.
+    pub fn on_ack(&mut self, n: usize) {
+        self.acked = (self.acked + n as u64).min(self.sent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let s = TcpSegment {
+            src_port: 43210,
+            dst_port: 80,
+            seq: 0xdeadbeef,
+            ack: 0x01020304,
+            flags: flags::ACK | flags::PSH,
+            window: 65535,
+            payload: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        };
+        let bytes = s.encode(ip("10.0.0.2"), ip("10.0.0.1"));
+        assert_eq!(TcpSegment::decode(&bytes, ip("10.0.0.2"), ip("10.0.0.1")), Some(s));
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let s = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: flags::SYN,
+            window: 1000,
+            payload: vec![],
+        };
+        let bytes = s.encode(ip("10.0.0.2"), ip("10.0.0.1"));
+        assert_eq!(TcpSegment::decode(&bytes, ip("10.0.0.3"), ip("10.0.0.1")), None);
+    }
+
+    #[test]
+    fn window_bounds_in_flight() {
+        let mut w = SlidingWindow::new(1460, 4 * 1460);
+        assert_eq!(w.next_segment(100_000), 1460);
+        for _ in 0..4 {
+            let n = w.next_segment(100_000);
+            w.on_send(n);
+        }
+        assert_eq!(w.sendable(), 0);
+        assert_eq!(w.next_segment(100_000), 0);
+        w.on_ack(1460);
+        assert_eq!(w.sendable(), 1460);
+        assert_eq!(w.in_flight(), 3 * 1460);
+    }
+
+    #[test]
+    fn short_tail_segment() {
+        let w = SlidingWindow::new(1460, 100_000);
+        assert_eq!(w.next_segment(100), 100);
+    }
+
+    #[test]
+    fn over_ack_clamped() {
+        let mut w = SlidingWindow::new(1000, 5000);
+        w.on_send(500);
+        w.on_ack(9999);
+        assert_eq!(w.in_flight(), 0);
+    }
+}

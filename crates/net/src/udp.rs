@@ -1,0 +1,126 @@
+//! UDP datagram encoding with pseudo-header checksums.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+
+/// Length of the UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Builds a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> UdpDatagram {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Serializes with a checksum over the IPv4 pseudo-header.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = (UDP_HEADER_LEN + self.payload.len()) as u16;
+        let mut out = Vec::with_capacity(len as usize);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.payload);
+        let mut acc = checksum::pseudo_header_sum(src, dst, 17, len);
+        acc = checksum::sum(&out, acc);
+        let mut c = checksum::finish(acc);
+        if c == 0 {
+            c = 0xffff; // RFC 768: transmitted-zero means "no checksum"
+        }
+        out[6..8].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    /// Parses and verifies (when a checksum is present).
+    pub fn decode(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Option<UdpDatagram> {
+        if bytes.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+        if len < UDP_HEADER_LEN || len > bytes.len() {
+            return None;
+        }
+        let wire_sum = u16::from_be_bytes([bytes[6], bytes[7]]);
+        if wire_sum != 0 {
+            let acc = checksum::pseudo_header_sum(src, dst, 17, len as u16);
+            if checksum::finish(checksum::sum(&bytes[..len], acc)) != 0 {
+                return None;
+            }
+        }
+        Some(UdpDatagram {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            payload: bytes[UDP_HEADER_LEN..len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let d = UdpDatagram::new(5001, 5201, b"nuttcp payload".to_vec());
+        let bytes = d.encode(ip("10.0.0.5"), ip("10.0.0.9"));
+        assert_eq!(
+            UdpDatagram::decode(&bytes, ip("10.0.0.5"), ip("10.0.0.9")),
+            Some(d)
+        );
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let d = UdpDatagram::new(1, 2, vec![9; 64]);
+        let mut bytes = d.encode(ip("10.0.0.5"), ip("10.0.0.9"));
+        bytes[20] ^= 0xff;
+        assert_eq!(UdpDatagram::decode(&bytes, ip("10.0.0.5"), ip("10.0.0.9")), None);
+    }
+
+    #[test]
+    fn wrong_pseudo_header_detected() {
+        let d = UdpDatagram::new(1, 2, vec![9; 16]);
+        let bytes = d.encode(ip("10.0.0.5"), ip("10.0.0.9"));
+        // NAT rewrote the source without fixing the checksum.
+        assert_eq!(UdpDatagram::decode(&bytes, ip("10.0.0.6"), ip("10.0.0.9")), None);
+    }
+
+    #[test]
+    fn trailing_ethernet_padding_ignored() {
+        let d = UdpDatagram::new(1, 2, vec![3; 4]);
+        let mut bytes = d.encode(ip("10.0.0.5"), ip("10.0.0.9"));
+        bytes.extend_from_slice(&[0; 30]);
+        let q = UdpDatagram::decode(&bytes, ip("10.0.0.5"), ip("10.0.0.9")).unwrap();
+        assert_eq!(q.payload, vec![3; 4]);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let d = UdpDatagram::new(68, 67, Vec::new());
+        let bytes = d.encode(ip("0.0.0.0"), ip("255.255.255.255"));
+        assert_eq!(
+            UdpDatagram::decode(&bytes, ip("0.0.0.0"), ip("255.255.255.255")),
+            Some(d)
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Unikernel image composition and size model.
+//!
+//! A Kite VM image is a static link of exactly the components one driver
+//! domain needs — the paper's Figure 4b measures the result at roughly a
+//! tenth of a Linux kernel + modules. The builder below assembles images
+//! from a component catalog, accumulating both bytes and the syscall
+//! surface each component pulls in.
+
+use crate::syscalls::SyscallSet;
+
+/// What layer of the rumprun stack a component belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ComponentKind {
+    /// Bare-metal kernel layer (threads, MM, interrupts, Xen interface).
+    Bmk,
+    /// Rump kernel base (allocation, locking, vfs core).
+    RumpBase,
+    /// A rump kernel faction (net, block/vnode).
+    Faction,
+    /// A physical device driver reused from NetBSD.
+    Driver,
+    /// A library (libc, TCP/IP stack, …).
+    Library,
+    /// Kite's own additions (backends, xenbus/xenstore, apps).
+    Kite,
+}
+
+/// One linkable component.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Name, e.g. `netback`, `ixg(4)`.
+    pub name: &'static str,
+    /// Stack layer.
+    pub kind: ComponentKind,
+    /// Contribution to the image in bytes.
+    pub size_bytes: u64,
+    /// Syscalls this component requires to be kept.
+    pub syscalls: SyscallSet,
+}
+
+impl Component {
+    /// A component with no syscall requirements.
+    pub fn new(name: &'static str, kind: ComponentKind, size_bytes: u64) -> Component {
+        Component {
+            name,
+            kind,
+            size_bytes,
+            syscalls: SyscallSet::default(),
+        }
+    }
+
+    /// Attaches syscall requirements.
+    pub fn with_syscalls(mut self, set: SyscallSet) -> Component {
+        self.syscalls = set;
+        self
+    }
+}
+
+/// A finished image.
+#[derive(Clone, Debug)]
+pub struct Image {
+    /// Image name (`netbackend`, `blkbackend`, `dhcpd`).
+    pub name: String,
+    /// Included components.
+    pub components: Vec<Component>,
+    /// Total size in bytes.
+    pub total_bytes: u64,
+    /// Linked-in syscall surface (everything else was discarded).
+    pub syscalls: SyscallSet,
+}
+
+/// Accumulates components into an [`Image`].
+#[derive(Default)]
+pub struct ImageBuilder {
+    name: String,
+    components: Vec<Component>,
+}
+
+impl ImageBuilder {
+    /// Starts an image.
+    pub fn new(name: impl Into<String>) -> ImageBuilder {
+        ImageBuilder {
+            name: name.into(),
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds a component.
+    pub fn component(mut self, c: Component) -> ImageBuilder {
+        self.components.push(c);
+        self
+    }
+
+    /// Links the image.
+    pub fn build(self) -> Image {
+        let total_bytes = self.components.iter().map(|c| c.size_bytes).sum();
+        let syscalls = self
+            .components
+            .iter()
+            .fold(SyscallSet::default(), |acc, c| acc.union(&c.syscalls));
+        Image {
+            name: self.name,
+            components: self.components,
+            total_bytes,
+            syscalls,
+        }
+    }
+}
+
+const MIB: u64 = 1024 * 1024;
+const KIB: u64 = 1024;
+
+fn base_components() -> Vec<Component> {
+    vec![
+        Component::new("bmk-core", ComponentKind::Bmk, 1536 * KIB),
+        Component::new("xen-interface", ComponentKind::Bmk, 512 * KIB),
+        Component::new("rump-base", ComponentKind::RumpBase, 2 * MIB),
+        Component::new("rumpuser", ComponentKind::RumpBase, 256 * KIB),
+        Component::new("libc", ComponentKind::Library, 1792 * KIB),
+        Component::new("xenbus+xenstore (HVM ext)", ComponentKind::Kite, 60 * KIB),
+    ]
+}
+
+/// The Kite **network** driver-domain image (≈21 MiB, per Figure 4b).
+pub fn kite_network_image() -> Image {
+    let mut b = ImageBuilder::new("netbackend");
+    for c in base_components() {
+        b = b.component(c);
+    }
+    b.component(Component::new("net-faction", ComponentKind::Faction, 3 * MIB))
+        .component(Component::new("tcpip-stack", ComponentKind::Library, 2560 * KIB))
+        .component(Component::new("bpf+if-framework", ComponentKind::Faction, 1536 * KIB))
+        .component(
+            Component::new("ixg(4) 82599 driver", ComponentKind::Driver, 6 * MIB)
+                .with_syscalls(crate::syscalls::kite_network_syscalls()),
+        )
+        .component(Component::new("bridge(4)", ComponentKind::Driver, 1 * MIB))
+        .component(Component::new("netback", ComponentKind::Kite, 140 * KIB))
+        .component(Component::new("bridging app + ifconfig/brconfig", ComponentKind::Kite, 512 * KIB))
+        .component(Component::new("pci+intr glue", ComponentKind::Driver, 1 * MIB))
+        .build()
+}
+
+/// The Kite **storage** driver-domain image (≈20 MiB).
+pub fn kite_storage_image() -> Image {
+    let mut b = ImageBuilder::new("blkbackend");
+    for c in base_components() {
+        b = b.component(c);
+    }
+    b.component(Component::new("block-faction (vnode)", ComponentKind::Faction, 2560 * KIB))
+        .component(Component::new("vfs core", ComponentKind::RumpBase, 2 * MIB))
+        .component(
+            Component::new("nvme(4) driver", ComponentKind::Driver, 5 * MIB)
+                .with_syscalls(crate::syscalls::kite_storage_syscalls()),
+        )
+        .component(Component::new("blkback", ComponentKind::Kite, 96 * KIB))
+        .component(Component::new("block status app", ComponentKind::Kite, 384 * KIB))
+        .component(Component::new("pci+intr glue", ComponentKind::Driver, 1 * MIB))
+        .component(Component::new("scsipi compat", ComponentKind::Driver, 1536 * KIB))
+        .build()
+}
+
+/// The unikernelized OpenDHCP daemon-VM image (§5.5; 16 LoC of changes in
+/// the paper — the image is just rumprun + sockets + the server).
+pub fn kite_dhcpd_image() -> Image {
+    let mut b = ImageBuilder::new("dhcpd");
+    for c in base_components() {
+        b = b.component(c);
+    }
+    b.component(Component::new("net-faction", ComponentKind::Faction, 3 * MIB))
+        .component(Component::new("tcpip-stack", ComponentKind::Library, 2560 * KIB))
+        .component(
+            Component::new("opendhcp server", ComponentKind::Kite, 640 * KIB)
+                .with_syscalls(crate::syscalls::kite_dhcpd_syscalls()),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_image_size_in_paper_range() {
+        let img = kite_network_image();
+        let mib = img.total_bytes as f64 / MIB as f64;
+        // Paper: "entire rumprun OS image is ≈22MB".
+        assert!((18.0..24.0).contains(&mib), "network image = {mib:.1} MiB");
+    }
+
+    #[test]
+    fn storage_image_size_in_paper_range() {
+        let img = kite_storage_image();
+        let mib = img.total_bytes as f64 / MIB as f64;
+        assert!((16.0..24.0).contains(&mib), "storage image = {mib:.1} MiB");
+    }
+
+    #[test]
+    fn syscall_surfaces_match_fig4a() {
+        assert_eq!(kite_network_image().syscalls.len(), 14);
+        assert_eq!(kite_storage_image().syscalls.len(), 18);
+    }
+
+    #[test]
+    fn network_image_has_no_block_driver() {
+        let img = kite_network_image();
+        assert!(img.components.iter().all(|c| c.name != "nvme(4) driver"));
+        assert!(img.components.iter().any(|c| c.name == "netback"));
+    }
+
+    #[test]
+    fn storage_image_has_no_netback() {
+        let img = kite_storage_image();
+        assert!(img.components.iter().all(|c| c.name != "netback"));
+        assert!(img.components.iter().any(|c| c.name == "blkback"));
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let img = ImageBuilder::new("t")
+            .component(Component::new("a", ComponentKind::Bmk, 100))
+            .component(
+                Component::new("b", ComponentKind::Kite, 50)
+                    .with_syscalls(SyscallSet::from_names(&["read"])),
+            )
+            .build();
+        assert_eq!(img.total_bytes, 150);
+        assert_eq!(img.syscalls.len(), 1);
+        assert_eq!(img.components.len(), 2);
+    }
+
+    #[test]
+    fn dhcpd_image_smaller_than_driver_domains() {
+        assert!(kite_dhcpd_image().total_bytes < kite_network_image().total_bytes);
+    }
+}

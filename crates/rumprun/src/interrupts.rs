@@ -1,0 +1,123 @@
+//! Interrupt dispatch: IRQ lines bound to handler descriptors.
+//!
+//! Kite's handlers do almost nothing — they acknowledge the event and wake
+//! a dedicated thread (the paper's `pusher`/`soft_start` design). A handler
+//! here is therefore data: which thread to wake plus a modeled handler
+//! cost, interpreted by the system layer when an event-channel notification
+//! or NIC IRQ lands.
+
+use std::collections::HashMap;
+
+use kite_sim::Nanos;
+
+use crate::sched::ThreadId;
+
+/// An interrupt line identifier (event-channel port or device vector).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IrqLine(pub u32);
+
+/// What a registered handler does.
+#[derive(Clone, Debug)]
+pub struct IrqBinding {
+    /// Handler name for diagnostics.
+    pub name: String,
+    /// Thread the handler wakes (the Kite pattern), if any.
+    pub wake: Option<ThreadId>,
+    /// CPU cost of the handler body itself.
+    pub handler_cost: Nanos,
+}
+
+/// The interrupt table of one unikernel instance.
+#[derive(Clone, Debug, Default)]
+pub struct IrqTable {
+    bindings: HashMap<IrqLine, IrqBinding>,
+    delivered: u64,
+    spurious: u64,
+}
+
+impl IrqTable {
+    /// Creates an empty table.
+    pub fn new() -> IrqTable {
+        IrqTable::default()
+    }
+
+    /// Binds a line to a handler.
+    pub fn bind(&mut self, line: IrqLine, binding: IrqBinding) {
+        self.bindings.insert(line, binding);
+    }
+
+    /// Unbinds a line.
+    pub fn unbind(&mut self, line: IrqLine) -> bool {
+        self.bindings.remove(&line).is_some()
+    }
+
+    /// Dispatches an interrupt; returns the binding to execute, or `None`
+    /// for a spurious interrupt (counted).
+    pub fn dispatch(&mut self, line: IrqLine) -> Option<IrqBinding> {
+        match self.bindings.get(&line) {
+            Some(b) => {
+                self.delivered += 1;
+                Some(b.clone())
+            }
+            None => {
+                self.spurious += 1;
+                None
+            }
+        }
+    }
+
+    /// Interrupts delivered to a bound handler.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Interrupts with no binding.
+    pub fn spurious(&self) -> u64 {
+        self.spurious
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_dispatch() {
+        let mut t = IrqTable::new();
+        t.bind(
+            IrqLine(3),
+            IrqBinding {
+                name: "netback-evtchn".into(),
+                wake: Some(ThreadId(1)),
+                handler_cost: Nanos::from_nanos(400),
+            },
+        );
+        let b = t.dispatch(IrqLine(3)).unwrap();
+        assert_eq!(b.wake, Some(ThreadId(1)));
+        assert_eq!(t.delivered(), 1);
+        assert_eq!(t.spurious(), 0);
+    }
+
+    #[test]
+    fn unbound_is_spurious() {
+        let mut t = IrqTable::new();
+        assert!(t.dispatch(IrqLine(9)).is_none());
+        assert_eq!(t.spurious(), 1);
+    }
+
+    #[test]
+    fn unbind_stops_dispatch() {
+        let mut t = IrqTable::new();
+        t.bind(
+            IrqLine(1),
+            IrqBinding {
+                name: "x".into(),
+                wake: None,
+                handler_cost: Nanos::ZERO,
+            },
+        );
+        assert!(t.unbind(IrqLine(1)));
+        assert!(!t.unbind(IrqLine(1)));
+        assert!(t.dispatch(IrqLine(1)).is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! The rumprun BMK cooperative (non-preemptive) scheduler.
+//!
+//! This is the constraint Kite's whole threading design answers: there is
+//! no preemption and no work-queue machinery, so a thread that hogs the CPU
+//! starves interrupt-driven work. Kite's drivers therefore run short
+//! interrupt handlers that only *wake* dedicated threads (`pusher`,
+//! `soft_start`, the blkback request thread), and its orchestration apps
+//! yield explicitly.
+//!
+//! The scheduler itself is plain data: a run queue plus thread states. The
+//! system layer decides *when* the vCPU runs the next thread and charges
+//! virtual time for each slice.
+
+use std::collections::VecDeque;
+
+/// A thread identifier within one unikernel instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadId(pub u32);
+
+/// Scheduler-visible thread state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadState {
+    /// On the run queue.
+    Runnable,
+    /// Currently on the vCPU.
+    Running,
+    /// Waiting for a wake (event/data).
+    Sleeping,
+    /// Exited.
+    Dead,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    name: String,
+    state: ThreadState,
+}
+
+/// The cooperative scheduler of one rumprun instance.
+#[derive(Clone, Debug, Default)]
+pub struct Scheduler {
+    threads: Vec<Thread>,
+    runq: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    switches: u64,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Spawns a thread in the runnable state.
+    pub fn spawn(&mut self, name: impl Into<String>) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread {
+            name: name.into(),
+            state: ThreadState::Runnable,
+        });
+        self.runq.push_back(id);
+        id
+    }
+
+    /// Spawns a thread that starts asleep (woken by its first event) —
+    /// the pattern Kite's driver threads use.
+    pub fn spawn_sleeping(&mut self, name: impl Into<String>) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread {
+            name: name.into(),
+            state: ThreadState::Sleeping,
+        });
+        id
+    }
+
+    /// Wakes a sleeping thread. Returns `true` if it transitioned to
+    /// runnable; waking an already-runnable/running thread is a no-op
+    /// ("only wakes the thread if it is sleeping", as the paper puts it).
+    pub fn wake(&mut self, id: ThreadId) -> bool {
+        match self.threads.get_mut(id.0 as usize) {
+            Some(t) if t.state == ThreadState::Sleeping => {
+                t.state = ThreadState::Runnable;
+                self.runq.push_back(id);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Picks the next runnable thread and makes it current.
+    ///
+    /// Returns `None` when the run queue is empty (vCPU halts until the
+    /// next interrupt).
+    pub fn pick_next(&mut self) -> Option<ThreadId> {
+        debug_assert!(self.current.is_none(), "non-preemptive: must yield first");
+        let id = self.runq.pop_front()?;
+        self.threads[id.0 as usize].state = ThreadState::Running;
+        self.current = Some(id);
+        self.switches += 1;
+        Some(id)
+    }
+
+    /// The currently running thread.
+    pub fn current(&self) -> Option<ThreadId> {
+        self.current
+    }
+
+    /// Current thread yields: back to the run queue tail.
+    pub fn yield_current(&mut self) {
+        if let Some(id) = self.current.take() {
+            self.threads[id.0 as usize].state = ThreadState::Runnable;
+            self.runq.push_back(id);
+        }
+    }
+
+    /// Current thread sleeps until woken.
+    pub fn sleep_current(&mut self) {
+        if let Some(id) = self.current.take() {
+            self.threads[id.0 as usize].state = ThreadState::Sleeping;
+        }
+    }
+
+    /// Current thread exits.
+    pub fn exit_current(&mut self) {
+        if let Some(id) = self.current.take() {
+            self.threads[id.0 as usize].state = ThreadState::Dead;
+        }
+    }
+
+    /// A thread's state.
+    pub fn state(&self, id: ThreadId) -> ThreadState {
+        self.threads
+            .get(id.0 as usize)
+            .map(|t| t.state)
+            .unwrap_or(ThreadState::Dead)
+    }
+
+    /// A thread's name.
+    pub fn name(&self, id: ThreadId) -> &str {
+        self.threads
+            .get(id.0 as usize)
+            .map(|t| t.name.as_str())
+            .unwrap_or("?")
+    }
+
+    /// True when nothing is runnable or running.
+    pub fn idle(&self) -> bool {
+        self.current.is_none() && self.runq.is_empty()
+    }
+
+    /// Context-switch count.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order() {
+        let mut s = Scheduler::new();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        assert_eq!(s.pick_next(), Some(a));
+        s.yield_current();
+        assert_eq!(s.pick_next(), Some(b));
+        s.yield_current();
+        assert_eq!(s.pick_next(), Some(a));
+    }
+
+    #[test]
+    fn sleeping_thread_skipped_until_woken() {
+        let mut s = Scheduler::new();
+        let a = s.spawn("a");
+        let pusher = s.spawn_sleeping("pusher");
+        assert_eq!(s.state(pusher), ThreadState::Sleeping);
+        assert_eq!(s.pick_next(), Some(a));
+        s.yield_current();
+        // Still only `a` runnable.
+        assert_eq!(s.pick_next(), Some(a));
+        s.sleep_current();
+        assert!(s.idle());
+        // IRQ handler wakes pusher.
+        assert!(s.wake(pusher));
+        assert_eq!(s.pick_next(), Some(pusher));
+    }
+
+    #[test]
+    fn double_wake_is_noop() {
+        let mut s = Scheduler::new();
+        let t = s.spawn_sleeping("t");
+        assert!(s.wake(t));
+        // Second wake while runnable: no duplicate queue entry.
+        assert!(!s.wake(t));
+        assert_eq!(s.pick_next(), Some(t));
+        s.yield_current();
+        assert_eq!(s.pick_next(), Some(t));
+        s.sleep_current();
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn wake_running_is_noop() {
+        let mut s = Scheduler::new();
+        let t = s.spawn("t");
+        s.pick_next();
+        assert!(!s.wake(t));
+    }
+
+    #[test]
+    fn exit_removes_thread() {
+        let mut s = Scheduler::new();
+        let t = s.spawn("t");
+        s.pick_next();
+        s.exit_current();
+        assert_eq!(s.state(t), ThreadState::Dead);
+        assert!(!s.wake(t));
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn switch_count_increments() {
+        let mut s = Scheduler::new();
+        s.spawn("a");
+        s.pick_next();
+        s.yield_current();
+        s.pick_next();
+        assert_eq!(s.switches(), 2);
+    }
+
+    #[test]
+    fn names_tracked() {
+        let mut s = Scheduler::new();
+        let t = s.spawn("soft_start");
+        assert_eq!(s.name(t), "soft_start");
+        assert_eq!(s.name(ThreadId(99)), "?");
+    }
+}

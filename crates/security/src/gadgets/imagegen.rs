@@ -1,0 +1,212 @@
+//! Synthetic `.text` generation from per-OS instruction-mix profiles.
+//!
+//! We cannot ship real kernel binaries, so each OS image is synthesized:
+//! a deterministic stream of valid x86-64 encodings whose category mix and
+//! function density (ret frequency) approximate compiler output for that
+//! OS's size class. The gadget counts the scanner then finds scale with
+//! text size and ret density — precisely the effect Figures 1b and 5
+//! measure across kernels.
+
+use kite_sim::Pcg;
+
+use super::decode::Category;
+
+/// Relative instruction-mix weights by category.
+#[derive(Clone, Debug)]
+pub struct InsnMix {
+    /// `(category, weight)` pairs; weights need not sum to anything.
+    pub weights: Vec<(Category, u32)>,
+    /// Mean instructions per function (one `ret` per function).
+    pub insns_per_function: u32,
+}
+
+impl InsnMix {
+    /// A compiler-output-like mix (mov-dominated, per Follner et al.).
+    pub fn kernel_default() -> InsnMix {
+        InsnMix {
+            weights: vec![
+                (Category::DataMove, 420),
+                (Category::Arithmetic, 130),
+                (Category::Logic, 60),
+                (Category::ControlFlow, 170),
+                (Category::ShiftAndRotate, 25),
+                (Category::SettingFlags, 110),
+                (Category::String, 8),
+                (Category::Floating, 12),
+                (Category::Misc, 15),
+                (Category::Mmx, 4),
+                (Category::Nop, 46),
+            ],
+            insns_per_function: 60,
+        }
+    }
+
+    /// Rumprun/NetBSD mix: slightly fewer SIMD/string ops (no FPU in the
+    /// kernel paths), otherwise compiler-typical.
+    pub fn rumprun() -> InsnMix {
+        InsnMix {
+            weights: vec![
+                (Category::DataMove, 430),
+                (Category::Arithmetic, 135),
+                (Category::Logic, 62),
+                (Category::ControlFlow, 175),
+                (Category::ShiftAndRotate, 26),
+                (Category::SettingFlags, 115),
+                (Category::String, 5),
+                (Category::Floating, 3),
+                (Category::Misc, 12),
+                (Category::Mmx, 1),
+                (Category::Nop, 40),
+            ],
+            insns_per_function: 55,
+        }
+    }
+}
+
+fn emit(category: Category, rng: &mut Pcg, out: &mut Vec<u8>) {
+    let reg = (rng.next_u32() & 7) as u8;
+    let reg2 = (rng.next_u32() & 7) as u8;
+    let modrm_rr = 0xc0 | (reg2 << 3) | reg;
+    match category {
+        Category::DataMove => match rng.index(4) {
+            0 => out.extend_from_slice(&[0x48, 0x89, modrm_rr]), // mov r,r
+            1 => out.push(0x50 + reg),                           // push
+            2 => out.push(0x58 + reg),                           // pop
+            _ => {
+                out.push(0xb8 + reg); // mov r, imm32
+                out.extend_from_slice(&rng.next_u32().to_le_bytes());
+            }
+        },
+        Category::Arithmetic => match rng.index(3) {
+            0 => out.extend_from_slice(&[0x48, 0x01, modrm_rr]), // add
+            1 => out.extend_from_slice(&[0x48, 0x29, modrm_rr]), // sub
+            _ => {
+                // add r, imm8
+                out.extend_from_slice(&[0x48, 0x83, 0xc0 | reg, (rng.next_u32() & 0x7f) as u8]);
+            }
+        },
+        Category::Logic => match rng.index(3) {
+            0 => out.extend_from_slice(&[0x48, 0x21, modrm_rr]), // and
+            1 => out.extend_from_slice(&[0x48, 0x09, modrm_rr]), // or
+            _ => out.extend_from_slice(&[0x48, 0x31, modrm_rr]), // xor
+        },
+        Category::ControlFlow => match rng.index(3) {
+            0 => {
+                out.push(0xe8); // call rel32
+                out.extend_from_slice(&rng.next_u32().to_le_bytes());
+            }
+            1 => out.extend_from_slice(&[0xeb, (rng.next_u32() & 0x7f) as u8]), // jmp rel8
+            _ => out.extend_from_slice(&[0x74, (rng.next_u32() & 0x7f) as u8]), // je rel8
+        },
+        Category::ShiftAndRotate => {
+            // shl r, imm8
+            out.extend_from_slice(&[0x48, 0xc1, 0xe0 | reg, (rng.next_u32() & 0x3f) as u8]);
+        }
+        Category::SettingFlags => match rng.index(2) {
+            0 => out.extend_from_slice(&[0x48, 0x39, modrm_rr]), // cmp
+            _ => out.extend_from_slice(&[0x48, 0x85, modrm_rr]), // test
+        },
+        Category::String => {
+            if rng.chance(0.5) {
+                out.push(0xf3); // rep
+            }
+            out.push([0xa4, 0xa5, 0xaa, 0xab][rng.index(4)]);
+        }
+        Category::Floating => {
+            out.extend_from_slice(&[0xf3, 0x0f, 0x58, modrm_rr]); // addss
+        }
+        Category::Mmx => {
+            out.extend_from_slice(&[0x0f, 0x6f, modrm_rr]); // movq mm
+        }
+        Category::Misc => match rng.index(3) {
+            0 => out.extend_from_slice(&[0x0f, 0xa2]), // cpuid
+            1 => out.push(0xc9),                       // leave
+            _ => out.extend_from_slice(&[0x0f, 0x31]), // rdtsc
+        },
+        Category::Nop => {
+            if rng.chance(0.7) {
+                out.push(0x90);
+            } else {
+                out.extend_from_slice(&[0x0f, 0x1f, 0xc0 | reg]);
+            }
+        }
+        Category::Ret => {
+            if rng.chance(0.9) {
+                out.push(0xc3);
+            } else {
+                out.push(0xc2);
+                out.extend_from_slice(&[(rng.next_u32() & 0x18) as u8, 0]);
+            }
+        }
+    }
+}
+
+/// Generates `size` bytes of synthetic text with the given mix.
+pub fn generate_text(size: usize, mix: &InsnMix, rng: &mut Pcg) -> Vec<u8> {
+    let total: u32 = mix.weights.iter().map(|&(_, w)| w).sum();
+    let mut out = Vec::with_capacity(size + 16);
+    let mut since_ret = 0u32;
+    while out.len() < size {
+        // One ret per function on average.
+        if since_ret >= mix.insns_per_function
+            || (since_ret > 4 && rng.chance(1.0 / mix.insns_per_function as f64))
+        {
+            emit(Category::Ret, rng, &mut out);
+            since_ret = 0;
+            continue;
+        }
+        let mut pick = rng.range_u64(0, total as u64) as u32;
+        let mut chosen = Category::DataMove;
+        for &(c, w) in &mix.weights {
+            if pick < w {
+                chosen = c;
+                break;
+            }
+            pick -= w;
+        }
+        emit(chosen, rng, &mut out);
+        since_ret += 1;
+    }
+    out.truncate(size);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::decode::decode;
+
+    #[test]
+    fn generated_text_decodes_from_start() {
+        let mut rng = Pcg::seeded(1);
+        let text = generate_text(20_000, &InsnMix::kernel_default(), &mut rng);
+        assert_eq!(text.len(), 20_000);
+        // Walking from offset 0 must decode instruction-by-instruction
+        // until near the (truncated) end.
+        let mut off = 0;
+        while off < text.len().saturating_sub(16) {
+            let insn = decode(&text[off..]).unwrap_or_else(|| {
+                panic!("undecodable generated byte at {off}: {:02x}", text[off])
+            });
+            off += insn.len;
+        }
+    }
+
+    #[test]
+    fn text_contains_rets_at_function_density() {
+        let mut rng = Pcg::seeded(2);
+        let mix = InsnMix::kernel_default();
+        let text = generate_text(100_000, &mix, &mut rng);
+        let rets = text.iter().filter(|&&b| b == 0xc3).count();
+        // ~1 ret per function of ~60 insns * ~3.2 bytes ≈ every ~190 bytes;
+        // plus 0xc3 bytes occurring inside immediates.
+        assert!(rets > 300, "rets={rets}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_text(5000, &InsnMix::rumprun(), &mut Pcg::seeded(7));
+        let b = generate_text(5000, &InsnMix::rumprun(), &mut Pcg::seeded(7));
+        assert_eq!(a, b);
+    }
+}

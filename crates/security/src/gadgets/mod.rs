@@ -1,0 +1,111 @@
+//! ROP-gadget analysis (Figures 1b and 5).
+//!
+//! Pipeline: [`imagegen`] synthesizes a `.text` proportional to each OS's
+//! measured image size → [`scan`] counts gadgets per Follner category with
+//! a real instruction [`decode`]r. Synthetic images are generated at
+//! 1/[`SCAN_SCALE`] of true size and counts scaled back up (gadget counts
+//! are linear in text size — asserted by the scanner's tests).
+
+pub mod decode;
+pub mod imagegen;
+pub mod scan;
+
+use kite_sim::Pcg;
+
+pub use decode::Category;
+pub use imagegen::InsnMix;
+pub use scan::GadgetCounts;
+
+/// Size scale-down factor for synthetic image scanning.
+pub const SCAN_SCALE: u64 = 64;
+
+/// One OS's gadget-analysis subject.
+#[derive(Clone, Debug)]
+pub struct OsImageProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// True text size in bytes (kernel + modules for Linux; whole image
+    /// for Kite — matching the paper's measurement method).
+    pub text_bytes: u64,
+    /// Instruction mix.
+    pub mix: InsnMix,
+}
+
+/// The six subjects of Figure 5, sizes consistent with `kite-rumprun` /
+/// `kite-linux` image models (distro kernels carry progressively larger
+/// module trees).
+pub fn figure5_profiles() -> Vec<OsImageProfile> {
+    vec![
+        OsImageProfile {
+            name: "Kite",
+            text_bytes: kite_rumprun::kite_network_image().total_bytes,
+            mix: InsnMix::rumprun(),
+        },
+        OsImageProfile {
+            name: "Default",
+            text_bytes: 88 * 1024 * 1024,
+            mix: InsnMix::kernel_default(),
+        },
+        OsImageProfile {
+            name: "CentOS",
+            text_bytes: 196 * 1024 * 1024,
+            mix: InsnMix::kernel_default(),
+        },
+        OsImageProfile {
+            name: "Fedora",
+            text_bytes: 232 * 1024 * 1024,
+            mix: InsnMix::kernel_default(),
+        },
+        OsImageProfile {
+            name: "Debian",
+            text_bytes: 254 * 1024 * 1024,
+            mix: InsnMix::kernel_default(),
+        },
+        OsImageProfile {
+            name: "Ubuntu",
+            text_bytes: kite_linux::ubuntu_image_bytes() + 63 * 1024 * 1024,
+            mix: InsnMix::kernel_default(),
+        },
+    ]
+}
+
+/// Scans one profile (scaled) and returns size-corrected counts.
+pub fn analyze(profile: &OsImageProfile, seed: u64) -> GadgetCounts {
+    let mut rng = Pcg::seeded(seed ^ profile.text_bytes);
+    let sample = (profile.text_bytes / SCAN_SCALE) as usize;
+    let text = imagegen::generate_text(sample, &profile.mix, &mut rng);
+    scan::scan(&text).scaled(SCAN_SCALE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kite_has_fewest_gadgets_default_about_4x() {
+        // Use small direct samples (unscaled math identical, faster).
+        let profiles = figure5_profiles();
+        let mut totals = Vec::new();
+        for p in &profiles {
+            // Sample at a deeper scale for test speed; linearity asserted
+            // in the scanner tests.
+            let mut rng = Pcg::seeded(1);
+            let sample = (p.text_bytes / 1024) as usize;
+            let text = imagegen::generate_text(sample, &p.mix, &mut rng);
+            totals.push((p.name, scan::scan(&text).total()));
+        }
+        let kite = totals[0].1 as f64;
+        let default = totals[1].1 as f64;
+        let ubuntu = totals[5].1 as f64;
+        assert!(
+            (3.0..6.0).contains(&(default / kite)),
+            "Fig 1b: default ≈ 4x Kite, got {:.1}",
+            default / kite
+        );
+        assert!(ubuntu / kite > 8.0, "Ubuntu ≫ Kite, got {:.1}", ubuntu / kite);
+        // Monotone: each distro kernel has more than the default config.
+        for w in totals[1..].windows(2) {
+            assert!(w[1].1 > w[0].1, "{:?}", totals);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The gadget scanner: Ropper-style backward walk from every `ret`.
+//!
+//! For each `ret`/`ret imm16` byte in the text, candidate gadget starts up
+//! to [`MAX_GADGET_BYTES`] before it are tried; a candidate counts when a
+//! chain of valid instructions decodes from the start and lands exactly on
+//! the `ret`. Gadgets are categorized by the operation of their first
+//! instruction (the taxonomy of Follner et al. used by the paper).
+
+use std::collections::HashMap;
+
+use super::decode::{decode, Category};
+
+/// Maximum gadget body length considered, matching common tool defaults.
+pub const MAX_GADGET_BYTES: usize = 20;
+
+/// Per-category gadget counts.
+#[derive(Clone, Debug, Default)]
+pub struct GadgetCounts {
+    counts: HashMap<Category, u64>,
+}
+
+impl GadgetCounts {
+    /// Count for one category.
+    pub fn get(&self, c: Category) -> u64 {
+        self.counts.get(&c).copied().unwrap_or(0)
+    }
+
+    /// Total across all categories.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Scales all counts (for size-scaled synthetic images).
+    pub fn scaled(&self, factor: u64) -> GadgetCounts {
+        GadgetCounts {
+            counts: self
+                .counts
+                .iter()
+                .map(|(&c, &n)| (c, n * factor))
+                .collect(),
+        }
+    }
+
+    fn add(&mut self, c: Category) {
+        *self.counts.entry(c).or_insert(0) += 1;
+    }
+}
+
+/// Validates that a chain of instructions decodes from `start` and ends
+/// exactly at `ret_end` (exclusive). Returns the first instruction's
+/// category.
+fn valid_chain(text: &[u8], start: usize, ret_start: usize) -> Option<Category> {
+    let mut off = start;
+    let mut first = None;
+    while off < ret_start {
+        let insn = decode(&text[off..])?;
+        if insn.category == Category::Ret {
+            // An earlier ret inside the candidate: this window is really a
+            // shorter gadget counted at a later start.
+            return None;
+        }
+        if first.is_none() {
+            first = Some(insn.category);
+        }
+        off += insn.len;
+    }
+    if off != ret_start {
+        return None;
+    }
+    // The chain must contain at least one instruction before the ret.
+    first
+}
+
+/// Scans `text` and counts gadgets per category.
+pub fn scan(text: &[u8]) -> GadgetCounts {
+    let mut out = GadgetCounts::default();
+    for (pos, &b) in text.iter().enumerate() {
+        if b != 0xc3 && b != 0xc2 {
+            continue;
+        }
+        // `ret imm16` needs its immediate present.
+        if b == 0xc2 && pos + 3 > text.len() {
+            continue;
+        }
+        // The bare ret itself is a (trivial) gadget.
+        out.add(Category::Ret);
+        let lo = pos.saturating_sub(MAX_GADGET_BYTES);
+        for start in lo..pos {
+            if let Some(cat) = valid_chain(text, start, pos) {
+                out.add(cat);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::imagegen::{generate_text, InsnMix};
+    use kite_sim::Pcg;
+
+    #[test]
+    fn finds_handcrafted_gadget() {
+        // pop rax; ret  — the canonical gadget.
+        let text = [0x90, 0x58, 0xc3];
+        let counts = scan(&text);
+        assert!(counts.get(Category::DataMove) >= 1, "{counts:?}");
+        assert_eq!(counts.get(Category::Ret), 1);
+        // nop; pop rax; ret also matched (starting at the nop).
+        assert!(counts.get(Category::Nop) >= 1);
+    }
+
+    #[test]
+    fn unaligned_suffixes_count() {
+        // mov eax, imm32 where imm contains c3: b8 c3 01 01 01 — the c3 at
+        // offset 1 is a hidden ret reachable at that offset.
+        let text = [0x90, 0xb8, 0xc3, 0x01, 0x01, 0x01];
+        let counts = scan(&text);
+        // The nop at offset 0 cannot chain to it (mov swallows the c3),
+        // but the ret itself is counted.
+        assert_eq!(counts.get(Category::Ret), 1);
+    }
+
+    #[test]
+    fn no_rets_no_gadgets() {
+        let text = [0x90, 0x50, 0x58, 0x48, 0x89, 0xc0];
+        assert_eq!(scan(&text).total(), 0);
+    }
+
+    #[test]
+    fn chain_must_land_exactly_on_ret() {
+        // e8 xx xx xx xx (call rel32) followed by ret: starting inside the
+        // immediate is invalid unless the bytes happen to decode.
+        let text = [0xe8, 0x00, 0x00, 0x00, 0x00, 0xc3];
+        let counts = scan(&text);
+        // call; ret is a valid 1-instruction chain.
+        assert!(counts.get(Category::ControlFlow) >= 1);
+    }
+
+    #[test]
+    fn counts_scale_roughly_linearly_with_size() {
+        let mix = InsnMix::kernel_default();
+        let small = scan(&generate_text(40_000, &mix, &mut Pcg::seeded(3)));
+        let large = scan(&generate_text(160_000, &mix, &mut Pcg::seeded(4)));
+        let ratio = large.total() as f64 / small.total() as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "expected ~4x, got {ratio:.2} ({} vs {})",
+            large.total(),
+            small.total()
+        );
+    }
+
+    #[test]
+    fn datamove_dominates_compiler_mix() {
+        let mix = InsnMix::kernel_default();
+        let counts = scan(&generate_text(120_000, &mix, &mut Pcg::seeded(5)));
+        let dm = counts.get(Category::DataMove);
+        for c in [Category::Logic, Category::String, Category::Mmx, Category::Floating] {
+            assert!(dm > counts.get(c), "DataMove should dominate {c:?}");
+        }
+        assert!(counts.total() > 1000);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let mix = InsnMix::rumprun();
+        let counts = scan(&generate_text(20_000, &mix, &mut Pcg::seeded(6)));
+        let scaled = counts.scaled(16);
+        assert_eq!(scaled.total(), counts.total() * 16);
+        assert_eq!(scaled.get(Category::Ret), counts.get(Category::Ret) * 16);
+    }
+}

@@ -1,0 +1,25 @@
+//! Discrete-event simulation substrate for the Kite reproduction.
+//!
+//! Every other crate in the workspace builds on the four primitives here:
+//!
+//! * [`time::Nanos`] — virtual time;
+//! * [`queue::EventQueue`] — a deterministic (stable-FIFO) event queue;
+//! * [`rng::Pcg`] — a seeded, replayable random number generator;
+//! * [`stats`] and [`resource`] — measurement taps and serializing
+//!   resource models (links, CPUs).
+//!
+//! The design goal is replayability: given the same scenario seed, every
+//! figure in EXPERIMENTS.md regenerates bit-for-bit. Nothing in this crate
+//! reads wall-clock time or OS entropy.
+
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::{EventId, EventQueue};
+pub use resource::{Cpu, Link, TxOutcome};
+pub use rng::Pcg;
+pub use stats::{Histogram, OnlineStats, RateMeter};
+pub use time::Nanos;

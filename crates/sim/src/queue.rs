@@ -1,0 +1,227 @@
+//! The discrete-event queue at the heart of the simulation.
+//!
+//! [`EventQueue`] is a priority queue keyed on virtual time with a FIFO
+//! tiebreak: two events scheduled for the same instant pop in the order they
+//! were pushed. That stability is what makes the whole reproduction
+//! deterministic — `BinaryHeap` alone would break ties arbitrarily.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable, cancellable discrete-event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// Times in the past are clamped to `now` — an event can never pop
+    /// before the current instant, which keeps handlers monotone.
+    pub fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.seq);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            id,
+            payload,
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedules `payload` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: Nanos, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired. Cancellation is lazy:
+    /// the entry stays in the heap and is skipped on pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // We cannot see inside the heap; optimistically record the tombstone
+        // and let pop() discard it. An id that already fired is a no-op.
+        if id.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the earliest pending event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.id) {
+                continue;
+            }
+            self.now = s.at;
+            return Some((s.at, s.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        // Cancelled entries may sit at the top; this is a lower bound, which
+        // is all callers need (they re-check on pop).
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending (possibly including cancelled) entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == self.cancelled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(30), "c");
+        q.schedule_at(Nanos(10), "a");
+        q.schedule_at(Nanos(20), "b");
+        assert_eq!(q.pop(), Some((Nanos(10), "a")));
+        assert_eq!(q.pop(), Some((Nanos(20), "b")));
+        assert_eq!(q.pop(), Some((Nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Nanos(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Nanos(5), i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_and_clamps_past_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(100), "x");
+        q.pop();
+        assert_eq!(q.now(), Nanos(100));
+        // Scheduling in the past clamps to now.
+        q.schedule_at(Nanos(50), "y");
+        assert_eq!(q.pop(), Some((Nanos(100), "y")));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(100), "x");
+        q.pop();
+        q.schedule_in(Nanos(5), "y");
+        assert_eq!(q.pop(), Some((Nanos(105), "y")));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(Nanos(10), "dead");
+        q.schedule_at(Nanos(20), "alive");
+        assert!(q.cancel(id));
+        assert_eq!(q.pop(), Some((Nanos(20), "alive")));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(Nanos(10), "dead");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(Nanos(10), 1);
+        assert!(!q.is_empty());
+        q.cancel(id);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_lower_bound() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(10), 1);
+        q.schedule_at(Nanos(5), 2);
+        assert_eq!(q.peek_time(), Some(Nanos(5)));
+    }
+}

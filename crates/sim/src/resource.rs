@@ -1,0 +1,269 @@
+//! Serializing resource models: links and CPUs.
+//!
+//! Both models answer the same question — "if a unit of work arrives at
+//! virtual time `t`, when does it finish?" — while tracking utilization so
+//! experiments can report CPU% (Figure 10b) and link saturation (Figure 6).
+
+use crate::time::Nanos;
+
+/// A point-to-point link with a fixed bit rate and propagation latency.
+///
+/// Frames serialize one at a time: a frame arriving while a previous frame
+/// is still being clocked out queues behind it. The transmit queue has a
+/// finite byte capacity; overflow drops model NIC ring exhaustion (nuttcp's
+/// UDP loss in Figure 6).
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Link bit rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation + PHY latency.
+    pub latency: Nanos,
+    /// Transmit queue capacity in bytes.
+    pub queue_bytes: u64,
+    next_free: Nanos,
+    tx_bytes: u64,
+    tx_frames: u64,
+    dropped: u64,
+    busy_accum: Nanos,
+}
+
+/// Outcome of a link transmit attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Frame accepted; it departs the sender at `departs` and arrives at the
+    /// receiver at `arrives`.
+    Sent { departs: Nanos, arrives: Nanos },
+    /// Queue full: frame dropped.
+    Dropped,
+}
+
+impl Link {
+    /// Creates a link with the given rate, latency and queue capacity.
+    pub fn new(rate_bps: u64, latency: Nanos, queue_bytes: u64) -> Link {
+        Link {
+            rate_bps,
+            latency,
+            queue_bytes,
+            next_free: Nanos::ZERO,
+            tx_bytes: 0,
+            tx_frames: 0,
+            dropped: 0,
+            busy_accum: Nanos::ZERO,
+        }
+    }
+
+    /// A 10GbE link with typical SFP+ direct-attach latency.
+    pub fn ten_gbe() -> Link {
+        // 512 KiB of transmit ring is in line with an 82599's per-queue
+        // descriptor capacity at MTU-sized frames.
+        Link::new(10_000_000_000, Nanos::from_micros(1), 512 * 1024)
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's rate.
+    pub fn serialization_delay(&self, bytes: u64) -> Nanos {
+        Nanos((bytes * 8).saturating_mul(1_000_000_000) / self.rate_bps)
+    }
+
+    /// Bytes sitting in the transmit queue at `now` (accepted but not yet
+    /// clocked onto the wire). The queue drains continuously at the link
+    /// rate.
+    pub fn backlog_bytes(&self, now: Nanos) -> u64 {
+        let pending_ns = self.next_free.saturating_sub(now).as_nanos() as u128;
+        (pending_ns * self.rate_bps as u128 / 8_000_000_000u128) as u64
+    }
+
+    /// Attempts to transmit a frame of `bytes` at time `now`.
+    pub fn transmit(&mut self, now: Nanos, bytes: u64) -> TxOutcome {
+        if self.backlog_bytes(now) + bytes > self.queue_bytes {
+            self.dropped += 1;
+            return TxOutcome::Dropped;
+        }
+        let start = self.next_free.max(now);
+        let ser = self.serialization_delay(bytes);
+        let departs = start + ser;
+        self.busy_accum += ser;
+        self.next_free = departs;
+        self.tx_bytes += bytes;
+        self.tx_frames += 1;
+        TxOutcome::Sent {
+            departs,
+            arrives: departs + self.latency,
+        }
+    }
+
+    /// Frames dropped due to queue overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames successfully transmitted.
+    pub fn tx_frames(&self) -> u64 {
+        self.tx_frames
+    }
+
+    /// Bytes successfully transmitted.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Fraction of `window` the link spent serializing, in `[0, 1]`.
+    pub fn utilization(&self, window: Nanos) -> f64 {
+        if window == Nanos::ZERO {
+            0.0
+        } else {
+            (self.busy_accum.as_nanos() as f64 / window.as_nanos() as f64).min(1.0)
+        }
+    }
+}
+
+/// A serially executing CPU with utilization accounting.
+///
+/// Work submitted while the CPU is busy queues behind the current work —
+/// this is how the single-vCPU driver domains of the paper are modeled, and
+/// why a slow interrupt handler would delay subsequent notifications
+/// (the design problem Kite's dedicated threads solve).
+#[derive(Clone, Debug, Default)]
+pub struct Cpu {
+    next_free: Nanos,
+    busy_accum: Nanos,
+    slices: u64,
+}
+
+impl Cpu {
+    /// Creates an idle CPU.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Runs `cost` of work starting no earlier than `now`.
+    ///
+    /// Returns the completion time. The caller is responsible for scheduling
+    /// a completion event at that instant.
+    pub fn run(&mut self, now: Nanos, cost: Nanos) -> Nanos {
+        let start = self.next_free.max(now);
+        let done = start + cost;
+        self.next_free = done;
+        self.busy_accum += cost;
+        self.slices += 1;
+        done
+    }
+
+    /// The earliest instant at which new work could begin.
+    pub fn free_at(&self) -> Nanos {
+        self.next_free
+    }
+
+    /// True if the CPU has no queued work at `now`.
+    pub fn idle_at(&self, now: Nanos) -> bool {
+        self.next_free <= now
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy(&self) -> Nanos {
+        self.busy_accum
+    }
+
+    /// Number of work slices executed.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Utilization over a window, in percent (sysstat-style).
+    pub fn utilization_percent(&self, window: Nanos) -> f64 {
+        if window == Nanos::ZERO {
+            0.0
+        } else {
+            (100.0 * self.busy_accum.as_nanos() as f64 / window.as_nanos() as f64)
+                .min(100.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay_matches_rate() {
+        let l = Link::new(1_000_000_000, Nanos::ZERO, u64::MAX); // 1 Gbps
+        // 125 bytes = 1000 bits = 1us at 1Gbps.
+        assert_eq!(l.serialization_delay(125), Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn frames_serialize_back_to_back() {
+        let mut l = Link::new(1_000_000_000, Nanos::from_micros(5), u64::MAX);
+        let a = l.transmit(Nanos::ZERO, 125);
+        let b = l.transmit(Nanos::ZERO, 125);
+        match (a, b) {
+            (
+                TxOutcome::Sent {
+                    departs: d1,
+                    arrives: a1,
+                },
+                TxOutcome::Sent {
+                    departs: d2,
+                    arrives: a2,
+                },
+            ) => {
+                assert_eq!(d1, Nanos::from_micros(1));
+                assert_eq!(a1, Nanos::from_micros(6));
+                assert_eq!(d2, Nanos::from_micros(2));
+                assert_eq!(a2, Nanos::from_micros(7));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut l = Link::new(1_000, Nanos::ZERO, 100); // absurdly slow
+        assert!(matches!(l.transmit(Nanos::ZERO, 80), TxOutcome::Sent { .. }));
+        assert_eq!(l.transmit(Nanos::ZERO, 80), TxOutcome::Dropped);
+        assert_eq!(l.dropped(), 1);
+    }
+
+    #[test]
+    fn queue_drains_continuously() {
+        let mut l = Link::new(8_000, Nanos::ZERO, 100); // 1000 bytes/s
+        assert!(matches!(l.transmit(Nanos::ZERO, 80), TxOutcome::Sent { .. }));
+        assert_eq!(l.backlog_bytes(Nanos::ZERO), 80);
+        // Halfway through serialization, half the bytes have left.
+        assert_eq!(l.backlog_bytes(Nanos::from_millis(40)), 40);
+        // Another frame fits once enough drained.
+        assert!(matches!(
+            l.transmit(Nanos::from_millis(40), 60),
+            TxOutcome::Sent { .. }
+        ));
+        assert_eq!(l.dropped(), 0);
+    }
+
+    #[test]
+    fn link_utilization_bounded() {
+        let mut l = Link::new(1_000_000_000, Nanos::ZERO, u64::MAX);
+        l.transmit(Nanos::ZERO, 125_000); // 1ms of serialization
+        assert!((l.utilization(Nanos::from_millis(2)) - 0.5).abs() < 1e-9);
+        assert!(l.utilization(Nanos::from_micros(500)) <= 1.0);
+    }
+
+    #[test]
+    fn cpu_serializes_work() {
+        let mut c = Cpu::new();
+        let d1 = c.run(Nanos::ZERO, Nanos::from_micros(10));
+        let d2 = c.run(Nanos::ZERO, Nanos::from_micros(5));
+        assert_eq!(d1, Nanos::from_micros(10));
+        assert_eq!(d2, Nanos::from_micros(15));
+        assert!(!c.idle_at(Nanos::from_micros(14)));
+        assert!(c.idle_at(Nanos::from_micros(15)));
+    }
+
+    #[test]
+    fn cpu_idle_gap_not_counted_busy() {
+        let mut c = Cpu::new();
+        c.run(Nanos::ZERO, Nanos::from_micros(10));
+        c.run(Nanos::from_micros(90), Nanos::from_micros(10));
+        assert_eq!(c.busy(), Nanos::from_micros(20));
+        assert!((c.utilization_percent(Nanos::from_micros(100)) - 20.0).abs() < 1e-9);
+        assert_eq!(c.slices(), 2);
+    }
+}

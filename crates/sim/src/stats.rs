@@ -1,0 +1,385 @@
+//! Online statistics used by every measurement tap in the reproduction.
+//!
+//! The paper reports means, throughputs, latencies, percentile-ish maxima
+//! and relative standard deviations (Table 4). [`OnlineStats`] implements
+//! Welford's numerically stable single-pass algorithm; [`Histogram`] is a
+//! log-bucketed latency histogram good to ~2% relative error; [`RateMeter`]
+//! converts counted events/bytes over virtual time into rates.
+
+use crate::time::Nanos;
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn push_nanos(&mut self, d: Nanos) {
+        self.push(d.as_nanos() as f64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Relative standard deviation in percent (the paper's "RSD").
+    pub fn rsd_percent(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            100.0 * self.stddev() / self.mean().abs()
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram for latency distributions.
+///
+/// Buckets are spaced geometrically: each bucket covers a `GROWTH`-factor
+/// range, giving bounded relative error on quantile queries without storing
+/// raw samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+const HIST_BUCKETS: usize = 256;
+/// Bucket edge growth factor: 256 buckets cover 1ns..~100s at ~9.3%/bucket.
+const GROWTH: f64 = 1.0934;
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(value_ns: u64) -> usize {
+        if value_ns <= 1 {
+            return 0;
+        }
+        let b = (value_ns as f64).ln() / GROWTH.ln();
+        (b as usize).min(HIST_BUCKETS - 1)
+    }
+
+    fn bucket_upper(idx: usize) -> u64 {
+        GROWTH.powi(idx as i32 + 1) as u64
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Nanos) {
+        self.counts[Self::bucket_of(d.as_nanos())] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, or `Nanos::ZERO` if empty.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let target = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Nanos(Self::bucket_upper(i));
+            }
+        }
+        Nanos(Self::bucket_upper(HIST_BUCKETS - 1))
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Nanos {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile shortcut.
+    pub fn p99(&self) -> Nanos {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Converts counted events and bytes over a virtual-time window into rates.
+#[derive(Clone, Debug, Default)]
+pub struct RateMeter {
+    events: u64,
+    bytes: u64,
+    started: Option<Nanos>,
+    last: Nanos,
+}
+
+impl RateMeter {
+    /// Creates an idle meter.
+    pub fn new() -> RateMeter {
+        RateMeter::default()
+    }
+
+    /// Records an event carrying `bytes` payload at virtual time `now`.
+    pub fn record(&mut self, now: Nanos, bytes: u64) {
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        self.events += 1;
+        self.bytes += bytes;
+        self.last = self.last.max(now);
+    }
+
+    /// Number of recorded events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Elapsed window between first and last event (plus caller-supplied end).
+    pub fn window(&self, end: Nanos) -> Nanos {
+        match self.started {
+            None => Nanos::ZERO,
+            Some(s) => end.max(self.last).saturating_sub(s),
+        }
+    }
+
+    /// Events per second over the window ending at `end`.
+    pub fn events_per_sec(&self, end: Nanos) -> f64 {
+        let w = self.window(end).as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / w
+        }
+    }
+
+    /// Payload throughput in bits per second over the window ending at `end`.
+    pub fn bits_per_sec(&self, end: Nanos) -> f64 {
+        let w = self.window(end).as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / w
+        }
+    }
+
+    /// Payload throughput in megabytes per second over the window.
+    pub fn mbytes_per_sec(&self, end: Nanos) -> f64 {
+        let w = self.window(end).as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn rsd_is_percent_of_mean() {
+        let mut s = OnlineStats::new();
+        s.push(99.0);
+        s.push(101.0);
+        // stddev = sqrt(2), mean = 100 -> RSD = 1.414...%
+        assert!((s.rsd_percent() - 100.0 * (2.0f64).sqrt() / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for i in 0..100 {
+            let x = (i * i % 37) as f64;
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone_and_close() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(Nanos(i * 100)); // 100ns .. 1ms uniform
+        }
+        let q50 = h.median().as_nanos() as f64;
+        let q99 = h.p99().as_nanos() as f64;
+        assert!(q50 <= q99);
+        // True median is 500_050ns; log buckets are ~9% wide.
+        assert!((q50 - 500_000.0).abs() / 500_000.0 < 0.15, "q50={q50}");
+        assert!((q99 - 990_000.0).abs() / 990_000.0 < 0.15, "q99={q99}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Nanos(100));
+        b.record(Nanos(200));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn rate_meter_computes_rates() {
+        let mut m = RateMeter::new();
+        m.record(Nanos::ZERO, 1000);
+        m.record(Nanos::from_secs(1), 1000);
+        // 2000 bytes over 1 second window -> 16 kbit/s.
+        assert!((m.bits_per_sec(Nanos::from_secs(1)) - 16_000.0).abs() < 1e-6);
+        assert!((m.events_per_sec(Nanos::from_secs(1)) - 2.0).abs() < 1e-9);
+        assert!((m.mbytes_per_sec(Nanos::from_secs(1)) - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_meter_empty_is_zero() {
+        let m = RateMeter::new();
+        assert_eq!(m.bits_per_sec(Nanos::from_secs(1)), 0.0);
+        assert_eq!(m.events_per_sec(Nanos::from_secs(1)), 0.0);
+    }
+}

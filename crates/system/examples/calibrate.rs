@@ -1,0 +1,63 @@
+//! Calibration probe: prints the Figure 7-style latencies for both OSes.
+
+use kite_sim::Nanos;
+use kite_system::{addrs, BackendOs, NetSystem, Reply, Side};
+
+fn main() {
+    for os in BackendOs::both() {
+        // Ping: 30 echoes at 1 s intervals.
+        let mut sys = NetSystem::new(os, 1);
+        for i in 0..30 {
+            sys.ping_at(Nanos::from_secs(1) * (i as u64 + 1), i);
+        }
+        sys.run_to_quiescence();
+        let ping_ms = sys.metrics.ping_rtts.mean() / 1e6;
+
+        // Netperf-style RR: 1000 req/s, 1-byte payloads, 2 s.
+        let mut sys = NetSystem::new(os, 2);
+        sys.set_guest_app(Box::new(|_, msg| {
+            vec![Reply {
+                dst_ip: msg.src_ip,
+                dst_port: msg.src_port,
+                src_port: msg.dst_port,
+                payload: vec![1],
+                cost: Nanos::from_micros(2),
+            }]
+        }));
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let rtts = Rc::new(RefCell::new(kite_sim::OnlineStats::new()));
+        let sent = Rc::new(RefCell::new(std::collections::HashMap::new()));
+        let r2 = rtts.clone();
+        let s2 = sent.clone();
+        sys.set_client_app(Box::new(move |now, msg| {
+            let seq: u64 = u64::from(msg.dst_port);
+            if let Some(t0) = s2.borrow_mut().remove(&seq) {
+                r2.borrow_mut().push_nanos(now - t0);
+            }
+            Vec::new()
+        }));
+        for i in 0..2000u64 {
+            let t = Nanos::from_millis(i);
+            sent.borrow_mut().insert(10000 + i, t);
+            sys.send_udp_at(
+                t,
+                Side::Client,
+                addrs::GUEST,
+                12865,
+                (10000 + i) as u16,
+                vec![0],
+            );
+        }
+        sys.run_to_quiescence();
+        let np_ms = rtts.borrow().mean() / 1e6;
+        println!(
+            "{:6}  ping={:.3}ms (paper {})  netperf={:.3}ms (paper {})",
+            os.name(),
+            ping_ms,
+            if os == BackendOs::Kite { "0.31" } else { "0.51" },
+            np_ms,
+            if os == BackendOs::Kite { "0.10" } else { "0.18" },
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Full-system composition: the paper's testbed as a discrete-event
+//! simulation.
+//!
+//! [`netsys::NetSystem`] wires client ⇄ wire ⇄ NIC ⇄ driver domain
+//! (bridge + netback) ⇄ netfront ⇄ guest; [`storsys::StorSystem`] wires
+//! guest ⇄ blkfront ⇄ driver domain (blkback) ⇄ NVMe. Both run under
+//! either the Kite or the Linux [`netsys::BackendOs`] profile, which is
+//! how every Kite-vs-Linux figure is produced.
+
+pub mod netsys;
+pub mod storsys;
+
+pub use netsys::{addrs, BackendOs, NetMetrics, NetSystem, Reply, Side, UdpHandler, UdpMsg, MAX_UDP};
+pub use storsys::{IoDone, IoHandler, IoKind, IoOp, StorMetrics, StorSystem};

@@ -1,0 +1,537 @@
+//! The full storage-domain scenario: guest application ⇄ blkfront ⇄
+//! Kite/Linux driver domain (blkback) ⇄ NVMe device.
+//!
+//! Workloads submit logical I/Os (any size); the system splits them into
+//! ring requests bounded by the negotiated features (44 KiB direct or
+//! 128 KiB with 32 indirect segments), applies ring backpressure, and
+//! reports completions to a workload-installed handler that can keep each
+//! simulated worker thread's loop going (closed-loop benchmarks).
+
+use std::collections::{HashMap, VecDeque};
+
+use kite_core::{provision_device, BackendManager, BlkbackInstance, BlkbackTuning, BlockApp};
+use kite_devices::Nvme;
+use kite_frontends::Blkfront;
+use kite_sim::{Cpu, EventQueue, Nanos, Pcg};
+use kite_xen::xenbus::switch_state;
+use kite_xen::{DeviceKind, DevicePaths, DomainId, DomainKind, Hypervisor, Port, XenbusState};
+
+pub use crate::netsys::BackendOs;
+
+/// A logical I/O a workload submits.
+#[derive(Clone, Debug)]
+pub enum IoKind {
+    /// Read `len` bytes at `sector`.
+    Read {
+        /// Starting 512-byte sector.
+        sector: u64,
+        /// Length in bytes (multiple of 512).
+        len: usize,
+    },
+    /// Write bytes at `sector`.
+    Write {
+        /// Starting 512-byte sector.
+        sector: u64,
+        /// The data (length a multiple of 512).
+        data: Vec<u8>,
+    },
+    /// Flush the disk cache.
+    Flush,
+}
+
+/// A workload I/O with its tag.
+#[derive(Clone, Debug)]
+pub struct IoOp {
+    /// Workload-chosen tag returned at completion.
+    pub tag: u64,
+    /// The operation.
+    pub kind: IoKind,
+}
+
+/// A completed logical I/O.
+#[derive(Debug)]
+pub struct IoDone {
+    /// The workload tag.
+    pub tag: u64,
+    /// All chunks succeeded.
+    pub ok: bool,
+    /// Assembled data for reads.
+    pub data: Option<Vec<u8>>,
+    /// When the logical I/O was submitted.
+    pub submitted: Nanos,
+}
+
+/// Completion handler: observes a finished I/O, returns follow-up ops
+/// (the closed-loop worker pattern).
+pub type IoHandler = Box<dyn FnMut(Nanos, &IoDone) -> Vec<IoOp>>;
+
+enum Event {
+    Irq { dom: DomainId, port: Port },
+    BlkDone { req_id: u64 },
+    Submit(IoOp),
+}
+
+#[derive(Debug)]
+enum ChunkKind {
+    Read { sector: u64, len: usize },
+    Write { sector: u64, data: Vec<u8> },
+    Flush,
+}
+
+#[derive(Debug)]
+struct Chunk {
+    tag: u64,
+    order: usize,
+    kind: ChunkKind,
+}
+
+struct TagState {
+    remaining: usize,
+    ok: bool,
+    chunks: Vec<(usize, Vec<u8>)>, // (order, data) for reads
+    want_data: bool,
+    submitted: Nanos,
+}
+
+/// Storage metrics.
+#[derive(Default)]
+pub struct StorMetrics {
+    /// Logical I/Os completed.
+    pub ios: u64,
+    /// Bytes read (logical).
+    pub read_bytes: u64,
+    /// Bytes written (logical).
+    pub write_bytes: u64,
+    /// Latency stats over logical I/Os.
+    pub latency: kite_sim::OnlineStats,
+}
+
+/// The storage scenario system.
+pub struct StorSystem {
+    /// The simulated Xen machine.
+    pub hv: Hypervisor,
+    /// Which OS the driver domain runs.
+    pub os: BackendOs,
+    queue: EventQueue<Event>,
+    driver: DomainId,
+    guest: DomainId,
+    driver_cpu: Cpu,
+    guest_cpus: Vec<Cpu>,
+    guest_rr: usize,
+    guest_last_end: Nanos,
+    /// The NVMe device (sparse real contents).
+    pub nvme: Nvme,
+    blkback: BlkbackInstance,
+    blkfront: Blkfront,
+    /// The storage domain's status application.
+    pub blockapp: BlockApp,
+    // req_id -> (tag, chunk order)
+    req_map: HashMap<u64, (u64, usize)>,
+    tags: HashMap<u64, TagState>,
+    pendq: VecDeque<Chunk>,
+    handler: Option<IoHandler>,
+    /// Measurement taps.
+    pub metrics: StorMetrics,
+    /// Deterministic RNG stream.
+    pub rng: Pcg,
+    events_processed: u64,
+}
+
+impl StorSystem {
+    /// Builds the scenario: a 500 GB-class NVMe passed through to the
+    /// driver domain, blkfront in the guest, handshake to `Connected`.
+    pub fn new(os: BackendOs, seed: u64) -> StorSystem {
+        StorSystem::with_tuning(os, seed, BlkbackTuning::default())
+    }
+
+    /// Builds the scenario with explicit blkback tuning (ablations).
+    pub fn with_tuning(os: BackendOs, seed: u64, tuning: BlkbackTuning) -> StorSystem {
+        let mut profile = os.profile();
+        // Seed-derived run-to-run noise (see NetSystem::new).
+        let mut jrng = Pcg::new(seed, 0x6a69747465725f32);
+        profile.per_block_request = jrng.jitter(profile.per_block_request, 0.004);
+        profile.idle_wake_cap = jrng.jitter(profile.idle_wake_cap, 0.004);
+        // `profile` parameterizes blkback; StorSystem itself needs no copy.
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 8192, 4);
+        let driver = hv.create_domain(
+            match os {
+                BackendOs::Kite => "blkbackend",
+                BackendOs::Linux => "ubuntu-dd",
+            },
+            DomainKind::Driver,
+            if os == BackendOs::Kite { 1024 } else { 2048 },
+            1,
+        );
+        let guest = hv.create_domain("guest", DomainKind::Guest, 5120, 22);
+
+        let bdf: kite_xen::Bdf = "04:00.0".parse().expect("static BDF");
+        hv.pci.add_device(kite_xen::PciDevice {
+            bdf,
+            class: kite_xen::PciClass::Nvme,
+            name: "Samsung 970 EVO Plus 500GB".into(),
+        });
+        hv.pci.make_assignable(bdf).expect("fresh device");
+        hv.pci.assign(bdf, driver).expect("assignable");
+
+        // Scaled capacity: the data plane is sparse-real; 16 GiB of
+        // addressable space is ample for the scaled workloads.
+        let nvme = Nvme::new(16);
+        let blockapp = BlockApp::start(&mut hv, driver, nvme.sectors).expect("blockapp");
+
+        let mut mgr = BackendManager::new(driver, DeviceKind::Vbd);
+        mgr.start(&mut hv).expect("watch");
+        let paths = DevicePaths::new(guest, driver, DeviceKind::Vbd, 0);
+        provision_device(&mut hv, &paths).expect("provision");
+        mgr.scan(&mut hv).expect("scan");
+        let mut blkfront = Blkfront::connect(&mut hv, &paths).expect("blkfront");
+        let ready = mgr.scan(&mut hv).expect("scan");
+        assert_eq!(ready.len(), 1, "frontend discovered");
+        let blkback = BlkbackInstance::connect(&mut hv, &ready[0], profile.clone(), tuning, nvme.sectors)
+            .expect("blkback");
+        blkfront.read_features(&mut hv, &paths).expect("features");
+        switch_state(&mut hv.store, guest, &paths.frontend_state(), XenbusState::Connected)
+            .expect("frontend connect");
+
+        StorSystem {
+            hv,
+            os,
+            queue: EventQueue::new(),
+            driver,
+            guest,
+            driver_cpu: Cpu::new(),
+            guest_cpus: (0..22).map(|_| Cpu::new()).collect(),
+            guest_rr: 0,
+            guest_last_end: Nanos::ZERO,
+            nvme,
+            blkback,
+            blkfront,
+            blockapp,
+            req_map: HashMap::new(),
+            tags: HashMap::new(),
+            pendq: VecDeque::new(),
+            handler: None,
+            metrics: StorMetrics::default(),
+            rng: Pcg::seeded(seed),
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.queue.now()
+    }
+
+    /// Installs the completion handler.
+    pub fn set_handler(&mut self, h: IoHandler) {
+        self.handler = Some(h);
+    }
+
+    /// Schedules a logical I/O submission at `t`.
+    pub fn submit_at(&mut self, t: Nanos, op: IoOp) {
+        self.queue.schedule_at(t, Event::Submit(op));
+    }
+
+    /// Runs the event loop until `deadline`.
+    pub fn run_until(&mut self, deadline: Nanos) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            self.handle(now, ev);
+        }
+    }
+
+    /// Runs until all events drain.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            self.handle(now, ev);
+        }
+    }
+
+    /// Outstanding logical I/Os.
+    pub fn outstanding(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Blkback statistics.
+    pub fn blkback_stats(&self) -> kite_core::BlkbackStats {
+        self.blkback.stats()
+    }
+
+    /// Driver vCPU utilization over a window.
+    pub fn driver_cpu_percent(&self, window: Nanos) -> f64 {
+        self.driver_cpu.utilization_percent(window)
+    }
+
+    /// Events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn guest_cpu_run(&mut self, now: Nanos, cost: Nanos) -> Nanos {
+        let mut best = self.guest_rr % self.guest_cpus.len();
+        let mut best_free = Nanos::MAX;
+        for (i, c) in self.guest_cpus.iter().enumerate() {
+            if c.free_at() < best_free {
+                best_free = c.free_at();
+                best = i;
+            }
+        }
+        self.guest_rr += 1;
+        let done = self.guest_cpus[best].run(now, cost);
+        self.guest_last_end = self.guest_last_end.max(done);
+        done
+    }
+
+    fn notify_backend(&mut self, done: Nanos) {
+        let (n, c) = self
+            .hv
+            .evtchn_send(self.guest, self.blkfront.evtchn)
+            .expect("channel");
+        let done = self.guest_cpu_run(done, c);
+        if let Some(n) = n {
+            self.queue
+                .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+                    dom: n.domain,
+                    port: n.port,
+                });
+        }
+    }
+
+    /// Splits a logical op into ring-sized chunks.
+    fn chunks_of(&self, op: &IoOp) -> Vec<Chunk> {
+        let max = self.blkfront.max_request_bytes();
+        match &op.kind {
+            IoKind::Read { sector, len } => {
+                let len = len.div_ceil(512) * 512;
+                let mut out = Vec::new();
+                let mut off = 0usize;
+                let mut order = 0usize;
+                while off < len {
+                    let n = (len - off).min(max);
+                    out.push(Chunk {
+                        tag: op.tag,
+                        order,
+                        kind: ChunkKind::Read {
+                            sector: sector + (off / 512) as u64,
+                            len: n,
+                        },
+                    });
+                    off += n;
+                    order += 1;
+                }
+                out
+            }
+            IoKind::Write { sector, data } => {
+                let mut data = data.clone();
+                let padded = data.len().div_ceil(512) * 512;
+                data.resize(padded, 0);
+                let mut out = Vec::new();
+                let mut off = 0usize;
+                let mut order = 0usize;
+                while off < data.len() {
+                    let n = (data.len() - off).min(max);
+                    out.push(Chunk {
+                        tag: op.tag,
+                        order,
+                        kind: ChunkKind::Write {
+                            sector: sector + (off / 512) as u64,
+                            data: data[off..off + n].to_vec(),
+                        },
+                    });
+                    off += n;
+                    order += 1;
+                }
+                out
+            }
+            IoKind::Flush => vec![Chunk {
+                tag: op.tag,
+                order: 0,
+                kind: ChunkKind::Flush,
+            }],
+        }
+    }
+
+    /// Registers a logical op (creating its completion state) and queues
+    /// its chunks; as many as fit go straight into the ring.
+    fn try_submit(&mut self, now: Nanos, op: IoOp, submitted: Nanos) -> bool {
+        let want_data = matches!(op.kind, IoKind::Read { .. });
+        if let IoKind::Write { data, .. } = &op.kind {
+            self.metrics.write_bytes += data.len() as u64;
+        }
+        let chunks = self.chunks_of(&op);
+        self.tags.insert(
+            op.tag,
+            TagState {
+                remaining: chunks.len(),
+                ok: true,
+                chunks: Vec::new(),
+                want_data,
+                submitted,
+            },
+        );
+        for c in chunks {
+            self.pendq.push_back(c);
+        }
+        self.drain_pendq(now);
+        true
+    }
+
+    /// Pushes parked chunks into the ring while space allows.
+    fn drain_pendq(&mut self, now: Nanos) {
+        let mut notify = false;
+        let mut cost = Nanos::ZERO;
+        while let Some(c) = self.pendq.front() {
+            let res = match &c.kind {
+                ChunkKind::Read { sector, len } => {
+                    self.blkfront.submit_read(&mut self.hv, *sector, *len)
+                }
+                ChunkKind::Write { sector, data } => {
+                    self.blkfront.submit_write(&mut self.hv, *sector, data)
+                }
+                ChunkKind::Flush => self.blkfront.submit_flush(&mut self.hv),
+            };
+            match res {
+                Ok((id, fo)) => {
+                    let c = self.pendq.pop_front().expect("peeked");
+                    self.req_map.insert(id, (c.tag, c.order));
+                    notify |= fo.notify;
+                    cost += fo.cost;
+                }
+                Err(kite_xen::XenError::RingFull) => break,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        if cost > Nanos::ZERO {
+            self.guest_cpu_run(now, cost);
+        }
+        if notify {
+            self.notify_backend(now);
+        }
+    }
+
+    fn run_blkback(&mut self, now: Nanos) {
+        loop {
+            let batch = self
+                .blkback
+                .request_thread_run(&mut self.hv, &mut self.nvme, now, 32)
+                .expect("request thread");
+            self.driver_cpu.run(now, batch.cost);
+            for s in batch.submissions {
+                self.queue
+                    .schedule_at(s.completes_at, Event::BlkDone { req_id: s.req_id });
+            }
+            if !batch.more {
+                break;
+            }
+        }
+    }
+
+    fn handle(&mut self, now: Nanos, ev: Event) {
+        match ev {
+            Event::Submit(op) => {
+                let ok = self.try_submit(now, op, now);
+                let _ = ok;
+            }
+            Event::Irq { dom, port } => {
+                let _ = self.hv.evtchn.clear_pending(dom, port);
+                if dom == self.driver {
+                    let idle = now.saturating_sub(self.driver_cpu.free_at());
+                    let wake = self.os.profile().idle_wake(idle);
+                    let t = self
+                        .driver_cpu
+                        .run(now, wake + self.blkback.irq_handler_cost());
+                    self.run_blkback(t);
+                } else if dom == self.guest {
+                    let earliest = self.guest_last_end;
+                    // Guest wake-from-halt before completions are seen
+                    // (same model as the network guest; worker latency).
+                    let wake = Nanos(now.saturating_sub(earliest).as_nanos() / 10)
+                        .min(Nanos(170_000));
+                    let now = now + wake;
+                    let op = self.blkfront.on_irq(&mut self.hv).expect("blkfront irq");
+                    self.guest_cpu_run(now, wake + op.cost);
+                    let completions = self.blkfront.take_completions();
+                    let mut finished: Vec<IoDone> = Vec::new();
+                    for c in completions {
+                        let Some((tag, order)) = self.req_map.remove(&c.id) else {
+                            continue;
+                        };
+                        let Some(ts) = self.tags.get_mut(&tag) else {
+                            continue;
+                        };
+                        ts.ok &= c.ok;
+                        if let Some(d) = c.data {
+                            if ts.want_data {
+                                ts.chunks.push((order, d));
+                            }
+                        }
+                        ts.remaining -= 1;
+                        if ts.remaining == 0 {
+                            let mut ts = self.tags.remove(&tag).expect("present");
+                            ts.chunks.sort_by_key(|&(o, _)| o);
+                            let data = if ts.want_data && ts.ok {
+                                let mut buf = Vec::new();
+                                for (_, d) in ts.chunks {
+                                    buf.extend_from_slice(&d);
+                                }
+                                Some(buf)
+                            } else {
+                                None
+                            };
+                            let lat = now - ts.submitted;
+                            self.metrics.ios += 1;
+                            self.metrics.latency.push_nanos(lat);
+                            if let Some(d) = &data {
+                                self.metrics.read_bytes += d.len() as u64;
+                            }
+                            finished.push(IoDone {
+                                tag,
+                                ok: ts.ok,
+                                data,
+                                submitted: ts.submitted,
+                            });
+                        }
+                    }
+                    // Ring slots freed: drain parked ops first.
+                    self.drain_pendq(now);
+                    if let Some(mut h) = self.handler.take() {
+                        for d in &finished {
+                            let next = h(now, d);
+                            for op in next {
+                                if !self.try_submit(now, op, now) {
+                                    // Parked; drained on future completions.
+                                }
+                            }
+                        }
+                        self.handler = Some(h);
+                    }
+                }
+            }
+            Event::BlkDone { req_id } => {
+                let res = self.blkback.complete(&mut self.hv, req_id).expect("complete");
+                let done = self.driver_cpu.run(now, res.cost);
+                if res.notify {
+                    let (n, c) = self
+                        .hv
+                        .evtchn_send(self.driver, self.blkback.evtchn)
+                        .expect("channel");
+                    let done = self.driver_cpu.run(done, c);
+                    if let Some(n) = n {
+                        self.queue
+                            .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+                                dom: n.domain,
+                                port: n.port,
+                            });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! End-to-end integration tests: real bytes through every hop.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kite_sim::Nanos;
+use kite_system::{addrs, BackendOs, IoKind, IoOp, NetSystem, Reply, Side, StorSystem};
+
+#[test]
+fn udp_request_reply_roundtrip_with_payload_integrity() {
+    for os in BackendOs::both() {
+        let mut sys = NetSystem::new(os, 42);
+        // Guest echo server on port 7.
+        sys.set_guest_app(Box::new(|_, msg| {
+            vec![Reply {
+                dst_ip: msg.src_ip,
+                dst_port: msg.src_port,
+                src_port: msg.dst_port,
+                payload: msg.payload.clone(),
+                cost: Nanos::from_micros(1),
+            }]
+        }));
+        let got: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+        let got2 = got.clone();
+        sys.set_client_app(Box::new(move |_, msg| {
+            got2.borrow_mut().push(msg.payload.clone());
+            Vec::new()
+        }));
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        sys.send_udp_at(
+            Nanos::from_millis(1),
+            Side::Client,
+            addrs::GUEST,
+            7,
+            40000,
+            payload.clone(),
+        );
+        sys.run_to_quiescence();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1, "{}: echo reply arrived", os.name());
+        assert_eq!(got[0], payload, "{}: payload intact end to end", os.name());
+        let st = sys.netback_stats();
+        assert!(st.rx_packets >= 1, "request crossed netback Rx");
+        assert!(st.tx_packets >= 1, "reply crossed netback Tx");
+        assert_eq!(sys.metrics.drops, 0);
+    }
+}
+
+#[test]
+fn large_message_chunks_and_reassembles() {
+    let mut sys = NetSystem::new(BackendOs::Kite, 7);
+    let bytes_seen = Rc::new(RefCell::new(0usize));
+    let bs = bytes_seen.clone();
+    sys.set_guest_app(Box::new(move |_, msg| {
+        *bs.borrow_mut() += msg.payload.len();
+        Vec::new()
+    }));
+    // 64 KiB message -> 17 GSO-sized chunks.
+    sys.send_udp_at(
+        Nanos::from_millis(1),
+        Side::Client,
+        addrs::GUEST,
+        5001,
+        40000,
+        vec![0xab; 65536],
+    );
+    sys.run_to_quiescence();
+    assert_eq!(*bytes_seen.borrow(), 65536);
+    assert!(sys.metrics.guest_rx_msgs >= 17);
+}
+
+#[test]
+fn ping_rtt_sub_millisecond_and_kite_faster() {
+    let mut rtts = Vec::new();
+    for os in BackendOs::both() {
+        let mut sys = NetSystem::new(os, 11);
+        for i in 0..20 {
+            sys.ping_at(Nanos::from_millis(10 * i as u64), i);
+        }
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics.ping_rtts.count(), 20, "{}: all pings replied", os.name());
+        let mean = sys.metrics.ping_rtts.mean();
+        rtts.push(mean);
+        assert!(mean < 1_000_000.0, "{}: RTT {}ns below 1ms", os.name(), mean);
+        assert!(mean > 10_000.0, "{}: RTT {}ns is physically plausible", os.name(), mean);
+    }
+    // Paper Fig 7: Kite ping latency < Linux.
+    assert!(rtts[1] < rtts[0], "Kite {} < Linux {}", rtts[1], rtts[0]);
+}
+
+#[test]
+fn guest_to_client_direction_works() {
+    let mut sys = NetSystem::new(BackendOs::Kite, 3);
+    let got = Rc::new(RefCell::new(0u64));
+    let g = got.clone();
+    sys.set_client_app(Box::new(move |_, msg| {
+        *g.borrow_mut() += msg.payload.len() as u64;
+        Vec::new()
+    }));
+    for i in 0..50 {
+        sys.send_udp_at(
+            Nanos::from_micros(100 * i),
+            Side::Guest,
+            addrs::CLIENT,
+            9999,
+            1234,
+            vec![1u8; 1400],
+        );
+    }
+    sys.run_to_quiescence();
+    assert_eq!(*got.borrow(), 50 * 1400);
+    assert_eq!(sys.netback_stats().tx_packets, 50);
+}
+
+#[test]
+fn storage_write_then_read_verifies_bytes() {
+    for os in BackendOs::both() {
+        let mut sys = StorSystem::new(os, 42);
+        let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 241) as u8).collect();
+        sys.submit_at(
+            Nanos::from_millis(1),
+            IoOp {
+                tag: 1,
+                kind: IoKind::Write {
+                    sector: 2048,
+                    data: data.clone(),
+                },
+            },
+        );
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics.ios, 1, "{}: write completed", os.name());
+
+        // Read it back through the whole PV path.
+        let read_back: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
+        let rb = read_back.clone();
+        sys.set_handler(Box::new(move |_, done| {
+            if done.tag == 2 {
+                *rb.borrow_mut() = done.data.clone();
+            }
+            Vec::new()
+        }));
+        sys.submit_at(
+            sys.now() + Nanos::from_millis(1),
+            IoOp {
+                tag: 2,
+                kind: IoKind::Read {
+                    sector: 2048,
+                    len: data.len(),
+                },
+            },
+        );
+        sys.run_to_quiescence();
+        let rb = read_back.borrow();
+        assert_eq!(rb.as_deref(), Some(data.as_slice()), "{}: bytes intact", os.name());
+    }
+}
+
+#[test]
+fn storage_flush_and_closed_loop_worker() {
+    let mut sys = StorSystem::new(BackendOs::Kite, 9);
+    // A closed-loop worker: write 64 KiB, then flush, then stop. Tags:
+    // 1 = write, 2 = flush.
+    sys.set_handler(Box::new(move |_, done| {
+        assert!(done.ok);
+        if done.tag == 1 {
+            vec![IoOp {
+                tag: 2,
+                kind: IoKind::Flush,
+            }]
+        } else {
+            Vec::new()
+        }
+    }));
+    sys.submit_at(
+        Nanos::from_millis(1),
+        IoOp {
+            tag: 1,
+            kind: IoKind::Write {
+                sector: 0,
+                data: vec![7u8; 65536],
+            },
+        },
+    );
+    sys.run_to_quiescence();
+    assert_eq!(sys.metrics.ios, 2);
+    assert_eq!(sys.outstanding(), 0);
+}
+
+#[test]
+fn storage_uses_indirect_segments_for_large_io() {
+    let mut sys = StorSystem::new(BackendOs::Kite, 5);
+    // One 128 KiB request = 32 segments: must go indirect (> 11 segs).
+    sys.submit_at(
+        Nanos::from_millis(1),
+        IoOp {
+            tag: 1,
+            kind: IoKind::Write {
+                sector: 0,
+                data: vec![3u8; 128 * 1024],
+            },
+        },
+    );
+    sys.run_to_quiescence();
+    let st = sys.blkback_stats();
+    assert_eq!(st.requests, 1, "a single (indirect) ring request sufficed");
+    assert_eq!(sys.metrics.ios, 1);
+}
+
+#[test]
+fn persistent_grants_reduce_maps_on_repeat_io() {
+    let mut sys = StorSystem::new(BackendOs::Kite, 6);
+    for i in 0..20 {
+        sys.submit_at(
+            Nanos::from_millis(1 + i),
+            IoOp {
+                tag: i,
+                kind: IoKind::Write {
+                    sector: 0,
+                    data: vec![i as u8; 4096],
+                },
+            },
+        );
+    }
+    sys.run_to_quiescence();
+    let st = sys.blkback_stats();
+    assert_eq!(st.requests, 20);
+    assert!(
+        st.persistent_hits > 0,
+        "page pool reuse should hit the persistent-grant cache: {st:?}"
+    );
+    assert!(st.grant_maps < 20, "maps avoided: {st:?}");
+}
+
+#[test]
+fn deterministic_replay_same_seed() {
+    let run = |seed: u64| {
+        let mut sys = NetSystem::new(BackendOs::Kite, seed);
+        sys.set_guest_app(Box::new(|_, msg| {
+            vec![Reply {
+                dst_ip: msg.src_ip,
+                dst_port: msg.src_port,
+                src_port: msg.dst_port,
+                payload: vec![0; 64],
+                cost: Nanos::from_micros(2),
+            }]
+        }));
+        for i in 0..200u64 {
+            sys.send_udp_at(
+                Nanos::from_micros(50 * i),
+                Side::Client,
+                addrs::GUEST,
+                80,
+                4000,
+                vec![1; 200],
+            );
+        }
+        sys.run_to_quiescence();
+        (
+            sys.now().as_nanos(),
+            sys.metrics.client_rx_bytes,
+            sys.events_processed(),
+        )
+    };
+    assert_eq!(run(1234), run(1234), "same seed, same trajectory");
+}
+
+#[test]
+fn nat_mode_carries_guest_initiated_flows() {
+    let mut sys = NetSystem::new(BackendOs::Kite, 77);
+    sys.use_nat();
+    // Client echoes whatever arrives (it sees the gateway as the source).
+    sys.set_client_app(Box::new(|_, msg| {
+        vec![Reply {
+            dst_ip: msg.src_ip,
+            dst_port: msg.src_port,
+            src_port: msg.dst_port,
+            payload: msg.payload.clone(),
+            cost: Nanos::from_micros(1),
+        }]
+    }));
+    let got: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+    let g2 = got.clone();
+    let src_seen: Rc<RefCell<Option<std::net::Ipv4Addr>>> = Rc::new(RefCell::new(None));
+    sys.set_guest_app(Box::new(move |_, msg| {
+        g2.borrow_mut().push(msg.payload.clone());
+        Vec::new()
+    }));
+    // Record what source the client sees by wrapping its handler… instead,
+    // assert afterwards via the NAT flow table.
+    drop(src_seen);
+    sys.send_udp_at(
+        Nanos::from_millis(1),
+        Side::Guest,
+        addrs::CLIENT,
+        9999,
+        5555,
+        b"through the NAT".to_vec(),
+    );
+    sys.run_to_quiescence();
+    let got = got.borrow();
+    assert_eq!(got.len(), 1, "reply translated back to the guest");
+    assert_eq!(got[0], b"through the NAT");
+    assert_eq!(sys.netapp.nat.flows(), 1, "one SNAT flow established");
+}
+
+#[test]
+fn nat_mode_drops_unsolicited_inbound_udp() {
+    let mut sys = NetSystem::new(BackendOs::Kite, 78);
+    sys.use_nat();
+    let seen = Rc::new(RefCell::new(0u64));
+    let s2 = seen.clone();
+    sys.set_guest_app(Box::new(move |_, _| {
+        *s2.borrow_mut() += 1;
+        Vec::new()
+    }));
+    // The client scans the gateway directly: no flow, must be dropped.
+    sys.send_udp_at(
+        Nanos::from_millis(1),
+        Side::Client,
+        addrs::GATEWAY,
+        31337,
+        4444,
+        vec![0; 64],
+    );
+    sys.run_to_quiescence();
+    assert_eq!(*seen.borrow(), 0, "unsolicited UDP never reaches the guest");
+    assert!(sys.metrics.drops >= 1);
+    // But ping still works in NAT mode (gateway proxies ICMP).
+    sys.ping_at(sys.now() + Nanos::from_millis(1), 1);
+    sys.run_to_quiescence();
+    assert_eq!(sys.metrics.ping_rtts.count(), 1);
+}

@@ -1,0 +1,346 @@
+//! Shared plumbing for the macro workloads: a tiny length-prefixed message
+//! protocol so multi-chunk requests/responses are reassembled exactly once
+//! on each side, plus closed-loop bookkeeping helpers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use kite_sim::Nanos;
+use kite_system::UdpMsg;
+
+/// Header magic for logical messages.
+const MAGIC: u16 = 0x4b4d; // "KM"
+/// Header length: magic(2) + kind(2) + total body length(4).
+pub const MSG_HEADER: usize = 8;
+
+/// Builds a logical message: header plus `body_len` filler bytes.
+pub fn encode_msg(kind: u16, body_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MSG_HEADER + body_len);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.extend_from_slice(&kind.to_be_bytes());
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.resize(MSG_HEADER + body_len, 0x6b);
+    out
+}
+
+/// A fully reassembled logical message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogicalMsg {
+    /// Peer address.
+    pub src_ip: Ipv4Addr,
+    /// Peer port (the flow key).
+    pub src_port: u16,
+    /// Local port it arrived on.
+    pub dst_port: u16,
+    /// Application-defined kind tag.
+    pub kind: u16,
+    /// Body length in bytes.
+    pub body_len: usize,
+    /// Arrival time of the first chunk.
+    pub started: Nanos,
+}
+
+#[derive(Debug)]
+struct Partial {
+    kind: u16,
+    body_len: usize,
+    got: usize,
+    started: Nanos,
+}
+
+/// Per-flow reassembly of logical messages from UDP chunks.
+#[derive(Default)]
+pub struct Reassembler {
+    flows: HashMap<(Ipv4Addr, u16, u16), Partial>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Feeds one UDP chunk; returns the logical message when complete.
+    ///
+    /// Chunks of one logical message arrive in order on a flow (the
+    /// simulated path is FIFO); a fresh header starts a new message.
+    pub fn push(&mut self, now: Nanos, msg: &UdpMsg) -> Option<LogicalMsg> {
+        let key = (msg.src_ip, msg.src_port, msg.dst_port);
+        let p = self.flows.entry(key).or_insert(Partial {
+            kind: 0,
+            body_len: 0,
+            got: 0,
+            started: now,
+        });
+        let mut data = msg.payload.as_slice();
+        if p.got == 0 {
+            // Expect a header.
+            if data.len() < MSG_HEADER
+                || u16::from_be_bytes([data[0], data[1]]) != MAGIC
+            {
+                self.flows.remove(&key);
+                return None;
+            }
+            p.kind = u16::from_be_bytes([data[2], data[3]]);
+            p.body_len =
+                u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as usize;
+            p.started = now;
+            data = &data[MSG_HEADER..];
+        }
+        p.got += data.len();
+        if p.got >= p.body_len {
+            let done = LogicalMsg {
+                src_ip: msg.src_ip,
+                src_port: msg.src_port,
+                dst_port: msg.dst_port,
+                kind: p.kind,
+                body_len: p.body_len,
+                started: p.started,
+            };
+            self.flows.remove(&key);
+            Some(done)
+        } else {
+            None
+        }
+    }
+}
+
+
+/// Configuration of a generic closed-loop request/response benchmark over
+/// the network scenario (Apache/ab, Redis, sysbench-MySQL, memtier all
+/// specialize this).
+pub struct RrConfig {
+    /// Concurrent workers (connections/threads on the load generator).
+    pub workers: u16,
+    /// Requests each worker performs.
+    pub ops_per_worker: u64,
+    /// Outstanding requests per worker (1 = strict closed loop;
+    /// >1 = pipelining, as redis-benchmark's `-P`).
+    pub pipeline: u32,
+    /// Request body size for op index `i` (kind, bytes).
+    pub request: Box<dyn Fn(u64) -> (u16, usize)>,
+    /// Response body size for a request of `kind`.
+    pub response: Box<dyn Fn(u16) -> usize>,
+    /// Server compute cost per request.
+    pub server_cost: kite_sim::Nanos,
+    /// Server port.
+    pub port: u16,
+}
+
+/// Results of a closed-loop run.
+#[derive(Debug)]
+pub struct RrResult {
+    /// Per-request latency (first byte of request to last of response).
+    pub latency: kite_sim::OnlineStats,
+    /// Completed requests.
+    pub ops: u64,
+    /// Virtual time from first send to last completion.
+    pub duration: kite_sim::Nanos,
+    /// Response payload bytes received by the client.
+    pub resp_bytes: u64,
+    /// Request payload bytes received by the server.
+    pub req_bytes: u64,
+    /// Guest mean CPU utilization over the run (sysstat style).
+    pub guest_cpu: f64,
+}
+
+/// Runs the closed-loop benchmark against one driver-domain OS.
+pub fn rr_closed_loop(
+    os: kite_system::BackendOs,
+    seed: u64,
+    cfg: RrConfig,
+) -> RrResult {
+    use kite_system::{addrs, NetSystem, Reply, Side};
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::rc::Rc;
+
+    let mut sys = NetSystem::new(os, seed);
+    let server_asm = Rc::new(RefCell::new(Reassembler::new()));
+    let sa = server_asm.clone();
+    let response = cfg.response;
+    let server_cost = cfg.server_cost;
+    sys.set_guest_app(Box::new(move |now, msg| {
+        let Some(req) = sa.borrow_mut().push(now, msg) else {
+            return Vec::new();
+        };
+        vec![Reply {
+            dst_ip: req.src_ip,
+            dst_port: req.src_port,
+            src_port: req.dst_port,
+            payload: encode_msg(req.kind, response(req.kind)),
+            cost: server_cost,
+        }]
+    }));
+
+    struct Worker {
+        outstanding: VecDeque<Nanos>,
+        started: u64,
+        done: u64,
+    }
+    let workers: Rc<RefCell<HashMap<u16, Worker>>> = Rc::new(RefCell::new(HashMap::new()));
+    let latency = Rc::new(RefCell::new(kite_sim::OnlineStats::new()));
+    let resp_bytes = Rc::new(RefCell::new(0u64));
+    let client_asm = Rc::new(RefCell::new(Reassembler::new()));
+    let ops_per_worker = cfg.ops_per_worker;
+    let request = cfg.request;
+    let port = cfg.port;
+
+    let mk_req = std::rc::Rc::new(move |w: &mut Worker, now: Nanos, src_port: u16| -> Vec<Reply> {
+        if w.started >= ops_per_worker {
+            return Vec::new();
+        }
+        let (kind, body) = request(w.started);
+        w.started += 1;
+        w.outstanding.push_back(now);
+        vec![Reply {
+            dst_ip: addrs::GUEST,
+            dst_port: port,
+            src_port,
+            payload: encode_msg(kind, body),
+            cost: Nanos::from_micros(2),
+        }]
+    });
+    let mk_req2 = mk_req.clone();
+    let (wk, la, rb, ca) = (
+        workers.clone(),
+        latency.clone(),
+        resp_bytes.clone(),
+        client_asm.clone(),
+    );
+    sys.set_client_app(Box::new(move |now, msg| {
+        let Some(rsp) = ca.borrow_mut().push(now, msg) else {
+            return Vec::new();
+        };
+        let mut workers = wk.borrow_mut();
+        let Some(w) = workers.get_mut(&msg.dst_port) else {
+            return Vec::new();
+        };
+        if let Some(t0) = w.outstanding.pop_front() {
+            la.borrow_mut().push_nanos(now - t0);
+        }
+        w.done += 1;
+        *rb.borrow_mut() += rsp.body_len as u64;
+        mk_req2(w, now, msg.dst_port)
+    }));
+
+    // Kick off: each worker launches `pipeline` requests.
+    for i in 0..cfg.workers {
+        let src_port = 30_000 + i;
+        let mut w = Worker {
+            outstanding: VecDeque::new(),
+            started: 0,
+            done: 0,
+        };
+        let t = Nanos::from_micros(100 + u64::from(i) * 3);
+        for _ in 0..cfg.pipeline {
+            for r in mk_req(&mut w, t, src_port) {
+                sys.send_udp_at(t, Side::Client, r.dst_ip, r.dst_port, r.src_port, r.payload);
+            }
+        }
+        workers.borrow_mut().insert(src_port, w);
+    }
+    sys.run_to_quiescence();
+    let end = sys.now();
+    let lat = latency.borrow().clone();
+    let resp = *resp_bytes.borrow();
+    RrResult {
+        ops: lat.count(),
+        latency: lat,
+        duration: end,
+        resp_bytes: resp,
+        req_bytes: sys.metrics.guest_rx_bytes,
+        guest_cpu: sys.guest_cpu_percent(end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_system::MAX_UDP;
+
+    fn chunk(payload: &[u8]) -> Vec<Vec<u8>> {
+        payload.chunks(MAX_UDP).map(|c| c.to_vec()).collect()
+    }
+
+    fn msg(payload: Vec<u8>) -> UdpMsg {
+        UdpMsg {
+            src_ip: "10.0.0.1".parse().unwrap(),
+            src_port: 1000,
+            dst_port: 80,
+            payload,
+        }
+    }
+
+    #[test]
+    fn single_chunk_message() {
+        let mut r = Reassembler::new();
+        let m = encode_msg(7, 100);
+        let out = r.push(Nanos(5), &msg(m)).unwrap();
+        assert_eq!(out.kind, 7);
+        assert_eq!(out.body_len, 100);
+        assert_eq!(out.started, Nanos(5));
+    }
+
+    #[test]
+    fn multi_chunk_message_completes_once() {
+        let mut r = Reassembler::new();
+        let m = encode_msg(3, 10_000);
+        let chunks = chunk(&m);
+        assert!(chunks.len() > 2);
+        let mut results = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            if let Some(l) = r.push(Nanos(i as u64), &msg(c.clone())) {
+                results.push(l);
+            }
+        }
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].body_len, 10_000);
+        assert_eq!(results[0].started, Nanos(0), "stamped at first chunk");
+    }
+
+    #[test]
+    fn back_to_back_messages_on_one_flow() {
+        let mut r = Reassembler::new();
+        for k in 0..5u16 {
+            let m = encode_msg(k, 6000);
+            let mut seen = 0;
+            for c in chunk(&m) {
+                if let Some(l) = r.push(Nanos(1), &msg(c)) {
+                    assert_eq!(l.kind, k);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, 1);
+        }
+    }
+
+    #[test]
+    fn garbage_header_dropped() {
+        let mut r = Reassembler::new();
+        assert!(r.push(Nanos(0), &msg(vec![0; 20])).is_none());
+        // And the flow state is clean for the next real message.
+        let m = encode_msg(1, 10);
+        assert!(r.push(Nanos(1), &msg(m)).is_some());
+    }
+
+    #[test]
+    fn flows_are_independent() {
+        let mut r = Reassembler::new();
+        let m = encode_msg(1, 9000);
+        let chunks = chunk(&m);
+        let mut m1 = msg(chunks[0].clone());
+        m1.src_port = 1;
+        let mut m2 = msg(chunks[0].clone());
+        m2.src_port = 2;
+        assert!(r.push(Nanos(0), &m1).is_none());
+        assert!(r.push(Nanos(0), &m2).is_none());
+        let mut t1 = msg(chunks[1].clone());
+        t1.src_port = 1;
+        // 4000-8+4000 < 9000: still incomplete.
+        assert!(r.push(Nanos(1), &t1).is_none());
+        let mut t1b = msg(chunks[2].clone());
+        t1b.src_port = 1;
+        assert!(r.push(Nanos(2), &t1b).is_some());
+    }
+}

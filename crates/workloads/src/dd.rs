@@ -1,0 +1,128 @@
+//! dd (Figure 11): sequential raw-device throughput.
+//!
+//! `dd` reads or writes the block device sequentially with a fixed block
+//! size, one I/O outstanding (the classic synchronous loop with kernel
+//! readahead giving it a little pipelining). The paper moves 10 GB per
+//! run; we move a scaled amount at the same stationary rate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kite_sim::{Nanos, Pcg};
+use kite_system::{BackendOs, IoKind, IoOp, StorSystem};
+
+/// One dd measurement.
+#[derive(Clone, Debug)]
+pub struct DdReport {
+    /// Driver-domain OS.
+    pub os: BackendOs,
+    /// True for the read run.
+    pub read: bool,
+    /// Throughput in MB/s.
+    pub mbps: f64,
+}
+
+/// Block size dd issues (256 KiB, the artifact's effective request size).
+pub const DD_BS: usize = 256 * 1024;
+/// dd is synchronous: one block outstanding.
+const DEPTH: u64 = 1;
+
+/// Runs dd in one direction, transferring `total_bytes`.
+pub fn run(os: BackendOs, read: bool, total_bytes: u64, seed: u64) -> DdReport {
+    let mut sys = StorSystem::new(os, seed);
+    let total_ops = total_bytes / DD_BS as u64;
+    let next = Rc::new(RefCell::new(DEPTH));
+    let mut rng = Pcg::seeded(seed);
+    let mk = move |i: u64, rng: &mut Pcg| -> IoOp {
+        let sector = i * (DD_BS / 512) as u64;
+        IoOp {
+            tag: i,
+            kind: if read {
+                IoKind::Read {
+                    sector,
+                    len: DD_BS,
+                }
+            } else {
+                let mut data = vec![0u8; DD_BS];
+                rng.fill_bytes(&mut data[..64]); // head entropy; rest zeros
+                IoKind::Write { sector, data }
+            },
+        }
+    };
+    let n2 = next.clone();
+    let rng2 = Rc::new(RefCell::new(Pcg::seeded(seed ^ 1)));
+    sys.set_handler(Box::new(move |_, done| {
+        assert!(done.ok, "dd I/O failed");
+        let mut n = n2.borrow_mut();
+        if *n >= total_ops {
+            return Vec::new();
+        }
+        let op = mk(*n, &mut rng2.borrow_mut());
+        *n += 1;
+        vec![op]
+    }));
+    for i in 0..DEPTH.min(total_ops) {
+        let op = {
+            let sector = i * (DD_BS / 512) as u64;
+            if read {
+                IoOp {
+                    tag: i,
+                    kind: IoKind::Read {
+                        sector,
+                        len: DD_BS,
+                    },
+                }
+            } else {
+                let mut data = vec![0u8; DD_BS];
+                rng.fill_bytes(&mut data[..64]);
+                IoOp {
+                    tag: i,
+                    kind: IoKind::Write { sector, data },
+                }
+            }
+        };
+        sys.submit_at(Nanos::from_micros(10 + i), op);
+    }
+    sys.run_to_quiescence();
+    let secs = sys.now().as_secs_f64();
+    let bytes = if read {
+        sys.metrics.read_bytes
+    } else {
+        sys.metrics.write_bytes
+    };
+    DdReport {
+        os,
+        read,
+        mbps: bytes as f64 / 1e6 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_rates_in_figure11_band() {
+        // Paper Figure 11: ~1 GB/s class for both OSs, both directions.
+        for os in BackendOs::both() {
+            for read in [true, false] {
+                let r = run(os, read, 64 * 1024 * 1024, 1);
+                assert!(
+                    (600.0..2200.0).contains(&r.mbps),
+                    "{} {}: {:.0} MB/s",
+                    os.name(),
+                    if read { "read" } else { "write" },
+                    r.mbps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kite_and_linux_similar() {
+        let k = run(BackendOs::Kite, true, 64 * 1024 * 1024, 2);
+        let l = run(BackendOs::Linux, true, 64 * 1024 * 1024, 2);
+        let ratio = k.mbps / l.mbps;
+        assert!((0.9..1.2).contains(&ratio), "{k:?} vs {l:?}");
+    }
+}

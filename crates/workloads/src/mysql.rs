@@ -1,0 +1,209 @@
+//! MySQL + SysBench: the network-bound run (Figure 10) and the
+//! storage-bound run (Figure 13).
+//!
+//! Figure 10: read-only OLTP against an in-memory database — the network
+//! path is stressed, DomU CPU does the query work, throughput climbs with
+//! threads toward the DomU's capacity, and both driver domains look alike.
+//!
+//! Figure 13: complex queries against a 20 GB on-disk database — every
+//! transaction issues random tablespace reads through blkfront, and the
+//! curves for Kite and Linux are identical.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kite_sim::{Nanos, Pcg};
+use kite_system::{BackendOs, IoKind, IoOp, StorSystem};
+
+use crate::common::{rr_closed_loop, RrConfig};
+
+/// Thread counts of Figure 10a.
+pub const FIG10_THREADS: [u16; 5] = [5, 10, 20, 40, 60];
+/// Thread counts of Figure 13.
+pub const FIG13_THREADS: [u16; 8] = [1, 5, 10, 20, 40, 60, 80, 100];
+
+/// One network-run measurement (Figure 10).
+#[derive(Clone, Debug)]
+pub struct MysqlNetReport {
+    /// Driver-domain OS.
+    pub os: BackendOs,
+    /// SysBench threads.
+    pub threads: u16,
+    /// Transactions per second.
+    pub tps: f64,
+    /// DomU mean CPU utilization percent (Figure 10b).
+    pub guest_cpu: f64,
+}
+
+/// Runs the read-only network-bound benchmark (Figure 10).
+pub fn run_net(os: BackendOs, threads: u16, transactions: u64, seed: u64) -> MysqlNetReport {
+    let r = rr_closed_loop(
+        os,
+        seed,
+        RrConfig {
+            workers: threads,
+            ops_per_worker: transactions / u64::from(threads),
+            pipeline: 1,
+            // One transaction = 14 read-only statements batched on the
+            // wire: ~700 B of SQL, ~9 KB of result rows.
+            request: Box::new(|_| (1, 700)),
+            response: Box::new(|_| 9 * 1024),
+            // Transaction CPU cost on the (22-vCPU) DomU.
+            server_cost: Nanos::from_micros(3600),
+            port: 3306,
+        },
+    );
+    MysqlNetReport {
+        os,
+        threads,
+        tps: r.ops as f64 / r.duration.as_secs_f64(),
+        guest_cpu: r.guest_cpu,
+    }
+}
+
+/// The Figure 10 sweep for one OS.
+pub fn figure10(os: BackendOs, transactions: u64, seed: u64) -> Vec<MysqlNetReport> {
+    FIG10_THREADS
+        .iter()
+        .map(|&t| run_net(os, t, transactions, seed))
+        .collect()
+}
+
+/// One storage-run measurement (Figure 13).
+#[derive(Clone, Debug)]
+pub struct MysqlStorageReport {
+    /// Driver-domain OS.
+    pub os: BackendOs,
+    /// SysBench threads.
+    pub threads: u16,
+    /// Transactions per second.
+    pub tps: f64,
+    /// Tablespace read throughput in MB/s.
+    pub read_mbps: f64,
+}
+
+/// Runs the disk-bound complex-query benchmark (Figure 13).
+///
+/// Each simulated transaction performs `reads_per_tx` random 16 KiB
+/// tablespace reads (InnoDB page size) over a `dataset_mib` tablespace;
+/// a worker starts its next transaction when the previous one completes.
+pub fn run_storage(
+    os: BackendOs,
+    threads: u16,
+    transactions_per_thread: u64,
+    seed: u64,
+) -> MysqlStorageReport {
+    const PAGE: usize = 16 * 1024;
+    const READS_PER_TX: u64 = 8;
+    let dataset_sectors: u64 = 1024 * 1024 * 1024 / 512; // 1 GiB tablespace
+
+    let mut sys = StorSystem::new(os, seed);
+    struct Worker {
+        tx_done: u64,
+        reads_left: u64,
+    }
+    let workers: Rc<RefCell<Vec<Worker>>> = Rc::new(RefCell::new(
+        (0..threads)
+            .map(|_| Worker {
+                tx_done: 0,
+                reads_left: READS_PER_TX,
+            })
+            .collect(),
+    ));
+    let rng = Rc::new(RefCell::new(Pcg::seeded(seed ^ 0x5eed)));
+    let tx_count = Rc::new(RefCell::new(0u64));
+    let (wk, rg, tc) = (workers.clone(), rng.clone(), tx_count.clone());
+    let next_read = move |worker_idx: u64, rng: &mut Pcg| -> IoOp {
+        let sector = (rng.range_u64(0, dataset_sectors - (PAGE / 512) as u64) / 32) * 32;
+        IoOp {
+            tag: worker_idx,
+            kind: IoKind::Read {
+                sector,
+                len: PAGE,
+            },
+        }
+    };
+    let nr = next_read;
+    sys.set_handler(Box::new(move |_, done| {
+        let mut ws = wk.borrow_mut();
+        let w = &mut ws[done.tag as usize];
+        w.reads_left -= 1;
+        if w.reads_left == 0 {
+            w.tx_done += 1;
+            *tc.borrow_mut() += 1;
+            if w.tx_done >= transactions_per_thread {
+                return Vec::new();
+            }
+            w.reads_left = READS_PER_TX;
+        }
+        vec![nr(done.tag, &mut rg.borrow_mut())]
+    }));
+    for i in 0..threads {
+        let op = next_read(u64::from(i), &mut rng.borrow_mut());
+        sys.submit_at(Nanos::from_micros(100 + u64::from(i)), op);
+    }
+    sys.run_to_quiescence();
+    let secs = sys.now().as_secs_f64();
+    let txs = *tx_count.borrow();
+    MysqlStorageReport {
+        os,
+        threads,
+        tps: txs as f64 / secs,
+        read_mbps: sys.metrics.read_bytes as f64 / 1e6 / secs,
+    }
+}
+
+/// The Figure 13 sweep for one OS.
+pub fn figure13(os: BackendOs, tx_per_thread: u64, seed: u64) -> Vec<MysqlStorageReport> {
+    FIG13_THREADS
+        .iter()
+        .map(|&t| run_storage(os, t, tx_per_thread, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_throughput_climbs_then_saturates() {
+        let series = figure10(BackendOs::Kite, 1200, 1);
+        assert!(
+            series[4].tps > 2.5 * series[0].tps,
+            "throughput climbs with threads: {series:#?}"
+        );
+        // Saturation: the last doubling of threads gains sublinearly.
+        let gain = series[4].tps / series[3].tps;
+        assert!(gain < 1.8, "saturating: {series:#?}");
+        // CPU utilization grows with load.
+        assert!(series[4].guest_cpu > series[0].guest_cpu);
+    }
+
+    #[test]
+    fn net_kite_and_linux_alike() {
+        let k = run_net(BackendOs::Kite, 20, 800, 2);
+        let l = run_net(BackendOs::Linux, 20, 800, 2);
+        let ratio = k.tps / l.tps;
+        assert!((0.9..1.15).contains(&ratio), "Fig 10a parity: {k:?} vs {l:?}");
+        assert!(
+            (k.guest_cpu - l.guest_cpu).abs() < 10.0,
+            "Fig 10b similar CPU: {k:?} vs {l:?}"
+        );
+    }
+
+    #[test]
+    fn storage_identical_curves() {
+        let k = run_storage(BackendOs::Kite, 20, 12, 3);
+        let l = run_storage(BackendOs::Linux, 20, 12, 3);
+        let ratio = k.tps / l.tps;
+        assert!((0.9..1.15).contains(&ratio), "Fig 13 identical: {k:?} vs {l:?}");
+        assert!(k.tps > 10.0, "{k:?}");
+    }
+
+    #[test]
+    fn storage_scales_with_threads() {
+        let one = run_storage(BackendOs::Kite, 1, 12, 4);
+        let twenty = run_storage(BackendOs::Kite, 20, 12, 4);
+        assert!(twenty.tps > 2.0 * one.tps, "{one:?} vs {twenty:?}");
+    }
+}

@@ -1,0 +1,484 @@
+//! Grant tables: Xen's page-sharing permission mechanism.
+//!
+//! A domain *grants* a peer access to one of its pages and hands the peer a
+//! [`GrantRef`]. The peer can then either *map* the page (getting direct
+//! access until it unmaps) or ask the hypervisor to *copy* bytes in or out
+//! (`GNTTABOP_copy` — the "hypervisor copy" that Kite's netback uses, since
+//! the hypervisor has all machine memory mapped).
+//!
+//! Permission checks are real: mapping a grant issued to a different domain,
+//! writing through a read-only grant, or using a revoked grant all fail
+//! deterministically, which the security tests rely on.
+
+use std::collections::HashMap;
+
+use crate::domain::DomainId;
+use crate::error::{Result, XenError};
+use crate::mem::{MachineMemory, PageId, PAGE_SIZE};
+
+/// A grant reference: an index into the granting domain's grant table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GrantRef(pub u32);
+
+/// A handle to an active grant mapping, returned by [`GrantTables::map`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MapHandle(u64);
+
+#[derive(Clone, Debug)]
+struct GrantEntry {
+    peer: DomainId,
+    page: PageId,
+    readonly: bool,
+    map_count: u32,
+}
+
+/// One domain's grant table.
+#[derive(Clone, Debug, Default)]
+struct GrantTable {
+    entries: Vec<Option<GrantEntry>>,
+    free: Vec<u32>,
+}
+
+impl GrantTable {
+    fn insert(&mut self, e: GrantEntry) -> GrantRef {
+        if let Some(idx) = self.free.pop() {
+            self.entries[idx as usize] = Some(e);
+            GrantRef(idx)
+        } else {
+            self.entries.push(Some(e));
+            GrantRef(self.entries.len() as u32 - 1)
+        }
+    }
+
+    fn get(&self, r: GrantRef) -> Result<&GrantEntry> {
+        self.entries
+            .get(r.0 as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(XenError::BadGrant)
+    }
+
+    fn get_mut(&mut self, r: GrantRef) -> Result<&mut GrantEntry> {
+        self.entries
+            .get_mut(r.0 as usize)
+            .and_then(|e| e.as_mut())
+            .ok_or(XenError::BadGrant)
+    }
+
+    fn remove(&mut self, r: GrantRef) -> Result<GrantEntry> {
+        let slot = self
+            .entries
+            .get_mut(r.0 as usize)
+            .ok_or(XenError::BadGrant)?;
+        let e = slot.take().ok_or(XenError::BadGrant)?;
+        self.free.push(r.0);
+        Ok(e)
+    }
+}
+
+/// Details of an active mapping.
+#[derive(Clone, Copy, Debug)]
+pub struct Mapping {
+    /// The mapping handle (needed for unmap).
+    pub handle: MapHandle,
+    /// The machine page now accessible to the mapper.
+    pub page: PageId,
+    /// Whether the mapping is read-only.
+    pub readonly: bool,
+}
+
+#[derive(Clone, Debug)]
+struct MapRecord {
+    mapper: DomainId,
+    granter: DomainId,
+    gref: GrantRef,
+}
+
+/// Per-direction descriptor for a grant copy.
+#[derive(Clone, Copy, Debug)]
+pub enum CopySide {
+    /// A page the calling domain owns directly.
+    Local { page: PageId, offset: usize },
+    /// A foreign page referenced via a grant issued *to the caller*.
+    Grant {
+        granter: DomainId,
+        gref: GrantRef,
+        offset: usize,
+    },
+}
+
+/// All grant tables in the machine plus the active-mapping registry.
+#[derive(Default)]
+pub struct GrantTables {
+    tables: HashMap<DomainId, GrantTable>,
+    maps: HashMap<MapHandle, MapRecord>,
+    next_handle: u64,
+}
+
+impl GrantTables {
+    /// Creates an empty set of tables.
+    pub fn new() -> GrantTables {
+        GrantTables::default()
+    }
+
+    /// `granter` grants `peer` access to `page`.
+    ///
+    /// The granter must own the page.
+    pub fn grant_access(
+        &mut self,
+        mem: &MachineMemory,
+        granter: DomainId,
+        peer: DomainId,
+        page: PageId,
+        readonly: bool,
+    ) -> Result<GrantRef> {
+        if mem.owner(page)? != granter {
+            return Err(XenError::Perm);
+        }
+        Ok(self.tables.entry(granter).or_default().insert(GrantEntry {
+            peer,
+            page,
+            readonly,
+            map_count: 0,
+        }))
+    }
+
+    /// `granter` revokes a grant it previously issued.
+    ///
+    /// Fails with [`XenError::GrantInUse`] while the peer still has it
+    /// mapped (mirroring `gnttab_end_foreign_access_ref` returning busy).
+    pub fn end_access(&mut self, granter: DomainId, gref: GrantRef) -> Result<()> {
+        let table = self.tables.get_mut(&granter).ok_or(XenError::BadGrant)?;
+        if table.get(gref)?.map_count > 0 {
+            return Err(XenError::GrantInUse);
+        }
+        table.remove(gref).map(|_| ())
+    }
+
+    /// `mapper` maps a grant issued by `granter`.
+    pub fn map(
+        &mut self,
+        mapper: DomainId,
+        granter: DomainId,
+        gref: GrantRef,
+    ) -> Result<Mapping> {
+        let table = self.tables.get_mut(&granter).ok_or(XenError::BadGrant)?;
+        let entry = table.get_mut(gref)?;
+        if entry.peer != mapper {
+            return Err(XenError::BadGrant);
+        }
+        entry.map_count += 1;
+        let handle = MapHandle(self.next_handle);
+        self.next_handle += 1;
+        self.maps.insert(
+            handle,
+            MapRecord {
+                mapper,
+                granter,
+                gref,
+            },
+        );
+        Ok(Mapping {
+            handle,
+            page: entry.page,
+            readonly: entry.readonly,
+        })
+    }
+
+    /// `mapper` unmaps a previously established mapping.
+    pub fn unmap(&mut self, mapper: DomainId, handle: MapHandle) -> Result<()> {
+        let rec = self.maps.get(&handle).ok_or(XenError::BadGrant)?;
+        if rec.mapper != mapper {
+            return Err(XenError::Perm);
+        }
+        let rec = self.maps.remove(&handle).expect("checked above");
+        if let Some(table) = self.tables.get_mut(&rec.granter) {
+            if let Ok(entry) = table.get_mut(rec.gref) {
+                entry.map_count = entry.map_count.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves one side of a grant copy into `(page, offset, readonly)`.
+    fn resolve(
+        &self,
+        mem: &MachineMemory,
+        caller: DomainId,
+        side: CopySide,
+        writing: bool,
+    ) -> Result<(PageId, usize)> {
+        match side {
+            CopySide::Local { page, offset } => {
+                if mem.owner(page)? != caller {
+                    return Err(XenError::Perm);
+                }
+                Ok((page, offset))
+            }
+            CopySide::Grant {
+                granter,
+                gref,
+                offset,
+            } => {
+                let table = self.tables.get(&granter).ok_or(XenError::BadGrant)?;
+                let entry = table.get(gref)?;
+                if entry.peer != caller {
+                    return Err(XenError::BadGrant);
+                }
+                if writing && entry.readonly {
+                    return Err(XenError::ReadOnlyGrant);
+                }
+                Ok((entry.page, offset))
+            }
+        }
+    }
+
+    /// Hypervisor copy (`GNTTABOP_copy`): moves `len` bytes from `src` to
+    /// `dst` on behalf of `caller`.
+    ///
+    /// Each side is either a local page or a grant issued to the caller.
+    /// Offsets+len must stay within a single page, as in Xen.
+    pub fn copy(
+        &self,
+        mem: &mut MachineMemory,
+        caller: DomainId,
+        src: CopySide,
+        dst: CopySide,
+        len: usize,
+    ) -> Result<()> {
+        if len > PAGE_SIZE {
+            return Err(XenError::OutOfBounds);
+        }
+        let (sp, so) = self.resolve(mem, caller, src, false)?;
+        let (dp, dof) = self.resolve(mem, caller, dst, true)?;
+        mem.copy(sp, so, dp, dof, len)
+    }
+
+    /// Number of active mappings held by `mapper` (leak checks in tests).
+    pub fn active_maps(&self, mapper: DomainId) -> usize {
+        self.maps.values().filter(|m| m.mapper == mapper).count()
+    }
+
+    /// Number of live grant entries issued by `granter`.
+    pub fn live_grants(&self, granter: DomainId) -> usize {
+        self.tables
+            .get(&granter)
+            .map(|t| t.entries.iter().filter(|e| e.is_some()).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{DomainKind, DomainTable};
+
+    struct Fix {
+        mem: MachineMemory,
+        doms: DomainTable,
+        gt: GrantTables,
+        guest: DomainId,
+        driver: DomainId,
+    }
+
+    fn fix() -> Fix {
+        let mut doms = DomainTable::new();
+        doms.create("Domain-0", DomainKind::Dom0, 64, 4);
+        let driver = doms.create("dd", DomainKind::Driver, 64, 1);
+        let guest = doms.create("guest", DomainKind::Guest, 64, 2);
+        Fix {
+            mem: MachineMemory::new(),
+            doms,
+            gt: GrantTables::new(),
+            guest,
+            driver,
+        }
+    }
+
+    #[test]
+    fn grant_map_unmap_roundtrip() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        f.mem.page_mut(page).unwrap()[0..4].copy_from_slice(b"data");
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        let m = f.gt.map(f.driver, f.guest, gref).unwrap();
+        assert_eq!(m.page, page);
+        assert_eq!(&f.mem.page(m.page).unwrap()[0..4], b"data");
+        f.gt.unmap(f.driver, m.handle).unwrap();
+        f.gt.end_access(f.guest, gref).unwrap();
+        assert_eq!(f.gt.live_grants(f.guest), 0);
+        assert_eq!(f.gt.active_maps(f.driver), 0);
+    }
+
+    #[test]
+    fn cannot_grant_unowned_page() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        assert_eq!(
+            f.gt.grant_access(&f.mem, f.driver, f.guest, page, false),
+            Err(XenError::Perm)
+        );
+    }
+
+    #[test]
+    fn wrong_peer_cannot_map() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        // Dom0 was not the grant peer.
+        assert_eq!(
+            f.gt.map(DomainId::DOM0, f.guest, gref).err(),
+            Some(XenError::BadGrant)
+        );
+    }
+
+    #[test]
+    fn revoke_while_mapped_is_busy() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        let m = f.gt.map(f.driver, f.guest, gref).unwrap();
+        assert_eq!(f.gt.end_access(f.guest, gref), Err(XenError::GrantInUse));
+        f.gt.unmap(f.driver, m.handle).unwrap();
+        f.gt.end_access(f.guest, gref).unwrap();
+    }
+
+    #[test]
+    fn use_after_revoke_fails() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        f.gt.end_access(f.guest, gref).unwrap();
+        assert_eq!(f.gt.map(f.driver, f.guest, gref).err(), Some(XenError::BadGrant));
+    }
+
+    #[test]
+    fn copy_from_guest_grant() {
+        let mut f = fix();
+        let gpage = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let dpage = f.mem.alloc(&mut f.doms, f.driver).unwrap();
+        f.mem.page_mut(gpage).unwrap()[128..133].copy_from_slice(b"hello");
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, gpage, true)
+            .unwrap();
+        f.gt.copy(
+            &mut f.mem,
+            f.driver,
+            CopySide::Grant {
+                granter: f.guest,
+                gref,
+                offset: 128,
+            },
+            CopySide::Local {
+                page: dpage,
+                offset: 0,
+            },
+            5,
+        )
+        .unwrap();
+        assert_eq!(&f.mem.page(dpage).unwrap()[0..5], b"hello");
+    }
+
+    #[test]
+    fn copy_to_readonly_grant_rejected() {
+        let mut f = fix();
+        let gpage = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let dpage = f.mem.alloc(&mut f.doms, f.driver).unwrap();
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, gpage, true)
+            .unwrap();
+        let err = f.gt.copy(
+            &mut f.mem,
+            f.driver,
+            CopySide::Local {
+                page: dpage,
+                offset: 0,
+            },
+            CopySide::Grant {
+                granter: f.guest,
+                gref,
+                offset: 0,
+            },
+            4,
+        );
+        assert_eq!(err, Err(XenError::ReadOnlyGrant));
+    }
+
+    #[test]
+    fn copy_with_foreign_local_page_rejected() {
+        let mut f = fix();
+        let gpage = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let dpage = f.mem.alloc(&mut f.doms, f.driver).unwrap();
+        // Driver tries to use the guest's page as its "local" side.
+        let err = f.gt.copy(
+            &mut f.mem,
+            f.driver,
+            CopySide::Local {
+                page: gpage,
+                offset: 0,
+            },
+            CopySide::Local {
+                page: dpage,
+                offset: 0,
+            },
+            4,
+        );
+        assert_eq!(err, Err(XenError::Perm));
+    }
+
+    #[test]
+    fn copy_len_capped_at_page() {
+        let mut f = fix();
+        let a = f.mem.alloc(&mut f.doms, f.driver).unwrap();
+        let b = f.mem.alloc(&mut f.doms, f.driver).unwrap();
+        let err = f.gt.copy(
+            &mut f.mem,
+            f.driver,
+            CopySide::Local { page: a, offset: 0 },
+            CopySide::Local { page: b, offset: 0 },
+            PAGE_SIZE + 1,
+        );
+        assert_eq!(err, Err(XenError::OutOfBounds));
+    }
+
+    #[test]
+    fn grant_refs_are_recycled() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let r1 = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        f.gt.end_access(f.guest, r1).unwrap();
+        let r2 = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        assert_eq!(r1, r2, "freed slot should be reused");
+    }
+
+    #[test]
+    fn unmap_wrong_domain_rejected() {
+        let mut f = fix();
+        let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
+        let gref = f
+            .gt
+            .grant_access(&f.mem, f.guest, f.driver, page, false)
+            .unwrap();
+        let m = f.gt.map(f.driver, f.guest, gref).unwrap();
+        assert_eq!(f.gt.unmap(f.guest, m.handle), Err(XenError::Perm));
+    }
+}

@@ -1,0 +1,274 @@
+//! The composed hypervisor: all subsystems plus per-domain cost accounting.
+//!
+//! Drivers and frontends should use the charged wrappers here for hot-path
+//! operations (grant copies, maps, event sends, xenstore traffic) so every
+//! hypercall both *does its work* on the real data structures and *bills
+//! its cost* to the calling domain's meter. Raw subsystem access stays
+//! public for setup code and tests.
+
+use std::collections::HashMap;
+
+use kite_sim::Nanos;
+
+use crate::domain::{DomainId, DomainKind, DomainTable};
+use crate::error::Result;
+use crate::evtchn::{EventChannels, Notification, Port};
+use crate::grant::{CopySide, GrantRef, GrantTables, MapHandle, Mapping};
+use crate::hypercall::{CostModel, HypercallKind, HypercallMeter};
+use crate::iommu::Iommu;
+use crate::mem::{MachineMemory, PageId};
+use crate::pci::PciBus;
+use crate::xenstore::Xenstore;
+
+/// The whole simulated Xen machine.
+pub struct Hypervisor {
+    /// Domain registry.
+    pub domains: DomainTable,
+    /// Machine memory.
+    pub mem: MachineMemory,
+    /// Grant tables.
+    pub grants: GrantTables,
+    /// Event channels.
+    pub evtchn: EventChannels,
+    /// Xenstore (served by xenstored in Dom0).
+    pub store: Xenstore,
+    /// PCI passthrough state.
+    pub pci: PciBus,
+    /// IOMMU (DMA remapping).
+    pub iommu: Iommu,
+    /// Hypercall cost model.
+    pub costs: CostModel,
+    meters: HashMap<DomainId, HypercallMeter>,
+}
+
+impl Default for Hypervisor {
+    fn default() -> Self {
+        Hypervisor::new()
+    }
+}
+
+impl Hypervisor {
+    /// Creates a machine with an empty domain table.
+    pub fn new() -> Hypervisor {
+        Hypervisor {
+            domains: DomainTable::new(),
+            mem: MachineMemory::new(),
+            grants: GrantTables::new(),
+            evtchn: EventChannels::new(),
+            store: Xenstore::new(),
+            pci: PciBus::new(),
+            iommu: Iommu::new(),
+            costs: CostModel::default(),
+            meters: HashMap::new(),
+        }
+    }
+
+    /// Creates a domain (first call must create Dom0).
+    pub fn create_domain(
+        &mut self,
+        name: impl Into<String>,
+        kind: DomainKind,
+        mem_mib: u64,
+        vcpus: u32,
+    ) -> DomainId {
+        let name = name.into();
+        let id = self.domains.create(name.clone(), kind, mem_mib, vcpus);
+        // xenstored provisions the domain's home directory at creation and
+        // delegates it to the domain.
+        let home = format!("/local/domain/{}", id.0);
+        self.store
+            .write(DomainId::DOM0, None, &format!("{home}/name"), &name)
+            .expect("home provisioning");
+        self.store
+            .set_perm(DomainId::DOM0, &home, id, crate::xenstore::Perm::ReadWrite)
+            .expect("home perm");
+        id
+    }
+
+    /// The hypercall meter of a domain.
+    pub fn meter(&self, dom: DomainId) -> HypercallMeter {
+        self.meters.get(&dom).cloned().unwrap_or_default()
+    }
+
+    /// Charges a hypercall to `dom` and returns its modeled cost.
+    pub fn charge(&mut self, dom: DomainId, kind: HypercallKind, bytes: usize) -> Nanos {
+        self.meters
+            .entry(dom)
+            .or_default()
+            .charge(&self.costs, kind, bytes)
+    }
+
+    /// Allocates a page for `dom` (no hypercall charge; guest-local).
+    pub fn alloc_page(&mut self, dom: DomainId) -> Result<PageId> {
+        self.mem.alloc(&mut self.domains, dom)
+    }
+
+    /// Frees a page.
+    pub fn free_page(&mut self, dom: DomainId, page: PageId) -> Result<()> {
+        self.mem.free(&mut self.domains, dom, page)
+    }
+
+    /// Grants `peer` access to `page` (table write, no hypercall).
+    pub fn grant_access(
+        &mut self,
+        granter: DomainId,
+        peer: DomainId,
+        page: PageId,
+        readonly: bool,
+    ) -> Result<GrantRef> {
+        self.grants
+            .grant_access(&self.mem, granter, peer, page, readonly)
+    }
+
+    /// Revokes a grant.
+    pub fn end_access(&mut self, granter: DomainId, gref: GrantRef) -> Result<()> {
+        self.grants.end_access(granter, gref)
+    }
+
+    /// Charged `GNTTABOP_map_grant_ref`.
+    pub fn map_grant(
+        &mut self,
+        mapper: DomainId,
+        granter: DomainId,
+        gref: GrantRef,
+    ) -> Result<(Mapping, Nanos)> {
+        let m = self.grants.map(mapper, granter, gref)?;
+        let c = self.charge(mapper, HypercallKind::GntMap, 0);
+        Ok((m, c))
+    }
+
+    /// Charged `GNTTABOP_unmap_grant_ref`.
+    pub fn unmap_grant(&mut self, mapper: DomainId, handle: MapHandle) -> Result<Nanos> {
+        self.grants.unmap(mapper, handle)?;
+        Ok(self.charge(mapper, HypercallKind::GntUnmap, 0))
+    }
+
+    /// Charged `GNTTABOP_copy`.
+    pub fn grant_copy(
+        &mut self,
+        caller: DomainId,
+        src: CopySide,
+        dst: CopySide,
+        len: usize,
+    ) -> Result<Nanos> {
+        self.grants.copy(&mut self.mem, caller, src, dst, len)?;
+        Ok(self.charge(caller, HypercallKind::GntCopy, len))
+    }
+
+    /// Charged `EVTCHNOP_send`.
+    ///
+    /// Returns the notification (if the peer transitioned to pending) plus
+    /// the caller-side cost. The system layer delivers the notification
+    /// after [`CostModel::irq_delivery`].
+    pub fn evtchn_send(
+        &mut self,
+        caller: DomainId,
+        port: Port,
+    ) -> Result<(Option<Notification>, Nanos)> {
+        let n = self.evtchn.send(caller, port)?;
+        let c = self.charge(caller, HypercallKind::EvtchnSend, 0);
+        Ok((n, c))
+    }
+
+    /// Charged event-channel allocation.
+    pub fn evtchn_alloc_unbound(
+        &mut self,
+        owner: DomainId,
+        remote_allowed: DomainId,
+    ) -> (Port, Nanos) {
+        let p = self.evtchn.alloc_unbound(owner, remote_allowed);
+        let c = self.charge(owner, HypercallKind::EvtchnOp, 0);
+        (p, c)
+    }
+
+    /// Charged interdomain bind.
+    pub fn evtchn_bind(
+        &mut self,
+        binder: DomainId,
+        remote: DomainId,
+        remote_port: Port,
+    ) -> Result<(Port, Nanos)> {
+        let p = self.evtchn.bind_interdomain(binder, remote, remote_port)?;
+        let c = self.charge(binder, HypercallKind::EvtchnOp, 0);
+        Ok((p, c))
+    }
+
+    /// Charged xenstore read.
+    pub fn xs_read(&mut self, caller: DomainId, path: &str) -> (Result<String>, Nanos) {
+        let r = self.store.read(caller, None, path);
+        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        (r, c)
+    }
+
+    /// Charged xenstore write.
+    pub fn xs_write(&mut self, caller: DomainId, path: &str, value: &str) -> (Result<()>, Nanos) {
+        let r = self.store.write(caller, None, path, value);
+        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        (r, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grant::CopySide;
+
+    #[test]
+    fn charged_ops_bill_the_caller() {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+        let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
+
+        let gpage = hv.alloc_page(gu).unwrap();
+        let dpage = hv.alloc_page(dd).unwrap();
+        hv.mem.page_mut(gpage).unwrap()[0..4].copy_from_slice(b"ping");
+        let gref = hv.grant_access(gu, dd, gpage, true).unwrap();
+        let cost = hv
+            .grant_copy(
+                dd,
+                CopySide::Grant {
+                    granter: gu,
+                    gref,
+                    offset: 0,
+                },
+                CopySide::Local {
+                    page: dpage,
+                    offset: 0,
+                },
+                4,
+            )
+            .unwrap();
+        assert!(cost > Nanos::ZERO);
+        assert_eq!(&hv.mem.page(dpage).unwrap()[0..4], b"ping");
+        assert_eq!(hv.meter(dd).count(HypercallKind::GntCopy), 1);
+        assert_eq!(hv.meter(gu).total_count(), 0, "guest issued no hypercall");
+    }
+
+    #[test]
+    fn evtchn_send_charges_and_notifies() {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+        let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
+        let (p_gu, _) = hv.evtchn_alloc_unbound(gu, dd);
+        let (p_dd, _) = hv.evtchn_bind(dd, gu, p_gu).unwrap();
+        let (n, c) = hv.evtchn_send(dd, p_dd).unwrap();
+        assert!(c > Nanos::ZERO);
+        let n = n.unwrap();
+        assert_eq!(n.domain, gu);
+        assert_eq!(n.port, p_gu);
+        assert_eq!(hv.meter(dd).count(HypercallKind::EvtchnSend), 1);
+    }
+
+    #[test]
+    fn xs_ops_charge() {
+        let mut hv = Hypervisor::new();
+        let d0 = hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let (r, _) = hv.xs_write(d0, "/k", "v");
+        r.unwrap();
+        let (r, _) = hv.xs_read(d0, "/k");
+        assert_eq!(r.unwrap(), "v");
+        assert_eq!(hv.meter(d0).count(HypercallKind::XsOp), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated Xen hypervisor substrate for the Kite reproduction.
+//!
+//! This crate reimplements, as ordinary testable Rust data structures, the
+//! Xen mechanisms that Kite's driver domains are built on:
+//!
+//! * [`domain`] — domain identities and lifecycle;
+//! * [`mem`] — machine pages with real bytes and ownership;
+//! * [`grant`] — grant tables: share, map, and hypervisor-copy pages across
+//!   domains with real permission checks;
+//! * [`evtchn`] — event channels (virtual interrupts) with pending/mask
+//!   coalescing semantics;
+//! * [`xenstore`] — the transactional configuration database with watches;
+//! * [`xenbus`] — the PV device connection state machine and path scheme;
+//! * [`ring`] — the shared I/O ring protocol including notification
+//!   suppression, byte-exact with `xen/include/public/io/ring.h`;
+//! * [`netif`] / [`blkif`] — network and block PV ABIs;
+//! * [`hypercall`] — the cost model and per-domain accounting;
+//! * [`pci`] / [`iommu`] — passthrough and DMA confinement;
+//! * [`hypervisor`] — the composed machine with charged operation wrappers.
+//!
+//! Data movement is real (bytes flow between real pages); only *time* is
+//! modeled, via [`hypercall::CostModel`].
+
+pub mod blkif;
+pub mod domain;
+pub mod error;
+pub mod evtchn;
+pub mod grant;
+pub mod hypercall;
+pub mod hypervisor;
+pub mod iommu;
+pub mod mem;
+pub mod netif;
+pub mod pci;
+pub mod ring;
+pub mod xenbus;
+pub mod xenstore;
+
+pub use domain::{Domain, DomainId, DomainKind, DomainTable};
+pub use error::{Result, XenError};
+pub use evtchn::{EventChannels, Notification, Port};
+pub use grant::{CopySide, GrantRef, GrantTables, MapHandle, Mapping};
+pub use hypercall::{CostModel, HypercallKind, HypercallMeter};
+pub use hypervisor::Hypervisor;
+pub use iommu::{Iommu, IommuFault};
+pub use mem::{MachineMemory, PageId, PAGE_SIZE};
+pub use pci::{Bdf, PciBus, PciClass, PciDevice};
+pub use ring::{BackRing, FrontRing, RingEntry};
+pub use xenbus::{DeviceKind, DevicePaths, XenbusState};
+pub use xenstore::{Perm, TxId, WatchEvent, WatchId, Xenstore};

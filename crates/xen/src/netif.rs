@@ -1,0 +1,207 @@
+//! Network PV device ABI (`xen/include/public/io/netif.h`).
+//!
+//! Netfront and netback exchange fixed-layout request/response structs over
+//! two rings: **Tx** (guest → backend) and **Rx** (backend → guest). The
+//! layouts below match the x86-64 ABI byte-for-byte, so the ring math
+//! (slot counts, paper's batching behaviour) is identical to real Xen:
+//! 256 Tx slots and 256 Rx slots per 4 KiB ring page.
+
+use crate::grant::GrantRef;
+use crate::ring::{ring_size, RingEntry};
+
+/// Tx flag: checksum not yet computed (`NETTXF_csum_blank`).
+pub const NETTXF_CSUM_BLANK: u16 = 1;
+/// Tx flag: packet data already validated (`NETTXF_data_validated`).
+pub const NETTXF_DATA_VALIDATED: u16 = 2;
+/// Tx flag: more fragments follow (`NETTXF_more_data`).
+pub const NETTXF_MORE_DATA: u16 = 4;
+/// Tx flag: an extra-info slot follows (`NETTXF_extra_info`).
+pub const NETTXF_EXTRA_INFO: u16 = 8;
+
+/// Response status: success.
+pub const NETIF_RSP_OKAY: i16 = 0;
+/// Response status: generic error.
+pub const NETIF_RSP_ERROR: i16 = -1;
+/// Response status: packet dropped.
+pub const NETIF_RSP_DROPPED: i16 = -2;
+
+/// A transmit request: the guest offers `size` bytes at `offset` within the
+/// page granted via `gref`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetifTxRequest {
+    /// Grant for the page holding packet data.
+    pub gref: GrantRef,
+    /// Byte offset of the data within the granted page.
+    pub offset: u16,
+    /// `NETTXF_*` flags.
+    pub flags: u16,
+    /// Frontend-chosen id echoed in the response.
+    pub id: u16,
+    /// Packet (or fragment) length in bytes.
+    pub size: u16,
+}
+
+impl RingEntry for NetifTxRequest {
+    const SIZE: usize = 12;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.gref.0.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.offset.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.flags.to_le_bytes());
+        buf[8..10].copy_from_slice(&self.id.to_le_bytes());
+        buf[10..12].copy_from_slice(&self.size.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        NetifTxRequest {
+            gref: GrantRef(u32::from_le_bytes(buf[0..4].try_into().unwrap())),
+            offset: u16::from_le_bytes(buf[4..6].try_into().unwrap()),
+            flags: u16::from_le_bytes(buf[6..8].try_into().unwrap()),
+            id: u16::from_le_bytes(buf[8..10].try_into().unwrap()),
+            size: u16::from_le_bytes(buf[10..12].try_into().unwrap()),
+        }
+    }
+}
+
+/// A transmit response: `status` for the request with matching `id`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetifTxResponse {
+    /// Echoed request id.
+    pub id: u16,
+    /// `NETIF_RSP_*` status.
+    pub status: i16,
+}
+
+impl RingEntry for NetifTxResponse {
+    const SIZE: usize = 4;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.id.to_le_bytes());
+        buf[2..4].copy_from_slice(&self.status.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        NetifTxResponse {
+            id: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
+            status: i16::from_le_bytes(buf[2..4].try_into().unwrap()),
+        }
+    }
+}
+
+/// A receive request: the guest posts an empty granted page for the backend
+/// to fill with an incoming packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetifRxRequest {
+    /// Frontend-chosen id echoed in the response.
+    pub id: u16,
+    /// Grant for the empty buffer page (backend copies into it).
+    pub gref: GrantRef,
+}
+
+impl RingEntry for NetifRxRequest {
+    const SIZE: usize = 8;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.id.to_le_bytes());
+        buf[2..4].copy_from_slice(&0u16.to_le_bytes()); // pad
+        buf[4..8].copy_from_slice(&self.gref.0.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        NetifRxRequest {
+            id: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
+            gref: GrantRef(u32::from_le_bytes(buf[4..8].try_into().unwrap())),
+        }
+    }
+}
+
+/// A receive response: non-negative `status` is the packet length written
+/// into the posted buffer at `offset`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetifRxResponse {
+    /// Echoed request id.
+    pub id: u16,
+    /// Offset of data within the buffer page.
+    pub offset: u16,
+    /// `NETRXF_*` flags (unused by this reproduction).
+    pub flags: u16,
+    /// Packet length, or a negative `NETIF_RSP_*` error.
+    pub status: i16,
+}
+
+impl RingEntry for NetifRxResponse {
+    const SIZE: usize = 8;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.id.to_le_bytes());
+        buf[2..4].copy_from_slice(&self.offset.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.flags.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.status.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        NetifRxResponse {
+            id: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
+            offset: u16::from_le_bytes(buf[2..4].try_into().unwrap()),
+            flags: u16::from_le_bytes(buf[4..6].try_into().unwrap()),
+            status: i16::from_le_bytes(buf[6..8].try_into().unwrap()),
+        }
+    }
+}
+
+/// Slot count of the Tx ring (matches Xen's `NET_TX_RING_SIZE` = 256).
+pub const NET_TX_RING_SIZE: u32 =
+    ring_size(NetifTxRequest::SIZE, NetifTxResponse::SIZE);
+
+/// Slot count of the Rx ring (matches Xen's `NET_RX_RING_SIZE` = 256).
+pub const NET_RX_RING_SIZE: u32 =
+    ring_size(NetifRxRequest::SIZE, NetifRxResponse::SIZE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_sizes_match_xen() {
+        assert_eq!(NET_TX_RING_SIZE, 256);
+        assert_eq!(NET_RX_RING_SIZE, 256);
+    }
+
+    #[test]
+    fn tx_request_roundtrip() {
+        let r = NetifTxRequest {
+            gref: GrantRef(0xabcd1234),
+            offset: 64,
+            flags: NETTXF_MORE_DATA | NETTXF_CSUM_BLANK,
+            id: 17,
+            size: 1514,
+        };
+        let mut buf = [0u8; NetifTxRequest::SIZE];
+        r.write_to(&mut buf);
+        assert_eq!(NetifTxRequest::read_from(&buf), r);
+    }
+
+    #[test]
+    fn tx_response_roundtrip_negative_status() {
+        let r = NetifTxResponse {
+            id: 9,
+            status: NETIF_RSP_DROPPED,
+        };
+        let mut buf = [0u8; NetifTxResponse::SIZE];
+        r.write_to(&mut buf);
+        assert_eq!(NetifTxResponse::read_from(&buf), r);
+    }
+
+    #[test]
+    fn rx_roundtrips() {
+        let req = NetifRxRequest {
+            id: 3,
+            gref: GrantRef(77),
+        };
+        let mut buf = [0u8; NetifRxRequest::SIZE];
+        req.write_to(&mut buf);
+        assert_eq!(NetifRxRequest::read_from(&buf), req);
+
+        let rsp = NetifRxResponse {
+            id: 3,
+            offset: 0,
+            flags: 0,
+            status: 1514,
+        };
+        let mut buf = [0u8; NetifRxResponse::SIZE];
+        rsp.write_to(&mut buf);
+        assert_eq!(NetifRxResponse::read_from(&buf), rsp);
+    }
+}

@@ -1,0 +1,274 @@
+//! Xenbus: the PV device connection state machine over xenstore.
+//!
+//! Each PV device has a *frontend area* under the guest's xenstore home and
+//! a *backend area* under the driver domain's home. Both sides publish a
+//! `state` node and watch the other side's; connection is a lock-step walk
+//! through [`XenbusState`].
+
+use crate::domain::DomainId;
+use crate::error::{Result, XenError};
+use crate::xenstore::Xenstore;
+
+/// PV device connection states (`xenbus_state` ABI values).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum XenbusState {
+    /// Initial/unknown.
+    Unknown = 0,
+    /// Device being set up by its toolstack.
+    Initialising = 1,
+    /// Backend waits for frontend details.
+    InitWait = 2,
+    /// Frontend published its details; waiting for backend connect.
+    Initialised = 3,
+    /// Both ends operational.
+    Connected = 4,
+    /// Shutdown requested.
+    Closing = 5,
+    /// Device closed.
+    Closed = 6,
+}
+
+impl XenbusState {
+    /// Parses an ABI value.
+    pub fn from_value(v: u8) -> XenbusState {
+        match v {
+            1 => XenbusState::Initialising,
+            2 => XenbusState::InitWait,
+            3 => XenbusState::Initialised,
+            4 => XenbusState::Connected,
+            5 => XenbusState::Closing,
+            6 => XenbusState::Closed,
+            _ => XenbusState::Unknown,
+        }
+    }
+
+    /// The ABI value.
+    pub fn value(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether `self -> next` is a legal transition.
+    ///
+    /// `Closing` may be entered from any live state (crash/unplug); all
+    /// other transitions follow the connect handshake.
+    pub fn can_transition_to(self, next: XenbusState) -> bool {
+        use XenbusState::*;
+        if next == Closing {
+            return !matches!(self, Closed | Unknown);
+        }
+        matches!(
+            (self, next),
+            (Unknown, Initialising)
+                | (Initialising, InitWait)
+                | (Initialising, Initialised)
+                | (InitWait, Initialised)
+                | (InitWait, Connected)
+                | (Initialised, Connected)
+                | (Closing, Closed)
+        )
+    }
+}
+
+/// Kind of a PV device, as named in xenstore paths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceKind {
+    /// Virtual network interface (`vif`).
+    Vif,
+    /// Virtual block device (`vbd`).
+    Vbd,
+}
+
+impl DeviceKind {
+    /// The path component used in xenstore.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceKind::Vif => "vif",
+            DeviceKind::Vbd => "vbd",
+        }
+    }
+}
+
+/// Path helpers for one frontend/backend device pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DevicePaths {
+    /// Guest domain running the frontend.
+    pub front: DomainId,
+    /// Driver domain running the backend.
+    pub back: DomainId,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Device index within the guest (0 for the first vif/vbd).
+    pub index: u32,
+}
+
+impl DevicePaths {
+    /// Creates path helpers for device `index` of `kind` between domains.
+    pub fn new(front: DomainId, back: DomainId, kind: DeviceKind, index: u32) -> DevicePaths {
+        DevicePaths {
+            front,
+            back,
+            kind,
+            index,
+        }
+    }
+
+    /// The frontend area: `/local/domain/<front>/device/<kind>/<index>`.
+    pub fn frontend(&self) -> String {
+        format!(
+            "/local/domain/{}/device/{}/{}",
+            self.front.0,
+            self.kind.as_str(),
+            self.index
+        )
+    }
+
+    /// The backend area:
+    /// `/local/domain/<back>/backend/<kind>/<front>/<index>`.
+    pub fn backend(&self) -> String {
+        format!(
+            "/local/domain/{}/backend/{}/{}/{}",
+            self.back.0,
+            self.kind.as_str(),
+            self.front.0,
+            self.index
+        )
+    }
+
+    /// The backend watch root for discovering new frontends:
+    /// `/local/domain/<back>/backend/<kind>`.
+    pub fn backend_root(back: DomainId, kind: DeviceKind) -> String {
+        format!("/local/domain/{}/backend/{}", back.0, kind.as_str())
+    }
+
+    /// Frontend `state` node path.
+    pub fn frontend_state(&self) -> String {
+        format!("{}/state", self.frontend())
+    }
+
+    /// Backend `state` node path.
+    pub fn backend_state(&self) -> String {
+        format!("{}/state", self.backend())
+    }
+
+    /// Parses a backend-area path back into its device coordinates.
+    ///
+    /// Accepts any path at or below a backend device directory; returns
+    /// `None` for paths that do not identify a complete device.
+    pub fn parse_backend_path(path: &str) -> Option<DevicePaths> {
+        let segs: Vec<&str> = path.strip_prefix('/')?.split('/').collect();
+        // local domain <back> backend <kind> <front> <index> ...
+        if segs.len() < 7 || segs[0] != "local" || segs[1] != "domain" || segs[3] != "backend" {
+            return None;
+        }
+        let back = DomainId(segs[2].parse().ok()?);
+        let kind = match segs[4] {
+            "vif" => DeviceKind::Vif,
+            "vbd" => DeviceKind::Vbd,
+            _ => return None,
+        };
+        let front = DomainId(segs[5].parse().ok()?);
+        let index = segs[6].parse().ok()?;
+        Some(DevicePaths::new(front, back, kind, index))
+    }
+}
+
+/// Reads a device `state` node, treating absence as `Unknown`.
+pub fn read_state(xs: &mut Xenstore, caller: DomainId, state_path: &str) -> XenbusState {
+    match xs.read(caller, None, state_path) {
+        Ok(v) => XenbusState::from_value(v.parse().unwrap_or(0)),
+        Err(_) => XenbusState::Unknown,
+    }
+}
+
+/// Writes a device `state` node, validating the transition.
+pub fn switch_state(
+    xs: &mut Xenstore,
+    caller: DomainId,
+    state_path: &str,
+    next: XenbusState,
+) -> Result<()> {
+    let cur = read_state(xs, caller, state_path);
+    if cur == next {
+        return Ok(());
+    }
+    if !cur.can_transition_to(next) {
+        return Err(XenError::Inval);
+    }
+    xs.write(caller, None, state_path, &next.value().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_values_match_abi() {
+        assert_eq!(XenbusState::Initialising.value(), 1);
+        assert_eq!(XenbusState::Connected.value(), 4);
+        assert_eq!(XenbusState::from_value(6), XenbusState::Closed);
+        assert_eq!(XenbusState::from_value(99), XenbusState::Unknown);
+    }
+
+    #[test]
+    fn handshake_transitions_legal() {
+        use XenbusState::*;
+        assert!(Unknown.can_transition_to(Initialising));
+        assert!(Initialising.can_transition_to(InitWait));
+        assert!(InitWait.can_transition_to(Initialised));
+        assert!(Initialised.can_transition_to(Connected));
+        assert!(Connected.can_transition_to(Closing));
+        assert!(Closing.can_transition_to(Closed));
+        // Illegal jumps.
+        assert!(!Unknown.can_transition_to(Connected));
+        assert!(!Connected.can_transition_to(Initialising));
+        assert!(!Closed.can_transition_to(Closing));
+    }
+
+    #[test]
+    fn paths_follow_convention() {
+        let p = DevicePaths::new(DomainId(2), DomainId(1), DeviceKind::Vif, 0);
+        assert_eq!(p.frontend(), "/local/domain/2/device/vif/0");
+        assert_eq!(p.backend(), "/local/domain/1/backend/vif/2/0");
+        assert_eq!(p.backend_state(), "/local/domain/1/backend/vif/2/0/state");
+        assert_eq!(
+            DevicePaths::backend_root(DomainId(1), DeviceKind::Vbd),
+            "/local/domain/1/backend/vbd"
+        );
+    }
+
+    #[test]
+    fn parse_backend_path_roundtrip() {
+        let p = DevicePaths::new(DomainId(3), DomainId(1), DeviceKind::Vbd, 2);
+        assert_eq!(
+            DevicePaths::parse_backend_path(&p.backend_state()),
+            Some(p.clone())
+        );
+        assert_eq!(DevicePaths::parse_backend_path(&p.backend()), Some(p));
+        assert_eq!(
+            DevicePaths::parse_backend_path("/local/domain/1/backend/vif"),
+            None
+        );
+        assert_eq!(DevicePaths::parse_backend_path("/foo/bar"), None);
+    }
+
+    #[test]
+    fn switch_state_enforces_machine() {
+        let mut xs = Xenstore::new();
+        let d0 = DomainId::DOM0;
+        let path = "/local/domain/1/backend/vif/2/0/state";
+        switch_state(&mut xs, d0, path, XenbusState::Initialising).unwrap();
+        assert_eq!(read_state(&mut xs, d0, path), XenbusState::Initialising);
+        switch_state(&mut xs, d0, path, XenbusState::InitWait).unwrap();
+        // Cannot jump back.
+        assert_eq!(
+            switch_state(&mut xs, d0, path, XenbusState::Initialising),
+            Err(XenError::Inval)
+        );
+        // Idempotent writes are fine.
+        switch_state(&mut xs, d0, path, XenbusState::InitWait).unwrap();
+        // Crash path: anything live may close.
+        switch_state(&mut xs, d0, path, XenbusState::Closing).unwrap();
+        switch_state(&mut xs, d0, path, XenbusState::Closed).unwrap();
+    }
+}

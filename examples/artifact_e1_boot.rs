@@ -1,0 +1,75 @@
+//! Artifact experiment E1 (claim C1): boot-time comparison, following the
+//! appendix workflow with the `xl`-style toolstack.
+//!
+//! ```text
+//! # xl pci-assignable-add 03:00.0
+//! # xl create -c config/network/ubuntu_dd.cfg   (measure to login)
+//! # xl destroy ubuntu-dd
+//! # xl create -c config/network/kite_dd.cfg     (measure to 'ready')
+//! ```
+//!
+//! Expected: "Kite should exhibit at least 10x faster boot time."
+
+use kite::core::Xl;
+use kite::sim::Pcg;
+use kite::xen::{DomainKind, Hypervisor, PciClass, PciDevice};
+
+const KITE_CFG: &str = r#"
+    name = "netbackend"
+    kind = "network"
+    memory = 1024
+    vcpus = 1
+    pci = ["03:00.0,permissive=1"]
+"#;
+
+const UBUNTU_CFG: &str = r#"
+    name = "ubuntu-dd"
+    kind = "network"
+    memory = 2048
+    vcpus = 1
+    pci = ["03:00.0,permissive=1"]
+"#;
+
+fn main() {
+    let mut hv = Hypervisor::new();
+    hv.create_domain("Domain-0", DomainKind::Dom0, 8192, 4);
+    hv.pci.add_device(PciDevice {
+        bdf: "03:00.0".parse().unwrap(),
+        class: PciClass::Network,
+        name: "Intel 82599ES 10-Gigabit SFI/SFP+".into(),
+    });
+    let mut xl = Xl::new();
+    let mut rng = Pcg::seeded(1);
+
+    // # xl pci-assignable-add 03:00.0
+    xl.pci_assignable_add(&mut hv, "03:00.0").unwrap();
+
+    // Ubuntu driver domain first (the appendix's order).
+    xl.create(&mut hv, UBUNTU_CFG).unwrap();
+    let ubuntu_seq = kite::linux::ubuntu_boot();
+    let ubuntu = ubuntu_seq.sample(&mut rng);
+    println!("# xl create -c config/network/ubuntu_dd.cfg");
+    for st in &ubuntu_seq.stages {
+        println!("    [{:>7.2}s] {}", st.duration.as_secs_f64(), st.name);
+    }
+    println!("ubuntu-dd: login after {:.1}s", ubuntu.as_secs_f64());
+    println!("# xl destroy ubuntu-dd");
+    xl.destroy(&mut hv, "ubuntu-dd").unwrap();
+
+    // Kite network domain.
+    xl.create(&mut hv, KITE_CFG).unwrap();
+    let kite_seq = kite::rumprun::kite_boot();
+    let kite = kite_seq.sample(&mut rng);
+    println!("\n# xl create -c config/network/kite_dd.cfg");
+    for st in &kite_seq.stages {
+        println!("    [{:>7.2}s] {}", st.duration.as_secs_f64(), st.name);
+    }
+    println!("netbackend: 'Network domain is ready' after {:.1}s", kite.as_secs_f64());
+
+    println!("\n# xl list");
+    print!("{}", xl.list(&hv));
+
+    let speedup = ubuntu.as_secs_f64() / kite.as_secs_f64();
+    println!("\nclaim C1: Kite boots {speedup:.1}x faster (paper requires ≥10x)");
+    assert!(speedup >= 10.0);
+}

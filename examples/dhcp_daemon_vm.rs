@@ -1,0 +1,47 @@
+//! Daemon-VM example (§5.5): the unikernelized DHCP server answering real
+//! DORA exchanges through the Kite network domain, plus a direct look at
+//! the lease table.
+//!
+//! ```text
+//! cargo run --release --example dhcp_daemon_vm
+//! ```
+
+use kite::core::{DhcpConfig, DhcpServer};
+use kite::net::{DhcpMessage, DhcpMessageType, MacAddr};
+use kite::sim::Nanos;
+use kite::workloads::perfdhcp::{self, DaemonOs};
+
+fn main() {
+    // Protocol-level demonstration: one client's full lifecycle.
+    let mut server = DhcpServer::new(DhcpConfig::default());
+    let now = Nanos::ZERO;
+    let mac = MacAddr::local(0xbeef);
+
+    let discover = DhcpMessage::client(DhcpMessageType::Discover, 1, mac);
+    let offer = server.handle(&discover, now).expect("offer");
+    println!("DISCOVER -> OFFER {} (lease {}s)", offer.yiaddr, offer.lease_secs.unwrap());
+
+    let mut request = DhcpMessage::client(DhcpMessageType::Request, 1, mac);
+    request.requested_ip = Some(offer.yiaddr);
+    let ack = server.handle(&request, now).expect("ack");
+    println!("REQUEST  -> ACK   {}", ack.yiaddr);
+    println!("active leases: {}", server.active_leases(now));
+
+    let release = DhcpMessage::client(DhcpMessageType::Release, 2, mac);
+    server.handle(&release, now);
+    println!("after RELEASE: {} active leases", server.active_leases(now));
+
+    // Full-path measurement, exactly what perfdhcp reports in the paper.
+    println!("\nperfdhcp through the Kite network domain:");
+    for daemon in [DaemonOs::Rumprun, DaemonOs::Linux] {
+        let r = perfdhcp::run(daemon, 200, 400, 42);
+        println!(
+            "  {:8} Discover→Offer {:.2} ms, Request→Ack {:.2} ms ({} sessions)",
+            daemon.name(),
+            r.discover_offer_ms,
+            r.request_ack_ms,
+            r.sessions
+        );
+    }
+    println!("  (paper §5.5: ≈0.78 ms and ≈0.70 ms, rumprun ≈ Linux)");
+}

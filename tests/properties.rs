@@ -1,0 +1,305 @@
+//! Property-based tests over the core data structures and protocols.
+
+use proptest::prelude::*;
+
+use kite::fs::{ExtentAllocator, Fs};
+use kite::net::{
+    ArpPacket, DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IcmpMessage, IpProto,
+    Ipv4Packet, MacAddr, TcpSegment, UdpDatagram,
+};
+use kite::sim::Nanos;
+use kite::xen::ring::{BackRing, FrontRing, RingEntry};
+use kite::xen::{DomainKind, Hypervisor};
+
+/// Toy ring entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct E(u64);
+impl RingEntry for E {
+    const SIZE: usize = 8;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.0.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        E(u64::from_le_bytes(buf[..8].try_into().unwrap()))
+    }
+}
+
+proptest! {
+    /// The shared-ring protocol never loses, duplicates or reorders
+    /// entries under arbitrary interleavings of produce/consume steps.
+    #[test]
+    fn ring_fifo_under_arbitrary_interleaving(ops in proptest::collection::vec(0u8..4, 1..300)) {
+        let mut page = vec![0u8; 4096];
+        let mut front: FrontRing<E, E> = FrontRing::init(&mut page);
+        let mut back: BackRing<E, E> = BackRing::attach();
+        let mut next = 0u64;
+        let mut expect_req = 0u64;
+        let mut expect_rsp = 0u64;
+        let mut served = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if !front.full() {
+                        front.push_request(&mut page, &E(next)).unwrap();
+                        next += 1;
+                        front.push_requests(&mut page);
+                    }
+                }
+                1 => {
+                    if let Some(r) = back.consume_request(&page).unwrap() {
+                        prop_assert_eq!(r.0, expect_req, "requests FIFO");
+                        expect_req += 1;
+                        served.push_back(r.0);
+                    }
+                }
+                2 => {
+                    if let Some(v) = served.front().copied() {
+                        if back.free_responses() > 0
+                            && back.push_response(&mut page, &E(v)).is_ok()
+                        {
+                            served.pop_front();
+                            back.push_responses(&mut page);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(r) = front.consume_response(&page).unwrap() {
+                        prop_assert_eq!(r.0, expect_rsp, "responses FIFO");
+                        expect_rsp += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ethernet/IPv4/UDP stacking round-trips arbitrary payloads.
+    #[test]
+    fn packet_stack_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..1400),
+                              sp in 1u16..65535, dp in 1u16..65535) {
+        let src = "10.1.2.3".parse().unwrap();
+        let dst = "10.4.5.6".parse().unwrap();
+        let udp = UdpDatagram::new(sp, dp, payload.clone());
+        let ip = Ipv4Packet::new(src, dst, IpProto::Udp, udp.encode(src, dst));
+        let eth = EthernetFrame::new(MacAddr::local(1), MacAddr::local(2), EtherType::Ipv4, ip.encode());
+        let bytes = eth.encode();
+
+        let eth2 = EthernetFrame::decode(&bytes).unwrap();
+        prop_assert_eq!(eth2.ethertype, EtherType::Ipv4);
+        let ip2 = Ipv4Packet::decode(&eth2.payload).unwrap();
+        prop_assert_eq!(ip2.src, src);
+        let udp2 = UdpDatagram::decode(&ip2.payload, src, dst).unwrap();
+        prop_assert_eq!(udp2.payload, payload);
+        prop_assert_eq!((udp2.src_port, udp2.dst_port), (sp, dp));
+    }
+
+    /// Any single-bit corruption in an IPv4 header is detected.
+    #[test]
+    fn ipv4_header_bitflip_detected(bit in 0usize..(20 * 8)) {
+        let ip = Ipv4Packet::new(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            IpProto::Tcp,
+            vec![1, 2, 3],
+        );
+        let mut bytes = ip.encode();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // Either the version check or the checksum must catch it.
+        prop_assert!(Ipv4Packet::decode(&bytes).is_none() || bit / 8 >= 20);
+    }
+
+    /// TCP segments round-trip.
+    #[test]
+    fn tcp_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..1000),
+                     seq in any::<u32>(), ack in any::<u32>(), win in any::<u16>()) {
+        let src = "10.0.0.1".parse().unwrap();
+        let dst = "10.0.0.2".parse().unwrap();
+        let s = TcpSegment {
+            src_port: 80,
+            dst_port: 12345,
+            seq,
+            ack,
+            flags: kite::net::tcp::flags::ACK,
+            window: win,
+            payload,
+        };
+        let bytes = s.encode(src, dst);
+        prop_assert_eq!(TcpSegment::decode(&bytes, src, dst), Some(s));
+    }
+
+    /// ICMP echo round-trips.
+    #[test]
+    fn icmp_roundtrip(ident in any::<u16>(), seq in any::<u16>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let m = IcmpMessage::EchoRequest { ident, seq, payload };
+        prop_assert_eq!(IcmpMessage::decode(&m.encode()), Some(m));
+    }
+
+    /// ARP round-trips.
+    #[test]
+    fn arp_roundtrip(a in any::<u32>(), b in any::<u32>()) {
+        let p = ArpPacket::request(
+            MacAddr::local(a),
+            std::net::Ipv4Addr::from(a),
+            std::net::Ipv4Addr::from(b),
+        );
+        prop_assert_eq!(ArpPacket::decode(&p.encode()), Some(p));
+    }
+
+    /// DHCP messages round-trip with arbitrary option combinations.
+    #[test]
+    fn dhcp_roundtrip(xid in any::<u32>(), mac in any::<u32>(),
+                      req_ip in proptest::option::of(any::<u32>()),
+                      lease in proptest::option::of(any::<u32>())) {
+        let mut m = DhcpMessage::client(DhcpMessageType::Request, xid, MacAddr::local(mac));
+        m.requested_ip = req_ip.map(std::net::Ipv4Addr::from);
+        m.lease_secs = lease;
+        prop_assert_eq!(DhcpMessage::decode(&m.encode()), Some(m));
+    }
+
+    /// The extent allocator conserves blocks under arbitrary churn.
+    #[test]
+    fn allocator_conserves_blocks(ops in proptest::collection::vec((any::<bool>(), 1u64..40), 1..200)) {
+        let total = 2048;
+        let mut a = ExtentAllocator::new(total);
+        let mut held: Vec<Vec<kite::fs::Extent>> = Vec::new();
+        for (free, n) in ops {
+            if free && !held.is_empty() {
+                for e in held.pop().unwrap() {
+                    a.free_extent(e);
+                }
+            } else if let Some(e) = a.alloc(n) {
+                prop_assert_eq!(e.iter().map(|x| x.len).sum::<u64>(), n);
+                held.push(e);
+            }
+            let held_total: u64 = held.iter().flatten().map(|e| e.len).sum();
+            prop_assert_eq!(a.free_blocks() + held_total, total);
+        }
+    }
+
+    /// Allocated extents never overlap.
+    #[test]
+    fn allocator_never_overlaps(sizes in proptest::collection::vec(1u64..64, 1..60)) {
+        let mut a = ExtentAllocator::new(4096);
+        let mut used = std::collections::HashSet::new();
+        for n in sizes {
+            if let Some(extents) = a.alloc(n) {
+                for e in extents {
+                    for b in e.start..e.start + e.len {
+                        prop_assert!(used.insert(b), "block {} double-allocated", b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// FS write-then-read returns exactly the written range through the
+    /// device-I/O plans (byte accounting, cache on or off).
+    #[test]
+    fn fs_read_covers_written_range(writes in proptest::collection::vec((0u64..64, 1usize..16384), 1..20)) {
+        let mut fs = Fs::format(4096, 8);
+        let ino = fs.create("f").unwrap();
+        let mut size = 0u64;
+        for (off_blocks, len) in writes {
+            let off = off_blocks * 512;
+            if fs.write(ino, off, len).is_ok() {
+                size = size.max(off + len as u64);
+            }
+        }
+        prop_assert_eq!(fs.size(ino).unwrap(), size);
+        if size > 0 {
+            fs.drop_caches();
+            let plan = fs.read(ino, 0, size as usize).unwrap();
+            let covered: usize =
+                plan.device_ios.iter().map(|io| io.bytes).sum::<usize>() + plan.cached_bytes;
+            prop_assert_eq!(covered, size as usize);
+        }
+    }
+
+    /// Grant copy moves exactly the requested bytes regardless of offsets.
+    #[test]
+    fn grant_copy_exact(src_off in 0usize..4096, dst_off in 0usize..4096, len in 0usize..4096) {
+        prop_assume!(src_off + len <= 4096 && dst_off + len <= 4096);
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 64, 1);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 64, 1);
+        let gu = hv.create_domain("gu", DomainKind::Guest, 64, 1);
+        let sp = hv.alloc_page(gu).unwrap();
+        let dp = hv.alloc_page(dd).unwrap();
+        for (i, b) in hv.mem.page_mut(sp).unwrap().iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let gref = hv.grant_access(gu, dd, sp, true).unwrap();
+        hv.grant_copy(
+            dd,
+            kite::xen::CopySide::Grant { granter: gu, gref, offset: src_off },
+            kite::xen::CopySide::Local { page: dp, offset: dst_off },
+            len,
+        ).unwrap();
+        let dst = hv.mem.page(dp).unwrap();
+        for i in 0..len {
+            prop_assert_eq!(dst[dst_off + i], ((src_off + i) % 251) as u8);
+        }
+        // Bytes outside the window stay zero.
+        for (i, &b) in dst.iter().enumerate() {
+            if i < dst_off || i >= dst_off + len {
+                prop_assert_eq!(b, 0);
+            }
+        }
+    }
+
+    /// Xenstore transactions are serializable: a conflicting commit fails,
+    /// a retry applied after sees the latest value.
+    #[test]
+    fn xenstore_counter_increments_serially(interleave in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let mut hv = Hypervisor::new();
+        let d0 = hv.create_domain("Domain-0", DomainKind::Dom0, 64, 1);
+        hv.store.write(d0, None, "/counter", "0").unwrap();
+        let mut expected = 0u64;
+        for conflict in interleave {
+            // The concurrent writer interferes only with the first
+            // attempt; the retry then commits cleanly (as a real racing
+            // writer eventually quiesces).
+            let mut pending_conflict = conflict;
+            loop {
+                let tx = hv.store.tx_start(d0);
+                let v: u64 = hv.store.read(d0, Some(tx), "/counter").unwrap().parse().unwrap();
+                if pending_conflict {
+                    hv.store.write(d0, None, "/counter", &(v + 1).to_string()).unwrap();
+                    expected += 1;
+                    pending_conflict = false;
+                }
+                hv.store.write(d0, Some(tx), "/counter", &(v + 1).to_string()).unwrap();
+                match hv.store.tx_end(d0, tx, true) {
+                    Ok(()) => {
+                        expected += 1;
+                        break;
+                    }
+                    Err(kite::xen::XenError::Again) => {
+                        prop_assert!(conflict, "spurious conflict");
+                        continue;
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {e}"),
+                }
+            }
+            let v: u64 = hv.store.read(d0, None, "/counter").unwrap().parse().unwrap();
+            prop_assert_eq!(v, expected);
+        }
+    }
+
+    /// The DES queue pops in nondecreasing time order for any schedule.
+    #[test]
+    fn event_queue_time_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = kite::sim::EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(Nanos(*t), i);
+        }
+        let mut last = Nanos::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+}
