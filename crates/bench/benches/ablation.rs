@@ -1,6 +1,7 @@
-//! Ablation bench: the individual contribution of blkback's three storage
+//! Ablation bench: the individual contribution of blkback's storage
 //! optimizations (§3.3/§4.4) — batching, persistent grants, indirect
-//! segments — on a fixed sequential-write workload.
+//! segments, and the grant-copy data path (batched vs. one hypercall
+//! per op) — on a fixed sequential-write workload.
 //!
 //! Criterion times the *host* execution of each simulation here (useful
 //! as a regression canary for the mechanism code). The figure-level
@@ -15,10 +16,12 @@ use std::hint::black_box;
 use kite_core::BlkbackTuning;
 use kite_sim::Nanos;
 use kite_system::{BackendOs, IoKind, IoOp, StorSystem};
+use kite_xen::CopyMode;
 
 /// Runs 8 MiB of 128 KiB writes; returns elapsed virtual time in ns.
-fn run(tuning: BlkbackTuning) -> u64 {
+fn run(tuning: BlkbackTuning, mode: CopyMode) -> u64 {
     let mut sys = StorSystem::with_tuning(BackendOs::Kite, 1, tuning);
+    sys.set_copy_mode(mode);
     const CHUNK: usize = 128 * 1024;
     let mut t = Nanos::from_micros(100);
     for i in 0..64u64 {
@@ -41,15 +44,33 @@ fn run(tuning: BlkbackTuning) -> u64 {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("blkback_ablation");
     g.sample_size(10);
+    let no_persistent = BlkbackTuning {
+        persistent_grants: false,
+        persistent_cap: 0,
+        ..BlkbackTuning::default()
+    };
     let variants = [
-        ("all_on", BlkbackTuning::default()),
+        ("all_on", BlkbackTuning::default(), CopyMode::Batched),
+        // Map/unmap per segment (grant copies also disabled).
         (
-            "no_persistent_grants",
+            "no_persistent_grants_map",
             BlkbackTuning {
-                persistent_grants: false,
-                persistent_cap: 0,
-                ..BlkbackTuning::default()
+                grant_copy: false,
+                ..no_persistent
             },
+            CopyMode::Batched,
+        ),
+        // One GNTTABOP_copy per request's segment list.
+        (
+            "no_persistent_grants_copy_batched",
+            no_persistent,
+            CopyMode::Batched,
+        ),
+        // One hypercall per copy op — isolates the batching win.
+        (
+            "no_persistent_grants_copy_single_op",
+            no_persistent,
+            CopyMode::SingleOp,
         ),
         (
             "no_batching",
@@ -57,6 +78,7 @@ fn bench(c: &mut Criterion) {
                 batching: false,
                 ..BlkbackTuning::default()
             },
+            CopyMode::Batched,
         ),
         (
             "no_indirect",
@@ -64,6 +86,7 @@ fn bench(c: &mut Criterion) {
                 indirect_segments: false,
                 ..BlkbackTuning::default()
             },
+            CopyMode::Batched,
         ),
         (
             "all_off",
@@ -72,12 +95,29 @@ fn bench(c: &mut Criterion) {
                 persistent_grants: false,
                 indirect_segments: false,
                 persistent_cap: 0,
+                grant_copy: false,
             },
+            CopyMode::Batched,
         ),
     ];
-    for (name, tuning) in variants {
-        g.bench_function(name, |b| b.iter(|| black_box(run(tuning))));
+    for (name, tuning, mode) in variants {
+        g.bench_function(name, |b| b.iter(|| black_box(run(tuning, mode))));
     }
+    // The figure-level result: virtual elapsed time per data path.
+    let map_ns = run(
+        BlkbackTuning {
+            grant_copy: false,
+            ..no_persistent
+        },
+        CopyMode::Batched,
+    );
+    let batched_ns = run(no_persistent, CopyMode::Batched);
+    let single_ns = run(no_persistent, CopyMode::SingleOp);
+    println!(
+        "blkback virtual elapsed: map/unmap {map_ns} ns, copy batched {batched_ns} ns, \
+         copy single-op {single_ns} ns (batched saves {} ns vs single-op)",
+        single_ns.saturating_sub(batched_ns)
+    );
     g.finish();
 }
 

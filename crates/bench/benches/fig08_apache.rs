@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for os in kite_system::BackendOs::both() {
         g.bench_function(os.name(), |b| {
-            b.iter(|| {
-                black_box(kite_workloads::apache::run(os, 65536, 200, 40, 1).throughput_mbps)
-            })
+            b.iter(|| black_box(kite_workloads::apache::run(os, 65536, 200, 40, 1).throughput_mbps))
         });
     }
     g.finish();

@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for os in kite_system::BackendOs::both() {
         g.bench_function(os.name(), |b| {
-            b.iter(|| {
-                black_box(kite_workloads::redis::run(os, 10, 2000, 1).get_ops_per_sec)
-            })
+            b.iter(|| black_box(kite_workloads::redis::run(os, 10, 2000, 1).get_ops_per_sec))
         });
     }
     g.finish();

@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for os in kite_system::BackendOs::both() {
         g.bench_function(os.name(), |b| {
-            b.iter(|| {
-                black_box(kite_workloads::filebench::mongodb(os, 40, 1).mbps)
-            })
+            b.iter(|| black_box(kite_workloads::filebench::mongodb(os, 40, 1).mbps))
         });
     }
     g.finish();

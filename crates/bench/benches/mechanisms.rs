@@ -27,8 +27,14 @@ fn bench_ring(c: &mut Criterion) {
             f.push_request(&mut page, black_box(&req)).unwrap();
             f.push_requests(&mut page);
             let r = back.consume_request(&page).unwrap().unwrap();
-            back.push_response(&mut page, &NetifTxResponse { id: r.id, status: 0 })
-                .unwrap();
+            back.push_response(
+                &mut page,
+                &NetifTxResponse {
+                    id: r.id,
+                    status: 0,
+                },
+            )
+            .unwrap();
             back.push_responses(&mut page);
             f.consume_response(&page).unwrap().unwrap()
         });
@@ -63,13 +69,74 @@ fn bench_grant_copy(c: &mut Criterion) {
     });
 }
 
+fn bench_grant_copy_batch(c: &mut Criterion) {
+    // Host time of issuing one 32-op batch vs. 32 single-op hypercalls,
+    // plus the virtual (modelled) cost delta — the batched path must be
+    // strictly cheaper for any multi-op drain.
+    let mut hv = Hypervisor::new();
+    hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+    let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+    let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
+    const NOPS: usize = 32;
+    const LEN: usize = 1514;
+    let mut ops = Vec::with_capacity(NOPS);
+    for _ in 0..NOPS {
+        let src = hv.alloc_page(gu).unwrap();
+        let dst = hv.alloc_page(dd).unwrap();
+        let gref = hv.grant_access(gu, dd, src, true).unwrap();
+        ops.push(kite_xen::GrantCopyOp {
+            src: kite_xen::CopySide::Grant {
+                granter: gu,
+                gref,
+                offset: 0,
+            },
+            dst: kite_xen::CopySide::Local {
+                page: dst,
+                offset: 0,
+            },
+            len: LEN,
+        });
+    }
+    let batched_cost = hv
+        .grant_copy_ops(dd, &ops, kite_xen::CopyMode::Batched)
+        .cost;
+    let single_cost = hv
+        .grant_copy_ops(dd, &ops, kite_xen::CopyMode::SingleOp)
+        .cost;
+    assert!(
+        batched_cost < single_cost,
+        "batched ({batched_cost:?}) must undercut single-op ({single_cost:?})"
+    );
+    println!(
+        "grant_copy virtual cost, {NOPS}x{LEN}B: batched {} ns, single-op {} ns \
+         (saves {} ns, {} hypercalls)",
+        batched_cost.as_nanos(),
+        single_cost.as_nanos(),
+        (single_cost - batched_cost).as_nanos(),
+        NOPS - 1
+    );
+    c.bench_function("grant_copy_batched_32x1514", |b| {
+        b.iter(|| black_box(hv.grant_copy_ops(dd, &ops, kite_xen::CopyMode::Batched)))
+    });
+    c.bench_function("grant_copy_single_op_32x1514", |b| {
+        b.iter(|| black_box(hv.grant_copy_ops(dd, &ops, kite_xen::CopyMode::SingleOp)))
+    });
+}
+
 fn bench_bridge(c: &mut Criterion) {
     c.bench_function("bridge_unicast_forward", |b| {
         let mut br = Bridge::new("bridge0");
         let p0 = br.add_port("ixg0");
         let p1 = br.add_port("vif0");
         br.input(p1, MacAddr::local(1), MacAddr::BROADCAST, Nanos::ZERO);
-        b.iter(|| br.input(p0, MacAddr::local(2), black_box(MacAddr::local(1)), Nanos(1)));
+        b.iter(|| {
+            br.input(
+                p0,
+                MacAddr::local(2),
+                black_box(MacAddr::local(1)),
+                Nanos(1),
+            )
+        });
     });
 }
 
@@ -107,6 +174,7 @@ criterion_group!(
     benches,
     bench_ring,
     bench_grant_copy,
+    bench_grant_copy_batch,
     bench_bridge,
     bench_xenstore,
     bench_decoder

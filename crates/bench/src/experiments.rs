@@ -18,30 +18,109 @@ pub struct Experiment {
 /// All experiments in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "fig1a", title: "Driver CVEs per year (context data)", run: fig1a },
-        Experiment { id: "fig5", title: "ROP gadgets by category (also Fig 1b totals)", run: fig5 },
-        Experiment { id: "table1", title: "Lines of code of Kite components", run: table1 },
-        Experiment { id: "table3", title: "CVEs prevented by syscall removal", run: table3 },
-        Experiment { id: "fig4", title: "Syscall count, image size, boot time", run: fig4 },
-        Experiment { id: "fig6", title: "nuttcp UDP throughput + loss", run: fig6 },
-        Experiment { id: "fig7", title: "Network latency: ping / Netperf / memtier", run: fig7 },
-        Experiment { id: "fig8", title: "Apache throughput (file-size sweep + 512KB detail)", run: fig8 },
-        Experiment { id: "fig9", title: "Redis pipelined SET/GET", run: fig9 },
-        Experiment { id: "fig10", title: "MySQL network-bound (throughput + DomU CPU)", run: fig10 },
-        Experiment { id: "table4", title: "Relative standard deviations", run: table4 },
-        Experiment { id: "fig11", title: "dd sequential storage throughput", run: fig11 },
-        Experiment { id: "fig12", title: "SysBench file I/O (threads + block-size sweeps)", run: fig12 },
-        Experiment { id: "fig13", title: "MySQL storage-bound", run: fig13 },
-        Experiment { id: "fig14", title: "Filebench fileserver (I/O-size sweep)", run: fig14 },
-        Experiment { id: "fig15", title: "Filebench MongoDB profile", run: fig15 },
-        Experiment { id: "fig16", title: "Filebench webserver", run: fig16 },
-        Experiment { id: "dhcp", title: "§5.5 daemon VM: perfdhcp DORA latency", run: dhcp },
-        Experiment { id: "mem", title: "Driver-domain memory footprint (§1's motivation)", run: mem },
+        Experiment {
+            id: "fig1a",
+            title: "Driver CVEs per year (context data)",
+            run: fig1a,
+        },
+        Experiment {
+            id: "fig5",
+            title: "ROP gadgets by category (also Fig 1b totals)",
+            run: fig5,
+        },
+        Experiment {
+            id: "table1",
+            title: "Lines of code of Kite components",
+            run: table1,
+        },
+        Experiment {
+            id: "table3",
+            title: "CVEs prevented by syscall removal",
+            run: table3,
+        },
+        Experiment {
+            id: "fig4",
+            title: "Syscall count, image size, boot time",
+            run: fig4,
+        },
+        Experiment {
+            id: "fig6",
+            title: "nuttcp UDP throughput + loss",
+            run: fig6,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Network latency: ping / Netperf / memtier",
+            run: fig7,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Apache throughput (file-size sweep + 512KB detail)",
+            run: fig8,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Redis pipelined SET/GET",
+            run: fig9,
+        },
+        Experiment {
+            id: "fig10",
+            title: "MySQL network-bound (throughput + DomU CPU)",
+            run: fig10,
+        },
+        Experiment {
+            id: "table4",
+            title: "Relative standard deviations",
+            run: table4,
+        },
+        Experiment {
+            id: "fig11",
+            title: "dd sequential storage throughput",
+            run: fig11,
+        },
+        Experiment {
+            id: "fig12",
+            title: "SysBench file I/O (threads + block-size sweeps)",
+            run: fig12,
+        },
+        Experiment {
+            id: "fig13",
+            title: "MySQL storage-bound",
+            run: fig13,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Filebench fileserver (I/O-size sweep)",
+            run: fig14,
+        },
+        Experiment {
+            id: "fig15",
+            title: "Filebench MongoDB profile",
+            run: fig15,
+        },
+        Experiment {
+            id: "fig16",
+            title: "Filebench webserver",
+            run: fig16,
+        },
+        Experiment {
+            id: "dhcp",
+            title: "§5.5 daemon VM: perfdhcp DORA latency",
+            run: dhcp,
+        },
+        Experiment {
+            id: "mem",
+            title: "Driver-domain memory footprint (§1's motivation)",
+            run: mem,
+        },
     ]
 }
 
 fn fig1a() {
-    println!("{:>6} {:>14} {:>16}", "year", "linux drivers", "windows drivers");
+    println!(
+        "{:>6} {:>14} {:>16}",
+        "year", "linux drivers", "windows drivers"
+    );
     for (y, l, w) in sec::driver_cves_by_year() {
         println!("{y:>6} {l:>14} {w:>16}");
     }
@@ -49,7 +128,10 @@ fn fig1a() {
 }
 
 fn fig5() {
-    println!("scanning synthetic images (scale 1/{})...", sec::gadgets::SCAN_SCALE);
+    println!(
+        "scanning synthetic images (scale 1/{})...",
+        sec::gadgets::SCAN_SCALE
+    );
     println!(
         "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "os", "total", "datamove", "arith", "ctrlflow", "ret"
@@ -84,7 +166,9 @@ fn table1() {
     println!("Netback                     2791   kite-core::netback");
     println!("HVM extension               1100   kite-xen::xenstore/xenbus + kite-core::backend");
     println!("Configuration                450   kite-core::netapp/blockapp/config");
-    println!("Utilities                    222   kite-core::utils (ifconfig/brconfig interpreters)");
+    println!(
+        "Utilities                    222   kite-core::utils (ifconfig/brconfig interpreters)"
+    );
     println!("Daemon VM                     16   kite-core::dhcpd (full server here)");
 }
 
@@ -93,7 +177,10 @@ fn table3() {
     let kite = sec::DomainSurface::kite_network();
     let kite_st = sec::DomainSurface::kite_storage();
     let ubuntu = sec::DomainSurface::ubuntu();
-    println!("{:<16} {:>6} {:>8} {:>8}", "CVE", "kite", "kite-st", "ubuntu");
+    println!(
+        "{:<16} {:>6} {:>8} {:>8}",
+        "CVE", "kite", "kite-st", "ubuntu"
+    );
     for c in &cves {
         println!(
             "{:<16} {:>6} {:>8} {:>8}",
@@ -138,7 +225,10 @@ fn fig4() {
 }
 
 fn fig6() {
-    println!("{:<8} {:>14} {:>10} {:>12}", "os", "goodput Gbps", "loss %", "driver CPU %");
+    println!(
+        "{:<8} {:>14} {:>10} {:>12}",
+        "os", "goodput Gbps", "loss %", "driver CPU %"
+    );
     for os in BackendOs::both() {
         let r = wl::nuttcp::run(os, &wl::nuttcp::NuttcpParams::default(), 42);
         println!(
@@ -222,7 +312,10 @@ fn fig9() {
 }
 
 fn fig10() {
-    println!("{:<8} {:>8} {:>10} {:>14}", "os", "threads", "tps", "DomU CPU %");
+    println!(
+        "{:<8} {:>8} {:>10} {:>14}",
+        "os", "threads", "tps", "DomU CPU %"
+    );
     for os in BackendOs::both() {
         for r in wl::mysql::figure10(os, 2000, 42) {
             println!(
@@ -239,7 +332,10 @@ fn fig10() {
 
 fn table4() {
     // RSDs from repeated runs with different seeds.
-    println!("{:<10} {:>12} {:>12}", "benchmark", "Linux RSD %", "Kite RSD %");
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "benchmark", "Linux RSD %", "Kite RSD %"
+    );
     let rsd = |f: &dyn Fn(u64) -> f64| -> f64 {
         let mut s = OnlineStats::new();
         for seed in 0..5 {
@@ -271,7 +367,10 @@ fn table4() {
             println!(" {:>12.4}", v);
         }
     }
-    for (name, os) in [("Sysbench", BackendOs::Linux), ("Sysbench", BackendOs::Kite)] {
+    for (name, os) in [
+        ("Sysbench", BackendOs::Linux),
+        ("Sysbench", BackendOs::Kite),
+    ] {
         let v = rsd(&|seed| wl::mysql::run_net(os, 20, 600, seed).tps);
         if os == BackendOs::Linux {
             print!("{:<10} {:>12.4}", name, v);
@@ -326,7 +425,10 @@ fn fig12() {
 }
 
 fn fig13() {
-    println!("{:<8} {:>8} {:>10} {:>12}", "os", "threads", "tps", "read MB/s");
+    println!(
+        "{:<8} {:>8} {:>10} {:>12}",
+        "os", "threads", "tps", "read MB/s"
+    );
     for os in BackendOs::both() {
         for t in [1u16, 10, 40, 100] {
             let r = wl::mysql::run_storage(os, t, 10, 42);
@@ -361,7 +463,10 @@ fn fig14() {
 }
 
 fn fig15() {
-    println!("{:<8} {:>12} {:>10} {:>10}", "os", "thpt Mbps", "us/op", "lat ms");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "os", "thpt Mbps", "us/op", "lat ms"
+    );
     for os in BackendOs::both() {
         let r = wl::filebench::mongodb(os, 120, 42);
         println!(
@@ -376,7 +481,10 @@ fn fig15() {
 }
 
 fn fig16() {
-    println!("{:<8} {:>12} {:>10} {:>10}", "os", "thpt Mbps", "us/op", "lat ms");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "os", "thpt Mbps", "us/op", "lat ms"
+    );
     for os in BackendOs::both() {
         let r = wl::filebench::webserver(os, 400, 42);
         println!(
@@ -391,8 +499,14 @@ fn fig16() {
 }
 
 fn dhcp() {
-    println!("{:<8} {:>18} {:>16}", "daemon", "discover→offer ms", "request→ack ms");
-    for d in [wl::perfdhcp::DaemonOs::Rumprun, wl::perfdhcp::DaemonOs::Linux] {
+    println!(
+        "{:<8} {:>18} {:>16}",
+        "daemon", "discover→offer ms", "request→ack ms"
+    );
+    for d in [
+        wl::perfdhcp::DaemonOs::Rumprun,
+        wl::perfdhcp::DaemonOs::Linux,
+    ] {
         let r = wl::perfdhcp::run(d, 400, 400, 42);
         println!(
             "{:<8} {:>18.2} {:>16.2}",

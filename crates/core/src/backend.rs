@@ -9,7 +9,9 @@
 use std::collections::HashSet;
 
 use kite_xen::xenbus::{read_state, switch_state};
-use kite_xen::{DeviceKind, DevicePaths, DomainId, Hypervisor, Perm, Result, WatchEvent, XenbusState};
+use kite_xen::{
+    DeviceKind, DevicePaths, DomainId, Hypervisor, Perm, Result, WatchEvent, XenbusState,
+};
 
 /// Provisions the xenstore areas for one device pair, as the toolstack in
 /// Dom0 does: creates both directories, grants each side access to the
@@ -19,12 +21,19 @@ pub fn provision_device(hv: &mut Hypervisor, paths: &DevicePaths) -> Result<()> 
     let fe = paths.frontend();
     let be = paths.backend();
     hv.store.write(d0, None, &format!("{fe}/backend"), &be)?;
-    hv.store
-        .write(d0, None, &format!("{be}/frontend"), &fe)?;
-    hv.store
-        .write(d0, None, &paths.frontend_state(), &XenbusState::Initialising.value().to_string())?;
-    hv.store
-        .write(d0, None, &paths.backend_state(), &XenbusState::Initialising.value().to_string())?;
+    hv.store.write(d0, None, &format!("{be}/frontend"), &fe)?;
+    hv.store.write(
+        d0,
+        None,
+        &paths.frontend_state(),
+        &XenbusState::Initialising.value().to_string(),
+    )?;
+    hv.store.write(
+        d0,
+        None,
+        &paths.backend_state(),
+        &XenbusState::Initialising.value().to_string(),
+    )?;
     // The frontend's area is writable by the guest, readable by the driver
     // domain — and vice versa.
     hv.store.set_perm(d0, &fe, paths.front, Perm::ReadWrite)?;
@@ -182,7 +191,13 @@ mod tests {
         );
 
         // Frontend publishes its details.
-        switch_state(&mut hv.store, gu, &paths.frontend_state(), XenbusState::Initialised).unwrap();
+        switch_state(
+            &mut hv.store,
+            gu,
+            &paths.frontend_state(),
+            XenbusState::Initialised,
+        )
+        .unwrap();
         let found = mgr.scan(&mut hv).unwrap();
         assert_eq!(found, vec![paths]);
         // Idempotent: a second scan does not re-create the instance.
@@ -200,7 +215,13 @@ mod tests {
             let p = DevicePaths::new(g, dd, DeviceKind::Vif, i);
             provision_device(&mut hv, &p).unwrap();
             found += mgr.scan(&mut hv).unwrap().len();
-            switch_state(&mut hv.store, g, &p.frontend_state(), XenbusState::Initialised).unwrap();
+            switch_state(
+                &mut hv.store,
+                g,
+                &p.frontend_state(),
+                XenbusState::Initialised,
+            )
+            .unwrap();
         }
         found += mgr.scan(&mut hv).unwrap().len();
         assert_eq!(found, 3);
@@ -214,9 +235,19 @@ mod tests {
         let p = DevicePaths::new(gu, dd, DeviceKind::Vif, 0);
         provision_device(&mut hv, &p).unwrap();
         mgr.scan(&mut hv).unwrap();
-        switch_state(&mut hv.store, gu, &p.frontend_state(), XenbusState::Initialised).unwrap();
+        switch_state(
+            &mut hv.store,
+            gu,
+            &p.frontend_state(),
+            XenbusState::Initialised,
+        )
+        .unwrap();
         assert_eq!(mgr.scan(&mut hv).unwrap().len(), 1);
         mgr.forget(gu, 0);
-        assert_eq!(mgr.scan(&mut hv).unwrap().len(), 1, "re-discovered after forget");
+        assert_eq!(
+            mgr.scan(&mut hv).unwrap().len(),
+            1,
+            "re-discovered after forget"
+        );
     }
 }

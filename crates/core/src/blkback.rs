@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use kite_devices::{Nvme, NvmeOp};
 use kite_rumprun::OsProfile;
-use kite_sim::Nanos;
+use kite_sim::{BatchHistogram, Nanos};
 use kite_xen::blkif::{
     unpack_indirect_segments, BlkifRequest, BlkifResponse, BlkifSegment, BLKIF_OP_FLUSH_DISKCACHE,
     BLKIF_OP_READ, BLKIF_OP_WRITE, BLKIF_RSP_ERROR, BLKIF_RSP_OKAY, SECTOR_SIZE,
@@ -29,8 +29,8 @@ use kite_xen::blkif::{
 use kite_xen::ring::BackRing;
 use kite_xen::xenbus::switch_state;
 use kite_xen::{
-    DevicePaths, DomainId, GrantRef, Hypervisor, MapHandle, PageId, Port, Result, XenbusState,
-    XenError,
+    BatchResult, CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor,
+    MapHandle, PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
 };
 
 /// The indirect-segment cap Kite advertises (Linux-compatible, §3.3).
@@ -47,6 +47,11 @@ pub struct BlkbackTuning {
     pub indirect_segments: bool,
     /// Persistent-grant cache capacity (mappings).
     pub persistent_cap: usize,
+    /// Move segment payloads with batched `GNTTABOP_copy` instead of
+    /// map/memcpy/unmap. Only effective when `persistent_grants` is off:
+    /// a negotiated persistent mapping is always cheaper than a copy, so
+    /// (as in real blkback) the persistent data path wins when enabled.
+    pub grant_copy: bool,
 }
 
 impl Default for BlkbackTuning {
@@ -56,6 +61,7 @@ impl Default for BlkbackTuning {
             persistent_grants: true,
             indirect_segments: true,
             persistent_cap: 1056,
+            grant_copy: true,
         }
     }
 }
@@ -77,6 +83,48 @@ pub struct BlkbackStats {
     pub grant_maps: u64,
     /// Malformed or out-of-range requests rejected.
     pub errors: u64,
+    /// Grant-copy hypercalls issued (one per batch when batched).
+    pub copy_batches: u64,
+    /// Individual copy ops carried by those hypercalls.
+    pub copy_ops: u64,
+    /// Hypercalls avoided relative to one-op-per-hypercall.
+    pub copy_hypercalls_saved: u64,
+    /// Bytes moved by grant copies.
+    pub copy_bytes: u64,
+    /// Ops-per-batch distribution.
+    pub copy_batch_hist: BatchHistogram,
+}
+
+impl BlkbackStats {
+    /// Mean bytes moved per grant-copy hypercall.
+    pub fn bytes_per_hypercall(&self) -> f64 {
+        if self.copy_batches == 0 {
+            0.0
+        } else {
+            self.copy_bytes as f64 / self.copy_batches as f64
+        }
+    }
+
+    fn record_copies(&mut self, mode: CopyMode, nops: usize, result: &BatchResult) {
+        if nops == 0 {
+            return;
+        }
+        self.copy_ops += nops as u64;
+        self.copy_bytes += result.bytes as u64;
+        match mode {
+            CopyMode::Batched => {
+                self.copy_batches += 1;
+                self.copy_hypercalls_saved += nops as u64 - 1;
+                self.copy_batch_hist.record(nops);
+            }
+            CopyMode::SingleOp => {
+                self.copy_batches += nops as u64;
+                for _ in 0..nops {
+                    self.copy_batch_hist.record(1);
+                }
+            }
+        }
+    }
 }
 
 /// A request submitted to the device; the system layer schedules the
@@ -172,6 +220,9 @@ pub struct BlkbackInstance {
     profile: OsProfile,
     stats: BlkbackStats,
     device_sectors: u64,
+    /// Lazily grown bounce pages staging grant-copy payloads.
+    bounce: Vec<PageId>,
+    copy_mode: CopyMode,
 }
 
 impl BlkbackInstance {
@@ -189,10 +240,18 @@ impl BlkbackInstance {
         let front = paths.front;
         let be = paths.backend();
         // Advertise properties first (§4.4 initialization order).
-        hv.store
-            .write(back, None, &format!("{be}/sectors"), &device_sectors.to_string())?;
-        hv.store
-            .write(back, None, &format!("{be}/sector-size"), &SECTOR_SIZE.to_string())?;
+        hv.store.write(
+            back,
+            None,
+            &format!("{be}/sectors"),
+            &device_sectors.to_string(),
+        )?;
+        hv.store.write(
+            back,
+            None,
+            &format!("{be}/sector-size"),
+            &SECTOR_SIZE.to_string(),
+        )?;
         hv.store
             .write(back, None, &format!("{be}/feature-flush-cache"), "1")?;
         hv.store.write(
@@ -226,7 +285,12 @@ impl BlkbackInstance {
         );
         let (ring_map, _) = hv.map_grant(back, front, ring_ref)?;
         let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
-        switch_state(&mut hv.store, back, &paths.backend_state(), XenbusState::Connected)?;
+        switch_state(
+            &mut hv.store,
+            back,
+            &paths.backend_state(),
+            XenbusState::Connected,
+        )?;
         Ok(BlkbackInstance {
             back,
             front,
@@ -241,12 +305,38 @@ impl BlkbackInstance {
             profile,
             stats: BlkbackStats::default(),
             device_sectors,
+            bounce: Vec::new(),
+            copy_mode: CopyMode::Batched,
         })
     }
 
     /// Instance statistics.
     pub fn stats(&self) -> BlkbackStats {
         self.stats
+    }
+
+    /// How grant copies are issued (batched vs. one hypercall per op).
+    pub fn copy_mode(&self) -> CopyMode {
+        self.copy_mode
+    }
+
+    /// Switches between batched and single-op grant copies (ablation).
+    pub fn set_copy_mode(&mut self, mode: CopyMode) {
+        self.copy_mode = mode;
+    }
+
+    /// Whether the grant-copy data path is active (copies are only used
+    /// when persistent grants are not negotiated).
+    fn use_copy(&self) -> bool {
+        self.tuning.grant_copy && !self.tuning.persistent_grants
+    }
+
+    fn ensure_bounce(&mut self, hv: &mut Hypervisor, n: usize) -> Result<()> {
+        while self.bounce.len() < n {
+            let page = hv.alloc_page(self.back)?;
+            self.bounce.push(page);
+        }
+        Ok(())
     }
 
     /// The event handler's cost (ack + wake the request thread).
@@ -304,6 +394,44 @@ impl BlkbackInstance {
                 let n = *nr_segments as usize;
                 if n > MAX_INDIRECT_SEGMENTS {
                     return Err(XenError::Inval);
+                }
+                if self.use_copy() {
+                    // Pull all descriptor pages with one batched copy
+                    // instead of a map/unmap pair per page.
+                    let per_frame = kite_xen::blkif::SEGS_PER_INDIRECT_FRAME;
+                    let frames = n.div_ceil(per_frame).min(indirect_grefs.len());
+                    self.ensure_bounce(hv, frames)?;
+                    let ops: Vec<GrantCopyOp> = indirect_grefs[..frames]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, gref)| GrantCopyOp {
+                            src: CopySide::Grant {
+                                granter: self.front,
+                                gref: *gref,
+                                offset: 0,
+                            },
+                            dst: CopySide::Local {
+                                page: self.bounce[i],
+                                offset: 0,
+                            },
+                            len: PAGE_SIZE,
+                        })
+                        .collect();
+                    let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
+                    self.stats.record_copies(self.copy_mode, ops.len(), &result);
+                    *cost += result.cost;
+                    if !result.all_ok() {
+                        return Err(XenError::BadGrant);
+                    }
+                    let mut segs = Vec::with_capacity(n);
+                    let mut remaining = n;
+                    for i in 0..frames {
+                        let take = remaining.min(per_frame);
+                        let bytes = hv.mem.page(self.bounce[i])?;
+                        segs.extend(unpack_indirect_segments(bytes, take));
+                        remaining -= take;
+                    }
+                    return Ok(segs);
                 }
                 let mut segs = Vec::with_capacity(n);
                 let mut remaining = n;
@@ -399,38 +527,23 @@ impl BlkbackInstance {
                 });
                 continue;
             }
-            // Move data between guest pages and the (real) device bytes.
+            // Move data between guest pages and the (real) device bytes:
+            // one batched grant copy per request's segment list, or the
+            // legacy per-segment map/memcpy/unmap path.
             let mut unmap = Vec::new();
-            let mut dev_sector = req.sector();
-            let mut ok = true;
-            for seg in &segs {
-                let mut c = Nanos::ZERO;
-                match self.resolve_page(hv, seg.gref, &mut c) {
-                    Ok((page, h)) => {
-                        batch.cost += c;
-                        let off = seg.first_sect as usize * SECTOR_SIZE;
-                        let len = seg.len();
-                        if op == BLKIF_OP_WRITE {
-                            let bytes = hv.mem.page(page)?[off..off + len].to_vec();
-                            device.write_data(dev_sector, &bytes);
-                            self.stats.write_bytes += len as u64;
-                        } else {
-                            let mut buf = vec![0u8; len];
-                            device.read_data(dev_sector, &mut buf);
-                            hv.mem.page_mut(page)?[off..off + len].copy_from_slice(&buf);
-                            self.stats.read_bytes += len as u64;
-                        }
-                        if let Some(h) = h {
-                            unmap.push(h);
-                        }
-                    }
-                    Err(_) => {
-                        ok = false;
-                        break;
-                    }
-                }
-                dev_sector += seg.sectors();
-            }
+            let ok = if self.use_copy() {
+                self.copy_request_data(hv, device, &segs, req.sector(), op, &mut batch.cost)?
+            } else {
+                self.map_request_data(
+                    hv,
+                    device,
+                    &segs,
+                    req.sector(),
+                    op,
+                    &mut batch.cost,
+                    &mut unmap,
+                )?
+            };
             if !ok {
                 self.fail_request(id, op);
                 batch.submissions.push(BlkSubmission {
@@ -497,6 +610,124 @@ impl BlkbackInstance {
         let page = hv.mem.page_mut(self.ring_page)?;
         batch.more = self.ring.final_check_for_requests(page);
         Ok(batch)
+    }
+
+    /// Legacy data path: maps each segment's page (or hits the
+    /// persistent cache) and memcpys between it and the device.
+    #[allow(clippy::too_many_arguments)]
+    fn map_request_data(
+        &mut self,
+        hv: &mut Hypervisor,
+        device: &mut Nvme,
+        segs: &[BlkifSegment],
+        start_sector: u64,
+        op: u8,
+        cost: &mut Nanos,
+        unmap: &mut Vec<MapHandle>,
+    ) -> Result<bool> {
+        let mut dev_sector = start_sector;
+        for seg in segs {
+            let mut c = Nanos::ZERO;
+            match self.resolve_page(hv, seg.gref, &mut c) {
+                Ok((page, h)) => {
+                    *cost += c;
+                    let off = seg.first_sect as usize * SECTOR_SIZE;
+                    let len = seg.len();
+                    if op == BLKIF_OP_WRITE {
+                        let bytes = hv.mem.page(page)?[off..off + len].to_vec();
+                        device.write_data(dev_sector, &bytes);
+                        self.stats.write_bytes += len as u64;
+                    } else {
+                        let mut buf = vec![0u8; len];
+                        device.read_data(dev_sector, &mut buf);
+                        hv.mem.page_mut(page)?[off..off + len].copy_from_slice(&buf);
+                        self.stats.read_bytes += len as u64;
+                    }
+                    if let Some(h) = h {
+                        unmap.push(h);
+                    }
+                }
+                Err(_) => return Ok(false),
+            }
+            dev_sector += seg.sectors();
+        }
+        Ok(true)
+    }
+
+    /// Grant-copy data path: the whole segment list moves with a single
+    /// batched `GNTTABOP_copy` hypercall, staged through bounce pages.
+    /// Writes copy guest→bounce then feed the device; reads fill the
+    /// bounce pages from the device then copy bounce→guest.
+    fn copy_request_data(
+        &mut self,
+        hv: &mut Hypervisor,
+        device: &mut Nvme,
+        segs: &[BlkifSegment],
+        start_sector: u64,
+        op: u8,
+        cost: &mut Nanos,
+    ) -> Result<bool> {
+        self.ensure_bounce(hv, segs.len())?;
+        let ops: Vec<GrantCopyOp> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, seg)| {
+                let guest = CopySide::Grant {
+                    granter: self.front,
+                    gref: seg.gref,
+                    offset: seg.first_sect as usize * SECTOR_SIZE,
+                };
+                let local = CopySide::Local {
+                    page: self.bounce[i],
+                    offset: 0,
+                };
+                let (src, dst) = if op == BLKIF_OP_WRITE {
+                    (guest, local)
+                } else {
+                    (local, guest)
+                };
+                GrantCopyOp {
+                    src,
+                    dst,
+                    len: seg.len(),
+                }
+            })
+            .collect();
+        if op == BLKIF_OP_WRITE {
+            let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
+            self.stats.record_copies(self.copy_mode, ops.len(), &result);
+            *cost += result.cost;
+            if !result.all_ok() {
+                return Ok(false);
+            }
+            let mut dev_sector = start_sector;
+            for (i, seg) in segs.iter().enumerate() {
+                let len = seg.len();
+                let bytes = hv.mem.page(self.bounce[i])?[..len].to_vec();
+                device.write_data(dev_sector, &bytes);
+                self.stats.write_bytes += len as u64;
+                dev_sector += seg.sectors();
+            }
+        } else {
+            let mut dev_sector = start_sector;
+            for (i, seg) in segs.iter().enumerate() {
+                let len = seg.len();
+                let mut buf = vec![0u8; len];
+                device.read_data(dev_sector, &mut buf);
+                hv.mem.page_mut(self.bounce[i])?[..len].copy_from_slice(&buf);
+                dev_sector += seg.sectors();
+            }
+            let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
+            self.stats.record_copies(self.copy_mode, ops.len(), &result);
+            *cost += result.cost;
+            if !result.all_ok() {
+                return Ok(false);
+            }
+            for seg in segs {
+                self.stats.read_bytes += seg.len() as u64;
+            }
+        }
+        Ok(true)
     }
 
     fn fail_request(&mut self, id: u64, op: u8) {

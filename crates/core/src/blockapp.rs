@@ -35,8 +35,12 @@ impl BlockApp {
     /// publishes it under the driver domain's home for blkbacks to use.
     pub fn start(hv: &mut Hypervisor, domain: DomainId, sectors: u64) -> Result<BlockApp> {
         let home = format!("/local/domain/{}/device-info", domain.0);
-        hv.store
-            .write(domain, None, &format!("{home}/sectors"), &sectors.to_string())?;
+        hv.store.write(
+            domain,
+            None,
+            &format!("{home}/sectors"),
+            &sectors.to_string(),
+        )?;
         hv.store
             .write(domain, None, &format!("{home}/sector-size"), "512")?;
         hv.store
@@ -58,13 +62,17 @@ impl BlockApp {
             Err(_) => return out,
         };
         for f in fronts {
-            let Ok(front) = f.parse::<u16>() else { continue };
+            let Ok(front) = f.parse::<u16>() else {
+                continue;
+            };
             let idxs = hv
                 .store
                 .directory(self.domain, &format!("{root}/{f}"))
                 .unwrap_or_default();
             for i in idxs {
-                let Ok(index) = i.parse::<u32>() else { continue };
+                let Ok(index) = i.parse::<u32>() else {
+                    continue;
+                };
                 let paths = DevicePaths::new(DomainId(front), self.domain, DeviceKind::Vbd, index);
                 let state = hv
                     .store

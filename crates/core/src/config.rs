@@ -91,16 +91,8 @@ impl DomainConfig {
                 "memory" => memory = v.parse().map_err(|e| format!("memory: {e}"))?,
                 "vcpus" => vcpus = v.parse().map_err(|e| format!("vcpus: {e}"))?,
                 "pci" => {
-                    let bdf_str = v
-                        .trim_matches('"')
-                        .split(',')
-                        .next()
-                        .ok_or("empty pci")?;
-                    pci = Some(
-                        bdf_str
-                            .parse::<Bdf>()
-                            .map_err(|e| format!("pci: {e}"))?,
-                    );
+                    let bdf_str = v.trim_matches('"').split(',').next().ok_or("empty pci")?;
+                    pci = Some(bdf_str.parse::<Bdf>().map_err(|e| format!("pci: {e}"))?);
                 }
                 other => return Err(format!("unknown key: {other}")),
             }
@@ -147,18 +139,15 @@ mod tests {
         assert!(DomainConfig::parse("kind = \"network\"").is_err()); // no name/pci
         assert!(DomainConfig::parse("name = \"x\"\nkind = \"weird\"\npci = [\"0:0.0\"]").is_err());
         assert!(DomainConfig::parse("garbage").is_err());
-        assert!(DomainConfig::parse(
-            "name = \"x\"\nkind = \"network\"\npci = [\"zz:00.0\"]"
-        )
-        .is_err());
+        assert!(
+            DomainConfig::parse("name = \"x\"\nkind = \"network\"\npci = [\"zz:00.0\"]").is_err()
+        );
     }
 
     #[test]
     fn defaults_applied() {
-        let c = DomainConfig::parse(
-            "name = \"n\"\nkind = \"storage\"\npci = [\"01:00.0\"]",
-        )
-        .unwrap();
+        let c =
+            DomainConfig::parse("name = \"n\"\nkind = \"storage\"\npci = [\"01:00.0\"]").unwrap();
         assert_eq!(c.memory_mib, 1024);
         assert_eq!(c.vcpus, 1);
     }

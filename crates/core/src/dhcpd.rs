@@ -339,8 +339,10 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_stops_offers() {
-        let mut cfg = DhcpConfig::default();
-        cfg.range_len = 2;
+        let cfg = DhcpConfig {
+            range_len: 2,
+            ..DhcpConfig::default()
+        };
         let mut s = DhcpServer::new(cfg);
         let now = Nanos::ZERO;
         for i in 0..2 {

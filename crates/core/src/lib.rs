@@ -27,11 +27,14 @@ pub mod utils;
 pub mod xl;
 
 pub use backend::{provision_device, BackendManager};
-pub use blkback::{BlkbackInstance, BlkbackStats, BlkbackTuning, BlkBatch, BlkComplete, BlkSubmission, MAX_INDIRECT_SEGMENTS};
+pub use blkback::{
+    BlkBatch, BlkComplete, BlkSubmission, BlkbackInstance, BlkbackStats, BlkbackTuning,
+    MAX_INDIRECT_SEGMENTS,
+};
 pub use blockapp::{BlockApp, VbdStatus};
 pub use config::{DomainConfig, DriverDomainKind};
 pub use dhcpd::{DhcpConfig, DhcpServer, DhcpStats, Lease};
 pub use netapp::NetworkApp;
+pub use netback::{NetbackInstance, NetbackStats, RxBatch, TxBatch};
 pub use utils::{brconfig, ifconfig, BridgeTable, UtilError};
 pub use xl::{Xl, XlDomain, XlError};
-pub use netback::{NetbackInstance, NetbackStats, RxBatch, TxBatch};

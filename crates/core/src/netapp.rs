@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use kite_net::{
-    Bridge, BridgePort, Endpoint, EtherType, EthernetFrame, IfKind, IfTable, IpProto,
-    Ipv4Packet, MacAddr, Nat, UdpDatagram,
+    Bridge, BridgePort, Endpoint, EtherType, EthernetFrame, IfKind, IfTable, IpProto, Ipv4Packet,
+    MacAddr, Nat, UdpDatagram,
 };
 
 /// How the network application links VIFs to the physical NIC (§3.1
@@ -120,10 +120,7 @@ impl NetworkApp {
             IpProto::Udp,
             new_udp.encode(ip.src, inside.ip),
         );
-        Some(
-            EthernetFrame::new(guest_mac, eth.src, EtherType::Ipv4, new_ip.encode())
-                .encode(),
-        )
+        Some(EthernetFrame::new(guest_mac, eth.src, EtherType::Ipv4, new_ip.encode()).encode())
     }
 
     /// Hotplug: a new netback VIF appeared — register it and add it to the

@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use kite_rumprun::OsProfile;
-use kite_sim::Nanos;
+use kite_sim::{BatchHistogram, Nanos};
 use kite_xen::netif::{
     NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse, NETIF_RSP_ERROR,
     NETIF_RSP_OKAY,
@@ -27,8 +27,8 @@ use kite_xen::netif::{
 use kite_xen::ring::BackRing;
 use kite_xen::xenbus::switch_state;
 use kite_xen::{
-    CopySide, DevicePaths, DomainId, GrantRef, Hypervisor, MapHandle, PageId, Port, Result,
-    XenbusState, XenError,
+    BatchResult, CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor,
+    MapHandle, PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
 };
 
 /// Result of one pusher (Tx-drain) batch.
@@ -68,10 +68,53 @@ pub struct NetbackStats {
     pub rx_packets: u64,
     /// Bytes world → guest.
     pub rx_bytes: u64,
-    /// Frames dropped because the guest posted no Rx buffers in time.
+    /// Frames dropped because the guest posted no Rx buffers in time, or
+    /// because the hypervisor copy into the guest buffer failed.
     pub rx_dropped: u64,
     /// Malformed Tx requests rejected.
     pub tx_errors: u64,
+    /// Grant-copy hypercalls issued by the Tx/Rx drains.
+    pub copy_batches: u64,
+    /// Copy descriptors carried by those hypercalls.
+    pub copy_ops: u64,
+    /// Hypercalls avoided versus the one-op-per-call shape.
+    pub copy_hypercalls_saved: u64,
+    /// Bytes moved by grant copies (both directions).
+    pub copy_bytes: u64,
+    /// Ops-per-batch distribution of the issued copies.
+    pub copy_batch_hist: BatchHistogram,
+}
+
+impl NetbackStats {
+    /// Mean payload bytes moved per grant-copy hypercall.
+    pub fn bytes_per_hypercall(&self) -> f64 {
+        if self.copy_batches == 0 {
+            0.0
+        } else {
+            self.copy_bytes as f64 / self.copy_batches as f64
+        }
+    }
+
+    fn record_copies(&mut self, mode: CopyMode, nops: usize, result: &BatchResult) {
+        if nops == 0 {
+            return;
+        }
+        self.copy_ops += nops as u64;
+        self.copy_bytes += result.bytes as u64;
+        match mode {
+            CopyMode::Batched => {
+                self.copy_batches += 1;
+                self.copy_hypercalls_saved += nops as u64 - 1;
+                self.copy_batch_hist.record(nops);
+            }
+            CopyMode::SingleOp => {
+                self.copy_batches += nops as u64;
+                for _ in 0..nops {
+                    self.copy_batch_hist.record(1);
+                }
+            }
+        }
+    }
 }
 
 /// One netback instance (one per connected netfront).
@@ -92,7 +135,12 @@ pub struct NetbackInstance {
     rx_page: PageId,
     _tx_map: MapHandle,
     _rx_map: MapHandle,
-    scratch: PageId,
+    /// Per-instance frame buffers: one page per in-flight descriptor of a
+    /// drain, so a whole ring batch moves in a single `GNTTABOP_copy`
+    /// (the old design serialized every packet through one scratch page,
+    /// forcing a hypercall per packet). Grown lazily to the drain budget.
+    bounce: Vec<PageId>,
+    copy_mode: CopyMode,
     to_guest: VecDeque<Vec<u8>>,
     /// Queue cap for world → guest frames awaiting Rx slots.
     pub rx_queue_cap: usize,
@@ -129,11 +177,15 @@ impl NetbackInstance {
         let (tx_map, _) = hv.map_grant(back, front, tx_ref)?;
         let (rx_map, _) = hv.map_grant(back, front, rx_ref)?;
         let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
-        let scratch = hv.alloc_page(back)?;
         let be = paths.backend();
         hv.store
             .write(back, None, &format!("{be}/feature-rx-copy"), "1")?;
-        switch_state(&mut hv.store, back, &paths.backend_state(), XenbusState::Connected)?;
+        switch_state(
+            &mut hv.store,
+            back,
+            &paths.backend_state(),
+            XenbusState::Connected,
+        )?;
         Ok(NetbackInstance {
             back,
             front,
@@ -146,7 +198,8 @@ impl NetbackInstance {
             rx_page: rx_map.page,
             _tx_map: tx_map.handle,
             _rx_map: rx_map.handle,
-            scratch,
+            bounce: Vec::new(),
+            copy_mode: CopyMode::Batched,
             to_guest: VecDeque::new(),
             rx_queue_cap: 512,
             profile,
@@ -159,6 +212,26 @@ impl NetbackInstance {
         self.stats
     }
 
+    /// How this instance issues its grant copies (batched by default).
+    pub fn copy_mode(&self) -> CopyMode {
+        self.copy_mode
+    }
+
+    /// Switches between the batched fast path and the legacy one-hypercall
+    /// -per-packet shape (ablation benches, equivalence tests).
+    pub fn set_copy_mode(&mut self, mode: CopyMode) {
+        self.copy_mode = mode;
+    }
+
+    /// Ensures the per-instance frame-buffer pool holds at least `n` pages.
+    fn ensure_bounce(&mut self, hv: &mut Hypervisor, n: usize) -> Result<()> {
+        while self.bounce.len() < n {
+            let page = hv.alloc_page(self.back)?;
+            self.bounce.push(page);
+        }
+        Ok(())
+    }
+
     /// The cost of the event-channel interrupt handler itself: ack the
     /// port and wake the pusher. Nothing else happens in IRQ context —
     /// the paper's central latency argument.
@@ -166,11 +239,20 @@ impl NetbackInstance {
         self.profile.irq_overhead
     }
 
-    /// The **pusher** thread body: drains up to `budget` Tx requests,
-    /// hypervisor-copying each payload out of the guest and emitting the
-    /// frames for the upper layer to push into the VIF/bridge.
+    /// The **pusher** thread body: drains up to `budget` Tx requests and
+    /// hypervisor-copies every payload out of the guest with **one**
+    /// batched `GNTTABOP_copy` for the whole drain, directly into the
+    /// per-instance frame buffers.
+    ///
+    /// The drain is three phases: walk the ring building the op list
+    /// (validating each request), issue the batch, then push responses in
+    /// ring order from the per-op statuses.
     pub fn pusher_run(&mut self, hv: &mut Hypervisor, budget: usize) -> Result<TxBatch> {
         let mut batch = TxBatch::default();
+        // A consumed request: its response id, and the index of its op in
+        // the copy batch (None when validation already rejected it).
+        let mut pending: Vec<(u16, usize, Option<usize>)> = Vec::new();
+        let mut ops: Vec<GrantCopyOp> = Vec::new();
         for _ in 0..budget {
             let req = {
                 let page = hv.mem.page(self.tx_page)?;
@@ -180,41 +262,57 @@ impl NetbackInstance {
                 }
             };
             let size = req.size as usize;
-            let status = if size == 0 || size > kite_xen::PAGE_SIZE - req.offset as usize {
-                self.stats.tx_errors += 1;
-                NETIF_RSP_ERROR
-            } else {
-                match hv.grant_copy(
-                    self.back,
-                    CopySide::Grant {
+            let offset = req.offset as usize;
+            // Validate offset before any subtraction: a malicious frontend
+            // may send offset > PAGE_SIZE, which would underflow
+            // `PAGE_SIZE - offset`.
+            let valid = size != 0 && offset < PAGE_SIZE && size <= PAGE_SIZE - offset;
+            if valid {
+                self.ensure_bounce(hv, ops.len() + 1)?;
+                let dst = self.bounce[ops.len()];
+                ops.push(GrantCopyOp {
+                    src: CopySide::Grant {
                         granter: self.front,
                         gref: req.gref,
-                        offset: req.offset as usize,
+                        offset,
                     },
-                    CopySide::Local {
-                        page: self.scratch,
+                    dst: CopySide::Local {
+                        page: dst,
                         offset: 0,
                     },
-                    size,
-                ) {
-                    Ok(copy_cost) => {
-                        batch.cost += copy_cost;
-                        let frame = hv.mem.page(self.scratch)?[..size].to_vec();
-                        self.stats.tx_packets += 1;
-                        self.stats.tx_bytes += size as u64;
-                        batch.frames.push(frame);
-                        NETIF_RSP_OKAY
-                    }
-                    Err(_) => {
-                        self.stats.tx_errors += 1;
-                        NETIF_RSP_ERROR
-                    }
+                    len: size,
+                });
+                pending.push((req.id, size, Some(ops.len() - 1)));
+            } else {
+                self.stats.tx_errors += 1;
+                pending.push((req.id, size, None));
+            }
+            batch.cost += self.profile.per_packet;
+        }
+
+        // One hypercall for the whole drain (or per-op in legacy mode).
+        let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
+        self.stats.record_copies(self.copy_mode, ops.len(), &result);
+        batch.cost += result.cost;
+
+        for &(id, size, op_idx) in &pending {
+            let status = match op_idx {
+                Some(i) if result.statuses[i].is_okay() => {
+                    let frame = hv.mem.page(self.bounce[i])?[..size].to_vec();
+                    self.stats.tx_packets += 1;
+                    self.stats.tx_bytes += size as u64;
+                    batch.frames.push(frame);
+                    NETIF_RSP_OKAY
                 }
+                Some(_) => {
+                    self.stats.tx_errors += 1;
+                    NETIF_RSP_ERROR
+                }
+                None => NETIF_RSP_ERROR,
             };
             let page = hv.mem.page_mut(self.tx_page)?;
             self.tx_ring
-                .push_response(page, &NetifTxResponse { id: req.id, status })?;
-            batch.cost += self.profile.per_packet;
+                .push_response(page, &NetifTxResponse { id, status })?;
         }
         let page = hv.mem.page_mut(self.tx_page)?;
         batch.notify = self.tx_ring.push_responses(page);
@@ -240,9 +338,18 @@ impl NetbackInstance {
     }
 
     /// The **soft_start** thread body: pairs queued frames with posted Rx
-    /// requests, hypervisor-copying payloads into guest buffers.
+    /// requests, staging each frame in its own per-instance buffer page
+    /// and hypervisor-copying the whole fill into guest buffers with one
+    /// batched `GNTTABOP_copy`.
+    ///
+    /// A frame whose copy fails (bad or revoked Rx grant) is dropped
+    /// explicitly: counted in `rx_dropped` and answered with an error
+    /// response so the frontend reclaims the buffer.
     pub fn soft_start_run(&mut self, hv: &mut Hypervisor, budget: usize) -> Result<RxBatch> {
         let mut batch = RxBatch::default();
+        // (response id, frame length) per op, in ring order.
+        let mut posted: Vec<(u16, usize)> = Vec::new();
+        let mut ops: Vec<GrantCopyOp> = Vec::new();
         for _ in 0..budget {
             if self.to_guest.is_empty() {
                 break;
@@ -255,42 +362,50 @@ impl NetbackInstance {
                 }
             };
             let frame = self.to_guest.pop_front().expect("checked non-empty");
-            let len = frame.len().min(kite_xen::PAGE_SIZE);
-            // Stage in scratch, then hypervisor-copy into the guest buffer.
-            hv.mem.page_mut(self.scratch)?[..len].copy_from_slice(&frame[..len]);
-            let status = match hv.grant_copy(
-                self.back,
-                CopySide::Local {
-                    page: self.scratch,
+            let len = frame.len().min(PAGE_SIZE);
+            self.ensure_bounce(hv, ops.len() + 1)?;
+            let src = self.bounce[ops.len()];
+            hv.mem.page_mut(src)?[..len].copy_from_slice(&frame[..len]);
+            ops.push(GrantCopyOp {
+                src: CopySide::Local {
+                    page: src,
                     offset: 0,
                 },
-                CopySide::Grant {
+                dst: CopySide::Grant {
                     granter: self.front,
                     gref: req.gref,
                     offset: 0,
                 },
                 len,
-            ) {
-                Ok(copy_cost) => {
-                    batch.cost += copy_cost;
-                    self.stats.rx_packets += 1;
-                    self.stats.rx_bytes += len as u64;
-                    batch.delivered += 1;
-                    len as i16
-                }
-                Err(_) => NETIF_RSP_ERROR,
+            });
+            posted.push((req.id, len));
+            batch.cost += self.profile.per_packet;
+        }
+
+        let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
+        self.stats.record_copies(self.copy_mode, ops.len(), &result);
+        batch.cost += result.cost;
+
+        for (i, &(id, len)) in posted.iter().enumerate() {
+            let status = if result.statuses[i].is_okay() {
+                self.stats.rx_packets += 1;
+                self.stats.rx_bytes += len as u64;
+                batch.delivered += 1;
+                len as i16
+            } else {
+                self.stats.rx_dropped += 1;
+                NETIF_RSP_ERROR
             };
             let page = hv.mem.page_mut(self.rx_page)?;
             self.rx_ring.push_response(
                 page,
                 &NetifRxResponse {
-                    id: req.id,
+                    id,
                     offset: 0,
                     flags: 0,
                     status,
                 },
             )?;
-            batch.cost += self.profile.per_packet;
         }
         let page = hv.mem.page_mut(self.rx_page)?;
         batch.notify = self.rx_ring.push_responses(page);
@@ -299,15 +414,27 @@ impl NetbackInstance {
     }
 
     /// Tears the instance down: closes the channel, unmaps rings, frees
-    /// the scratch page, marks the backend `Closed`.
+    /// the frame-buffer pool, marks the backend `Closed`.
     pub fn disconnect(self, hv: &mut Hypervisor) -> Result<()> {
         let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vif, self.index);
         let _ = hv.evtchn.close(self.back, self.evtchn);
         hv.unmap_grant(self.back, self._tx_map)?;
         hv.unmap_grant(self.back, self._rx_map)?;
-        hv.free_page(self.back, self.scratch)?;
-        switch_state(&mut hv.store, self.back, &paths.backend_state(), XenbusState::Closing)?;
-        switch_state(&mut hv.store, self.back, &paths.backend_state(), XenbusState::Closed)?;
+        for page in self.bounce {
+            hv.free_page(self.back, page)?;
+        }
+        switch_state(
+            &mut hv.store,
+            self.back,
+            &paths.backend_state(),
+            XenbusState::Closing,
+        )?;
+        switch_state(
+            &mut hv.store,
+            self.back,
+            &paths.backend_state(),
+            XenbusState::Closed,
+        )?;
         Ok(())
     }
 }

@@ -71,10 +71,7 @@ pub fn ifconfig(ifs: &mut IfTable, line: &str) -> Result<String, UtilError> {
             return Err(usage());
         }
         i += 1;
-        let mask: Ipv4Addr = argv
-            .get(i)
-            .and_then(|m| m.parse().ok())
-            .ok_or_else(usage)?;
+        let mask: Ipv4Addr = argv.get(i).and_then(|m| m.parse().ok()).ok_or_else(usage)?;
         i += 1;
         ifs.set_addr(name, addr, mask);
     }
@@ -98,7 +95,11 @@ pub fn ifconfig(ifs: &mut IfTable, line: &str) -> Result<String, UtilError> {
         "{}: flags={}<{}> mtu {}\n\tether {}",
         ifc.name,
         if ifc.up { "8843" } else { "8802" },
-        if ifc.up { "UP,BROADCAST,RUNNING" } else { "BROADCAST" },
+        if ifc.up {
+            "UP,BROADCAST,RUNNING"
+        } else {
+            "BROADCAST"
+        },
         ifc.mtu,
         ifc.mac
     );
@@ -135,7 +136,9 @@ impl BridgeTable {
 
     /// The port handle of a member interface.
     pub fn port_of(&self, bridge: &str, ifname: &str) -> Option<BridgePort> {
-        self.ports.get(&(bridge.to_string(), ifname.to_string())).copied()
+        self.ports
+            .get(&(bridge.to_string(), ifname.to_string()))
+            .copied()
     }
 }
 
@@ -197,7 +200,11 @@ pub fn brconfig(
                 ifs.set_up(&bname, true);
                 i += 1;
             }
-            other => return Err(UtilError::Usage(format!("brconfig: unknown clause {other}"))),
+            other => {
+                return Err(UtilError::Usage(format!(
+                    "brconfig: unknown clause {other}"
+                )))
+            }
         }
     }
     let members = bridges.bridges[&bname].members().join(" ");
@@ -220,9 +227,15 @@ mod tests {
     #[test]
     fn ifconfig_assigns_address_and_brings_up() {
         let mut ifs = table();
-        let out = ifconfig(&mut ifs, "ifconfig ixg0 192.168.1.50 netmask 255.255.255.0 up")
-            .unwrap();
-        assert!(out.contains("inet 192.168.1.50 netmask 255.255.255.0"), "{out}");
+        let out = ifconfig(
+            &mut ifs,
+            "ifconfig ixg0 192.168.1.50 netmask 255.255.255.0 up",
+        )
+        .unwrap();
+        assert!(
+            out.contains("inet 192.168.1.50 netmask 255.255.255.0"),
+            "{out}"
+        );
         assert!(out.contains("UP"), "{out}");
         let i = ifs.get("ixg0").unwrap();
         assert!(i.up);
@@ -261,7 +274,10 @@ mod tests {
             ifconfig(&mut ifs, "ifconfig ixg0 10.0.0.1 netmask notamask"),
             Err(UtilError::Usage(_))
         ));
-        assert!(matches!(ifconfig(&mut ifs, "ipconfig x"), Err(UtilError::Usage(_))));
+        assert!(matches!(
+            ifconfig(&mut ifs, "ipconfig x"),
+            Err(UtilError::Usage(_))
+        ));
     }
 
     #[test]
@@ -269,8 +285,7 @@ mod tests {
         let mut ifs = table();
         let mut br = BridgeTable::new();
         br.create("bridge0");
-        let out =
-            brconfig(&mut br, &mut ifs, "brconfig bridge0 add ixg0 add vif2.0 up").unwrap();
+        let out = brconfig(&mut br, &mut ifs, "brconfig bridge0 add ixg0 add vif2.0 up").unwrap();
         assert_eq!(out, "bridge0: members: ixg0 vif2.0");
         assert!(ifs.get("bridge0").unwrap().up);
         assert!(br.port_of("bridge0", "vif2.0").is_some());
@@ -313,9 +328,19 @@ mod tests {
         let p_if = br.port_of("bridge0", "ixg0").unwrap();
         let p_vif = br.port_of("bridge0", "vif2.0").unwrap();
         let b = br.get_mut("bridge0").unwrap();
-        b.input(p_vif, MacAddr::local(9), MacAddr::BROADCAST, kite_sim::Nanos::ZERO);
+        b.input(
+            p_vif,
+            MacAddr::local(9),
+            MacAddr::BROADCAST,
+            kite_sim::Nanos::ZERO,
+        );
         assert_eq!(
-            b.input(p_if, MacAddr::local(8), MacAddr::local(9), kite_sim::Nanos(1)),
+            b.input(
+                p_if,
+                MacAddr::local(8),
+                MacAddr::local(9),
+                kite_sim::Nanos(1)
+            ),
             kite_net::Forward::Unicast(p_vif)
         );
     }

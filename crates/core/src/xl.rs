@@ -262,7 +262,10 @@ mod tests {
             xl.pci_assignable_add(&mut hv, "zz:00.0"),
             Err(XlError::Usage(_))
         ));
-        assert!(matches!(xl.create(&mut hv, "nonsense"), Err(XlError::BadConfig(_))));
+        assert!(matches!(
+            xl.create(&mut hv, "nonsense"),
+            Err(XlError::BadConfig(_))
+        ));
         assert!(matches!(
             xl.destroy(&mut hv, "ghost"),
             Err(XlError::NoSuchDomain(_))

@@ -1,0 +1,132 @@
+//! A self-contained, offline drop-in for the subset of the `criterion`
+//! API this workspace's benches use.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the real `criterion` cannot be fetched. The benches only need
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros; this crate provides
+//! those with a fixed-duration timing loop and a one-line-per-benchmark
+//! report. Swapping the workspace dependency back to the registry crate
+//! requires no source changes in the benches.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark's measurement loop runs.
+const MEASURE_TIME: Duration = Duration::from_millis(200);
+/// How long the warm-up loop runs before measuring.
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// Times one closure repeatedly; handed to the benchmark body.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` in a warm-up phase and then a timed phase, recording the
+    /// iteration count and total elapsed time of the timed phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + WARMUP_TIME;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_TIME {
+            // Amortize the clock read over a small inner batch.
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// The benchmark driver: runs bodies and prints mean time per iteration.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        body(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<40} {mean_ns:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Opens a named group; benchmarks run under `group/` prefixes.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (prefixes each report line).
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed-duration loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the measurement window is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under the group's name prefix.
+    pub fn bench_function<F>(&mut self, name: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        Criterion::default().bench_function(&full, body);
+        self
+    }
+
+    /// Ends the group (no-op; reports print as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Expands to a runner function invoking each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `main` calling each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

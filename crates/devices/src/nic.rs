@@ -162,7 +162,10 @@ mod tests {
     fn queue_overflow_drops() {
         let mut nic = Nic::ten_gbe();
         nic.rx_queue_frames = 2;
-        assert!(matches!(nic.rx_enqueue(Nanos::ZERO, vec![1]), RxIrq::FireAt(_)));
+        assert!(matches!(
+            nic.rx_enqueue(Nanos::ZERO, vec![1]),
+            RxIrq::FireAt(_)
+        ));
         assert_eq!(nic.rx_enqueue(Nanos::ZERO, vec![2]), RxIrq::AlreadyPending);
         assert_eq!(nic.rx_enqueue(Nanos::ZERO, vec![3]), RxIrq::Dropped);
         assert_eq!(nic.rx_dropped(), 1);

@@ -166,9 +166,8 @@ impl Nvme {
                 const STRIPE_MIN: usize = 128 * 1024;
                 if sequential && len_bytes >= STRIPE_MIN {
                     let n = self.channels.len();
-                    let slice = Nanos(
-                        (len_bytes as u64 / n as u64).saturating_mul(1_000_000_000) / rate,
-                    );
+                    let slice =
+                        Nanos((len_bytes as u64 / n as u64).saturating_mul(1_000_000_000) / rate);
                     let mut done = Nanos::ZERO;
                     for (i, c) in self.channels.iter_mut().enumerate() {
                         let extra = if i == 0 { penalty } else { Nanos::ZERO };
@@ -176,8 +175,7 @@ impl Nvme {
                     }
                     done + base
                 } else {
-                    let transfer =
-                        Nanos((len_bytes as u64).saturating_mul(1_000_000_000) / rate);
+                    let transfer = Nanos((len_bytes as u64).saturating_mul(1_000_000_000) / rate);
                     let ch = self.pick_channel();
                     let busy_done = self.channels[ch].run(now, penalty + transfer);
                     busy_done + base
@@ -311,9 +309,7 @@ mod tests {
         let t = d.submit(Nanos::ZERO, NvmeOp::Read, 0, 4096);
         // One 4K read ≈ base latency + ~4.7µs transfer.
         assert!(t >= d.profile.read_latency + d.profile.random_penalty);
-        assert!(
-            t < d.profile.read_latency + d.profile.random_penalty + Nanos::from_micros(10)
-        );
+        assert!(t < d.profile.read_latency + d.profile.random_penalty + Nanos::from_micros(10));
     }
 
     #[test]

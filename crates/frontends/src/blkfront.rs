@@ -8,13 +8,14 @@ use std::collections::HashMap;
 
 use kite_sim::Nanos;
 use kite_xen::blkif::{
-    pack_indirect_segments, BlkifRequest, BlkifResponse, BlkifSegment, BLKIF_MAX_SEGMENTS_PER_REQUEST,
-    BLKIF_OP_FLUSH_DISKCACHE, BLKIF_OP_READ, BLKIF_OP_WRITE, BLKIF_RSP_OKAY, SECTOR_SIZE,
+    pack_indirect_segments, BlkifRequest, BlkifResponse, BlkifSegment,
+    BLKIF_MAX_SEGMENTS_PER_REQUEST, BLKIF_OP_FLUSH_DISKCACHE, BLKIF_OP_READ, BLKIF_OP_WRITE,
+    BLKIF_RSP_OKAY, SECTOR_SIZE,
 };
 use kite_xen::ring::FrontRing;
 use kite_xen::xenbus::switch_state;
 use kite_xen::{
-    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenbusState, XenError,
+    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenError, XenbusState,
 };
 
 use crate::netfront::FrontOp;
@@ -99,15 +100,28 @@ impl Blkfront {
             indirect_grefs.push(hv.grant_access(guest, backend, p, true)?);
         }
         let fe = paths.frontend();
-        hv.store
-            .write(guest, None, &format!("{fe}/ring-ref"), &ring_ref.0.to_string())?;
-        hv.store
-            .write(guest, None, &format!("{fe}/event-channel"), &port.0.to_string())?;
+        hv.store.write(
+            guest,
+            None,
+            &format!("{fe}/ring-ref"),
+            &ring_ref.0.to_string(),
+        )?;
+        hv.store.write(
+            guest,
+            None,
+            &format!("{fe}/event-channel"),
+            &port.0.to_string(),
+        )?;
         hv.store
             .write(guest, None, &format!("{fe}/protocol"), "x86_64-abi")?;
         hv.store
             .write(guest, None, &format!("{fe}/feature-persistent"), "1")?;
-        switch_state(&mut hv.store, guest, &paths.frontend_state(), XenbusState::Initialised)?;
+        switch_state(
+            &mut hv.store,
+            guest,
+            &paths.frontend_state(),
+            XenbusState::Initialised,
+        )?;
         Ok(Blkfront {
             guest,
             backend,
@@ -138,7 +152,11 @@ impl Blkfront {
             .map_err(|_| XenError::Inval)?;
         self.max_indirect = hv
             .store
-            .read(self.guest, None, &format!("{be}/feature-max-indirect-segments"))?
+            .read(
+                self.guest,
+                None,
+                &format!("{be}/feature-max-indirect-segments"),
+            )?
             .parse()
             .map_err(|_| XenError::Inval)?;
         Ok(())
@@ -163,7 +181,11 @@ impl Blkfront {
         if self.pool_free.len() < n {
             return None;
         }
-        Some((0..n).map(|_| self.pool_free.pop().expect("len checked")).collect())
+        Some(
+            (0..n)
+                .map(|_| self.pool_free.pop().expect("len checked"))
+                .collect(),
+        )
     }
 
     fn build_segments(&self, idxs: &[usize], len: usize) -> Vec<BlkifSegment> {
@@ -247,7 +269,7 @@ impl Blkfront {
         len: usize,
         data: Option<&[u8]>,
     ) -> Result<(u64, FrontOp)> {
-        if len == 0 || len % SECTOR_SIZE != 0 || len > self.max_request_bytes() {
+        if len == 0 || !len.is_multiple_of(SECTOR_SIZE) || len > self.max_request_bytes() {
             return Err(XenError::Inval);
         }
         if self.ring.full() {

@@ -8,16 +8,14 @@
 
 use std::collections::VecDeque;
 
+use kite_net::MacAddr;
 use kite_sim::Nanos;
-use kite_xen::netif::{
-    NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse,
-};
+use kite_xen::netif::{NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse};
 use kite_xen::ring::FrontRing;
 use kite_xen::xenbus::switch_state;
 use kite_xen::{
-    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenbusState, XenError,
+    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenError, XenbusState,
 };
-use kite_net::MacAddr;
 
 /// Number of packet buffer pages in each direction's pool.
 const POOL: usize = 256;
@@ -69,7 +67,12 @@ pub struct Netfront {
     tx_dropped: u64,
 }
 
-fn make_pool(hv: &mut Hypervisor, owner: DomainId, peer: DomainId, readonly: bool) -> Result<BufPool> {
+fn make_pool(
+    hv: &mut Hypervisor,
+    owner: DomainId,
+    peer: DomainId,
+    readonly: bool,
+) -> Result<BufPool> {
     let mut pages = Vec::with_capacity(POOL);
     let mut grefs = Vec::with_capacity(POOL);
     for _ in 0..POOL {
@@ -109,15 +112,32 @@ impl Netfront {
         let rx_pool = make_pool(hv, guest, backend, false)?;
         let (port, _) = hv.evtchn_alloc_unbound(guest, backend);
         let fe = paths.frontend();
-        hv.store
-            .write(guest, None, &format!("{fe}/tx-ring-ref"), &tx_ref.0.to_string())?;
-        hv.store
-            .write(guest, None, &format!("{fe}/rx-ring-ref"), &rx_ref.0.to_string())?;
-        hv.store
-            .write(guest, None, &format!("{fe}/event-channel"), &port.0.to_string())?;
+        hv.store.write(
+            guest,
+            None,
+            &format!("{fe}/tx-ring-ref"),
+            &tx_ref.0.to_string(),
+        )?;
+        hv.store.write(
+            guest,
+            None,
+            &format!("{fe}/rx-ring-ref"),
+            &rx_ref.0.to_string(),
+        )?;
+        hv.store.write(
+            guest,
+            None,
+            &format!("{fe}/event-channel"),
+            &port.0.to_string(),
+        )?;
         hv.store
             .write(guest, None, &format!("{fe}/mac"), &mac.to_string())?;
-        switch_state(&mut hv.store, guest, &paths.frontend_state(), XenbusState::Initialised)?;
+        switch_state(
+            &mut hv.store,
+            guest,
+            &paths.frontend_state(),
+            XenbusState::Initialised,
+        )?;
         let mut nf = Netfront {
             guest,
             backend,
@@ -148,8 +168,7 @@ impl Netfront {
             };
             let gref = self.rx_pool.grefs[id as usize];
             let page = hv.mem.page_mut(self.rx_page)?;
-            self.rx
-                .push_request(page, &NetifRxRequest { id, gref })?;
+            self.rx.push_request(page, &NetifRxRequest { id, gref })?;
             posted = true;
         }
         if posted {
@@ -226,8 +245,8 @@ impl Netfront {
             if rsp.status > 0 {
                 let len = rsp.status as usize;
                 let buf = self.rx_pool.pages[rsp.id as usize];
-                let data = hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len]
-                    .to_vec();
+                let data =
+                    hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len].to_vec();
                 self.received.push_back(data);
                 cost += Nanos::from_nanos(120 + len as u64 / 16);
             }

@@ -217,16 +217,13 @@ impl Fs {
         for &(block, in_block, bytes) in pieces {
             let sector = block * spb + (in_block as u64) / SECTOR;
             if let Some(last) = out.last_mut() {
-                let last_end = last.sector * SECTOR as u64 + last.bytes as u64;
+                let last_end = last.sector * SECTOR + last.bytes as u64;
                 if last_end == sector * SECTOR {
                     last.bytes += bytes;
                     continue;
                 }
             }
-            out.push(DevIo {
-                sector,
-                bytes,
-            });
+            out.push(DevIo { sector, bytes });
         }
         out
     }
@@ -361,7 +358,10 @@ mod tests {
         fs.drop_caches();
         let plan = fs.read(ino, 0, 8192).unwrap();
         assert_eq!(plan.cached_bytes, 0);
-        assert_eq!(plan.device_ios.iter().map(|io| io.bytes).sum::<usize>(), 8192);
+        assert_eq!(
+            plan.device_ios.iter().map(|io| io.bytes).sum::<usize>(),
+            8192
+        );
     }
 
     #[test]
@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn fragmentation_scatters_io() {
         let mut fs = Fs::format(64, 0); // tiny device, no cache
-        // Fill with interleaved files, delete every other one.
+                                        // Fill with interleaved files, delete every other one.
         let inos: Vec<Ino> = (0..8)
             .map(|i| {
                 let ino = fs.create(&format!("f{i}")).unwrap();

@@ -77,7 +77,9 @@ mod tests {
             .stages
             .iter()
             .filter(|s| {
-                s.name.contains("systemd") || s.name.contains("udev") || s.name.contains("initramfs")
+                s.name.contains("systemd")
+                    || s.name.contains("udev")
+                    || s.name.contains("initramfs")
             })
             .map(|s| s.duration)
             .sum();

@@ -13,6 +13,8 @@ pub mod profile;
 pub mod syscalls;
 
 pub use boot::ubuntu_boot;
-pub use image::{ubuntu_image_bytes, ubuntu_image_parts, ubuntu_userspace_components, LinuxImagePart};
+pub use image::{
+    ubuntu_image_bytes, ubuntu_image_parts, ubuntu_userspace_components, LinuxImagePart,
+};
 pub use profile::linux_profile;
 pub use syscalls::{linux_total_syscall_count, ubuntu_driver_domain_syscalls};

@@ -21,31 +21,177 @@ pub fn linux_total_syscall_count() -> usize {
 }
 
 const UBUNTU_DD_SYSCALLS: &[&str] = &[
-    "clone", "fork", "execve", "exit", "exit_group", "wait4", "kill",
-    "getpid", "getppid", "gettid", "setsid", "setpgid", "prctl", "arch_prctl",
-    "set_tid_address", "futex", "sched_yield", "sched_getaffinity", "sched_setaffinity", "nanosleep", "clock_nanosleep",
-    "brk", "mmap", "munmap", "mprotect", "mremap", "madvise", "modify_ldt",
-    "open", "openat", "close", "read", "write", "readv", "writev",
-    "pread64", "pwrite64", "lseek", "stat", "fstat", "lstat", "newfstatat",
-    "access", "readlink", "readlinkat", "rename", "unlink", "unlinkat", "symlink",
-    "mkdir", "mkdirat", "rmdir", "chdir", "getcwd", "chmod", "fchmod",
-    "chown", "fchown", "umask", "ftruncate", "fallocate", "fsync", "fdatasync",
-    "sync", "dup", "dup2", "dup3", "pipe", "pipe2", "fcntl",
-    "getdents", "getdents64", "utimensat", "statfs", "fstatfs", "getxattr", "setxattr",
-    "ioctl", "sendfile", "select", "poll", "ppoll", "epoll_create1", "epoll_ctl",
-    "epoll_wait", "epoll_pwait", "eventfd2", "timerfd_create", "timerfd_settime", "signalfd4", "inotify_init1",
-    "inotify_add_watch", "inotify_rm_watch", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "rt_sigsuspend", "rt_sigtimedwait",
-    "sigaltstack", "pause", "clock_gettime", "clock_getres", "gettimeofday", "times", "timer_create",
-    "timer_settime", "getitimer", "setitimer", "getuid", "geteuid", "getgid", "getegid",
-    "setuid", "setgid", "setgroups", "getgroups", "setresuid", "setresgid", "capget",
-    "capset", "socket", "socketpair", "bind", "connect", "listen", "accept",
-    "accept4", "getsockname", "getpeername", "sendto", "recvfrom", "sendmsg", "recvmsg",
-    "sendmmsg", "shutdown", "setsockopt", "getsockopt", "init_module", "finit_module", "delete_module",
-    "mount", "umount2", "pivot_root", "chroot", "reboot", "sysinfo", "uname",
-    "sethostname", "getrlimit", "setrlimit", "prlimit64", "getrusage", "getpriority", "setpriority",
-    "personality", "seccomp", "bpf", "perf_event_open", "memfd_create", "getrandom", "name_to_handle_at",
-    "ptrace", "keyctl", "add_key", "io_setup", "io_submit", "io_getevents", "io_destroy",
-    "unshare", "setns", "kcmp",
+    "clone",
+    "fork",
+    "execve",
+    "exit",
+    "exit_group",
+    "wait4",
+    "kill",
+    "getpid",
+    "getppid",
+    "gettid",
+    "setsid",
+    "setpgid",
+    "prctl",
+    "arch_prctl",
+    "set_tid_address",
+    "futex",
+    "sched_yield",
+    "sched_getaffinity",
+    "sched_setaffinity",
+    "nanosleep",
+    "clock_nanosleep",
+    "brk",
+    "mmap",
+    "munmap",
+    "mprotect",
+    "mremap",
+    "madvise",
+    "modify_ldt",
+    "open",
+    "openat",
+    "close",
+    "read",
+    "write",
+    "readv",
+    "writev",
+    "pread64",
+    "pwrite64",
+    "lseek",
+    "stat",
+    "fstat",
+    "lstat",
+    "newfstatat",
+    "access",
+    "readlink",
+    "readlinkat",
+    "rename",
+    "unlink",
+    "unlinkat",
+    "symlink",
+    "mkdir",
+    "mkdirat",
+    "rmdir",
+    "chdir",
+    "getcwd",
+    "chmod",
+    "fchmod",
+    "chown",
+    "fchown",
+    "umask",
+    "ftruncate",
+    "fallocate",
+    "fsync",
+    "fdatasync",
+    "sync",
+    "dup",
+    "dup2",
+    "dup3",
+    "pipe",
+    "pipe2",
+    "fcntl",
+    "getdents",
+    "getdents64",
+    "utimensat",
+    "statfs",
+    "fstatfs",
+    "getxattr",
+    "setxattr",
+    "ioctl",
+    "sendfile",
+    "select",
+    "poll",
+    "ppoll",
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+    "epoll_pwait",
+    "eventfd2",
+    "timerfd_create",
+    "timerfd_settime",
+    "signalfd4",
+    "inotify_init1",
+    "inotify_add_watch",
+    "inotify_rm_watch",
+    "rt_sigaction",
+    "rt_sigprocmask",
+    "rt_sigreturn",
+    "rt_sigsuspend",
+    "rt_sigtimedwait",
+    "sigaltstack",
+    "pause",
+    "clock_gettime",
+    "clock_getres",
+    "gettimeofday",
+    "times",
+    "timer_create",
+    "timer_settime",
+    "getitimer",
+    "setitimer",
+    "getuid",
+    "geteuid",
+    "getgid",
+    "getegid",
+    "setuid",
+    "setgid",
+    "setgroups",
+    "getgroups",
+    "setresuid",
+    "setresgid",
+    "capget",
+    "capset",
+    "socket",
+    "socketpair",
+    "bind",
+    "connect",
+    "listen",
+    "accept",
+    "accept4",
+    "getsockname",
+    "getpeername",
+    "sendto",
+    "recvfrom",
+    "sendmsg",
+    "recvmsg",
+    "sendmmsg",
+    "shutdown",
+    "setsockopt",
+    "getsockopt",
+    "init_module",
+    "finit_module",
+    "delete_module",
+    "mount",
+    "umount2",
+    "pivot_root",
+    "chroot",
+    "reboot",
+    "sysinfo",
+    "uname",
+    "sethostname",
+    "getrlimit",
+    "setrlimit",
+    "prlimit64",
+    "getrusage",
+    "getpriority",
+    "setpriority",
+    "personality",
+    "seccomp",
+    "bpf",
+    "perf_event_open",
+    "memfd_create",
+    "getrandom",
+    "name_to_handle_at",
+    "ptrace",
+    "keyctl",
+    "add_key",
+    "io_setup",
+    "io_submit",
+    "io_getevents",
+    "io_destroy",
+    "unshare",
+    "setns",
+    "kcmp",
 ];
 
 #[cfg(test)]
@@ -66,14 +212,20 @@ mod tests {
     fn roughly_10x_kite() {
         let ratio =
             ubuntu_driver_domain_syscalls().len() as f64 / kite_network_syscalls().len() as f64;
-        assert!(ratio >= 10.0, "paper claims 10x reduction; ratio={ratio:.1}");
+        assert!(
+            ratio >= 10.0,
+            "paper claims 10x reduction; ratio={ratio:.1}"
+        );
     }
 
     #[test]
     fn dangerous_syscalls_present_in_linux() {
         let s = ubuntu_driver_domain_syscalls();
         for essential in ["clone", "execve", "init_module", "modify_ldt", "mount"] {
-            assert!(s.contains(essential), "{essential} is required by Linux boot");
+            assert!(
+                s.contains(essential),
+                "{essential} is required by Linux boot"
+            );
         }
     }
 

@@ -74,8 +74,18 @@ mod tests {
 
     #[test]
     fn pseudo_header_changes_sum() {
-        let a = pseudo_header_sum("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 17, 8);
-        let b = pseudo_header_sum("10.0.0.1".parse().unwrap(), "10.0.0.3".parse().unwrap(), 17, 8);
+        let a = pseudo_header_sum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            17,
+            8,
+        );
+        let b = pseudo_header_sum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.3".parse().unwrap(),
+            17,
+            8,
+        );
         assert_ne!(finish(a), finish(b));
     }
 }

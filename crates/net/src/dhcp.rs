@@ -197,9 +197,7 @@ impl DhcpMessage {
                 53 if len == 1 => msg_type = DhcpMessageType::from_value(val[0]),
                 50 => requested_ip = as_ip(val),
                 54 => server_id = as_ip(val),
-                51 if len == 4 => {
-                    lease_secs = Some(u32::from_be_bytes(val.try_into().ok()?))
-                }
+                51 if len == 4 => lease_secs = Some(u32::from_be_bytes(val.try_into().ok()?)),
                 1 => subnet_mask = as_ip(val),
                 3 => router = as_ip(val),
                 _ => {}

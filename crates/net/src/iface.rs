@@ -130,7 +130,11 @@ mod tests {
         let mut t = IfTable::new();
         t.attach("ixg0", IfKind::Physical, MacAddr::local(1));
         assert!(!t.get("ixg0").unwrap().up);
-        assert!(t.set_addr("ixg0", "192.168.1.50".parse().unwrap(), "255.255.255.0".parse().unwrap()));
+        assert!(t.set_addr(
+            "ixg0",
+            "192.168.1.50".parse().unwrap(),
+            "255.255.255.0".parse().unwrap()
+        ));
         assert!(t.set_up("ixg0", true));
         let i = t.get("ixg0").unwrap();
         assert!(i.up);
@@ -145,7 +149,11 @@ mod tests {
     fn unknown_interface_ops_fail() {
         let mut t = IfTable::new();
         assert!(!t.set_up("nope0", true));
-        assert!(!t.set_addr("nope0", "1.2.3.4".parse().unwrap(), "255.0.0.0".parse().unwrap()));
+        assert!(!t.set_addr(
+            "nope0",
+            "1.2.3.4".parse().unwrap(),
+            "255.0.0.0".parse().unwrap()
+        ));
         assert!(!t.detach("nope0"));
     }
 

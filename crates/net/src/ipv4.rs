@@ -125,7 +125,12 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let p = Ipv4Packet::new(ip("192.168.0.10"), ip("192.168.0.1"), IpProto::Udp, vec![1, 2, 3]);
+        let p = Ipv4Packet::new(
+            ip("192.168.0.10"),
+            ip("192.168.0.1"),
+            IpProto::Udp,
+            vec![1, 2, 3],
+        );
         let bytes = p.encode();
         assert_eq!(Ipv4Packet::decode(&bytes), Some(p));
     }

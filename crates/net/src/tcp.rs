@@ -168,7 +168,10 @@ mod tests {
             payload: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
         };
         let bytes = s.encode(ip("10.0.0.2"), ip("10.0.0.1"));
-        assert_eq!(TcpSegment::decode(&bytes, ip("10.0.0.2"), ip("10.0.0.1")), Some(s));
+        assert_eq!(
+            TcpSegment::decode(&bytes, ip("10.0.0.2"), ip("10.0.0.1")),
+            Some(s)
+        );
     }
 
     #[test]
@@ -183,7 +186,10 @@ mod tests {
             payload: vec![],
         };
         let bytes = s.encode(ip("10.0.0.2"), ip("10.0.0.1"));
-        assert_eq!(TcpSegment::decode(&bytes, ip("10.0.0.3"), ip("10.0.0.1")), None);
+        assert_eq!(
+            TcpSegment::decode(&bytes, ip("10.0.0.3"), ip("10.0.0.1")),
+            None
+        );
     }
 
     #[test]

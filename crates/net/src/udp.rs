@@ -94,7 +94,10 @@ mod tests {
         let d = UdpDatagram::new(1, 2, vec![9; 64]);
         let mut bytes = d.encode(ip("10.0.0.5"), ip("10.0.0.9"));
         bytes[20] ^= 0xff;
-        assert_eq!(UdpDatagram::decode(&bytes, ip("10.0.0.5"), ip("10.0.0.9")), None);
+        assert_eq!(
+            UdpDatagram::decode(&bytes, ip("10.0.0.5"), ip("10.0.0.9")),
+            None
+        );
     }
 
     #[test]
@@ -102,7 +105,10 @@ mod tests {
         let d = UdpDatagram::new(1, 2, vec![9; 16]);
         let bytes = d.encode(ip("10.0.0.5"), ip("10.0.0.9"));
         // NAT rewrote the source without fixing the checksum.
-        assert_eq!(UdpDatagram::decode(&bytes, ip("10.0.0.6"), ip("10.0.0.9")), None);
+        assert_eq!(
+            UdpDatagram::decode(&bytes, ip("10.0.0.6"), ip("10.0.0.9")),
+            None
+        );
     }
 
     #[test]

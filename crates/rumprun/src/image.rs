@@ -127,18 +127,34 @@ pub fn kite_network_image() -> Image {
     for c in base_components() {
         b = b.component(c);
     }
-    b.component(Component::new("net-faction", ComponentKind::Faction, 3 * MIB))
-        .component(Component::new("tcpip-stack", ComponentKind::Library, 2560 * KIB))
-        .component(Component::new("bpf+if-framework", ComponentKind::Faction, 1536 * KIB))
-        .component(
-            Component::new("ixg(4) 82599 driver", ComponentKind::Driver, 6 * MIB)
-                .with_syscalls(crate::syscalls::kite_network_syscalls()),
-        )
-        .component(Component::new("bridge(4)", ComponentKind::Driver, 1 * MIB))
-        .component(Component::new("netback", ComponentKind::Kite, 140 * KIB))
-        .component(Component::new("bridging app + ifconfig/brconfig", ComponentKind::Kite, 512 * KIB))
-        .component(Component::new("pci+intr glue", ComponentKind::Driver, 1 * MIB))
-        .build()
+    b.component(Component::new(
+        "net-faction",
+        ComponentKind::Faction,
+        3 * MIB,
+    ))
+    .component(Component::new(
+        "tcpip-stack",
+        ComponentKind::Library,
+        2560 * KIB,
+    ))
+    .component(Component::new(
+        "bpf+if-framework",
+        ComponentKind::Faction,
+        1536 * KIB,
+    ))
+    .component(
+        Component::new("ixg(4) 82599 driver", ComponentKind::Driver, 6 * MIB)
+            .with_syscalls(crate::syscalls::kite_network_syscalls()),
+    )
+    .component(Component::new("bridge(4)", ComponentKind::Driver, MIB))
+    .component(Component::new("netback", ComponentKind::Kite, 140 * KIB))
+    .component(Component::new(
+        "bridging app + ifconfig/brconfig",
+        ComponentKind::Kite,
+        512 * KIB,
+    ))
+    .component(Component::new("pci+intr glue", ComponentKind::Driver, MIB))
+    .build()
 }
 
 /// The Kite **storage** driver-domain image (≈20 MiB).
@@ -147,17 +163,29 @@ pub fn kite_storage_image() -> Image {
     for c in base_components() {
         b = b.component(c);
     }
-    b.component(Component::new("block-faction (vnode)", ComponentKind::Faction, 2560 * KIB))
-        .component(Component::new("vfs core", ComponentKind::RumpBase, 2 * MIB))
-        .component(
-            Component::new("nvme(4) driver", ComponentKind::Driver, 5 * MIB)
-                .with_syscalls(crate::syscalls::kite_storage_syscalls()),
-        )
-        .component(Component::new("blkback", ComponentKind::Kite, 96 * KIB))
-        .component(Component::new("block status app", ComponentKind::Kite, 384 * KIB))
-        .component(Component::new("pci+intr glue", ComponentKind::Driver, 1 * MIB))
-        .component(Component::new("scsipi compat", ComponentKind::Driver, 1536 * KIB))
-        .build()
+    b.component(Component::new(
+        "block-faction (vnode)",
+        ComponentKind::Faction,
+        2560 * KIB,
+    ))
+    .component(Component::new("vfs core", ComponentKind::RumpBase, 2 * MIB))
+    .component(
+        Component::new("nvme(4) driver", ComponentKind::Driver, 5 * MIB)
+            .with_syscalls(crate::syscalls::kite_storage_syscalls()),
+    )
+    .component(Component::new("blkback", ComponentKind::Kite, 96 * KIB))
+    .component(Component::new(
+        "block status app",
+        ComponentKind::Kite,
+        384 * KIB,
+    ))
+    .component(Component::new("pci+intr glue", ComponentKind::Driver, MIB))
+    .component(Component::new(
+        "scsipi compat",
+        ComponentKind::Driver,
+        1536 * KIB,
+    ))
+    .build()
 }
 
 /// The unikernelized OpenDHCP daemon-VM image (§5.5; 16 LoC of changes in
@@ -167,13 +195,21 @@ pub fn kite_dhcpd_image() -> Image {
     for c in base_components() {
         b = b.component(c);
     }
-    b.component(Component::new("net-faction", ComponentKind::Faction, 3 * MIB))
-        .component(Component::new("tcpip-stack", ComponentKind::Library, 2560 * KIB))
-        .component(
-            Component::new("opendhcp server", ComponentKind::Kite, 640 * KIB)
-                .with_syscalls(crate::syscalls::kite_dhcpd_syscalls()),
-        )
-        .build()
+    b.component(Component::new(
+        "net-faction",
+        ComponentKind::Faction,
+        3 * MIB,
+    ))
+    .component(Component::new(
+        "tcpip-stack",
+        ComponentKind::Library,
+        2560 * KIB,
+    ))
+    .component(
+        Component::new("opendhcp server", ComponentKind::Kite, 640 * KIB)
+            .with_syscalls(crate::syscalls::kite_dhcpd_syscalls()),
+    )
+    .build()
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ pub mod sched;
 pub mod syscalls;
 
 pub use boot::{kite_boot, BootSequence, BootStage};
-pub use image::{kite_dhcpd_image, kite_network_image, kite_storage_image, Component, ComponentKind, Image, ImageBuilder};
+pub use image::{
+    kite_dhcpd_image, kite_network_image, kite_storage_image, Component, ComponentKind, Image,
+    ImageBuilder,
+};
 pub use interrupts::{IrqBinding, IrqLine, IrqTable};
 pub use profile::{kite_profile, OsProfile, WorkModel};
 pub use sched::{Scheduler, ThreadId, ThreadState};

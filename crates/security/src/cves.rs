@@ -181,9 +181,7 @@ impl DomainSurface {
     /// Whether this domain mitigates `cve` by construction.
     pub fn mitigates(&self, cve: &Cve) -> bool {
         match cve.vector {
-            AttackVector::Syscalls => {
-                !cve.syscalls.iter().any(|s| self.syscalls.contains(s))
-            }
+            AttackVector::Syscalls => !cve.syscalls.iter().any(|s| self.syscalls.contains(s)),
             AttackVector::CraftedApplication => !self.runs_applications,
             AttackVector::Shell => !self.has_shell,
             AttackVector::Toolstack => !self.has_toolstack,
@@ -220,8 +218,16 @@ mod tests {
         assert_eq!(cves.len(), 11, "Table 3 lists 11 CVEs");
         let net = DomainSurface::kite_network();
         let st = DomainSurface::kite_storage();
-        assert_eq!(net.mitigated(&cves).len(), 11, "network domain mitigates all");
-        assert_eq!(st.mitigated(&cves).len(), 11, "storage domain mitigates all");
+        assert_eq!(
+            net.mitigated(&cves).len(),
+            11,
+            "network domain mitigates all"
+        );
+        assert_eq!(
+            st.mitigated(&cves).len(),
+            11,
+            "storage domain mitigates all"
+        );
     }
 
     #[test]
@@ -266,7 +272,7 @@ mod tests {
         assert!(kite.mitigates(&crafted));
         assert!(kite.mitigates(&shell));
         assert!(!DomainSurface::ubuntu().mitigates(&crafted));
-        assert!(CRAFTED_APPLICATION_CVES == 172 && SHELL_CVES == 92);
+        const { assert!(CRAFTED_APPLICATION_CVES == 172 && SHELL_CVES == 92) }
     }
 
     #[test]

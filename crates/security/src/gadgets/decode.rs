@@ -100,11 +100,7 @@ fn modrm_len(bytes: &[u8]) -> Option<usize> {
         }
     }
     match mod_ {
-        0 => {
-            if rm == 5 {
-                len += 4; // RIP-relative disp32
-            }
-        }
+        0 if rm == 5 => len += 4, // RIP-relative disp32
         1 => len += 1,
         2 => len += 4,
         _ => {}
@@ -123,8 +119,8 @@ pub fn decode(bytes: &[u8]) -> Option<Insn> {
     // Prefixes (at most a few; bail on absurd runs).
     while i < bytes.len() && i < 4 {
         match bytes[i] {
-            0x40..=0x4f => i += 1,          // REX
-            0x66 => i += 1,                 // operand size
+            0x40..=0x4f => i += 1, // REX
+            0x66 => i += 1,        // operand size
             0xf3 => {
                 rep = true;
                 i += 1;
@@ -219,12 +215,12 @@ pub fn decode(bytes: &[u8]) -> Option<Insn> {
             }
         }
         // One-byte opcodes.
-        0x88 | 0x89 | 0x8a | 0x8b => with_modrm(Category::DataMove), // mov
-        0x8d => with_modrm(Category::DataMove),                      // lea
-        0x50..=0x57 => plain(0, Category::DataMove),                 // push r
-        0x58..=0x5f => plain(0, Category::DataMove),                 // pop r
-        0x86 | 0x87 => with_modrm(Category::DataMove),               // xchg
-        0xb8..=0xbf => plain(4, Category::DataMove),                 // mov r, imm32
+        0x88..=0x8b => with_modrm(Category::DataMove), // mov
+        0x8d => with_modrm(Category::DataMove),        // lea
+        0x50..=0x57 => plain(0, Category::DataMove),   // push r
+        0x58..=0x5f => plain(0, Category::DataMove),   // pop r
+        0x86 | 0x87 => with_modrm(Category::DataMove), // xchg
+        0xb8..=0xbf => plain(4, Category::DataMove),   // mov r, imm32
         0xc6 | 0xc7 => {
             // mov r/m, imm8/imm32
             let m = modrm_len(rest)?;
@@ -238,10 +234,10 @@ pub fn decode(bytes: &[u8]) -> Option<Insn> {
                 })
             }
         }
-        0x00 | 0x01 | 0x02 | 0x03 => with_modrm(Category::Arithmetic), // add
-        0x28 | 0x29 | 0x2a | 0x2b => with_modrm(Category::Arithmetic), // sub
-        0x10 | 0x11 | 0x12 | 0x13 => with_modrm(Category::Arithmetic), // adc
-        0x18 | 0x19 | 0x1a | 0x1b => with_modrm(Category::Arithmetic), // sbb
+        0x00..=0x03 => with_modrm(Category::Arithmetic), // add
+        0x28..=0x2b => with_modrm(Category::Arithmetic), // sub
+        0x10..=0x13 => with_modrm(Category::Arithmetic), // adc
+        0x18..=0x1b => with_modrm(Category::Arithmetic), // sbb
         0x83 => {
             // group1 r/m, imm8 — classify as arithmetic (common case).
             let m = modrm_len(rest)?;
@@ -254,11 +250,11 @@ pub fn decode(bytes: &[u8]) -> Option<Insn> {
                 })
             }
         }
-        0x20 | 0x21 | 0x22 | 0x23 => with_modrm(Category::Logic), // and
-        0x08 | 0x09 | 0x0a | 0x0b => with_modrm(Category::Logic), // or
-        0x30 | 0x31 | 0x32 | 0x33 => with_modrm(Category::Logic), // xor
-        0xf7 => with_modrm(Category::Logic),                      // group3 (not/neg/...)
-        0xff => with_modrm(Category::ControlFlow),                // group5 inc/dec/call/jmp r/m
+        0x20..=0x23 => with_modrm(Category::Logic), // and
+        0x08..=0x0b => with_modrm(Category::Logic), // or
+        0x30..=0x33 => with_modrm(Category::Logic), // xor
+        0xf7 => with_modrm(Category::Logic),        // group3 (not/neg/...)
+        0xff => with_modrm(Category::ControlFlow),  // group5 inc/dec/call/jmp r/m
         0xc1 | 0xd1 | 0xd3 => {
             // shift group
             let m = modrm_len(rest)?;
@@ -272,9 +268,9 @@ pub fn decode(bytes: &[u8]) -> Option<Insn> {
                 })
             }
         }
-        0x38 | 0x39 | 0x3a | 0x3b => with_modrm(Category::SettingFlags), // cmp
-        0x84 | 0x85 => with_modrm(Category::SettingFlags),               // test
-        0xf5 | 0xf8 | 0xf9 => plain(0, Category::SettingFlags),          // cmc/clc/stc
+        0x38..=0x3b => with_modrm(Category::SettingFlags), // cmp
+        0x84 | 0x85 => with_modrm(Category::SettingFlags), // test
+        0xf5 | 0xf8 | 0xf9 => plain(0, Category::SettingFlags), // cmc/clc/stc
         0xa4 | 0xa5 | 0xaa | 0xab | 0xac | 0xad | 0xa6 | 0xa7 | 0xae | 0xaf => {
             plain(0, Category::String)
         }
@@ -299,7 +295,13 @@ mod tests {
     #[test]
     fn simple_encodings() {
         // ret
-        assert_eq!(decode(&[0xc3]).unwrap(), Insn { len: 1, category: Category::Ret });
+        assert_eq!(
+            decode(&[0xc3]).unwrap(),
+            Insn {
+                len: 1,
+                category: Category::Ret
+            }
+        );
         // push rax
         assert_eq!(decode(&[0x50]).unwrap().category, Category::DataMove);
         // nop

@@ -102,7 +102,11 @@ mod tests {
             "Fig 1b: default ≈ 4x Kite, got {:.1}",
             default / kite
         );
-        assert!(ubuntu / kite > 8.0, "Ubuntu ≫ Kite, got {:.1}", ubuntu / kite);
+        assert!(
+            ubuntu / kite > 8.0,
+            "Ubuntu ≫ Kite, got {:.1}",
+            ubuntu / kite
+        );
         // Monotone: each distro kernel has more than the default config.
         for w in totals[1..].windows(2) {
             assert!(w[1].1 > w[0].1, "{:?}", totals);

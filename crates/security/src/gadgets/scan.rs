@@ -33,11 +33,7 @@ impl GadgetCounts {
     /// Scales all counts (for size-scaled synthetic images).
     pub fn scaled(&self, factor: u64) -> GadgetCounts {
         GadgetCounts {
-            counts: self
-                .counts
-                .iter()
-                .map(|(&c, &n)| (c, n * factor))
-                .collect(),
+            counts: self.counts.iter().map(|(&c, &n)| (c, n * factor)).collect(),
         }
     }
 
@@ -157,7 +153,12 @@ mod tests {
         let mix = InsnMix::kernel_default();
         let counts = scan(&generate_text(120_000, &mix, &mut Pcg::seeded(5)));
         let dm = counts.get(Category::DataMove);
-        for c in [Category::Logic, Category::String, Category::Mmx, Category::Floating] {
+        for c in [
+            Category::Logic,
+            Category::String,
+            Category::Mmx,
+            Category::Floating,
+        ] {
             assert!(dm > counts.get(c), "DataMove should dominate {c:?}");
         }
         assert!(counts.total() > 1000);

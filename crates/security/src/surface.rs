@@ -54,12 +54,18 @@ mod tests {
         let rows = surface_report();
         let kite = &rows[0];
         let ubuntu = &rows[2];
-        assert!(ubuntu.syscalls >= 10 * kite.syscalls, "Fig 4a: 10x syscalls");
+        assert!(
+            ubuntu.syscalls >= 10 * kite.syscalls,
+            "Fig 4a: 10x syscalls"
+        );
         assert!(
             ubuntu.image_bytes as f64 / kite.image_bytes as f64 >= 8.0,
             "Fig 4b: ~10x image"
         );
-        assert!(ubuntu.boot_secs / kite.boot_secs >= 10.0, "Fig 4c: 10x boot");
+        assert!(
+            ubuntu.boot_secs / kite.boot_secs >= 10.0,
+            "Fig 4c: 10x boot"
+        );
         assert_eq!(kite.cves_mitigated, 11);
         assert!(ubuntu.cves_mitigated <= 2);
     }

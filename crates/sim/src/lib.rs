@@ -21,5 +21,5 @@ pub mod time;
 pub use queue::{EventId, EventQueue};
 pub use resource::{Cpu, Link, TxOutcome};
 pub use rng::Pcg;
-pub use stats::{Histogram, OnlineStats, RateMeter};
+pub use stats::{BatchHistogram, Histogram, OnlineStats, RateMeter};
 pub use time::Nanos;

@@ -173,8 +173,7 @@ impl Cpu {
         if window == Nanos::ZERO {
             0.0
         } else {
-            (100.0 * self.busy_accum.as_nanos() as f64 / window.as_nanos() as f64)
-                .min(100.0)
+            (100.0 * self.busy_accum.as_nanos() as f64 / window.as_nanos() as f64).min(100.0)
         }
     }
 }
@@ -186,7 +185,7 @@ mod tests {
     #[test]
     fn serialization_delay_matches_rate() {
         let l = Link::new(1_000_000_000, Nanos::ZERO, u64::MAX); // 1 Gbps
-        // 125 bytes = 1000 bits = 1us at 1Gbps.
+                                                                 // 125 bytes = 1000 bits = 1us at 1Gbps.
         assert_eq!(l.serialization_delay(125), Nanos::from_micros(1));
     }
 
@@ -218,7 +217,10 @@ mod tests {
     #[test]
     fn queue_overflow_drops() {
         let mut l = Link::new(1_000, Nanos::ZERO, 100); // absurdly slow
-        assert!(matches!(l.transmit(Nanos::ZERO, 80), TxOutcome::Sent { .. }));
+        assert!(matches!(
+            l.transmit(Nanos::ZERO, 80),
+            TxOutcome::Sent { .. }
+        ));
         assert_eq!(l.transmit(Nanos::ZERO, 80), TxOutcome::Dropped);
         assert_eq!(l.dropped(), 1);
     }
@@ -226,7 +228,10 @@ mod tests {
     #[test]
     fn queue_drains_continuously() {
         let mut l = Link::new(8_000, Nanos::ZERO, 100); // 1000 bytes/s
-        assert!(matches!(l.transmit(Nanos::ZERO, 80), TxOutcome::Sent { .. }));
+        assert!(matches!(
+            l.transmit(Nanos::ZERO, 80),
+            TxOutcome::Sent { .. }
+        ));
         assert_eq!(l.backlog_bytes(Nanos::ZERO), 80);
         // Halfway through serialization, half the bytes have left.
         assert_eq!(l.backlog_bytes(Nanos::from_millis(40)), 40);

@@ -55,9 +55,17 @@ fn main() {
             "{:6}  ping={:.3}ms (paper {})  netperf={:.3}ms (paper {})",
             os.name(),
             ping_ms,
-            if os == BackendOs::Kite { "0.31" } else { "0.51" },
+            if os == BackendOs::Kite {
+                "0.31"
+            } else {
+                "0.51"
+            },
             np_ms,
-            if os == BackendOs::Kite { "0.10" } else { "0.18" },
+            if os == BackendOs::Kite {
+                "0.10"
+            } else {
+                "0.18"
+            },
         );
     }
 }

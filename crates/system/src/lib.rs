@@ -10,5 +10,7 @@
 pub mod netsys;
 pub mod storsys;
 
-pub use netsys::{addrs, BackendOs, NetMetrics, NetSystem, Reply, Side, UdpHandler, UdpMsg, MAX_UDP};
+pub use netsys::{
+    addrs, BackendOs, NetMetrics, NetSystem, Reply, Side, UdpHandler, UdpMsg, MAX_UDP,
+};
 pub use storsys::{IoDone, IoHandler, IoKind, IoOp, StorMetrics, StorSystem};

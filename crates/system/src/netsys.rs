@@ -268,8 +268,13 @@ impl NetSystem {
         let netback =
             NetbackInstance::connect(&mut hv, &ready[0], profile.clone()).expect("netback");
         let vif_port = netapp.add_vif(&netback.vif, guest_mac);
-        switch_state(&mut hv.store, guest, &paths.frontend_state(), XenbusState::Connected)
-            .expect("frontend connect");
+        switch_state(
+            &mut hv.store,
+            guest,
+            &paths.frontend_state(),
+            XenbusState::Connected,
+        )
+        .expect("frontend connect");
 
         NetSystem {
             hv,
@@ -359,9 +364,15 @@ impl NetSystem {
             payload: vec![0x2a; 56],
         };
         let ip = Ipv4Packet::new(addrs::CLIENT, addrs::GUEST, IpProto::Icmp, req.encode());
-        let frame = EthernetFrame::new(self.guest_mac, self.client_mac, EtherType::Ipv4, ip.encode());
+        let frame = EthernetFrame::new(
+            self.guest_mac,
+            self.client_mac,
+            EtherType::Ipv4,
+            ip.encode(),
+        );
         self.icmp_sent.insert(seq, t);
-        self.queue.schedule_at(t, Event::ClientTxFrame(frame.encode()));
+        self.queue
+            .schedule_at(t, Event::ClientTxFrame(frame.encode()));
     }
 
     /// Runs the event loop until `deadline`.
@@ -409,7 +420,11 @@ impl NetSystem {
             self.client_mac
         } else {
             // Gateway / unknown: the physical IF answers.
-            self.netapp.ifs.get("ixg0").map(|i| i.mac).unwrap_or(MacAddr::BROADCAST)
+            self.netapp
+                .ifs
+                .get("ixg0")
+                .map(|i| i.mac)
+                .unwrap_or(MacAddr::BROADCAST)
         }
     }
 
@@ -472,11 +487,13 @@ impl NetSystem {
                 .expect("connected channel");
             let done = self.guest_cpu_run(now, send_cost);
             if let Some(n) = n {
-                self.queue
-                    .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+                self.queue.schedule_at(
+                    done + self.hv.costs.irq_delivery,
+                    Event::Irq {
                         dom: n.domain,
                         port: n.port,
-                    });
+                    },
+                );
             }
         }
     }
@@ -561,10 +578,7 @@ impl NetSystem {
         // Pusher: guest -> bridge/world.
         let mut guest_frames = Vec::new();
         loop {
-            let batch = self
-                .netback
-                .pusher_run(&mut self.hv, 128)
-                .expect("pusher");
+            let batch = self.netback.pusher_run(&mut self.hv, 128).expect("pusher");
             let had = !batch.frames.is_empty();
             guest_frames.extend(batch.frames);
             let done = self.driver_cpu.run(
@@ -578,11 +592,13 @@ impl NetSystem {
                     .expect("channel");
                 let done = self.driver_cpu.run(done, c);
                 if let Some(n) = n {
-                    self.queue
-                        .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+                    self.queue.schedule_at(
+                        done + self.hv.costs.irq_delivery,
+                        Event::Irq {
                             dom: n.domain,
                             port: n.port,
-                        });
+                        },
+                    );
                 }
             }
             if !batch.more && !had {
@@ -614,11 +630,13 @@ impl NetSystem {
                     .expect("channel");
                 let done = self.driver_cpu.run(done, c);
                 if let Some(n) = n {
-                    self.queue
-                        .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+                    self.queue.schedule_at(
+                        done + self.hv.costs.irq_delivery,
+                        Event::Irq {
                             dom: n.domain,
                             port: n.port,
-                        });
+                        },
+                    );
                 }
             }
             if batch.delivered == 0 {
@@ -721,8 +739,7 @@ impl NetSystem {
         };
         match ip.proto {
             IpProto::Icmp => {
-                if let Some(IcmpMessage::EchoReply { seq, .. }) = IcmpMessage::decode(&ip.payload)
-                {
+                if let Some(IcmpMessage::EchoReply { seq, .. }) = IcmpMessage::decode(&ip.payload) {
                     if let Some(t0) = self.icmp_sent.remove(&seq) {
                         self.metrics.ping_rtts.push_nanos(now - t0);
                     }
@@ -836,8 +853,7 @@ impl NetSystem {
                     // interrupt triggers happens after that latency.
                     let t = now + wake;
                     let op = self.netfront.on_irq(&mut self.hv).expect("netfront irq");
-                    let done =
-                        self.guest_cpu_run(now, wake + op.cost + self.profile.irq_overhead);
+                    let done = self.guest_cpu_run(now, wake + op.cost + self.profile.irq_overhead);
                     if op.notify {
                         let (n, c) = self
                             .hv
@@ -890,6 +906,11 @@ impl NetSystem {
     /// Netback statistics.
     pub fn netback_stats(&self) -> kite_core::NetbackStats {
         self.netback.stats()
+    }
+
+    /// Switches netback between batched and single-op grant copies.
+    pub fn set_copy_mode(&mut self, mode: kite_xen::CopyMode) {
+        self.netback.set_copy_mode(mode);
     }
 
     /// Frames the frontend dropped for ring exhaustion.

@@ -187,11 +187,17 @@ impl StorSystem {
         let mut blkfront = Blkfront::connect(&mut hv, &paths).expect("blkfront");
         let ready = mgr.scan(&mut hv).expect("scan");
         assert_eq!(ready.len(), 1, "frontend discovered");
-        let blkback = BlkbackInstance::connect(&mut hv, &ready[0], profile.clone(), tuning, nvme.sectors)
-            .expect("blkback");
+        let blkback =
+            BlkbackInstance::connect(&mut hv, &ready[0], profile.clone(), tuning, nvme.sectors)
+                .expect("blkback");
         blkfront.read_features(&mut hv, &paths).expect("features");
-        switch_state(&mut hv.store, guest, &paths.frontend_state(), XenbusState::Connected)
-            .expect("frontend connect");
+        switch_state(
+            &mut hv.store,
+            guest,
+            &paths.frontend_state(),
+            XenbusState::Connected,
+        )
+        .expect("frontend connect");
 
         StorSystem {
             hv,
@@ -262,6 +268,11 @@ impl StorSystem {
         self.blkback.stats()
     }
 
+    /// Switches blkback between batched and single-op grant copies.
+    pub fn set_copy_mode(&mut self, mode: kite_xen::CopyMode) {
+        self.blkback.set_copy_mode(mode);
+    }
+
     /// Driver vCPU utilization over a window.
     pub fn driver_cpu_percent(&self, window: Nanos) -> f64 {
         self.driver_cpu.utilization_percent(window)
@@ -296,11 +307,13 @@ impl StorSystem {
             .expect("channel");
         let done = self.guest_cpu_run(done, c);
         if let Some(n) = n {
-            self.queue
-                .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+            self.queue.schedule_at(
+                done + self.hv.costs.irq_delivery,
+                Event::Irq {
                     dom: n.domain,
                     port: n.port,
-                });
+                },
+            );
         }
     }
 
@@ -452,8 +465,8 @@ impl StorSystem {
                     let earliest = self.guest_last_end;
                     // Guest wake-from-halt before completions are seen
                     // (same model as the network guest; worker latency).
-                    let wake = Nanos(now.saturating_sub(earliest).as_nanos() / 10)
-                        .min(Nanos(170_000));
+                    let wake =
+                        Nanos(now.saturating_sub(earliest).as_nanos() / 10).min(Nanos(170_000));
                     let now = now + wake;
                     let op = self.blkfront.on_irq(&mut self.hv).expect("blkfront irq");
                     self.guest_cpu_run(now, wake + op.cost);
@@ -515,7 +528,10 @@ impl StorSystem {
                 }
             }
             Event::BlkDone { req_id } => {
-                let res = self.blkback.complete(&mut self.hv, req_id).expect("complete");
+                let res = self
+                    .blkback
+                    .complete(&mut self.hv, req_id)
+                    .expect("complete");
                 let done = self.driver_cpu.run(now, res.cost);
                 if res.notify {
                     let (n, c) = self
@@ -524,11 +540,13 @@ impl StorSystem {
                         .expect("channel");
                     let done = self.driver_cpu.run(done, c);
                     if let Some(n) = n {
-                        self.queue
-                            .schedule_at(done + self.hv.costs.irq_delivery, Event::Irq {
+                        self.queue.schedule_at(
+                            done + self.hv.costs.irq_delivery,
+                            Event::Irq {
                                 dom: n.domain,
                                 port: n.port,
-                            });
+                            },
+                        );
                     }
                 }
             }

@@ -78,11 +78,26 @@ fn ping_rtt_sub_millisecond_and_kite_faster() {
             sys.ping_at(Nanos::from_millis(10 * i as u64), i);
         }
         sys.run_to_quiescence();
-        assert_eq!(sys.metrics.ping_rtts.count(), 20, "{}: all pings replied", os.name());
+        assert_eq!(
+            sys.metrics.ping_rtts.count(),
+            20,
+            "{}: all pings replied",
+            os.name()
+        );
         let mean = sys.metrics.ping_rtts.mean();
         rtts.push(mean);
-        assert!(mean < 1_000_000.0, "{}: RTT {}ns below 1ms", os.name(), mean);
-        assert!(mean > 10_000.0, "{}: RTT {}ns is physically plausible", os.name(), mean);
+        assert!(
+            mean < 1_000_000.0,
+            "{}: RTT {}ns below 1ms",
+            os.name(),
+            mean
+        );
+        assert!(
+            mean > 10_000.0,
+            "{}: RTT {}ns is physically plausible",
+            os.name(),
+            mean
+        );
     }
     // Paper Fig 7: Kite ping latency < Linux.
     assert!(rtts[1] < rtts[0], "Kite {} < Linux {}", rtts[1], rtts[0]);
@@ -151,7 +166,12 @@ fn storage_write_then_read_verifies_bytes() {
         );
         sys.run_to_quiescence();
         let rb = read_back.borrow();
-        assert_eq!(rb.as_deref(), Some(data.as_slice()), "{}: bytes intact", os.name());
+        assert_eq!(
+            rb.as_deref(),
+            Some(data.as_slice()),
+            "{}: bytes intact",
+            os.name()
+        );
     }
 }
 

@@ -75,15 +75,12 @@ impl Reassembler {
         let mut data = msg.payload.as_slice();
         if p.got == 0 {
             // Expect a header.
-            if data.len() < MSG_HEADER
-                || u16::from_be_bytes([data[0], data[1]]) != MAGIC
-            {
+            if data.len() < MSG_HEADER || u16::from_be_bytes([data[0], data[1]]) != MAGIC {
                 self.flows.remove(&key);
                 return None;
             }
             p.kind = u16::from_be_bytes([data[2], data[3]]);
-            p.body_len =
-                u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as usize;
+            p.body_len = u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as usize;
             p.started = now;
             data = &data[MSG_HEADER..];
         }
@@ -104,7 +101,6 @@ impl Reassembler {
         }
     }
 }
-
 
 /// Configuration of a generic closed-loop request/response benchmark over
 /// the network scenario (Apache/ab, Redis, sysbench-MySQL, memtier all
@@ -145,11 +141,7 @@ pub struct RrResult {
 }
 
 /// Runs the closed-loop benchmark against one driver-domain OS.
-pub fn rr_closed_loop(
-    os: kite_system::BackendOs,
-    seed: u64,
-    cfg: RrConfig,
-) -> RrResult {
+pub fn rr_closed_loop(os: kite_system::BackendOs, seed: u64, cfg: RrConfig) -> RrResult {
     use kite_system::{addrs, NetSystem, Reply, Side};
     use std::cell::RefCell;
     use std::collections::VecDeque;
@@ -186,21 +178,23 @@ pub fn rr_closed_loop(
     let request = cfg.request;
     let port = cfg.port;
 
-    let mk_req = std::rc::Rc::new(move |w: &mut Worker, now: Nanos, src_port: u16| -> Vec<Reply> {
-        if w.started >= ops_per_worker {
-            return Vec::new();
-        }
-        let (kind, body) = request(w.started);
-        w.started += 1;
-        w.outstanding.push_back(now);
-        vec![Reply {
-            dst_ip: addrs::GUEST,
-            dst_port: port,
-            src_port,
-            payload: encode_msg(kind, body),
-            cost: Nanos::from_micros(2),
-        }]
-    });
+    let mk_req = std::rc::Rc::new(
+        move |w: &mut Worker, now: Nanos, src_port: u16| -> Vec<Reply> {
+            if w.started >= ops_per_worker {
+                return Vec::new();
+            }
+            let (kind, body) = request(w.started);
+            w.started += 1;
+            w.outstanding.push_back(now);
+            vec![Reply {
+                dst_ip: addrs::GUEST,
+                dst_port: port,
+                src_port,
+                payload: encode_msg(kind, body),
+                cost: Nanos::from_micros(2),
+            }]
+        },
+    );
     let mk_req2 = mk_req.clone();
     let (wk, la, rb, ca) = (
         workers.clone(),

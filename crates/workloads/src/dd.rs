@@ -38,10 +38,7 @@ pub fn run(os: BackendOs, read: bool, total_bytes: u64, seed: u64) -> DdReport {
         IoOp {
             tag: i,
             kind: if read {
-                IoKind::Read {
-                    sector,
-                    len: DD_BS,
-                }
+                IoKind::Read { sector, len: DD_BS }
             } else {
                 let mut data = vec![0u8; DD_BS];
                 rng.fill_bytes(&mut data[..64]); // head entropy; rest zeros
@@ -67,10 +64,7 @@ pub fn run(os: BackendOs, read: bool, total_bytes: u64, seed: u64) -> DdReport {
             if read {
                 IoOp {
                     tag: i,
-                    kind: IoKind::Read {
-                        sector,
-                        len: DD_BS,
-                    },
+                    kind: IoKind::Read { sector, len: DD_BS },
                 }
             } else {
                 let mut data = vec![0u8; DD_BS];

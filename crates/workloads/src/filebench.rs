@@ -67,7 +67,7 @@ fn prepare(os: BackendOs, nfiles: usize, mean_bytes: usize, seed: u64) -> Bench 
         let name = format!("f{i:06}");
         let ino = fs.borrow_mut().create(&name).unwrap();
         // File sizes vary ±50% around the mean (gamma-ish via two uniforms).
-        let size = mean_bytes / 2 + rng.index(mean_bytes) ;
+        let size = mean_bytes / 2 + rng.index(mean_bytes);
         let ios = fs.borrow_mut().write(ino, 0, size).unwrap();
         for io in ios {
             sys.submit_at(

@@ -87,16 +87,10 @@ fn prepare(os: BackendOs, files: usize, file_bytes: usize, seed: u64) -> Prepare
 }
 
 /// Runs the random 3:2 read:write phase.
-pub fn run(
-    os: BackendOs,
-    threads: u16,
-    block: usize,
-    total_ops: u64,
-    seed: u64,
-) -> FileioReport {
+pub fn run(os: BackendOs, threads: u16, block: usize, total_ops: u64, seed: u64) -> FileioReport {
     // Scaled file set: 192 files; sized so the set comfortably exceeds the
     // cache and fits the device at the largest block size.
-    let file_bytes = block.max(1024 * 1024).min(8 * 1024 * 1024);
+    let file_bytes = block.clamp(1024 * 1024, 8 * 1024 * 1024);
     let mut p = prepare(os, 192, file_bytes, seed);
     let t_start = p.sys.now() + Nanos::from_millis(1);
 
@@ -181,18 +175,15 @@ pub fn run(
     // Kick off each worker.
     for i in 0..threads {
         let ios = loop {
-            let ios = mk(
-                u64::from(i),
-                &mut rng.borrow_mut(),
-                &mut fs.borrow_mut(),
-            );
+            let ios = mk(u64::from(i), &mut rng.borrow_mut(), &mut fs.borrow_mut());
             if !ios.is_empty() {
                 break ios;
             }
         };
         workers.borrow_mut()[i as usize].outstanding = ios.len();
         for op in ios {
-            p.sys.submit_at(t_start + Nanos::from_micros(u64::from(i)), op);
+            p.sys
+                .submit_at(t_start + Nanos::from_micros(u64::from(i)), op);
         }
     }
     p.sys.run_to_quiescence();

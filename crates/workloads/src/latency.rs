@@ -112,9 +112,13 @@ pub fn memtier(
         if c.ops_done >= per_conn_ops {
             return Vec::new();
         }
-        let is_set = c.ops_done % 11 == 0;
+        let is_set = c.ops_done.is_multiple_of(11);
         c.t0 = now;
-        let (kind, body) = if is_set { (KIND_SET, vb2) } else { (KIND_GET, 16) };
+        let (kind, body) = if is_set {
+            (KIND_SET, vb2)
+        } else {
+            (KIND_GET, 16)
+        };
         vec![Reply {
             dst_ip: addrs::GUEST,
             dst_port: 11211,
@@ -123,7 +127,7 @@ pub fn memtier(
             cost: Nanos::from_micros(2),
         }]
     };
-    let rq = request.clone();
+    let rq = request;
     sys.set_client_app(Box::new(move |now, msg| {
         let Some(_rsp) = ca.borrow_mut().push(now, msg) else {
             return Vec::new();
@@ -174,10 +178,21 @@ mod tests {
         let linux = figure7(BackendOs::Linux, 10);
         assert!(kite.ping_ms < linux.ping_ms, "{kite:?} vs {linux:?}");
         assert!(kite.netperf_ms < linux.netperf_ms, "{kite:?} vs {linux:?}");
-        assert!(kite.memtier_ms <= linux.memtier_ms * 1.05, "{kite:?} vs {linux:?}");
+        assert!(
+            kite.memtier_ms <= linux.memtier_ms * 1.05,
+            "{kite:?} vs {linux:?}"
+        );
         // Magnitudes match the paper's figure.
-        assert!((0.2..0.45).contains(&kite.ping_ms), "kite ping {}", kite.ping_ms);
-        assert!((0.35..0.65).contains(&linux.ping_ms), "linux ping {}", linux.ping_ms);
+        assert!(
+            (0.2..0.45).contains(&kite.ping_ms),
+            "kite ping {}",
+            kite.ping_ms
+        );
+        assert!(
+            (0.35..0.65).contains(&linux.ping_ms),
+            "linux ping {}",
+            linux.ping_ms
+        );
         assert!(kite.netperf_ms < 0.2, "kite netperf {}", kite.netperf_ms);
     }
 

@@ -117,10 +117,7 @@ pub fn run_storage(
         let sector = (rng.range_u64(0, dataset_sectors - (PAGE / 512) as u64) / 32) * 32;
         IoOp {
             tag: worker_idx,
-            kind: IoKind::Read {
-                sector,
-                len: PAGE,
-            },
+            kind: IoKind::Read { sector, len: PAGE },
         }
     };
     let nr = next_read;
@@ -184,7 +181,10 @@ mod tests {
         let k = run_net(BackendOs::Kite, 20, 800, 2);
         let l = run_net(BackendOs::Linux, 20, 800, 2);
         let ratio = k.tps / l.tps;
-        assert!((0.9..1.15).contains(&ratio), "Fig 10a parity: {k:?} vs {l:?}");
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "Fig 10a parity: {k:?} vs {l:?}"
+        );
         assert!(
             (k.guest_cpu - l.guest_cpu).abs() < 10.0,
             "Fig 10b similar CPU: {k:?} vs {l:?}"
@@ -196,7 +196,10 @@ mod tests {
         let k = run_storage(BackendOs::Kite, 20, 12, 3);
         let l = run_storage(BackendOs::Linux, 20, 12, 3);
         let ratio = k.tps / l.tps;
-        assert!((0.9..1.15).contains(&ratio), "Fig 13 identical: {k:?} vs {l:?}");
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "Fig 13 identical: {k:?} vs {l:?}"
+        );
         assert!(k.tps > 10.0, "{k:?}");
     }
 

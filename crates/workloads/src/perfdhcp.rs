@@ -101,11 +101,7 @@ pub fn run(daemon: DaemonOs, sessions: u32, rate_per_sec: u64, seed: u64) -> Dhc
         match rsp.msg_type {
             DhcpMessageType::Offer => {
                 do2.borrow_mut().push_nanos(now - t0);
-                let mut req = DhcpMessage::client(
-                    DhcpMessageType::Request,
-                    rsp.xid,
-                    rsp.chaddr,
-                );
+                let mut req = DhcpMessage::client(DhcpMessageType::Request, rsp.xid, rsp.chaddr);
                 req.requested_ip = Some(rsp.yiaddr);
                 req.server_id = rsp.server_id;
                 s2.borrow_mut().insert(rsp.xid, now);

@@ -169,7 +169,10 @@ impl RingEntry for BlkifRequest {
                 buf[2..4].copy_from_slice(&handle.to_le_bytes());
                 buf[8..16].copy_from_slice(&id.to_le_bytes());
                 buf[16..24].copy_from_slice(&sector_number.to_le_bytes());
-                for (i, seg) in segments.iter().enumerate().take(BLKIF_MAX_SEGMENTS_PER_REQUEST)
+                for (i, seg) in segments
+                    .iter()
+                    .enumerate()
+                    .take(BLKIF_MAX_SEGMENTS_PER_REQUEST)
                 {
                     seg.write_to(&mut buf[24 + i * 8..32 + i * 8]);
                 }

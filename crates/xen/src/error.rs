@@ -5,7 +5,7 @@ use core::fmt;
 use crate::domain::DomainId;
 
 /// Errors returned by simulated hypercalls and xenstore operations.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum XenError {
     /// The referenced domain does not exist.
     NoSuchDomain(DomainId),

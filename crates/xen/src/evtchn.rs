@@ -219,10 +219,22 @@ mod tests {
         let (mut ec, pa, pb) = connected();
         // A -> B.
         let n = ec.send(A, pa).unwrap().unwrap();
-        assert_eq!(n, Notification { domain: B, port: pb });
+        assert_eq!(
+            n,
+            Notification {
+                domain: B,
+                port: pb
+            }
+        );
         // B -> A.
         let n = ec.send(B, pb).unwrap().unwrap();
-        assert_eq!(n, Notification { domain: A, port: pa });
+        assert_eq!(
+            n,
+            Notification {
+                domain: A,
+                port: pa
+            }
+        );
     }
 
     #[test]

@@ -106,6 +106,47 @@ pub enum CopySide {
     },
 }
 
+/// One copy descriptor in a batched `GNTTABOP_copy` (`gnttab_copy_t`).
+#[derive(Clone, Copy, Debug)]
+pub struct GrantCopyOp {
+    /// Where the bytes come from.
+    pub src: CopySide,
+    /// Where the bytes go.
+    pub dst: CopySide,
+    /// Bytes to move; with the offsets, must stay within one page.
+    pub len: usize,
+}
+
+/// Per-op completion status of a batched copy (Xen's `GNTST_*` field).
+///
+/// A batch is processed op by op; a failing op never aborts the batch,
+/// it just reports its error here while later ops still execute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CopyStatus {
+    /// The op copied all its bytes.
+    Okay,
+    /// The op failed the stated permission/bounds check; no bytes moved.
+    Error(XenError),
+}
+
+impl CopyStatus {
+    /// True for [`CopyStatus::Okay`].
+    pub fn is_okay(self) -> bool {
+        matches!(self, CopyStatus::Okay)
+    }
+}
+
+/// How a driver issues its grant copies (migration switch for benches and
+/// equivalence tests; production paths use [`CopyMode::Batched`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CopyMode {
+    /// One `GNTTABOP_copy` hypercall carrying the whole op array.
+    #[default]
+    Batched,
+    /// The legacy shape: one hypercall per op.
+    SingleOp,
+}
+
 /// All grant tables in the machine plus the active-mapping registry.
 #[derive(Default)]
 pub struct GrantTables {
@@ -155,12 +196,7 @@ impl GrantTables {
     }
 
     /// `mapper` maps a grant issued by `granter`.
-    pub fn map(
-        &mut self,
-        mapper: DomainId,
-        granter: DomainId,
-        gref: GrantRef,
-    ) -> Result<Mapping> {
+    pub fn map(&mut self, mapper: DomainId, granter: DomainId, gref: GrantRef) -> Result<Mapping> {
         let table = self.tables.get_mut(&granter).ok_or(XenError::BadGrant)?;
         let entry = table.get_mut(gref)?;
         if entry.peer != mapper {
@@ -245,12 +281,46 @@ impl GrantTables {
         dst: CopySide,
         len: usize,
     ) -> Result<()> {
-        if len > PAGE_SIZE {
-            return Err(XenError::OutOfBounds);
+        match self.copy_op(mem, caller, &GrantCopyOp { src, dst, len }) {
+            CopyStatus::Okay => Ok(()),
+            CopyStatus::Error(e) => Err(e),
         }
-        let (sp, so) = self.resolve(mem, caller, src, false)?;
-        let (dp, dof) = self.resolve(mem, caller, dst, true)?;
-        mem.copy(sp, so, dp, dof, len)
+    }
+
+    /// Executes one descriptor of a batch, reporting a status instead of
+    /// aborting (Xen fills the op's `status` field the same way).
+    fn copy_op(&self, mem: &mut MachineMemory, caller: DomainId, op: &GrantCopyOp) -> CopyStatus {
+        if op.len > PAGE_SIZE {
+            return CopyStatus::Error(XenError::OutOfBounds);
+        }
+        let (sp, so) = match self.resolve(mem, caller, op.src, false) {
+            Ok(r) => r,
+            Err(e) => return CopyStatus::Error(e),
+        };
+        let (dp, dof) = match self.resolve(mem, caller, op.dst, true) {
+            Ok(r) => r,
+            Err(e) => return CopyStatus::Error(e),
+        };
+        match mem.copy(sp, so, dp, dof, op.len) {
+            Ok(()) => CopyStatus::Okay,
+            Err(e) => CopyStatus::Error(e),
+        }
+    }
+
+    /// Batched hypervisor copy: executes every descriptor of one
+    /// `GNTTABOP_copy` hypercall, returning one status per op.
+    ///
+    /// Ops are independent: a failed op reports its error and the batch
+    /// continues, exactly like real Xen's per-op `status` field. Charging
+    /// (one hypercall for the whole array) is the hypervisor wrapper's
+    /// job — see `Hypervisor::grant_copy_batch`.
+    pub fn copy_batch(
+        &self,
+        mem: &mut MachineMemory,
+        caller: DomainId,
+        ops: &[GrantCopyOp],
+    ) -> Vec<CopyStatus> {
+        ops.iter().map(|op| self.copy_op(mem, caller, op)).collect()
     }
 
     /// Number of active mappings held by `mapper` (leak checks in tests).
@@ -299,10 +369,9 @@ mod tests {
         let mut f = fix();
         let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
         f.mem.page_mut(page).unwrap()[0..4].copy_from_slice(b"data");
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         let m = f.gt.map(f.driver, f.guest, gref).unwrap();
         assert_eq!(m.page, page);
         assert_eq!(&f.mem.page(m.page).unwrap()[0..4], b"data");
@@ -326,10 +395,9 @@ mod tests {
     fn wrong_peer_cannot_map() {
         let mut f = fix();
         let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         // Dom0 was not the grant peer.
         assert_eq!(
             f.gt.map(DomainId::DOM0, f.guest, gref).err(),
@@ -341,10 +409,9 @@ mod tests {
     fn revoke_while_mapped_is_busy() {
         let mut f = fix();
         let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         let m = f.gt.map(f.driver, f.guest, gref).unwrap();
         assert_eq!(f.gt.end_access(f.guest, gref), Err(XenError::GrantInUse));
         f.gt.unmap(f.driver, m.handle).unwrap();
@@ -355,12 +422,14 @@ mod tests {
     fn use_after_revoke_fails() {
         let mut f = fix();
         let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         f.gt.end_access(f.guest, gref).unwrap();
-        assert_eq!(f.gt.map(f.driver, f.guest, gref).err(), Some(XenError::BadGrant));
+        assert_eq!(
+            f.gt.map(f.driver, f.guest, gref).err(),
+            Some(XenError::BadGrant)
+        );
     }
 
     #[test]
@@ -369,10 +438,9 @@ mod tests {
         let gpage = f.mem.alloc(&mut f.doms, f.guest).unwrap();
         let dpage = f.mem.alloc(&mut f.doms, f.driver).unwrap();
         f.mem.page_mut(gpage).unwrap()[128..133].copy_from_slice(b"hello");
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, gpage, true)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, gpage, true)
+                .unwrap();
         f.gt.copy(
             &mut f.mem,
             f.driver,
@@ -396,10 +464,9 @@ mod tests {
         let mut f = fix();
         let gpage = f.mem.alloc(&mut f.doms, f.guest).unwrap();
         let dpage = f.mem.alloc(&mut f.doms, f.driver).unwrap();
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, gpage, true)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, gpage, true)
+                .unwrap();
         let err = f.gt.copy(
             &mut f.mem,
             f.driver,
@@ -458,15 +525,13 @@ mod tests {
     fn grant_refs_are_recycled() {
         let mut f = fix();
         let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
-        let r1 = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let r1 =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         f.gt.end_access(f.guest, r1).unwrap();
-        let r2 = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let r2 =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         assert_eq!(r1, r2, "freed slot should be reused");
     }
 
@@ -474,10 +539,9 @@ mod tests {
     fn unmap_wrong_domain_rejected() {
         let mut f = fix();
         let page = f.mem.alloc(&mut f.doms, f.guest).unwrap();
-        let gref = f
-            .gt
-            .grant_access(&f.mem, f.guest, f.driver, page, false)
-            .unwrap();
+        let gref =
+            f.gt.grant_access(&f.mem, f.guest, f.driver, page, false)
+                .unwrap();
         let m = f.gt.map(f.driver, f.guest, gref).unwrap();
         assert_eq!(f.gt.unmap(f.guest, m.handle), Err(XenError::Perm));
     }

@@ -114,6 +114,20 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Cost of one `GNTTABOP_copy` hypercall carrying `nops` descriptors
+    /// that together move `bytes` of payload.
+    ///
+    /// This is the batch shape real Xen exposes: the VMEXIT/VMENTRY base
+    /// is paid **once per hypercall**, the fixed descriptor cost once per
+    /// op, and the memory-bandwidth cost per byte. A batch of one op is
+    /// exactly as expensive as the legacy single-op call, so the thin
+    /// `grant_copy` wrapper costs what it always did.
+    pub fn gnt_copy_batch(&self, nops: usize, bytes: usize) -> Nanos {
+        self.hypercall_base
+            + self.gnt_copy_extra * nops as u64
+            + Nanos(bytes as u64 * self.copy_per_byte_ps / 1000)
+    }
+
     /// Cost of a hypercall of `kind` moving `bytes` of payload.
     pub fn cost(&self, kind: HypercallKind, bytes: usize) -> Nanos {
         let extra = match kind {
@@ -147,9 +161,15 @@ impl HypercallMeter {
     /// Charges one hypercall; returns its cost for CPU accounting.
     pub fn charge(&mut self, model: &CostModel, kind: HypercallKind, bytes: usize) -> Nanos {
         let c = model.cost(kind, bytes);
-        self.counts[kind.index()] += 1;
-        self.time[kind.index()] += c;
+        self.charge_costed(kind, c);
         c
+    }
+
+    /// Charges one hypercall whose cost was computed externally (batched
+    /// ops whose cost depends on the descriptor count, not just bytes).
+    pub fn charge_costed(&mut self, kind: HypercallKind, cost: Nanos) {
+        self.counts[kind.index()] += 1;
+        self.time[kind.index()] += cost;
     }
 
     /// Count of hypercalls of `kind`.

@@ -110,7 +110,10 @@ mod tests {
         let mut io = Iommu::new();
         io.map(DD, PageId(7));
         // DMA to somebody else's page.
-        assert_eq!(io.check_dma(DD, PageId(99), true), Err(XenError::IommuFault));
+        assert_eq!(
+            io.check_dma(DD, PageId(99), true),
+            Err(XenError::IommuFault)
+        );
         assert_eq!(io.faults_of(DD), 1);
         assert_eq!(io.faults_of(OTHER), 0, "fault charged to offender only");
         assert_eq!(
@@ -127,7 +130,10 @@ mod tests {
     fn mappings_are_per_domain() {
         let mut io = Iommu::new();
         io.map(DD, PageId(1));
-        assert_eq!(io.check_dma(OTHER, PageId(1), false), Err(XenError::IommuFault));
+        assert_eq!(
+            io.check_dma(OTHER, PageId(1), false),
+            Err(XenError::IommuFault)
+        );
     }
 
     #[test]
@@ -135,7 +141,10 @@ mod tests {
         let mut io = Iommu::new();
         io.map(DD, PageId(1));
         io.unmap(DD, PageId(1)).unwrap();
-        assert_eq!(io.check_dma(DD, PageId(1), false), Err(XenError::IommuFault));
+        assert_eq!(
+            io.check_dma(DD, PageId(1), false),
+            Err(XenError::IommuFault)
+        );
         assert_eq!(io.unmap(DD, PageId(1)), Err(XenError::BadPage));
         assert_eq!(io.mapped_pages(DD), 0);
     }

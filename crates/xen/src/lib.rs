@@ -39,9 +39,11 @@ pub mod xenstore;
 pub use domain::{Domain, DomainId, DomainKind, DomainTable};
 pub use error::{Result, XenError};
 pub use evtchn::{EventChannels, Notification, Port};
-pub use grant::{CopySide, GrantRef, GrantTables, MapHandle, Mapping};
+pub use grant::{
+    CopyMode, CopySide, CopyStatus, GrantCopyOp, GrantRef, GrantTables, MapHandle, Mapping,
+};
 pub use hypercall::{CostModel, HypercallKind, HypercallMeter};
-pub use hypervisor::Hypervisor;
+pub use hypervisor::{BatchResult, Hypervisor};
 pub use iommu::{Iommu, IommuFault};
 pub use mem::{MachineMemory, PageId, PAGE_SIZE};
 pub use pci::{Bdf, PciBus, PciClass, PciDevice};

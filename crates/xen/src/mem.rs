@@ -51,12 +51,7 @@ impl MachineMemory {
     }
 
     /// Frees a page. Only the owner may free.
-    pub fn free(
-        &mut self,
-        domains: &mut DomainTable,
-        owner: DomainId,
-        page: PageId,
-    ) -> Result<()> {
+    pub fn free(&mut self, domains: &mut DomainTable, owner: DomainId, page: PageId) -> Result<()> {
         let slot = self
             .frames
             .get_mut(page.0 as usize)

@@ -142,12 +142,10 @@ impl RingEntry for NetifRxResponse {
 }
 
 /// Slot count of the Tx ring (matches Xen's `NET_TX_RING_SIZE` = 256).
-pub const NET_TX_RING_SIZE: u32 =
-    ring_size(NetifTxRequest::SIZE, NetifTxResponse::SIZE);
+pub const NET_TX_RING_SIZE: u32 = ring_size(NetifTxRequest::SIZE, NetifTxResponse::SIZE);
 
 /// Slot count of the Rx ring (matches Xen's `NET_RX_RING_SIZE` = 256).
-pub const NET_RX_RING_SIZE: u32 =
-    ring_size(NetifRxRequest::SIZE, NetifRxResponse::SIZE);
+pub const NET_RX_RING_SIZE: u32 = ring_size(NetifRxRequest::SIZE, NetifRxResponse::SIZE);
 
 #[cfg(test)]
 mod tests {

@@ -44,7 +44,11 @@ pub trait RingEntry: Clone {
 ///
 /// Mirrors `__CONST_RING_SIZE`: the largest power of two that fits.
 pub const fn ring_size(req_size: usize, rsp_size: usize) -> u32 {
-    let slot = if req_size > rsp_size { req_size } else { rsp_size };
+    let slot = if req_size > rsp_size {
+        req_size
+    } else {
+        rsp_size
+    };
     let max = (PAGE_SIZE - RING_HEADER_SIZE) / slot;
     // Largest power of two <= max.
     let mut n = 1u32;
@@ -172,7 +176,11 @@ impl<Req: RingEntry, Rsp: RingEntry> FrontRing<Req, Rsp> {
         }
         let mut buf = vec![0u8; Req::SIZE];
         req.write_to(&mut buf);
-        let r = slot_range(self.req_prod_pvt, self.size, slot_bytes(Req::SIZE, Rsp::SIZE));
+        let r = slot_range(
+            self.req_prod_pvt,
+            self.size,
+            slot_bytes(Req::SIZE, Rsp::SIZE),
+        );
         page[r.start..r.start + Req::SIZE].copy_from_slice(&buf);
         self.req_prod_pvt = self.req_prod_pvt.wrapping_add(1);
         Ok(())
@@ -287,7 +295,11 @@ impl<Req: RingEntry, Rsp: RingEntry> BackRing<Req, Rsp> {
         }
         let mut buf = vec![0u8; Rsp::SIZE];
         rsp.write_to(&mut buf);
-        let r = slot_range(self.rsp_prod_pvt, self.size, slot_bytes(Req::SIZE, Rsp::SIZE));
+        let r = slot_range(
+            self.rsp_prod_pvt,
+            self.size,
+            slot_bytes(Req::SIZE, Rsp::SIZE),
+        );
         page[r.start..r.start + Rsp::SIZE].copy_from_slice(&buf);
         self.rsp_prod_pvt = self.rsp_prod_pvt.wrapping_add(1);
         Ok(())
@@ -431,7 +443,8 @@ mod tests {
             while let Some(req) = b.consume_request(&p).unwrap() {
                 assert_eq!(req, E(expect));
                 expect += 1;
-                b.push_response(&mut p, &E(req.0 | 0x8000_0000_0000_0000)).unwrap();
+                b.push_response(&mut p, &E(req.0 | 0x8000_0000_0000_0000))
+                    .unwrap();
             }
             b.push_responses(&mut p);
             while let Some(_r) = f.consume_response(&p).unwrap() {}

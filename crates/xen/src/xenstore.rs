@@ -189,8 +189,7 @@ impl Xenstore {
                 if n.owner == caller {
                     return true;
                 }
-                if n
-                    .perms
+                if n.perms
                     .iter()
                     .any(|&(d, pm)| d == caller && pm == Perm::ReadWrite)
                 {
@@ -634,7 +633,8 @@ mod tests {
     #[test]
     fn unprivileged_cannot_write_elsewhere() {
         let mut xs = Xenstore::new();
-        xs.write(D0, None, "/local/domain/0/secret", "root").unwrap();
+        xs.write(D0, None, "/local/domain/0/secret", "root")
+            .unwrap();
         assert_eq!(
             xs.write(GU, None, "/local/domain/0/secret", "pwned"),
             Err(XenError::Perm)
@@ -716,7 +716,8 @@ mod tests {
         let v = xs.read(D0, Some(tx), "/counter").unwrap();
         // Concurrent writer bumps the node.
         xs.write(D0, None, "/counter", "5").unwrap();
-        xs.write(D0, Some(tx), "/counter", &format!("{}0", v)).unwrap();
+        xs.write(D0, Some(tx), "/counter", &format!("{}0", v))
+            .unwrap();
         assert_eq!(xs.tx_end(D0, tx, true), Err(XenError::Again));
         // Retry succeeds.
         let tx = xs.tx_start(D0);
@@ -760,10 +761,7 @@ mod tests {
         xs.write(D0, None, "/dev/vbd/0", "x").unwrap();
         assert_eq!(xs.directory(D0, "/dev").unwrap(), vec!["vbd", "vif"]);
         assert_eq!(xs.directory(D0, "/dev/vif").unwrap(), vec!["0", "1"]);
-        assert_eq!(
-            xs.directory(D0, "/missing"),
-            Err(XenError::NoEnt)
-        );
+        assert_eq!(xs.directory(D0, "/missing"), Err(XenError::NoEnt));
     }
 
     #[test]
@@ -771,10 +769,12 @@ mod tests {
         let mut xs = Xenstore::new();
         // Delegate a subtree to DD with a tiny quota.
         xs.write(D0, None, "/local/domain/1", "").unwrap();
-        xs.set_perm(D0, "/local/domain/1", DD, Perm::ReadWrite).unwrap();
+        xs.set_perm(D0, "/local/domain/1", DD, Perm::ReadWrite)
+            .unwrap();
         xs.set_quota(DD, 5);
         for i in 0..5 {
-            xs.write(DD, None, &format!("/local/domain/1/n{i}"), "x").unwrap();
+            xs.write(DD, None, &format!("/local/domain/1/n{i}"), "x")
+                .unwrap();
         }
         assert_eq!(xs.owned_nodes(DD), 5);
         assert_eq!(

@@ -64,7 +64,10 @@ fn main() {
     for st in &kite_seq.stages {
         println!("    [{:>7.2}s] {}", st.duration.as_secs_f64(), st.name);
     }
-    println!("netbackend: 'Network domain is ready' after {:.1}s", kite.as_secs_f64());
+    println!(
+        "netbackend: 'Network domain is ready' after {:.1}s",
+        kite.as_secs_f64()
+    );
 
     println!("\n# xl list");
     print!("{}", xl.list(&hv));

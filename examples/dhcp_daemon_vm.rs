@@ -19,7 +19,11 @@ fn main() {
 
     let discover = DhcpMessage::client(DhcpMessageType::Discover, 1, mac);
     let offer = server.handle(&discover, now).expect("offer");
-    println!("DISCOVER -> OFFER {} (lease {}s)", offer.yiaddr, offer.lease_secs.unwrap());
+    println!(
+        "DISCOVER -> OFFER {} (lease {}s)",
+        offer.yiaddr,
+        offer.lease_secs.unwrap()
+    );
 
     let mut request = DhcpMessage::client(DhcpMessageType::Request, 1, mac);
     request.requested_ip = Some(offer.yiaddr);

@@ -50,7 +50,10 @@ fn main() {
     let echoed = echoed.borrow();
     println!("echo replies: {}", echoed.len());
     for (t, len) in echoed.iter() {
-        println!("  at {t}: {len} bytes (round trip {})", *t - Nanos::from_millis(1));
+        println!(
+            "  at {t}: {len} bytes (round trip {})",
+            *t - Nanos::from_millis(1)
+        );
     }
     let st = sys.netback_stats();
     println!(

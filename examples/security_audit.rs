@@ -6,9 +6,7 @@
 //! cargo run --release --example security_audit
 //! ```
 
-use kite::security::{
-    analyze, figure5_profiles, surface_report, table3_cves, DomainSurface,
-};
+use kite::security::{analyze, figure5_profiles, surface_report, table3_cves, DomainSurface};
 
 fn main() {
     println!("== attack surface (Figure 4) ==");

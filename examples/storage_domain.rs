@@ -94,8 +94,9 @@ fn main() {
             persistent_grants: false,
             indirect_segments: true,
             persistent_cap: 0,
+            ..BlkbackTuning::default()
         },
-        "batching + persistent grants off",
+        "batching + persistent grants off (batched grant copies)",
     );
     sequential_write_read(
         BlkbackTuning {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md). Runs fully offline: the
+# workspace has no registry dependencies — `criterion` resolves to the
+# local shim at crates/criterion — so --offline must always succeed.
+#
+#   build (release)  ->  tests  ->  clippy -D warnings  ->  fmt --check
+#
+# Any failure fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --release --offline (libs, bins, tests)"
+# Release profile: reuses the build step's artifacts, and the
+# simulation-heavy workload tests are ~10x faster than under dev.
+cargo test --release --offline -q --workspace --lib --bins --tests
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "verify: OK"

@@ -34,12 +34,18 @@ fn manual_xenbus_handshake_to_connected() {
 
     // Handler scans: backend advertises InitWait, nothing to pair yet.
     assert!(mgr.scan(&mut hv).unwrap().is_empty());
-    assert_eq!(read_state(&mut hv.store, gu, &paths.backend_state()), XenbusState::InitWait);
+    assert_eq!(
+        read_state(&mut hv.store, gu, &paths.backend_state()),
+        XenbusState::InitWait
+    );
 
     // Guest's netfront publishes its details and goes Initialised.
     let nf = Netfront::connect(&mut hv, &paths, MacAddr::local(1)).unwrap();
     let events = hv.store.take_events();
-    assert!(events.iter().any(|e| mgr.owns_event(e)), "frontend write fired watch");
+    assert!(
+        events.iter().any(|e| mgr.owns_event(e)),
+        "frontend write fired watch"
+    );
 
     // Scan pairs it; the backend instance connects.
     let ready = mgr.scan(&mut hv).unwrap();
@@ -49,7 +55,13 @@ fn manual_xenbus_handshake_to_connected() {
         read_state(&mut hv.store, gu, &paths.backend_state()),
         XenbusState::Connected
     );
-    switch_state(&mut hv.store, gu, &paths.frontend_state(), XenbusState::Connected).unwrap();
+    switch_state(
+        &mut hv.store,
+        gu,
+        &paths.frontend_state(),
+        XenbusState::Connected,
+    )
+    .unwrap();
     assert_eq!(nb.vif, format!("vif{}.0", gu.0));
     drop(nf);
 }
@@ -101,7 +113,11 @@ fn iommu_confines_errant_dma() {
     // Errant DMA to the guest's page faults.
     assert!(hv.iommu.check_dma(dd, secret, true).is_err());
     assert_eq!(hv.iommu.faults_of(dd), 1);
-    assert_eq!(&hv.mem.page(secret).unwrap()[..6], b"secret", "page untouched");
+    assert_eq!(
+        &hv.mem.page(secret).unwrap()[..6],
+        b"secret",
+        "page untouched"
+    );
 }
 
 /// A frontend revoking grants mid-flight produces backend errors, not
@@ -140,6 +156,7 @@ fn storage_correct_with_all_optimizations_off() {
         persistent_grants: false,
         indirect_segments: false,
         persistent_cap: 0,
+        grant_copy: false,
     };
     let mut sys = StorSystem::with_tuning(BackendOs::Kite, 5, tuning);
     let data: Vec<u8> = (0..88 * 1024).map(|i| (i % 239) as u8).collect();
