@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use kite_devices::{Nvme, NvmeOp};
 use kite_rumprun::OsProfile;
-use kite_sim::{BatchHistogram, Nanos};
+use kite_sim::Nanos;
 use kite_xen::blkif::{
     unpack_indirect_segments, BlkifRequest, BlkifResponse, BlkifSegment, BLKIF_OP_FLUSH_DISKCACHE,
     BLKIF_OP_READ, BLKIF_OP_WRITE, BLKIF_RSP_ERROR, BLKIF_RSP_OKAY, SECTOR_SIZE,
@@ -29,9 +29,11 @@ use kite_xen::blkif::{
 use kite_xen::ring::BackRing;
 use kite_xen::xenbus::switch_state;
 use kite_xen::{
-    BatchResult, CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor,
-    MapHandle, PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
+    CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
+    PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
 };
+
+use crate::stats::CopyStats;
 
 /// The indirect-segment cap Kite advertises (Linux-compatible, §3.3).
 pub const MAX_INDIRECT_SEGMENTS: usize = 32;
@@ -83,47 +85,27 @@ pub struct BlkbackStats {
     pub grant_maps: u64,
     /// Malformed or out-of-range requests rejected.
     pub errors: u64,
-    /// Grant-copy hypercalls issued (one per batch when batched).
-    pub copy_batches: u64,
-    /// Individual copy ops carried by those hypercalls.
-    pub copy_ops: u64,
-    /// Hypercalls avoided relative to one-op-per-hypercall.
-    pub copy_hypercalls_saved: u64,
-    /// Bytes moved by grant copies.
-    pub copy_bytes: u64,
-    /// Ops-per-batch distribution.
-    pub copy_batch_hist: BatchHistogram,
+    /// Grant-copy hypercall accounting for the segment data paths.
+    pub copy: CopyStats,
 }
 
 impl BlkbackStats {
     /// Mean bytes moved per grant-copy hypercall.
     pub fn bytes_per_hypercall(&self) -> f64 {
-        if self.copy_batches == 0 {
-            0.0
-        } else {
-            self.copy_bytes as f64 / self.copy_batches as f64
-        }
+        self.copy.bytes_per_hypercall()
     }
 
-    fn record_copies(&mut self, mode: CopyMode, nops: usize, result: &BatchResult) {
-        if nops == 0 {
-            return;
-        }
-        self.copy_ops += nops as u64;
-        self.copy_bytes += result.bytes as u64;
-        match mode {
-            CopyMode::Batched => {
-                self.copy_batches += 1;
-                self.copy_hypercalls_saved += nops as u64 - 1;
-                self.copy_batch_hist.record(nops);
-            }
-            CopyMode::SingleOp => {
-                self.copy_batches += nops as u64;
-                for _ in 0..nops {
-                    self.copy_batch_hist.record(1);
-                }
-            }
-        }
+    /// Folds another instance's counters into this one — used by the
+    /// system layer to keep lifetime stats across backend restarts.
+    pub fn merge(&mut self, other: &BlkbackStats) {
+        self.requests += other.requests;
+        self.device_ops += other.device_ops;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.persistent_hits += other.persistent_hits;
+        self.grant_maps += other.grant_maps;
+        self.errors += other.errors;
+        self.copy.merge(&other.copy);
     }
 }
 
@@ -418,7 +400,7 @@ impl BlkbackInstance {
                         })
                         .collect();
                     let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
-                    self.stats.record_copies(self.copy_mode, ops.len(), &result);
+                    self.stats.copy.record(self.copy_mode, ops.len(), &result);
                     *cost += result.cost;
                     if !result.all_ok() {
                         return Err(XenError::BadGrant);
@@ -695,7 +677,7 @@ impl BlkbackInstance {
             .collect();
         if op == BLKIF_OP_WRITE {
             let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
-            self.stats.record_copies(self.copy_mode, ops.len(), &result);
+            self.stats.copy.record(self.copy_mode, ops.len(), &result);
             *cost += result.cost;
             if !result.all_ok() {
                 return Ok(false);
@@ -718,7 +700,7 @@ impl BlkbackInstance {
                 dev_sector += seg.sectors();
             }
             let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
-            self.stats.record_copies(self.copy_mode, ops.len(), &result);
+            self.stats.copy.record(self.copy_mode, ops.len(), &result);
             *cost += result.cost;
             if !result.all_ok() {
                 return Ok(false);
@@ -767,5 +749,102 @@ impl BlkbackInstance {
     /// Requests currently on the device.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Quiesces the instance ahead of teardown: announces `Closing` so the
+    /// frontend stops submitting. Mappings stay live until
+    /// [`BlkbackInstance::close`] so in-flight completions can finish.
+    pub fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
+        let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vbd, self.index);
+        switch_state(
+            &mut hv.store,
+            self.back,
+            &paths.backend_state(),
+            XenbusState::Closing,
+        )
+    }
+
+    /// Tears the instance down: closes the channel, releases every grant
+    /// mapping (ring, persistent cache, any in-flight request pages),
+    /// frees the bounce pool, and walks the backend state to `Closed`.
+    pub fn close(self, hv: &mut Hypervisor) -> Result<()> {
+        let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vbd, self.index);
+        let _ = hv.evtchn.close(self.back, self.evtchn);
+        for (_, fl) in self.in_flight {
+            for h in fl.unmap {
+                hv.unmap_grant(self.back, h)?;
+            }
+        }
+        for (_, (h, _, _)) in self.persistent.map {
+            hv.unmap_grant(self.back, h)?;
+        }
+        hv.unmap_grant(self.back, self._ring_map)?;
+        for page in self.bounce {
+            hv.free_page(self.back, page)?;
+        }
+        switch_state(
+            &mut hv.store,
+            self.back,
+            &paths.backend_state(),
+            XenbusState::Closing,
+        )?;
+        switch_state(
+            &mut hv.store,
+            self.back,
+            &paths.backend_state(),
+            XenbusState::Closed,
+        )?;
+        Ok(())
+    }
+}
+
+/// Everything a blkback needs besides its device pair: the OS profile,
+/// the optimization switches and the backing device's size.
+#[derive(Clone, Debug)]
+pub struct BlkbackConfig {
+    /// Driver-domain OS cost profile.
+    pub profile: OsProfile,
+    /// Optimization switches.
+    pub tuning: BlkbackTuning,
+    /// Size of the backing device in sectors.
+    pub device_sectors: u64,
+}
+
+impl crate::lifecycle::BackendDevice for BlkbackInstance {
+    type Config = BlkbackConfig;
+    type RunCtx = Nvme;
+    type RunOutput = BlkBatch;
+    const KIND: kite_xen::DeviceKind = kite_xen::DeviceKind::Vbd;
+
+    fn connect(hv: &mut Hypervisor, paths: &DevicePaths, cfg: &BlkbackConfig) -> Result<Self> {
+        BlkbackInstance::connect(
+            hv,
+            paths,
+            cfg.profile.clone(),
+            cfg.tuning,
+            cfg.device_sectors,
+        )
+    }
+
+    fn device_paths(&self) -> DevicePaths {
+        DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vbd, self.index)
+    }
+
+    fn run(
+        &mut self,
+        hv: &mut Hypervisor,
+        device: &mut Nvme,
+        now: Nanos,
+        budget: usize,
+    ) -> Result<BlkBatch> {
+        self.request_thread_run(hv, device, now, budget)
+    }
+
+    fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
+        BlkbackInstance::suspend(self, hv)
+    }
+
+    fn close(self, hv: &mut Hypervisor) -> Result<()> {
+        BlkbackInstance::close(self, hv)
     }
 }

@@ -21,20 +21,24 @@ pub mod blkback;
 pub mod blockapp;
 pub mod config;
 pub mod dhcpd;
+pub mod lifecycle;
 pub mod netapp;
 pub mod netback;
+pub mod stats;
 pub mod utils;
 pub mod xl;
 
 pub use backend::{provision_device, BackendManager};
 pub use blkback::{
-    BlkBatch, BlkComplete, BlkSubmission, BlkbackInstance, BlkbackStats, BlkbackTuning,
-    MAX_INDIRECT_SEGMENTS,
+    BlkBatch, BlkComplete, BlkSubmission, BlkbackConfig, BlkbackInstance, BlkbackStats,
+    BlkbackTuning, MAX_INDIRECT_SEGMENTS,
 };
 pub use blockapp::{BlockApp, VbdStatus};
 pub use config::{DomainConfig, DriverDomainKind};
 pub use dhcpd::{DhcpConfig, DhcpServer, DhcpStats, Lease};
+pub use lifecycle::{BackendDevice, DeviceLifecycle, RecoveryStats};
 pub use netapp::NetworkApp;
 pub use netback::{NetbackInstance, NetbackStats, RxBatch, TxBatch};
+pub use stats::CopyStats;
 pub use utils::{brconfig, ifconfig, BridgeTable, UtilError};
 pub use xl::{Xl, XlDomain, XlError};

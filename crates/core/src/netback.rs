@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use kite_rumprun::OsProfile;
-use kite_sim::{BatchHistogram, Nanos};
+use kite_sim::Nanos;
 use kite_xen::netif::{
     NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse, NETIF_RSP_ERROR,
     NETIF_RSP_OKAY,
@@ -27,9 +27,11 @@ use kite_xen::netif::{
 use kite_xen::ring::BackRing;
 use kite_xen::xenbus::switch_state;
 use kite_xen::{
-    BatchResult, CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor,
-    MapHandle, PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
+    CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
+    PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
 };
+
+use crate::stats::CopyStats;
 
 /// Result of one pusher (Tx-drain) batch.
 #[derive(Debug, Default)]
@@ -73,47 +75,26 @@ pub struct NetbackStats {
     pub rx_dropped: u64,
     /// Malformed Tx requests rejected.
     pub tx_errors: u64,
-    /// Grant-copy hypercalls issued by the Tx/Rx drains.
-    pub copy_batches: u64,
-    /// Copy descriptors carried by those hypercalls.
-    pub copy_ops: u64,
-    /// Hypercalls avoided versus the one-op-per-call shape.
-    pub copy_hypercalls_saved: u64,
-    /// Bytes moved by grant copies (both directions).
-    pub copy_bytes: u64,
-    /// Ops-per-batch distribution of the issued copies.
-    pub copy_batch_hist: BatchHistogram,
+    /// Grant-copy hypercall accounting for the Tx/Rx drains.
+    pub copy: CopyStats,
 }
 
 impl NetbackStats {
     /// Mean payload bytes moved per grant-copy hypercall.
     pub fn bytes_per_hypercall(&self) -> f64 {
-        if self.copy_batches == 0 {
-            0.0
-        } else {
-            self.copy_bytes as f64 / self.copy_batches as f64
-        }
+        self.copy.bytes_per_hypercall()
     }
 
-    fn record_copies(&mut self, mode: CopyMode, nops: usize, result: &BatchResult) {
-        if nops == 0 {
-            return;
-        }
-        self.copy_ops += nops as u64;
-        self.copy_bytes += result.bytes as u64;
-        match mode {
-            CopyMode::Batched => {
-                self.copy_batches += 1;
-                self.copy_hypercalls_saved += nops as u64 - 1;
-                self.copy_batch_hist.record(nops);
-            }
-            CopyMode::SingleOp => {
-                self.copy_batches += nops as u64;
-                for _ in 0..nops {
-                    self.copy_batch_hist.record(1);
-                }
-            }
-        }
+    /// Folds another instance's counters into this one — used by the
+    /// system layer to keep lifetime stats across backend restarts.
+    pub fn merge(&mut self, other: &NetbackStats) {
+        self.tx_packets += other.tx_packets;
+        self.tx_bytes += other.tx_bytes;
+        self.rx_packets += other.rx_packets;
+        self.rx_bytes += other.rx_bytes;
+        self.rx_dropped += other.rx_dropped;
+        self.tx_errors += other.tx_errors;
+        self.copy.merge(&other.copy);
     }
 }
 
@@ -292,7 +273,7 @@ impl NetbackInstance {
 
         // One hypercall for the whole drain (or per-op in legacy mode).
         let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
-        self.stats.record_copies(self.copy_mode, ops.len(), &result);
+        self.stats.copy.record(self.copy_mode, ops.len(), &result);
         batch.cost += result.cost;
 
         for &(id, size, op_idx) in &pending {
@@ -383,7 +364,7 @@ impl NetbackInstance {
         }
 
         let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
-        self.stats.record_copies(self.copy_mode, ops.len(), &result);
+        self.stats.copy.record(self.copy_mode, ops.len(), &result);
         batch.cost += result.cost;
 
         for (i, &(id, len)) in posted.iter().enumerate() {
@@ -413,9 +394,23 @@ impl NetbackInstance {
         Ok(batch)
     }
 
+    /// Quiesces the instance ahead of teardown: stops accepting new Rx
+    /// frames and announces `Closing` so the frontend can unwind.
+    /// Resources stay mapped until [`NetbackInstance::close`].
+    pub fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
+        self.rx_queue_cap = 0;
+        let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vif, self.index);
+        switch_state(
+            &mut hv.store,
+            self.back,
+            &paths.backend_state(),
+            XenbusState::Closing,
+        )
+    }
+
     /// Tears the instance down: closes the channel, unmaps rings, frees
     /// the frame-buffer pool, marks the backend `Closed`.
-    pub fn disconnect(self, hv: &mut Hypervisor) -> Result<()> {
+    pub fn close(self, hv: &mut Hypervisor) -> Result<()> {
         let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vif, self.index);
         let _ = hv.evtchn.close(self.back, self.evtchn);
         hv.unmap_grant(self.back, self._tx_map)?;
@@ -436,5 +431,40 @@ impl NetbackInstance {
             XenbusState::Closed,
         )?;
         Ok(())
+    }
+}
+
+impl crate::lifecycle::BackendDevice for NetbackInstance {
+    type Config = OsProfile;
+    type RunCtx = ();
+    type RunOutput = (TxBatch, RxBatch);
+    const KIND: kite_xen::DeviceKind = kite_xen::DeviceKind::Vif;
+
+    fn connect(hv: &mut Hypervisor, paths: &DevicePaths, cfg: &OsProfile) -> Result<Self> {
+        NetbackInstance::connect(hv, paths, cfg.clone())
+    }
+
+    fn device_paths(&self) -> DevicePaths {
+        DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vif, self.index)
+    }
+
+    fn run(
+        &mut self,
+        hv: &mut Hypervisor,
+        _ctx: &mut (),
+        _now: Nanos,
+        budget: usize,
+    ) -> Result<(TxBatch, RxBatch)> {
+        let tx = self.pusher_run(hv, budget)?;
+        let rx = self.soft_start_run(hv, budget)?;
+        Ok((tx, rx))
+    }
+
+    fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
+        NetbackInstance::suspend(self, hv)
+    }
+
+    fn close(self, hv: &mut Hypervisor) -> Result<()> {
+        NetbackInstance::close(self, hv)
     }
 }

@@ -1,0 +1,126 @@
+//! Shared driver statistics types.
+//!
+//! Netback and blkback both move payloads with batched `GNTTABOP_copy`
+//! and account for the hypercalls identically; [`CopyStats`] is that
+//! shared accounting, embedded in each driver's stats struct.
+
+use kite_sim::BatchHistogram;
+use kite_xen::{BatchResult, CopyMode};
+
+/// Grant-copy hypercall accounting, shared by netback and blkback.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CopyStats {
+    /// Grant-copy hypercalls issued (one per batch when batched).
+    pub batches: u64,
+    /// Individual copy descriptors carried by those hypercalls.
+    pub ops: u64,
+    /// Hypercalls avoided relative to the one-op-per-call shape.
+    pub hypercalls_saved: u64,
+    /// Bytes moved by grant copies.
+    pub bytes: u64,
+    /// Ops-per-batch distribution.
+    pub batch_hist: BatchHistogram,
+}
+
+impl CopyStats {
+    /// Mean payload bytes moved per grant-copy hypercall.
+    pub fn bytes_per_hypercall(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.batches as f64
+        }
+    }
+
+    /// Accounts one drain's copy issue under `mode`.
+    pub fn record(&mut self, mode: CopyMode, nops: usize, result: &BatchResult) {
+        if nops == 0 {
+            return;
+        }
+        self.ops += nops as u64;
+        self.bytes += result.bytes as u64;
+        match mode {
+            CopyMode::Batched => {
+                self.batches += 1;
+                self.hypercalls_saved += nops as u64 - 1;
+                self.batch_hist.record(nops);
+            }
+            CopyMode::SingleOp => {
+                self.batches += nops as u64;
+                for _ in 0..nops {
+                    self.batch_hist.record(1);
+                }
+            }
+        }
+    }
+
+    /// Folds another instance's counters into this one (stats continuity
+    /// across a backend teardown/reconnect).
+    pub fn merge(&mut self, other: &CopyStats) {
+        self.batches += other.batches;
+        self.ops += other.ops;
+        self.hypercalls_saved += other.hypercalls_saved;
+        self.bytes += other.bytes;
+        self.batch_hist.merge(&other.batch_hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_sim::Nanos;
+
+    fn result(bytes: usize) -> BatchResult {
+        BatchResult {
+            statuses: Vec::new(),
+            bytes,
+            cost: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn batched_counts_one_hypercall_per_drain() {
+        let mut s = CopyStats::default();
+        s.record(CopyMode::Batched, 8, &result(8 * 64));
+        s.record(CopyMode::Batched, 4, &result(4 * 64));
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.ops, 12);
+        assert_eq!(s.hypercalls_saved, 10);
+        assert_eq!(s.bytes, 12 * 64);
+        assert_eq!(s.bytes_per_hypercall(), 6.0 * 64.0);
+    }
+
+    #[test]
+    fn single_op_counts_one_hypercall_per_op() {
+        let mut s = CopyStats::default();
+        s.record(CopyMode::SingleOp, 8, &result(8 * 64));
+        assert_eq!(s.batches, 8);
+        assert_eq!(s.ops, 8);
+        assert_eq!(s.hypercalls_saved, 0);
+        assert_eq!(s.bytes_per_hypercall(), 64.0);
+    }
+
+    #[test]
+    fn empty_drain_records_nothing() {
+        let mut s = CopyStats::default();
+        s.record(CopyMode::Batched, 0, &result(0));
+        assert_eq!(
+            (s.batches, s.ops, s.hypercalls_saved, s.bytes),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = CopyStats::default();
+        a.record(CopyMode::Batched, 8, &result(512));
+        let mut b = CopyStats::default();
+        b.record(CopyMode::Batched, 4, &result(256));
+        b.record(CopyMode::SingleOp, 2, &result(64));
+        a.merge(&b);
+        assert_eq!(a.batches, 4);
+        assert_eq!(a.ops, 14);
+        assert_eq!(a.bytes, 832);
+        assert_eq!(a.hypercalls_saved, 10);
+    }
+}

@@ -64,6 +64,9 @@ pub struct Netfront {
     tx_pool: BufPool,
     rx_pool: BufPool,
     received: VecDeque<Vec<u8>>,
+    // Tx requests pushed but not yet acknowledged: (buffer id, length),
+    // oldest first. What a crashed backend leaves unacknowledged.
+    in_flight_tx: VecDeque<(u16, u16)>,
     tx_dropped: u64,
 }
 
@@ -151,6 +154,7 @@ impl Netfront {
             tx_pool,
             rx_pool,
             received: VecDeque::new(),
+            in_flight_tx: VecDeque::new(),
             tx_dropped: 0,
         };
         nf.post_rx_buffers(hv)?;
@@ -207,6 +211,7 @@ impl Netfront {
         };
         let page = hv.mem.page_mut(self.tx_page)?;
         self.tx.push_request(page, &req)?;
+        self.in_flight_tx.push_back((id, frame.len() as u16));
         let notify = self.tx.push_requests(page);
         Ok(FrontOp {
             notify,
@@ -229,6 +234,7 @@ impl Netfront {
             };
             let Some(rsp) = rsp else { break };
             self.tx_pool.release_id(rsp.id);
+            self.in_flight_tx.retain(|&(i, _)| i != rsp.id);
             cost += Nanos::from_nanos(80);
         }
         {
@@ -273,5 +279,21 @@ impl Netfront {
     /// Frames dropped at send time for want of ring space.
     pub fn tx_dropped(&self) -> u64 {
         self.tx_dropped
+    }
+
+    /// Tx frames pushed to the ring but never acknowledged, oldest first
+    /// — the payloads a crashed backend may or may not have moved. The
+    /// guest's recovery path retransmits these through the replacement
+    /// device (retrying an already-delivered frame is the UDP analog of
+    /// an idempotent replay; TCP would dedup by sequence number).
+    pub fn take_unacked(&mut self, hv: &Hypervisor) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.in_flight_tx.len());
+        while let Some((id, len)) = self.in_flight_tx.pop_front() {
+            let buf = self.tx_pool.pages[id as usize];
+            if let Ok(page) = hv.mem.page(buf) {
+                out.push(page[..len as usize].to_vec());
+            }
+        }
+        out
     }
 }

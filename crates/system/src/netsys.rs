@@ -16,18 +16,24 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use kite_core::{provision_device, BackendManager, NetbackInstance, NetworkApp};
+use kite_core::{
+    provision_device, BackendManager, DeviceLifecycle, NetbackInstance, NetbackStats, NetworkApp,
+    RecoveryStats,
+};
 use kite_devices::{Nic, RxIrq};
 use kite_frontends::Netfront;
-use kite_linux::linux_profile;
+use kite_linux::{linux_profile, ubuntu_boot};
 use kite_net::{
     BridgePort, EtherType, EthernetFrame, Forward, IcmpMessage, IpProto, Ipv4Packet, MacAddr,
     UdpDatagram,
 };
-use kite_rumprun::{kite_profile, OsProfile};
+use kite_rumprun::{kite_boot, kite_profile, BootSequence, OsProfile};
 use kite_sim::{Cpu, EventQueue, Link, Nanos, OnlineStats, Pcg, TxOutcome};
 use kite_xen::xenbus::switch_state;
-use kite_xen::{DeviceKind, DevicePaths, DomainId, DomainKind, Hypervisor, Port, XenbusState};
+use kite_xen::{
+    Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, FaultPlan, Hypervisor, Port,
+    XenbusState,
+};
 
 /// Which OS runs the driver domain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,6 +58,15 @@ impl BackendOs {
         match self {
             BackendOs::Kite => "Kite",
             BackendOs::Linux => "Linux",
+        }
+    }
+
+    /// The boot sequence a restarted driver domain goes through
+    /// (Figure 4c: ≈7 s for Kite, ≈75 s for Ubuntu).
+    pub fn boot(self) -> BootSequence {
+        match self {
+            BackendOs::Kite => kite_boot(),
+            BackendOs::Linux => ubuntu_boot(),
         }
     }
 
@@ -120,6 +135,10 @@ enum Event {
     },
     /// The client transmits a pre-built frame (ping).
     ClientTxFrame(Vec<u8>),
+    /// The driver domain dies (fault injection / `xl destroy`).
+    DriverCrash,
+    /// The replacement driver domain finished booting.
+    DriverRestarted,
 }
 
 /// Largest message chunk crossing the PV path at once.
@@ -191,15 +210,22 @@ pub struct NetSystem {
     guest: DomainId,
     driver_cpu: Cpu,
     nic: Nic,
+    nic_bdf: Bdf,
+    phys_mac: MacAddr,
     /// The driver domain's network application (bridge + interfaces).
     pub netapp: NetworkApp,
-    netback: NetbackInstance,
+    mgr: BackendManager,
+    paths: DevicePaths,
+    netback: DeviceLifecycle<NetbackInstance>,
+    nb_stats_base: NetbackStats,
+    copy_mode: CopyMode,
     vif_port: BridgePort,
     if_port: BridgePort,
     guest_cpus: Vec<Cpu>,
     guest_rr: usize,
     guest_last_end: Nanos,
-    netfront: Netfront,
+    netfront: Option<Netfront>,
+    nf_dropped_base: u64,
     guest_mac: MacAddr,
     client_mac: MacAddr,
     guest_txq: VecDeque<Vec<u8>>,
@@ -207,6 +233,9 @@ pub struct NetSystem {
     client_link: Link,
     client_app: Option<UdpHandler>,
     icmp_sent: HashMap<u16, Nanos>,
+    boot: BootSequence,
+    /// Crash/restart recovery accounting.
+    pub recovery: RecoveryStats,
     /// Measurement taps.
     pub metrics: NetMetrics,
     /// Deterministic RNG stream for jitter.
@@ -261,13 +290,14 @@ impl NetSystem {
         mgr.start(&mut hv).expect("watch");
         let paths = DevicePaths::new(guest, driver, DeviceKind::Vif, 0);
         provision_device(&mut hv, &paths).expect("provision");
-        mgr.scan(&mut hv).expect("scan");
+        mgr.drain_events(&mut hv).expect("scan");
         let netfront = Netfront::connect(&mut hv, &paths, guest_mac).expect("netfront");
-        let ready = mgr.scan(&mut hv).expect("scan");
-        assert_eq!(ready.len(), 1, "frontend discovered via watch scan");
-        let netback =
-            NetbackInstance::connect(&mut hv, &ready[0], profile.clone()).expect("netback");
-        let vif_port = netapp.add_vif(&netback.vif, guest_mac);
+        let ready = mgr.drain_events(&mut hv).expect("events");
+        assert_eq!(ready.len(), 1, "frontend discovered via watch event");
+        let mut netback: DeviceLifecycle<NetbackInstance> =
+            DeviceLifecycle::new(ready[0].clone(), profile.clone());
+        netback.connect(&mut hv).expect("netback");
+        let vif_port = netapp.add_vif(&netback.device().expect("connected").vif, guest_mac);
         switch_state(
             &mut hv.store,
             guest,
@@ -285,14 +315,21 @@ impl NetSystem {
             guest,
             driver_cpu: Cpu::new(),
             nic: Nic::ten_gbe(),
+            nic_bdf: bdf,
+            phys_mac,
             netapp,
+            mgr,
+            paths,
             netback,
+            nb_stats_base: NetbackStats::default(),
+            copy_mode: CopyMode::default(),
             vif_port,
             if_port,
             guest_cpus: (0..22).map(|_| Cpu::new()).collect(),
             guest_rr: 0,
             guest_last_end: Nanos::ZERO,
-            netfront,
+            netfront: Some(netfront),
+            nf_dropped_base: 0,
             guest_mac,
             client_mac,
             guest_txq: VecDeque::new(),
@@ -300,6 +337,8 @@ impl NetSystem {
             client_link: Link::ten_gbe(),
             client_app: None,
             icmp_sent: HashMap::new(),
+            boot: os.boot(),
+            recovery: RecoveryStats::default(),
             metrics: NetMetrics::default(),
             rng: Pcg::seeded(seed),
             events_processed: 0,
@@ -375,6 +414,25 @@ impl NetSystem {
             .schedule_at(t, Event::ClientTxFrame(frame.encode()));
     }
 
+    /// Schedules a driver-domain crash at `t` (kill injection).
+    pub fn crash_driver_at(&mut self, t: Nanos) {
+        self.queue.schedule_at(t, Event::DriverCrash);
+    }
+
+    /// Arms a fault plan: per-op fault rates go live on the hypervisor,
+    /// and a `kill_at` time (if set) schedules the driver-domain crash.
+    pub fn inject_faults(&mut self, mut plan: FaultPlan) {
+        if let Some(t) = plan.take_kill() {
+            self.crash_driver_at(t);
+        }
+        self.hv.faults = plan;
+    }
+
+    /// Whether the backend is currently up and serving.
+    pub fn backend_alive(&self) -> bool {
+        self.netback.is_connected()
+    }
+
     /// Runs the event loop until `deadline`.
     pub fn run_until(&mut self, deadline: Nanos) {
         while let Some(t) = self.queue.peek_time() {
@@ -411,6 +469,96 @@ impl NetSystem {
         let done = self.guest_cpus[best].run(now, cost);
         self.guest_last_end = self.guest_last_end.max(done);
         done
+    }
+
+    /// The driver domain dies mid-flight. No teardown code runs in it —
+    /// Xen reclaims its grant mappings, ports and PCI devices; Dom0's
+    /// toolstack walks the xenbus states so the frontend sees the device
+    /// disappear, harvests what the dead backend never acknowledged, and
+    /// schedules the replacement domain's boot.
+    fn driver_crash(&mut self, now: Nanos) {
+        if !self.netback.is_connected() {
+            return; // already down
+        }
+        self.recovery.record_crash(now);
+        if let Some(nb) = self.netback.abandon() {
+            // World->guest frames parked in the dead backend are gone.
+            self.recovery.dropped_frames += nb.rx_backlog() as u64;
+            self.metrics.drops += nb.rx_backlog() as u64;
+            self.nb_stats_base.merge(&nb.stats());
+            self.netapp.remove_vif(&nb.vif);
+        }
+        self.hv
+            .destroy_domain(self.driver)
+            .expect("driver was alive");
+        let d0 = DomainId::DOM0;
+        let bs = self.paths.backend_state();
+        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closing);
+        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closed);
+        // The frontend observes `Closed`, salvages its unacknowledged Tx
+        // frames for replay and retires the device; `Closed` is what lets
+        // the toolstack re-provision the pair back to `Initialising`.
+        if let Some(mut nf) = self.netfront.take() {
+            let unacked = nf.take_unacked(&self.hv);
+            self.recovery.retried_ops += unacked.len() as u64;
+            self.nf_dropped_base += nf.tx_dropped();
+            for f in unacked.into_iter().rev() {
+                self.guest_txq.push_front(f);
+            }
+        }
+        let fs = self.paths.frontend_state();
+        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closing);
+        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closed);
+        let boot = self.boot.sample(&mut self.rng);
+        self.queue.schedule_at(now + boot, Event::DriverRestarted);
+    }
+
+    /// The replacement driver domain finished booting: fresh domain id
+    /// (Xen never reuses them), NIC re-assigned, bridge rebuilt, device
+    /// pair re-provisioned, and both ends reconnected through the same
+    /// lifecycle slot. Everything queued during the outage drains.
+    fn driver_restarted(&mut self, now: Nanos) {
+        let (name, mem) = match self.os {
+            BackendOs::Kite => ("netbackend", 1024),
+            BackendOs::Linux => ("ubuntu-dd", 2048),
+        };
+        let driver = self.hv.create_domain(name, DomainKind::Driver, mem, 1);
+        self.driver = driver;
+        self.driver_cpu = Cpu::new();
+        self.hv
+            .pci
+            .assign(self.nic_bdf, driver)
+            .expect("nic back in pool");
+        self.netapp = NetworkApp::start("ixg0", self.phys_mac, addrs::GATEWAY, addrs::NETMASK);
+        self.if_port = self.netapp.port_of("ixg0").expect("attached at start");
+        self.mgr = BackendManager::new(driver, DeviceKind::Vif);
+        self.mgr.start(&mut self.hv).expect("watch");
+        self.paths = DevicePaths::new(self.guest, driver, DeviceKind::Vif, 0);
+        provision_device(&mut self.hv, &self.paths).expect("re-provision");
+        self.mgr.drain_events(&mut self.hv).expect("scan");
+        let nf = Netfront::connect(&mut self.hv, &self.paths, self.guest_mac).expect("netfront");
+        self.netfront = Some(nf);
+        let ready = self.mgr.drain_events(&mut self.hv).expect("events");
+        assert_eq!(ready.len(), 1, "frontend rediscovered after restart");
+        self.netback.retarget(ready[0].clone()).expect("slot empty");
+        self.netback.connect(&mut self.hv).expect("reconnect");
+        if let Some(nb) = self.netback.device_mut() {
+            nb.set_copy_mode(self.copy_mode);
+            self.vif_port = self.netapp.add_vif(&nb.vif, self.guest_mac);
+        }
+        switch_state(
+            &mut self.hv.store,
+            self.guest,
+            &self.paths.frontend_state(),
+            XenbusState::Connected,
+        )
+        .expect("frontend reconnect");
+        self.recovery.reconnects += 1;
+        if let Some(t0) = self.recovery.last_crash_at {
+            self.recovery.downtime += now - t0;
+        }
+        // Replay harvested frames plus everything queued while down.
+        self.drain_guest_txq(now);
     }
 
     fn mac_of(&self, ip: Ipv4Addr) -> MacAddr {
@@ -465,10 +613,18 @@ impl NetSystem {
     }
 
     fn drain_guest_txq(&mut self, now: Nanos) {
+        if self.netfront.is_none() {
+            return; // backend down: frames wait for the replacement device
+        }
         let mut notify = false;
         let mut cost = Nanos::ZERO;
         while let Some(frame) = self.guest_txq.front() {
-            match self.netfront.send(&mut self.hv, frame) {
+            let res = self
+                .netfront
+                .as_mut()
+                .expect("checked")
+                .send(&mut self.hv, frame);
+            match res {
                 Ok(op) => {
                     self.guest_txq.pop_front();
                     notify |= op.notify;
@@ -481,19 +637,38 @@ impl NetSystem {
             self.guest_cpu_run(now, cost);
         }
         if notify {
+            let port = self.netfront.as_ref().expect("checked").evtchn;
             let (n, send_cost) = self
                 .hv
-                .evtchn_send(self.guest, self.netfront.evtchn)
+                .evtchn_send(self.guest, port)
                 .expect("connected channel");
             let done = self.guest_cpu_run(now, send_cost);
             if let Some(n) = n {
+                let delay = self.hv.irq_delay();
                 self.queue.schedule_at(
-                    done + self.hv.costs.irq_delivery,
+                    done + delay,
                     Event::Irq {
                         dom: n.domain,
                         port: n.port,
                     },
                 );
+            }
+        }
+    }
+
+    /// Hands a world->guest frame to netback's Rx queue; during an
+    /// outage (or on queue overflow) the frame is dropped, as real
+    /// traffic is while a driver domain reboots.
+    fn deliver_to_guest(&mut self, frame: Vec<u8>) {
+        match self.netback.device_mut() {
+            Some(nb) => {
+                if !nb.enqueue_to_guest(frame) {
+                    self.metrics.drops += 1;
+                }
+            }
+            None => {
+                self.metrics.drops += 1;
+                self.recovery.dropped_frames += 1;
             }
         }
     }
@@ -515,9 +690,7 @@ impl NetSystem {
             // World → gateway: reverse-translate or drop (unsolicited).
             match self.netapp.nat_inbound(&frame, self.guest_mac) {
                 Some(inframe) => {
-                    if !self.netback.enqueue_to_guest(inframe) {
-                        self.metrics.drops += 1;
-                    }
+                    self.deliver_to_guest(inframe);
                 }
                 None => {
                     // ICMP and ARP still reach the guest (the gateway
@@ -529,9 +702,7 @@ impl NetSystem {
                         .map(|ip| ip.proto == IpProto::Udp)
                         .unwrap_or(false);
                     if !is_udp {
-                        if !self.netback.enqueue_to_guest(frame) {
-                            self.metrics.drops += 1;
-                        }
+                        self.deliver_to_guest(frame);
                     } else {
                         self.metrics.drops += 1;
                     }
@@ -552,8 +723,8 @@ impl NetSystem {
         for p in ports {
             if p == self.if_port {
                 to_wire.push(frame.clone());
-            } else if p == self.vif_port && !self.netback.enqueue_to_guest(frame.clone()) {
-                self.metrics.drops += 1;
+            } else if p == self.vif_port {
+                self.deliver_to_guest(frame.clone());
             }
         }
         to_wire
@@ -575,10 +746,15 @@ impl NetSystem {
     /// Runs the netback threads (pusher then soft_start) to exhaustion on
     /// the driver vCPU starting at `now`; schedules all effects.
     fn run_netback(&mut self, now: Nanos) {
+        if !self.netback.is_connected() {
+            return; // driver domain down
+        }
         // Pusher: guest -> bridge/world.
         let mut guest_frames = Vec::new();
         loop {
-            let batch = self.netback.pusher_run(&mut self.hv, 128).expect("pusher");
+            let nb = self.netback.device_mut().expect("checked");
+            let batch = nb.pusher_run(&mut self.hv, 128).expect("pusher");
+            let evtchn = nb.evtchn;
             let had = !batch.frames.is_empty();
             guest_frames.extend(batch.frames);
             let done = self.driver_cpu.run(
@@ -586,14 +762,12 @@ impl NetSystem {
                 batch.cost + self.profile.wakeup_latency.min(Nanos::from_nanos(200)),
             );
             if batch.notify {
-                let (n, c) = self
-                    .hv
-                    .evtchn_send(self.driver, self.netback.evtchn)
-                    .expect("channel");
+                let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
                 let done = self.driver_cpu.run(done, c);
                 if let Some(n) = n {
+                    let delay = self.hv.irq_delay();
                     self.queue.schedule_at(
-                        done + self.hv.costs.irq_delivery,
+                        done + delay,
                         Event::Irq {
                             dom: n.domain,
                             port: n.port,
@@ -618,20 +792,17 @@ impl NetSystem {
 
         // soft_start: queued world -> guest frames into the Rx ring.
         loop {
-            let batch = self
-                .netback
-                .soft_start_run(&mut self.hv, 128)
-                .expect("soft_start");
+            let nb = self.netback.device_mut().expect("checked");
+            let batch = nb.soft_start_run(&mut self.hv, 128).expect("soft_start");
+            let evtchn = nb.evtchn;
             let done = self.driver_cpu.run(now, batch.cost);
             if batch.notify {
-                let (n, c) = self
-                    .hv
-                    .evtchn_send(self.driver, self.netback.evtchn)
-                    .expect("channel");
+                let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
                 let done = self.driver_cpu.run(done, c);
                 if let Some(n) = n {
+                    let delay = self.hv.irq_delay();
                     self.queue.schedule_at(
-                        done + self.hv.costs.irq_delivery,
+                        done + delay,
                         Event::Irq {
                             dom: n.domain,
                             port: n.port,
@@ -684,6 +855,7 @@ impl NetSystem {
                 };
                 self.metrics.guest_rx_bytes += udp.payload.len() as u64;
                 self.metrics.guest_rx_msgs += 1;
+                self.recovery.record_first_byte(now);
                 let msg = UdpMsg {
                     src_ip: ip.src,
                     src_port: udp.src_port,
@@ -752,6 +924,7 @@ impl NetSystem {
                 };
                 self.metrics.client_rx_bytes += udp.payload.len() as u64;
                 self.metrics.client_rx_msgs += 1;
+                self.recovery.record_first_byte(now);
                 let msg = UdpMsg {
                     src_ip: ip.src,
                     src_port: udp.src_port,
@@ -839,30 +1012,39 @@ impl NetSystem {
             Event::Irq { dom, port } => {
                 let _ = self.hv.evtchn.clear_pending(dom, port);
                 if dom == self.driver {
+                    if !self.netback.is_connected() {
+                        return; // stale interrupt for a dead backend
+                    }
                     // Netback's event channel: handler wakes the threads.
                     let idle = now.saturating_sub(self.driver_cpu.free_at());
                     let wake = self.profile.idle_wake(idle);
-                    let t = self
-                        .driver_cpu
-                        .run(now, wake + self.netback.irq_handler_cost());
+                    let cost = self.netback.device().expect("checked").irq_handler_cost();
+                    let t = self.driver_cpu.run(now, wake + cost);
                     self.run_netback(t);
                 } else if dom == self.guest {
+                    if self.netfront.is_none() {
+                        return; // stale interrupt for a retired device
+                    }
                     let earliest = self.guest_last_end;
                     let wake = guest_idle_wake(now.saturating_sub(earliest));
                     // The guest vCPU wakes from halt first; everything the
                     // interrupt triggers happens after that latency.
                     let t = now + wake;
-                    let op = self.netfront.on_irq(&mut self.hv).expect("netfront irq");
+                    let op = self
+                        .netfront
+                        .as_mut()
+                        .expect("checked")
+                        .on_irq(&mut self.hv)
+                        .expect("netfront irq");
                     let done = self.guest_cpu_run(now, wake + op.cost + self.profile.irq_overhead);
                     if op.notify {
-                        let (n, c) = self
-                            .hv
-                            .evtchn_send(self.guest, self.netfront.evtchn)
-                            .expect("channel");
+                        let evtchn = self.netfront.as_ref().expect("checked").evtchn;
+                        let (n, c) = self.hv.evtchn_send(self.guest, evtchn).expect("channel");
                         let done = self.guest_cpu_run(done, c);
                         if let Some(n) = n {
+                            let delay = self.hv.irq_delay();
                             self.queue.schedule_at(
-                                done + self.hv.costs.irq_delivery,
+                                done + delay,
                                 Event::Irq {
                                     dom: n.domain,
                                     port: n.port,
@@ -870,7 +1052,7 @@ impl NetSystem {
                             );
                         }
                     }
-                    while let Some(frame) = self.netfront.recv() {
+                    while let Some(frame) = self.netfront.as_mut().expect("checked").recv() {
                         self.guest_stack_rx(t, frame);
                     }
                     // Tx completions may have freed ring slots.
@@ -878,6 +1060,8 @@ impl NetSystem {
                 }
             }
             Event::WireToClient(frame) => self.client_stack_rx(now, frame),
+            Event::DriverCrash => self.driver_crash(now),
+            Event::DriverRestarted => self.driver_restarted(now),
         }
     }
 
@@ -903,19 +1087,28 @@ impl NetSystem {
         sum / self.guest_cpus.len() as f64
     }
 
-    /// Netback statistics.
+    /// Netback statistics, summed across backend incarnations.
     pub fn netback_stats(&self) -> kite_core::NetbackStats {
-        self.netback.stats()
+        let mut s = self.nb_stats_base;
+        if let Some(nb) = self.netback.device() {
+            s.merge(&nb.stats());
+        }
+        s
     }
 
-    /// Switches netback between batched and single-op grant copies.
+    /// Switches netback between batched and single-op grant copies; the
+    /// choice survives backend restarts.
     pub fn set_copy_mode(&mut self, mode: kite_xen::CopyMode) {
-        self.netback.set_copy_mode(mode);
+        self.copy_mode = mode;
+        if let Some(nb) = self.netback.device_mut() {
+            nb.set_copy_mode(mode);
+        }
     }
 
-    /// Frames the frontend dropped for ring exhaustion.
+    /// Frames the frontend dropped for ring exhaustion, summed across
+    /// device incarnations.
     pub fn guest_tx_dropped(&self) -> u64 {
-        self.netfront.tx_dropped()
+        self.nf_dropped_base + self.netfront.as_ref().map_or(0, |nf| nf.tx_dropped())
     }
 
     /// The driver domain id.

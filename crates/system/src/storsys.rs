@@ -9,12 +9,19 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use kite_core::{provision_device, BackendManager, BlkbackInstance, BlkbackTuning, BlockApp};
+use kite_core::{
+    provision_device, BackendManager, BlkbackConfig, BlkbackInstance, BlkbackStats, BlkbackTuning,
+    BlockApp, DeviceLifecycle, RecoveryStats,
+};
 use kite_devices::Nvme;
 use kite_frontends::Blkfront;
+use kite_rumprun::BootSequence;
 use kite_sim::{Cpu, EventQueue, Nanos, Pcg};
 use kite_xen::xenbus::switch_state;
-use kite_xen::{DeviceKind, DevicePaths, DomainId, DomainKind, Hypervisor, Port, XenbusState};
+use kite_xen::{
+    Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, FaultPlan, Hypervisor, Port,
+    XenbusState,
+};
 
 pub use crate::netsys::BackendOs;
 
@@ -67,8 +74,12 @@ pub type IoHandler = Box<dyn FnMut(Nanos, &IoDone) -> Vec<IoOp>>;
 
 enum Event {
     Irq { dom: DomainId, port: Port },
-    BlkDone { req_id: u64 },
+    // `epoch` guards against completions of a crashed backend incarnation
+    // hitting a replacement that happens to reuse the same request id.
+    BlkDone { req_id: u64, epoch: u64 },
     Submit(IoOp),
+    DriverCrash,
+    DriverRestarted,
 }
 
 #[derive(Debug)]
@@ -121,15 +132,27 @@ pub struct StorSystem {
     guest_last_end: Nanos,
     /// The NVMe device (sparse real contents).
     pub nvme: Nvme,
-    blkback: BlkbackInstance,
-    blkfront: Blkfront,
+    nvme_bdf: Bdf,
+    blkback: DeviceLifecycle<BlkbackInstance>,
+    bb_epoch: u64,
+    bb_stats_base: BlkbackStats,
+    copy_mode: CopyMode,
+    blkfront: Option<Blkfront>,
+    // Negotiated per-request ceiling, kept so logical ops submitted
+    // during an outage still chunk correctly.
+    max_req_bytes: usize,
     /// The storage domain's status application.
     pub blockapp: BlockApp,
-    // req_id -> (tag, chunk order)
-    req_map: HashMap<u64, (u64, usize)>,
+    mgr: BackendManager,
+    paths: DevicePaths,
+    // req_id -> in-flight chunk (kept whole so a crash can replay it)
+    req_map: HashMap<u64, Chunk>,
     tags: HashMap<u64, TagState>,
     pendq: VecDeque<Chunk>,
     handler: Option<IoHandler>,
+    boot: BootSequence,
+    /// Crash/restart recovery accounting.
+    pub recovery: RecoveryStats,
     /// Measurement taps.
     pub metrics: StorMetrics,
     /// Deterministic RNG stream.
@@ -183,14 +206,20 @@ impl StorSystem {
         mgr.start(&mut hv).expect("watch");
         let paths = DevicePaths::new(guest, driver, DeviceKind::Vbd, 0);
         provision_device(&mut hv, &paths).expect("provision");
-        mgr.scan(&mut hv).expect("scan");
+        mgr.drain_events(&mut hv).expect("scan");
         let mut blkfront = Blkfront::connect(&mut hv, &paths).expect("blkfront");
-        let ready = mgr.scan(&mut hv).expect("scan");
+        let ready = mgr.drain_events(&mut hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend discovered");
-        let blkback =
-            BlkbackInstance::connect(&mut hv, &ready[0], profile.clone(), tuning, nvme.sectors)
-                .expect("blkback");
+        let cfg = BlkbackConfig {
+            profile: profile.clone(),
+            tuning,
+            device_sectors: nvme.sectors,
+        };
+        let mut blkback: DeviceLifecycle<BlkbackInstance> =
+            DeviceLifecycle::new(ready[0].clone(), cfg);
+        blkback.connect(&mut hv).expect("blkback");
         blkfront.read_features(&mut hv, &paths).expect("features");
+        let max_req_bytes = blkfront.max_request_bytes();
         switch_state(
             &mut hv.store,
             guest,
@@ -210,13 +239,22 @@ impl StorSystem {
             guest_rr: 0,
             guest_last_end: Nanos::ZERO,
             nvme,
+            nvme_bdf: bdf,
             blkback,
-            blkfront,
+            bb_epoch: 0,
+            bb_stats_base: BlkbackStats::default(),
+            copy_mode: CopyMode::default(),
+            blkfront: Some(blkfront),
+            max_req_bytes,
             blockapp,
+            mgr,
+            paths,
             req_map: HashMap::new(),
             tags: HashMap::new(),
             pendq: VecDeque::new(),
             handler: None,
+            boot: os.boot(),
+            recovery: RecoveryStats::default(),
             metrics: StorMetrics::default(),
             rng: Pcg::seeded(seed),
             events_processed: 0,
@@ -236,6 +274,25 @@ impl StorSystem {
     /// Schedules a logical I/O submission at `t`.
     pub fn submit_at(&mut self, t: Nanos, op: IoOp) {
         self.queue.schedule_at(t, Event::Submit(op));
+    }
+
+    /// Schedules a driver-domain crash at `t` (kill injection).
+    pub fn crash_driver_at(&mut self, t: Nanos) {
+        self.queue.schedule_at(t, Event::DriverCrash);
+    }
+
+    /// Arms a fault plan: per-op fault rates go live on the hypervisor,
+    /// and a `kill_at` time (if set) schedules the driver-domain crash.
+    pub fn inject_faults(&mut self, mut plan: FaultPlan) {
+        if let Some(t) = plan.take_kill() {
+            self.crash_driver_at(t);
+        }
+        self.hv.faults = plan;
+    }
+
+    /// Whether the backend is currently up and serving.
+    pub fn backend_alive(&self) -> bool {
+        self.blkback.is_connected()
     }
 
     /// Runs the event loop until `deadline`.
@@ -263,14 +320,22 @@ impl StorSystem {
         self.tags.len()
     }
 
-    /// Blkback statistics.
+    /// Blkback statistics, summed across backend incarnations.
     pub fn blkback_stats(&self) -> kite_core::BlkbackStats {
-        self.blkback.stats()
+        let mut s = self.bb_stats_base;
+        if let Some(bb) = self.blkback.device() {
+            s.merge(&bb.stats());
+        }
+        s
     }
 
-    /// Switches blkback between batched and single-op grant copies.
+    /// Switches blkback between batched and single-op grant copies; the
+    /// choice survives backend restarts.
     pub fn set_copy_mode(&mut self, mode: kite_xen::CopyMode) {
-        self.blkback.set_copy_mode(mode);
+        self.copy_mode = mode;
+        if let Some(bb) = self.blkback.device_mut() {
+            bb.set_copy_mode(mode);
+        }
     }
 
     /// Driver vCPU utilization over a window.
@@ -301,14 +366,15 @@ impl StorSystem {
     }
 
     fn notify_backend(&mut self, done: Nanos) {
-        let (n, c) = self
-            .hv
-            .evtchn_send(self.guest, self.blkfront.evtchn)
-            .expect("channel");
+        let Some(port) = self.blkfront.as_ref().map(|f| f.evtchn) else {
+            return;
+        };
+        let (n, c) = self.hv.evtchn_send(self.guest, port).expect("channel");
         let done = self.guest_cpu_run(done, c);
         if let Some(n) = n {
+            let delay = self.hv.irq_delay();
             self.queue.schedule_at(
-                done + self.hv.costs.irq_delivery,
+                done + delay,
                 Event::Irq {
                     dom: n.domain,
                     port: n.port,
@@ -319,7 +385,7 @@ impl StorSystem {
 
     /// Splits a logical op into ring-sized chunks.
     fn chunks_of(&self, op: &IoOp) -> Vec<Chunk> {
-        let max = self.blkfront.max_request_bytes();
+        let max = self.max_req_bytes;
         match &op.kind {
             IoKind::Read { sector, len } => {
                 let len = len.div_ceil(512) * 512;
@@ -396,24 +462,25 @@ impl StorSystem {
         true
     }
 
-    /// Pushes parked chunks into the ring while space allows.
+    /// Pushes parked chunks into the ring while space allows. During an
+    /// outage the queue just accumulates; the reconnect drains it.
     fn drain_pendq(&mut self, now: Nanos) {
+        if self.blkfront.is_none() {
+            return;
+        }
         let mut notify = false;
         let mut cost = Nanos::ZERO;
         while let Some(c) = self.pendq.front() {
+            let bf = self.blkfront.as_mut().expect("checked");
             let res = match &c.kind {
-                ChunkKind::Read { sector, len } => {
-                    self.blkfront.submit_read(&mut self.hv, *sector, *len)
-                }
-                ChunkKind::Write { sector, data } => {
-                    self.blkfront.submit_write(&mut self.hv, *sector, data)
-                }
-                ChunkKind::Flush => self.blkfront.submit_flush(&mut self.hv),
+                ChunkKind::Read { sector, len } => bf.submit_read(&mut self.hv, *sector, *len),
+                ChunkKind::Write { sector, data } => bf.submit_write(&mut self.hv, *sector, data),
+                ChunkKind::Flush => bf.submit_flush(&mut self.hv),
             };
             match res {
                 Ok((id, fo)) => {
                     let c = self.pendq.pop_front().expect("peeked");
-                    self.req_map.insert(id, (c.tag, c.order));
+                    self.req_map.insert(id, c);
                     notify |= fo.notify;
                     cost += fo.cost;
                 }
@@ -430,20 +497,109 @@ impl StorSystem {
     }
 
     fn run_blkback(&mut self, now: Nanos) {
+        if !self.blkback.is_connected() {
+            return;
+        }
         loop {
-            let batch = self
-                .blkback
+            let bb = self.blkback.device_mut().expect("checked");
+            let batch = bb
                 .request_thread_run(&mut self.hv, &mut self.nvme, now, 32)
                 .expect("request thread");
             self.driver_cpu.run(now, batch.cost);
             for s in batch.submissions {
-                self.queue
-                    .schedule_at(s.completes_at, Event::BlkDone { req_id: s.req_id });
+                self.queue.schedule_at(
+                    s.completes_at,
+                    Event::BlkDone {
+                        req_id: s.req_id,
+                        epoch: self.bb_epoch,
+                    },
+                );
             }
             if !batch.more {
                 break;
             }
         }
+    }
+
+    /// The driver domain dies mid-flight: Xen reclaims its resources, the
+    /// toolstack walks the xenbus states, the frontend retires the dead
+    /// device and parks every unacknowledged chunk for replay. Reads are
+    /// side-effect free and writes re-execute the same sectors, so the
+    /// at-least-once replay loses no acknowledged request.
+    fn driver_crash(&mut self, now: Nanos) {
+        if !self.blkback.is_connected() {
+            return; // already down
+        }
+        self.recovery.record_crash(now);
+        self.bb_epoch += 1;
+        if let Some(bb) = self.blkback.abandon() {
+            self.bb_stats_base.merge(&bb.stats());
+        }
+        self.hv
+            .destroy_domain(self.driver)
+            .expect("driver was alive");
+        let d0 = DomainId::DOM0;
+        let bs = self.paths.backend_state();
+        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closing);
+        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closed);
+        self.blkfront = None;
+        let mut inflight: Vec<Chunk> = self.req_map.drain().map(|(_, c)| c).collect();
+        inflight.sort_by_key(|c| (c.tag, c.order));
+        self.recovery.retried_ops += inflight.len() as u64;
+        for c in inflight.into_iter().rev() {
+            self.pendq.push_front(c);
+        }
+        let fs = self.paths.frontend_state();
+        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closing);
+        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closed);
+        let boot = self.boot.sample(&mut self.rng);
+        self.queue.schedule_at(now + boot, Event::DriverRestarted);
+    }
+
+    /// The replacement driver domain booted: NVMe re-assigned, device
+    /// pair re-provisioned, both ends reconnected, parked I/O replayed.
+    fn driver_restarted(&mut self, now: Nanos) {
+        let (name, mem) = match self.os {
+            BackendOs::Kite => ("blkbackend", 1024),
+            BackendOs::Linux => ("ubuntu-dd", 2048),
+        };
+        let driver = self.hv.create_domain(name, DomainKind::Driver, mem, 1);
+        self.driver = driver;
+        self.driver_cpu = Cpu::new();
+        self.hv
+            .pci
+            .assign(self.nvme_bdf, driver)
+            .expect("nvme back in pool");
+        self.blockapp = BlockApp::start(&mut self.hv, driver, self.nvme.sectors).expect("blockapp");
+        self.mgr = BackendManager::new(driver, DeviceKind::Vbd);
+        self.mgr.start(&mut self.hv).expect("watch");
+        self.paths = DevicePaths::new(self.guest, driver, DeviceKind::Vbd, 0);
+        provision_device(&mut self.hv, &self.paths).expect("re-provision");
+        self.mgr.drain_events(&mut self.hv).expect("scan");
+        let mut bf = Blkfront::connect(&mut self.hv, &self.paths).expect("blkfront");
+        let ready = self.mgr.drain_events(&mut self.hv).expect("events");
+        assert_eq!(ready.len(), 1, "frontend rediscovered after restart");
+        self.blkback.retarget(ready[0].clone()).expect("slot empty");
+        self.blkback.connect(&mut self.hv).expect("reconnect");
+        if let Some(bb) = self.blkback.device_mut() {
+            bb.set_copy_mode(self.copy_mode);
+        }
+        bf.read_features(&mut self.hv, &self.paths)
+            .expect("features");
+        self.max_req_bytes = bf.max_request_bytes();
+        self.blkfront = Some(bf);
+        switch_state(
+            &mut self.hv.store,
+            self.guest,
+            &self.paths.frontend_state(),
+            XenbusState::Connected,
+        )
+        .expect("frontend reconnect");
+        self.recovery.reconnects += 1;
+        if let Some(t0) = self.recovery.last_crash_at {
+            self.recovery.downtime += now - t0;
+        }
+        self.drain_pendq(now);
     }
 
     fn handle(&mut self, now: Nanos, ev: Event) {
@@ -455,27 +611,38 @@ impl StorSystem {
             Event::Irq { dom, port } => {
                 let _ = self.hv.evtchn.clear_pending(dom, port);
                 if dom == self.driver {
+                    if !self.blkback.is_connected() {
+                        return; // stale interrupt for a dead backend
+                    }
                     let idle = now.saturating_sub(self.driver_cpu.free_at());
                     let wake = self.os.profile().idle_wake(idle);
-                    let t = self
-                        .driver_cpu
-                        .run(now, wake + self.blkback.irq_handler_cost());
+                    let cost = self.blkback.device().expect("checked").irq_handler_cost();
+                    let t = self.driver_cpu.run(now, wake + cost);
                     self.run_blkback(t);
                 } else if dom == self.guest {
+                    if self.blkfront.is_none() {
+                        return; // stale interrupt for a retired device
+                    }
                     let earliest = self.guest_last_end;
                     // Guest wake-from-halt before completions are seen
                     // (same model as the network guest; worker latency).
                     let wake =
                         Nanos(now.saturating_sub(earliest).as_nanos() / 10).min(Nanos(170_000));
                     let now = now + wake;
-                    let op = self.blkfront.on_irq(&mut self.hv).expect("blkfront irq");
+                    let op = self
+                        .blkfront
+                        .as_mut()
+                        .expect("checked")
+                        .on_irq(&mut self.hv)
+                        .expect("blkfront irq");
                     self.guest_cpu_run(now, wake + op.cost);
-                    let completions = self.blkfront.take_completions();
+                    let completions = self.blkfront.as_mut().expect("checked").take_completions();
                     let mut finished: Vec<IoDone> = Vec::new();
                     for c in completions {
-                        let Some((tag, order)) = self.req_map.remove(&c.id) else {
+                        let Some(chunk) = self.req_map.remove(&c.id) else {
                             continue;
                         };
+                        let (tag, order) = (chunk.tag, chunk.order);
                         let Some(ts) = self.tags.get_mut(&tag) else {
                             continue;
                         };
@@ -501,6 +668,7 @@ impl StorSystem {
                             let lat = now - ts.submitted;
                             self.metrics.ios += 1;
                             self.metrics.latency.push_nanos(lat);
+                            self.recovery.record_first_byte(now);
                             if let Some(d) = &data {
                                 self.metrics.read_bytes += d.len() as u64;
                             }
@@ -527,21 +695,23 @@ impl StorSystem {
                     }
                 }
             }
-            Event::BlkDone { req_id } => {
-                let res = self
-                    .blkback
-                    .complete(&mut self.hv, req_id)
-                    .expect("complete");
+            Event::BlkDone { req_id, epoch } => {
+                if epoch != self.bb_epoch {
+                    return; // completion of a crashed backend incarnation
+                }
+                let Some(bb) = self.blkback.device_mut() else {
+                    return; // the submission died with the driver domain
+                };
+                let res = bb.complete(&mut self.hv, req_id).expect("complete");
+                let evtchn = bb.evtchn;
                 let done = self.driver_cpu.run(now, res.cost);
                 if res.notify {
-                    let (n, c) = self
-                        .hv
-                        .evtchn_send(self.driver, self.blkback.evtchn)
-                        .expect("channel");
+                    let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
                     let done = self.driver_cpu.run(done, c);
                     if let Some(n) = n {
+                        let delay = self.hv.irq_delay();
                         self.queue.schedule_at(
-                            done + self.hv.costs.irq_delivery,
+                            done + delay,
                             Event::Irq {
                                 dom: n.domain,
                                 port: n.port,
@@ -550,6 +720,8 @@ impl StorSystem {
                     }
                 }
             }
+            Event::DriverCrash => self.driver_crash(now),
+            Event::DriverRestarted => self.driver_restarted(now),
         }
     }
 }

@@ -182,6 +182,25 @@ impl EventChannels {
         })
     }
 
+    /// Closes every port of a dead domain (and, per `close`, the peer end
+    /// of each interdomain channel). What Xen does on domain destruction.
+    pub fn close_domain(&mut self, dead: DomainId) {
+        let live: Vec<Port> = self
+            .ports
+            .get(&dead)
+            .map(|v| {
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, i)| i.state != PortState::Closed)
+                    .map(|(n, _)| Port(n as u32))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for p in live {
+            let _ = self.close(dead, p);
+        }
+    }
+
     /// Closes a port; the peer end (if any) reverts to closed as well.
     pub fn close(&mut self, d: DomainId, p: Port) -> Result<()> {
         let state = self.info(d, p)?.state.clone();

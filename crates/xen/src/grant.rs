@@ -220,6 +220,31 @@ impl GrantTables {
         })
     }
 
+    /// Reclaims everything a dead domain holds: drops all mappings it
+    /// established (releasing the granters' busy counts) and its own
+    /// grant table. What Xen does on domain destruction — the peers'
+    /// grants become revocable again without the dead domain's help.
+    /// Returns the number of mappings torn down.
+    pub fn reclaim_domain(&mut self, dead: DomainId) -> usize {
+        let handles: Vec<MapHandle> = self
+            .maps
+            .iter()
+            .filter(|(_, r)| r.mapper == dead)
+            .map(|(&h, _)| h)
+            .collect();
+        let n = handles.len();
+        for h in handles {
+            let rec = self.maps.remove(&h).expect("collected above");
+            if let Some(table) = self.tables.get_mut(&rec.granter) {
+                if let Ok(entry) = table.get_mut(rec.gref) {
+                    entry.map_count = entry.map_count.saturating_sub(1);
+                }
+            }
+        }
+        self.tables.remove(&dead);
+        n
+    }
+
     /// `mapper` unmaps a previously established mapping.
     pub fn unmap(&mut self, mapper: DomainId, handle: MapHandle) -> Result<()> {
         let rec = self.maps.get(&handle).ok_or(XenError::BadGrant)?;

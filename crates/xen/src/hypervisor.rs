@@ -13,6 +13,7 @@ use kite_sim::Nanos;
 use crate::domain::{DomainId, DomainKind, DomainTable};
 use crate::error::Result;
 use crate::evtchn::{EventChannels, Notification, Port};
+use crate::fault::FaultPlan;
 use crate::grant::{CopySide, CopyStatus, GrantCopyOp, GrantRef, GrantTables, MapHandle, Mapping};
 use crate::hypercall::{CostModel, HypercallKind, HypercallMeter};
 use crate::iommu::Iommu;
@@ -61,6 +62,8 @@ pub struct Hypervisor {
     pub iommu: Iommu,
     /// Hypercall cost model.
     pub costs: CostModel,
+    /// Fault-injection plan (inert by default).
+    pub faults: FaultPlan,
     meters: HashMap<DomainId, HypercallMeter>,
 }
 
@@ -82,6 +85,7 @@ impl Hypervisor {
             pci: PciBus::new(),
             iommu: Iommu::new(),
             costs: CostModel::default(),
+            faults: FaultPlan::none(),
             meters: HashMap::new(),
         }
     }
@@ -106,6 +110,23 @@ impl Hypervisor {
             .set_perm(DomainId::DOM0, &home, id, crate::xenstore::Perm::ReadWrite)
             .expect("home perm");
         id
+    }
+
+    /// Destroys a domain the way a crash (or `xl destroy`) does: marks it
+    /// dead, reclaims every foreign mapping it held (so peers' grants are
+    /// no longer busy), drops its grant table, closes all its event
+    /// channels (killing the peer ends), and force-detaches its PCI
+    /// devices back to the assignable pool. Its xenstore subtree is left
+    /// in place — xenstored outlives domains; the toolstack cleans up.
+    pub fn destroy_domain(&mut self, dom: DomainId) -> Result<()> {
+        self.domains.destroy(dom)?;
+        self.grants.reclaim_domain(dom);
+        self.evtchn.close_domain(dom);
+        let held: Vec<crate::Bdf> = self.pci.devices_of(dom).iter().map(|d| d.bdf).collect();
+        for bdf in held {
+            let _ = self.pci.detach(bdf, dom);
+        }
+        Ok(())
     }
 
     /// The hypercall meter of a domain.
@@ -179,7 +200,18 @@ impl Hypervisor {
         if ops.is_empty() {
             return BatchResult::default();
         }
-        let statuses = self.grants.copy_batch(&mut self.mem, caller, ops);
+        let mut statuses = self.grants.copy_batch(&mut self.mem, caller, ops);
+        if self.faults.copy_fail_rate > 0.0 {
+            // Injected per-op failures surface exactly like real ones: in
+            // the status array, with the batch continuing past them. The
+            // bytes may already have moved; drivers must treat errored ops
+            // as not transferred, which is what the status contract says.
+            for s in statuses.iter_mut() {
+                if s.is_okay() && self.faults.fail_copy_op() {
+                    *s = CopyStatus::Error(crate::XenError::BadGrant);
+                }
+            }
+        }
         let bytes = ops
             .iter()
             .zip(&statuses)
@@ -251,9 +283,25 @@ impl Hypervisor {
         caller: DomainId,
         port: Port,
     ) -> Result<(Option<Notification>, Nanos)> {
-        let n = self.evtchn.send(caller, port)?;
+        let mut n = self.evtchn.send(caller, port)?;
+        if let Some(note) = &n {
+            if self.faults.drop_notify() {
+                // The edge is lost entirely: clear the peer's pending bit
+                // so a later kick can raise a fresh notification instead
+                // of coalescing into the one that never arrived.
+                let _ = self.evtchn.clear_pending(note.domain, note.port);
+                n = None;
+            }
+        }
         let c = self.charge(caller, HypercallKind::EvtchnSend, 0);
         Ok((n, c))
+    }
+
+    /// IRQ delivery latency for the next notification: the cost model's
+    /// base plus any fault-injected delay. System layers should schedule
+    /// interrupt events this far after the send completes.
+    pub fn irq_delay(&mut self) -> Nanos {
+        self.costs.irq_delivery + self.faults.notify_delay()
     }
 
     /// Charged event-channel allocation.
@@ -281,15 +329,31 @@ impl Hypervisor {
 
     /// Charged xenstore read.
     pub fn xs_read(&mut self, caller: DomainId, path: &str) -> (Result<String>, Nanos) {
-        let r = self.store.read(caller, None, path);
         let c = self.charge(caller, HypercallKind::XsOp, 0);
+        if let Some(e) = self.faults.fail_xs() {
+            return (Err(e), c);
+        }
+        let r = self.store.read(caller, None, path);
+        (r, c)
+    }
+
+    /// Charged xenstore directory listing.
+    pub fn xs_directory(&mut self, caller: DomainId, path: &str) -> (Result<Vec<String>>, Nanos) {
+        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        if let Some(e) = self.faults.fail_xs() {
+            return (Err(e), c);
+        }
+        let r = self.store.directory(caller, path);
         (r, c)
     }
 
     /// Charged xenstore write.
     pub fn xs_write(&mut self, caller: DomainId, path: &str, value: &str) -> (Result<()>, Nanos) {
-        let r = self.store.write(caller, None, path, value);
         let c = self.charge(caller, HypercallKind::XsOp, 0);
+        if let Some(e) = self.faults.fail_xs() {
+            return (Err(e), c);
+        }
+        let r = self.store.write(caller, None, path, value);
         (r, c)
     }
 }
@@ -468,6 +532,74 @@ mod tests {
         assert_eq!(n.domain, gu);
         assert_eq!(n.port, p_gu);
         assert_eq!(hv.meter(dd).count(HypercallKind::EvtchnSend), 1);
+    }
+
+    #[test]
+    fn injected_copy_faults_surface_in_statuses() {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+        hv.faults = FaultPlan::seeded(11).with_copy_failures(0.5);
+        let a = hv.alloc_page(dd).unwrap();
+        let b = hv.alloc_page(dd).unwrap();
+        let ops: Vec<GrantCopyOp> = (0..64)
+            .map(|i| GrantCopyOp {
+                src: CopySide::Local {
+                    page: a,
+                    offset: i * 8,
+                },
+                dst: CopySide::Local {
+                    page: b,
+                    offset: i * 8,
+                },
+                len: 8,
+            })
+            .collect();
+        let batch = hv.grant_copy_batch(dd, &ops);
+        let failed = batch.statuses.iter().filter(|s| !s.is_okay()).count();
+        assert!(failed > 10, "half the ops should fault: {failed}");
+        assert!(batch.ok_ops() > 10, "batch continues past faults");
+        assert_eq!(batch.bytes, batch.ok_ops() * 8, "faulted ops move nothing");
+        assert_eq!(hv.faults.stats.copy_faults, failed as u64);
+        // Still one hypercall, still charged.
+        assert_eq!(hv.meter(dd).count(HypercallKind::GntCopy), 1);
+    }
+
+    #[test]
+    fn dropped_notify_loses_edge_but_next_send_reraises() {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+        let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
+        let (p_gu, _) = hv.evtchn_alloc_unbound(gu, dd);
+        let (p_dd, _) = hv.evtchn_bind(dd, gu, p_gu).unwrap();
+        hv.faults = FaultPlan::seeded(1).with_notify_drops(1.0);
+        let (n, _) = hv.evtchn_send(dd, p_dd).unwrap();
+        assert!(n.is_none(), "notification swallowed");
+        assert_eq!(hv.faults.stats.notifies_dropped, 1);
+        // The pending bit was cleared with the lost edge, so a later kick
+        // (faults disarmed) raises a fresh notification.
+        hv.faults = FaultPlan::none();
+        let (n, _) = hv.evtchn_send(dd, p_dd).unwrap();
+        assert!(n.is_some(), "edge re-raised after loss");
+    }
+
+    #[test]
+    fn xs_faults_and_irq_delay_inject() {
+        let mut hv = Hypervisor::new();
+        let d0 = hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let base = hv.irq_delay();
+        assert_eq!(base, hv.costs.irq_delivery, "no delay when unarmed");
+        hv.faults = FaultPlan::seeded(2)
+            .with_xs_failures(1.0)
+            .with_notify_delays(1.0, Nanos::from_micros(50));
+        let (r, _) = hv.xs_write(d0, "/k", "v");
+        assert_eq!(r, Err(crate::XenError::Again));
+        let (r, _) = hv.xs_read(d0, "/k");
+        assert_eq!(r, Err(crate::XenError::Again));
+        assert_eq!(hv.faults.stats.xs_faults, 2);
+        assert_eq!(hv.irq_delay(), base + Nanos::from_micros(50));
+        assert_eq!(hv.faults.stats.notifies_delayed, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod blkif;
 pub mod domain;
 pub mod error;
 pub mod evtchn;
+pub mod fault;
 pub mod grant;
 pub mod hypercall;
 pub mod hypervisor;
@@ -39,6 +40,7 @@ pub mod xenstore;
 pub use domain::{Domain, DomainId, DomainKind, DomainTable};
 pub use error::{Result, XenError};
 pub use evtchn::{EventChannels, Notification, Port};
+pub use fault::{FaultPlan, FaultStats};
 pub use grant::{
     CopyMode, CopySide, CopyStatus, GrantCopyOp, GrantRef, GrantTables, MapHandle, Mapping,
 };

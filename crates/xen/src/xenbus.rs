@@ -50,8 +50,10 @@ impl XenbusState {
 
     /// Whether `self -> next` is a legal transition.
     ///
-    /// `Closing` may be entered from any live state (crash/unplug); all
-    /// other transitions follow the connect handshake.
+    /// `Closing` may be entered from any live state (crash/unplug); a
+    /// `Closed` device may be re-provisioned back to `Initialising`
+    /// (driver-domain restart); all other transitions follow the connect
+    /// handshake.
     pub fn can_transition_to(self, next: XenbusState) -> bool {
         use XenbusState::*;
         if next == Closing {
@@ -60,6 +62,7 @@ impl XenbusState {
         matches!(
             (self, next),
             (Unknown, Initialising)
+                | (Closed, Initialising)
                 | (Initialising, InitWait)
                 | (Initialising, Initialised)
                 | (InitWait, Initialised)
@@ -219,10 +222,13 @@ mod tests {
         assert!(Initialised.can_transition_to(Connected));
         assert!(Connected.can_transition_to(Closing));
         assert!(Closing.can_transition_to(Closed));
+        // Re-provision after teardown (driver-domain restart).
+        assert!(Closed.can_transition_to(Initialising));
         // Illegal jumps.
         assert!(!Unknown.can_transition_to(Connected));
         assert!(!Connected.can_transition_to(Initialising));
         assert!(!Closed.can_transition_to(Closing));
+        assert!(!Closed.can_transition_to(Connected));
     }
 
     #[test]

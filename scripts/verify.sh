@@ -17,6 +17,13 @@ echo "==> cargo test --release --offline (libs, bins, tests)"
 # simulation-heavy workload tests are ~10x faster than under dev.
 cargo test --release --offline -q --workspace --lib --bins --tests
 
+echo "==> examples (build + smoke-run)"
+cargo build --release --offline --examples
+for ex in examples/*.rs; do
+    name="$(basename "${ex%.rs}")"
+    "./target/release/examples/${name}" > /dev/null
+done
+
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -85,13 +85,13 @@ fn backend_teardown_and_reconnect() {
 
     let maps_before = hv.grants.active_maps(dd);
     assert!(maps_before >= 2, "tx+rx rings mapped");
-    nb.disconnect(&mut hv).unwrap();
+    nb.close(&mut hv).unwrap();
     assert_eq!(hv.grants.active_maps(dd), 0, "all ring mappings released");
     assert_eq!(
         read_state(&mut hv.store, gu, &paths.backend_state()),
         XenbusState::Closed
     );
-    mgr.forget(gu, 0);
+    mgr.forget(&mut hv, gu, 0).unwrap();
 }
 
 /// IOMMU confinement: an errant DMA from the driver domain's device

@@ -572,23 +572,23 @@ fn netback_batched_matches_single_op() {
             (sb.rx_packets, sb.rx_bytes, sb.rx_dropped),
             (ss.rx_packets, ss.rx_bytes, ss.rx_dropped)
         );
-        assert_eq!((sb.copy_ops, sb.copy_bytes), (ss.copy_ops, ss.copy_bytes));
+        assert_eq!((sb.copy.ops, sb.copy.bytes), (ss.copy.ops, ss.copy.bytes));
         // The meter agrees with the driver's own accounting in both modes.
         assert_eq!(
             batched.hv.meter(batched.dd).count(HypercallKind::GntCopy),
-            sb.copy_batches
+            sb.copy.batches
         );
         assert_eq!(
             single.hv.meter(single.dd).count(HypercallKind::GntCopy),
-            ss.copy_batches
+            ss.copy.batches
         );
         // Batching strictly reduces hypercalls and never raises cost.
-        assert!(sb.copy_batches <= ss.copy_batches);
+        assert!(sb.copy.batches <= ss.copy.batches);
         assert!(
             cost_b <= cost_s,
             "seed {seed}: batched {cost_b:?} vs {cost_s:?}"
         );
-        if sb.copy_hypercalls_saved > 0 {
+        if sb.copy.hypercalls_saved > 0 {
             assert!(cost_b < cost_s, "multi-op drains must be strictly cheaper");
         }
     }
@@ -850,9 +850,9 @@ fn netback_drain_is_one_hypercall() {
     assert_eq!(rig.hv.meter(rig.dd).count(HypercallKind::GntCopy), before);
 
     let st = rig.nb.stats();
-    assert_eq!(st.copy_batches, 2);
-    assert_eq!(st.copy_ops, 40);
-    assert_eq!(st.copy_hypercalls_saved, 38);
+    assert_eq!(st.copy.batches, 2);
+    assert_eq!(st.copy.ops, 40);
+    assert_eq!(st.copy.hypercalls_saved, 38);
 }
 
 /// Blkback on the grant-copy data path: batched and single-op modes move
@@ -926,12 +926,12 @@ fn blkback_batched_matches_single_op() {
             )
         );
         assert_eq!(
-            (st_b.copy_ops, st_b.copy_bytes),
-            (st_s.copy_ops, st_s.copy_bytes)
+            (st_b.copy.ops, st_b.copy.bytes),
+            (st_s.copy.ops, st_s.copy.bytes)
         );
         assert_eq!(st_b.grant_maps, 0, "copy path never maps data pages");
         assert!(
-            st_b.copy_batches < st_s.copy_batches,
+            st_b.copy.batches < st_s.copy.batches,
             "seed {seed}: batching must save hypercalls"
         );
         assert!(now_b < now_s, "seed {seed}: batched must finish sooner");
@@ -966,8 +966,8 @@ fn blkback_request_is_one_copy_batch() {
     sys.run_to_quiescence();
     let st = sys.blkback_stats();
     assert_eq!(st.requests, 8);
-    assert_eq!(st.copy_batches, 8, "one hypercall per direct request");
-    assert_eq!(st.copy_ops, 32);
+    assert_eq!(st.copy.batches, 8, "one hypercall per direct request");
+    assert_eq!(st.copy.ops, 32);
     // One 128 KiB write: 32 segments via one indirect descriptor page —
     // one batch for the descriptor, one for the data.
     sys.submit_at(
@@ -983,7 +983,7 @@ fn blkback_request_is_one_copy_batch() {
     sys.run_to_quiescence();
     let st = sys.blkback_stats();
     assert_eq!(st.requests, 9);
-    assert_eq!(st.copy_batches, 10, "descriptor batch + data batch");
-    assert_eq!(st.copy_ops, 32 + 33);
+    assert_eq!(st.copy.batches, 10, "descriptor batch + data batch");
+    assert_eq!(st.copy.ops, 32 + 33);
     assert_eq!(st.errors, 0);
 }
