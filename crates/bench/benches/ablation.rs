@@ -103,21 +103,9 @@ fn bench(c: &mut Criterion) {
     for (name, tuning, mode) in variants {
         g.bench_function(name, |b| b.iter(|| black_box(run(tuning, mode))));
     }
-    // The figure-level result: virtual elapsed time per data path.
-    let map_ns = run(
-        BlkbackTuning {
-            grant_copy: false,
-            ..no_persistent
-        },
-        CopyMode::Batched,
-    );
-    let batched_ns = run(no_persistent, CopyMode::Batched);
-    let single_ns = run(no_persistent, CopyMode::SingleOp);
-    println!(
-        "blkback virtual elapsed: map/unmap {map_ns} ns, copy batched {batched_ns} ns, \
-         copy single-op {single_ns} ns (batched saves {} ns vs single-op)",
-        single_ns.saturating_sub(batched_ns)
-    );
+    // The figure-level result: virtual elapsed time per data path, via
+    // the shared reporting path (same values land in `repro --json`).
+    kite_bench::report::print_snapshots(&[kite_bench::report::ablation_snapshot()]);
     g.finish();
 }
 

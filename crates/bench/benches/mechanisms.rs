@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use kite_bench::report;
 use kite_net::{Bridge, MacAddr};
 use kite_security::gadgets::decode::decode;
 use kite_sim::Nanos;
@@ -107,14 +108,8 @@ fn bench_grant_copy_batch(c: &mut Criterion) {
         batched_cost < single_cost,
         "batched ({batched_cost:?}) must undercut single-op ({single_cost:?})"
     );
-    println!(
-        "grant_copy virtual cost, {NOPS}x{LEN}B: batched {} ns, single-op {} ns \
-         (saves {} ns, {} hypercalls)",
-        batched_cost.as_nanos(),
-        single_cost.as_nanos(),
-        (single_cost - batched_cost).as_nanos(),
-        NOPS - 1
-    );
+    // Shared reporting path: same values land in `repro --json`.
+    report::print_snapshots(&[report::grant_copy_snapshot()]);
     c.bench_function("grant_copy_batched_32x1514", |b| {
         b.iter(|| black_box(hv.grant_copy_ops(dd, &ops, kite_xen::CopyMode::Batched)))
     });
@@ -123,54 +118,27 @@ fn bench_grant_copy_batch(c: &mut Criterion) {
     });
 }
 
-/// One full crash/restart cycle: steady UDP stream, driver domain killed
-/// at 2 s, service restored through the OS boot model. Returns the
-/// recovery stats after quiescence.
-fn recovery_cycle(os: kite_system::BackendOs, seed: u64) -> kite_core::RecoveryStats {
-    use kite_system::{addrs, NetSystem, Side};
-    let mut sys = NetSystem::new(os, seed);
-    for i in 0..120u64 {
-        // 30 s of traffic at 4 msg/s: spans the kite (~7 s) outage; the
-        // queued tail drains after the Linux (~75 s) reboot too.
-        sys.send_udp_at(
-            Nanos::from_millis(1 + 250 * i),
-            Side::Guest,
-            addrs::CLIENT,
-            9999,
-            1234,
-            vec![i as u8; 1400],
-        );
-    }
-    sys.inject_faults(kite_xen::FaultPlan::seeded(seed).with_kill_at(Nanos::from_secs(2)));
-    sys.run_to_quiescence();
-    sys.recovery
-}
-
 fn bench_recovery(c: &mut Criterion) {
     // Virtual-time headline (paper Fig 10): crash-to-first-byte through
     // a full driver-domain reboot, per backend OS.
-    let kite = recovery_cycle(kite_system::BackendOs::Kite, 11);
-    let linux = recovery_cycle(kite_system::BackendOs::Linux, 11);
-    for (name, st) in [("kite", &kite), ("linux", &linux)] {
-        let cfb = st.crash_to_first_byte().expect("service resumed");
-        println!(
-            "recovery [{name}]: crash-to-first-byte {:.3} s, downtime {:.3} s, \
-             {} retried ops, {} dropped frames",
-            cfb.as_nanos() as f64 / 1e9,
-            st.downtime.as_nanos() as f64 / 1e9,
-            st.retried_ops,
-            st.dropped_frames
-        );
+    let kite = report::recovery_cycle(kite_system::BackendOs::Kite, 11);
+    let linux = report::recovery_cycle(kite_system::BackendOs::Linux, 11);
+    report::print_snapshots(&[
+        report::recovery_snapshot_of(&kite),
+        report::recovery_snapshot_of(&linux),
+    ]);
+    for sys in [&kite, &linux] {
+        sys.recovery.crash_to_first_byte().expect("service resumed");
     }
     assert!(
-        kite.crash_to_first_byte() < linux.crash_to_first_byte(),
+        kite.recovery.crash_to_first_byte() < linux.recovery.crash_to_first_byte(),
         "a rumprun driver domain must recover strictly faster than Linux"
     );
     c.bench_function("recovery_cycle_kite_sim", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(recovery_cycle(kite_system::BackendOs::Kite, seed))
+            black_box(report::recovery_cycle(kite_system::BackendOs::Kite, seed).recovery)
         });
     });
 }

@@ -3,3 +3,4 @@
 //! the hot mechanisms and run scaled versions of each figure.
 
 pub mod experiments;
+pub mod report;

@@ -4,6 +4,7 @@
 //! repro --all            # everything (several minutes)
 //! repro fig7 fig11       # selected experiments
 //! repro --list           # what's available
+//! repro --json out.json  # machine-readable mechanisms/recovery/ablation results
 //! ```
 //!
 //! Each experiment prints the paper's reported values alongside this
@@ -11,12 +12,29 @@
 //! with commentary.
 
 use kite_bench::experiments::{all_experiments, Experiment};
+use kite_bench::report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--json needs an output path");
+            std::process::exit(2);
+        };
+        let snaps = report::standard_snapshots();
+        report::print_snapshots(&snaps);
+        match report::write_json(path, &snaps) {
+            Ok(rows) => println!("wrote {rows} result rows to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let exps = all_experiments();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--all | --list | <id>...]");
+        eprintln!("usage: repro [--all | --list | --json <path> | <id>...]");
         eprintln!("experiments:");
         for e in &exps {
             eprintln!("  {:8} {}", e.id, e.title);

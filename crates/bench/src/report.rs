@@ -1,0 +1,166 @@
+//! Shared reporting for benches, examples and the `repro` binary.
+//!
+//! Every scenario result funnels through [`MetricsSnapshot`], so the
+//! text a bench prints and the machine-readable JSON `repro --json`
+//! writes come from the same values and cannot drift apart.
+
+use std::io::Write as _;
+
+use kite_sim::Nanos;
+use kite_system::{addrs, BackendOs, IoKind, IoOp, NetSystem, Side, StorSystem};
+use kite_trace::metrics::{render_json, validate_json};
+use kite_trace::MetricsSnapshot;
+use kite_xen::{CopyMode, FaultPlan};
+
+/// Prints snapshots in the shared text rendering.
+pub fn print_snapshots(snaps: &[MetricsSnapshot]) {
+    for s in snaps {
+        print!("{}", s.render_text());
+    }
+}
+
+/// Renders snapshots as the machine-readable results JSON, validates
+/// the document, and writes it to `path`. Returns the row count.
+pub fn write_json(path: &str, snaps: &[MetricsSnapshot]) -> std::io::Result<usize> {
+    let doc = render_json(snaps);
+    let rows =
+        validate_json(&doc).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.as_bytes())?;
+    Ok(rows)
+}
+
+/// Virtual grant-copy cost of one 32-op drain, batched vs one hypercall
+/// per op — the mechanisms micro-measurement behind the batching win.
+pub fn grant_copy_snapshot() -> MetricsSnapshot {
+    use kite_xen::{CopySide, DomainKind, GrantCopyOp, Hypervisor};
+    let mut hv = Hypervisor::new();
+    hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+    let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+    let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
+    const NOPS: usize = 32;
+    const LEN: usize = 1514;
+    let mut ops = Vec::with_capacity(NOPS);
+    for _ in 0..NOPS {
+        let src = hv.alloc_page(gu).expect("page");
+        let dst = hv.alloc_page(dd).expect("page");
+        let gref = hv.grant_access(gu, dd, src, true).expect("grant");
+        ops.push(GrantCopyOp {
+            src: CopySide::Grant {
+                granter: gu,
+                gref,
+                offset: 0,
+            },
+            dst: CopySide::Local {
+                page: dst,
+                offset: 0,
+            },
+            len: LEN,
+        });
+    }
+    let batched = hv.grant_copy_ops(dd, &ops, CopyMode::Batched).cost;
+    let single = hv.grant_copy_ops(dd, &ops, CopyMode::SingleOp).cost;
+    let mut snap = MetricsSnapshot::new("mechanisms/grant_copy");
+    snap.push_int("ops", "count", NOPS as u64);
+    snap.push_int("op_bytes", "bytes", LEN as u64);
+    snap.push_int("batched_cost", "ns", batched.as_nanos());
+    snap.push_int("single_op_cost", "ns", single.as_nanos());
+    snap.push_int("batched_saves", "ns", (single - batched).as_nanos());
+    snap.push_int("hypercalls_saved", "count", (NOPS - 1) as u64);
+    snap.push_float("bytes_per_hypercall", "bytes", (NOPS * LEN) as f64);
+    snap
+}
+
+/// One full crash/restart cycle: steady UDP stream, driver domain killed
+/// at 2 s, service restored through the OS boot model. Returns the
+/// system after quiescence (stats, trace and metrics still attached).
+pub fn recovery_cycle(os: BackendOs, seed: u64) -> NetSystem {
+    let mut sys = NetSystem::new(os, seed);
+    for i in 0..120u64 {
+        // 30 s of traffic at 4 msg/s: spans the kite (~7 s) outage; the
+        // queued tail drains after the Linux (~75 s) reboot too.
+        sys.send_udp_at(
+            Nanos::from_millis(1 + 250 * i),
+            Side::Guest,
+            addrs::CLIENT,
+            9999,
+            1234,
+            vec![i as u8; 1400],
+        );
+    }
+    sys.inject_faults(FaultPlan::seeded(seed).with_kill_at(Nanos::from_secs(2)));
+    sys.run_to_quiescence();
+    sys
+}
+
+/// The recovery-cycle result set of an already-run system, named
+/// `mechanisms/recovery_<os>`.
+pub fn recovery_snapshot_of(sys: &NetSystem) -> MetricsSnapshot {
+    sys.metrics_snapshot(format!(
+        "mechanisms/recovery_{}",
+        sys.os.name().to_lowercase()
+    ))
+}
+
+/// Runs a recovery cycle and snapshots it.
+pub fn recovery_snapshot(os: BackendOs, seed: u64) -> MetricsSnapshot {
+    recovery_snapshot_of(&recovery_cycle(os, seed))
+}
+
+/// Virtual elapsed time of the blkback data-path ablation (8 MiB of
+/// 128 KiB sequential writes) for map/unmap vs batched vs single-op
+/// grant copies, with persistent grants off so the data path is hot.
+pub fn ablation_snapshot() -> MetricsSnapshot {
+    use kite_core::BlkbackTuning;
+    fn run(tuning: BlkbackTuning, mode: CopyMode) -> u64 {
+        let mut sys = StorSystem::with_tuning(BackendOs::Kite, 1, tuning);
+        sys.set_copy_mode(mode);
+        const CHUNK: usize = 128 * 1024;
+        let mut t = Nanos::from_micros(100);
+        for i in 0..64u64 {
+            sys.submit_at(
+                t,
+                IoOp {
+                    tag: i,
+                    kind: IoKind::Write {
+                        sector: i * (CHUNK / 512) as u64,
+                        data: vec![0x5a; CHUNK],
+                    },
+                },
+            );
+            t += Nanos::from_micros(40);
+        }
+        sys.run_to_quiescence();
+        sys.now().as_nanos()
+    }
+    let no_persistent = BlkbackTuning {
+        persistent_grants: false,
+        persistent_cap: 0,
+        ..BlkbackTuning::default()
+    };
+    let map_ns = run(
+        BlkbackTuning {
+            grant_copy: false,
+            ..no_persistent
+        },
+        CopyMode::Batched,
+    );
+    let batched_ns = run(no_persistent, CopyMode::Batched);
+    let single_ns = run(no_persistent, CopyMode::SingleOp);
+    let mut snap = MetricsSnapshot::new("ablation/blkback_copy_path");
+    snap.push_int("map_unmap", "ns", map_ns);
+    snap.push_int("copy_batched", "ns", batched_ns);
+    snap.push_int("copy_single_op", "ns", single_ns);
+    snap.push_int("batched_saves", "ns", single_ns.saturating_sub(batched_ns));
+    snap
+}
+
+/// The `repro --json` result set: mechanisms + recovery + ablation.
+pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
+    vec![
+        grant_copy_snapshot(),
+        recovery_snapshot(BackendOs::Kite, 11),
+        recovery_snapshot(BackendOs::Linux, 11),
+        ablation_snapshot(),
+    ]
+}

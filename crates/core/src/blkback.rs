@@ -22,12 +22,12 @@ use std::collections::HashMap;
 use kite_devices::{Nvme, NvmeOp};
 use kite_rumprun::OsProfile;
 use kite_sim::Nanos;
+use kite_trace::EventKind;
 use kite_xen::blkif::{
     unpack_indirect_segments, BlkifRequest, BlkifResponse, BlkifSegment, BLKIF_OP_FLUSH_DISKCACHE,
     BLKIF_OP_READ, BLKIF_OP_WRITE, BLKIF_RSP_ERROR, BLKIF_RSP_OKAY, SECTOR_SIZE,
 };
 use kite_xen::ring::BackRing;
-use kite_xen::xenbus::switch_state;
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
     PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
@@ -106,6 +106,18 @@ impl BlkbackStats {
         self.grant_maps += other.grant_maps;
         self.errors += other.errors;
         self.copy.merge(&other.copy);
+    }
+
+    /// Appends the request counters and copy accounting to a snapshot.
+    pub fn append_metrics(&self, snap: &mut kite_trace::MetricsSnapshot) {
+        snap.push_int("requests", "count", self.requests);
+        snap.push_int("device_ops", "count", self.device_ops);
+        snap.push_int("read_bytes", "bytes", self.read_bytes);
+        snap.push_int("write_bytes", "bytes", self.write_bytes);
+        snap.push_int("persistent_hits", "count", self.persistent_hits);
+        snap.push_int("grant_maps", "count", self.grant_maps);
+        snap.push_int("errors", "count", self.errors);
+        self.copy.append_metrics(snap, "copy_");
     }
 }
 
@@ -267,12 +279,7 @@ impl BlkbackInstance {
         );
         let (ring_map, _) = hv.map_grant(back, front, ring_ref)?;
         let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
-        switch_state(
-            &mut hv.store,
-            back,
-            &paths.backend_state(),
-            XenbusState::Connected,
-        )?;
+        hv.switch_state(back, &paths.backend_state(), XenbusState::Connected)?;
         Ok(BlkbackInstance {
             back,
             front,
@@ -591,6 +598,16 @@ impl BlkbackInstance {
         }
         let page = hv.mem.page_mut(self.ring_page)?;
         batch.more = self.ring.final_check_for_requests(page);
+        if !batch.submissions.is_empty() {
+            let consumed = batch.submissions.len() as u32;
+            let delivered = runs.len() as u32;
+            hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
+                queue: "blkback_req",
+                consumed,
+                delivered,
+                notify: false,
+            });
+        }
         Ok(batch)
     }
 
@@ -756,12 +773,7 @@ impl BlkbackInstance {
     /// [`BlkbackInstance::close`] so in-flight completions can finish.
     pub fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
         let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vbd, self.index);
-        switch_state(
-            &mut hv.store,
-            self.back,
-            &paths.backend_state(),
-            XenbusState::Closing,
-        )
+        hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)
     }
 
     /// Tears the instance down: closes the channel, releases every grant
@@ -782,18 +794,8 @@ impl BlkbackInstance {
         for page in self.bounce {
             hv.free_page(self.back, page)?;
         }
-        switch_state(
-            &mut hv.store,
-            self.back,
-            &paths.backend_state(),
-            XenbusState::Closing,
-        )?;
-        switch_state(
-            &mut hv.store,
-            self.back,
-            &paths.backend_state(),
-            XenbusState::Closed,
-        )?;
+        hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)?;
+        hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closed)?;
         Ok(())
     }
 }

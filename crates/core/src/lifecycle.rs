@@ -15,8 +15,29 @@
 //!   reconnects, downtime, retried and dropped work.
 
 use kite_sim::Nanos;
+use kite_trace::EventKind;
 use kite_xen::xenbus::read_state;
 use kite_xen::{DeviceKind, DevicePaths, Hypervisor, Result, XenError, XenbusState};
+
+/// Trace identity of a device slot: `<kind>/<frontend-domain>/<index>`.
+fn device_label(kind: DeviceKind, paths: &DevicePaths) -> String {
+    format!("{}/{}/{}", kind.as_str(), paths.front.0, paths.index)
+}
+
+/// Emits a [`EventKind::Lifecycle`] event for a slot transition,
+/// attributed to the backend domain.
+fn trace_transition(
+    hv: &mut Hypervisor,
+    kind: DeviceKind,
+    paths: &DevicePaths,
+    transition: &'static str,
+) {
+    let back = paths.back.0;
+    hv.trace.emit_with(back, || EventKind::Lifecycle {
+        device: device_label(kind, paths),
+        transition,
+    });
+}
 
 /// The lifecycle hooks every backend driver implements.
 ///
@@ -97,11 +118,12 @@ impl<D: BackendDevice> DeviceLifecycle<D> {
     /// Points the slot at a new device pair — the driver-domain restart
     /// case, where the replacement backend has a fresh domain id. Only
     /// legal while disconnected.
-    pub fn retarget(&mut self, paths: DevicePaths) -> Result<()> {
+    pub fn retarget(&mut self, hv: &mut Hypervisor, paths: DevicePaths) -> Result<()> {
         if self.device.is_some() {
             return Err(XenError::Inval);
         }
         self.paths = paths;
+        trace_transition(hv, D::KIND, &self.paths, "retarget");
         Ok(())
     }
 
@@ -137,13 +159,18 @@ impl<D: BackendDevice> DeviceLifecycle<D> {
         let d = D::connect(hv, &self.paths, &self.cfg)?;
         self.connects += 1;
         self.device = Some(d);
+        trace_transition(hv, D::KIND, &self.paths, "connect");
         Ok(self.device.as_mut().expect("just set"))
     }
 
     /// Quiesces the connected device (`Closing` announced, still held).
     pub fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
         match self.device.as_mut() {
-            Some(d) => d.suspend(hv),
+            Some(d) => {
+                d.suspend(hv)?;
+                trace_transition(hv, D::KIND, &self.paths, "suspend");
+                Ok(())
+            }
             None => Err(XenError::Inval),
         }
     }
@@ -151,7 +178,11 @@ impl<D: BackendDevice> DeviceLifecycle<D> {
     /// Orderly teardown of the connected device (no-op when empty).
     pub fn close(&mut self, hv: &mut Hypervisor) -> Result<()> {
         match self.device.take() {
-            Some(d) => d.close(hv),
+            Some(d) => {
+                d.close(hv)?;
+                trace_transition(hv, D::KIND, &self.paths, "close");
+                Ok(())
+            }
             None => Ok(()),
         }
     }
@@ -160,8 +191,12 @@ impl<D: BackendDevice> DeviceLifecycle<D> {
     /// be issued on its behalf — the slot just abandons the instance
     /// (Xen reclaims a dead domain's grants, maps and ports). Returns the
     /// abandoned instance so the caller can harvest final stats.
-    pub fn abandon(&mut self) -> Option<D> {
-        self.device.take()
+    pub fn abandon(&mut self, hv: &mut Hypervisor) -> Option<D> {
+        let d = self.device.take();
+        if d.is_some() {
+            trace_transition(hv, D::KIND, &self.paths, "abandon");
+        }
+        d
     }
 
     /// Orderly close (if connected) followed by a fresh connect against
@@ -210,9 +245,26 @@ impl RecoveryStats {
     }
 
     /// Marks the first end-to-end payload after the most recent crash.
-    pub fn record_first_byte(&mut self, now: Nanos) {
+    ///
+    /// Returns whether this call set the marker — the system layer emits
+    /// its `first_byte` trace milestone exactly when it did.
+    pub fn record_first_byte(&mut self, now: Nanos) -> bool {
         if self.last_crash_at.is_some() && self.first_byte_at.is_none() {
             self.first_byte_at = Some(now);
+            return true;
+        }
+        false
+    }
+
+    /// Appends the recovery counters and timings to a snapshot.
+    pub fn append_metrics(&self, snap: &mut kite_trace::MetricsSnapshot) {
+        snap.push_int("crashes", "count", self.crashes);
+        snap.push_int("reconnects", "count", self.reconnects);
+        snap.push_int("downtime", "ns", self.downtime.as_nanos());
+        snap.push_int("retried_ops", "count", self.retried_ops);
+        snap.push_int("dropped_frames", "count", self.dropped_frames);
+        if let Some(cfb) = self.crash_to_first_byte() {
+            snap.push_int("crash_to_first_byte", "ns", cfb.as_nanos());
         }
     }
 }
@@ -296,7 +348,7 @@ mod tests {
         lc.connect(&mut hv).unwrap();
         let maps = hv.grants.active_maps(dd);
         assert!(maps >= 2);
-        let inst = lc.abandon().expect("was connected");
+        let inst = lc.abandon(&mut hv).expect("was connected");
         // No hypercalls ran: mappings are still accounted to the (dead)
         // domain until Xen reclaims it.
         assert_eq!(hv.grants.active_maps(dd), maps);
@@ -304,7 +356,7 @@ mod tests {
         assert!(!lc.is_connected());
         // Retarget is now legal.
         let p2 = DevicePaths::new(gu, DomainId(9), DeviceKind::Vif, 0);
-        lc.retarget(p2.clone()).unwrap();
+        lc.retarget(&mut hv, p2.clone()).unwrap();
         assert_eq!(lc.paths(), &p2);
     }
 
@@ -312,11 +364,11 @@ mod tests {
     fn recovery_stats_first_byte_arithmetic() {
         let mut rs = RecoveryStats::default();
         assert_eq!(rs.crash_to_first_byte(), None);
-        rs.record_first_byte(Nanos::from_millis(1));
+        assert!(!rs.record_first_byte(Nanos::from_millis(1)));
         assert_eq!(rs.first_byte_at, None, "no crash yet: nothing to mark");
         rs.record_crash(Nanos::from_millis(10));
-        rs.record_first_byte(Nanos::from_millis(17));
-        rs.record_first_byte(Nanos::from_millis(25));
+        assert!(rs.record_first_byte(Nanos::from_millis(17)));
+        assert!(!rs.record_first_byte(Nanos::from_millis(25)));
         assert_eq!(rs.crash_to_first_byte(), Some(Nanos::from_millis(7)));
         // A second crash resets the marker.
         rs.record_crash(Nanos::from_millis(40));

@@ -20,12 +20,12 @@ use std::collections::VecDeque;
 
 use kite_rumprun::OsProfile;
 use kite_sim::Nanos;
+use kite_trace::EventKind;
 use kite_xen::netif::{
     NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse, NETIF_RSP_ERROR,
     NETIF_RSP_OKAY,
 };
 use kite_xen::ring::BackRing;
-use kite_xen::xenbus::switch_state;
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
     PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
@@ -96,6 +96,17 @@ impl NetbackStats {
         self.tx_errors += other.tx_errors;
         self.copy.merge(&other.copy);
     }
+
+    /// Appends the Tx/Rx counters and copy accounting to a snapshot.
+    pub fn append_metrics(&self, snap: &mut kite_trace::MetricsSnapshot) {
+        snap.push_int("tx_packets", "count", self.tx_packets);
+        snap.push_int("tx_bytes", "bytes", self.tx_bytes);
+        snap.push_int("rx_packets", "count", self.rx_packets);
+        snap.push_int("rx_bytes", "bytes", self.rx_bytes);
+        snap.push_int("rx_dropped", "count", self.rx_dropped);
+        snap.push_int("tx_errors", "count", self.tx_errors);
+        self.copy.append_metrics(snap, "copy_");
+    }
 }
 
 /// One netback instance (one per connected netfront).
@@ -161,12 +172,7 @@ impl NetbackInstance {
         let be = paths.backend();
         hv.store
             .write(back, None, &format!("{be}/feature-rx-copy"), "1")?;
-        switch_state(
-            &mut hv.store,
-            back,
-            &paths.backend_state(),
-            XenbusState::Connected,
-        )?;
+        hv.switch_state(back, &paths.backend_state(), XenbusState::Connected)?;
         Ok(NetbackInstance {
             back,
             front,
@@ -298,6 +304,19 @@ impl NetbackInstance {
         let page = hv.mem.page_mut(self.tx_page)?;
         batch.notify = self.tx_ring.push_responses(page);
         batch.more = self.tx_ring.final_check_for_requests(page);
+        if !pending.is_empty() {
+            let (consumed, delivered, notify) = (
+                pending.len() as u32,
+                batch.frames.len() as u32,
+                batch.notify,
+            );
+            hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
+                queue: "netback_tx",
+                consumed,
+                delivered,
+                notify,
+            });
+        }
         Ok(batch)
     }
 
@@ -391,6 +410,16 @@ impl NetbackInstance {
         let page = hv.mem.page_mut(self.rx_page)?;
         batch.notify = self.rx_ring.push_responses(page);
         batch.more = !self.to_guest.is_empty();
+        if !posted.is_empty() {
+            let (consumed, delivered, notify) =
+                (posted.len() as u32, batch.delivered as u32, batch.notify);
+            hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
+                queue: "netback_rx",
+                consumed,
+                delivered,
+                notify,
+            });
+        }
         Ok(batch)
     }
 
@@ -400,12 +429,7 @@ impl NetbackInstance {
     pub fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {
         self.rx_queue_cap = 0;
         let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vif, self.index);
-        switch_state(
-            &mut hv.store,
-            self.back,
-            &paths.backend_state(),
-            XenbusState::Closing,
-        )
+        hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)
     }
 
     /// Tears the instance down: closes the channel, unmaps rings, frees
@@ -418,18 +442,8 @@ impl NetbackInstance {
         for page in self.bounce {
             hv.free_page(self.back, page)?;
         }
-        switch_state(
-            &mut hv.store,
-            self.back,
-            &paths.backend_state(),
-            XenbusState::Closing,
-        )?;
-        switch_state(
-            &mut hv.store,
-            self.back,
-            &paths.backend_state(),
-            XenbusState::Closed,
-        )?;
+        hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)?;
+        hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closed)?;
         Ok(())
     }
 }

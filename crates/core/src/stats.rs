@@ -5,6 +5,7 @@
 //! shared accounting, embedded in each driver's stats struct.
 
 use kite_sim::BatchHistogram;
+use kite_trace::MetricsSnapshot;
 use kite_xen::{BatchResult, CopyMode};
 
 /// Grant-copy hypercall accounting, shared by netback and blkback.
@@ -63,6 +64,24 @@ impl CopyStats {
         self.bytes += other.bytes;
         self.batch_hist.merge(&other.batch_hist);
     }
+
+    /// Appends this accounting to a snapshot under `prefix` (e.g.
+    /// `"copy_"` → `copy_hypercalls`, `copy_ops`, ...).
+    pub fn append_metrics(&self, snap: &mut MetricsSnapshot, prefix: &str) {
+        snap.push_int(format!("{prefix}hypercalls"), "count", self.batches);
+        snap.push_int(format!("{prefix}ops"), "count", self.ops);
+        snap.push_int(
+            format!("{prefix}hypercalls_saved"),
+            "count",
+            self.hypercalls_saved,
+        );
+        snap.push_int(format!("{prefix}bytes"), "bytes", self.bytes);
+        snap.push_float(
+            format!("{prefix}bytes_per_hypercall"),
+            "bytes",
+            self.bytes_per_hypercall(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +127,45 @@ mod tests {
             (s.batches, s.ops, s.hypercalls_saved, s.bytes),
             (0, 0, 0, 0)
         );
+    }
+
+    fn sample_a() -> CopyStats {
+        let mut s = CopyStats::default();
+        s.record(CopyMode::Batched, 8, &result(512));
+        s.record(CopyMode::SingleOp, 3, &result(96));
+        s
+    }
+
+    fn sample_b() -> CopyStats {
+        let mut s = CopyStats::default();
+        s.record(CopyMode::Batched, 4, &result(256));
+        s.record(CopyMode::Batched, 16, &result(2048));
+        s
+    }
+
+    fn fields(s: &CopyStats) -> (u64, u64, u64, u64, BatchHistogram) {
+        (s.batches, s.ops, s.hypercalls_saved, s.bytes, s.batch_hist)
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut s = sample_a();
+        let before = fields(&s);
+        s.merge(&CopyStats::default());
+        assert_eq!(fields(&s), before);
+
+        let mut empty = CopyStats::default();
+        empty.merge(&sample_a());
+        assert_eq!(fields(&empty), before);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut ab = sample_a();
+        ab.merge(&sample_b());
+        let mut ba = sample_b();
+        ba.merge(&sample_a());
+        assert_eq!(fields(&ab), fields(&ba));
     }
 
     #[test]

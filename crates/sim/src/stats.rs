@@ -495,4 +495,51 @@ mod tests {
         assert_eq!(m.bits_per_sec(Nanos::from_secs(1)), 0.0);
         assert_eq!(m.events_per_sec(Nanos::from_secs(1)), 0.0);
     }
+
+    fn histogram_of(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(Nanos(s));
+        }
+        h
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic_in_q() {
+        let h = histogram_of(&[
+            1, 3, 10, 50, 120, 950, 1_000, 4_000, 65_000, 70_000, 1_000_000, 9_999_999,
+        ]);
+        let mut prev = Nanos::ZERO;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(
+                q >= prev,
+                "quantile({}) = {q:?} < {prev:?}",
+                i as f64 / 100.0
+            );
+            prev = q;
+        }
+        assert!(h.median() <= h.p99());
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let a = histogram_of(&[1, 10, 100, 1_000]);
+        let b = histogram_of(&[5, 50, 500_000]);
+        let c = histogram_of(&[2, 7_777, 123_456_789]);
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(left.quantile(q), right.quantile(q), "diverged at q={q}");
+        }
+    }
 }

@@ -29,7 +29,7 @@ use kite_net::{
 };
 use kite_rumprun::{kite_boot, kite_profile, BootSequence, OsProfile};
 use kite_sim::{Cpu, EventQueue, Link, Nanos, OnlineStats, Pcg, TxOutcome};
-use kite_xen::xenbus::switch_state;
+use kite_trace::{EventKind, MetricsSnapshot};
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, FaultPlan, Hypervisor, Port,
     XenbusState,
@@ -298,13 +298,8 @@ impl NetSystem {
             DeviceLifecycle::new(ready[0].clone(), profile.clone());
         netback.connect(&mut hv).expect("netback");
         let vif_port = netapp.add_vif(&netback.device().expect("connected").vif, guest_mac);
-        switch_state(
-            &mut hv.store,
-            guest,
-            &paths.frontend_state(),
-            XenbusState::Connected,
-        )
-        .expect("frontend connect");
+        hv.switch_state(guest, &paths.frontend_state(), XenbusState::Connected)
+            .expect("frontend connect");
 
         NetSystem {
             hv,
@@ -481,7 +476,11 @@ impl NetSystem {
             return; // already down
         }
         self.recovery.record_crash(now);
-        if let Some(nb) = self.netback.abandon() {
+        let dead = self.driver.0;
+        self.hv
+            .trace
+            .emit_with(dead, || EventKind::Milestone { what: "kill" });
+        if let Some(nb) = self.netback.abandon(&mut self.hv) {
             // World->guest frames parked in the dead backend are gone.
             self.recovery.dropped_frames += nb.rx_backlog() as u64;
             self.metrics.drops += nb.rx_backlog() as u64;
@@ -493,8 +492,11 @@ impl NetSystem {
             .expect("driver was alive");
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
-        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closing);
-        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closed);
+        let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
+        let _ = self.hv.switch_state(d0, &bs, XenbusState::Closed);
+        self.hv
+            .trace
+            .emit_with(d0.0, || EventKind::Milestone { what: "detect" });
         // The frontend observes `Closed`, salvages its unacknowledged Tx
         // frames for replay and retires the device; `Closed` is what lets
         // the toolstack re-provision the pair back to `Initialising`.
@@ -507,8 +509,8 @@ impl NetSystem {
             }
         }
         let fs = self.paths.frontend_state();
-        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closing);
-        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closed);
+        let _ = self.hv.switch_state(self.guest, &fs, XenbusState::Closing);
+        let _ = self.hv.switch_state(self.guest, &fs, XenbusState::Closed);
         let boot = self.boot.sample(&mut self.rng);
         self.queue.schedule_at(now + boot, Event::DriverRestarted);
     }
@@ -524,6 +526,9 @@ impl NetSystem {
         };
         let driver = self.hv.create_domain(name, DomainKind::Driver, mem, 1);
         self.driver = driver;
+        self.hv
+            .trace
+            .emit_with(driver.0, || EventKind::Milestone { what: "reboot" });
         self.driver_cpu = Cpu::new();
         self.hv
             .pci
@@ -540,20 +545,25 @@ impl NetSystem {
         self.netfront = Some(nf);
         let ready = self.mgr.drain_events(&mut self.hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend rediscovered after restart");
-        self.netback.retarget(ready[0].clone()).expect("slot empty");
+        self.netback
+            .retarget(&mut self.hv, ready[0].clone())
+            .expect("slot empty");
         self.netback.connect(&mut self.hv).expect("reconnect");
         if let Some(nb) = self.netback.device_mut() {
             nb.set_copy_mode(self.copy_mode);
             self.vif_port = self.netapp.add_vif(&nb.vif, self.guest_mac);
         }
-        switch_state(
-            &mut self.hv.store,
-            self.guest,
-            &self.paths.frontend_state(),
-            XenbusState::Connected,
-        )
-        .expect("frontend reconnect");
+        self.hv
+            .switch_state(
+                self.guest,
+                &self.paths.frontend_state(),
+                XenbusState::Connected,
+            )
+            .expect("frontend reconnect");
         self.recovery.reconnects += 1;
+        self.hv
+            .trace
+            .emit_with(driver.0, || EventKind::Milestone { what: "reconnect" });
         if let Some(t0) = self.recovery.last_crash_at {
             self.recovery.downtime += now - t0;
         }
@@ -855,7 +865,12 @@ impl NetSystem {
                 };
                 self.metrics.guest_rx_bytes += udp.payload.len() as u64;
                 self.metrics.guest_rx_msgs += 1;
-                self.recovery.record_first_byte(now);
+                if self.recovery.record_first_byte(now) {
+                    let guest = self.guest.0;
+                    self.hv
+                        .trace
+                        .emit_with(guest, || EventKind::Milestone { what: "first_byte" });
+                }
                 let msg = UdpMsg {
                     src_ip: ip.src,
                     src_port: udp.src_port,
@@ -924,7 +939,12 @@ impl NetSystem {
                 };
                 self.metrics.client_rx_bytes += udp.payload.len() as u64;
                 self.metrics.client_rx_msgs += 1;
-                self.recovery.record_first_byte(now);
+                if self.recovery.record_first_byte(now) {
+                    let guest = self.guest.0;
+                    self.hv
+                        .trace
+                        .emit_with(guest, || EventKind::Milestone { what: "first_byte" });
+                }
                 let msg = UdpMsg {
                     src_ip: ip.src,
                     src_port: udp.src_port,
@@ -946,6 +966,7 @@ impl NetSystem {
     }
 
     fn handle(&mut self, now: Nanos, ev: Event) {
+        self.hv.trace.set_now(now);
         match ev {
             Event::AppSend {
                 side,
@@ -1070,6 +1091,25 @@ impl NetSystem {
     /// Events processed (diagnostics).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Turns on structured tracing with an event-ring capacity of `cap`.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.hv.trace.enable(cap);
+    }
+
+    /// Collects the scenario's measurement taps, lifetime netback stats
+    /// and recovery accounting into one named snapshot.
+    pub fn metrics_snapshot(&self, scenario: impl Into<String>) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new(scenario);
+        snap.push_int("client_rx_bytes", "bytes", self.metrics.client_rx_bytes);
+        snap.push_int("client_rx_msgs", "count", self.metrics.client_rx_msgs);
+        snap.push_int("guest_rx_bytes", "bytes", self.metrics.guest_rx_bytes);
+        snap.push_int("guest_rx_msgs", "count", self.metrics.guest_rx_msgs);
+        snap.push_int("drops", "count", self.metrics.drops);
+        self.netback_stats().append_metrics(&mut snap);
+        self.recovery.append_metrics(&mut snap);
+        snap
     }
 
     /// Driver-domain vCPU utilization over a window.

@@ -17,7 +17,7 @@ use kite_devices::Nvme;
 use kite_frontends::Blkfront;
 use kite_rumprun::BootSequence;
 use kite_sim::{Cpu, EventQueue, Nanos, Pcg};
-use kite_xen::xenbus::switch_state;
+use kite_trace::{EventKind, MetricsSnapshot};
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, FaultPlan, Hypervisor, Port,
     XenbusState,
@@ -220,13 +220,8 @@ impl StorSystem {
         blkback.connect(&mut hv).expect("blkback");
         blkfront.read_features(&mut hv, &paths).expect("features");
         let max_req_bytes = blkfront.max_request_bytes();
-        switch_state(
-            &mut hv.store,
-            guest,
-            &paths.frontend_state(),
-            XenbusState::Connected,
-        )
-        .expect("frontend connect");
+        hv.switch_state(guest, &paths.frontend_state(), XenbusState::Connected)
+            .expect("frontend connect");
 
         StorSystem {
             hv,
@@ -346,6 +341,24 @@ impl StorSystem {
     /// Events processed.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Turns on structured tracing with an event-ring capacity of `cap`.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.hv.trace.enable(cap);
+    }
+
+    /// Collects the scenario's measurement taps, lifetime blkback stats
+    /// and recovery accounting into one named snapshot.
+    pub fn metrics_snapshot(&self, scenario: impl Into<String>) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new(scenario);
+        snap.push_int("ios", "count", self.metrics.ios);
+        snap.push_int("logical_read_bytes", "bytes", self.metrics.read_bytes);
+        snap.push_int("logical_write_bytes", "bytes", self.metrics.write_bytes);
+        snap.push_float("mean_latency", "ns", self.metrics.latency.mean());
+        self.blkback_stats().append_metrics(&mut snap);
+        self.recovery.append_metrics(&mut snap);
+        snap
     }
 
     // ---- internals -----------------------------------------------------
@@ -531,8 +544,12 @@ impl StorSystem {
             return; // already down
         }
         self.recovery.record_crash(now);
+        let dead = self.driver.0;
+        self.hv
+            .trace
+            .emit_with(dead, || EventKind::Milestone { what: "kill" });
         self.bb_epoch += 1;
-        if let Some(bb) = self.blkback.abandon() {
+        if let Some(bb) = self.blkback.abandon(&mut self.hv) {
             self.bb_stats_base.merge(&bb.stats());
         }
         self.hv
@@ -540,8 +557,11 @@ impl StorSystem {
             .expect("driver was alive");
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
-        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closing);
-        let _ = switch_state(&mut self.hv.store, d0, &bs, XenbusState::Closed);
+        let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
+        let _ = self.hv.switch_state(d0, &bs, XenbusState::Closed);
+        self.hv
+            .trace
+            .emit_with(d0.0, || EventKind::Milestone { what: "detect" });
         self.blkfront = None;
         let mut inflight: Vec<Chunk> = self.req_map.drain().map(|(_, c)| c).collect();
         inflight.sort_by_key(|c| (c.tag, c.order));
@@ -550,8 +570,8 @@ impl StorSystem {
             self.pendq.push_front(c);
         }
         let fs = self.paths.frontend_state();
-        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closing);
-        let _ = switch_state(&mut self.hv.store, self.guest, &fs, XenbusState::Closed);
+        let _ = self.hv.switch_state(self.guest, &fs, XenbusState::Closing);
+        let _ = self.hv.switch_state(self.guest, &fs, XenbusState::Closed);
         let boot = self.boot.sample(&mut self.rng);
         self.queue.schedule_at(now + boot, Event::DriverRestarted);
     }
@@ -565,6 +585,9 @@ impl StorSystem {
         };
         let driver = self.hv.create_domain(name, DomainKind::Driver, mem, 1);
         self.driver = driver;
+        self.hv
+            .trace
+            .emit_with(driver.0, || EventKind::Milestone { what: "reboot" });
         self.driver_cpu = Cpu::new();
         self.hv
             .pci
@@ -579,7 +602,9 @@ impl StorSystem {
         let mut bf = Blkfront::connect(&mut self.hv, &self.paths).expect("blkfront");
         let ready = self.mgr.drain_events(&mut self.hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend rediscovered after restart");
-        self.blkback.retarget(ready[0].clone()).expect("slot empty");
+        self.blkback
+            .retarget(&mut self.hv, ready[0].clone())
+            .expect("slot empty");
         self.blkback.connect(&mut self.hv).expect("reconnect");
         if let Some(bb) = self.blkback.device_mut() {
             bb.set_copy_mode(self.copy_mode);
@@ -588,14 +613,17 @@ impl StorSystem {
             .expect("features");
         self.max_req_bytes = bf.max_request_bytes();
         self.blkfront = Some(bf);
-        switch_state(
-            &mut self.hv.store,
-            self.guest,
-            &self.paths.frontend_state(),
-            XenbusState::Connected,
-        )
-        .expect("frontend reconnect");
+        self.hv
+            .switch_state(
+                self.guest,
+                &self.paths.frontend_state(),
+                XenbusState::Connected,
+            )
+            .expect("frontend reconnect");
         self.recovery.reconnects += 1;
+        self.hv
+            .trace
+            .emit_with(driver.0, || EventKind::Milestone { what: "reconnect" });
         if let Some(t0) = self.recovery.last_crash_at {
             self.recovery.downtime += now - t0;
         }
@@ -603,6 +631,7 @@ impl StorSystem {
     }
 
     fn handle(&mut self, now: Nanos, ev: Event) {
+        self.hv.trace.set_now(now);
         match ev {
             Event::Submit(op) => {
                 let ok = self.try_submit(now, op, now);
@@ -668,7 +697,12 @@ impl StorSystem {
                             let lat = now - ts.submitted;
                             self.metrics.ios += 1;
                             self.metrics.latency.push_nanos(lat);
-                            self.recovery.record_first_byte(now);
+                            if self.recovery.record_first_byte(now) {
+                                let guest = self.guest.0;
+                                self.hv.trace.emit_with(guest, || EventKind::Milestone {
+                                    what: "first_byte",
+                                });
+                            }
                             if let Some(d) = &data {
                                 self.metrics.read_bytes += d.len() as u64;
                             }

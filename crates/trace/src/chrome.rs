@@ -1,0 +1,312 @@
+//! Chrome-trace (Perfetto-compatible) JSON export.
+//!
+//! The exporter writes the [JSON object format]: a `traceEvents` array
+//! plus a top-level `droppedEvents` count. Each simulated domain gets
+//! one track (pid 0, tid = domain id, named via `"M"` thread-name
+//! metadata); cost-bearing events render as complete `"X"` slices with
+//! a duration, everything else as instant `"i"` events. Timestamps are
+//! virtual-time microseconds with nanosecond precision, printed as
+//! fixed-point decimals so output is byte-stable across runs.
+//!
+//! [JSON object format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+use std::fmt::Write as _;
+
+use kite_sim::Nanos;
+
+use crate::metrics::json_escape;
+use crate::tracer::{EventKind, Tracer};
+
+/// Virtual nanoseconds as Chrome-trace microseconds: `"{us}.{ns:03}"`.
+fn ts(at: Nanos) -> String {
+    format!("{}.{:03}", at.as_nanos() / 1_000, at.as_nanos() % 1_000)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    dom: u16,
+    at: Nanos,
+    dur: Option<Nanos>,
+    args: &[(&str, String)],
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "\n  {{\"name\":\"{}\",\"cat\":\"kite\",\"pid\":0,\"tid\":{},\"ts\":{}",
+        json_escape(name),
+        dom,
+        ts(at),
+    );
+    match dur {
+        Some(d) => {
+            let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", ts(d));
+        }
+        None => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+    }
+    out.push_str("}}");
+}
+
+fn str_arg(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// Renders the tracer's events as a Chrome-trace JSON document.
+///
+/// `tracks` names the per-domain tracks as `(domain id, name)` pairs —
+/// callers pass every domain ever created (including dead ones) so a
+/// crashed driver domain's track stays labelled in the viewer.
+pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for &(tid, ref name) in tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            tid,
+            str_arg(&format!("{name} (dom {tid})")),
+        );
+    }
+    for e in tracer.events() {
+        match &e.kind {
+            EventKind::Hypercall { op, bytes, cost } => push_event(
+                &mut out,
+                &mut first,
+                op,
+                e.dom,
+                e.at,
+                Some(*cost),
+                &[("bytes", bytes.to_string())],
+            ),
+            EventKind::GrantCopyBatch {
+                ops,
+                ok_ops,
+                bytes,
+                cost,
+            } => push_event(
+                &mut out,
+                &mut first,
+                "gnttab_copy",
+                e.dom,
+                e.at,
+                Some(*cost),
+                &[
+                    ("ops", ops.to_string()),
+                    ("ok_ops", ok_ops.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            ),
+            EventKind::Notify {
+                to_dom,
+                port,
+                outcome,
+                cost,
+            } => push_event(
+                &mut out,
+                &mut first,
+                "notify",
+                e.dom,
+                e.at,
+                Some(*cost),
+                &[
+                    ("to_dom", to_dom.to_string()),
+                    ("port", port.to_string()),
+                    ("outcome", str_arg(outcome.name())),
+                ],
+            ),
+            EventKind::NotifyDelayed { extra } => push_event(
+                &mut out,
+                &mut first,
+                "notify_delayed",
+                e.dom,
+                e.at,
+                None,
+                &[("extra_ns", extra.as_nanos().to_string())],
+            ),
+            EventKind::XenbusState { path, state } => push_event(
+                &mut out,
+                &mut first,
+                &format!("xenbus:{state}"),
+                e.dom,
+                e.at,
+                None,
+                &[("path", str_arg(path))],
+            ),
+            EventKind::Lifecycle { device, transition } => push_event(
+                &mut out,
+                &mut first,
+                &format!("lifecycle:{transition}"),
+                e.dom,
+                e.at,
+                None,
+                &[("device", str_arg(device))],
+            ),
+            EventKind::RingDrain {
+                queue,
+                consumed,
+                delivered,
+                notify,
+            } => push_event(
+                &mut out,
+                &mut first,
+                queue,
+                e.dom,
+                e.at,
+                None,
+                &[
+                    ("consumed", consumed.to_string()),
+                    ("delivered", delivered.to_string()),
+                    ("notify", notify.to_string()),
+                ],
+            ),
+            EventKind::Milestone { what } => {
+                push_event(&mut out, &mut first, what, e.dom, e.at, None, &[])
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ns\",\"droppedEvents\":{}}}\n",
+        tracer.dropped()
+    );
+    out
+}
+
+/// Validates a Chrome-trace document produced by [`export`]: it must
+/// parse as JSON, every event needs `pid`/`tid`/`ph` (and `ts` unless
+/// metadata), timestamps must be monotonic non-decreasing per track,
+/// and `droppedEvents` must be zero. Returns the number of non-metadata
+/// events.
+pub fn validate(doc: &str) -> Result<usize, String> {
+    let value = crate::json::parse(doc)?;
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let dropped = value
+        .get("droppedEvents")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing droppedEvents count")?;
+    if dropped != 0.0 {
+        return Err(format!("{dropped} events were dropped from the ring"));
+    }
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut counted = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        ev.get("pid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        if ph == "M" {
+            continue;
+        }
+        counted += 1;
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let prev = last_ts.entry(tid.to_bits()).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!(
+                "event {i}: ts {ts} precedes {prev} on track {tid} — not monotonic"
+            ));
+        }
+        *prev = ts;
+    }
+    Ok(counted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::NotifyOutcome;
+
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::enabled(64);
+        t.set_now(Nanos::from_micros(3));
+        t.emit_with(2, || EventKind::GrantCopyBatch {
+            ops: 20,
+            ok_ops: 20,
+            bytes: 20 * 1514,
+            cost: Nanos::from_nanos(4_500),
+        });
+        t.emit_with(2, || EventKind::Notify {
+            to_dom: 3,
+            port: 4,
+            outcome: NotifyOutcome::Delivered,
+            cost: Nanos::from_nanos(700),
+        });
+        t.set_now(Nanos::from_micros(9));
+        t.emit_with(0, || EventKind::XenbusState {
+            path: "/local/domain/2/backend/vif/3/0/state".into(),
+            state: "closed",
+        });
+        t.emit_with(3, || EventKind::Milestone { what: "first_byte" });
+        t
+    }
+
+    fn tracks() -> Vec<(u16, String)> {
+        vec![
+            (0, "Domain-0".into()),
+            (2, "netbackend".into()),
+            (3, "guest".into()),
+        ]
+    }
+
+    #[test]
+    fn export_validates_and_counts_events() {
+        let t = sample_tracer();
+        let doc = export(&t, &tracks());
+        assert_eq!(validate(&doc), Ok(4));
+        // Virtual microsecond fixed-point: 3 µs → "3.000".
+        assert!(doc.contains("\"ts\":3.000"), "{doc}");
+        assert!(doc.contains("\"dur\":4.500"), "{doc}");
+        assert!(doc.contains("netbackend (dom 2)"), "{doc}");
+    }
+
+    #[test]
+    fn export_is_byte_identical_for_identical_traces() {
+        let a = export(&sample_tracer(), &tracks());
+        let b = export(&sample_tracer(), &tracks());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_flags_non_monotonic_tracks_and_drops() {
+        let mut t = Tracer::enabled(64);
+        t.set_now(Nanos::from_micros(5));
+        t.emit_with(1, || EventKind::Milestone { what: "late" });
+        t.set_now(Nanos::from_micros(1));
+        t.emit_with(1, || EventKind::Milestone { what: "early" });
+        let doc = export(&t, &[]);
+        assert!(validate(&doc).unwrap_err().contains("not monotonic"));
+
+        let mut t = Tracer::enabled(1);
+        t.emit_with(0, || EventKind::Milestone { what: "a" });
+        t.emit_with(0, || EventKind::Milestone { what: "b" });
+        let doc = export(&t, &[]);
+        assert!(validate(&doc).unwrap_err().contains("dropped"));
+    }
+}

@@ -1,0 +1,27 @@
+//! **kite-trace** — deterministic observability for the simulated stack.
+//!
+//! Three pieces, layered:
+//!
+//! * [`tracer`] — a bounded ring of typed [`TraceEvent`]s stamped with
+//!   virtual time, plus the [`TraceQuery`] assertion API. Disabled by
+//!   default; the disabled emit path is a single branch and runs no
+//!   allocation.
+//! * [`metrics`] — [`MetricsSnapshot`], the one rendering (text + JSON)
+//!   every bench and example reports through.
+//! * [`chrome`] — a Chrome-trace/Perfetto JSON exporter (one track per
+//!   domain, virtual-time microseconds) and its validator, backed by the
+//!   dependency-free parser in [`json`].
+//!
+//! Determinism rules: events are stamped with virtual time only (no wall
+//! clock), sequence ids start at zero per tracer, and all renderings use
+//! fixed-point formatting — two runs with the same seed produce
+//! byte-identical trace and metrics output.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use json::JsonValue;
+pub use metrics::{Metric, MetricValue, MetricsSnapshot};
+pub use tracer::{EventKind, NotifyOutcome, TraceEvent, TraceQuery, Tracer, DEFAULT_CAPACITY};

@@ -1,0 +1,437 @@
+//! The bounded, virtual-time event recorder and its query API.
+//!
+//! A [`Tracer`] is disabled by default: the emit path is then a single
+//! branch on an `Option` discriminant and never runs the caller's
+//! event-construction closure, so string-bearing events cost nothing
+//! until tracing is switched on. When enabled, events land in a bounded
+//! ring; once full the oldest event is dropped and counted, never the
+//! newest — recovery milestones near the end of a run survive.
+
+use std::collections::VecDeque;
+
+use kite_sim::Nanos;
+
+/// What became of an `evtchn_send`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NotifyOutcome {
+    /// The pending bit flipped and an interrupt will be delivered.
+    Delivered,
+    /// The port was already pending; the edge coalesced.
+    Coalesced,
+    /// A fault-injected drop: the edge was lost in "hardware".
+    Dropped,
+}
+
+impl NotifyOutcome {
+    /// Stable lower-case label, used in renderings and queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            NotifyOutcome::Delivered => "delivered",
+            NotifyOutcome::Coalesced => "coalesced",
+            NotifyOutcome::Dropped => "dropped",
+        }
+    }
+}
+
+/// The typed payload of one trace event.
+///
+/// Domain and port identifiers are carried as raw integers: this crate
+/// sits below `kite-xen` in the dependency graph, so it cannot name
+/// `DomainId`/`Port` — emitters pass `id.0`.
+#[derive(Clone, Debug)]
+pub enum EventKind {
+    /// A charged hypercall other than `gnttab_copy` (those get their own
+    /// [`EventKind::GrantCopyBatch`] record with batch detail).
+    Hypercall {
+        /// Hypercall name, e.g. `"gnttab_map"`.
+        op: &'static str,
+        /// Payload bytes billed with the call, if any.
+        bytes: u64,
+        /// Virtual cost charged to the calling domain.
+        cost: Nanos,
+    },
+    /// One batched `GNTTABOP_copy` hypercall.
+    GrantCopyBatch {
+        /// Copy descriptors carried by the batch.
+        ops: u32,
+        /// Descriptors that completed with `Okay` status.
+        ok_ops: u32,
+        /// Bytes actually moved (failed descriptors move none).
+        bytes: u64,
+        /// Virtual cost of the whole batch.
+        cost: Nanos,
+    },
+    /// An `evtchn_send` and its outcome.
+    Notify {
+        /// Domain on the receiving end of the channel.
+        to_dom: u16,
+        /// The receiver's port number.
+        port: u32,
+        /// Delivered, coalesced, or fault-dropped.
+        outcome: NotifyOutcome,
+        /// Virtual cost charged to the sender.
+        cost: Nanos,
+    },
+    /// A fault-injected delay added to one interrupt delivery.
+    NotifyDelayed {
+        /// Extra latency beyond the cost model's IRQ delivery time.
+        extra: Nanos,
+    },
+    /// A xenbus state node transition committed to the store.
+    XenbusState {
+        /// Full path of the `state` node.
+        path: String,
+        /// The new state's lower-case name, e.g. `"connected"`.
+        state: &'static str,
+    },
+    /// A [`DeviceLifecycle`] operation on a backend device.
+    ///
+    /// [`DeviceLifecycle`]: ../../kite_core/lifecycle/struct.DeviceLifecycle.html
+    Lifecycle {
+        /// Device identity, `<kind>/<frontend-domain>/<index>`.
+        device: String,
+        /// `"connect"`, `"suspend"`, `"close"`, `"abandon"`, `"retarget"`,
+        /// or `"reconnect"`.
+        transition: &'static str,
+    },
+    /// One non-empty backend ring drain.
+    RingDrain {
+        /// Which queue drained, e.g. `"netback_tx"`.
+        queue: &'static str,
+        /// Ring slots consumed (occupancy at drain start, up to budget).
+        consumed: u32,
+        /// Frames delivered / requests submitted out of those slots.
+        delivered: u32,
+        /// Whether the drain ended by notifying the peer.
+        notify: bool,
+    },
+    /// A recovery milestone: `"kill"`, `"detect"`, `"reboot"`,
+    /// `"reconnect"`, `"first_byte"` — or any scenario-defined marker.
+    Milestone {
+        /// Milestone label.
+        what: &'static str,
+    },
+}
+
+impl EventKind {
+    /// Stable event-type name used by [`TraceQuery::kind`] and renderers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Hypercall { op, .. } => op,
+            EventKind::GrantCopyBatch { .. } => "gnttab_copy",
+            EventKind::Notify { .. } => "notify",
+            EventKind::NotifyDelayed { .. } => "notify_delayed",
+            EventKind::XenbusState { .. } => "xenbus_state",
+            EventKind::Lifecycle { .. } => "lifecycle",
+            EventKind::RingDrain { .. } => "ring_drain",
+            EventKind::Milestone { .. } => "milestone",
+        }
+    }
+}
+
+/// One recorded event: a sequence number (total order of emission), a
+/// virtual timestamp, the domain the event is attributed to, and the
+/// typed payload.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Emission sequence number; strictly increasing, never reused, and
+    /// stable across drops (dropped events leave a gap at the front).
+    pub seq: u64,
+    /// Virtual time of the enclosing simulation event.
+    pub at: Nanos,
+    /// Raw id of the domain this event is attributed to.
+    pub dom: u16,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+struct Inner {
+    now: Nanos,
+    next_seq: u64,
+    dropped: u64,
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+}
+
+/// Default ring capacity used by [`Tracer::enabled`]'s convenience
+/// callers; sized so a full crash/recovery scenario fits with zero drops.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Bounded recorder of [`TraceEvent`]s, stamped with virtual time.
+#[derive(Default)]
+pub struct Tracer {
+    inner: Option<Box<Inner>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing; the emit path is one branch.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer recording into a drop-oldest ring of `capacity` events.
+    pub fn enabled(capacity: usize) -> Tracer {
+        let mut t = Tracer::disabled();
+        t.enable(capacity);
+        t
+    }
+
+    /// Switches recording on (idempotent: an enabled tracer keeps its
+    /// events and capacity).
+    pub fn enable(&mut self, capacity: usize) {
+        if self.inner.is_none() {
+            self.inner = Some(Box::new(Inner {
+                now: Nanos::ZERO,
+                next_seq: 0,
+                dropped: 0,
+                capacity: capacity.max(1),
+                ring: VecDeque::new(),
+            }));
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Advances the clock used to stamp subsequent events. Called once
+    /// per simulation event; emitters never pass time explicitly.
+    pub fn set_now(&mut self, now: Nanos) {
+        if let Some(inner) = &mut self.inner {
+            inner.now = now;
+        }
+    }
+
+    /// The current virtual timestamp ([`Nanos::ZERO`] when disabled).
+    pub fn now(&self) -> Nanos {
+        self.inner.as_ref().map_or(Nanos::ZERO, |i| i.now)
+    }
+
+    /// Records the event built by `f`, attributed to domain `dom`.
+    ///
+    /// `f` runs only when the tracer is enabled, so event construction
+    /// (including any allocation) is skipped entirely on the disabled
+    /// path — that is the whole cost contract of this crate.
+    #[inline]
+    pub fn emit_with(&mut self, dom: u16, f: impl FnOnce() -> EventKind) {
+        let Some(inner) = &mut self.inner else {
+            return;
+        };
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ring.push_back(TraceEvent {
+            seq,
+            at: inner.now,
+            dom,
+            kind: f(),
+        });
+    }
+
+    /// Events dropped from the front of the ring since enabling.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.dropped)
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.ring.len())
+    }
+
+    /// Whether no events are held (also true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.inner.iter().flat_map(|i| i.ring.iter())
+    }
+
+    /// Discards all held events (capacity and clock are kept).
+    pub fn clear(&mut self) {
+        if let Some(inner) = &mut self.inner {
+            inner.ring.clear();
+        }
+    }
+
+    /// A query over every held event.
+    pub fn query(&self) -> TraceQuery<'_> {
+        TraceQuery {
+            events: self.events().collect(),
+        }
+    }
+}
+
+/// A filtered view over a tracer's events, for test assertions.
+///
+/// Filters consume and return the query, so assertions chain:
+/// `t.query().dom(2).kind("gnttab_copy").count()`.
+pub struct TraceQuery<'a> {
+    events: Vec<&'a TraceEvent>,
+}
+
+impl<'a> TraceQuery<'a> {
+    /// Keeps events matching `pred`.
+    pub fn filter(mut self, pred: impl Fn(&TraceEvent) -> bool) -> Self {
+        self.events.retain(|e| pred(e));
+        self
+    }
+
+    /// Keeps events whose [`EventKind::name`] equals `name`.
+    pub fn kind(self, name: &str) -> Self {
+        self.filter(|e| e.kind.name() == name)
+    }
+
+    /// Keeps events attributed to domain `dom`.
+    pub fn dom(self, dom: u16) -> Self {
+        self.filter(|e| e.dom == dom)
+    }
+
+    /// Keeps events with `lo <= at <= hi` (virtual time, inclusive).
+    pub fn between(self, lo: Nanos, hi: Nanos) -> Self {
+        self.filter(|e| lo <= e.at && e.at <= hi)
+    }
+
+    /// Keeps events with `lo < seq < hi` (emission order, exclusive):
+    /// "strictly between these two events", immune to timestamp ties.
+    pub fn seq_between(self, lo: u64, hi: u64) -> Self {
+        self.filter(|e| lo < e.seq && e.seq < hi)
+    }
+
+    /// Number of events in the view.
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Oldest event in the view.
+    pub fn first(&self) -> Option<&'a TraceEvent> {
+        self.events.first().copied()
+    }
+
+    /// Newest event in the view.
+    pub fn last(&self) -> Option<&'a TraceEvent> {
+        self.events.last().copied()
+    }
+
+    /// Iterates the view, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &'a TraceEvent> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// The first [`EventKind::Milestone`] named `what`, if any.
+    pub fn milestone(&self, what: &str) -> Option<&'a TraceEvent> {
+        self.events
+            .iter()
+            .copied()
+            .find(|e| matches!(e.kind, EventKind::Milestone { what: w } if w == what))
+    }
+
+    /// Virtual-time span from the first milestone `from` to the first
+    /// milestone `to` at-or-after it.
+    pub fn span_between(&self, from: &str, to: &str) -> Option<Nanos> {
+        let a = self.milestone(from)?;
+        let b = self.events.iter().copied().find(|e| {
+            e.seq > a.seq && matches!(e.kind, EventKind::Milestone { what: w } if w == to)
+        })?;
+        Some(b.at.saturating_sub(a.at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn milestone(what: &'static str) -> EventKind {
+        EventKind::Milestone { what }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_never_calls_the_closure() {
+        let mut t = Tracer::disabled();
+        t.set_now(Nanos::from_secs(1));
+        t.emit_with(0, || panic!("closure must not run when disabled"));
+        assert!(!t.is_enabled());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut t = Tracer::enabled(3);
+        for i in 0..5u64 {
+            t.set_now(Nanos::from_nanos(i));
+            t.emit_with(0, || milestone("tick"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        // Oldest survivor is the third emission (seq 2).
+        assert_eq!(t.events().next().unwrap().seq, 2);
+        assert_eq!(t.query().last().unwrap().at, Nanos::from_nanos(4));
+    }
+
+    #[test]
+    fn seq_ids_are_deterministic_and_dense() {
+        let mut t = Tracer::enabled(16);
+        for _ in 0..4 {
+            t.emit_with(1, || milestone("m"));
+        }
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn query_filters_compose() {
+        let mut t = Tracer::enabled(16);
+        t.set_now(Nanos::from_micros(1));
+        t.emit_with(1, || milestone("kill"));
+        t.set_now(Nanos::from_micros(2));
+        t.emit_with(2, || EventKind::Notify {
+            to_dom: 1,
+            port: 4,
+            outcome: NotifyOutcome::Delivered,
+            cost: Nanos::from_nanos(700),
+        });
+        t.set_now(Nanos::from_micros(5));
+        t.emit_with(1, || milestone("reconnect"));
+        assert_eq!(t.query().count(), 3);
+        assert_eq!(t.query().kind("notify").count(), 1);
+        assert_eq!(t.query().dom(1).count(), 2);
+        assert_eq!(
+            t.query()
+                .between(Nanos::from_micros(2), Nanos::from_micros(5))
+                .count(),
+            2
+        );
+        let q = t.query();
+        let kill = q.milestone("kill").unwrap();
+        let rec = q.milestone("reconnect").unwrap();
+        assert_eq!(
+            q.span_between("kill", "reconnect"),
+            Some(Nanos::from_micros(4))
+        );
+        assert_eq!(
+            t.query()
+                .seq_between(kill.seq, rec.seq)
+                .kind("notify")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn enable_is_idempotent() {
+        let mut t = Tracer::enabled(8);
+        t.emit_with(0, || milestone("once"));
+        t.enable(2);
+        assert_eq!(t.len(), 1, "re-enable keeps events and capacity");
+        t.emit_with(0, || milestone("twice"));
+        t.emit_with(0, || milestone("thrice"));
+        assert_eq!(t.dropped(), 0, "original capacity of 8 still in force");
+    }
+}

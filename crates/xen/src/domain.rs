@@ -142,6 +142,12 @@ impl DomainTable {
     pub fn iter(&self) -> impl Iterator<Item = &Domain> {
         self.domains.iter().filter(|d| d.state != DomainState::Dead)
     }
+
+    /// Iterates every domain ever created, dead ones included — trace
+    /// exports keep a named track for a crashed driver domain.
+    pub fn iter_all(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.iter()
+    }
 }
 
 #[cfg(test)]

@@ -150,6 +150,19 @@ impl EventChannels {
         })
     }
 
+    /// The remote end of an interdomain channel, for diagnostics (the
+    /// tracer records the receiver even when a send coalesces and no
+    /// [`Notification`] is returned).
+    pub fn peer(&self, d: DomainId, p: Port) -> Result<(DomainId, Port)> {
+        match self.info(d, p)?.state {
+            PortState::Interdomain {
+                remote,
+                remote_port,
+            } => Ok((remote, remote_port)),
+            _ => Err(XenError::BadPort),
+        }
+    }
+
     /// Clears the pending bit (the guest's interrupt handler ack).
     ///
     /// Returns whether the port was pending.

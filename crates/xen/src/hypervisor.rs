@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use kite_sim::Nanos;
+use kite_trace::{EventKind, NotifyOutcome, Tracer};
 
 use crate::domain::{DomainId, DomainKind, DomainTable};
 use crate::error::Result;
@@ -64,6 +65,9 @@ pub struct Hypervisor {
     pub costs: CostModel,
     /// Fault-injection plan (inert by default).
     pub faults: FaultPlan,
+    /// Structured event recorder (disabled by default; a disabled
+    /// tracer's emit path is one branch and no allocation).
+    pub trace: Tracer,
     meters: HashMap<DomainId, HypercallMeter>,
 }
 
@@ -86,6 +90,7 @@ impl Hypervisor {
             iommu: Iommu::new(),
             costs: CostModel::default(),
             faults: FaultPlan::none(),
+            trace: Tracer::disabled(),
             meters: HashMap::new(),
         }
     }
@@ -178,13 +183,24 @@ impl Hypervisor {
     ) -> Result<(Mapping, Nanos)> {
         let m = self.grants.map(mapper, granter, gref)?;
         let c = self.charge(mapper, HypercallKind::GntMap, 0);
+        self.trace.emit_with(mapper.0, || EventKind::Hypercall {
+            op: HypercallKind::GntMap.name(),
+            bytes: 0,
+            cost: c,
+        });
         Ok((m, c))
     }
 
     /// Charged `GNTTABOP_unmap_grant_ref`.
     pub fn unmap_grant(&mut self, mapper: DomainId, handle: MapHandle) -> Result<Nanos> {
         self.grants.unmap(mapper, handle)?;
-        Ok(self.charge(mapper, HypercallKind::GntUnmap, 0))
+        let c = self.charge(mapper, HypercallKind::GntUnmap, 0);
+        self.trace.emit_with(mapper.0, || EventKind::Hypercall {
+            op: HypercallKind::GntUnmap.name(),
+            bytes: 0,
+            cost: c,
+        });
+        Ok(c)
     }
 
     /// Charged batched `GNTTABOP_copy`: one hypercall executes the whole
@@ -223,11 +239,19 @@ impl Hypervisor {
             .entry(caller)
             .or_default()
             .charge_costed(HypercallKind::GntCopy, cost);
-        BatchResult {
+        let result = BatchResult {
             statuses,
             bytes,
             cost,
-        }
+        };
+        self.trace
+            .emit_with(caller.0, || EventKind::GrantCopyBatch {
+                ops: ops.len() as u32,
+                ok_ops: result.ok_ops() as u32,
+                bytes: result.bytes as u64,
+                cost,
+            });
+        result
     }
 
     /// Issues `ops` under the given [`CopyMode`]: one batched hypercall,
@@ -284,6 +308,11 @@ impl Hypervisor {
         port: Port,
     ) -> Result<(Option<Notification>, Nanos)> {
         let mut n = self.evtchn.send(caller, port)?;
+        let mut outcome = if n.is_some() {
+            NotifyOutcome::Delivered
+        } else {
+            NotifyOutcome::Coalesced
+        };
         if let Some(note) = &n {
             if self.faults.drop_notify() {
                 // The edge is lost entirely: clear the peer's pending bit
@@ -291,9 +320,25 @@ impl Hypervisor {
                 // of coalescing into the one that never arrived.
                 let _ = self.evtchn.clear_pending(note.domain, note.port);
                 n = None;
+                outcome = NotifyOutcome::Dropped;
             }
         }
         let c = self.charge(caller, HypercallKind::EvtchnSend, 0);
+        if self.trace.is_enabled() {
+            // A coalesced send returns no notification; resolve the peer
+            // from the channel so the trace still names the receiver.
+            let (to_dom, to_port) = self
+                .evtchn
+                .peer(caller, port)
+                .map(|(d, p)| (d.0, p.0))
+                .unwrap_or((u16::MAX, u32::MAX));
+            self.trace.emit_with(caller.0, || EventKind::Notify {
+                to_dom,
+                port: to_port,
+                outcome,
+                cost: c,
+            });
+        }
         Ok((n, c))
     }
 
@@ -301,7 +346,14 @@ impl Hypervisor {
     /// base plus any fault-injected delay. System layers should schedule
     /// interrupt events this far after the send completes.
     pub fn irq_delay(&mut self) -> Nanos {
-        self.costs.irq_delivery + self.faults.notify_delay()
+        let extra = self.faults.notify_delay();
+        if extra > Nanos::ZERO {
+            // Attributed to Dom0: the delay models contention in the
+            // delivery path, not work done by either channel end.
+            self.trace
+                .emit_with(DomainId::DOM0.0, || EventKind::NotifyDelayed { extra });
+        }
+        self.costs.irq_delivery + extra
     }
 
     /// Charged event-channel allocation.
@@ -312,6 +364,11 @@ impl Hypervisor {
     ) -> (Port, Nanos) {
         let p = self.evtchn.alloc_unbound(owner, remote_allowed);
         let c = self.charge(owner, HypercallKind::EvtchnOp, 0);
+        self.trace.emit_with(owner.0, || EventKind::Hypercall {
+            op: HypercallKind::EvtchnOp.name(),
+            bytes: 0,
+            cost: c,
+        });
         (p, c)
     }
 
@@ -324,12 +381,27 @@ impl Hypervisor {
     ) -> Result<(Port, Nanos)> {
         let p = self.evtchn.bind_interdomain(binder, remote, remote_port)?;
         let c = self.charge(binder, HypercallKind::EvtchnOp, 0);
+        self.trace.emit_with(binder.0, || EventKind::Hypercall {
+            op: HypercallKind::EvtchnOp.name(),
+            bytes: 0,
+            cost: c,
+        });
         Ok((p, c))
+    }
+
+    fn charge_xs(&mut self, caller: DomainId) -> Nanos {
+        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        self.trace.emit_with(caller.0, || EventKind::Hypercall {
+            op: HypercallKind::XsOp.name(),
+            bytes: 0,
+            cost: c,
+        });
+        c
     }
 
     /// Charged xenstore read.
     pub fn xs_read(&mut self, caller: DomainId, path: &str) -> (Result<String>, Nanos) {
-        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        let c = self.charge_xs(caller);
         if let Some(e) = self.faults.fail_xs() {
             return (Err(e), c);
         }
@@ -339,7 +411,7 @@ impl Hypervisor {
 
     /// Charged xenstore directory listing.
     pub fn xs_directory(&mut self, caller: DomainId, path: &str) -> (Result<Vec<String>>, Nanos) {
-        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        let c = self.charge_xs(caller);
         if let Some(e) = self.faults.fail_xs() {
             return (Err(e), c);
         }
@@ -349,12 +421,43 @@ impl Hypervisor {
 
     /// Charged xenstore write.
     pub fn xs_write(&mut self, caller: DomainId, path: &str, value: &str) -> (Result<()>, Nanos) {
-        let c = self.charge(caller, HypercallKind::XsOp, 0);
+        let c = self.charge_xs(caller);
         if let Some(e) = self.faults.fail_xs() {
             return (Err(e), c);
         }
         let r = self.store.write(caller, None, path, value);
         (r, c)
+    }
+
+    /// Switches a device `state` node (validated transition, see
+    /// [`crate::xenbus::switch_state`]) and records it as a trace event.
+    ///
+    /// Drivers and toolstack paths go through this wrapper so every
+    /// handshake step and teardown walk lands in the trace; the free
+    /// function remains for setup code that has only a [`Xenstore`].
+    pub fn switch_state(
+        &mut self,
+        caller: DomainId,
+        state_path: &str,
+        next: crate::xenbus::XenbusState,
+    ) -> Result<()> {
+        crate::xenbus::switch_state(&mut self.store, caller, state_path, next)?;
+        self.trace.emit_with(caller.0, || EventKind::XenbusState {
+            path: state_path.to_string(),
+            state: next.name(),
+        });
+        Ok(())
+    }
+
+    /// Renders the recorded trace as a Chrome-trace/Perfetto JSON
+    /// document with one named track per domain ever created.
+    pub fn export_chrome_trace(&self) -> String {
+        let tracks: Vec<(u16, String)> = self
+            .domains
+            .iter_all()
+            .map(|d| (d.id.0, d.name.clone()))
+            .collect();
+        kite_trace::chrome::export(&self.trace, &tracks)
     }
 }
 
@@ -600,6 +703,92 @@ mod tests {
         assert_eq!(hv.faults.stats.xs_faults, 2);
         assert_eq!(hv.irq_delay(), base + Nanos::from_micros(50));
         assert_eq!(hv.faults.stats.notifies_delayed, 1);
+    }
+
+    #[test]
+    fn trace_records_hypercalls_notifies_and_xenbus_transitions() {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 1024, 4);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
+        let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
+        hv.trace.enable(1024);
+        hv.trace.set_now(Nanos::from_micros(7));
+
+        let a = hv.alloc_page(dd).unwrap();
+        let b = hv.alloc_page(dd).unwrap();
+        let ops = [crate::grant::GrantCopyOp {
+            src: CopySide::Local { page: a, offset: 0 },
+            dst: CopySide::Local { page: b, offset: 0 },
+            len: 64,
+        }];
+        let batch = hv.grant_copy_batch(dd, &ops);
+        let (p_gu, _) = hv.evtchn_alloc_unbound(gu, dd);
+        let (p_dd, _) = hv.evtchn_bind(dd, gu, p_gu).unwrap();
+        hv.evtchn_send(dd, p_dd).unwrap(); // delivered
+        hv.evtchn_send(dd, p_dd).unwrap(); // pending bit set: coalesced
+
+        assert_eq!(hv.trace.query().kind("gnttab_copy").count(), 1);
+        let copy = hv
+            .trace
+            .query()
+            .kind("gnttab_copy")
+            .first()
+            .unwrap()
+            .clone();
+        assert_eq!(copy.at, Nanos::from_micros(7));
+        assert_eq!(copy.dom, dd.0);
+        match copy.kind {
+            EventKind::GrantCopyBatch {
+                ops: n,
+                ok_ops,
+                bytes,
+                cost,
+            } => {
+                assert_eq!((n, ok_ops, bytes), (1, 1, 64));
+                assert_eq!(cost, batch.cost);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let outcomes: Vec<NotifyOutcome> = hv
+            .trace
+            .query()
+            .kind("notify")
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Notify { outcome, .. } => outcome,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![NotifyOutcome::Delivered, NotifyOutcome::Coalesced]
+        );
+
+        // A traced state switch lands with path and state name.
+        let state_path = "/local/domain/1/device/vif/0/state";
+        hv.switch_state(
+            DomainId::DOM0,
+            state_path,
+            crate::xenbus::XenbusState::Initialising,
+        )
+        .unwrap();
+        let ev = hv
+            .trace
+            .query()
+            .kind("xenbus_state")
+            .last()
+            .unwrap()
+            .clone();
+        match &ev.kind {
+            EventKind::XenbusState { path, state } => {
+                assert_eq!(path, state_path);
+                assert_eq!(*state, "initialising");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Every emission got a distinct, increasing seq.
+        let seqs: Vec<u64> = hv.trace.events().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

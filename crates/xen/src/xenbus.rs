@@ -48,6 +48,19 @@ impl XenbusState {
         self as u8
     }
 
+    /// Lower-case state name, as used in trace events and renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            XenbusState::Unknown => "unknown",
+            XenbusState::Initialising => "initialising",
+            XenbusState::InitWait => "initwait",
+            XenbusState::Initialised => "initialised",
+            XenbusState::Connected => "connected",
+            XenbusState::Closing => "closing",
+            XenbusState::Closed => "closed",
+        }
+    }
+
     /// Whether `self -> next` is a legal transition.
     ///
     /// `Closing` may be entered from any live state (crash/unplug); a

@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace out.json
 //! ```
+//!
+//! With `--trace <path>`, the run records every hypercall, notify,
+//! xenbus transition and ring drain, and exports a Chrome-trace JSON
+//! (open it at <https://ui.perfetto.dev>).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -12,10 +17,19 @@ use kite::sim::Nanos;
 use kite::system::{addrs, BackendOs, NetSystem, Reply, Side};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
+
     // One call assembles the paper's Figure 2: Dom0, a Kite driver domain
     // with the NIC passed through, a 22-vCPU guest with netfront, and an
     // external client — with the xenbus handshake already at Connected.
     let mut sys = NetSystem::new(BackendOs::Kite, /* seed */ 42);
+    if trace_path.is_some() {
+        sys.enable_tracing(kite::trace::DEFAULT_CAPACITY);
+    }
 
     // The guest runs a tiny echo server.
     sys.set_guest_app(Box::new(|_, msg| {
@@ -48,21 +62,27 @@ fn main() {
     sys.run_to_quiescence();
 
     let echoed = echoed.borrow();
-    println!("echo replies: {}", echoed.len());
     for (t, len) in echoed.iter() {
         println!(
-            "  at {t}: {len} bytes (round trip {})",
+            "echo at {t}: {len} bytes (round trip {})",
             *t - Nanos::from_millis(1)
         );
     }
-    let st = sys.netback_stats();
-    println!(
-        "netback: {} pkts guest→world ({} B), {} pkts world→guest ({} B)",
-        st.tx_packets, st.tx_bytes, st.rx_packets, st.rx_bytes
+    // All reporting goes through the shared snapshot rendering.
+    let mut snap = sys.metrics_snapshot("quickstart/echo");
+    snap.push_int("echo_replies", "count", echoed.len() as u64);
+    snap.push_int(
+        "driver_hypercalls",
+        "count",
+        sys.hv.meter(sys.driver_domain()).total_count(),
     );
-    println!(
-        "driver domain hypercalls: {} total",
-        sys.hv.meter(sys.driver_domain()).total_count()
-    );
+    print!("{}", snap.render_text());
     assert_eq!(echoed.len(), 1, "the echo must arrive");
+
+    if let Some(path) = trace_path {
+        let doc = sys.hv.export_chrome_trace();
+        let events = kite::trace::chrome::validate(&doc).expect("trace must validate");
+        std::fs::write(&path, &doc).expect("write trace");
+        println!("wrote Chrome trace to {path} ({events} events)");
+    }
 }

@@ -68,21 +68,17 @@ fn sequential_write_read(tuning: BlkbackTuning, label: &str) {
     }
     sys.run_to_quiescence();
 
+    // All reporting goes through the shared snapshot rendering.
     let st = sys.blkback_stats();
-    println!("{label}:");
-    println!(
-        "  elapsed {}  ring requests {}  device ops {} (batching merges {:.1}:1)",
-        sys.now(),
-        st.requests,
-        st.device_ops,
-        st.requests as f64 / st.device_ops.max(1) as f64
+    let mut snap = sys.metrics_snapshot(format!("storage_domain/{label}"));
+    snap.push_int("elapsed", "ns", sys.now().as_nanos());
+    snap.push_float(
+        "batching_merge_ratio",
+        "ratio",
+        st.requests as f64 / st.device_ops.max(1) as f64,
     );
-    println!(
-        "  grant maps {}  persistent hits {}  verify failures {}",
-        st.grant_maps,
-        st.persistent_hits,
-        failures.borrow()
-    );
+    snap.push_int("verify_failures", "count", *failures.borrow() as u64);
+    print!("{}", snap.render_text());
     assert_eq!(*failures.borrow(), 0, "data must round-trip intact");
 }
 

@@ -24,6 +24,30 @@ for ex in examples/*.rs; do
     "./target/release/examples/${name}" > /dev/null
 done
 
+echo "==> tracing: exports validate and are deterministic"
+# Each traced run validates its own Chrome-trace export before writing
+# (chrome::validate: JSON parses, per-track monotonic timestamps, zero
+# dropped events) — a failed validation aborts the example. On top of
+# that, same-seed runs must produce byte-identical trace files.
+tdir="$(mktemp -d)"
+trap 'rm -rf "$tdir"' EXIT
+./target/release/examples/quickstart --trace "$tdir/quickstart.json" > /dev/null
+./target/release/examples/recovery_trace "$tdir/recovery_a.json" > /dev/null
+./target/release/examples/recovery_trace "$tdir/recovery_b.json" > /dev/null
+for f in quickstart.json recovery_a.json; do
+    [ -s "$tdir/$f" ] || { echo "verify: $f missing or empty" >&2; exit 1; }
+done
+cmp "$tdir/recovery_a.json" "$tdir/recovery_b.json" \
+    || { echo "verify: same-seed traces differ" >&2; exit 1; }
+
+echo "==> repro --json: machine-readable bench snapshot"
+# write_json validates the rendered rows round-trip before writing.
+./target/release/repro --json "$tdir/bench.json" > /dev/null
+[ -s "$tdir/bench.json" ] || { echo "verify: bench.json missing or empty" >&2; exit 1; }
+./target/release/repro --json "$tdir/bench2.json" > /dev/null
+cmp "$tdir/bench.json" "$tdir/bench2.json" \
+    || { echo "verify: repro --json output not deterministic" >&2; exit 1; }
+
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -13,6 +13,7 @@
 //! * [`core`] — **the paper's contribution**: netback, blkback, backend
 //!   invocation, the bridge/block apps and the DHCP daemon;
 //! * [`system`] — full-system scenarios (client ⇄ driver domain ⇄ guest);
+//! * [`trace`] — virtual-time tracing, metrics snapshots, Chrome-trace export;
 //! * [`security`] — gadget scanner, CVE analysis, attack-surface reports;
 //! * [`workloads`] — one generator per paper figure.
 //!
@@ -29,5 +30,6 @@ pub use kite_rumprun as rumprun;
 pub use kite_security as security;
 pub use kite_sim as sim;
 pub use kite_system as system;
+pub use kite_trace as trace;
 pub use kite_workloads as workloads;
 pub use kite_xen as xen;

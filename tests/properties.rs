@@ -821,33 +821,62 @@ fn soft_start_counts_dropped_frames() {
 /// issues exactly ONE grant-copy hypercall, in both directions.
 #[test]
 fn netback_drain_is_one_hypercall() {
+    use kite::trace::EventKind;
     let mut rig = net_rig(CopyMode::Batched);
+    rig.hv.trace.enable(1 << 12);
     for i in 0..20 {
         let frame = vec![i as u8; 100 + i * 7];
         rig.nf.send(&mut rig.hv, &frame).unwrap();
         rig.nb.enqueue_to_guest(frame);
     }
-    let before = rig.hv.meter(rig.dd).count(HypercallKind::GntCopy);
     let tx = rig.nb.pusher_run(&mut rig.hv, 64).unwrap();
     assert_eq!(tx.frames.len(), 20);
-    assert_eq!(
-        rig.hv.meter(rig.dd).count(HypercallKind::GntCopy) - before,
-        1
-    );
+    // Trace-level assertion: the whole 20-frame Tx drain was exactly ONE
+    // gnttab_copy hypercall carrying all 20 ops, recorded as one drain.
+    assert_eq!(rig.hv.trace.query().kind("gnttab_copy").count(), 1);
+    let copy = rig.hv.trace.query().kind("gnttab_copy").first().unwrap();
+    assert!(matches!(
+        copy.kind,
+        EventKind::GrantCopyBatch {
+            ops: 20,
+            ok_ops: 20,
+            ..
+        }
+    ));
+    let drain = rig.hv.trace.query().kind("ring_drain").first().unwrap();
+    assert!(matches!(
+        drain.kind,
+        EventKind::RingDrain {
+            queue: "netback_tx",
+            consumed: 20,
+            ..
+        }
+    ));
 
-    let before = rig.hv.meter(rig.dd).count(HypercallKind::GntCopy);
     let rx = rig.nb.soft_start_run(&mut rig.hv, 64).unwrap();
     assert_eq!(rx.delivered, 20);
+    assert_eq!(rig.hv.trace.query().kind("gnttab_copy").count(), 2);
     assert_eq!(
-        rig.hv.meter(rig.dd).count(HypercallKind::GntCopy) - before,
+        rig.hv
+            .trace
+            .query()
+            .kind("ring_drain")
+            .filter(|e| matches!(
+                e.kind,
+                EventKind::RingDrain {
+                    queue: "netback_rx",
+                    ..
+                }
+            ))
+            .count(),
         1
     );
 
-    // An empty drain issues none.
-    let before = rig.hv.meter(rig.dd).count(HypercallKind::GntCopy);
+    // An empty drain emits neither a copy hypercall nor a drain record.
     rig.nb.pusher_run(&mut rig.hv, 64).unwrap();
     rig.nb.soft_start_run(&mut rig.hv, 64).unwrap();
-    assert_eq!(rig.hv.meter(rig.dd).count(HypercallKind::GntCopy), before);
+    assert_eq!(rig.hv.trace.query().kind("gnttab_copy").count(), 2);
+    assert_eq!(rig.hv.trace.query().kind("ring_drain").count(), 2);
 
     let st = rig.nb.stats();
     assert_eq!(st.copy.batches, 2);

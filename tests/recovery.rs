@@ -23,6 +23,7 @@ fn net_driver_crash_mid_udp_stream_recovers_without_acked_loss() {
     let mut downtimes = Vec::new();
     for os in BackendOs::both() {
         let mut sys = NetSystem::new(os, 42);
+        sys.enable_tracing(1 << 16);
         let received: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
         let r2 = received.clone();
         sys.set_client_app(Box::new(move |_, msg| {
@@ -74,6 +75,58 @@ fn net_driver_crash_mid_udp_stream_recovers_without_acked_loss() {
         assert!(
             cfb >= down,
             "{}: first byte ({cfb:?}) can't precede reconnect ({down:?})",
+            os.name()
+        );
+        // Trace-level recovery story: the milestones appear exactly once,
+        // in causal order, and the outage window is silent — not a single
+        // evtchn notify between the kill and the reconnect.
+        assert_eq!(sys.hv.trace.dropped(), 0, "{}: ring overflow", os.name());
+        let seq_of = |what: &str| {
+            sys.hv
+                .trace
+                .query()
+                .milestone(what)
+                .unwrap_or_else(|| panic!("{}: milestone {what:?} missing", os.name()))
+                .seq
+        };
+        let (m_kill, m_detect, m_reboot, m_reconnect, m_first) = (
+            seq_of("kill"),
+            seq_of("detect"),
+            seq_of("reboot"),
+            seq_of("reconnect"),
+            seq_of("first_byte"),
+        );
+        assert!(
+            m_kill < m_detect && m_detect < m_reboot && m_reboot < m_reconnect,
+            "{}: recovery milestones out of order",
+            os.name()
+        );
+        assert!(
+            m_reconnect < m_first,
+            "{}: first byte before reconnect",
+            os.name()
+        );
+        assert_eq!(
+            sys.hv
+                .trace
+                .query()
+                .seq_between(m_kill, m_reconnect)
+                .kind("notify")
+                .count(),
+            0,
+            "{}: notifies during the outage",
+            os.name()
+        );
+        let span = sys
+            .hv
+            .trace
+            .query()
+            .span_between("kill", "first_byte")
+            .expect("span");
+        assert_eq!(
+            span,
+            cfb,
+            "{}: trace span must equal the stats cfb",
             os.name()
         );
         downtimes.push((os, down));
@@ -204,4 +257,36 @@ fn recovery_is_deterministic_same_seed() {
         )
     };
     assert_eq!(run(555), run(555), "same seed, same recovery trajectory");
+}
+
+/// Two same-seed traced runs must export byte-identical Chrome-trace
+/// JSON and byte-identical metrics JSON — virtual timestamps only, no
+/// wall clock anywhere in the pipeline.
+#[test]
+fn trace_export_is_byte_identical_across_same_seed_runs() {
+    let run = |seed: u64| {
+        let mut sys = NetSystem::new(BackendOs::Kite, seed);
+        sys.enable_tracing(1 << 16);
+        for i in 0..50u64 {
+            sys.send_udp_at(
+                Nanos::from_millis(1 + 200 * i),
+                Side::Guest,
+                addrs::CLIENT,
+                9999,
+                1234,
+                vec![i as u8; 600],
+            );
+        }
+        sys.inject_faults(FaultPlan::seeded(3).with_kill_at(Nanos::from_secs(2)));
+        sys.run_to_quiescence();
+        assert_eq!(sys.hv.trace.dropped(), 0);
+        let chrome = sys.hv.export_chrome_trace();
+        let metrics = kite_trace::metrics::render_json(&[sys.metrics_snapshot("det")]);
+        (chrome, metrics)
+    };
+    let (c1, m1) = run(909);
+    let (c2, m2) = run(909);
+    assert_eq!(c1, c2, "chrome export must be byte-identical");
+    assert_eq!(m1, m2, "metrics export must be byte-identical");
+    kite_trace::chrome::validate(&c1).expect("export validates");
 }
