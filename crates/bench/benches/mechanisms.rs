@@ -123,17 +123,28 @@ fn bench_recovery(c: &mut Criterion) {
     // a full driver-domain reboot, per backend OS.
     let kite = report::recovery_cycle(kite_system::BackendOs::Kite, 11);
     let linux = report::recovery_cycle(kite_system::BackendOs::Linux, 11);
+    let kite_wd = report::recovery_cycle_with(
+        kite_system::BackendOs::Kite,
+        11,
+        kite_system::DetectionMode::Watchdog,
+    );
     report::print_snapshots(&[
         report::recovery_snapshot_of(&kite),
         report::recovery_snapshot_of(&linux),
+        report::recovery_snapshot_of(&kite_wd),
     ]);
-    for sys in [&kite, &linux] {
+    for sys in [&kite, &linux, &kite_wd] {
         sys.recovery.crash_to_first_byte().expect("service resumed");
     }
     assert!(
         kite.recovery.crash_to_first_byte() < linux.recovery.crash_to_first_byte(),
         "a rumprun driver domain must recover strictly faster than Linux"
     );
+    // The oracle detects for free; the heartbeat watchdog pays a real,
+    // bounded detection latency on top of the same reboot.
+    assert_eq!(kite.recovery.detect_latency(), Some(Nanos::ZERO));
+    let wd_detect = kite_wd.recovery.detect_latency().expect("detected");
+    assert!(wd_detect > Nanos::ZERO);
     c.bench_function("recovery_cycle_kite_sim", |b| {
         let mut seed = 0u64;
         b.iter(|| {

@@ -5,6 +5,7 @@
 //! repro fig7 fig11       # selected experiments
 //! repro --list           # what's available
 //! repro --json out.json  # machine-readable mechanisms/recovery/ablation results
+//! repro top              # kitetop: per-domain health through a crash cycle
 //! ```
 //!
 //! Each experiment prints the paper's reported values alongside this
@@ -16,6 +17,10 @@ use kite_bench::report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("top") {
+        print!("{}", report::kitetop_report());
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--json") {
         let Some(path) = args.get(i + 1) else {
             eprintln!("--json needs an output path");
@@ -34,7 +39,7 @@ fn main() {
     }
     let exps = all_experiments();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--all | --list | --json <path> | <id>...]");
+        eprintln!("usage: repro [--all | --list | --json <path> | top | <id>...]");
         eprintln!("experiments:");
         for e in &exps {
             eprintln!("  {:8} {}", e.id, e.title);

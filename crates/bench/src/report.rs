@@ -7,7 +7,10 @@
 use std::io::Write as _;
 
 use kite_sim::Nanos;
-use kite_system::{addrs, BackendOs, IoKind, IoOp, NetSystem, Side, StorSystem};
+use kite_system::{
+    addrs, render_top, BackendOs, DetectionMode, IoKind, IoOp, MonitorConfig, NetSystem, Side,
+    StorSystem,
+};
 use kite_trace::metrics::{render_json, validate_json};
 use kite_trace::MetricsSnapshot;
 use kite_xen::{CopyMode, FaultPlan};
@@ -75,7 +78,18 @@ pub fn grant_copy_snapshot() -> MetricsSnapshot {
 /// at 2 s, service restored through the OS boot model. Returns the
 /// system after quiescence (stats, trace and metrics still attached).
 pub fn recovery_cycle(os: BackendOs, seed: u64) -> NetSystem {
+    recovery_cycle_with(os, seed, DetectionMode::Oracle)
+}
+
+/// [`recovery_cycle`] with an explicit failure-detection mode. Watchdog
+/// runs detect the kill through the heartbeat monitor, so their
+/// `detect_latency` row reports a real (positive) detection cost; oracle
+/// runs report zero by construction.
+pub fn recovery_cycle_with(os: BackendOs, seed: u64, mode: DetectionMode) -> NetSystem {
     let mut sys = NetSystem::new(os, seed);
+    if mode == DetectionMode::Watchdog {
+        sys.enable_watchdog(MonitorConfig::default());
+    }
     for i in 0..120u64 {
         // 30 s of traffic at 4 msg/s: spans the kite (~7 s) outage; the
         // queued tail drains after the Linux (~75 s) reboot too.
@@ -94,11 +108,17 @@ pub fn recovery_cycle(os: BackendOs, seed: u64) -> NetSystem {
 }
 
 /// The recovery-cycle result set of an already-run system, named
-/// `mechanisms/recovery_<os>`.
+/// `mechanisms/recovery_<os>` (with a `_watchdog` suffix when the run
+/// detected the fault through the heartbeat monitor).
 pub fn recovery_snapshot_of(sys: &NetSystem) -> MetricsSnapshot {
+    let suffix = match sys.detection_mode() {
+        DetectionMode::Oracle => "",
+        DetectionMode::Watchdog => "_watchdog",
+    };
     sys.metrics_snapshot(format!(
-        "mechanisms/recovery_{}",
-        sys.os.name().to_lowercase()
+        "mechanisms/recovery_{}{}",
+        sys.os.name().to_lowercase(),
+        suffix,
     ))
 }
 
@@ -155,12 +175,58 @@ pub fn ablation_snapshot() -> MetricsSnapshot {
     snap
 }
 
-/// The `repro --json` result set: mechanisms + recovery + ablation.
+/// The `repro --json` result set: mechanisms + recovery (oracle and
+/// watchdog detection) + ablation.
 pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
     vec![
         grant_copy_snapshot(),
         recovery_snapshot(BackendOs::Kite, 11),
         recovery_snapshot(BackendOs::Linux, 11),
+        recovery_snapshot_of(&recovery_cycle_with(
+            BackendOs::Kite,
+            11,
+            DetectionMode::Watchdog,
+        )),
+        recovery_snapshot_of(&recovery_cycle_with(
+            BackendOs::Linux,
+            11,
+            DetectionMode::Watchdog,
+        )),
         ablation_snapshot(),
     ]
+}
+
+/// The `repro top` report: a deterministic watchdog scenario snapshotted
+/// at fixed virtual times through a driver-domain crash — healthy
+/// steady state, mid-detection (the monitor is suspicious), and after
+/// recovery (replacement domain up, dead incarnation still listed).
+///
+/// Everything is virtual-time driven, so the same build produces
+/// byte-identical output on every run; `scripts/verify.sh` diffs two
+/// runs to prove it.
+pub fn kitetop_report() -> String {
+    let mut sys = NetSystem::new(BackendOs::Kite, 11);
+    sys.enable_watchdog(MonitorConfig::default());
+    for i in 0..120u64 {
+        sys.send_udp_at(
+            Nanos::from_millis(1 + 250 * i),
+            Side::Guest,
+            addrs::CLIENT,
+            9999,
+            1234,
+            vec![i as u8; 1400],
+        );
+    }
+    sys.inject_faults(FaultPlan::seeded(11).with_kill_at(Nanos::from_secs(2)));
+    let mut out = String::new();
+    // Probes run every 500 ms and declare failure after 3 misses: 3.2 s
+    // lands mid-detection, between the second and third missed probe.
+    for stop in [Nanos::from_secs(1), Nanos::from_millis(3_200)] {
+        sys.run_until(stop);
+        out.push_str(&render_top(&sys.top_snapshot()));
+        out.push('\n');
+    }
+    sys.run_to_quiescence();
+    out.push_str(&render_top(&sys.top_snapshot()));
+    out
 }

@@ -768,6 +768,20 @@ impl BlkbackInstance {
         self.in_flight.len()
     }
 
+    /// Ring-progress sample for health monitoring: `(consumed, pending)`.
+    ///
+    /// `consumed` is the lifetime consumer watermark — it only advances
+    /// when the request thread runs, so successive samples distinguish a
+    /// livelocked backend from an idle one. `pending` counts submitted
+    /// requests the backend has not consumed yet.
+    pub fn progress(&self, hv: &Hypervisor) -> (u64, u64) {
+        let pending = match hv.mem.page(self.ring_page) {
+            Ok(page) => self.ring.unconsumed_requests(page) as u64,
+            Err(_) => 0,
+        };
+        (self.ring.req_cons() as u64, pending)
+    }
+
     /// Quiesces the instance ahead of teardown: announces `Closing` so the
     /// frontend stops submitting. Mappings stay live until
     /// [`BlkbackInstance::close`] so in-flight completions can finish.

@@ -213,6 +213,8 @@ impl<D: BackendDevice> DeviceLifecycle<D> {
 pub struct RecoveryStats {
     /// Driver-domain crashes observed.
     pub crashes: u64,
+    /// Driver-domain livelocks (hang faults) observed.
+    pub hangs: u64,
     /// Successful frontend reconnects after a crash.
     pub reconnects: u64,
     /// Total time the backend was down (crash to reconnect).
@@ -225,6 +227,11 @@ pub struct RecoveryStats {
     pub dropped_frames: u64,
     /// Virtual time of the most recent crash.
     pub last_crash_at: Option<Nanos>,
+    /// Virtual time the most recent fault was *detected* — when the
+    /// toolstack learned the backend was gone and started recovery. The
+    /// oracle detector sets this at the fault timestamp; the watchdog
+    /// sets it when the health monitor's verdict turns `Failed`.
+    pub detect_at: Option<Nanos>,
     /// Virtual time the first payload moved end-to-end after the most
     /// recent crash.
     pub first_byte_at: Option<Nanos>,
@@ -237,11 +244,37 @@ impl RecoveryStats {
         Some(self.first_byte_at? - self.last_crash_at?)
     }
 
-    /// Marks a crash at `now`, resetting the first-byte marker.
+    /// Fault-to-detection latency of the most recent outage: zero for
+    /// the oracle, up to `probe_interval × (miss_threshold + 1)` for the
+    /// watchdog.
+    pub fn detect_latency(&self) -> Option<Nanos> {
+        Some(self.detect_at? - self.last_crash_at?)
+    }
+
+    /// Marks a crash at `now`, resetting the detection and first-byte
+    /// markers.
     pub fn record_crash(&mut self, now: Nanos) {
         self.crashes += 1;
         self.last_crash_at = Some(now);
+        self.detect_at = None;
         self.first_byte_at = None;
+    }
+
+    /// Marks a livelock at `now`. The hung domain still runs (and beats),
+    /// so this is not a crash — but it starts an outage, so the detection
+    /// and first-byte markers reset just like [`RecoveryStats::record_crash`].
+    pub fn record_hang(&mut self, now: Nanos) {
+        self.hangs += 1;
+        self.last_crash_at = Some(now);
+        self.detect_at = None;
+        self.first_byte_at = None;
+    }
+
+    /// Marks the moment the most recent fault was detected.
+    pub fn record_detect(&mut self, now: Nanos) {
+        if self.last_crash_at.is_some() && self.detect_at.is_none() {
+            self.detect_at = Some(now);
+        }
     }
 
     /// Marks the first end-to-end payload after the most recent crash.
@@ -259,10 +292,14 @@ impl RecoveryStats {
     /// Appends the recovery counters and timings to a snapshot.
     pub fn append_metrics(&self, snap: &mut kite_trace::MetricsSnapshot) {
         snap.push_int("crashes", "count", self.crashes);
+        snap.push_int("hangs", "count", self.hangs);
         snap.push_int("reconnects", "count", self.reconnects);
         snap.push_int("downtime", "ns", self.downtime.as_nanos());
         snap.push_int("retried_ops", "count", self.retried_ops);
         snap.push_int("dropped_frames", "count", self.dropped_frames);
+        if let Some(lat) = self.detect_latency() {
+            snap.push_int("detect_latency", "ns", lat.as_nanos());
+        }
         if let Some(cfb) = self.crash_to_first_byte() {
             snap.push_int("crash_to_first_byte", "ns", cfb.as_nanos());
         }
@@ -374,5 +411,25 @@ mod tests {
         rs.record_crash(Nanos::from_millis(40));
         assert_eq!(rs.crash_to_first_byte(), None);
         assert_eq!(rs.crashes, 2);
+    }
+
+    #[test]
+    fn recovery_stats_detect_latency_arithmetic() {
+        let mut rs = RecoveryStats::default();
+        assert_eq!(rs.detect_latency(), None);
+        rs.record_detect(Nanos::from_millis(1));
+        assert_eq!(rs.detect_at, None, "no fault yet: nothing to detect");
+        rs.record_crash(Nanos::from_millis(10));
+        rs.record_detect(Nanos::from_millis(12));
+        // Only the first detection after a fault counts.
+        rs.record_detect(Nanos::from_millis(99));
+        assert_eq!(rs.detect_latency(), Some(Nanos::from_millis(2)));
+        // A new fault resets the marker; a hang counts separately.
+        rs.record_hang(Nanos::from_millis(40));
+        assert_eq!(rs.detect_latency(), None);
+        assert_eq!(rs.crash_to_first_byte(), None);
+        assert_eq!((rs.crashes, rs.hangs), (1, 1));
+        rs.record_detect(Nanos::from_millis(41));
+        assert_eq!(rs.detect_latency(), Some(Nanos::from_millis(1)));
     }
 }

@@ -337,6 +337,22 @@ impl NetbackInstance {
         self.to_guest.len()
     }
 
+    /// Ring-progress sample for health monitoring: `(consumed, pending)`.
+    ///
+    /// `consumed` is the lifetime consumer watermark across both rings —
+    /// it only moves when the backend's threads actually run, so a health
+    /// monitor comparing successive samples can tell a livelocked backend
+    /// from an idle one. `pending` counts work the backend has not picked
+    /// up yet: unconsumed Tx requests plus queued world → guest frames.
+    pub fn progress(&self, hv: &Hypervisor) -> (u64, u64) {
+        let consumed = self.tx_ring.req_cons() as u64 + self.rx_ring.req_cons() as u64;
+        let tx_pending = match hv.mem.page(self.tx_page) {
+            Ok(page) => self.tx_ring.unconsumed_requests(page) as u64,
+            Err(_) => 0,
+        };
+        (consumed, tx_pending + self.to_guest.len() as u64)
+    }
+
     /// The **soft_start** thread body: pairs queued frames with posted Rx
     /// requests, staging each frame in its own per-instance buffer page
     /// and hypervisor-copying the whole fill into guest buffers with one

@@ -1,0 +1,502 @@
+//! The Dom0-side failure detector.
+//!
+//! [`HealthMonitor`] watches one backend domain and renders a
+//! [`HealthState`] verdict on every probe from two independent signals:
+//!
+//! 1. **Heartbeat advance** — the monitor reads the target's
+//!    [`heartbeat`] key and counts a miss when the value
+//!    did not increase since the previous probe (presence is not enough:
+//!    xenstored keeps a dead domain's last beat). Consecutive misses walk
+//!    `Healthy → Suspect(missed=k)`; at `miss_threshold` misses the
+//!    verdict is `Failed`. This catches crashes, which stop the beat loop.
+//! 2. **Ring progress** — the system layer hands each probe a
+//!    [`ProgressSample`] of the backend's request-consumer watermark. A
+//!    ring with pending requests whose consumer has not moved for
+//!    `stall_probes` consecutive probes is declared `Failed` too. This
+//!    catches livelocks ([`FaultPlan::hang_at`]) where the domain is
+//!    happily beating but serving nothing.
+//!
+//! An SLO breach (see [`crate::slo`]) marks the backend `Suspect` without
+//! escalating to `Failed` — slow is suspicious, only dead/stuck warrants
+//! a restart.
+//!
+//! Detection latency is bounded: a probe fires at most `probe_interval`
+//! after the failure, and at most `miss_threshold` further probes (one of
+//! which may still observe a pre-failure beat or watermark advance) are
+//! needed for the verdict, so
+//! `detect ≤ probe_interval × (miss_threshold + 1)` — the bound the
+//! recovery tests assert. Every state edge emits a
+//! [`EventKind::HealthTransition`] trace event, so Perfetto exports show
+//! suspicion windows as marks on the watcher's track.
+//!
+//! [`FaultPlan::hang_at`]: kite_xen::FaultPlan
+
+use kite_sim::Nanos;
+use kite_trace::EventKind;
+use kite_xen::{DomainId, Hypervisor};
+
+use crate::heartbeat;
+
+/// How a system decides a driver domain failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DetectionMode {
+    /// The omniscient baseline: recovery starts the instant the fault is
+    /// injected, with zero detection latency. Kept for ablation.
+    #[default]
+    Oracle,
+    /// The real thing: recovery starts when the [`HealthMonitor`]'s
+    /// verdict turns [`HealthState::Failed`].
+    Watchdog,
+}
+
+impl DetectionMode {
+    /// Stable lower-case label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectionMode::Oracle => "oracle",
+            DetectionMode::Watchdog => "watchdog",
+        }
+    }
+}
+
+/// Tunables of one monitor instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitorConfig {
+    /// Virtual time between Dom0 probes.
+    pub probe_interval: Nanos,
+    /// Virtual time between the target's heartbeat publications. Must be
+    /// shorter than `probe_interval` so a healthy target advances its
+    /// beat between any two probes.
+    pub heartbeat_interval: Nanos,
+    /// Consecutive missed probes before the verdict is `Failed`.
+    pub miss_threshold: u32,
+    /// Consecutive no-progress probes (with requests pending) before the
+    /// verdict is `Failed`.
+    pub stall_probes: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        let probe_interval = Nanos::from_millis(500);
+        MonitorConfig {
+            probe_interval,
+            // Two beats per probe window: one missed write (e.g. an
+            // injected xenstore fault) does not fake a dead domain.
+            heartbeat_interval: Nanos(probe_interval.0 / 2),
+            miss_threshold: 3,
+            stall_probes: 3,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Worst-case detection latency: `probe_interval × (miss_threshold + 1)`.
+    pub fn detect_bound(&self) -> Nanos {
+        self.probe_interval * (self.miss_threshold as u64 + 1)
+    }
+}
+
+/// The per-backend verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Beating and making progress.
+    Healthy,
+    /// Something is off — missed beats, a stalling ring, or a breached
+    /// SLO — but not yet conclusively dead.
+    Suspect {
+        /// Consecutive missed heartbeat probes (0 when the suspicion
+        /// comes from a stall or an SLO breach).
+        missed: u32,
+    },
+    /// Conclusively failed; the system layer should start recovery.
+    Failed,
+}
+
+impl HealthState {
+    /// Stable lower-case label for traces and `kitetop`.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect { .. } => "suspect",
+            HealthState::Failed => "failed",
+        }
+    }
+
+    /// Whether this verdict calls for recovery.
+    pub fn is_failed(self) -> bool {
+        self == HealthState::Failed
+    }
+}
+
+/// One probe's view of a backend's ring progress.
+///
+/// `consumed` is a free-running consumer watermark (e.g. the sum of the
+/// backend rings' `req_cons`); `pending` is the number of unconsumed
+/// requests currently visible. The monitor only compares successive
+/// `consumed` values — units don't matter as long as they advance when
+/// the backend serves requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Free-running count of requests consumed so far.
+    pub consumed: u64,
+    /// Requests currently waiting in the ring(s).
+    pub pending: u64,
+}
+
+/// Watches one backend domain; see the module docs for the protocol.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    cfg: MonitorConfig,
+    watcher: DomainId,
+    target: DomainId,
+    state: HealthState,
+    missed: u32,
+    last_beat: Option<u64>,
+    beat_seen_at: Nanos,
+    last_consumed: Option<u64>,
+    stalled: u32,
+    probes: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor run by `watcher` (Dom0) over `target`, created at
+    /// virtual time `now` in the `Healthy` state.
+    pub fn new(watcher: DomainId, target: DomainId, cfg: MonitorConfig, now: Nanos) -> Self {
+        HealthMonitor {
+            cfg,
+            watcher,
+            target,
+            state: HealthState::Healthy,
+            missed: 0,
+            last_beat: None,
+            beat_seen_at: now,
+            last_consumed: None,
+            stalled: 0,
+            probes: 0,
+        }
+    }
+
+    /// The watched domain.
+    pub fn target(&self) -> DomainId {
+        self.target
+    }
+
+    /// The current verdict.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The monitor's tunables.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Probes run so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Virtual time since the last observed beat *advance*.
+    pub fn heartbeat_age(&self, now: Nanos) -> Nanos {
+        now.saturating_sub(self.beat_seen_at)
+    }
+
+    /// Re-aims the monitor at a replacement domain (after recovery) and
+    /// resets all detector state to `Healthy`.
+    pub fn retarget(&mut self, hv: &mut Hypervisor, target: DomainId, now: Nanos) {
+        self.target = target;
+        self.missed = 0;
+        self.last_beat = None;
+        self.beat_seen_at = now;
+        self.last_consumed = None;
+        self.stalled = 0;
+        self.transition(hv, HealthState::Healthy, "recovered");
+    }
+
+    /// Runs one probe at virtual time `now`: reads the heartbeat key as
+    /// the watcher, folds in the ring `progress` sample (if the system
+    /// layer has one) and the SLO verdict, and returns the new state.
+    pub fn probe(
+        &mut self,
+        hv: &mut Hypervisor,
+        now: Nanos,
+        progress: Option<ProgressSample>,
+        slo_ok: bool,
+    ) -> HealthState {
+        self.probes += 1;
+        // 1. Heartbeat: alive means the counter advanced since the last
+        // probe (or this is the first observation of a value).
+        let (read, _cost) = hv.xs_read(self.watcher, &heartbeat::key(self.target));
+        let beat_ok = match read.ok().and_then(|v| v.parse::<u64>().ok()) {
+            Some(b) => {
+                let advanced = self.last_beat.is_none_or(|prev| b > prev);
+                if advanced {
+                    self.last_beat = Some(b);
+                    self.beat_seen_at = now;
+                }
+                advanced
+            }
+            None => false,
+        };
+        if beat_ok {
+            self.missed = 0;
+        } else {
+            self.missed += 1;
+        }
+        // 2. Ring progress: pending work with a frozen consumer is a stall.
+        if let Some(p) = progress {
+            if p.pending > 0 && self.last_consumed == Some(p.consumed) {
+                self.stalled += 1;
+            } else {
+                self.stalled = 0;
+            }
+            self.last_consumed = Some(p.consumed);
+        }
+        // 3. Verdict, hardest evidence first.
+        let (next, cause) = if self.missed >= self.cfg.miss_threshold {
+            (HealthState::Failed, "heartbeat")
+        } else if self.stalled >= self.cfg.stall_probes {
+            (HealthState::Failed, "stall")
+        } else if self.missed > 0 {
+            (
+                HealthState::Suspect {
+                    missed: self.missed,
+                },
+                "heartbeat",
+            )
+        } else if self.stalled > 0 {
+            (HealthState::Suspect { missed: 0 }, "stall")
+        } else if !slo_ok {
+            (HealthState::Suspect { missed: 0 }, "slo")
+        } else {
+            (HealthState::Healthy, "recovered")
+        };
+        self.transition(hv, next, cause);
+        self.state
+    }
+
+    fn transition(&mut self, hv: &mut Hypervisor, next: HealthState, cause: &'static str) {
+        if next == self.state {
+            return;
+        }
+        let (watched, missed) = (self.target.0, self.missed);
+        hv.trace
+            .emit_with(self.watcher.0, || EventKind::HealthTransition {
+                watched,
+                state: next.name(),
+                cause,
+                missed,
+            });
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heartbeat::HeartbeatPublisher;
+    use kite_xen::DomainKind;
+
+    fn setup() -> (Hypervisor, DomainId, HealthMonitor, HeartbeatPublisher) {
+        let mut hv = Hypervisor::new();
+        let d0 = hv.create_domain("Domain-0", DomainKind::Dom0, 512, 1);
+        let dd = hv.create_domain("dd", DomainKind::Driver, 128, 1);
+        let mon = HealthMonitor::new(d0, dd, MonitorConfig::default(), Nanos::ZERO);
+        (hv, dd, mon, HeartbeatPublisher::new(dd))
+    }
+
+    #[test]
+    fn beating_target_stays_healthy() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        for i in 1..=10u64 {
+            hb.beat(&mut hv).unwrap();
+            let s = mon.probe(&mut hv, Nanos::from_millis(500 * i), None, true);
+            assert_eq!(s, HealthState::Healthy);
+        }
+        assert_eq!(mon.heartbeat_age(Nanos::from_millis(5_000)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn stopped_beat_walks_suspect_then_failed() {
+        let (mut hv, dd, mut mon, mut hb) = setup();
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(500), None, true),
+            HealthState::Healthy
+        );
+        hv.destroy_domain(dd).unwrap();
+        // Beat frozen: presence is not liveness.
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_secs(1), None, true),
+            HealthState::Suspect { missed: 1 }
+        );
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(1_500), None, true),
+            HealthState::Suspect { missed: 2 }
+        );
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_secs(2), None, true),
+            HealthState::Failed
+        );
+        // The verdict is sticky until retarget.
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(2_500), None, true),
+            HealthState::Failed
+        );
+        assert!(mon.heartbeat_age(Nanos::from_secs(2)) >= Nanos::from_millis(1_500));
+    }
+
+    #[test]
+    fn missing_key_counts_as_missed() {
+        let (mut hv, _dd, mut mon, _hb) = setup();
+        // No beat ever published: three probes reach Failed.
+        mon.probe(&mut hv, Nanos::from_millis(500), None, true);
+        mon.probe(&mut hv, Nanos::from_secs(1), None, true);
+        let s = mon.probe(&mut hv, Nanos::from_millis(1_500), None, true);
+        assert_eq!(s, HealthState::Failed);
+    }
+
+    #[test]
+    fn stall_with_pending_requests_fails_after_n_probes() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        let sample = |c, p| {
+            Some(ProgressSample {
+                consumed: c,
+                pending: p,
+            })
+        };
+        // Beating but frozen consumer with pending work: the livelock.
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(500), sample(7, 3), true),
+            HealthState::Healthy,
+            "first sample is baseline"
+        );
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_secs(1), sample(7, 4), true),
+            HealthState::Suspect { missed: 0 }
+        );
+        hb.beat(&mut hv).unwrap();
+        mon.probe(&mut hv, Nanos::from_millis(1_500), sample(7, 5), true);
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_secs(2), sample(7, 6), true),
+            HealthState::Failed
+        );
+    }
+
+    #[test]
+    fn idle_ring_is_not_a_stall() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        for i in 1..=8u64 {
+            hb.beat(&mut hv).unwrap();
+            // Consumer frozen but nothing pending: just idle.
+            let s = mon.probe(
+                &mut hv,
+                Nanos::from_millis(500 * i),
+                Some(ProgressSample {
+                    consumed: 42,
+                    pending: 0,
+                }),
+                true,
+            );
+            assert_eq!(s, HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn progress_resets_the_stall_counter() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        let mut t = Nanos::ZERO;
+        let mut probe = |hv: &mut Hypervisor, hb: &mut HeartbeatPublisher, c, p| {
+            t += Nanos::from_millis(500);
+            hb.beat(hv).unwrap();
+            mon.probe(
+                hv,
+                t,
+                Some(ProgressSample {
+                    consumed: c,
+                    pending: p,
+                }),
+                true,
+            )
+        };
+        probe(&mut hv, &mut hb, 10, 5);
+        assert_eq!(
+            probe(&mut hv, &mut hb, 10, 5),
+            HealthState::Suspect { missed: 0 }
+        );
+        // The consumer moved: suspicion clears.
+        assert_eq!(probe(&mut hv, &mut hb, 11, 4), HealthState::Healthy);
+    }
+
+    #[test]
+    fn slo_breach_is_suspicion_not_failure() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(500), None, false),
+            HealthState::Suspect { missed: 0 }
+        );
+        for i in 2..=20u64 {
+            hb.beat(&mut hv).unwrap();
+            let s = mon.probe(&mut hv, Nanos::from_millis(500 * i), None, false);
+            assert_eq!(s, HealthState::Suspect { missed: 0 }, "never escalates");
+        }
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(10_500), None, true),
+            HealthState::Healthy
+        );
+    }
+
+    #[test]
+    fn retarget_resets_to_healthy_and_watches_the_new_domain() {
+        let (mut hv, dd, mut mon, _hb) = setup();
+        hv.destroy_domain(dd).unwrap();
+        for i in 1..=3u64 {
+            mon.probe(&mut hv, Nanos::from_millis(500 * i), None, true);
+        }
+        assert!(mon.state().is_failed());
+        let dd2 = hv.create_domain("dd2", DomainKind::Driver, 128, 1);
+        mon.retarget(&mut hv, dd2, Nanos::from_secs(9));
+        assert_eq!(mon.state(), HealthState::Healthy);
+        assert_eq!(mon.target(), dd2);
+        let mut hb2 = HeartbeatPublisher::new(dd2);
+        hb2.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe(&mut hv, Nanos::from_millis(9_500), None, true),
+            HealthState::Healthy
+        );
+    }
+
+    #[test]
+    fn transitions_emit_health_trace_events() {
+        let (mut hv, dd, mut mon, mut hb) = setup();
+        hv.trace.enable(1 << 10);
+        hb.beat(&mut hv).unwrap();
+        mon.probe(&mut hv, Nanos::from_millis(500), None, true);
+        hv.destroy_domain(dd).unwrap();
+        for i in 2..=5u64 {
+            mon.probe(&mut hv, Nanos::from_millis(500 * i), None, true);
+        }
+        // healthy→suspect(1), suspect(1)→suspect(2), suspect(2)→failed.
+        let q = hv.trace.query();
+        assert_eq!(q.kind("health").count(), 3);
+        let last = hv
+            .trace
+            .query()
+            .kind("health")
+            .last()
+            .cloned()
+            .map(|e| e.kind.name());
+        assert_eq!(last, Some("health"));
+    }
+
+    #[test]
+    fn detect_bound_is_probe_times_threshold_plus_one() {
+        let cfg = MonitorConfig::default();
+        assert_eq!(cfg.detect_bound(), Nanos::from_secs(2));
+    }
+}

@@ -1,0 +1,132 @@
+//! Request-latency SLO checks over the simulation's histograms.
+//!
+//! The system layer keeps a [`Histogram`] of per-request latencies for
+//! each backend; on every probe the monitor asks [`evaluate`] whether the
+//! configured quantile thresholds hold. A breach marks the backend
+//! [`Suspect`](crate::HealthState::Suspect) (never `Failed` — slow is not
+//! dead). All three quantiles come from one bucket walk via
+//! [`Histogram::quantiles`].
+
+use kite_sim::{Histogram, Nanos};
+
+/// Latency thresholds; `None` disables that quantile's check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Median must stay at or under this.
+    pub p50: Option<Nanos>,
+    /// 95th percentile must stay at or under this.
+    pub p95: Option<Nanos>,
+    /// 99th percentile must stay at or under this.
+    pub p99: Option<Nanos>,
+    /// Quantiles of fewer samples than this are noise, not a breach.
+    pub min_samples: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            p50: None,
+            p95: None,
+            p99: None,
+            min_samples: 16,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Whether any quantile check is configured.
+    pub fn armed(&self) -> bool {
+        self.p50.is_some() || self.p95.is_some() || self.p99.is_some()
+    }
+}
+
+/// One evaluation's quantiles and verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloReport {
+    /// Median request latency.
+    pub p50: Nanos,
+    /// 95th-percentile request latency.
+    pub p95: Nanos,
+    /// 99th-percentile request latency.
+    pub p99: Nanos,
+    /// Samples behind the quantiles.
+    pub samples: u64,
+    /// True when some configured threshold is exceeded (with at least
+    /// `min_samples` behind it).
+    pub breached: bool,
+}
+
+/// Evaluates `hist` against `cfg` in a single histogram pass.
+pub fn evaluate(hist: &Histogram, cfg: &SloConfig) -> SloReport {
+    let qs = hist.quantiles(&[0.5, 0.95, 0.99]);
+    let (p50, p95, p99) = (qs[0], qs[1], qs[2]);
+    let samples = hist.count();
+    let over = |limit: Option<Nanos>, got: Nanos| limit.is_some_and(|l| got > l);
+    let breached = samples >= cfg.min_samples
+        && (over(cfg.p50, p50) || over(cfg.p95, p95) || over(cfg.p99, p99));
+    SloReport {
+        p50,
+        p95,
+        p99,
+        samples,
+        breached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_fast_with_slow_tail() -> Histogram {
+        let mut h = Histogram::new();
+        for _ in 0..950 {
+            h.record(Nanos(10_000)); // 10µs
+        }
+        for _ in 0..50 {
+            h.record(Nanos(2_000_000)); // 2ms tail
+        }
+        h
+    }
+
+    #[test]
+    fn unarmed_config_never_breaches() {
+        let cfg = SloConfig::default();
+        assert!(!cfg.armed());
+        let r = evaluate(&hist_fast_with_slow_tail(), &cfg);
+        assert!(!r.breached);
+        assert_eq!(r.samples, 1_000);
+        assert!(r.p50 <= r.p95 && r.p95 <= r.p99);
+    }
+
+    #[test]
+    fn p99_threshold_catches_the_tail() {
+        let cfg = SloConfig {
+            p99: Some(Nanos::from_millis(1)),
+            ..SloConfig::default()
+        };
+        assert!(evaluate(&hist_fast_with_slow_tail(), &cfg).breached);
+        let lax = SloConfig {
+            p99: Some(Nanos::from_millis(5)),
+            ..SloConfig::default()
+        };
+        assert!(!evaluate(&hist_fast_with_slow_tail(), &lax).breached);
+    }
+
+    #[test]
+    fn too_few_samples_is_not_a_breach() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(Nanos::from_millis(50));
+        }
+        let cfg = SloConfig {
+            p50: Some(Nanos(1)),
+            min_samples: 16,
+            ..SloConfig::default()
+        };
+        assert!(!evaluate(&h, &cfg).breached, "below min_samples");
+        for _ in 0..10 {
+            h.record(Nanos::from_millis(50));
+        }
+        assert!(evaluate(&h, &cfg).breached, "now conclusive");
+    }
+}

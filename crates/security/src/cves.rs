@@ -124,9 +124,9 @@ pub fn environment_cves() -> Vec<Cve> {
     ]
 }
 
-/// Count of reported Linux CVEs using crafted applications (paper's [19]).
+/// Count of reported Linux CVEs using crafted applications (paper's citation \[19\]).
 pub const CRAFTED_APPLICATION_CVES: u32 = 172;
-/// Count of reported Linux CVEs using shells (paper's [20]).
+/// Count of reported Linux CVEs using shells (paper's citation \[20\]).
 pub const SHELL_CVES: u32 = 92;
 
 /// A domain's exposure characteristics.

@@ -190,6 +190,42 @@ impl Histogram {
         Nanos(Self::bucket_upper(HIST_BUCKETS - 1))
     }
 
+    /// Several quantiles in one bucket walk.
+    ///
+    /// Returns one value per entry of `qs`, each identical to what
+    /// [`Histogram::quantile`] would return for that `q`. `qs` need not be
+    /// sorted — the walk carries every outstanding target simultaneously,
+    /// so the cost is a single pass over the buckets regardless of how
+    /// many quantiles are requested (this is what the SLO tracker calls
+    /// once per probe for p50/p95/p99).
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Nanos> {
+        let mut out = vec![Nanos(Self::bucket_upper(HIST_BUCKETS - 1)); qs.len()];
+        if self.total == 0 {
+            return vec![Nanos::ZERO; qs.len()];
+        }
+        let targets: Vec<u64> = qs
+            .iter()
+            .map(|q| (((self.total as f64) * q.clamp(0.0, 1.0)).ceil() as u64).max(1))
+            .collect();
+        let mut remaining = qs.len();
+        let mut done = vec![false; qs.len()];
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            for (k, &t) in targets.iter().enumerate() {
+                if !done[k] && seen >= t {
+                    out[k] = Nanos(Self::bucket_upper(i));
+                    done[k] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        out
+    }
+
     /// Median shortcut.
     pub fn median(&self) -> Nanos {
         self.quantile(0.5)
@@ -520,6 +556,58 @@ mod tests {
             prev = q;
         }
         assert!(h.median() <= h.p99());
+    }
+
+    #[test]
+    fn quantiles_pins_uniform_distribution() {
+        // 10k samples uniform over 100ns..1ms: true p50 = 500_050ns,
+        // p95 = 950_050ns, p99 = 990_050ns; log buckets are ~9% wide.
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(Nanos(i * 100));
+        }
+        let qs = h.quantiles(&[0.5, 0.95, 0.99]);
+        let expect = [500_000.0, 950_000.0, 990_000.0];
+        for (got, want) in qs.iter().zip(expect) {
+            let g = got.as_nanos() as f64;
+            assert!((g - want).abs() / want < 0.15, "got {g}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn quantiles_pins_bimodal_distribution() {
+        // 90% fast (1µs), 10% slow (1ms): p50 sits in the fast mode,
+        // p95/p99 in the slow mode — the classic tail-latency shape.
+        let mut h = Histogram::new();
+        for _ in 0..900 {
+            h.record(Nanos(1_000));
+        }
+        for _ in 0..100 {
+            h.record(Nanos(1_000_000));
+        }
+        let qs = h.quantiles(&[0.5, 0.95, 0.99]);
+        let p50 = qs[0].as_nanos() as f64;
+        let p95 = qs[1].as_nanos() as f64;
+        let p99 = qs[2].as_nanos() as f64;
+        assert!((p50 - 1_000.0).abs() / 1_000.0 < 0.15, "p50={p50}");
+        assert!((p95 - 1_000_000.0).abs() / 1_000_000.0 < 0.15, "p95={p95}");
+        assert!((p99 - 1_000_000.0).abs() / 1_000_000.0 < 0.15, "p99={p99}");
+    }
+
+    #[test]
+    fn quantiles_agrees_with_quantile_everywhere() {
+        let h = histogram_of(&[
+            1, 3, 10, 50, 120, 950, 1_000, 4_000, 65_000, 70_000, 1_000_000, 9_999_999,
+        ]);
+        // Deliberately unsorted and with duplicates/extremes.
+        let qs = [0.99, 0.0, 0.5, 1.0, 0.5, 0.123, 0.95];
+        let multi = h.quantiles(&qs);
+        for (q, got) in qs.iter().zip(&multi) {
+            assert_eq!(*got, h.quantile(*q), "diverged at q={q}");
+        }
+        // Empty histograms return all zeros, like quantile().
+        let empty = Histogram::new();
+        assert_eq!(empty.quantiles(&qs), vec![Nanos::ZERO; qs.len()]);
     }
 
     #[test]

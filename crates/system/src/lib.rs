@@ -10,6 +10,10 @@
 pub mod netsys;
 pub mod storsys;
 
+pub use kite_health::{
+    render_top, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,
+    SloConfig, TopRow, TopSnapshot,
+};
 pub use netsys::{
     addrs, BackendOs, NetMetrics, NetSystem, Reply, Side, UdpHandler, UdpMsg, MAX_UDP,
 };

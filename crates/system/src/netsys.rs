@@ -22,17 +22,21 @@ use kite_core::{
 };
 use kite_devices::{Nic, RxIrq};
 use kite_frontends::Netfront;
+use kite_health::{
+    slo, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,
+    ProgressSample, SloConfig, TopRow, TopSnapshot,
+};
 use kite_linux::{linux_profile, ubuntu_boot};
 use kite_net::{
     BridgePort, EtherType, EthernetFrame, Forward, IcmpMessage, IpProto, Ipv4Packet, MacAddr,
     UdpDatagram,
 };
 use kite_rumprun::{kite_boot, kite_profile, BootSequence, OsProfile};
-use kite_sim::{Cpu, EventQueue, Link, Nanos, OnlineStats, Pcg, TxOutcome};
+use kite_sim::{Cpu, EventQueue, Histogram, Link, Nanos, OnlineStats, Pcg, TxOutcome};
 use kite_trace::{EventKind, MetricsSnapshot};
 use kite_xen::{
-    Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, FaultPlan, Hypervisor, Port,
-    XenbusState,
+    Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
+    Hypervisor, Port, XenbusState,
 };
 
 /// Which OS runs the driver domain.
@@ -137,8 +141,15 @@ enum Event {
     ClientTxFrame(Vec<u8>),
     /// The driver domain dies (fault injection / `xl destroy`).
     DriverCrash,
+    /// The driver domain livelocks: its data path stops making progress
+    /// while the domain (and its heartbeat task) keeps running.
+    DriverHang,
     /// The replacement driver domain finished booting.
     DriverRestarted,
+    /// The driver domain's heartbeat task publishes its next beat.
+    BeatTick,
+    /// Dom0's health monitor runs its next probe.
+    ProbeTick,
 }
 
 /// Largest message chunk crossing the PV path at once.
@@ -241,6 +252,17 @@ pub struct NetSystem {
     /// Deterministic RNG stream for jitter.
     pub rng: Pcg,
     events_processed: u64,
+    mode: DetectionMode,
+    monitor: Option<HealthMonitor>,
+    heartbeat: Option<HeartbeatPublisher>,
+    /// The driver domain is livelocked: alive and beating, data path dead.
+    hung: bool,
+    /// A detected outage is being recovered (detect → reconnect window).
+    recovering: bool,
+    /// Injected fault events still scheduled; keeps the watchdog ticking.
+    pending_faults: u32,
+    slo_cfg: SloConfig,
+    latency_hist: Histogram,
 }
 
 impl NetSystem {
@@ -337,6 +359,14 @@ impl NetSystem {
             metrics: NetMetrics::default(),
             rng: Pcg::seeded(seed),
             events_processed: 0,
+            mode: DetectionMode::Oracle,
+            monitor: None,
+            heartbeat: None,
+            hung: false,
+            recovering: false,
+            pending_faults: 0,
+            slo_cfg: SloConfig::default(),
+            latency_hist: Histogram::default(),
         }
     }
 
@@ -411,21 +441,62 @@ impl NetSystem {
 
     /// Schedules a driver-domain crash at `t` (kill injection).
     pub fn crash_driver_at(&mut self, t: Nanos) {
+        self.pending_faults += 1;
         self.queue.schedule_at(t, Event::DriverCrash);
     }
 
+    /// Schedules a driver-domain livelock at `t` (hang injection).
+    pub fn hang_driver_at(&mut self, t: Nanos) {
+        self.pending_faults += 1;
+        self.queue.schedule_at(t, Event::DriverHang);
+    }
+
     /// Arms a fault plan: per-op fault rates go live on the hypervisor,
-    /// and a `kill_at` time (if set) schedules the driver-domain crash.
+    /// and `kill_at` / `hang_at` times (if set) schedule the
+    /// driver-domain crash or livelock.
     pub fn inject_faults(&mut self, mut plan: FaultPlan) {
         if let Some(t) = plan.take_kill() {
             self.crash_driver_at(t);
         }
+        if let Some(t) = plan.take_hang() {
+            self.hang_driver_at(t);
+        }
         self.hv.faults = plan;
+    }
+
+    /// Switches failure detection from the oracle to the active watchdog:
+    /// the driver domain starts publishing heartbeats and Dom0 starts
+    /// probing them (plus ring progress and the SLO). Call before
+    /// injecting faults so the first probe precedes the first fault.
+    pub fn enable_watchdog(&mut self, cfg: MonitorConfig) {
+        let now = self.queue.now();
+        self.mode = DetectionMode::Watchdog;
+        self.monitor = Some(HealthMonitor::new(DomainId::DOM0, self.driver, cfg, now));
+        self.heartbeat = Some(HeartbeatPublisher::new(self.driver));
+        self.queue
+            .schedule_at(now + cfg.heartbeat_interval, Event::BeatTick);
+        self.queue
+            .schedule_at(now + cfg.probe_interval, Event::ProbeTick);
+    }
+
+    /// Sets the request-latency SLO the watchdog folds into its verdict.
+    pub fn set_slo(&mut self, cfg: SloConfig) {
+        self.slo_cfg = cfg;
+    }
+
+    /// The active failure-detection mode.
+    pub fn detection_mode(&self) -> DetectionMode {
+        self.mode
+    }
+
+    /// The health monitor's current verdict, when the watchdog is on.
+    pub fn health(&self) -> Option<HealthState> {
+        self.monitor.as_ref().map(|m| m.state())
     }
 
     /// Whether the backend is currently up and serving.
     pub fn backend_alive(&self) -> bool {
-        self.netback.is_connected()
+        self.netback.is_connected() && !self.hung
     }
 
     /// Runs the event loop until `deadline`.
@@ -467,14 +538,15 @@ impl NetSystem {
     }
 
     /// The driver domain dies mid-flight. No teardown code runs in it —
-    /// Xen reclaims its grant mappings, ports and PCI devices; Dom0's
-    /// toolstack walks the xenbus states so the frontend sees the device
-    /// disappear, harvests what the dead backend never acknowledged, and
-    /// schedules the replacement domain's boot.
-    fn driver_crash(&mut self, now: Nanos) {
-        if !self.netback.is_connected() {
+    /// Xen reclaims its grant mappings, ports and PCI devices, and the
+    /// domain's heartbeat stops with it. Under the oracle, detection is
+    /// immediate; under the watchdog, the frontend keeps talking to the
+    /// dead backend until Dom0's monitor notices the silence.
+    fn kill_driver(&mut self, now: Nanos) {
+        if !self.netback.is_connected() || self.recovering {
             return; // already down
         }
+        self.hung = false; // a dead domain no longer livelocks
         self.recovery.record_crash(now);
         let dead = self.driver.0;
         self.hv
@@ -490,10 +562,57 @@ impl NetSystem {
         self.hv
             .destroy_domain(self.driver)
             .expect("driver was alive");
+        if self.mode == DetectionMode::Oracle {
+            self.detect_failure(now);
+        }
+    }
+
+    /// The driver domain livelocks (e.g. an interrupt storm or a spinning
+    /// thread): the domain stays alive — and keeps publishing heartbeats
+    /// — but netback stops consuming requests. Only the watchdog's
+    /// ring-progress detector can catch this; the oracle variant detects
+    /// it immediately, for ablation.
+    fn hang_driver(&mut self, now: Nanos) {
+        if !self.netback.is_connected() || self.hung || self.recovering {
+            return;
+        }
+        self.hung = true;
+        self.recovery.record_hang(now);
+        let dom = self.driver.0;
+        self.hv
+            .trace
+            .emit_with(dom, || EventKind::Milestone { what: "hang" });
+        if self.mode == DetectionMode::Oracle {
+            self.detect_failure(now);
+        }
+    }
+
+    /// Dom0's toolstack learns the backend failed (oracle: at the fault;
+    /// watchdog: when the monitor's verdict turns `Failed`): it destroys
+    /// the domain if it still runs (livelock), walks the xenbus states so
+    /// the frontend sees the device disappear, harvests what the dead
+    /// backend never acknowledged, and schedules the replacement boot.
+    fn detect_failure(&mut self, now: Nanos) {
+        if self.recovering {
+            return; // recovery already underway
+        }
+        self.recovering = true;
+        if let Some(nb) = self.netback.abandon(&mut self.hv) {
+            // Livelocked backend: its parked world->guest frames die with it.
+            self.recovery.dropped_frames += nb.rx_backlog() as u64;
+            self.metrics.drops += nb.rx_backlog() as u64;
+            self.nb_stats_base.merge(&nb.stats());
+            self.netapp.remove_vif(&nb.vif);
+        }
+        if self.hv.domains.alive(self.driver) {
+            let _ = self.hv.destroy_domain(self.driver);
+        }
+        self.hung = false;
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closed);
+        self.recovery.record_detect(now);
         self.hv
             .trace
             .emit_with(d0.0, || EventKind::Milestone { what: "detect" });
@@ -566,6 +685,17 @@ impl NetSystem {
             .emit_with(driver.0, || EventKind::Milestone { what: "reconnect" });
         if let Some(t0) = self.recovery.last_crash_at {
             self.recovery.downtime += now - t0;
+        }
+        self.recovering = false;
+        if self.mode == DetectionMode::Watchdog {
+            // The replacement domain's heartbeat task beats as soon as it
+            // boots, and the monitor re-aims at the new domain id.
+            let mut hb = HeartbeatPublisher::new(driver);
+            let _ = hb.beat(&mut self.hv);
+            self.heartbeat = Some(hb);
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.retarget(&mut self.hv, driver, now);
+            }
         }
         // Replay harvested frames plus everything queued while down.
         self.drain_guest_txq(now);
@@ -648,20 +778,20 @@ impl NetSystem {
         }
         if notify {
             let port = self.netfront.as_ref().expect("checked").evtchn;
-            let (n, send_cost) = self
-                .hv
-                .evtchn_send(self.guest, port)
-                .expect("connected channel");
-            let done = self.guest_cpu_run(now, send_cost);
-            if let Some(n) = n {
-                let delay = self.hv.irq_delay();
-                self.queue.schedule_at(
-                    done + delay,
-                    Event::Irq {
-                        dom: n.domain,
-                        port: n.port,
-                    },
-                );
+            // The channel dies with the backend domain: a notify raised
+            // during an undetected-outage window is simply lost.
+            if let Ok((n, send_cost)) = self.hv.evtchn_send(self.guest, port) {
+                let done = self.guest_cpu_run(now, send_cost);
+                if let Some(n) = n {
+                    let delay = self.hv.irq_delay();
+                    self.queue.schedule_at(
+                        done + delay,
+                        Event::Irq {
+                            dom: n.domain,
+                            port: n.port,
+                        },
+                    );
+                }
             }
         }
     }
@@ -756,8 +886,8 @@ impl NetSystem {
     /// Runs the netback threads (pusher then soft_start) to exhaustion on
     /// the driver vCPU starting at `now`; schedules all effects.
     fn run_netback(&mut self, now: Nanos) {
-        if !self.netback.is_connected() {
-            return; // driver domain down
+        if !self.netback.is_connected() || self.hung {
+            return; // driver domain down (or livelocked: threads never run)
         }
         // Pusher: guest -> bridge/world.
         let mut guest_frames = Vec::new();
@@ -929,6 +1059,7 @@ impl NetSystem {
                 if let Some(IcmpMessage::EchoReply { seq, .. }) = IcmpMessage::decode(&ip.payload) {
                     if let Some(t0) = self.icmp_sent.remove(&seq) {
                         self.metrics.ping_rtts.push_nanos(now - t0);
+                        self.latency_hist.record(now - t0);
                     }
                 }
             }
@@ -1007,6 +1138,18 @@ impl NetSystem {
                 RxIrq::Dropped => self.metrics.drops += 1,
             },
             Event::NicIrq => {
+                if self.hung {
+                    // The livelocked driver never services the interrupt;
+                    // the NIC's receive ring overflows and the frames are
+                    // lost on the floor, exactly like hardware would.
+                    let lost = self.nic.drain_rx(now, usize::MAX).len() as u64;
+                    self.metrics.drops += lost;
+                    self.recovery.dropped_frames += lost;
+                    if let Some(fire) = self.nic.rearm_irq(now) {
+                        self.queue.schedule_at(fire, Event::NicIrq);
+                    }
+                    return;
+                }
                 // NIC interrupt in the driver domain: short handler, then
                 // the stack pushes frames through the bridge toward VIFs.
                 let idle = now.saturating_sub(self.driver_cpu.free_at());
@@ -1033,8 +1176,8 @@ impl NetSystem {
             Event::Irq { dom, port } => {
                 let _ = self.hv.evtchn.clear_pending(dom, port);
                 if dom == self.driver {
-                    if !self.netback.is_connected() {
-                        return; // stale interrupt for a dead backend
+                    if !self.netback.is_connected() || self.hung {
+                        return; // stale interrupt, or a livelocked handler
                     }
                     // Netback's event channel: handler wakes the threads.
                     let idle = now.saturating_sub(self.driver_cpu.free_at());
@@ -1060,17 +1203,20 @@ impl NetSystem {
                     let done = self.guest_cpu_run(now, wake + op.cost + self.profile.irq_overhead);
                     if op.notify {
                         let evtchn = self.netfront.as_ref().expect("checked").evtchn;
-                        let (n, c) = self.hv.evtchn_send(self.guest, evtchn).expect("channel");
-                        let done = self.guest_cpu_run(done, c);
-                        if let Some(n) = n {
-                            let delay = self.hv.irq_delay();
-                            self.queue.schedule_at(
-                                done + delay,
-                                Event::Irq {
-                                    dom: n.domain,
-                                    port: n.port,
-                                },
-                            );
+                        // Tolerate a torn-down channel: the backend may
+                        // have died without the frontend knowing yet.
+                        if let Ok((n, c)) = self.hv.evtchn_send(self.guest, evtchn) {
+                            let done = self.guest_cpu_run(done, c);
+                            if let Some(n) = n {
+                                let delay = self.hv.irq_delay();
+                                self.queue.schedule_at(
+                                    done + delay,
+                                    Event::Irq {
+                                        dom: n.domain,
+                                        port: n.port,
+                                    },
+                                );
+                            }
                         }
                     }
                     while let Some(frame) = self.netfront.as_mut().expect("checked").recv() {
@@ -1081,9 +1227,63 @@ impl NetSystem {
                 }
             }
             Event::WireToClient(frame) => self.client_stack_rx(now, frame),
-            Event::DriverCrash => self.driver_crash(now),
+            Event::DriverCrash => {
+                self.pending_faults = self.pending_faults.saturating_sub(1);
+                self.kill_driver(now);
+            }
+            Event::DriverHang => {
+                self.pending_faults = self.pending_faults.saturating_sub(1);
+                self.hang_driver(now);
+            }
             Event::DriverRestarted => self.driver_restarted(now),
+            Event::BeatTick => {
+                // The heartbeat task runs inside the driver domain, so it
+                // survives a livelock — but dies with the domain.
+                if let Some(hb) = self.heartbeat.as_mut() {
+                    let _ = hb.beat(&mut self.hv);
+                }
+                if self.watch_live() {
+                    if let Some(mon) = self.monitor.as_ref() {
+                        self.queue
+                            .schedule_at(now + mon.config().heartbeat_interval, Event::BeatTick);
+                    }
+                }
+            }
+            Event::ProbeTick => {
+                let Some(mut mon) = self.monitor.take() else {
+                    return;
+                };
+                let progress = self.netback.device().map(|nb| {
+                    let (consumed, pending) = nb.progress(&self.hv);
+                    ProgressSample { consumed, pending }
+                });
+                let slo_ok = !slo::evaluate(&self.latency_hist, &self.slo_cfg).breached;
+                let verdict = mon.probe(&mut self.hv, now, progress, slo_ok);
+                let interval = mon.config().probe_interval;
+                self.monitor = Some(mon);
+                if verdict.is_failed() {
+                    self.detect_failure(now);
+                }
+                if self.watch_live() {
+                    self.queue.schedule_at(now + interval, Event::ProbeTick);
+                }
+            }
         }
+    }
+
+    /// Whether the watchdog's ticks should keep rescheduling themselves.
+    ///
+    /// A real watchdog polls forever; here the ticks stay armed only
+    /// while a fault can still need detecting (one is scheduled, the
+    /// backend is hung/down, or recovery is in flight) so that
+    /// [`NetSystem::run_to_quiescence`] terminates once the system
+    /// settles into a healthy steady state.
+    fn watch_live(&self) -> bool {
+        self.mode == DetectionMode::Watchdog
+            && (self.pending_faults > 0
+                || self.hung
+                || self.recovering
+                || !self.netback.is_connected())
     }
 
     // ---- measurement accessors ------------------------------------------
@@ -1159,5 +1359,64 @@ impl NetSystem {
     /// The guest domain id.
     pub fn guest_domain(&self) -> DomainId {
         self.guest
+    }
+
+    /// Freezes a `kitetop` view of every domain (dead incarnations
+    /// included) at the current virtual time.
+    pub fn top_snapshot(&self) -> TopSnapshot {
+        let at = self.queue.now();
+        let secs = at.as_secs_f64();
+        let stats = self.netback_stats();
+        let mut rows: Vec<TopRow> = self
+            .hv
+            .domains
+            .iter_all()
+            .map(|d| {
+                let is_driver = d.id == self.driver;
+                let (health, beat_age) = match &self.monitor {
+                    Some(m) if m.target() == d.id => {
+                        let h = match m.state() {
+                            HealthState::Suspect { missed } => format!("suspect({missed})"),
+                            s => s.name().to_string(),
+                        };
+                        (h, Some(m.heartbeat_age(at)))
+                    }
+                    _ => ("-".to_string(), None),
+                };
+                let (ring_consumed, ring_pending) = match self.netback.device() {
+                    Some(nb) if is_driver => nb.progress(&self.hv),
+                    _ => (0, 0),
+                };
+                let (req_per_sec, mbytes_per_sec) = if is_driver && secs > 0.0 {
+                    (
+                        (stats.tx_packets + stats.rx_packets) as f64 / secs,
+                        (stats.tx_bytes + stats.rx_bytes) as f64 / 1e6 / secs,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                TopRow {
+                    dom: d.id.0,
+                    name: d.name.clone(),
+                    kind: match d.kind {
+                        DomainKind::Dom0 => "dom0",
+                        DomainKind::Driver => "driver",
+                        DomainKind::Guest => "guest",
+                    },
+                    alive: d.state != DomainState::Dead,
+                    health,
+                    beat_age,
+                    ring_pending,
+                    ring_consumed,
+                    grants: self.hv.grants.live_grants(d.id),
+                    maps: self.hv.grants.active_maps(d.id),
+                    evtchns: self.hv.evtchn.open_ports(d.id),
+                    req_per_sec,
+                    mbytes_per_sec,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.dom);
+        TopSnapshot { at, rows }
     }
 }

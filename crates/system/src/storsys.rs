@@ -15,12 +15,16 @@ use kite_core::{
 };
 use kite_devices::Nvme;
 use kite_frontends::Blkfront;
+use kite_health::{
+    slo, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,
+    ProgressSample, SloConfig, TopRow, TopSnapshot,
+};
 use kite_rumprun::BootSequence;
-use kite_sim::{Cpu, EventQueue, Nanos, Pcg};
+use kite_sim::{Cpu, EventQueue, Histogram, Nanos, Pcg};
 use kite_trace::{EventKind, MetricsSnapshot};
 use kite_xen::{
-    Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, FaultPlan, Hypervisor, Port,
-    XenbusState,
+    Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
+    Hypervisor, Port, XenbusState,
 };
 
 pub use crate::netsys::BackendOs;
@@ -79,7 +83,10 @@ enum Event {
     BlkDone { req_id: u64, epoch: u64 },
     Submit(IoOp),
     DriverCrash,
+    DriverHang,
     DriverRestarted,
+    BeatTick,
+    ProbeTick,
 }
 
 #[derive(Debug)]
@@ -158,6 +165,17 @@ pub struct StorSystem {
     /// Deterministic RNG stream.
     pub rng: Pcg,
     events_processed: u64,
+    mode: DetectionMode,
+    monitor: Option<HealthMonitor>,
+    heartbeat: Option<HeartbeatPublisher>,
+    /// The driver domain is livelocked: alive and beating, data path dead.
+    hung: bool,
+    /// A detected outage is being recovered (detect → reconnect window).
+    recovering: bool,
+    /// Injected fault events still scheduled; keeps the watchdog ticking.
+    pending_faults: u32,
+    slo_cfg: SloConfig,
+    latency_hist: Histogram,
 }
 
 impl StorSystem {
@@ -253,6 +271,14 @@ impl StorSystem {
             metrics: StorMetrics::default(),
             rng: Pcg::seeded(seed),
             events_processed: 0,
+            mode: DetectionMode::Oracle,
+            monitor: None,
+            heartbeat: None,
+            hung: false,
+            recovering: false,
+            pending_faults: 0,
+            slo_cfg: SloConfig::default(),
+            latency_hist: Histogram::default(),
         }
     }
 
@@ -273,21 +299,62 @@ impl StorSystem {
 
     /// Schedules a driver-domain crash at `t` (kill injection).
     pub fn crash_driver_at(&mut self, t: Nanos) {
+        self.pending_faults += 1;
         self.queue.schedule_at(t, Event::DriverCrash);
     }
 
+    /// Schedules a driver-domain livelock at `t` (hang injection).
+    pub fn hang_driver_at(&mut self, t: Nanos) {
+        self.pending_faults += 1;
+        self.queue.schedule_at(t, Event::DriverHang);
+    }
+
     /// Arms a fault plan: per-op fault rates go live on the hypervisor,
-    /// and a `kill_at` time (if set) schedules the driver-domain crash.
+    /// and `kill_at` / `hang_at` times (if set) schedule the
+    /// driver-domain crash or livelock.
     pub fn inject_faults(&mut self, mut plan: FaultPlan) {
         if let Some(t) = plan.take_kill() {
             self.crash_driver_at(t);
         }
+        if let Some(t) = plan.take_hang() {
+            self.hang_driver_at(t);
+        }
         self.hv.faults = plan;
+    }
+
+    /// Switches failure detection from the oracle to the active watchdog:
+    /// the driver domain starts publishing heartbeats and Dom0 starts
+    /// probing them (plus ring progress and the SLO). Call before
+    /// injecting faults so the first probe precedes the first fault.
+    pub fn enable_watchdog(&mut self, cfg: MonitorConfig) {
+        let now = self.queue.now();
+        self.mode = DetectionMode::Watchdog;
+        self.monitor = Some(HealthMonitor::new(DomainId::DOM0, self.driver, cfg, now));
+        self.heartbeat = Some(HeartbeatPublisher::new(self.driver));
+        self.queue
+            .schedule_at(now + cfg.heartbeat_interval, Event::BeatTick);
+        self.queue
+            .schedule_at(now + cfg.probe_interval, Event::ProbeTick);
+    }
+
+    /// Sets the request-latency SLO the watchdog folds into its verdict.
+    pub fn set_slo(&mut self, cfg: SloConfig) {
+        self.slo_cfg = cfg;
+    }
+
+    /// The active failure-detection mode.
+    pub fn detection_mode(&self) -> DetectionMode {
+        self.mode
+    }
+
+    /// The health monitor's current verdict, when the watchdog is on.
+    pub fn health(&self) -> Option<HealthState> {
+        self.monitor.as_ref().map(|m| m.state())
     }
 
     /// Whether the backend is currently up and serving.
     pub fn backend_alive(&self) -> bool {
-        self.blkback.is_connected()
+        self.blkback.is_connected() && !self.hung
     }
 
     /// Runs the event loop until `deadline`.
@@ -382,7 +449,11 @@ impl StorSystem {
         let Some(port) = self.blkfront.as_ref().map(|f| f.evtchn) else {
             return;
         };
-        let (n, c) = self.hv.evtchn_send(self.guest, port).expect("channel");
+        // The channel dies with the backend domain: a notify raised
+        // during an undetected-outage window is simply lost.
+        let Ok((n, c)) = self.hv.evtchn_send(self.guest, port) else {
+            return;
+        };
         let done = self.guest_cpu_run(done, c);
         if let Some(n) = n {
             let delay = self.hv.irq_delay();
@@ -510,8 +581,8 @@ impl StorSystem {
     }
 
     fn run_blkback(&mut self, now: Nanos) {
-        if !self.blkback.is_connected() {
-            return;
+        if !self.blkback.is_connected() || self.hung {
+            return; // driver domain down (or livelocked: thread never runs)
         }
         loop {
             let bb = self.blkback.device_mut().expect("checked");
@@ -534,15 +605,15 @@ impl StorSystem {
         }
     }
 
-    /// The driver domain dies mid-flight: Xen reclaims its resources, the
-    /// toolstack walks the xenbus states, the frontend retires the dead
-    /// device and parks every unacknowledged chunk for replay. Reads are
-    /// side-effect free and writes re-execute the same sectors, so the
-    /// at-least-once replay loses no acknowledged request.
-    fn driver_crash(&mut self, now: Nanos) {
-        if !self.blkback.is_connected() {
+    /// The driver domain dies mid-flight: Xen reclaims its resources and
+    /// the domain's heartbeat stops with it. Under the oracle, detection
+    /// is immediate; under the watchdog, the frontend keeps submitting to
+    /// the dead backend until Dom0's monitor notices the silence.
+    fn kill_driver(&mut self, now: Nanos) {
+        if !self.blkback.is_connected() || self.recovering {
             return; // already down
         }
+        self.hung = false; // a dead domain no longer livelocks
         self.recovery.record_crash(now);
         let dead = self.driver.0;
         self.hv
@@ -555,10 +626,57 @@ impl StorSystem {
         self.hv
             .destroy_domain(self.driver)
             .expect("driver was alive");
+        if self.mode == DetectionMode::Oracle {
+            self.detect_failure(now);
+        }
+    }
+
+    /// The driver domain livelocks: the domain stays alive — and keeps
+    /// publishing heartbeats — but blkback stops consuming requests and
+    /// device completions never get serviced. Only the watchdog's
+    /// ring-progress detector can catch this; the oracle variant detects
+    /// it immediately, for ablation.
+    fn hang_driver(&mut self, now: Nanos) {
+        if !self.blkback.is_connected() || self.hung || self.recovering {
+            return;
+        }
+        self.hung = true;
+        self.recovery.record_hang(now);
+        let dom = self.driver.0;
+        self.hv
+            .trace
+            .emit_with(dom, || EventKind::Milestone { what: "hang" });
+        if self.mode == DetectionMode::Oracle {
+            self.detect_failure(now);
+        }
+    }
+
+    /// Dom0's toolstack learns the backend failed: it destroys the domain
+    /// if it still runs (livelock), walks the xenbus states, retires the
+    /// dead device in the frontend and parks every unacknowledged chunk
+    /// for replay. Reads are side-effect free and writes re-execute the
+    /// same sectors, so the at-least-once replay loses no acknowledged
+    /// request.
+    fn detect_failure(&mut self, now: Nanos) {
+        if self.recovering {
+            return; // recovery already underway
+        }
+        self.recovering = true;
+        if let Some(bb) = self.blkback.abandon(&mut self.hv) {
+            // Livelocked backend torn down at detection time: retire its
+            // incarnation so stale completions can't touch the successor.
+            self.bb_epoch += 1;
+            self.bb_stats_base.merge(&bb.stats());
+        }
+        if self.hv.domains.alive(self.driver) {
+            let _ = self.hv.destroy_domain(self.driver);
+        }
+        self.hung = false;
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closed);
+        self.recovery.record_detect(now);
         self.hv
             .trace
             .emit_with(d0.0, || EventKind::Milestone { what: "detect" });
@@ -627,6 +745,17 @@ impl StorSystem {
         if let Some(t0) = self.recovery.last_crash_at {
             self.recovery.downtime += now - t0;
         }
+        self.recovering = false;
+        if self.mode == DetectionMode::Watchdog {
+            // The replacement domain's heartbeat task beats as soon as it
+            // boots, and the monitor re-aims at the new domain id.
+            let mut hb = HeartbeatPublisher::new(driver);
+            let _ = hb.beat(&mut self.hv);
+            self.heartbeat = Some(hb);
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.retarget(&mut self.hv, driver, now);
+            }
+        }
         self.drain_pendq(now);
     }
 
@@ -640,8 +769,8 @@ impl StorSystem {
             Event::Irq { dom, port } => {
                 let _ = self.hv.evtchn.clear_pending(dom, port);
                 if dom == self.driver {
-                    if !self.blkback.is_connected() {
-                        return; // stale interrupt for a dead backend
+                    if !self.blkback.is_connected() || self.hung {
+                        return; // stale interrupt, or a livelocked handler
                     }
                     let idle = now.saturating_sub(self.driver_cpu.free_at());
                     let wake = self.os.profile().idle_wake(idle);
@@ -697,6 +826,7 @@ impl StorSystem {
                             let lat = now - ts.submitted;
                             self.metrics.ios += 1;
                             self.metrics.latency.push_nanos(lat);
+                            self.latency_hist.record(lat);
                             if self.recovery.record_first_byte(now) {
                                 let guest = self.guest.0;
                                 self.hv.trace.emit_with(guest, || EventKind::Milestone {
@@ -730,8 +860,10 @@ impl StorSystem {
                 }
             }
             Event::BlkDone { req_id, epoch } => {
-                if epoch != self.bb_epoch {
-                    return; // completion of a crashed backend incarnation
+                if epoch != self.bb_epoch || self.hung {
+                    // Completion of a crashed backend incarnation, or a
+                    // livelocked completion callback that never runs.
+                    return;
                 }
                 let Some(bb) = self.blkback.device_mut() else {
                     return; // the submission died with the driver domain
@@ -754,8 +886,121 @@ impl StorSystem {
                     }
                 }
             }
-            Event::DriverCrash => self.driver_crash(now),
+            Event::DriverCrash => {
+                self.pending_faults = self.pending_faults.saturating_sub(1);
+                self.kill_driver(now);
+            }
+            Event::DriverHang => {
+                self.pending_faults = self.pending_faults.saturating_sub(1);
+                self.hang_driver(now);
+            }
             Event::DriverRestarted => self.driver_restarted(now),
+            Event::BeatTick => {
+                // The heartbeat task runs inside the driver domain, so it
+                // survives a livelock — but dies with the domain.
+                if let Some(hb) = self.heartbeat.as_mut() {
+                    let _ = hb.beat(&mut self.hv);
+                }
+                if self.watch_live() {
+                    if let Some(mon) = self.monitor.as_ref() {
+                        self.queue
+                            .schedule_at(now + mon.config().heartbeat_interval, Event::BeatTick);
+                    }
+                }
+            }
+            Event::ProbeTick => {
+                let Some(mut mon) = self.monitor.take() else {
+                    return;
+                };
+                let progress = self.blkback.device().map(|bb| {
+                    let (consumed, pending) = bb.progress(&self.hv);
+                    ProgressSample { consumed, pending }
+                });
+                let slo_ok = !slo::evaluate(&self.latency_hist, &self.slo_cfg).breached;
+                let verdict = mon.probe(&mut self.hv, now, progress, slo_ok);
+                let interval = mon.config().probe_interval;
+                self.monitor = Some(mon);
+                if verdict.is_failed() {
+                    self.detect_failure(now);
+                }
+                if self.watch_live() {
+                    self.queue.schedule_at(now + interval, Event::ProbeTick);
+                }
+            }
         }
+    }
+
+    /// Whether the watchdog's ticks should keep rescheduling themselves.
+    ///
+    /// A real watchdog polls forever; here the ticks stay armed only
+    /// while a fault can still need detecting (one is scheduled, the
+    /// backend is hung/down, or recovery is in flight) so that
+    /// [`StorSystem::run_to_quiescence`] terminates once the system
+    /// settles into a healthy steady state.
+    fn watch_live(&self) -> bool {
+        self.mode == DetectionMode::Watchdog
+            && (self.pending_faults > 0
+                || self.hung
+                || self.recovering
+                || !self.blkback.is_connected())
+    }
+
+    /// Freezes a `kitetop` view of every domain (dead incarnations
+    /// included) at the current virtual time.
+    pub fn top_snapshot(&self) -> TopSnapshot {
+        let at = self.queue.now();
+        let secs = at.as_secs_f64();
+        let stats = self.blkback_stats();
+        let mut rows: Vec<TopRow> = self
+            .hv
+            .domains
+            .iter_all()
+            .map(|d| {
+                let is_driver = d.id == self.driver;
+                let (health, beat_age) = match &self.monitor {
+                    Some(m) if m.target() == d.id => {
+                        let h = match m.state() {
+                            HealthState::Suspect { missed } => format!("suspect({missed})"),
+                            s => s.name().to_string(),
+                        };
+                        (h, Some(m.heartbeat_age(at)))
+                    }
+                    _ => ("-".to_string(), None),
+                };
+                let (ring_consumed, ring_pending) = match self.blkback.device() {
+                    Some(bb) if is_driver => bb.progress(&self.hv),
+                    _ => (0, 0),
+                };
+                let (req_per_sec, mbytes_per_sec) = if is_driver && secs > 0.0 {
+                    (
+                        stats.requests as f64 / secs,
+                        (stats.read_bytes + stats.write_bytes) as f64 / 1e6 / secs,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                TopRow {
+                    dom: d.id.0,
+                    name: d.name.clone(),
+                    kind: match d.kind {
+                        DomainKind::Dom0 => "dom0",
+                        DomainKind::Driver => "driver",
+                        DomainKind::Guest => "guest",
+                    },
+                    alive: d.state != DomainState::Dead,
+                    health,
+                    beat_age,
+                    ring_pending,
+                    ring_consumed,
+                    grants: self.hv.grants.live_grants(d.id),
+                    maps: self.hv.grants.active_maps(d.id),
+                    evtchns: self.hv.evtchn.open_ports(d.id),
+                    req_per_sec,
+                    mbytes_per_sec,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.dom);
+        TopSnapshot { at, rows }
     }
 }

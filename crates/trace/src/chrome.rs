@@ -177,6 +177,24 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
             EventKind::Milestone { what } => {
                 push_event(&mut out, &mut first, what, e.dom, e.at, None, &[])
             }
+            EventKind::HealthTransition {
+                watched,
+                state,
+                cause,
+                missed,
+            } => push_event(
+                &mut out,
+                &mut first,
+                &format!("health:{state}"),
+                e.dom,
+                e.at,
+                None,
+                &[
+                    ("watched", watched.to_string()),
+                    ("cause", str_arg(cause)),
+                    ("missed", missed.to_string()),
+                ],
+            ),
         }
     }
     let _ = write!(

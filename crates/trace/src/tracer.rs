@@ -111,6 +111,24 @@ pub enum EventKind {
         /// Milestone label.
         what: &'static str,
     },
+    /// A health-monitor verdict change for one watched backend.
+    ///
+    /// Emitted on every `Healthy → Suspect → Failed` (and back) edge, so
+    /// a Perfetto export shows suspicion windows as spans on the Dom0
+    /// track. The event is attributed to the *monitoring* domain; `dom`
+    /// on the enclosing [`TraceEvent`] names the watcher, this field the
+    /// watched backend.
+    HealthTransition {
+        /// Raw id of the backend domain whose health changed.
+        watched: u16,
+        /// New state: `"healthy"`, `"suspect"`, or `"failed"`.
+        state: &'static str,
+        /// What drove the edge: `"heartbeat"`, `"stall"`, `"slo"`, or
+        /// `"recovered"`.
+        cause: &'static str,
+        /// Consecutive missed probes at the time of the transition.
+        missed: u32,
+    },
 }
 
 impl EventKind {
@@ -125,6 +143,7 @@ impl EventKind {
             EventKind::Lifecycle { .. } => "lifecycle",
             EventKind::RingDrain { .. } => "ring_drain",
             EventKind::Milestone { .. } => "milestone",
+            EventKind::HealthTransition { .. } => "health",
         }
     }
 }
@@ -421,6 +440,31 @@ mod tests {
                 .kind("notify")
                 .count(),
             1
+        );
+    }
+
+    #[test]
+    fn span_between_edge_cases_return_none() {
+        let mut t = Tracer::enabled(16);
+        t.set_now(Nanos::from_micros(1));
+        t.emit_with(0, || milestone("kill"));
+        t.set_now(Nanos::from_micros(3));
+        t.emit_with(0, || milestone("detect"));
+        let q = t.query();
+        // Missing start milestone.
+        assert_eq!(q.span_between("nonesuch", "detect"), None);
+        // Missing end milestone.
+        assert_eq!(q.span_between("kill", "nonesuch"), None);
+        // End emitted before start: span_between only looks forward in
+        // emission order, so the reversed query finds nothing.
+        assert_eq!(q.span_between("detect", "kill"), None);
+        // Empty tracer: no milestones at all.
+        let empty = Tracer::enabled(4);
+        assert_eq!(empty.query().span_between("kill", "detect"), None);
+        // Sanity: the forward query still works.
+        assert_eq!(
+            q.span_between("kill", "detect"),
+            Some(Nanos::from_micros(2))
         );
     }
 

@@ -195,6 +195,14 @@ impl EventChannels {
         })
     }
 
+    /// Number of non-closed ports a domain holds (observability only;
+    /// this is the `kitetop` event-channel column).
+    pub fn open_ports(&self, d: DomainId) -> usize {
+        self.ports.get(&d).map_or(0, |v| {
+            v.iter().filter(|i| i.state != PortState::Closed).count()
+        })
+    }
+
     /// Closes every port of a dead domain (and, per `close`, the peer end
     /// of each interdomain channel). What Xen does on domain destruction.
     pub fn close_domain(&mut self, dead: DomainId) {

@@ -35,10 +35,11 @@ pub struct FaultStats {
 /// A seeded, deterministic fault-injection plan.
 ///
 /// Rates are probabilities in `[0, 1]` applied independently per
-/// operation. `kill_at` is not interpreted by the hypervisor itself — the
-/// system layer polls [`FaultPlan::take_kill`] (or reads `kill_at`) and
-/// performs the domain destroy + restart choreography, since domain death
-/// is a scheduler-level event, not a hypercall-level one.
+/// operation. `kill_at` and `hang_at` are not interpreted by the
+/// hypervisor itself — the system layer polls [`FaultPlan::take_kill`] /
+/// [`FaultPlan::take_hang`] and performs the domain destroy + restart
+/// (or livelock) choreography, since domain death is a scheduler-level
+/// event, not a hypercall-level one.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     rng: Pcg,
@@ -54,6 +55,10 @@ pub struct FaultPlan {
     pub xs_fail_rate: f64,
     /// Virtual time at which the scenario's driver domain should be killed.
     pub kill_at: Option<Nanos>,
+    /// Virtual time at which the scenario's driver domain should hang: it
+    /// stops consuming ring requests but tears nothing down (and its
+    /// heartbeat may or may not keep beating — a livelock, not a crash).
+    pub hang_at: Option<Nanos>,
     /// Counters of faults actually injected.
     pub stats: FaultStats,
 }
@@ -81,6 +86,7 @@ impl FaultPlan {
             notify_delay: Nanos::ZERO,
             xs_fail_rate: 0.0,
             kill_at: None,
+            hang_at: None,
             stats: FaultStats::default(),
         }
     }
@@ -116,6 +122,12 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a driver-domain hang (livelock) at virtual time `t`.
+    pub fn with_hang_at(mut self, t: Nanos) -> FaultPlan {
+        self.hang_at = Some(t);
+        self
+    }
+
     /// True when any fault class is armed.
     pub fn armed(&self) -> bool {
         self.copy_fail_rate > 0.0
@@ -123,11 +135,17 @@ impl FaultPlan {
             || self.notify_delay_rate > 0.0
             || self.xs_fail_rate > 0.0
             || self.kill_at.is_some()
+            || self.hang_at.is_some()
     }
 
     /// Consumes the scheduled kill time, if any.
     pub fn take_kill(&mut self) -> Option<Nanos> {
         self.kill_at.take()
+    }
+
+    /// Consumes the scheduled hang time, if any.
+    pub fn take_hang(&mut self) -> Option<Nanos> {
+        self.hang_at.take()
     }
 
     /// Decides whether the next grant-copy op should fail.
@@ -240,5 +258,20 @@ mod tests {
         assert!(p.armed());
         assert_eq!(p.take_kill(), Some(Nanos::from_millis(5)));
         assert_eq!(p.take_kill(), None);
+    }
+
+    #[test]
+    fn hang_time_is_consumed_once_and_arms_the_plan() {
+        let mut p = FaultPlan::none().with_hang_at(Nanos::from_millis(9));
+        assert!(p.armed());
+        assert_eq!(p.take_hang(), Some(Nanos::from_millis(9)));
+        assert_eq!(p.take_hang(), None);
+        assert!(!p.armed(), "hang consumed, nothing else armed");
+        // Kill and hang are independent slots.
+        let mut both = FaultPlan::none()
+            .with_kill_at(Nanos::from_millis(1))
+            .with_hang_at(Nanos::from_millis(2));
+        assert_eq!(both.take_hang(), Some(Nanos::from_millis(2)));
+        assert!(both.armed(), "kill still pending");
     }
 }

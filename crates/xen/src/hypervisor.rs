@@ -254,7 +254,7 @@ impl Hypervisor {
         result
     }
 
-    /// Issues `ops` under the given [`CopyMode`]: one batched hypercall,
+    /// Issues `ops` under the given [`CopyMode`](crate::grant::CopyMode): one batched hypercall,
     /// or the legacy one-hypercall-per-op shape. The two modes move the
     /// same bytes and produce the same statuses; only the hypercall count
     /// and modeled cost differ — which is what the drivers' ablation

@@ -37,7 +37,7 @@ pub mod ring;
 pub mod xenbus;
 pub mod xenstore;
 
-pub use domain::{Domain, DomainId, DomainKind, DomainTable};
+pub use domain::{Domain, DomainId, DomainKind, DomainState, DomainTable};
 pub use error::{Result, XenError};
 pub use evtchn::{EventChannels, Notification, Port};
 pub use fault::{FaultPlan, FaultStats};

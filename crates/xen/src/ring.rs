@@ -267,6 +267,13 @@ impl<Req: RingEntry, Rsp: RingEntry> BackRing<Req, Rsp> {
         sring::req_prod(page).wrapping_sub(self.req_cons)
     }
 
+    /// The free-running request-consumer index — the backend's progress
+    /// watermark. Health monitors compare successive samples: a ring with
+    /// unconsumed requests whose `req_cons` has not moved is stalled.
+    pub fn req_cons(&self) -> u32 {
+        self.req_cons
+    }
+
     /// Consumes the next request, if any.
     pub fn consume_request(&mut self, page: &[u8]) -> Result<Option<Req>> {
         let avail = self.unconsumed_requests(page);

@@ -48,6 +48,18 @@ echo "==> repro --json: machine-readable bench snapshot"
 cmp "$tdir/bench.json" "$tdir/bench2.json" \
     || { echo "verify: repro --json output not deterministic" >&2; exit 1; }
 
+echo "==> repro top: kitetop snapshots are byte-identical"
+# The watchdog crash-cycle scenario renders from virtual-time state
+# only; two runs of the same build must print the same bytes.
+./target/release/repro top > "$tdir/top_a.txt"
+./target/release/repro top > "$tdir/top_b.txt"
+[ -s "$tdir/top_a.txt" ] || { echo "verify: repro top printed nothing" >&2; exit 1; }
+cmp "$tdir/top_a.txt" "$tdir/top_b.txt" \
+    || { echo "verify: repro top output not deterministic" >&2; exit 1; }
+
+echo "==> cargo doc --offline (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
