@@ -13,7 +13,7 @@ use kite_system::{
 };
 use kite_trace::metrics::{render_json, validate_json};
 use kite_trace::MetricsSnapshot;
-use kite_xen::{CopyMode, FaultPlan};
+use kite_xen::{CopyMode, FaultPlan, QueueMode};
 
 /// Prints snapshots in the shared text rendering.
 pub fn print_snapshots(snaps: &[MetricsSnapshot]) {
@@ -175,10 +175,123 @@ pub fn ablation_snapshot() -> MetricsSnapshot {
     snap
 }
 
+/// Runs the netback queue-scaling workload: 64 distinct UDP flows
+/// (Toeplitz-steered across the queues) bursting guest->client through
+/// a driver domain with one vCPU per queue. Returns the finished system.
+pub fn netback_queue_cycle(queues: u32, seed: u64) -> NetSystem {
+    let mode = if queues <= 1 {
+        QueueMode::Single
+    } else {
+        QueueMode::Multi(queues)
+    };
+    let mut sys = NetSystem::new_with_queues(BackendOs::Kite, seed, mode);
+    for i in 0..512u64 {
+        // 64 flows, distinguished by source port, 8 messages each; the
+        // burst arrives faster than one vCPU drains it, so the elapsed
+        // time exposes the per-queue parallelism.
+        sys.send_udp_at(
+            Nanos::from_micros(10 + 20 * (i / 64)),
+            Side::Guest,
+            addrs::CLIENT,
+            9999,
+            1200 + (i % 64) as u16,
+            vec![i as u8; 1400],
+        );
+    }
+    sys.run_to_quiescence();
+    sys
+}
+
+/// One `mechanisms/netback_queues_<n>` ablation row: virtual elapsed
+/// time and throughput of [`netback_queue_cycle`].
+pub fn netback_queue_snapshot(queues: u32, seed: u64) -> MetricsSnapshot {
+    let sys = netback_queue_cycle(queues, seed);
+    let elapsed = sys.now();
+    let stats = sys.netback_stats();
+    let mut snap = MetricsSnapshot::new(format!("mechanisms/netback_queues_{queues}"));
+    snap.push_int("queues", "count", queues as u64);
+    snap.push_int("tx_packets", "count", stats.tx_packets);
+    snap.push_int("tx_bytes", "bytes", stats.tx_bytes);
+    snap.push_int("elapsed", "ns", elapsed.as_nanos());
+    snap.push_float(
+        "throughput_mbps",
+        "mbps",
+        stats.tx_bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e6,
+    );
+    snap.push_int("drops", "count", sys.metrics.drops);
+    snap
+}
+
+/// One `mechanisms/blkback_rings_<n>` ablation row: 8 MiB of 128 KiB
+/// writes through `n` blkback rings on an `n`-vCPU driver domain.
+pub fn blkback_ring_snapshot(rings: u32, seed: u64) -> MetricsSnapshot {
+    let mode = if rings <= 1 {
+        QueueMode::Single
+    } else {
+        QueueMode::Multi(rings)
+    };
+    let mut sys = StorSystem::new_with_queues(BackendOs::Kite, seed, mode);
+    const CHUNK: usize = 128 * 1024;
+    let mut t = Nanos::from_micros(100);
+    for i in 0..64u64 {
+        sys.submit_at(
+            t,
+            IoOp {
+                tag: i,
+                kind: IoKind::Write {
+                    sector: i * (CHUNK / 512) as u64,
+                    data: vec![0x5a; CHUNK],
+                },
+            },
+        );
+        t += Nanos::from_micros(40);
+    }
+    sys.run_to_quiescence();
+    let elapsed = sys.now();
+    let stats = sys.blkback_stats();
+    let mut snap = MetricsSnapshot::new(format!("mechanisms/blkback_rings_{rings}"));
+    snap.push_int("rings", "count", rings as u64);
+    snap.push_int("requests", "count", stats.requests);
+    snap.push_int("write_bytes", "bytes", stats.write_bytes);
+    snap.push_int("elapsed", "ns", elapsed.as_nanos());
+    snap.push_float(
+        "throughput_mbps",
+        "mbps",
+        stats.write_bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e6,
+    );
+    snap
+}
+
+/// The queue-scaling ablation rows (`netback_queues_{1,2,4,8}` and
+/// `blkback_rings_{1,2,4}`). Asserts the headline scaling claim: four
+/// netback queues on a 4-vCPU driver domain beat the single queue.
+pub fn queue_scaling_snapshots() -> Vec<MetricsSnapshot> {
+    let mut snaps: Vec<MetricsSnapshot> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&q| netback_queue_snapshot(q, 7))
+        .collect();
+    let tput = |s: &MetricsSnapshot| {
+        s.metrics
+            .iter()
+            .find(|m| m.name == "throughput_mbps")
+            .map(|m| match m.value {
+                kite_trace::metrics::MetricValue::Int(v) => v as f64,
+                kite_trace::metrics::MetricValue::Float(v) => v,
+            })
+            .unwrap_or(0.0)
+    };
+    assert!(
+        tput(&snaps[2]) > tput(&snaps[0]),
+        "4 queues must out-drain 1 queue"
+    );
+    snaps.extend([1u32, 2, 4].iter().map(|&r| blkback_ring_snapshot(r, 7)));
+    snaps
+}
+
 /// The `repro --json` result set: mechanisms + recovery (oracle and
-/// watchdog detection) + ablation.
+/// watchdog detection) + queue scaling + ablation.
 pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
-    vec![
+    let mut snaps = vec![
         grant_copy_snapshot(),
         recovery_snapshot(BackendOs::Kite, 11),
         recovery_snapshot(BackendOs::Linux, 11),
@@ -192,8 +305,10 @@ pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
             11,
             DetectionMode::Watchdog,
         )),
-        ablation_snapshot(),
-    ]
+    ];
+    snaps.extend(queue_scaling_snapshots());
+    snaps.push(ablation_snapshot());
+    snaps
 }
 
 /// The `repro top` report: a deterministic watchdog scenario snapshotted

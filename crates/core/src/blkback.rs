@@ -1,8 +1,8 @@
 //! The Kite blkback driver (§3.3, §4.4 of the paper).
 //!
-//! One instance serves one blkfront over a single ring + event channel.
-//! The paper's three storage optimizations are all implemented and
-//! individually switchable (for the ablation benches):
+//! One instance serves one blkfront. The paper's three storage
+//! optimizations are all implemented and individually switchable (for
+//! the ablation benches):
 //!
 //! * **request batching** — consecutive-sector segments from one or more
 //!   requests merge into fewer, larger device operations;
@@ -16,6 +16,13 @@
 //! Threading follows the paper: the event handler wakes one request
 //! thread; responses are pushed asynchronously from device-completion
 //! callbacks so later requests are never blocked behind earlier ones.
+//!
+//! When the frontend negotiated `multi-queue-num-queues = n`, the
+//! instance runs `n` independent rings, each with its own event channel,
+//! request thread, persistent-grant cache and bounce pool (per-ring, as
+//! in Linux `xen-blkback` — caches are never shared across rings, so no
+//! cross-ring locking). Responses always return on the ring the request
+//! arrived on.
 
 use std::collections::HashMap;
 
@@ -28,11 +35,13 @@ use kite_xen::blkif::{
     BLKIF_OP_READ, BLKIF_OP_WRITE, BLKIF_RSP_ERROR, BLKIF_RSP_OKAY, SECTOR_SIZE,
 };
 use kite_xen::ring::BackRing;
+use kite_xen::xenbus::{MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
     PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
 };
 
+use crate::netback::DEFAULT_MAX_QUEUES;
 use crate::stats::CopyStats;
 
 /// The indirect-segment cap Kite advertises (Linux-compatible, §3.3).
@@ -47,7 +56,7 @@ pub struct BlkbackTuning {
     pub persistent_grants: bool,
     /// Accept indirect-segment requests.
     pub indirect_segments: bool,
-    /// Persistent-grant cache capacity (mappings).
+    /// Persistent-grant cache capacity (mappings), per ring.
     pub persistent_cap: usize,
     /// Move segment payloads with batched `GNTTABOP_copy` instead of
     /// map/memcpy/unmap. Only effective when `persistent_grants` is off:
@@ -68,7 +77,7 @@ impl Default for BlkbackTuning {
     }
 }
 
-/// Statistics of one blkback instance.
+/// Statistics of one blkback instance (summed across its rings).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BlkbackStats {
     /// Requests processed.
@@ -147,12 +156,16 @@ pub struct BlkBatch {
 pub struct BlkComplete {
     /// The frontend must be notified.
     pub notify: bool,
+    /// The ring the response was pushed on — where the notify goes.
+    pub ring: usize,
     /// vCPU cost of the callback (response push, unmaps).
     pub cost: Nanos,
 }
 
 struct InFlight {
     op: u8,
+    /// Ring the request arrived on — its response returns there.
+    ring: usize,
     unmap: Vec<MapHandle>,
     status: i16,
 }
@@ -195,6 +208,21 @@ impl PersistentCache {
     }
 }
 
+/// One ring of a blkback instance: the shared ring mapped from the
+/// frontend, its event channel, and the ring-private persistent-grant
+/// cache and bounce pool its request thread works through.
+struct BbRing {
+    evtchn: Port,
+    ring: BackRing<BlkifRequest, BlkifResponse>,
+    ring_page: PageId,
+    _ring_map: MapHandle,
+    persistent: PersistentCache,
+    /// Lazily grown bounce pages staging grant-copy payloads.
+    bounce: Vec<PageId>,
+    /// Fault-injection: a wedged ring's request thread never runs.
+    wedged: bool,
+}
+
 /// One blkback instance.
 pub struct BlkbackInstance {
     /// Driver domain running this backend.
@@ -203,26 +231,23 @@ pub struct BlkbackInstance {
     pub front: DomainId,
     /// Device index.
     pub index: u32,
-    /// Backend-local event-channel port.
-    pub evtchn: Port,
-    ring: BackRing<BlkifRequest, BlkifResponse>,
-    ring_page: PageId,
-    _ring_map: MapHandle,
+    rings: Vec<BbRing>,
     tuning: BlkbackTuning,
-    persistent: PersistentCache,
     in_flight: HashMap<u64, InFlight>,
     profile: OsProfile,
     stats: BlkbackStats,
     device_sectors: u64,
-    /// Lazily grown bounce pages staging grant-copy payloads.
-    bounce: Vec<PageId>,
     copy_mode: CopyMode,
 }
 
 impl BlkbackInstance {
     /// Connects to a frontend: advertises device properties and features
-    /// in xenstore, maps the ring, binds the event channel, switches the
-    /// backend state to `Connected`.
+    /// in xenstore, maps every negotiated ring, binds its event channels,
+    /// switches the backend state to `Connected`.
+    ///
+    /// The ring count is the frontend's `multi-queue-num-queues` (1 when
+    /// absent — the legacy flat layout), validated against this backend's
+    /// own `multi-queue-max-queues` advertisement.
     pub fn connect(
         hv: &mut Hypervisor,
         paths: &DevicePaths,
@@ -265,36 +290,60 @@ impl BlkbackInstance {
             },
         )?;
         let fe = paths.frontend();
-        let ring_ref = GrantRef(
-            hv.store
-                .read(back, None, &format!("{fe}/ring-ref"))?
-                .parse()
-                .map_err(|_| XenError::Inval)?,
-        );
-        let remote_port = Port(
-            hv.store
-                .read(back, None, &format!("{fe}/event-channel"))?
-                .parse()
-                .map_err(|_| XenError::Inval)?,
-        );
-        let (ring_map, _) = hv.map_grant(back, front, ring_ref)?;
-        let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
+        let nrings = hv
+            .store
+            .read(back, None, &format!("{fe}/{MQ_NUM_QUEUES_KEY}"))
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(1)
+            .max(1);
+        let max = hv
+            .store
+            .read(back, None, &format!("{be}/{MQ_MAX_QUEUES_KEY}"))
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(DEFAULT_MAX_QUEUES);
+        if nrings > max {
+            return Err(XenError::Inval);
+        }
+        let mut rings = Vec::with_capacity(nrings as usize);
+        for k in 0..nrings {
+            let root = paths.frontend_queue_root(nrings, k);
+            let ring_ref = GrantRef(
+                hv.store
+                    .read(back, None, &format!("{root}/ring-ref"))?
+                    .parse()
+                    .map_err(|_| XenError::Inval)?,
+            );
+            let remote_port = Port(
+                hv.store
+                    .read(back, None, &format!("{root}/event-channel"))?
+                    .parse()
+                    .map_err(|_| XenError::Inval)?,
+            );
+            let (ring_map, _) = hv.map_grant(back, front, ring_ref)?;
+            let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
+            rings.push(BbRing {
+                evtchn,
+                ring: BackRing::attach(),
+                ring_page: ring_map.page,
+                _ring_map: ring_map.handle,
+                persistent: PersistentCache::new(tuning.persistent_cap),
+                bounce: Vec::new(),
+                wedged: false,
+            });
+        }
         hv.switch_state(back, &paths.backend_state(), XenbusState::Connected)?;
         Ok(BlkbackInstance {
             back,
             front,
             index: paths.index,
-            evtchn,
-            ring: BackRing::attach(),
-            ring_page: ring_map.page,
-            _ring_map: ring_map.handle,
-            persistent: PersistentCache::new(tuning.persistent_cap),
+            rings,
             tuning,
             in_flight: HashMap::new(),
             profile,
             stats: BlkbackStats::default(),
             device_sectors,
-            bounce: Vec::new(),
             copy_mode: CopyMode::Batched,
         })
     }
@@ -302,6 +351,21 @@ impl BlkbackInstance {
     /// Instance statistics.
     pub fn stats(&self) -> BlkbackStats {
         self.stats
+    }
+
+    /// Number of negotiated rings.
+    pub fn ring_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Ring `q`'s backend-local event-channel port.
+    pub fn port_of(&self, q: usize) -> Port {
+        self.rings[q].evtchn
+    }
+
+    /// True if `port` belongs to any of this instance's rings.
+    pub fn owns_port(&self, port: Port) -> bool {
+        self.rings.iter().any(|r| r.evtchn == port)
     }
 
     /// How grant copies are issued (batched vs. one hypercall per op).
@@ -314,16 +378,21 @@ impl BlkbackInstance {
         self.copy_mode = mode;
     }
 
+    /// Wedges (or unwedges) one ring's request thread (fault injection).
+    pub fn set_queue_wedged(&mut self, q: usize, wedged: bool) {
+        self.rings[q].wedged = wedged;
+    }
+
     /// Whether the grant-copy data path is active (copies are only used
     /// when persistent grants are not negotiated).
     fn use_copy(&self) -> bool {
         self.tuning.grant_copy && !self.tuning.persistent_grants
     }
 
-    fn ensure_bounce(&mut self, hv: &mut Hypervisor, n: usize) -> Result<()> {
-        while self.bounce.len() < n {
+    fn ensure_bounce(&mut self, hv: &mut Hypervisor, q: usize, n: usize) -> Result<()> {
+        while self.rings[q].bounce.len() < n {
             let page = hv.alloc_page(self.back)?;
-            self.bounce.push(page);
+            self.rings[q].bounce.push(page);
         }
         Ok(())
     }
@@ -333,18 +402,30 @@ impl BlkbackInstance {
         self.profile.irq_overhead
     }
 
-    /// Resolves a guest data page: persistent-cache hit or a fresh map.
+    /// The trace label for ring-drain events (`None` keeps single-ring
+    /// exports byte-identical to the legacy layout).
+    fn qid(&self, q: usize) -> Option<u16> {
+        if self.rings.len() > 1 {
+            Some(q as u16)
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a guest data page through ring `q`'s cache: persistent
+    /// hit or a fresh map.
     ///
     /// Returns the page plus the handle to unmap at completion when the
     /// mapping is *not* persistent.
     fn resolve_page(
         &mut self,
         hv: &mut Hypervisor,
+        q: usize,
         gref: GrantRef,
         cost: &mut Nanos,
     ) -> Result<(PageId, Option<MapHandle>)> {
         if self.tuning.persistent_grants {
-            if let Some(page) = self.persistent.get(gref) {
+            if let Some(page) = self.rings[q].persistent.get(gref) {
                 self.stats.persistent_hits += 1;
                 return Ok((page, None));
             }
@@ -353,7 +434,11 @@ impl BlkbackInstance {
         self.stats.grant_maps += 1;
         *cost += c;
         if self.tuning.persistent_grants {
-            if let Some(evicted) = self.persistent.insert(gref, mapping.handle, mapping.page) {
+            if let Some(evicted) =
+                self.rings[q]
+                    .persistent
+                    .insert(gref, mapping.handle, mapping.page)
+            {
                 *cost += hv.unmap_grant(self.back, evicted)?;
             }
             Ok((mapping.page, None))
@@ -367,6 +452,7 @@ impl BlkbackInstance {
     fn segments_of(
         &mut self,
         hv: &mut Hypervisor,
+        q: usize,
         req: &BlkifRequest,
         cost: &mut Nanos,
     ) -> Result<Vec<BlkifSegment>> {
@@ -389,7 +475,7 @@ impl BlkbackInstance {
                     // instead of a map/unmap pair per page.
                     let per_frame = kite_xen::blkif::SEGS_PER_INDIRECT_FRAME;
                     let frames = n.div_ceil(per_frame).min(indirect_grefs.len());
-                    self.ensure_bounce(hv, frames)?;
+                    self.ensure_bounce(hv, q, frames)?;
                     let ops: Vec<GrantCopyOp> = indirect_grefs[..frames]
                         .iter()
                         .enumerate()
@@ -400,7 +486,7 @@ impl BlkbackInstance {
                                 offset: 0,
                             },
                             dst: CopySide::Local {
-                                page: self.bounce[i],
+                                page: self.rings[q].bounce[i],
                                 offset: 0,
                             },
                             len: PAGE_SIZE,
@@ -416,7 +502,7 @@ impl BlkbackInstance {
                     let mut remaining = n;
                     for i in 0..frames {
                         let take = remaining.min(per_frame);
-                        let bytes = hv.mem.page(self.bounce[i])?;
+                        let bytes = hv.mem.page(self.rings[q].bounce[i])?;
                         segs.extend(unpack_indirect_segments(bytes, take));
                         remaining -= take;
                     }
@@ -428,7 +514,7 @@ impl BlkbackInstance {
                     if remaining == 0 {
                         break;
                     }
-                    let (page, unmap) = self.resolve_page(hv, *gref, cost)?;
+                    let (page, unmap) = self.resolve_page(hv, q, *gref, cost)?;
                     let take = remaining.min(kite_xen::blkif::SEGS_PER_INDIRECT_FRAME);
                     let bytes = hv.mem.page(page)?;
                     segs.extend(unpack_indirect_segments(bytes, take));
@@ -442,16 +528,21 @@ impl BlkbackInstance {
         }
     }
 
-    /// The request thread body: drains up to `budget` ring requests,
-    /// validates them, moves data and submits device operations.
+    /// The request thread body for ring `q`: drains up to `budget` ring
+    /// requests, validates them, moves data and submits device
+    /// operations.
     pub fn request_thread_run(
         &mut self,
         hv: &mut Hypervisor,
         device: &mut Nvme,
+        q: usize,
         now: Nanos,
         budget: usize,
     ) -> Result<BlkBatch> {
         let mut batch = BlkBatch::default();
+        if self.rings[q].wedged {
+            return Ok(batch);
+        }
         // (sector, len, op) runs pending merge, with owning request ids.
         struct Run {
             sector: u64,
@@ -464,8 +555,9 @@ impl BlkbackInstance {
 
         for _ in 0..budget {
             let req = {
-                let page = hv.mem.page(self.ring_page)?;
-                match self.ring.consume_request(page)? {
+                let rq = &mut self.rings[q];
+                let page = hv.mem.page(rq.ring_page)?;
+                match rq.ring.consume_request(page)? {
                     Some(r) => r,
                     None => break,
                 }
@@ -479,6 +571,7 @@ impl BlkbackInstance {
                     id,
                     InFlight {
                         op,
+                        ring: q,
                         unmap: Vec::new(),
                         status: BLKIF_RSP_OKAY,
                     },
@@ -487,17 +580,17 @@ impl BlkbackInstance {
                 continue;
             }
             if op != BLKIF_OP_READ && op != BLKIF_OP_WRITE {
-                self.fail_request(id, op);
+                self.fail_request(id, op, q);
                 batch.submissions.push(BlkSubmission {
                     req_id: id,
                     completes_at: now + batch.cost,
                 });
                 continue;
             }
-            let segs = match self.segments_of(hv, &req, &mut batch.cost) {
+            let segs = match self.segments_of(hv, q, &req, &mut batch.cost) {
                 Ok(s) => s,
                 Err(_) => {
-                    self.fail_request(id, op);
+                    self.fail_request(id, op, q);
                     batch.submissions.push(BlkSubmission {
                         req_id: id,
                         completes_at: now + batch.cost,
@@ -509,7 +602,7 @@ impl BlkbackInstance {
             if segs.iter().any(|s| s.is_empty() || s.last_sect > 7)
                 || req.sector() + total_sectors > self.device_sectors
             {
-                self.fail_request(id, op);
+                self.fail_request(id, op, q);
                 batch.submissions.push(BlkSubmission {
                     req_id: id,
                     completes_at: now + batch.cost,
@@ -521,11 +614,12 @@ impl BlkbackInstance {
             // legacy per-segment map/memcpy/unmap path.
             let mut unmap = Vec::new();
             let ok = if self.use_copy() {
-                self.copy_request_data(hv, device, &segs, req.sector(), op, &mut batch.cost)?
+                self.copy_request_data(hv, device, q, &segs, req.sector(), op, &mut batch.cost)?
             } else {
                 self.map_request_data(
                     hv,
                     device,
+                    q,
                     &segs,
                     req.sector(),
                     op,
@@ -534,7 +628,7 @@ impl BlkbackInstance {
                 )?
             };
             if !ok {
-                self.fail_request(id, op);
+                self.fail_request(id, op, q);
                 batch.submissions.push(BlkSubmission {
                     req_id: id,
                     completes_at: now + batch.cost,
@@ -545,6 +639,7 @@ impl BlkbackInstance {
                 id,
                 InFlight {
                     op,
+                    ring: q,
                     unmap,
                     status: BLKIF_RSP_OKAY,
                 },
@@ -596,13 +691,16 @@ impl BlkbackInstance {
                 completes_at: done,
             });
         }
-        let page = hv.mem.page_mut(self.ring_page)?;
-        batch.more = self.ring.final_check_for_requests(page);
+        let rq = &mut self.rings[q];
+        let page = hv.mem.page_mut(rq.ring_page)?;
+        batch.more = rq.ring.final_check_for_requests(page);
         if !batch.submissions.is_empty() {
             let consumed = batch.submissions.len() as u32;
             let delivered = runs.len() as u32;
+            let qid = self.qid(q);
             hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
                 queue: "blkback_req",
+                qid,
                 consumed,
                 delivered,
                 notify: false,
@@ -611,13 +709,14 @@ impl BlkbackInstance {
         Ok(batch)
     }
 
-    /// Legacy data path: maps each segment's page (or hits the
+    /// Legacy data path: maps each segment's page (or hits ring `q`'s
     /// persistent cache) and memcpys between it and the device.
     #[allow(clippy::too_many_arguments)]
     fn map_request_data(
         &mut self,
         hv: &mut Hypervisor,
         device: &mut Nvme,
+        q: usize,
         segs: &[BlkifSegment],
         start_sector: u64,
         op: u8,
@@ -627,7 +726,7 @@ impl BlkbackInstance {
         let mut dev_sector = start_sector;
         for seg in segs {
             let mut c = Nanos::ZERO;
-            match self.resolve_page(hv, seg.gref, &mut c) {
+            match self.resolve_page(hv, q, seg.gref, &mut c) {
                 Ok((page, h)) => {
                     *cost += c;
                     let off = seg.first_sect as usize * SECTOR_SIZE;
@@ -654,19 +753,22 @@ impl BlkbackInstance {
     }
 
     /// Grant-copy data path: the whole segment list moves with a single
-    /// batched `GNTTABOP_copy` hypercall, staged through bounce pages.
-    /// Writes copy guest→bounce then feed the device; reads fill the
-    /// bounce pages from the device then copy bounce→guest.
+    /// batched `GNTTABOP_copy` hypercall, staged through ring `q`'s
+    /// bounce pages. Writes copy guest→bounce then feed the device;
+    /// reads fill the bounce pages from the device then copy
+    /// bounce→guest.
+    #[allow(clippy::too_many_arguments)]
     fn copy_request_data(
         &mut self,
         hv: &mut Hypervisor,
         device: &mut Nvme,
+        q: usize,
         segs: &[BlkifSegment],
         start_sector: u64,
         op: u8,
         cost: &mut Nanos,
     ) -> Result<bool> {
-        self.ensure_bounce(hv, segs.len())?;
+        self.ensure_bounce(hv, q, segs.len())?;
         let ops: Vec<GrantCopyOp> = segs
             .iter()
             .enumerate()
@@ -677,7 +779,7 @@ impl BlkbackInstance {
                     offset: seg.first_sect as usize * SECTOR_SIZE,
                 };
                 let local = CopySide::Local {
-                    page: self.bounce[i],
+                    page: self.rings[q].bounce[i],
                     offset: 0,
                 };
                 let (src, dst) = if op == BLKIF_OP_WRITE {
@@ -702,7 +804,7 @@ impl BlkbackInstance {
             let mut dev_sector = start_sector;
             for (i, seg) in segs.iter().enumerate() {
                 let len = seg.len();
-                let bytes = hv.mem.page(self.bounce[i])?[..len].to_vec();
+                let bytes = hv.mem.page(self.rings[q].bounce[i])?[..len].to_vec();
                 device.write_data(dev_sector, &bytes);
                 self.stats.write_bytes += len as u64;
                 dev_sector += seg.sectors();
@@ -713,7 +815,7 @@ impl BlkbackInstance {
                 let len = seg.len();
                 let mut buf = vec![0u8; len];
                 device.read_data(dev_sector, &mut buf);
-                hv.mem.page_mut(self.bounce[i])?[..len].copy_from_slice(&buf);
+                hv.mem.page_mut(self.rings[q].bounce[i])?[..len].copy_from_slice(&buf);
                 dev_sector += seg.sectors();
             }
             let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
@@ -729,12 +831,13 @@ impl BlkbackInstance {
         Ok(true)
     }
 
-    fn fail_request(&mut self, id: u64, op: u8) {
+    fn fail_request(&mut self, id: u64, op: u8, q: usize) {
         self.stats.errors += 1;
         self.in_flight.insert(
             id,
             InFlight {
                 op,
+                ring: q,
                 unmap: Vec::new(),
                 status: BLKIF_RSP_ERROR,
             },
@@ -742,15 +845,21 @@ impl BlkbackInstance {
     }
 
     /// Device-completion callback for one request: unmaps non-persistent
-    /// grants, pushes the response, reports whether to notify the front.
+    /// grants, pushes the response on the ring the request arrived on,
+    /// reports whether to notify the front (and on which ring, via
+    /// [`BlkbackInstance::port_of`] with [`BlkComplete::notify`]).
     pub fn complete(&mut self, hv: &mut Hypervisor, req_id: u64) -> Result<BlkComplete> {
         let fl = self.in_flight.remove(&req_id).ok_or(XenError::Inval)?;
-        let mut out = BlkComplete::default();
+        let mut out = BlkComplete {
+            ring: fl.ring,
+            ..BlkComplete::default()
+        };
         for h in fl.unmap {
             out.cost += hv.unmap_grant(self.back, h)?;
         }
-        let page = hv.mem.page_mut(self.ring_page)?;
-        self.ring.push_response(
+        let rq = &mut self.rings[fl.ring];
+        let page = hv.mem.page_mut(rq.ring_page)?;
+        rq.ring.push_response(
             page,
             &BlkifResponse {
                 id: req_id,
@@ -758,7 +867,7 @@ impl BlkbackInstance {
                 status: fl.status,
             },
         )?;
-        out.notify = self.ring.push_responses(page);
+        out.notify = rq.ring.push_responses(page);
         out.cost += self.profile.per_block_request / 2;
         Ok(out)
     }
@@ -768,18 +877,31 @@ impl BlkbackInstance {
         self.in_flight.len()
     }
 
-    /// Ring-progress sample for health monitoring: `(consumed, pending)`.
-    ///
-    /// `consumed` is the lifetime consumer watermark — it only advances
-    /// when the request thread runs, so successive samples distinguish a
-    /// livelocked backend from an idle one. `pending` counts submitted
-    /// requests the backend has not consumed yet.
+    /// Ring-progress sample for health monitoring, aggregated across
+    /// rings: `(consumed, pending)`.
     pub fn progress(&self, hv: &Hypervisor) -> (u64, u64) {
-        let pending = match hv.mem.page(self.ring_page) {
-            Ok(page) => self.ring.unconsumed_requests(page) as u64,
-            Err(_) => 0,
-        };
-        (self.ring.req_cons() as u64, pending)
+        self.queue_progress(hv)
+            .into_iter()
+            .fold((0, 0), |(c, p), (qc, qp)| (c + qc, p + qp))
+    }
+
+    /// Per-ring progress watermarks: `(consumed, pending)` for each ring.
+    ///
+    /// `consumed` is the ring's lifetime consumer watermark — it only
+    /// advances when that ring's request thread runs, so successive
+    /// samples distinguish one livelocked ring from its idle or busy
+    /// siblings. `pending` counts submitted requests not yet consumed.
+    pub fn queue_progress(&self, hv: &Hypervisor) -> Vec<(u64, u64)> {
+        self.rings
+            .iter()
+            .map(|rq| {
+                let pending = match hv.mem.page(rq.ring_page) {
+                    Ok(page) => rq.ring.unconsumed_requests(page) as u64,
+                    Err(_) => 0,
+                };
+                (rq.ring.req_cons() as u64, pending)
+            })
+            .collect()
     }
 
     /// Quiesces the instance ahead of teardown: announces `Closing` so the
@@ -790,23 +912,26 @@ impl BlkbackInstance {
         hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)
     }
 
-    /// Tears the instance down: closes the channel, releases every grant
-    /// mapping (ring, persistent cache, any in-flight request pages),
-    /// frees the bounce pool, and walks the backend state to `Closed`.
+    /// Tears the instance down: closes every ring's channel, releases
+    /// every grant mapping (rings, persistent caches, any in-flight
+    /// request pages), frees the bounce pools, and walks the backend
+    /// state to `Closed`.
     pub fn close(self, hv: &mut Hypervisor) -> Result<()> {
         let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vbd, self.index);
-        let _ = hv.evtchn.close(self.back, self.evtchn);
         for (_, fl) in self.in_flight {
             for h in fl.unmap {
                 hv.unmap_grant(self.back, h)?;
             }
         }
-        for (_, (h, _, _)) in self.persistent.map {
-            hv.unmap_grant(self.back, h)?;
-        }
-        hv.unmap_grant(self.back, self._ring_map)?;
-        for page in self.bounce {
-            hv.free_page(self.back, page)?;
+        for rq in self.rings {
+            let _ = hv.evtchn.close(self.back, rq.evtchn);
+            for (_, (h, _, _)) in rq.persistent.map {
+                hv.unmap_grant(self.back, h)?;
+            }
+            hv.unmap_grant(self.back, rq._ring_map)?;
+            for page in rq.bounce {
+                hv.free_page(self.back, page)?;
+            }
         }
         hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)?;
         hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closed)?;
@@ -853,7 +978,14 @@ impl crate::lifecycle::BackendDevice for BlkbackInstance {
         now: Nanos,
         budget: usize,
     ) -> Result<BlkBatch> {
-        self.request_thread_run(hv, device, now, budget)
+        let mut out = BlkBatch::default();
+        for q in 0..self.rings.len() {
+            let b = self.request_thread_run(hv, device, q, now, budget)?;
+            out.submissions.extend(b.submissions);
+            out.cost += b.cost;
+            out.more |= b.more;
+        }
+        Ok(out)
     }
 
     fn suspend(&mut self, hv: &mut Hypervisor) -> Result<()> {

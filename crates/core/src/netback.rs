@@ -14,7 +14,13 @@
 //!   work remains, so they never monopolize the non-preemptive vCPU;
 //! * **notification suppression** — responses are pushed with the
 //!   `RING_PUSH_*_AND_CHECK_NOTIFY` discipline, so a busy ring costs a
-//!   fraction of a hypercall per packet.
+//!   fraction of a hypercall per packet;
+//! * **multi-queue** — when the frontend negotiated
+//!   `multi-queue-num-queues = n`, the instance runs `n` independent
+//!   queues, each with its own ring pair, event channel, bounce pool and
+//!   pusher/soft_start pair (one per-queue thread set, Linux
+//!   `xen-netback` style). Incoming bridge frames steer to a queue by
+//!   flow hash ([`kite_net::flow`]), preserving per-flow ordering.
 
 use std::collections::VecDeque;
 
@@ -26,12 +32,17 @@ use kite_xen::netif::{
     NETIF_RSP_OKAY,
 };
 use kite_xen::ring::BackRing;
+use kite_xen::xenbus::{MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
     PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
 };
 
 use crate::stats::CopyStats;
+
+/// Queues a backend accepts when the toolstack wrote no
+/// `multi-queue-max-queues` advertisement for it.
+pub const DEFAULT_MAX_QUEUES: u32 = 8;
 
 /// Result of one pusher (Tx-drain) batch.
 #[derive(Debug, Default)]
@@ -59,7 +70,7 @@ pub struct RxBatch {
     pub more: bool,
 }
 
-/// Statistics of one netback instance.
+/// Statistics of one netback instance (summed across its queues).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NetbackStats {
     /// Packets guest → world.
@@ -109,6 +120,29 @@ impl NetbackStats {
     }
 }
 
+/// One queue of a netback instance: a Tx/Rx ring pair mapped from the
+/// frontend, its event channel, the bounce-page pool its drains copy
+/// through, and the world → guest frame queue awaiting Rx slots.
+struct NbQueue {
+    evtchn: Port,
+    tx_ring: BackRing<NetifTxRequest, NetifTxResponse>,
+    rx_ring: BackRing<NetifRxRequest, NetifRxResponse>,
+    tx_page: PageId,
+    rx_page: PageId,
+    _tx_map: MapHandle,
+    _rx_map: MapHandle,
+    /// Per-queue frame buffers: one page per in-flight descriptor of a
+    /// drain, so a whole ring batch moves in a single `GNTTABOP_copy`
+    /// (the old design serialized every packet through one scratch page,
+    /// forcing a hypercall per packet). Grown lazily to the drain budget.
+    bounce: Vec<PageId>,
+    to_guest: VecDeque<Vec<u8>>,
+    /// Fault-injection: a wedged queue's pusher/soft_start threads never
+    /// run (a stuck kthread), while the rest of the domain — heartbeats
+    /// included — carries on. What per-queue stall detection must catch.
+    wedged: bool,
+}
+
 /// One netback instance (one per connected netfront).
 pub struct NetbackInstance {
     /// Driver domain running this backend.
@@ -119,57 +153,90 @@ pub struct NetbackInstance {
     pub index: u32,
     /// The VIF name exposed to the bridge, e.g. `vif2.0`.
     pub vif: String,
-    /// Backend-local event-channel port.
-    pub evtchn: Port,
-    tx_ring: BackRing<NetifTxRequest, NetifTxResponse>,
-    rx_ring: BackRing<NetifRxRequest, NetifRxResponse>,
-    tx_page: PageId,
-    rx_page: PageId,
-    _tx_map: MapHandle,
-    _rx_map: MapHandle,
-    /// Per-instance frame buffers: one page per in-flight descriptor of a
-    /// drain, so a whole ring batch moves in a single `GNTTABOP_copy`
-    /// (the old design serialized every packet through one scratch page,
-    /// forcing a hypercall per packet). Grown lazily to the drain budget.
-    bounce: Vec<PageId>,
+    queues: Vec<NbQueue>,
     copy_mode: CopyMode,
-    to_guest: VecDeque<Vec<u8>>,
-    /// Queue cap for world → guest frames awaiting Rx slots.
+    /// Per-queue cap for world → guest frames awaiting Rx slots.
     pub rx_queue_cap: usize,
     profile: OsProfile,
     stats: NetbackStats,
 }
 
+fn connect_queue(hv: &mut Hypervisor, paths: &DevicePaths, root: &str) -> Result<NbQueue> {
+    let back = paths.back;
+    let front = paths.front;
+    let tx_ref = GrantRef(
+        hv.store
+            .read(back, None, &format!("{root}/tx-ring-ref"))?
+            .parse()
+            .map_err(|_| XenError::Inval)?,
+    );
+    let rx_ref = GrantRef(
+        hv.store
+            .read(back, None, &format!("{root}/rx-ring-ref"))?
+            .parse()
+            .map_err(|_| XenError::Inval)?,
+    );
+    let remote_port = Port(
+        hv.store
+            .read(back, None, &format!("{root}/event-channel"))?
+            .parse()
+            .map_err(|_| XenError::Inval)?,
+    );
+    let (tx_map, _) = hv.map_grant(back, front, tx_ref)?;
+    let (rx_map, _) = hv.map_grant(back, front, rx_ref)?;
+    let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
+    Ok(NbQueue {
+        evtchn,
+        tx_ring: BackRing::attach(),
+        rx_ring: BackRing::attach(),
+        tx_page: tx_map.page,
+        rx_page: rx_map.page,
+        _tx_map: tx_map.handle,
+        _rx_map: rx_map.handle,
+        bounce: Vec::new(),
+        to_guest: VecDeque::new(),
+        wedged: false,
+    })
+}
+
 impl NetbackInstance {
-    /// Connects to a frontend that has published its details: maps both
-    /// rings, binds the event channel, writes `feature-rx-copy` and flips
-    /// the backend state to `Connected`.
+    /// Connects to a frontend that has published its details: reads the
+    /// negotiated queue count, maps every queue's rings, binds its event
+    /// channels, writes `feature-rx-copy` and flips the backend state to
+    /// `Connected`.
+    ///
+    /// The queue count is whatever the frontend wrote to
+    /// `multi-queue-num-queues` (1 when absent — the legacy layout),
+    /// validated against this backend's own `multi-queue-max-queues`
+    /// advertisement (the toolstack writes it; absent means
+    /// [`DEFAULT_MAX_QUEUES`]). A frontend asking for more than the
+    /// backend advertised is refused with [`XenError::Inval`].
     pub fn connect(hv: &mut Hypervisor, paths: &DevicePaths, profile: OsProfile) -> Result<Self> {
         let back = paths.back;
         let front = paths.front;
         let fe = paths.frontend();
-        let tx_ref = GrantRef(
-            hv.store
-                .read(back, None, &format!("{fe}/tx-ring-ref"))?
-                .parse()
-                .map_err(|_| XenError::Inval)?,
-        );
-        let rx_ref = GrantRef(
-            hv.store
-                .read(back, None, &format!("{fe}/rx-ring-ref"))?
-                .parse()
-                .map_err(|_| XenError::Inval)?,
-        );
-        let remote_port = Port(
-            hv.store
-                .read(back, None, &format!("{fe}/event-channel"))?
-                .parse()
-                .map_err(|_| XenError::Inval)?,
-        );
-        let (tx_map, _) = hv.map_grant(back, front, tx_ref)?;
-        let (rx_map, _) = hv.map_grant(back, front, rx_ref)?;
-        let (evtchn, _) = hv.evtchn_bind(back, front, remote_port)?;
         let be = paths.backend();
+        let nqueues = hv
+            .store
+            .read(back, None, &format!("{fe}/{MQ_NUM_QUEUES_KEY}"))
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(1)
+            .max(1);
+        let max = hv
+            .store
+            .read(back, None, &format!("{be}/{MQ_MAX_QUEUES_KEY}"))
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(DEFAULT_MAX_QUEUES);
+        if nqueues > max {
+            return Err(XenError::Inval);
+        }
+        let mut queues = Vec::with_capacity(nqueues as usize);
+        for k in 0..nqueues {
+            let root = paths.frontend_queue_root(nqueues, k);
+            queues.push(connect_queue(hv, paths, &root)?);
+        }
         hv.store
             .write(back, None, &format!("{be}/feature-rx-copy"), "1")?;
         hv.switch_state(back, &paths.backend_state(), XenbusState::Connected)?;
@@ -178,16 +245,8 @@ impl NetbackInstance {
             front,
             index: paths.index,
             vif: format!("vif{}.{}", front.0, paths.index),
-            evtchn,
-            tx_ring: BackRing::attach(),
-            rx_ring: BackRing::attach(),
-            tx_page: tx_map.page,
-            rx_page: rx_map.page,
-            _tx_map: tx_map.handle,
-            _rx_map: rx_map.handle,
-            bounce: Vec::new(),
+            queues,
             copy_mode: CopyMode::Batched,
-            to_guest: VecDeque::new(),
             rx_queue_cap: 512,
             profile,
             stats: NetbackStats::default(),
@@ -197,6 +256,21 @@ impl NetbackInstance {
     /// Instance statistics.
     pub fn stats(&self) -> NetbackStats {
         self.stats
+    }
+
+    /// Number of negotiated queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Queue `q`'s backend-local event-channel port.
+    pub fn port_of(&self, q: usize) -> Port {
+        self.queues[q].evtchn
+    }
+
+    /// True if `port` belongs to any of this instance's queues.
+    pub fn owns_port(&self, port: Port) -> bool {
+        self.queues.iter().any(|qu| qu.evtchn == port)
     }
 
     /// How this instance issues its grant copies (batched by default).
@@ -210,13 +284,15 @@ impl NetbackInstance {
         self.copy_mode = mode;
     }
 
-    /// Ensures the per-instance frame-buffer pool holds at least `n` pages.
-    fn ensure_bounce(&mut self, hv: &mut Hypervisor, n: usize) -> Result<()> {
-        while self.bounce.len() < n {
-            let page = hv.alloc_page(self.back)?;
-            self.bounce.push(page);
-        }
-        Ok(())
+    /// Wedges (or unwedges) one queue's threads — the fault-injection
+    /// hook behind the "one queue stuck, domain still beating" scenario.
+    pub fn set_queue_wedged(&mut self, q: usize, wedged: bool) {
+        self.queues[q].wedged = wedged;
+    }
+
+    /// Whether queue `q` is wedged.
+    pub fn queue_wedged(&self, q: usize) -> bool {
+        self.queues[q].wedged
     }
 
     /// The cost of the event-channel interrupt handler itself: ack the
@@ -226,24 +302,39 @@ impl NetbackInstance {
         self.profile.irq_overhead
     }
 
-    /// The **pusher** thread body: drains up to `budget` Tx requests and
-    /// hypervisor-copies every payload out of the guest with **one**
-    /// batched `GNTTABOP_copy` for the whole drain, directly into the
-    /// per-instance frame buffers.
+    /// The trace label for ring-drain events: per-queue tracks only make
+    /// sense in a multi-queue layout, so single-queue instances keep the
+    /// legacy anonymous label (and byte-identical trace exports).
+    fn qid(&self, q: usize) -> Option<u16> {
+        if self.queues.len() > 1 {
+            Some(q as u16)
+        } else {
+            None
+        }
+    }
+
+    /// The **pusher** thread body for queue `q`: drains up to `budget`
+    /// Tx requests and hypervisor-copies every payload out of the guest
+    /// with **one** batched `GNTTABOP_copy` for the whole drain,
+    /// directly into the queue's frame buffers.
     ///
     /// The drain is three phases: walk the ring building the op list
     /// (validating each request), issue the batch, then push responses in
     /// ring order from the per-op statuses.
-    pub fn pusher_run(&mut self, hv: &mut Hypervisor, budget: usize) -> Result<TxBatch> {
+    pub fn pusher_run(&mut self, hv: &mut Hypervisor, q: usize, budget: usize) -> Result<TxBatch> {
         let mut batch = TxBatch::default();
+        if self.queues[q].wedged {
+            return Ok(batch);
+        }
         // A consumed request: its response id, and the index of its op in
         // the copy batch (None when validation already rejected it).
         let mut pending: Vec<(u16, usize, Option<usize>)> = Vec::new();
         let mut ops: Vec<GrantCopyOp> = Vec::new();
         for _ in 0..budget {
             let req = {
-                let page = hv.mem.page(self.tx_page)?;
-                match self.tx_ring.consume_request(page)? {
+                let qu = &mut self.queues[q];
+                let page = hv.mem.page(qu.tx_page)?;
+                match qu.tx_ring.consume_request(page)? {
                     Some(r) => r,
                     None => break,
                 }
@@ -255,8 +346,11 @@ impl NetbackInstance {
             // `PAGE_SIZE - offset`.
             let valid = size != 0 && offset < PAGE_SIZE && size <= PAGE_SIZE - offset;
             if valid {
-                self.ensure_bounce(hv, ops.len() + 1)?;
-                let dst = self.bounce[ops.len()];
+                while self.queues[q].bounce.len() < ops.len() + 1 {
+                    let page = hv.alloc_page(self.back)?;
+                    self.queues[q].bounce.push(page);
+                }
+                let dst = self.queues[q].bounce[ops.len()];
                 ops.push(GrantCopyOp {
                     src: CopySide::Grant {
                         granter: self.front,
@@ -285,7 +379,7 @@ impl NetbackInstance {
         for &(id, size, op_idx) in &pending {
             let status = match op_idx {
                 Some(i) if result.statuses[i].is_okay() => {
-                    let frame = hv.mem.page(self.bounce[i])?[..size].to_vec();
+                    let frame = hv.mem.page(self.queues[q].bounce[i])?[..size].to_vec();
                     self.stats.tx_packets += 1;
                     self.stats.tx_bytes += size as u64;
                     batch.frames.push(frame);
@@ -297,21 +391,25 @@ impl NetbackInstance {
                 }
                 None => NETIF_RSP_ERROR,
             };
-            let page = hv.mem.page_mut(self.tx_page)?;
-            self.tx_ring
+            let qu = &mut self.queues[q];
+            let page = hv.mem.page_mut(qu.tx_page)?;
+            qu.tx_ring
                 .push_response(page, &NetifTxResponse { id, status })?;
         }
-        let page = hv.mem.page_mut(self.tx_page)?;
-        batch.notify = self.tx_ring.push_responses(page);
-        batch.more = self.tx_ring.final_check_for_requests(page);
+        let qu = &mut self.queues[q];
+        let page = hv.mem.page_mut(qu.tx_page)?;
+        batch.notify = qu.tx_ring.push_responses(page);
+        batch.more = qu.tx_ring.final_check_for_requests(page);
         if !pending.is_empty() {
             let (consumed, delivered, notify) = (
                 pending.len() as u32,
                 batch.frames.len() as u32,
                 batch.notify,
             );
+            let qid = self.qid(q);
             hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
                 queue: "netback_tx",
+                qid,
                 consumed,
                 delivered,
                 notify,
@@ -321,66 +419,109 @@ impl NetbackInstance {
     }
 
     /// The upper layer received a frame from the VIF (bridge) destined for
-    /// this instance's guest. Returns `false` (and counts a drop) when the
-    /// internal queue is full — backpressure toward the bridge.
+    /// this instance's guest: the Rx steering point. The frame's flow
+    /// hash picks the queue (RSS), so one flow's frames stay ordered on
+    /// one queue. Returns `false` (and counts a drop) when that queue is
+    /// full — backpressure toward the bridge.
     pub fn enqueue_to_guest(&mut self, frame: Vec<u8>) -> bool {
-        if self.to_guest.len() >= self.rx_queue_cap {
+        let q = kite_net::flow::steer(&frame, self.queues.len() as u32) as usize;
+        let qu = &mut self.queues[q];
+        if qu.to_guest.len() >= self.rx_queue_cap {
             self.stats.rx_dropped += 1;
             return false;
         }
-        self.to_guest.push_back(frame);
+        qu.to_guest.push_back(frame);
         true
     }
 
-    /// Frames waiting for Rx ring slots.
+    /// Frames waiting for Rx ring slots, all queues.
     pub fn rx_backlog(&self) -> usize {
-        self.to_guest.len()
+        self.queues.iter().map(|qu| qu.to_guest.len()).sum()
     }
 
-    /// Ring-progress sample for health monitoring: `(consumed, pending)`.
-    ///
-    /// `consumed` is the lifetime consumer watermark across both rings —
-    /// it only moves when the backend's threads actually run, so a health
-    /// monitor comparing successive samples can tell a livelocked backend
-    /// from an idle one. `pending` counts work the backend has not picked
-    /// up yet: unconsumed Tx requests plus queued world → guest frames.
+    /// Per-queue Rx backlog depths (world → guest frames awaiting slots).
+    pub fn rx_backlogs(&self) -> Vec<usize> {
+        self.queues.iter().map(|qu| qu.to_guest.len()).collect()
+    }
+
+    /// Ring-progress sample for health monitoring, aggregated across
+    /// queues: `(consumed, pending)`. See
+    /// [`NetbackInstance::queue_progress`] for the per-queue watermarks a
+    /// stall detector should prefer — an aggregate hides one wedged
+    /// queue behind its siblings' progress.
     pub fn progress(&self, hv: &Hypervisor) -> (u64, u64) {
-        let consumed = self.tx_ring.req_cons() as u64 + self.rx_ring.req_cons() as u64;
-        let tx_pending = match hv.mem.page(self.tx_page) {
-            Ok(page) => self.tx_ring.unconsumed_requests(page) as u64,
-            Err(_) => 0,
-        };
-        (consumed, tx_pending + self.to_guest.len() as u64)
+        self.queue_progress(hv)
+            .into_iter()
+            .fold((0, 0), |(c, p), (qc, qp)| (c + qc, p + qp))
     }
 
-    /// The **soft_start** thread body: pairs queued frames with posted Rx
-    /// requests, staging each frame in its own per-instance buffer page
-    /// and hypervisor-copying the whole fill into guest buffers with one
-    /// batched `GNTTABOP_copy`.
+    /// Per-queue ring-progress watermarks: `(consumed, pending)` for
+    /// each queue.
+    ///
+    /// `consumed` is the queue's lifetime consumer watermark across both
+    /// rings — it only moves when the queue's threads actually run, so a
+    /// health monitor comparing successive samples can tell a livelocked
+    /// queue from an idle one. `pending` counts work the queue has not
+    /// picked up yet: unconsumed Tx requests plus queued world → guest
+    /// frames.
+    pub fn queue_progress(&self, hv: &Hypervisor) -> Vec<(u64, u64)> {
+        self.queues
+            .iter()
+            .map(|qu| {
+                let consumed = qu.tx_ring.req_cons() as u64 + qu.rx_ring.req_cons() as u64;
+                let tx_pending = match hv.mem.page(qu.tx_page) {
+                    Ok(page) => qu.tx_ring.unconsumed_requests(page) as u64,
+                    Err(_) => 0,
+                };
+                (consumed, tx_pending + qu.to_guest.len() as u64)
+            })
+            .collect()
+    }
+
+    /// The **soft_start** thread body for queue `q`: pairs the queue's
+    /// waiting frames with posted Rx requests, staging each frame in its
+    /// own buffer page and hypervisor-copying the whole fill into guest
+    /// buffers with one batched `GNTTABOP_copy`.
     ///
     /// A frame whose copy fails (bad or revoked Rx grant) is dropped
     /// explicitly: counted in `rx_dropped` and answered with an error
     /// response so the frontend reclaims the buffer.
-    pub fn soft_start_run(&mut self, hv: &mut Hypervisor, budget: usize) -> Result<RxBatch> {
+    pub fn soft_start_run(
+        &mut self,
+        hv: &mut Hypervisor,
+        q: usize,
+        budget: usize,
+    ) -> Result<RxBatch> {
         let mut batch = RxBatch::default();
+        if self.queues[q].wedged {
+            batch.more = !self.queues[q].to_guest.is_empty();
+            return Ok(batch);
+        }
         // (response id, frame length) per op, in ring order.
         let mut posted: Vec<(u16, usize)> = Vec::new();
         let mut ops: Vec<GrantCopyOp> = Vec::new();
         for _ in 0..budget {
-            if self.to_guest.is_empty() {
+            if self.queues[q].to_guest.is_empty() {
                 break;
             }
             let req = {
-                let page = hv.mem.page(self.rx_page)?;
-                match self.rx_ring.consume_request(page)? {
+                let qu = &mut self.queues[q];
+                let page = hv.mem.page(qu.rx_page)?;
+                match qu.rx_ring.consume_request(page)? {
                     Some(r) => r,
                     None => break, // no posted buffers; frames stay queued
                 }
             };
-            let frame = self.to_guest.pop_front().expect("checked non-empty");
+            let frame = self.queues[q]
+                .to_guest
+                .pop_front()
+                .expect("checked non-empty");
             let len = frame.len().min(PAGE_SIZE);
-            self.ensure_bounce(hv, ops.len() + 1)?;
-            let src = self.bounce[ops.len()];
+            while self.queues[q].bounce.len() < ops.len() + 1 {
+                let page = hv.alloc_page(self.back)?;
+                self.queues[q].bounce.push(page);
+            }
+            let src = self.queues[q].bounce[ops.len()];
             hv.mem.page_mut(src)?[..len].copy_from_slice(&frame[..len]);
             ops.push(GrantCopyOp {
                 src: CopySide::Local {
@@ -412,8 +553,9 @@ impl NetbackInstance {
                 self.stats.rx_dropped += 1;
                 NETIF_RSP_ERROR
             };
-            let page = hv.mem.page_mut(self.rx_page)?;
-            self.rx_ring.push_response(
+            let qu = &mut self.queues[q];
+            let page = hv.mem.page_mut(qu.rx_page)?;
+            qu.rx_ring.push_response(
                 page,
                 &NetifRxResponse {
                     id,
@@ -423,14 +565,17 @@ impl NetbackInstance {
                 },
             )?;
         }
-        let page = hv.mem.page_mut(self.rx_page)?;
-        batch.notify = self.rx_ring.push_responses(page);
-        batch.more = !self.to_guest.is_empty();
+        let qu = &mut self.queues[q];
+        let page = hv.mem.page_mut(qu.rx_page)?;
+        batch.notify = qu.rx_ring.push_responses(page);
+        batch.more = !qu.to_guest.is_empty();
         if !posted.is_empty() {
             let (consumed, delivered, notify) =
                 (posted.len() as u32, batch.delivered as u32, batch.notify);
+            let qid = self.qid(q);
             hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
                 queue: "netback_rx",
+                qid,
                 consumed,
                 delivered,
                 notify,
@@ -448,15 +593,17 @@ impl NetbackInstance {
         hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)
     }
 
-    /// Tears the instance down: closes the channel, unmaps rings, frees
-    /// the frame-buffer pool, marks the backend `Closed`.
+    /// Tears the instance down: closes every queue's channel, unmaps its
+    /// rings, frees the frame-buffer pools, marks the backend `Closed`.
     pub fn close(self, hv: &mut Hypervisor) -> Result<()> {
         let paths = DevicePaths::new(self.front, self.back, kite_xen::DeviceKind::Vif, self.index);
-        let _ = hv.evtchn.close(self.back, self.evtchn);
-        hv.unmap_grant(self.back, self._tx_map)?;
-        hv.unmap_grant(self.back, self._rx_map)?;
-        for page in self.bounce {
-            hv.free_page(self.back, page)?;
+        for qu in self.queues {
+            let _ = hv.evtchn.close(self.back, qu.evtchn);
+            hv.unmap_grant(self.back, qu._tx_map)?;
+            hv.unmap_grant(self.back, qu._rx_map)?;
+            for page in qu.bounce {
+                hv.free_page(self.back, page)?;
+            }
         }
         hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closing)?;
         hv.switch_state(self.back, &paths.backend_state(), XenbusState::Closed)?;
@@ -485,8 +632,20 @@ impl crate::lifecycle::BackendDevice for NetbackInstance {
         _now: Nanos,
         budget: usize,
     ) -> Result<(TxBatch, RxBatch)> {
-        let tx = self.pusher_run(hv, budget)?;
-        let rx = self.soft_start_run(hv, budget)?;
+        let mut tx = TxBatch::default();
+        let mut rx = RxBatch::default();
+        for q in 0..self.queues.len() {
+            let t = self.pusher_run(hv, q, budget)?;
+            tx.frames.extend(t.frames);
+            tx.cost += t.cost;
+            tx.notify |= t.notify;
+            tx.more |= t.more;
+            let r = self.soft_start_run(hv, q, budget)?;
+            rx.delivered += r.delivered;
+            rx.cost += r.cost;
+            rx.notify |= r.notify;
+            rx.more |= r.more;
+        }
         Ok((tx, rx))
     }
 

@@ -3,6 +3,11 @@
 //! Builds direct or indirect requests according to the features the
 //! backend advertised in xenstore, keeps a granted buffer-page pool
 //! (persistent from the frontend's perspective), and reaps completions.
+//!
+//! With [`Blkfront::connect_with_queues`] the frontend negotiates up to
+//! `n` hardware queues (rings): requests spread across rings round-robin
+//! (block I/O carries no flow-ordering constraint), responses return on
+//! the ring that carried the request.
 
 use std::collections::HashMap;
 
@@ -13,7 +18,7 @@ use kite_xen::blkif::{
     BLKIF_RSP_OKAY, SECTOR_SIZE,
 };
 use kite_xen::ring::FrontRing;
-use kite_xen::xenbus::switch_state;
+use kite_xen::xenbus::{negotiate_queues, switch_state, MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
     DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenError, XenbusState,
 };
@@ -35,8 +40,16 @@ pub struct BlkCompletion {
 
 struct Pending {
     op: u8,
+    ring: usize,                 // ring the request went out on
     pages: Vec<(PageId, usize)>, // page + byte length used
     indirect_idx: Option<usize>, // indirect descriptor page to recycle
+}
+
+/// One ring of the frontend: the shared ring page and its event channel.
+struct BfRing {
+    evtchn: Port,
+    ring: FrontRing<BlkifRequest, BlkifResponse>,
+    ring_page: PageId,
 }
 
 /// The blkfront driver instance.
@@ -45,14 +58,13 @@ pub struct Blkfront {
     pub guest: DomainId,
     /// Driver domain.
     pub backend: DomainId,
-    /// Guest-local event-channel port.
-    pub evtchn: Port,
     /// Device capacity in sectors (read from the backend's advertisement).
     pub sectors: u64,
     /// Backend supports indirect segments up to this many.
     pub max_indirect: usize,
-    ring: FrontRing<BlkifRequest, BlkifResponse>,
-    ring_page: PageId,
+    rings: Vec<BfRing>,
+    /// Round-robin cursor for spreading submissions across rings.
+    rr: usize,
     pool_pages: Vec<PageId>,
     pool_grefs: Vec<GrantRef>,
     pool_free: Vec<usize>,
@@ -68,22 +80,85 @@ pub struct Blkfront {
 const POOL_PAGES: usize = 1024;
 
 impl Blkfront {
-    /// Connects: allocates the ring and pools, publishes details, reads
-    /// the backend's advertised features, flips to `Initialised`.
+    /// Connects with the legacy single-ring layout.
+    pub fn connect(hv: &mut Hypervisor, paths: &DevicePaths) -> Result<Blkfront> {
+        Blkfront::connect_with_queues(hv, paths, 1)
+    }
+
+    /// Connects, asking for up to `max_queues` rings: allocates each
+    /// negotiated ring and the shared pools, publishes details, flips to
+    /// `Initialised`.
+    ///
+    /// Queue negotiation reads the backend's `multi-queue-max-queues`
+    /// advertisement (absent → 1) and clamps `max_queues` against it;
+    /// with a single ring the flat legacy key layout is kept, so a
+    /// `max_queues = 1` connect is indistinguishable from [`connect`].
     ///
     /// The backend writes its property keys when it connects; the system
     /// layer re-reads them via [`Blkfront::read_features`] once the
     /// backend reports `Connected`.
-    pub fn connect(hv: &mut Hypervisor, paths: &DevicePaths) -> Result<Blkfront> {
+    ///
+    /// [`connect`]: Blkfront::connect
+    pub fn connect_with_queues(
+        hv: &mut Hypervisor,
+        paths: &DevicePaths,
+        max_queues: u32,
+    ) -> Result<Blkfront> {
         let guest = paths.front;
         let backend = paths.back;
-        let ring_page = hv.alloc_page(guest)?;
-        let ring = {
-            let p = hv.mem.page_mut(ring_page)?;
-            FrontRing::init(p)
-        };
-        let ring_ref = hv.grant_access(guest, backend, ring_page, false)?;
-        let (port, _) = hv.evtchn_alloc_unbound(guest, backend);
+        let fe = paths.frontend();
+        let be = paths.backend();
+        let back_max = hv
+            .store
+            .read(guest, None, &format!("{be}/{MQ_MAX_QUEUES_KEY}"))
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(1);
+        let nrings = negotiate_queues(max_queues, back_max);
+        if max_queues > 1 {
+            hv.store.write(
+                guest,
+                None,
+                &format!("{fe}/{MQ_MAX_QUEUES_KEY}"),
+                &max_queues.to_string(),
+            )?;
+        }
+        if nrings > 1 {
+            hv.store.write(
+                guest,
+                None,
+                &format!("{fe}/{MQ_NUM_QUEUES_KEY}"),
+                &nrings.to_string(),
+            )?;
+        }
+        let mut rings = Vec::with_capacity(nrings as usize);
+        for k in 0..nrings {
+            let root = paths.frontend_queue_root(nrings, k);
+            let ring_page = hv.alloc_page(guest)?;
+            let ring = {
+                let p = hv.mem.page_mut(ring_page)?;
+                FrontRing::init(p)
+            };
+            let ring_ref = hv.grant_access(guest, backend, ring_page, false)?;
+            let (port, _) = hv.evtchn_alloc_unbound(guest, backend);
+            hv.store.write(
+                guest,
+                None,
+                &format!("{root}/ring-ref"),
+                &ring_ref.0.to_string(),
+            )?;
+            hv.store.write(
+                guest,
+                None,
+                &format!("{root}/event-channel"),
+                &port.0.to_string(),
+            )?;
+            rings.push(BfRing {
+                evtchn: port,
+                ring,
+                ring_page,
+            });
+        }
         let mut pool_pages = Vec::with_capacity(POOL_PAGES);
         let mut pool_grefs = Vec::with_capacity(POOL_PAGES);
         for _ in 0..POOL_PAGES {
@@ -99,19 +174,6 @@ impl Blkfront {
             indirect_pages.push(p);
             indirect_grefs.push(hv.grant_access(guest, backend, p, true)?);
         }
-        let fe = paths.frontend();
-        hv.store.write(
-            guest,
-            None,
-            &format!("{fe}/ring-ref"),
-            &ring_ref.0.to_string(),
-        )?;
-        hv.store.write(
-            guest,
-            None,
-            &format!("{fe}/event-channel"),
-            &port.0.to_string(),
-        )?;
         hv.store
             .write(guest, None, &format!("{fe}/protocol"), "x86_64-abi")?;
         hv.store
@@ -125,11 +187,10 @@ impl Blkfront {
         Ok(Blkfront {
             guest,
             backend,
-            evtchn: port,
             sectors: 0,
             max_indirect: 0,
-            ring,
-            ring_page,
+            rings,
+            rr: 0,
             pool_pages,
             pool_grefs,
             pool_free: (0..POOL_PAGES).rev().collect(),
@@ -140,6 +201,26 @@ impl Blkfront {
             pending: HashMap::new(),
             completions: Vec::new(),
         })
+    }
+
+    /// Number of negotiated rings.
+    pub fn queue_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Ring `q`'s guest-local event-channel port.
+    pub fn port_of(&self, q: usize) -> Port {
+        self.rings[q].evtchn
+    }
+
+    /// True if `port` belongs to any of this frontend's rings.
+    pub fn owns_port(&self, port: Port) -> bool {
+        self.rings.iter().any(|r| r.evtchn == port)
+    }
+
+    /// The ring a still-outstanding request went out on.
+    pub fn ring_of(&self, id: u64) -> Option<usize> {
+        self.pending.get(&id).map(|p| p.ring)
     }
 
     /// Reads the backend's advertised properties (sectors, indirect cap).
@@ -172,9 +253,22 @@ impl Blkfront {
         segs * kite_xen::PAGE_SIZE
     }
 
-    /// Free request slots on the ring.
+    /// Free request slots across all rings.
     pub fn free_slots(&self) -> u32 {
-        self.ring.free_requests()
+        self.rings.iter().map(|r| r.ring.free_requests()).sum()
+    }
+
+    /// Picks the next ring round-robin, skipping full rings.
+    fn pick_ring(&mut self) -> Result<usize> {
+        let n = self.rings.len();
+        for i in 0..n {
+            let q = (self.rr + i) % n;
+            if !self.rings[q].ring.full() {
+                self.rr = (q + 1) % n;
+                return Ok(q);
+            }
+        }
+        Err(XenError::RingFull)
     }
 
     fn alloc_pages(&mut self, n: usize) -> Option<Vec<usize>> {
@@ -229,9 +323,7 @@ impl Blkfront {
 
     /// Submits a cache flush barrier.
     pub fn submit_flush(&mut self, hv: &mut Hypervisor) -> Result<(u64, FrontOp)> {
-        if self.ring.full() {
-            return Err(XenError::RingFull);
-        }
+        let q = self.pick_ring()?;
         let id = self.next_id;
         self.next_id += 1;
         let req = BlkifRequest::Direct {
@@ -241,13 +333,15 @@ impl Blkfront {
             sector_number: 0,
             segments: Vec::new(),
         };
-        let page = hv.mem.page_mut(self.ring_page)?;
-        self.ring.push_request(page, &req)?;
-        let notify = self.ring.push_requests(page);
+        let rq = &mut self.rings[q];
+        let page = hv.mem.page_mut(rq.ring_page)?;
+        rq.ring.push_request(page, &req)?;
+        let notify = rq.ring.push_requests(page);
         self.pending.insert(
             id,
             Pending {
                 op: BLKIF_OP_FLUSH_DISKCACHE,
+                ring: q,
                 pages: Vec::new(),
                 indirect_idx: None,
             },
@@ -272,9 +366,7 @@ impl Blkfront {
         if len == 0 || !len.is_multiple_of(SECTOR_SIZE) || len > self.max_request_bytes() {
             return Err(XenError::Inval);
         }
-        if self.ring.full() {
-            return Err(XenError::RingFull);
-        }
+        let q = self.pick_ring()?;
         let n_pages = len.div_ceil(kite_xen::PAGE_SIZE);
         let idxs = self.alloc_pages(n_pages).ok_or(XenError::RingFull)?;
         let mut cost = Nanos::from_nanos(400);
@@ -325,13 +417,15 @@ impl Blkfront {
                 indirect_grefs: vec![self.indirect_grefs[ind]],
             }
         };
-        let page = hv.mem.page_mut(self.ring_page)?;
-        self.ring.push_request(page, &req)?;
-        let notify = self.ring.push_requests(page);
+        let rq = &mut self.rings[q];
+        let page = hv.mem.page_mut(rq.ring_page)?;
+        rq.ring.push_request(page, &req)?;
+        let notify = rq.ring.push_requests(page);
         self.pending.insert(
             id,
             Pending {
                 op,
+                ring: q,
                 pages: idxs.iter().map(|&i| (self.pool_pages[i], 0)).collect(),
                 indirect_idx,
             },
@@ -347,51 +441,55 @@ impl Blkfront {
         Ok((id, FrontOp { notify, cost }))
     }
 
-    /// The guest's interrupt handler: reaps completions.
+    /// The guest's interrupt handler: reaps completions from every ring.
     pub fn on_irq(&mut self, hv: &mut Hypervisor) -> Result<FrontOp> {
         let mut cost = Nanos::ZERO;
-        loop {
-            let rsp = {
-                let page = hv.mem.page(self.ring_page)?;
-                self.ring.consume_response(page)?
-            };
-            let Some(rsp) = rsp else { break };
-            let Some(p) = self.pending.remove(&rsp.id) else {
-                continue;
-            };
-            let ok = rsp.status == BLKIF_RSP_OKAY;
-            let data = if ok && p.op == BLKIF_OP_READ {
-                let mut buf = Vec::new();
-                for (page_id, n) in &p.pages {
-                    buf.extend_from_slice(&hv.mem.page(*page_id)?[..*n]);
+        for q in 0..self.rings.len() {
+            loop {
+                let rsp = {
+                    let rq = &mut self.rings[q];
+                    let page = hv.mem.page(rq.ring_page)?;
+                    rq.ring.consume_response(page)?
+                };
+                let Some(rsp) = rsp else { break };
+                let Some(p) = self.pending.remove(&rsp.id) else {
+                    continue;
+                };
+                let ok = rsp.status == BLKIF_RSP_OKAY;
+                let data = if ok && p.op == BLKIF_OP_READ {
+                    let mut buf = Vec::new();
+                    for (page_id, n) in &p.pages {
+                        buf.extend_from_slice(&hv.mem.page(*page_id)?[..*n]);
+                    }
+                    cost += Nanos::from_nanos(buf.len() as u64 / 16);
+                    Some(buf)
+                } else {
+                    None
+                };
+                if let Some(ind) = p.indirect_idx {
+                    self.indirect_free.push(ind);
                 }
-                cost += Nanos::from_nanos(buf.len() as u64 / 16);
-                Some(buf)
-            } else {
-                None
-            };
-            if let Some(ind) = p.indirect_idx {
-                self.indirect_free.push(ind);
+                // Return buffer pages to the pool.
+                for (page_id, _) in &p.pages {
+                    let i = self
+                        .pool_pages
+                        .iter()
+                        .position(|&pp| pp == *page_id)
+                        .expect("pool page");
+                    self.pool_free.push(i);
+                }
+                self.completions.push(BlkCompletion {
+                    id: rsp.id,
+                    op: p.op,
+                    ok,
+                    data,
+                });
+                cost += Nanos::from_nanos(200);
             }
-            // Return buffer pages to the pool.
-            for (page_id, _) in &p.pages {
-                let i = self
-                    .pool_pages
-                    .iter()
-                    .position(|&pp| pp == *page_id)
-                    .expect("pool page");
-                self.pool_free.push(i);
-            }
-            self.completions.push(BlkCompletion {
-                id: rsp.id,
-                op: p.op,
-                ok,
-                data,
-            });
-            cost += Nanos::from_nanos(200);
+            let rq = &mut self.rings[q];
+            let page = hv.mem.page_mut(rq.ring_page)?;
+            rq.ring.final_check_for_responses(page);
         }
-        let page = hv.mem.page_mut(self.ring_page)?;
-        self.ring.final_check_for_responses(page);
         Ok(FrontOp {
             notify: false,
             cost,

@@ -5,6 +5,15 @@
 //! frames with netback through the rings — the standard, unmodified guest
 //! driver the paper's DomU runs (its whole point is that frontends need no
 //! changes to talk to a Kite backend).
+//!
+//! Multi-queue works the way Linux `xen-netfront` does it: the backend
+//! advertises `multi-queue-max-queues`, the frontend clamps its own
+//! capacity against it, writes the negotiated `multi-queue-num-queues`,
+//! and publishes one ring pair + event channel per queue under
+//! `queue-<k>/` subpaths. A negotiated count of 1 keeps the legacy flat
+//! key layout, so single-queue behavior is bit-for-bit unchanged. Tx
+//! steering hashes the flow tuple ([`kite_net::flow`]), so one flow's
+//! frames always ride one queue and per-flow ordering survives.
 
 use std::collections::VecDeque;
 
@@ -12,12 +21,12 @@ use kite_net::MacAddr;
 use kite_sim::Nanos;
 use kite_xen::netif::{NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse};
 use kite_xen::ring::FrontRing;
-use kite_xen::xenbus::switch_state;
+use kite_xen::xenbus::{negotiate_queues, switch_state, MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
     DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenError, XenbusState,
 };
 
-/// Number of packet buffer pages in each direction's pool.
+/// Number of packet buffer pages in each direction's pool, per queue.
 const POOL: usize = 256;
 
 struct BufPool {
@@ -45,6 +54,21 @@ pub struct FrontOp {
     pub cost: Nanos,
 }
 
+/// One queue's worth of frontend state: a Tx/Rx ring pair, its event
+/// channel, and the buffer pools feeding it.
+struct NfQueue {
+    evtchn: Port,
+    tx: FrontRing<NetifTxRequest, NetifTxResponse>,
+    rx: FrontRing<NetifRxRequest, NetifRxResponse>,
+    tx_page: PageId,
+    rx_page: PageId,
+    tx_pool: BufPool,
+    rx_pool: BufPool,
+    // Tx requests pushed but not yet acknowledged: (buffer id, length),
+    // oldest first. What a crashed backend leaves unacknowledged.
+    in_flight_tx: VecDeque<(u16, u16)>,
+}
+
 /// The netfront driver instance.
 pub struct Netfront {
     /// Guest domain.
@@ -53,20 +77,10 @@ pub struct Netfront {
     pub backend: DomainId,
     /// Device index.
     pub index: u32,
-    /// Guest-local event-channel port.
-    pub evtchn: Port,
     /// The interface MAC.
     pub mac: MacAddr,
-    tx: FrontRing<NetifTxRequest, NetifTxResponse>,
-    rx: FrontRing<NetifRxRequest, NetifRxResponse>,
-    tx_page: PageId,
-    rx_page: PageId,
-    tx_pool: BufPool,
-    rx_pool: BufPool,
+    queues: Vec<NfQueue>,
     received: VecDeque<Vec<u8>>,
-    // Tx requests pushed but not yet acknowledged: (buffer id, length),
-    // oldest first. What a crashed backend leaves unacknowledged.
-    in_flight_tx: VecDeque<(u16, u16)>,
     tx_dropped: u64,
 }
 
@@ -90,49 +104,110 @@ fn make_pool(
     })
 }
 
+fn make_queue(hv: &mut Hypervisor, paths: &DevicePaths, root: &str) -> Result<NfQueue> {
+    let guest = paths.front;
+    let backend = paths.back;
+    let tx_page = hv.alloc_page(guest)?;
+    let rx_page = hv.alloc_page(guest)?;
+    let tx = {
+        let p = hv.mem.page_mut(tx_page)?;
+        FrontRing::init(p)
+    };
+    let rx = {
+        let p = hv.mem.page_mut(rx_page)?;
+        FrontRing::init(p)
+    };
+    let tx_ref = hv.grant_access(guest, backend, tx_page, false)?;
+    let rx_ref = hv.grant_access(guest, backend, rx_page, false)?;
+    // Tx payload pages are read-only to the backend; Rx pages must be
+    // writable (the backend copies into them).
+    let tx_pool = make_pool(hv, guest, backend, true)?;
+    let rx_pool = make_pool(hv, guest, backend, false)?;
+    let (port, _) = hv.evtchn_alloc_unbound(guest, backend);
+    hv.store.write(
+        guest,
+        None,
+        &format!("{root}/tx-ring-ref"),
+        &tx_ref.0.to_string(),
+    )?;
+    hv.store.write(
+        guest,
+        None,
+        &format!("{root}/rx-ring-ref"),
+        &rx_ref.0.to_string(),
+    )?;
+    hv.store.write(
+        guest,
+        None,
+        &format!("{root}/event-channel"),
+        &port.0.to_string(),
+    )?;
+    Ok(NfQueue {
+        evtchn: port,
+        tx,
+        rx,
+        tx_page,
+        rx_page,
+        tx_pool,
+        rx_pool,
+        in_flight_tx: VecDeque::new(),
+    })
+}
+
 impl Netfront {
-    /// Creates the device: allocates rings and pools, grants them, binds
-    /// the event channel, publishes frontend details and flips the state
-    /// to `Initialised`. Also pre-posts the entire Rx buffer pool.
+    /// Creates a legacy single-queue device: allocates rings and pools,
+    /// grants them, binds the event channel, publishes frontend details
+    /// and flips the state to `Initialised`. Also pre-posts the entire
+    /// Rx buffer pool.
     pub fn connect(hv: &mut Hypervisor, paths: &DevicePaths, mac: MacAddr) -> Result<Netfront> {
+        Netfront::connect_with_queues(hv, paths, mac, 1)
+    }
+
+    /// [`Netfront::connect`] with multi-queue negotiation: the frontend
+    /// offers up to `max_queues`, clamps against the backend's
+    /// `multi-queue-max-queues` advertisement, and builds one ring set
+    /// per negotiated queue. A result of 1 (either side offering 1)
+    /// falls back to the legacy flat single-ring layout.
+    pub fn connect_with_queues(
+        hv: &mut Hypervisor,
+        paths: &DevicePaths,
+        mac: MacAddr,
+        max_queues: u32,
+    ) -> Result<Netfront> {
         let guest = paths.front;
-        let backend = paths.back;
-        let tx_page = hv.alloc_page(guest)?;
-        let rx_page = hv.alloc_page(guest)?;
-        let tx = {
-            let p = hv.mem.page_mut(tx_page)?;
-            FrontRing::init(p)
-        };
-        let rx = {
-            let p = hv.mem.page_mut(rx_page)?;
-            FrontRing::init(p)
-        };
-        let tx_ref = hv.grant_access(guest, backend, tx_page, false)?;
-        let rx_ref = hv.grant_access(guest, backend, rx_page, false)?;
-        // Tx payload pages are read-only to the backend; Rx pages must be
-        // writable (the backend copies into them).
-        let tx_pool = make_pool(hv, guest, backend, true)?;
-        let rx_pool = make_pool(hv, guest, backend, false)?;
-        let (port, _) = hv.evtchn_alloc_unbound(guest, backend);
         let fe = paths.frontend();
-        hv.store.write(
-            guest,
-            None,
-            &format!("{fe}/tx-ring-ref"),
-            &tx_ref.0.to_string(),
-        )?;
-        hv.store.write(
-            guest,
-            None,
-            &format!("{fe}/rx-ring-ref"),
-            &rx_ref.0.to_string(),
-        )?;
-        hv.store.write(
-            guest,
-            None,
-            &format!("{fe}/event-channel"),
-            &port.0.to_string(),
-        )?;
+        let back_max = hv
+            .store
+            .read(
+                guest,
+                None,
+                &format!("{}/{}", paths.backend(), MQ_MAX_QUEUES_KEY),
+            )
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(1);
+        let nqueues = negotiate_queues(max_queues, back_max);
+        if max_queues > 1 {
+            hv.store.write(
+                guest,
+                None,
+                &format!("{fe}/{MQ_MAX_QUEUES_KEY}"),
+                &max_queues.to_string(),
+            )?;
+        }
+        if nqueues > 1 {
+            hv.store.write(
+                guest,
+                None,
+                &format!("{fe}/{MQ_NUM_QUEUES_KEY}"),
+                &nqueues.to_string(),
+            )?;
+        }
+        let mut queues = Vec::with_capacity(nqueues as usize);
+        for k in 0..nqueues {
+            let root = paths.frontend_queue_root(nqueues, k);
+            queues.push(make_queue(hv, paths, &root)?);
+        }
         hv.store
             .write(guest, None, &format!("{fe}/mac"), &mac.to_string())?;
         switch_state(
@@ -143,127 +218,155 @@ impl Netfront {
         )?;
         let mut nf = Netfront {
             guest,
-            backend,
+            backend: paths.back,
             index: paths.index,
-            evtchn: port,
             mac,
-            tx,
-            rx,
-            tx_page,
-            rx_page,
-            tx_pool,
-            rx_pool,
+            queues,
             received: VecDeque::new(),
-            in_flight_tx: VecDeque::new(),
             tx_dropped: 0,
         };
         nf.post_rx_buffers(hv)?;
         Ok(nf)
     }
 
-    /// Posts every free Rx buffer as a request. Returns whether the
-    /// backend should be notified.
-    pub fn post_rx_buffers(&mut self, hv: &mut Hypervisor) -> Result<bool> {
-        let mut posted = false;
-        while !self.rx.full() {
-            let id = match self.rx_pool.alloc_id() {
-                Some(i) => i,
-                None => break,
-            };
-            let gref = self.rx_pool.grefs[id as usize];
-            let page = hv.mem.page_mut(self.rx_page)?;
-            self.rx.push_request(page, &NetifRxRequest { id, gref })?;
-            posted = true;
-        }
-        if posted {
-            let page = hv.mem.page_mut(self.rx_page)?;
-            Ok(self.rx.push_requests(page))
-        } else {
-            Ok(false)
-        }
+    /// Number of negotiated queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
     }
 
-    /// Sends one frame. Fails with [`XenError::RingFull`] when no Tx slot
-    /// or buffer is free (UDP workloads count that as a drop).
-    pub fn send(&mut self, hv: &mut Hypervisor, frame: &[u8]) -> Result<FrontOp> {
+    /// Queue `q`'s guest-local event-channel port.
+    pub fn port_of(&self, q: usize) -> Port {
+        self.queues[q].evtchn
+    }
+
+    /// True if `port` belongs to any of this device's queues.
+    pub fn owns_port(&self, port: Port) -> bool {
+        self.queues.iter().any(|qu| qu.evtchn == port)
+    }
+
+    /// Posts every free Rx buffer on every queue. Returns the queues
+    /// whose backend end should be notified.
+    pub fn post_rx_buffers(&mut self, hv: &mut Hypervisor) -> Result<Vec<usize>> {
+        let mut notify = Vec::new();
+        for (q, qu) in self.queues.iter_mut().enumerate() {
+            let mut posted = false;
+            while !qu.rx.full() {
+                let id = match qu.rx_pool.alloc_id() {
+                    Some(i) => i,
+                    None => break,
+                };
+                let gref = qu.rx_pool.grefs[id as usize];
+                let page = hv.mem.page_mut(qu.rx_page)?;
+                qu.rx.push_request(page, &NetifRxRequest { id, gref })?;
+                posted = true;
+            }
+            if posted {
+                let page = hv.mem.page_mut(qu.rx_page)?;
+                if qu.rx.push_requests(page) {
+                    notify.push(q);
+                }
+            }
+        }
+        Ok(notify)
+    }
+
+    /// Sends one frame on the queue its flow steers to. Returns the
+    /// queue index (whose [`Netfront::port_of`] port the caller notifies
+    /// when `FrontOp::notify` is set). Fails with [`XenError::RingFull`]
+    /// when the steered queue has no Tx slot or buffer free (UDP
+    /// workloads count that as a drop).
+    pub fn send(&mut self, hv: &mut Hypervisor, frame: &[u8]) -> Result<(usize, FrontOp)> {
         if frame.len() > kite_xen::PAGE_SIZE {
             return Err(XenError::OutOfBounds);
         }
-        if self.tx.full() {
+        let q = kite_net::flow::steer(frame, self.queues.len() as u32) as usize;
+        let qu = &mut self.queues[q];
+        if qu.tx.full() {
             self.tx_dropped += 1;
             return Err(XenError::RingFull);
         }
-        let id = match self.tx_pool.alloc_id() {
+        let id = match qu.tx_pool.alloc_id() {
             Some(i) => i,
             None => {
                 self.tx_dropped += 1;
                 return Err(XenError::RingFull);
             }
         };
-        let buf = self.tx_pool.pages[id as usize];
+        let buf = qu.tx_pool.pages[id as usize];
         hv.mem.page_mut(buf)?[..frame.len()].copy_from_slice(frame);
         let req = NetifTxRequest {
-            gref: self.tx_pool.grefs[id as usize],
+            gref: qu.tx_pool.grefs[id as usize],
             offset: 0,
             flags: 0,
             id,
             size: frame.len() as u16,
         };
-        let page = hv.mem.page_mut(self.tx_page)?;
-        self.tx.push_request(page, &req)?;
-        self.in_flight_tx.push_back((id, frame.len() as u16));
-        let notify = self.tx.push_requests(page);
-        Ok(FrontOp {
-            notify,
-            // Guest-side cost: buffer copy + ring bookkeeping.
-            cost: Nanos::from_nanos(150 + frame.len() as u64 / 16),
-        })
+        let page = hv.mem.page_mut(qu.tx_page)?;
+        qu.tx.push_request(page, &req)?;
+        qu.in_flight_tx.push_back((id, frame.len() as u16));
+        let notify = qu.tx.push_requests(page);
+        Ok((
+            q,
+            FrontOp {
+                notify,
+                // Guest-side cost: buffer copy + ring bookkeeping.
+                cost: Nanos::from_nanos(150 + frame.len() as u64 / 16),
+            },
+        ))
     }
 
     /// The guest's interrupt handler: reaps Tx completions (freeing
-    /// buffers) and Rx deliveries (queueing frames for the stack), then
-    /// reposts Rx buffers. Returns whether the backend must be notified
-    /// (for the reposted buffers).
-    pub fn on_irq(&mut self, hv: &mut Hypervisor) -> Result<FrontOp> {
+    /// buffers) and Rx deliveries (queueing frames for the stack) on
+    /// every queue, then reposts Rx buffers. Returns the cost and the
+    /// queues whose backend must be notified (for reposted buffers).
+    pub fn on_irq(&mut self, hv: &mut Hypervisor) -> Result<(FrontOp, Vec<usize>)> {
         let mut cost = Nanos::ZERO;
-        // Tx completions.
-        loop {
-            let rsp = {
-                let page = hv.mem.page(self.tx_page)?;
-                self.tx.consume_response(page)?
-            };
-            let Some(rsp) = rsp else { break };
-            self.tx_pool.release_id(rsp.id);
-            self.in_flight_tx.retain(|&(i, _)| i != rsp.id);
-            cost += Nanos::from_nanos(80);
-        }
-        {
-            let page = hv.mem.page_mut(self.tx_page)?;
-            self.tx.final_check_for_responses(page);
-        }
-        // Rx deliveries.
-        loop {
-            let rsp = {
-                let page = hv.mem.page(self.rx_page)?;
-                self.rx.consume_response(page)?
-            };
-            let Some(rsp) = rsp else { break };
-            if rsp.status > 0 {
-                let len = rsp.status as usize;
-                let buf = self.rx_pool.pages[rsp.id as usize];
-                let data =
-                    hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len].to_vec();
-                self.received.push_back(data);
-                cost += Nanos::from_nanos(120 + len as u64 / 16);
+        for qu in &mut self.queues {
+            // Tx completions.
+            loop {
+                let rsp = {
+                    let page = hv.mem.page(qu.tx_page)?;
+                    qu.tx.consume_response(page)?
+                };
+                let Some(rsp) = rsp else { break };
+                qu.tx_pool.release_id(rsp.id);
+                qu.in_flight_tx.retain(|&(i, _)| i != rsp.id);
+                cost += Nanos::from_nanos(80);
             }
-            self.rx_pool.release_id(rsp.id);
-        }
-        {
-            let page = hv.mem.page_mut(self.rx_page)?;
-            self.rx.final_check_for_responses(page);
+            {
+                let page = hv.mem.page_mut(qu.tx_page)?;
+                qu.tx.final_check_for_responses(page);
+            }
+            // Rx deliveries.
+            loop {
+                let rsp = {
+                    let page = hv.mem.page(qu.rx_page)?;
+                    qu.rx.consume_response(page)?
+                };
+                let Some(rsp) = rsp else { break };
+                if rsp.status > 0 {
+                    let len = rsp.status as usize;
+                    let buf = qu.rx_pool.pages[rsp.id as usize];
+                    let data =
+                        hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len].to_vec();
+                    self.received.push_back(data);
+                    cost += Nanos::from_nanos(120 + len as u64 / 16);
+                }
+                qu.rx_pool.release_id(rsp.id);
+            }
+            {
+                let page = hv.mem.page_mut(qu.rx_page)?;
+                qu.rx.final_check_for_responses(page);
+            }
         }
         let notify = self.post_rx_buffers(hv)?;
-        Ok(FrontOp { notify, cost })
+        Ok((
+            FrontOp {
+                notify: !notify.is_empty(),
+                cost,
+            },
+            notify,
+        ))
     }
 
     /// Takes the next received frame, if any.
@@ -281,17 +384,20 @@ impl Netfront {
         self.tx_dropped
     }
 
-    /// Tx frames pushed to the ring but never acknowledged, oldest first
-    /// — the payloads a crashed backend may or may not have moved. The
-    /// guest's recovery path retransmits these through the replacement
-    /// device (retrying an already-delivered frame is the UDP analog of
-    /// an idempotent replay; TCP would dedup by sequence number).
+    /// Tx frames pushed to the rings but never acknowledged, queue by
+    /// queue and oldest first within each — the payloads a crashed
+    /// backend may or may not have moved. The guest's recovery path
+    /// retransmits these through the replacement device (retrying an
+    /// already-delivered frame is the UDP analog of an idempotent
+    /// replay; TCP would dedup by sequence number).
     pub fn take_unacked(&mut self, hv: &Hypervisor) -> Vec<Vec<u8>> {
-        let mut out = Vec::with_capacity(self.in_flight_tx.len());
-        while let Some((id, len)) = self.in_flight_tx.pop_front() {
-            let buf = self.tx_pool.pages[id as usize];
-            if let Ok(page) = hv.mem.page(buf) {
-                out.push(page[..len as usize].to_vec());
+        let mut out = Vec::new();
+        for qu in &mut self.queues {
+            while let Some((id, len)) = qu.in_flight_tx.pop_front() {
+                let buf = qu.tx_pool.pages[id as usize];
+                if let Ok(page) = hv.mem.page(buf) {
+                    out.push(page[..len as usize].to_vec());
+                }
             }
         }
         out

@@ -153,8 +153,12 @@ pub struct HealthMonitor {
     missed: u32,
     last_beat: Option<u64>,
     beat_seen_at: Nanos,
-    last_consumed: Option<u64>,
-    stalled: u32,
+    /// Per-queue consumer watermarks from the previous probe. Length
+    /// follows the sample vector handed to the probe (resized — with
+    /// counters reset — when the backend's queue count changes, e.g.
+    /// across a reconnect).
+    last_consumed: Vec<Option<u64>>,
+    stalled: Vec<u32>,
     probes: u64,
 }
 
@@ -170,8 +174,8 @@ impl HealthMonitor {
             missed: 0,
             last_beat: None,
             beat_seen_at: now,
-            last_consumed: None,
-            stalled: 0,
+            last_consumed: Vec::new(),
+            stalled: Vec::new(),
             probes: 0,
         }
     }
@@ -208,19 +212,44 @@ impl HealthMonitor {
         self.missed = 0;
         self.last_beat = None;
         self.beat_seen_at = now;
-        self.last_consumed = None;
-        self.stalled = 0;
+        self.last_consumed.clear();
+        self.stalled.clear();
         self.transition(hv, HealthState::Healthy, "recovered");
     }
 
-    /// Runs one probe at virtual time `now`: reads the heartbeat key as
-    /// the watcher, folds in the ring `progress` sample (if the system
-    /// layer has one) and the SLO verdict, and returns the new state.
+    /// Runs one probe at virtual time `now` with a single aggregate ring
+    /// sample (or none). Equivalent to [`HealthMonitor::probe_queues`]
+    /// with a 0- or 1-element sample vector — single-queue backends and
+    /// callers without per-queue visibility use this.
     pub fn probe(
         &mut self,
         hv: &mut Hypervisor,
         now: Nanos,
         progress: Option<ProgressSample>,
+        slo_ok: bool,
+    ) -> HealthState {
+        match progress {
+            Some(p) => self.probe_queues(hv, now, &[p], slo_ok),
+            None => self.probe_queues(hv, now, &[], slo_ok),
+        }
+    }
+
+    /// Runs one probe at virtual time `now`: reads the heartbeat key as
+    /// the watcher, folds in one ring-progress sample *per backend
+    /// queue* and the SLO verdict, and returns the new state.
+    ///
+    /// Stall detection is per queue: each queue's consumer watermark is
+    /// compared against the previous probe's, and **any** queue frozen
+    /// with pending work for `stall_probes` consecutive probes fails the
+    /// whole backend. An aggregate sample cannot do this — seven healthy
+    /// queues' progress would mask the eighth's wedge indefinitely.
+    /// An empty `samples` skips the stall check for this probe (counters
+    /// hold); a changed queue count resets the stall counters.
+    pub fn probe_queues(
+        &mut self,
+        hv: &mut Hypervisor,
+        now: Nanos,
+        samples: &[ProgressSample],
         slo_ok: bool,
     ) -> HealthState {
         self.probes += 1;
@@ -243,19 +272,28 @@ impl HealthMonitor {
         } else {
             self.missed += 1;
         }
-        // 2. Ring progress: pending work with a frozen consumer is a stall.
-        if let Some(p) = progress {
-            if p.pending > 0 && self.last_consumed == Some(p.consumed) {
-                self.stalled += 1;
-            } else {
-                self.stalled = 0;
+        // 2. Ring progress: pending work with a frozen consumer is a
+        // stall. Tracked per queue so one wedged queue cannot hide
+        // behind its siblings' watermark advances.
+        if !samples.is_empty() {
+            if samples.len() != self.last_consumed.len() {
+                self.last_consumed = vec![None; samples.len()];
+                self.stalled = vec![0; samples.len()];
             }
-            self.last_consumed = Some(p.consumed);
+            for (i, p) in samples.iter().enumerate() {
+                if p.pending > 0 && self.last_consumed[i] == Some(p.consumed) {
+                    self.stalled[i] += 1;
+                } else {
+                    self.stalled[i] = 0;
+                }
+                self.last_consumed[i] = Some(p.consumed);
+            }
         }
+        let worst_stall = self.stalled.iter().copied().max().unwrap_or(0);
         // 3. Verdict, hardest evidence first.
         let (next, cause) = if self.missed >= self.cfg.miss_threshold {
             (HealthState::Failed, "heartbeat")
-        } else if self.stalled >= self.cfg.stall_probes {
+        } else if worst_stall >= self.cfg.stall_probes {
             (HealthState::Failed, "stall")
         } else if self.missed > 0 {
             (
@@ -264,7 +302,7 @@ impl HealthMonitor {
                 },
                 "heartbeat",
             )
-        } else if self.stalled > 0 {
+        } else if worst_stall > 0 {
             (HealthState::Suspect { missed: 0 }, "stall")
         } else if !slo_ok {
             (HealthState::Suspect { missed: 0 }, "slo")
@@ -383,6 +421,56 @@ mod tests {
         assert_eq!(
             mon.probe(&mut hv, Nanos::from_secs(2), sample(7, 6), true),
             HealthState::Failed
+        );
+    }
+
+    #[test]
+    fn one_wedged_queue_among_many_still_fails() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        let s = |c, p| ProgressSample {
+            consumed: c,
+            pending: p,
+        };
+        // Queues 0–2 make progress every probe; queue 3 is frozen with
+        // pending work. The aggregate (sum) would advance every probe
+        // and never stall — per-queue tracking must fail the backend.
+        for i in 1..=4u64 {
+            hb.beat(&mut hv).unwrap();
+            let verdict = mon.probe_queues(
+                &mut hv,
+                Nanos::from_millis(500 * i),
+                &[s(100 * i, 1), s(90 * i, 2), s(80 * i, 0), s(7, 3)],
+                true,
+            );
+            if i <= 1 {
+                assert_eq!(verdict, HealthState::Healthy, "probe {i} is baseline");
+            } else if i <= 3 {
+                assert_eq!(verdict, HealthState::Suspect { missed: 0 }, "probe {i}");
+            } else {
+                assert_eq!(verdict, HealthState::Failed, "probe {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn queue_count_change_resets_stall_counters() {
+        let (mut hv, _dd, mut mon, mut hb) = setup();
+        let s = |c, p| ProgressSample {
+            consumed: c,
+            pending: p,
+        };
+        hb.beat(&mut hv).unwrap();
+        mon.probe_queues(&mut hv, Nanos::from_millis(500), &[s(7, 3), s(9, 2)], true);
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe_queues(&mut hv, Nanos::from_secs(1), &[s(7, 3), s(9, 2)], true),
+            HealthState::Suspect { missed: 0 }
+        );
+        // Reconnect with a different queue count: fresh baselines.
+        hb.beat(&mut hv).unwrap();
+        assert_eq!(
+            mon.probe_queues(&mut hv, Nanos::from_millis(1_500), &[s(7, 3)], true),
+            HealthState::Healthy
         );
     }
 

@@ -41,6 +41,12 @@ pub struct TopRow {
     pub req_per_sec: f64,
     /// Payload throughput in megabytes per second of virtual time.
     pub mbytes_per_sec: f64,
+    /// World->guest frames dropped on backend Rx-queue overflow (or
+    /// because no Rx buffers were posted), summed across incarnations.
+    pub rx_dropped: u64,
+    /// Per-queue Rx backlog depth on the live backend; empty for
+    /// domains without a multi-queue-capable backend.
+    pub rx_qdepth: Vec<u64>,
 }
 
 /// All rows at one virtual instant.
@@ -59,6 +65,17 @@ fn fmt_age(age: Option<Nanos>) -> String {
     }
 }
 
+fn fmt_qdepth(depths: &[u64]) -> String {
+    if depths.is_empty() {
+        return "-".to_string();
+    }
+    depths
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
 /// Renders the snapshot as a deterministic fixed-width table.
 pub fn render(snap: &TopSnapshot) -> String {
     let mut rows = snap.rows.clone();
@@ -69,7 +86,7 @@ pub fn render(snap: &TopSnapshot) -> String {
         rows.len()
     );
     out.push_str(&format!(
-        "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9} {:>8}\n",
+        "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9} {:>8} {:>7} {:<11}\n",
         "DOM",
         "NAME",
         "KIND",
@@ -83,10 +100,12 @@ pub fn render(snap: &TopSnapshot) -> String {
         "EVT",
         "REQ/S",
         "MB/S",
+        "RX_DROP",
+        "RXQ_DEPTH",
     ));
     for r in &rows {
         out.push_str(&format!(
-            "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9.1} {:>8.2}\n",
+            "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9.1} {:>8.2} {:>7} {:<11}\n",
             r.dom,
             r.name,
             r.kind,
@@ -100,6 +119,8 @@ pub fn render(snap: &TopSnapshot) -> String {
             r.evtchns,
             r.req_per_sec,
             r.mbytes_per_sec,
+            r.rx_dropped,
+            fmt_qdepth(&r.rx_qdepth),
         ));
     }
     out
@@ -127,6 +148,8 @@ mod tests {
                     evtchns: 3,
                     req_per_sec: 40.0,
                     mbytes_per_sec: 0.056,
+                    rx_dropped: 7,
+                    rx_qdepth: vec![3, 0, 1, 2],
                 },
                 TopRow {
                     dom: 0,
@@ -142,6 +165,8 @@ mod tests {
                     evtchns: 0,
                     req_per_sec: 0.0,
                     mbytes_per_sec: 0.0,
+                    rx_dropped: 0,
+                    rx_qdepth: Vec::new(),
                 },
             ],
         }
@@ -159,6 +184,10 @@ mod tests {
         assert!(lines[3].trim_start().starts_with('2'));
         assert!(lines[3].contains("suspect(2)"));
         assert!(lines[3].contains("1000ms"));
+        assert!(lines[1].contains("RX_DROP"));
+        assert!(lines[1].contains("RXQ_DEPTH"));
+        assert!(lines[3].contains("3/0/1/2"), "per-queue Rx depths");
+        assert!(lines[2].contains(" - "), "no backend: depth renders as -");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`arp`] — ARP codec + per-host cache with timeout;
 //! * [`ipv4`] / [`icmp`] / [`udp`] / [`tcp`] — protocol codecs with RFC 1071
 //!   checksums ([`checksum`]);
+//! * [`flow`] — deterministic Toeplitz/RSS flow hashing for multi-queue
+//!   steering;
 //! * [`bridge`] — the learning bridge Kite's network application manages;
 //! * [`nat`] — source NAT, the alternative VIF-to-NIC linking technique;
 //! * [`dhcp`] — RFC 2131 wire format for the daemon-VM experiment;
@@ -19,6 +21,7 @@ pub mod bridge;
 pub mod checksum;
 pub mod dhcp;
 pub mod ether;
+pub mod flow;
 pub mod icmp;
 pub mod iface;
 pub mod ipv4;
@@ -30,6 +33,7 @@ pub use arp::{ArpCache, ArpOp, ArpPacket};
 pub use bridge::{Bridge, BridgePort, Forward};
 pub use dhcp::{DhcpMessage, DhcpMessageType};
 pub use ether::{EtherType, EthernetFrame, MacAddr, ETH_MTU};
+pub use flow::{flow_hash, steer, RSS_KEY};
 pub use icmp::IcmpMessage;
 pub use iface::{IfKind, IfTable, Interface};
 pub use ipv4::{IpProto, Ipv4Packet};

@@ -19,7 +19,7 @@ pub mod stats;
 pub mod time;
 
 pub use queue::{EventId, EventQueue};
-pub use resource::{Cpu, Link, TxOutcome};
+pub use resource::{Cpu, CpuPool, Link, TxOutcome};
 pub use rng::Pcg;
 pub use stats::{BatchHistogram, Histogram, OnlineStats, RateMeter};
 pub use time::Nanos;

@@ -32,11 +32,12 @@ use kite_net::{
     UdpDatagram,
 };
 use kite_rumprun::{kite_boot, kite_profile, BootSequence, OsProfile};
-use kite_sim::{Cpu, EventQueue, Histogram, Link, Nanos, OnlineStats, Pcg, TxOutcome};
+use kite_sim::{Cpu, CpuPool, EventQueue, Histogram, Link, Nanos, OnlineStats, Pcg, TxOutcome};
 use kite_trace::{EventKind, MetricsSnapshot};
+use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
-    Hypervisor, Port, XenbusState,
+    Hypervisor, Port, QueueMode, XenbusState,
 };
 
 /// Which OS runs the driver domain.
@@ -144,6 +145,9 @@ enum Event {
     /// The driver domain livelocks: its data path stops making progress
     /// while the domain (and its heartbeat task) keeps running.
     DriverHang,
+    /// One netback queue's threads wedge (stuck kthread): the domain and
+    /// its other queues keep working, only this queue stops.
+    QueueWedge(usize),
     /// The replacement driver domain finished booting.
     DriverRestarted,
     /// The driver domain's heartbeat task publishes its next beat.
@@ -219,7 +223,8 @@ pub struct NetSystem {
     profile: OsProfile,
     driver: DomainId,
     guest: DomainId,
-    driver_cpu: Cpu,
+    queue_mode: QueueMode,
+    driver_cpus: CpuPool,
     nic: Nic,
     nic_bdf: Bdf,
     phys_mac: MacAddr,
@@ -257,6 +262,8 @@ pub struct NetSystem {
     heartbeat: Option<HeartbeatPublisher>,
     /// The driver domain is livelocked: alive and beating, data path dead.
     hung: bool,
+    /// At least one netback queue is wedged (partial failure injected).
+    queue_wedged: bool,
     /// A detected outage is being recovered (detect → reconnect window).
     recovering: bool,
     /// Injected fault events still scheduled; keeps the watchdog ticking.
@@ -267,8 +274,20 @@ pub struct NetSystem {
 
 impl NetSystem {
     /// Builds the full scenario with the paper's domain layout and runs
-    /// the xenbus connection handshake to `Connected` on both ends.
+    /// the xenbus connection handshake to `Connected` on both ends
+    /// (single-queue legacy layout).
     pub fn new(os: BackendOs, seed: u64) -> NetSystem {
+        NetSystem::new_with_queues(os, seed, QueueMode::Single)
+    }
+
+    /// Like [`NetSystem::new`], but with `queues` device queues: the
+    /// driver domain gets one vCPU per queue, the toolstack advertises
+    /// `multi-queue-max-queues` on the backend, and the frontend
+    /// negotiates that many ring pairs. `QueueMode::Multi(1)` takes the
+    /// identical code path as `Single` (no multi-queue keys are ever
+    /// written), so the two are behaviorally indistinguishable.
+    pub fn new_with_queues(os: BackendOs, seed: u64, queues: QueueMode) -> NetSystem {
+        let nqueues = queues.queues();
         let mut profile = os.profile();
         // Run-to-run noise: real machines vary a little between runs
         // (cache/NUMA placement, interrupt alignment). Perturb the OS
@@ -287,7 +306,7 @@ impl NetSystem {
             },
             DomainKind::Driver,
             if os == BackendOs::Kite { 1024 } else { 2048 },
-            1,
+            nqueues,
         );
         let guest = hv.create_domain("guest", DomainKind::Guest, 5120, 22);
 
@@ -312,8 +331,22 @@ impl NetSystem {
         mgr.start(&mut hv).expect("watch");
         let paths = DevicePaths::new(guest, driver, DeviceKind::Vif, 0);
         provision_device(&mut hv, &paths).expect("provision");
+        if nqueues > 1 {
+            // The toolstack advertises how many queues this backend
+            // accepts; the frontend reads it and negotiates.
+            let be = paths.backend();
+            hv.store
+                .write(
+                    DomainId::DOM0,
+                    None,
+                    &format!("{be}/{MQ_MAX_QUEUES_KEY}"),
+                    &nqueues.to_string(),
+                )
+                .expect("advertise queues");
+        }
         mgr.drain_events(&mut hv).expect("scan");
-        let netfront = Netfront::connect(&mut hv, &paths, guest_mac).expect("netfront");
+        let netfront =
+            Netfront::connect_with_queues(&mut hv, &paths, guest_mac, nqueues).expect("netfront");
         let ready = mgr.drain_events(&mut hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend discovered via watch event");
         let mut netback: DeviceLifecycle<NetbackInstance> =
@@ -330,7 +363,8 @@ impl NetSystem {
             profile,
             driver,
             guest,
-            driver_cpu: Cpu::new(),
+            queue_mode: queues,
+            driver_cpus: CpuPool::new(nqueues as usize),
             nic: Nic::ten_gbe(),
             nic_bdf: bdf,
             phys_mac,
@@ -363,6 +397,7 @@ impl NetSystem {
             monitor: None,
             heartbeat: None,
             hung: false,
+            queue_wedged: false,
             recovering: false,
             pending_faults: 0,
             slo_cfg: SloConfig::default(),
@@ -449,6 +484,32 @@ impl NetSystem {
     pub fn hang_driver_at(&mut self, t: Nanos) {
         self.pending_faults += 1;
         self.queue.schedule_at(t, Event::DriverHang);
+    }
+
+    /// Schedules a single-queue wedge at `t`: queue `q`'s netback
+    /// threads stop running while the domain, its heartbeat, and every
+    /// other queue stay healthy. Only per-queue stall detection catches
+    /// this partial failure.
+    pub fn wedge_queue_at(&mut self, t: Nanos, q: usize) {
+        self.pending_faults += 1;
+        self.queue.schedule_at(t, Event::QueueWedge(q));
+    }
+
+    /// The negotiated queue layout.
+    pub fn queue_mode(&self) -> QueueMode {
+        self.queue_mode
+    }
+
+    /// Queues on the currently connected netback (0 when down).
+    pub fn queue_count(&self) -> usize {
+        self.netback.device().map_or(0, |nb| nb.queue_count())
+    }
+
+    /// Per-queue world→guest backlog depths on the connected netback.
+    pub fn rx_queue_depths(&self) -> Vec<usize> {
+        self.netback
+            .device()
+            .map_or_else(Vec::new, |nb| nb.rx_backlogs())
     }
 
     /// Arms a fault plan: per-op fault rates go live on the hypervisor,
@@ -608,6 +669,7 @@ impl NetSystem {
             let _ = self.hv.destroy_domain(self.driver);
         }
         self.hung = false;
+        self.queue_wedged = false;
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
@@ -643,12 +705,15 @@ impl NetSystem {
             BackendOs::Kite => ("netbackend", 1024),
             BackendOs::Linux => ("ubuntu-dd", 2048),
         };
-        let driver = self.hv.create_domain(name, DomainKind::Driver, mem, 1);
+        let nqueues = self.queue_mode.queues();
+        let driver = self
+            .hv
+            .create_domain(name, DomainKind::Driver, mem, nqueues);
         self.driver = driver;
         self.hv
             .trace
             .emit_with(driver.0, || EventKind::Milestone { what: "reboot" });
-        self.driver_cpu = Cpu::new();
+        self.driver_cpus = CpuPool::new(nqueues as usize);
         self.hv
             .pci
             .assign(self.nic_bdf, driver)
@@ -659,8 +724,21 @@ impl NetSystem {
         self.mgr.start(&mut self.hv).expect("watch");
         self.paths = DevicePaths::new(self.guest, driver, DeviceKind::Vif, 0);
         provision_device(&mut self.hv, &self.paths).expect("re-provision");
+        if nqueues > 1 {
+            let be = self.paths.backend();
+            self.hv
+                .store
+                .write(
+                    DomainId::DOM0,
+                    None,
+                    &format!("{be}/{MQ_MAX_QUEUES_KEY}"),
+                    &nqueues.to_string(),
+                )
+                .expect("re-advertise queues");
+        }
         self.mgr.drain_events(&mut self.hv).expect("scan");
-        let nf = Netfront::connect(&mut self.hv, &self.paths, self.guest_mac).expect("netfront");
+        let nf = Netfront::connect_with_queues(&mut self.hv, &self.paths, self.guest_mac, nqueues)
+            .expect("netfront");
         self.netfront = Some(nf);
         let ready = self.mgr.drain_events(&mut self.hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend rediscovered after restart");
@@ -756,7 +834,7 @@ impl NetSystem {
         if self.netfront.is_none() {
             return; // backend down: frames wait for the replacement device
         }
-        let mut notify = false;
+        let mut notify: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         let mut cost = Nanos::ZERO;
         while let Some(frame) = self.guest_txq.front() {
             let res = self
@@ -765,9 +843,11 @@ impl NetSystem {
                 .expect("checked")
                 .send(&mut self.hv, frame);
             match res {
-                Ok(op) => {
+                Ok((q, op)) => {
                     self.guest_txq.pop_front();
-                    notify |= op.notify;
+                    if op.notify {
+                        notify.insert(q);
+                    }
                     cost += op.cost;
                 }
                 Err(_) => break, // ring full; retried on Tx completion
@@ -776,8 +856,8 @@ impl NetSystem {
         if cost > Nanos::ZERO {
             self.guest_cpu_run(now, cost);
         }
-        if notify {
-            let port = self.netfront.as_ref().expect("checked").evtchn;
+        for q in notify {
+            let port = self.netfront.as_ref().expect("checked").port_of(q);
             // The channel dies with the backend domain: a notify raised
             // during an undetected-outage window is simply lost.
             if let Ok((n, send_cost)) = self.hv.evtchn_send(self.guest, port) {
@@ -883,78 +963,90 @@ impl NetSystem {
         }
     }
 
-    /// Runs the netback threads (pusher then soft_start) to exhaustion on
-    /// the driver vCPU starting at `now`; schedules all effects.
+    /// Runs the netback threads (pusher then soft_start) to exhaustion,
+    /// starting at `now`; schedules all effects.
+    ///
+    /// Each queue's thread pair is pinned to its own driver vCPU, so
+    /// with `QueueMode::Multi(n)` on an n-vCPU driver domain the queues
+    /// drain concurrently: wall-clock elapsed is the slowest queue, not
+    /// the sum of all of them.
     fn run_netback(&mut self, now: Nanos) {
         if !self.netback.is_connected() || self.hung {
             return; // driver domain down (or livelocked: threads never run)
         }
-        // Pusher: guest -> bridge/world.
-        let mut guest_frames = Vec::new();
-        loop {
-            let nb = self.netback.device_mut().expect("checked");
-            let batch = nb.pusher_run(&mut self.hv, 128).expect("pusher");
-            let evtchn = nb.evtchn;
-            let had = !batch.frames.is_empty();
-            guest_frames.extend(batch.frames);
-            let done = self.driver_cpu.run(
-                now,
-                batch.cost + self.profile.wakeup_latency.min(Nanos::from_nanos(200)),
-            );
-            if batch.notify {
-                let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
-                let done = self.driver_cpu.run(done, c);
-                if let Some(n) = n {
-                    let delay = self.hv.irq_delay();
-                    self.queue.schedule_at(
-                        done + delay,
-                        Event::Irq {
-                            dom: n.domain,
-                            port: n.port,
-                        },
-                    );
+        let nqueues = self.netback.device().expect("checked").queue_count();
+        for q in 0..nqueues {
+            // Pusher: guest -> bridge/world.
+            let mut guest_frames = Vec::new();
+            loop {
+                let nb = self.netback.device_mut().expect("checked");
+                let batch = nb.pusher_run(&mut self.hv, q, 128).expect("pusher");
+                let evtchn = nb.port_of(q);
+                let had = !batch.frames.is_empty();
+                guest_frames.extend(batch.frames);
+                let done = self.driver_cpus.run_on(
+                    q,
+                    now,
+                    batch.cost + self.profile.wakeup_latency.min(Nanos::from_nanos(200)),
+                );
+                if batch.notify {
+                    let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
+                    let done = self.driver_cpus.run_on(q, done, c);
+                    if let Some(n) = n {
+                        let delay = self.hv.irq_delay();
+                        self.queue.schedule_at(
+                            done + delay,
+                            Event::Irq {
+                                dom: n.domain,
+                                port: n.port,
+                            },
+                        );
+                    }
+                }
+                if !batch.more && !had {
+                    break;
+                }
+                if !batch.more {
+                    break;
                 }
             }
-            if !batch.more && !had {
-                break;
+            // Upper layer: push this queue's pusher output through the
+            // bridge, then onto the wire once this queue's vCPU is free.
+            let mut to_wire = Vec::new();
+            for f in guest_frames {
+                to_wire.extend(self.bridge_forward(now, self.vif_port, f));
             }
-            if !batch.more {
-                break;
-            }
+            let t = self.driver_cpus.free_at(q).max(now);
+            self.nic_transmit(t, to_wire);
         }
-        // Upper layer: push pusher output through the bridge.
-        let mut to_wire = Vec::new();
-        for f in guest_frames {
-            to_wire.extend(self.bridge_forward(now, self.vif_port, f));
-        }
-        let t = self.driver_cpu.free_at().max(now);
-        self.nic_transmit(t, to_wire);
 
-        // soft_start: queued world -> guest frames into the Rx ring.
-        loop {
-            let nb = self.netback.device_mut().expect("checked");
-            let batch = nb.soft_start_run(&mut self.hv, 128).expect("soft_start");
-            let evtchn = nb.evtchn;
-            let done = self.driver_cpu.run(now, batch.cost);
-            if batch.notify {
-                let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
-                let done = self.driver_cpu.run(done, c);
-                if let Some(n) = n {
-                    let delay = self.hv.irq_delay();
-                    self.queue.schedule_at(
-                        done + delay,
-                        Event::Irq {
-                            dom: n.domain,
-                            port: n.port,
-                        },
-                    );
+        // soft_start: queued world -> guest frames into the Rx rings.
+        for q in 0..nqueues {
+            loop {
+                let nb = self.netback.device_mut().expect("checked");
+                let batch = nb.soft_start_run(&mut self.hv, q, 128).expect("soft_start");
+                let evtchn = nb.port_of(q);
+                let done = self.driver_cpus.run_on(q, now, batch.cost);
+                if batch.notify {
+                    let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
+                    let done = self.driver_cpus.run_on(q, done, c);
+                    if let Some(n) = n {
+                        let delay = self.hv.irq_delay();
+                        self.queue.schedule_at(
+                            done + delay,
+                            Event::Irq {
+                                dom: n.domain,
+                                port: n.port,
+                            },
+                        );
+                    }
                 }
-            }
-            if batch.delivered == 0 {
-                break; // either no frames queued or no Rx buffers posted
-            }
-            if !batch.more {
-                break;
+                if batch.delivered == 0 {
+                    break; // either no frames queued or no Rx buffers posted
+                }
+                if !batch.more {
+                    break;
+                }
             }
         }
     }
@@ -1152,15 +1244,18 @@ impl NetSystem {
                 }
                 // NIC interrupt in the driver domain: short handler, then
                 // the stack pushes frames through the bridge toward VIFs.
-                let idle = now.saturating_sub(self.driver_cpu.free_at());
+                // The physical NIC's irq is pinned to vCPU 0.
+                let idle = now.saturating_sub(self.driver_cpus.free_at(0));
                 let wake = self.profile.idle_wake(idle);
-                let handler_done = self.driver_cpu.run(now, wake + self.profile.irq_overhead);
+                let handler_done =
+                    self.driver_cpus
+                        .run_on(0, now, wake + self.profile.irq_overhead);
                 let frames = self.nic.drain_rx(now, 64);
                 let mut per_frame = Nanos::ZERO;
                 for f in &frames {
                     per_frame += self.profile.per_packet + Nanos(f.len() as u64 / 16);
                 }
-                let t = self.driver_cpu.run(handler_done, per_frame);
+                let t = self.driver_cpus.run_on(0, handler_done, per_frame);
                 let mut to_wire = Vec::new();
                 for f in frames {
                     to_wire.extend(self.bridge_forward(now, self.if_port, f));
@@ -1179,11 +1274,17 @@ impl NetSystem {
                     if !self.netback.is_connected() || self.hung {
                         return; // stale interrupt, or a livelocked handler
                     }
-                    // Netback's event channel: handler wakes the threads.
-                    let idle = now.saturating_sub(self.driver_cpu.free_at());
+                    // Netback's event channel: the handler runs on the
+                    // vCPU the owning queue is pinned to, then wakes the
+                    // threads.
+                    let nb = self.netback.device().expect("checked");
+                    let q = (0..nb.queue_count())
+                        .find(|&q| nb.port_of(q) == port)
+                        .unwrap_or(0);
+                    let cost = nb.irq_handler_cost();
+                    let idle = now.saturating_sub(self.driver_cpus.free_at(q));
                     let wake = self.profile.idle_wake(idle);
-                    let cost = self.netback.device().expect("checked").irq_handler_cost();
-                    let t = self.driver_cpu.run(now, wake + cost);
+                    let t = self.driver_cpus.run_on(q, now, wake + cost);
                     self.run_netback(t);
                 } else if dom == self.guest {
                     if self.netfront.is_none() {
@@ -1194,19 +1295,20 @@ impl NetSystem {
                     // The guest vCPU wakes from halt first; everything the
                     // interrupt triggers happens after that latency.
                     let t = now + wake;
-                    let op = self
+                    let (op, notifyq) = self
                         .netfront
                         .as_mut()
                         .expect("checked")
                         .on_irq(&mut self.hv)
                         .expect("netfront irq");
-                    let done = self.guest_cpu_run(now, wake + op.cost + self.profile.irq_overhead);
-                    if op.notify {
-                        let evtchn = self.netfront.as_ref().expect("checked").evtchn;
+                    let mut done =
+                        self.guest_cpu_run(now, wake + op.cost + self.profile.irq_overhead);
+                    for q in notifyq {
+                        let evtchn = self.netfront.as_ref().expect("checked").port_of(q);
                         // Tolerate a torn-down channel: the backend may
                         // have died without the frontend knowing yet.
                         if let Ok((n, c)) = self.hv.evtchn_send(self.guest, evtchn) {
-                            let done = self.guest_cpu_run(done, c);
+                            done = self.guest_cpu_run(done, c);
                             if let Some(n) = n {
                                 let delay = self.hv.irq_delay();
                                 self.queue.schedule_at(
@@ -1235,6 +1337,18 @@ impl NetSystem {
                 self.pending_faults = self.pending_faults.saturating_sub(1);
                 self.hang_driver(now);
             }
+            Event::QueueWedge(q) => {
+                self.pending_faults = self.pending_faults.saturating_sub(1);
+                if let Some(nb) = self.netback.device_mut() {
+                    if q < nb.queue_count() {
+                        nb.set_queue_wedged(q, true);
+                        self.queue_wedged = true;
+                        self.hv
+                            .trace
+                            .emit_with(self.driver.0, || EventKind::Milestone { what: "wedge" });
+                    }
+                }
+            }
             Event::DriverRestarted => self.driver_restarted(now),
             Event::BeatTick => {
                 // The heartbeat task runs inside the driver domain, so it
@@ -1253,12 +1367,18 @@ impl NetSystem {
                 let Some(mut mon) = self.monitor.take() else {
                     return;
                 };
-                let progress = self.netback.device().map(|nb| {
-                    let (consumed, pending) = nb.progress(&self.hv);
-                    ProgressSample { consumed, pending }
-                });
+                let samples: Vec<ProgressSample> = self
+                    .netback
+                    .device()
+                    .map(|nb| {
+                        nb.queue_progress(&self.hv)
+                            .into_iter()
+                            .map(|(consumed, pending)| ProgressSample { consumed, pending })
+                            .collect()
+                    })
+                    .unwrap_or_default();
                 let slo_ok = !slo::evaluate(&self.latency_hist, &self.slo_cfg).breached;
-                let verdict = mon.probe(&mut self.hv, now, progress, slo_ok);
+                let verdict = mon.probe_queues(&mut self.hv, now, &samples, slo_ok);
                 let interval = mon.config().probe_interval;
                 self.monitor = Some(mon);
                 if verdict.is_failed() {
@@ -1282,6 +1402,7 @@ impl NetSystem {
         self.mode == DetectionMode::Watchdog
             && (self.pending_faults > 0
                 || self.hung
+                || self.queue_wedged
                 || self.recovering
                 || !self.netback.is_connected())
     }
@@ -1307,14 +1428,17 @@ impl NetSystem {
         snap.push_int("guest_rx_bytes", "bytes", self.metrics.guest_rx_bytes);
         snap.push_int("guest_rx_msgs", "count", self.metrics.guest_rx_msgs);
         snap.push_int("drops", "count", self.metrics.drops);
+        for (q, depth) in self.rx_queue_depths().into_iter().enumerate() {
+            snap.push_int(format!("rx_queue_depth_q{q}"), "count", depth as u64);
+        }
         self.netback_stats().append_metrics(&mut snap);
         self.recovery.append_metrics(&mut snap);
         snap
     }
 
-    /// Driver-domain vCPU utilization over a window.
+    /// Driver-domain mean vCPU utilization over a window.
     pub fn driver_cpu_percent(&self, window: Nanos) -> f64 {
-        self.driver_cpu.utilization_percent(window)
+        self.driver_cpus.utilization_percent(window)
     }
 
     /// Guest mean vCPU utilization over a window (sysstat style).
@@ -1413,6 +1537,12 @@ impl NetSystem {
                     evtchns: self.hv.evtchn.open_ports(d.id),
                     req_per_sec,
                     mbytes_per_sec,
+                    rx_dropped: if is_driver { stats.rx_dropped } else { 0 },
+                    rx_qdepth: if is_driver {
+                        self.rx_queue_depths().iter().map(|&d| d as u64).collect()
+                    } else {
+                        Vec::new()
+                    },
                 }
             })
             .collect();

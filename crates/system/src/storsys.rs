@@ -20,11 +20,12 @@ use kite_health::{
     ProgressSample, SloConfig, TopRow, TopSnapshot,
 };
 use kite_rumprun::BootSequence;
-use kite_sim::{Cpu, EventQueue, Histogram, Nanos, Pcg};
+use kite_sim::{Cpu, CpuPool, EventQueue, Histogram, Nanos, Pcg};
 use kite_trace::{EventKind, MetricsSnapshot};
+use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
-    Hypervisor, Port, XenbusState,
+    Hypervisor, Port, QueueMode, XenbusState,
 };
 
 pub use crate::netsys::BackendOs;
@@ -77,13 +78,21 @@ pub struct IoDone {
 pub type IoHandler = Box<dyn FnMut(Nanos, &IoDone) -> Vec<IoOp>>;
 
 enum Event {
-    Irq { dom: DomainId, port: Port },
+    Irq {
+        dom: DomainId,
+        port: Port,
+    },
     // `epoch` guards against completions of a crashed backend incarnation
     // hitting a replacement that happens to reuse the same request id.
-    BlkDone { req_id: u64, epoch: u64 },
+    BlkDone {
+        req_id: u64,
+        epoch: u64,
+    },
     Submit(IoOp),
     DriverCrash,
     DriverHang,
+    /// Wedge one blkback ring (its request thread stops running).
+    QueueWedge(usize),
     DriverRestarted,
     BeatTick,
     ProbeTick,
@@ -133,7 +142,8 @@ pub struct StorSystem {
     queue: EventQueue<Event>,
     driver: DomainId,
     guest: DomainId,
-    driver_cpu: Cpu,
+    queue_mode: QueueMode,
+    driver_cpus: CpuPool,
     guest_cpus: Vec<Cpu>,
     guest_rr: usize,
     guest_last_end: Nanos,
@@ -170,6 +180,9 @@ pub struct StorSystem {
     heartbeat: Option<HeartbeatPublisher>,
     /// The driver domain is livelocked: alive and beating, data path dead.
     hung: bool,
+    /// One ring's request thread is wedged (fault injection); keeps the
+    /// watchdog ticking after the fault fires.
+    queue_wedged: bool,
     /// A detected outage is being recovered (detect → reconnect window).
     recovering: bool,
     /// Injected fault events still scheduled; keeps the watchdog ticking.
@@ -185,8 +198,25 @@ impl StorSystem {
         StorSystem::with_tuning(os, seed, BlkbackTuning::default())
     }
 
+    /// Builds the scenario with `queues` blkback rings on a driver domain
+    /// with one vCPU per ring (multi-queue ablations).
+    pub fn new_with_queues(os: BackendOs, seed: u64, queues: QueueMode) -> StorSystem {
+        StorSystem::with_tuning_queues(os, seed, BlkbackTuning::default(), queues)
+    }
+
     /// Builds the scenario with explicit blkback tuning (ablations).
     pub fn with_tuning(os: BackendOs, seed: u64, tuning: BlkbackTuning) -> StorSystem {
+        StorSystem::with_tuning_queues(os, seed, tuning, QueueMode::Single)
+    }
+
+    /// Builds the scenario with explicit tuning and ring count.
+    pub fn with_tuning_queues(
+        os: BackendOs,
+        seed: u64,
+        tuning: BlkbackTuning,
+        queues: QueueMode,
+    ) -> StorSystem {
+        let nrings = queues.queues();
         let mut profile = os.profile();
         // Seed-derived run-to-run noise (see NetSystem::new).
         let mut jrng = Pcg::new(seed, 0x6a69747465725f32);
@@ -202,7 +232,7 @@ impl StorSystem {
             },
             DomainKind::Driver,
             if os == BackendOs::Kite { 1024 } else { 2048 },
-            1,
+            nrings,
         );
         let guest = hv.create_domain("guest", DomainKind::Guest, 5120, 22);
 
@@ -224,8 +254,22 @@ impl StorSystem {
         mgr.start(&mut hv).expect("watch");
         let paths = DevicePaths::new(guest, driver, DeviceKind::Vbd, 0);
         provision_device(&mut hv, &paths).expect("provision");
+        if nrings > 1 {
+            // The toolstack advertises the backend's ring budget before
+            // the frontend negotiates.
+            let be = paths.backend();
+            hv.store
+                .write(
+                    DomainId::DOM0,
+                    None,
+                    &format!("{be}/{MQ_MAX_QUEUES_KEY}"),
+                    &nrings.to_string(),
+                )
+                .expect("advertise rings");
+        }
         mgr.drain_events(&mut hv).expect("scan");
-        let mut blkfront = Blkfront::connect(&mut hv, &paths).expect("blkfront");
+        let mut blkfront =
+            Blkfront::connect_with_queues(&mut hv, &paths, nrings).expect("blkfront");
         let ready = mgr.drain_events(&mut hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend discovered");
         let cfg = BlkbackConfig {
@@ -247,7 +291,8 @@ impl StorSystem {
             queue: EventQueue::new(),
             driver,
             guest,
-            driver_cpu: Cpu::new(),
+            queue_mode: queues,
+            driver_cpus: CpuPool::new(nrings as usize),
             guest_cpus: (0..22).map(|_| Cpu::new()).collect(),
             guest_rr: 0,
             guest_last_end: Nanos::ZERO,
@@ -275,6 +320,7 @@ impl StorSystem {
             monitor: None,
             heartbeat: None,
             hung: false,
+            queue_wedged: false,
             recovering: false,
             pending_faults: 0,
             slo_cfg: SloConfig::default(),
@@ -307,6 +353,24 @@ impl StorSystem {
     pub fn hang_driver_at(&mut self, t: Nanos) {
         self.pending_faults += 1;
         self.queue.schedule_at(t, Event::DriverHang);
+    }
+
+    /// Schedules wedging ring `q` at `t`: that ring's request thread
+    /// stops running while the rest of the backend stays healthy. Only
+    /// per-queue ring-progress probing can catch it.
+    pub fn wedge_queue_at(&mut self, t: Nanos, q: usize) {
+        self.pending_faults += 1;
+        self.queue.schedule_at(t, Event::QueueWedge(q));
+    }
+
+    /// The configured ring mode.
+    pub fn queue_mode(&self) -> QueueMode {
+        self.queue_mode
+    }
+
+    /// Rings on the live backend (0 while the driver domain is down).
+    pub fn queue_count(&self) -> usize {
+        self.blkback.device().map_or(0, |bb| bb.ring_count())
     }
 
     /// Arms a fault plan: per-op fault rates go live on the hypervisor,
@@ -400,9 +464,9 @@ impl StorSystem {
         }
     }
 
-    /// Driver vCPU utilization over a window.
+    /// Driver-domain mean vCPU utilization over a window.
     pub fn driver_cpu_percent(&self, window: Nanos) -> f64 {
-        self.driver_cpu.utilization_percent(window)
+        self.driver_cpus.utilization_percent(window)
     }
 
     /// Events processed.
@@ -445,8 +509,8 @@ impl StorSystem {
         done
     }
 
-    fn notify_backend(&mut self, done: Nanos) {
-        let Some(port) = self.blkfront.as_ref().map(|f| f.evtchn) else {
+    fn notify_backend(&mut self, done: Nanos, q: usize) {
+        let Some(port) = self.blkfront.as_ref().map(|f| f.port_of(q)) else {
             return;
         };
         // The channel dies with the backend domain: a notify raised
@@ -552,7 +616,7 @@ impl StorSystem {
         if self.blkfront.is_none() {
             return;
         }
-        let mut notify = false;
+        let mut notify: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         let mut cost = Nanos::ZERO;
         while let Some(c) = self.pendq.front() {
             let bf = self.blkfront.as_mut().expect("checked");
@@ -564,8 +628,16 @@ impl StorSystem {
             match res {
                 Ok((id, fo)) => {
                     let c = self.pendq.pop_front().expect("peeked");
+                    if fo.notify {
+                        let q = self
+                            .blkfront
+                            .as_ref()
+                            .expect("checked")
+                            .ring_of(id)
+                            .unwrap_or(0);
+                        notify.insert(q);
+                    }
                     self.req_map.insert(id, c);
-                    notify |= fo.notify;
                     cost += fo.cost;
                 }
                 Err(kite_xen::XenError::RingFull) => break,
@@ -575,8 +647,8 @@ impl StorSystem {
         if cost > Nanos::ZERO {
             self.guest_cpu_run(now, cost);
         }
-        if notify {
-            self.notify_backend(now);
+        for q in notify {
+            self.notify_backend(now, q);
         }
     }
 
@@ -584,23 +656,28 @@ impl StorSystem {
         if !self.blkback.is_connected() || self.hung {
             return; // driver domain down (or livelocked: thread never runs)
         }
-        loop {
-            let bb = self.blkback.device_mut().expect("checked");
-            let batch = bb
-                .request_thread_run(&mut self.hv, &mut self.nvme, now, 32)
-                .expect("request thread");
-            self.driver_cpu.run(now, batch.cost);
-            for s in batch.submissions {
-                self.queue.schedule_at(
-                    s.completes_at,
-                    Event::BlkDone {
-                        req_id: s.req_id,
-                        epoch: self.bb_epoch,
-                    },
-                );
-            }
-            if !batch.more {
-                break;
+        // Each ring's request thread is pinned to its own driver vCPU, so
+        // the rings drain concurrently.
+        let nrings = self.blkback.device().expect("checked").ring_count();
+        for q in 0..nrings {
+            loop {
+                let bb = self.blkback.device_mut().expect("checked");
+                let batch = bb
+                    .request_thread_run(&mut self.hv, &mut self.nvme, q, now, 32)
+                    .expect("request thread");
+                self.driver_cpus.run_on(q, now, batch.cost);
+                for s in batch.submissions {
+                    self.queue.schedule_at(
+                        s.completes_at,
+                        Event::BlkDone {
+                            req_id: s.req_id,
+                            epoch: self.bb_epoch,
+                        },
+                    );
+                }
+                if !batch.more {
+                    break;
+                }
             }
         }
     }
@@ -672,6 +749,7 @@ impl StorSystem {
             let _ = self.hv.destroy_domain(self.driver);
         }
         self.hung = false;
+        self.queue_wedged = false;
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
@@ -701,12 +779,13 @@ impl StorSystem {
             BackendOs::Kite => ("blkbackend", 1024),
             BackendOs::Linux => ("ubuntu-dd", 2048),
         };
-        let driver = self.hv.create_domain(name, DomainKind::Driver, mem, 1);
+        let nrings = self.queue_mode.queues();
+        let driver = self.hv.create_domain(name, DomainKind::Driver, mem, nrings);
         self.driver = driver;
         self.hv
             .trace
             .emit_with(driver.0, || EventKind::Milestone { what: "reboot" });
-        self.driver_cpu = Cpu::new();
+        self.driver_cpus = CpuPool::new(nrings as usize);
         self.hv
             .pci
             .assign(self.nvme_bdf, driver)
@@ -716,8 +795,21 @@ impl StorSystem {
         self.mgr.start(&mut self.hv).expect("watch");
         self.paths = DevicePaths::new(self.guest, driver, DeviceKind::Vbd, 0);
         provision_device(&mut self.hv, &self.paths).expect("re-provision");
+        if nrings > 1 {
+            let be = self.paths.backend();
+            self.hv
+                .store
+                .write(
+                    DomainId::DOM0,
+                    None,
+                    &format!("{be}/{MQ_MAX_QUEUES_KEY}"),
+                    &nrings.to_string(),
+                )
+                .expect("re-advertise rings");
+        }
         self.mgr.drain_events(&mut self.hv).expect("scan");
-        let mut bf = Blkfront::connect(&mut self.hv, &self.paths).expect("blkfront");
+        let mut bf =
+            Blkfront::connect_with_queues(&mut self.hv, &self.paths, nrings).expect("blkfront");
         let ready = self.mgr.drain_events(&mut self.hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend rediscovered after restart");
         self.blkback
@@ -772,10 +864,16 @@ impl StorSystem {
                     if !self.blkback.is_connected() || self.hung {
                         return; // stale interrupt, or a livelocked handler
                     }
-                    let idle = now.saturating_sub(self.driver_cpu.free_at());
+                    // The handler runs on the vCPU the owning ring is
+                    // pinned to.
+                    let bb = self.blkback.device().expect("checked");
+                    let q = (0..bb.ring_count())
+                        .find(|&q| bb.port_of(q) == port)
+                        .unwrap_or(0);
+                    let cost = bb.irq_handler_cost();
+                    let idle = now.saturating_sub(self.driver_cpus.free_at(q));
                     let wake = self.os.profile().idle_wake(idle);
-                    let cost = self.blkback.device().expect("checked").irq_handler_cost();
-                    let t = self.driver_cpu.run(now, wake + cost);
+                    let t = self.driver_cpus.run_on(q, now, wake + cost);
                     self.run_blkback(t);
                 } else if dom == self.guest {
                     if self.blkfront.is_none() {
@@ -869,11 +967,11 @@ impl StorSystem {
                     return; // the submission died with the driver domain
                 };
                 let res = bb.complete(&mut self.hv, req_id).expect("complete");
-                let evtchn = bb.evtchn;
-                let done = self.driver_cpu.run(now, res.cost);
+                let evtchn = bb.port_of(res.ring);
+                let done = self.driver_cpus.run_on(res.ring, now, res.cost);
                 if res.notify {
                     let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
-                    let done = self.driver_cpu.run(done, c);
+                    let done = self.driver_cpus.run_on(res.ring, done, c);
                     if let Some(n) = n {
                         let delay = self.hv.irq_delay();
                         self.queue.schedule_at(
@@ -894,6 +992,18 @@ impl StorSystem {
                 self.pending_faults = self.pending_faults.saturating_sub(1);
                 self.hang_driver(now);
             }
+            Event::QueueWedge(q) => {
+                self.pending_faults = self.pending_faults.saturating_sub(1);
+                if let Some(bb) = self.blkback.device_mut() {
+                    if q < bb.ring_count() {
+                        bb.set_queue_wedged(q, true);
+                        self.queue_wedged = true;
+                        self.hv
+                            .trace
+                            .emit_with(self.driver.0, || EventKind::Milestone { what: "wedge" });
+                    }
+                }
+            }
             Event::DriverRestarted => self.driver_restarted(now),
             Event::BeatTick => {
                 // The heartbeat task runs inside the driver domain, so it
@@ -912,12 +1022,18 @@ impl StorSystem {
                 let Some(mut mon) = self.monitor.take() else {
                     return;
                 };
-                let progress = self.blkback.device().map(|bb| {
-                    let (consumed, pending) = bb.progress(&self.hv);
-                    ProgressSample { consumed, pending }
-                });
+                let samples: Vec<ProgressSample> = self
+                    .blkback
+                    .device()
+                    .map(|bb| {
+                        bb.queue_progress(&self.hv)
+                            .into_iter()
+                            .map(|(consumed, pending)| ProgressSample { consumed, pending })
+                            .collect()
+                    })
+                    .unwrap_or_default();
                 let slo_ok = !slo::evaluate(&self.latency_hist, &self.slo_cfg).breached;
-                let verdict = mon.probe(&mut self.hv, now, progress, slo_ok);
+                let verdict = mon.probe_queues(&mut self.hv, now, &samples, slo_ok);
                 let interval = mon.config().probe_interval;
                 self.monitor = Some(mon);
                 if verdict.is_failed() {
@@ -941,6 +1057,7 @@ impl StorSystem {
         self.mode == DetectionMode::Watchdog
             && (self.pending_faults > 0
                 || self.hung
+                || self.queue_wedged
                 || self.recovering
                 || !self.blkback.is_connected())
     }
@@ -997,6 +1114,15 @@ impl StorSystem {
                     evtchns: self.hv.evtchn.open_ports(d.id),
                     req_per_sec,
                     mbytes_per_sec,
+                    rx_dropped: 0,
+                    rx_qdepth: match self.blkback.device() {
+                        Some(bb) if is_driver => bb
+                            .queue_progress(&self.hv)
+                            .into_iter()
+                            .map(|(_, pending)| pending)
+                            .collect(),
+                        _ => Vec::new(),
+                    },
                 }
             })
             .collect();

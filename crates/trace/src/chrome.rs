@@ -26,7 +26,7 @@ fn push_event(
     out: &mut String,
     first: &mut bool,
     name: &str,
-    dom: u16,
+    tid: u32,
     at: Nanos,
     dur: Option<Nanos>,
     args: &[(&str, String)],
@@ -39,7 +39,7 @@ fn push_event(
         out,
         "\n  {{\"name\":\"{}\",\"cat\":\"kite\",\"pid\":0,\"tid\":{},\"ts\":{}",
         json_escape(name),
-        dom,
+        tid,
         ts(at),
     );
     match dur {
@@ -62,11 +62,29 @@ fn str_arg(s: &str) -> String {
     format!("\"{}\"", json_escape(s))
 }
 
+/// Base of the synthetic tid range for per-queue tracks, far above any
+/// real domain id so queue tracks never collide with domain tracks.
+const QUEUE_TID_BASE: u32 = 0x10000;
+
+/// Queues per domain the synthetic tid space reserves.
+const QUEUE_TID_STRIDE: u32 = 64;
+
+/// The synthetic track id of queue `qid` of domain `dom`.
+fn queue_tid(dom: u16, qid: u16) -> u32 {
+    QUEUE_TID_BASE + dom as u32 * QUEUE_TID_STRIDE + (qid as u32 % QUEUE_TID_STRIDE)
+}
+
 /// Renders the tracer's events as a Chrome-trace JSON document.
 ///
 /// `tracks` names the per-domain tracks as `(domain id, name)` pairs —
 /// callers pass every domain ever created (including dead ones) so a
 /// crashed driver domain's track stays labelled in the viewer.
+///
+/// Multi-queue ring drains ([`EventKind::RingDrain`] with a queue index)
+/// render on a synthetic per-queue track named `<domain>/q<k>`, one per
+/// `(domain, queue)` pair seen in the trace, so Perfetto shows each
+/// queue's drain cadence as its own row. Single-queue drains (`qid:
+/// None`) stay on the domain track, byte-identical to the legacy layout.
 pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -82,13 +100,38 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
             str_arg(&format!("{name} (dom {tid})")),
         );
     }
+    // Per-queue tracks: pre-scan for (dom, qid) pairs so the metadata
+    // block is complete and deterministically ordered.
+    let mut queue_tracks: std::collections::BTreeSet<(u16, u16)> = Default::default();
+    for e in tracer.events() {
+        if let EventKind::RingDrain { qid: Some(q), .. } = e.kind {
+            queue_tracks.insert((e.dom, q));
+        }
+    }
+    for &(dom, q) in &queue_tracks {
+        let base = tracks
+            .iter()
+            .find(|&&(tid, _)| tid == dom)
+            .map(|(_, name)| name.as_str())
+            .unwrap_or("domain");
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            queue_tid(dom, q),
+            str_arg(&format!("{base}/q{q} (dom {dom})")),
+        );
+    }
     for e in tracer.events() {
         match &e.kind {
             EventKind::Hypercall { op, bytes, cost } => push_event(
                 &mut out,
                 &mut first,
                 op,
-                e.dom,
+                e.dom.into(),
                 e.at,
                 Some(*cost),
                 &[("bytes", bytes.to_string())],
@@ -102,7 +145,7 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
                 &mut out,
                 &mut first,
                 "gnttab_copy",
-                e.dom,
+                e.dom.into(),
                 e.at,
                 Some(*cost),
                 &[
@@ -120,7 +163,7 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
                 &mut out,
                 &mut first,
                 "notify",
-                e.dom,
+                e.dom.into(),
                 e.at,
                 Some(*cost),
                 &[
@@ -133,7 +176,7 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
                 &mut out,
                 &mut first,
                 "notify_delayed",
-                e.dom,
+                e.dom.into(),
                 e.at,
                 None,
                 &[("extra_ns", extra.as_nanos().to_string())],
@@ -142,7 +185,7 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
                 &mut out,
                 &mut first,
                 &format!("xenbus:{state}"),
-                e.dom,
+                e.dom.into(),
                 e.at,
                 None,
                 &[("path", str_arg(path))],
@@ -151,31 +194,38 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
                 &mut out,
                 &mut first,
                 &format!("lifecycle:{transition}"),
-                e.dom,
+                e.dom.into(),
                 e.at,
                 None,
                 &[("device", str_arg(device))],
             ),
             EventKind::RingDrain {
                 queue,
+                qid,
                 consumed,
                 delivered,
                 notify,
-            } => push_event(
-                &mut out,
-                &mut first,
-                queue,
-                e.dom,
-                e.at,
-                None,
-                &[
-                    ("consumed", consumed.to_string()),
-                    ("delivered", delivered.to_string()),
-                    ("notify", notify.to_string()),
-                ],
-            ),
+            } => {
+                let tid = match qid {
+                    Some(q) => queue_tid(e.dom, *q),
+                    None => e.dom.into(),
+                };
+                push_event(
+                    &mut out,
+                    &mut first,
+                    queue,
+                    tid,
+                    e.at,
+                    None,
+                    &[
+                        ("consumed", consumed.to_string()),
+                        ("delivered", delivered.to_string()),
+                        ("notify", notify.to_string()),
+                    ],
+                )
+            }
             EventKind::Milestone { what } => {
-                push_event(&mut out, &mut first, what, e.dom, e.at, None, &[])
+                push_event(&mut out, &mut first, what, e.dom.into(), e.at, None, &[])
             }
             EventKind::HealthTransition {
                 watched,
@@ -186,7 +236,7 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
                 &mut out,
                 &mut first,
                 &format!("health:{state}"),
-                e.dom,
+                e.dom.into(),
                 e.at,
                 None,
                 &[
@@ -309,6 +359,39 @@ mod tests {
         let a = export(&sample_tracer(), &tracks());
         let b = export(&sample_tracer(), &tracks());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_queue_drains_get_their_own_tracks() {
+        let mut t = Tracer::enabled(64);
+        t.set_now(Nanos::from_micros(2));
+        for q in 0..2u16 {
+            t.emit_with(2, || EventKind::RingDrain {
+                queue: "netback_tx",
+                qid: Some(q),
+                consumed: 8,
+                delivered: 8,
+                notify: true,
+            });
+        }
+        t.emit_with(2, || EventKind::RingDrain {
+            queue: "netback_rx",
+            qid: None,
+            consumed: 1,
+            delivered: 1,
+            notify: false,
+        });
+        let doc = export(&t, &[(2, "netbackend".into())]);
+        assert_eq!(validate(&doc), Ok(3));
+        // Each queue gets a named synthetic track; the qid-less drain
+        // stays on the domain track.
+        assert!(doc.contains("netbackend/q0 (dom 2)"), "{doc}");
+        assert!(doc.contains("netbackend/q1 (dom 2)"), "{doc}");
+        let q0 = queue_tid(2, 0);
+        let q1 = queue_tid(2, 1);
+        assert!(doc.contains(&format!("\"tid\":{q0},")), "{doc}");
+        assert!(doc.contains(&format!("\"tid\":{q1},")), "{doc}");
+        assert_ne!(q0, q1);
     }
 
     #[test]

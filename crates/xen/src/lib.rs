@@ -50,5 +50,5 @@ pub use iommu::{Iommu, IommuFault};
 pub use mem::{MachineMemory, PageId, PAGE_SIZE};
 pub use pci::{Bdf, PciBus, PciClass, PciDevice};
 pub use ring::{BackRing, FrontRing, RingEntry};
-pub use xenbus::{DeviceKind, DevicePaths, XenbusState};
+pub use xenbus::{DeviceKind, DevicePaths, QueueMode, XenbusState};
 pub use xenstore::{Perm, TxId, WatchEvent, WatchId, Xenstore};

@@ -105,6 +105,52 @@ impl DeviceKind {
     }
 }
 
+/// How many shared rings a backend device pair runs.
+///
+/// The multi-queue ablation knob threaded through the system layers:
+/// [`QueueMode::Single`] is the legacy one-ring layout; `Multi(n)`
+/// negotiates `n` queues through xenstore. `Multi(1)` normalizes to the
+/// same single-ring layout — both sides fall back to the legacy flat
+/// key scheme whenever the negotiated count is 1, so `Multi(1)` is
+/// behaviorally identical to `Single` by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueMode {
+    /// Legacy single shared ring (pre-multi-queue layout).
+    #[default]
+    Single,
+    /// `n` negotiated queues, each with its own ring(s) and event
+    /// channel under `queue-<k>/` subpaths.
+    Multi(u32),
+}
+
+impl QueueMode {
+    /// The queue count this mode asks for (at least 1).
+    pub fn queues(self) -> u32 {
+        match self {
+            QueueMode::Single => 1,
+            QueueMode::Multi(n) => n.max(1),
+        }
+    }
+
+    /// Stable label for scenario names, e.g. `"queues_4"`.
+    pub fn label(self) -> String {
+        format!("queues_{}", self.queues())
+    }
+}
+
+/// Frontend advertisement key: the most queues the frontend can drive.
+pub const MQ_MAX_QUEUES_KEY: &str = "multi-queue-max-queues";
+
+/// Negotiated queue-count key, written by the backend once it has
+/// clamped the frontend's advertisement to its own capacity.
+pub const MQ_NUM_QUEUES_KEY: &str = "multi-queue-num-queues";
+
+/// The negotiated queue count: the smaller of the two sides' maxima,
+/// never below 1. Either side offering 1 forces the legacy layout.
+pub fn negotiate_queues(front_max: u32, back_max: u32) -> u32 {
+    front_max.max(1).min(back_max.max(1))
+}
+
 /// Path helpers for one frontend/backend device pair.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DevicePaths {
@@ -155,6 +201,31 @@ impl DevicePaths {
     /// `/local/domain/<back>/backend/<kind>`.
     pub fn backend_root(back: DomainId, kind: DeviceKind) -> String {
         format!("/local/domain/{}/backend/{}", back.0, kind.as_str())
+    }
+
+    /// Per-queue frontend subdirectory:
+    /// `<frontend>/queue-<k>` (multi-queue layouts only).
+    pub fn queue_frontend(&self, k: u32) -> String {
+        format!("{}/queue-{}", self.frontend(), k)
+    }
+
+    /// Per-queue backend subdirectory:
+    /// `<backend>/queue-<k>` (multi-queue layouts only).
+    pub fn queue_backend(&self, k: u32) -> String {
+        format!("{}/queue-{}", self.backend(), k)
+    }
+
+    /// The frontend directory holding queue `k`'s ring keys under an
+    /// `nqueues`-queue layout: the flat legacy frontend area when the
+    /// negotiated count is 1, the `queue-<k>/` subdirectory otherwise.
+    /// Keeping the count-of-one case on the flat layout is what makes
+    /// [`QueueMode::Multi`]`(1)` byte-identical to the legacy protocol.
+    pub fn frontend_queue_root(&self, nqueues: u32, k: u32) -> String {
+        if nqueues <= 1 {
+            self.frontend()
+        } else {
+            self.queue_frontend(k)
+        }
     }
 
     /// Frontend `state` node path.
@@ -254,6 +325,25 @@ mod tests {
             DevicePaths::backend_root(DomainId(1), DeviceKind::Vbd),
             "/local/domain/1/backend/vbd"
         );
+    }
+
+    #[test]
+    fn queue_paths_and_negotiation() {
+        let p = DevicePaths::new(DomainId(2), DomainId(1), DeviceKind::Vif, 0);
+        assert_eq!(p.queue_frontend(3), "/local/domain/2/device/vif/0/queue-3");
+        assert_eq!(
+            p.queue_backend(0),
+            "/local/domain/1/backend/vif/2/0/queue-0"
+        );
+        // Negotiated count of 1 keeps the legacy flat layout.
+        assert_eq!(p.frontend_queue_root(1, 0), p.frontend());
+        assert_eq!(p.frontend_queue_root(4, 2), p.queue_frontend(2));
+        assert_eq!(negotiate_queues(8, 4), 4);
+        assert_eq!(negotiate_queues(2, 8), 2);
+        assert_eq!(negotiate_queues(0, 4), 1, "zero offers clamp to one");
+        assert_eq!(QueueMode::Single.queues(), 1);
+        assert_eq!(QueueMode::Multi(0).queues(), 1);
+        assert_eq!(QueueMode::Multi(4).label(), "queues_4");
     }
 
     #[test]

@@ -4,17 +4,21 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --trace out.json
+//! cargo run --release --example quickstart -- --queues 4 --trace out.json
 //! ```
 //!
 //! With `--trace <path>`, the run records every hypercall, notify,
 //! xenbus transition and ring drain, and exports a Chrome-trace JSON
-//! (open it at <https://ui.perfetto.dev>).
+//! (open it at <https://ui.perfetto.dev>). With `--queues <n>`, the
+//! vif pair negotiates `n` queues on an `n`-vCPU driver domain and the
+//! trace shows one ring-drain track per queue.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use kite::sim::Nanos;
 use kite::system::{addrs, BackendOs, NetSystem, Reply, Side};
+use kite::xen::QueueMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,11 +26,26 @@ fn main() {
         .iter()
         .position(|a| a == "--trace")
         .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
+    let queues: u32 = args
+        .iter()
+        .position(|a| a == "--queues")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--queues needs a count")
+                .parse()
+                .expect("--queues takes a number")
+        })
+        .unwrap_or(1);
+    let mode = if queues <= 1 {
+        QueueMode::Single
+    } else {
+        QueueMode::Multi(queues)
+    };
 
     // One call assembles the paper's Figure 2: Dom0, a Kite driver domain
     // with the NIC passed through, a 22-vCPU guest with netfront, and an
     // external client — with the xenbus handshake already at Connected.
-    let mut sys = NetSystem::new(BackendOs::Kite, /* seed */ 42);
+    let mut sys = NetSystem::new_with_queues(BackendOs::Kite, /* seed */ 42, mode);
     if trace_path.is_some() {
         sys.enable_tracing(kite::trace::DEFAULT_CAPACITY);
     }
@@ -50,15 +69,20 @@ fn main() {
         Vec::new()
     }));
 
-    // Send one message and run the event loop to quiescence.
-    sys.send_udp_at(
-        Nanos::from_millis(1),
-        Side::Client,
-        addrs::GUEST,
-        7,
-        40000,
-        b"hello through the driver domain".to_vec(),
-    );
+    // Send one message per flow and run the event loop to quiescence.
+    // Multi-queue runs use several flows per queue (distinct source
+    // ports) so Toeplitz steering lands traffic on every ring.
+    let flows: u16 = if queues <= 1 { 1 } else { queues as u16 * 8 };
+    for f in 0..flows {
+        sys.send_udp_at(
+            Nanos::from_millis(1 + u64::from(f)),
+            Side::Client,
+            addrs::GUEST,
+            7,
+            40000 + f,
+            b"hello through the driver domain".to_vec(),
+        );
+    }
     sys.run_to_quiescence();
 
     let echoed = echoed.borrow();
@@ -70,6 +94,7 @@ fn main() {
     }
     // All reporting goes through the shared snapshot rendering.
     let mut snap = sys.metrics_snapshot("quickstart/echo");
+    snap.push_int("queues", "count", sys.queue_count() as u64);
     snap.push_int("echo_replies", "count", echoed.len() as u64);
     snap.push_int(
         "driver_hypercalls",
@@ -77,7 +102,7 @@ fn main() {
         sys.hv.meter(sys.driver_domain()).total_count(),
     );
     print!("{}", snap.render_text());
-    assert_eq!(echoed.len(), 1, "the echo must arrive");
+    assert_eq!(echoed.len(), flows as usize, "every echo must arrive");
 
     if let Some(path) = trace_path {
         let doc = sys.hv.export_chrome_trace();

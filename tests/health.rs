@@ -330,3 +330,75 @@ fn slo_breach_marks_backend_suspect() {
         "the suspect transition is traced"
     );
 }
+
+/// Only ONE of four netback queues wedges: the domain keeps
+/// heartbeating and the other three queues keep consuming, so aggregate
+/// ring progress looks healthy — per-queue stall probing is the only
+/// detector that can catch it. The watchdog must still declare failure
+/// within the probe-schedule bound, recover, and renegotiate all four
+/// queues without losing an accepted frame.
+#[test]
+fn net_watchdog_detects_single_wedged_queue_via_ring_stall() {
+    use kite::net::{flow, EtherType, EthernetFrame, IpProto, Ipv4Packet, MacAddr, UdpDatagram};
+    use kite_xen::QueueMode;
+    let mut sys = NetSystem::new_with_queues(BackendOs::Kite, 42, QueueMode::Multi(4));
+    sys.enable_tracing(1 << 16);
+    sys.enable_watchdog(MonitorConfig::default());
+    let received: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    let r2 = received.clone();
+    sys.set_client_app(Box::new(move |_, _| {
+        *r2.borrow_mut() += 1;
+        Vec::new()
+    }));
+    const FLOWS: u64 = 8;
+    for i in 0..MSGS {
+        sys.send_udp_at(
+            Nanos::from_millis(1 + 250 * i),
+            Side::Guest,
+            addrs::CLIENT,
+            9999,
+            3000 + (i % FLOWS) as u16,
+            vec![i as u8; 1400],
+        );
+    }
+    // Wedge exactly the queue flow 0 steers to, so the frozen ring is
+    // guaranteed to keep receiving (and never consuming) requests.
+    let udp = UdpDatagram::new(3000, 9999, vec![0u8; 8]);
+    let ip = Ipv4Packet::new(
+        addrs::GUEST,
+        addrs::CLIENT,
+        IpProto::Udp,
+        udp.encode(addrs::GUEST, addrs::CLIENT),
+    );
+    let probe_frame = EthernetFrame::new(
+        MacAddr::local(9),
+        MacAddr::local(8),
+        EtherType::Ipv4,
+        ip.encode(),
+    )
+    .encode();
+    let q = flow::steer(&probe_frame, 4) as usize;
+    sys.wedge_queue_at(Nanos::from_secs(2), q);
+    sys.run_to_quiescence();
+    assert!(sys.backend_alive(), "backend back up");
+    assert_eq!(sys.recovery.reconnects, 1);
+    assert_eq!(sys.recovery.crashes, 0, "a wedge is not a kill");
+    assert_eq!(sys.recovery.hangs, 0, "a wedge is not a full livelock");
+    assert_eq!(sys.queue_count(), 4, "replacement renegotiated every queue");
+    let got = *received.borrow();
+    assert!(
+        got >= MSGS - sys.guest_tx_dropped(),
+        "{got} delivered — acked frames lost"
+    );
+    let span = sys
+        .hv
+        .trace
+        .query()
+        .span_between("wedge", "detect")
+        .expect("wedge and detect milestones present");
+    assert!(span > Nanos::ZERO, "detection takes time");
+    assert!(
+        span <= MonitorConfig::default().detect_bound(),
+        "stall detection latency {span:?} out of bound"
+    );
+}
