@@ -15,13 +15,15 @@ use std::hint::black_box;
 
 use kite_core::BlkbackTuning;
 use kite_sim::Nanos;
-use kite_system::{BackendOs, IoKind, IoOp, StorSystem};
+use kite_system::{BackendOs, IoKind, IoOp, SystemConfig};
 use kite_xen::CopyMode;
 
 /// Runs 8 MiB of 128 KiB writes; returns elapsed virtual time in ns.
 fn run(tuning: BlkbackTuning, mode: CopyMode) -> u64 {
-    let mut sys = StorSystem::with_tuning(BackendOs::Kite, 1, tuning);
-    sys.set_copy_mode(mode);
+    let mut sys = SystemConfig::new(BackendOs::Kite, 1)
+        .tuning(tuning)
+        .copy_mode(mode)
+        .build_stor();
     const CHUNK: usize = 128 * 1024;
     let mut t = Nanos::from_micros(100);
     for i in 0..64u64 {

@@ -6,10 +6,10 @@
 
 use std::io::Write as _;
 
-use kite_sim::Nanos;
+use kite_sim::{Nanos, SchedulerKind};
 use kite_system::{
     addrs, render_top, BackendOs, DetectionMode, IoKind, IoOp, MonitorConfig, NetSystem, Side,
-    StorSystem,
+    SystemConfig,
 };
 use kite_trace::metrics::{render_json, validate_json};
 use kite_trace::MetricsSnapshot;
@@ -133,8 +133,10 @@ pub fn recovery_snapshot(os: BackendOs, seed: u64) -> MetricsSnapshot {
 pub fn ablation_snapshot() -> MetricsSnapshot {
     use kite_core::BlkbackTuning;
     fn run(tuning: BlkbackTuning, mode: CopyMode) -> u64 {
-        let mut sys = StorSystem::with_tuning(BackendOs::Kite, 1, tuning);
-        sys.set_copy_mode(mode);
+        let mut sys = SystemConfig::new(BackendOs::Kite, 1)
+            .tuning(tuning)
+            .copy_mode(mode)
+            .build_stor();
         const CHUNK: usize = 128 * 1024;
         let mut t = Nanos::from_micros(100);
         for i in 0..64u64 {
@@ -184,7 +186,9 @@ pub fn netback_queue_cycle(queues: u32, seed: u64) -> NetSystem {
     } else {
         QueueMode::Multi(queues)
     };
-    let mut sys = NetSystem::new_with_queues(BackendOs::Kite, seed, mode);
+    let mut sys = SystemConfig::new(BackendOs::Kite, seed)
+        .queue_mode(mode)
+        .build_net();
     for i in 0..512u64 {
         // 64 flows, distinguished by source port, 8 messages each; the
         // burst arrives faster than one vCPU drains it, so the elapsed
@@ -230,7 +234,9 @@ pub fn blkback_ring_snapshot(rings: u32, seed: u64) -> MetricsSnapshot {
     } else {
         QueueMode::Multi(rings)
     };
-    let mut sys = StorSystem::new_with_queues(BackendOs::Kite, seed, mode);
+    let mut sys = SystemConfig::new(BackendOs::Kite, seed)
+        .queue_mode(mode)
+        .build_stor();
     const CHUNK: usize = 128 * 1024;
     let mut t = Nanos::from_micros(100);
     for i in 0..64u64 {
@@ -259,6 +265,70 @@ pub fn blkback_ring_snapshot(rings: u32, seed: u64) -> MetricsSnapshot {
         "mbps",
         stats.write_bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e6,
     );
+    snap
+}
+
+/// Wall-clock scheduler throughput on the fleet-drain microbench:
+/// 128 Ki concurrent retransmit timers; each fired timer re-arms its
+/// flow, and eight acked flows get their timers cancelled and re-armed
+/// — the cancel-heavy churn a fleet of protocol state machines puts on
+/// the scheduler (retransmit timers are overwhelmingly cancelled, not
+/// fired). Delays spread 1 µs – 1 s so the wheel exercises several
+/// levels. The event *counts* are deterministic (seeded Pcg); only the
+/// `events_per_sec` rate is wall-clock and varies run to run, which is
+/// why `scripts/verify.sh` filters these rows from its byte-determinism
+/// diff and instead asserts wheel ≥ heap.
+pub fn scheduler_throughput_snapshot(kind: SchedulerKind) -> MetricsSnapshot {
+    use kite_sim::{EventId, EventSched, Pcg, Scheduler};
+    const FLOWS: usize = 1 << 17;
+    const WARMUP: u64 = 1 << 17;
+    const POPS: u64 = 1 << 18;
+    const ACKS_PER_EVENT: u32 = 8;
+    let mut sched: EventSched<u32> = EventSched::new(kind);
+    let mut rng = Pcg::seeded(0xf1ee7);
+    let mut jitter = move || Nanos::from_nanos(1_000 + rng.index(999_999_001) as u64);
+    let mut pending: Vec<Option<EventId>> = vec![None; FLOWS];
+    for f in 0..FLOWS as u32 {
+        let at = sched.now() + jitter();
+        pending[f as usize] = Some(sched.schedule_at(at, f));
+    }
+    let mut vic_rng = Pcg::seeded(0xaced);
+    let mut cancels = 0u64;
+    let mut churn = |sched: &mut EventSched<u32>, pops: u64, cancels: &mut u64| {
+        for _ in 0..pops {
+            let (now, flow) = sched.pop().expect("fleet timers never drain dry");
+            pending[flow as usize] = None;
+            let id = sched.schedule_at(now + jitter(), flow);
+            pending[flow as usize] = Some(id);
+            for _ in 0..ACKS_PER_EVENT {
+                let victim = vic_rng.index(FLOWS) as u32;
+                if let Some(vid) = pending[victim as usize].take() {
+                    if sched.cancel(vid) {
+                        *cancels += 1;
+                    }
+                }
+                let vid = sched.schedule_at(now + jitter(), victim);
+                pending[victim as usize] = Some(vid);
+            }
+        }
+    };
+    // Warmup lets slab, bucket and heap capacities reach steady state so
+    // the timed window measures scheduling, not allocator growth.
+    churn(&mut sched, WARMUP, &mut cancels);
+    cancels = 0;
+    let start = std::time::Instant::now();
+    churn(&mut sched, POPS, &mut cancels);
+    let wall = start.elapsed();
+    let name = match kind {
+        SchedulerKind::Heap => "heap",
+        SchedulerKind::Wheel => "wheel",
+    };
+    let mut snap = MetricsSnapshot::new(format!("mechanisms/sim_events_per_sec_{name}"));
+    snap.push_int("flows", "count", FLOWS as u64);
+    snap.push_int("events", "count", POPS);
+    snap.push_int("cancels", "count", cancels);
+    snap.push_int("pending_after", "count", sched.len() as u64);
+    snap.push_float("events_per_sec", "rate", POPS as f64 / wall.as_secs_f64());
     snap
 }
 
@@ -308,6 +378,8 @@ pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
     ];
     snaps.extend(queue_scaling_snapshots());
     snaps.push(ablation_snapshot());
+    snaps.push(scheduler_throughput_snapshot(SchedulerKind::Heap));
+    snaps.push(scheduler_throughput_snapshot(SchedulerKind::Wheel));
     snaps
 }
 

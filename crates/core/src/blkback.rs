@@ -238,6 +238,23 @@ pub struct BlkbackInstance {
     stats: BlkbackStats,
     device_sectors: u64,
     copy_mode: CopyMode,
+    // Drain-path scratch, recycled across calls so a warmed-up request
+    // thread performs no bookkeeping allocations.
+    scratch_runs: Vec<Run>,
+    scratch_run_reqs: Vec<u64>,
+    scratch_flushes: Vec<u64>,
+}
+
+/// A mergeable device run pending submission: contiguous same-op
+/// requests batched into one NVMe operation. The owning request ids
+/// live in a shared scratch buffer (`scratch_run_reqs`) starting at
+/// `reqs_start` — runs are built append-only, so each run's ids are a
+/// contiguous slice ending where the next run's begin.
+struct Run {
+    sector: u64,
+    bytes: usize,
+    op: u8,
+    reqs_start: usize,
 }
 
 impl BlkbackInstance {
@@ -345,6 +362,9 @@ impl BlkbackInstance {
             stats: BlkbackStats::default(),
             device_sectors,
             copy_mode: CopyMode::Batched,
+            scratch_runs: Vec::new(),
+            scratch_run_reqs: Vec::new(),
+            scratch_flushes: Vec::new(),
         })
     }
 
@@ -543,15 +563,9 @@ impl BlkbackInstance {
         if self.rings[q].wedged {
             return Ok(batch);
         }
-        // (sector, len, op) runs pending merge, with owning request ids.
-        struct Run {
-            sector: u64,
-            bytes: usize,
-            op: u8,
-            reqs: Vec<u64>,
-        }
-        let mut runs: Vec<Run> = Vec::new();
-        let mut flushes: Vec<u64> = Vec::new();
+        let mut runs = std::mem::take(&mut self.scratch_runs);
+        let mut run_reqs = std::mem::take(&mut self.scratch_run_reqs);
+        let mut flushes = std::mem::take(&mut self.scratch_flushes);
 
         for _ in 0..budget {
             let req = {
@@ -655,20 +669,20 @@ impl BlkbackInstance {
                         && r.sector + (r.bytes / SECTOR_SIZE) as u64 == start =>
                 {
                     r.bytes += bytes;
-                    r.reqs.push(id);
                 }
                 _ => runs.push(Run {
                     sector: start,
                     bytes,
                     op,
-                    reqs: vec![id],
+                    reqs_start: run_reqs.len(),
                 }),
             }
+            run_reqs.push(id);
         }
 
         // Submit merged runs to the device.
         let submit_at = now + batch.cost;
-        for r in &runs {
+        for (k, r) in runs.iter().enumerate() {
             let kind = if r.op == BLKIF_OP_READ {
                 NvmeOp::Read
             } else {
@@ -676,14 +690,15 @@ impl BlkbackInstance {
             };
             let done = device.submit(submit_at, kind, r.sector, r.bytes);
             self.stats.device_ops += 1;
-            for &id in &r.reqs {
+            let reqs_end = runs.get(k + 1).map_or(run_reqs.len(), |n| n.reqs_start);
+            for &id in &run_reqs[r.reqs_start..reqs_end] {
                 batch.submissions.push(BlkSubmission {
                     req_id: id,
                     completes_at: done,
                 });
             }
         }
-        for id in flushes {
+        for &id in &flushes {
             let done = device.submit(submit_at, NvmeOp::Flush, 0, 0);
             self.stats.device_ops += 1;
             batch.submissions.push(BlkSubmission {
@@ -706,6 +721,12 @@ impl BlkbackInstance {
                 notify: false,
             });
         }
+        runs.clear();
+        run_reqs.clear();
+        flushes.clear();
+        self.scratch_runs = runs;
+        self.scratch_run_reqs = run_reqs;
+        self.scratch_flushes = flushes;
         Ok(batch)
     }
 

@@ -159,6 +159,12 @@ pub struct NetbackInstance {
     pub rx_queue_cap: usize,
     profile: OsProfile,
     stats: NetbackStats,
+    // Drain-path scratch, recycled across calls so a warmed-up drain
+    // performs no bookkeeping allocations (frame payloads still
+    // allocate — they leave the instance).
+    scratch_tx: Vec<(u16, usize, Option<usize>)>,
+    scratch_rx: Vec<(u16, usize)>,
+    scratch_ops: Vec<GrantCopyOp>,
 }
 
 fn connect_queue(hv: &mut Hypervisor, paths: &DevicePaths, root: &str) -> Result<NbQueue> {
@@ -250,6 +256,9 @@ impl NetbackInstance {
             rx_queue_cap: 512,
             profile,
             stats: NetbackStats::default(),
+            scratch_tx: Vec::new(),
+            scratch_rx: Vec::new(),
+            scratch_ops: Vec::new(),
         })
     }
 
@@ -328,8 +337,8 @@ impl NetbackInstance {
         }
         // A consumed request: its response id, and the index of its op in
         // the copy batch (None when validation already rejected it).
-        let mut pending: Vec<(u16, usize, Option<usize>)> = Vec::new();
-        let mut ops: Vec<GrantCopyOp> = Vec::new();
+        let mut pending = std::mem::take(&mut self.scratch_tx);
+        let mut ops = std::mem::take(&mut self.scratch_ops);
         for _ in 0..budget {
             let req = {
                 let qu = &mut self.queues[q];
@@ -415,6 +424,10 @@ impl NetbackInstance {
                 notify,
             });
         }
+        pending.clear();
+        ops.clear();
+        self.scratch_tx = pending;
+        self.scratch_ops = ops;
         Ok(batch)
     }
 
@@ -498,8 +511,8 @@ impl NetbackInstance {
             return Ok(batch);
         }
         // (response id, frame length) per op, in ring order.
-        let mut posted: Vec<(u16, usize)> = Vec::new();
-        let mut ops: Vec<GrantCopyOp> = Vec::new();
+        let mut posted = std::mem::take(&mut self.scratch_rx);
+        let mut ops = std::mem::take(&mut self.scratch_ops);
         for _ in 0..budget {
             if self.queues[q].to_guest.is_empty() {
                 break;
@@ -581,6 +594,10 @@ impl NetbackInstance {
                 notify,
             });
         }
+        posted.clear();
+        ops.clear();
+        self.scratch_rx = posted;
+        self.scratch_ops = ops;
         Ok(batch)
     }
 

@@ -3,7 +3,10 @@
 //! Every other crate in the workspace builds on the four primitives here:
 //!
 //! * [`time::Nanos`] — virtual time;
-//! * [`queue::EventQueue`] — a deterministic (stable-FIFO) event queue;
+//! * [`sched::Scheduler`] — the scheduling API, with two deterministic
+//!   (stable-FIFO) backends: [`queue::EventQueue`] (binary heap, the
+//!   oracle) and [`wheel::TimerWheel`] (hierarchical timer wheel, the
+//!   default hot path);
 //! * [`rng::Pcg`] — a seeded, replayable random number generator;
 //! * [`stats`] and [`resource`] — measurement taps and serializing
 //!   resource models (links, CPUs).
@@ -15,11 +18,15 @@
 pub mod queue;
 pub mod resource;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use queue::{EventId, EventQueue};
+pub use queue::EventQueue;
 pub use resource::{Cpu, CpuPool, Link, TxOutcome};
 pub use rng::Pcg;
+pub use sched::{EventId, EventSched, Scheduler, SchedulerKind};
 pub use stats::{BatchHistogram, Histogram, OnlineStats, RateMeter};
 pub use time::Nanos;
+pub use wheel::TimerWheel;

@@ -1,52 +1,25 @@
-//! The discrete-event queue at the heart of the simulation.
+//! The binary-heap scheduler backend — the correctness oracle.
 //!
 //! [`EventQueue`] is a priority queue keyed on virtual time with a FIFO
 //! tiebreak: two events scheduled for the same instant pop in the order they
 //! were pushed. That stability is what makes the whole reproduction
 //! deterministic — `BinaryHeap` alone would break ties arbitrarily.
+//!
+//! Payloads live in a generation-tagged slab ([`sched`](crate::sched)), so
+//! cancellation is O(1) without a tombstone side-table and `len()` counts
+//! live events exactly; the heap holds only `(time, seq, id)` keys and
+//! skips entries whose generation no longer matches.
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::sched::{Entry, EventId, Scheduler, Slab};
 use crate::time::Nanos;
 
-/// Identifies a scheduled event so it can be cancelled.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
-
-struct Scheduled<E> {
-    at: Nanos,
-    seq: u64,
-    id: EventId,
-    payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A stable, cancellable discrete-event queue.
+/// A stable, cancellable discrete-event queue (binary-heap backend).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<Entry>,
+    slab: Slab<E>,
     seq: u64,
-    cancelled: std::collections::HashSet<EventId>,
     now: Nanos,
 }
 
@@ -61,8 +34,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
+            slab: Slab::new(),
             seq: 0,
-            cancelled: std::collections::HashSet::new(),
             now: Nanos::ZERO,
         }
     }
@@ -78,12 +51,11 @@ impl<E> EventQueue<E> {
     /// before the current instant, which keeps handlers monotone.
     pub fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
         let at = at.max(self.now);
-        let id = EventId(self.seq);
-        self.heap.push(Scheduled {
+        let id = self.slab.insert(payload);
+        self.heap.push(Entry {
             at,
             seq: self.seq,
             id,
-            payload,
         });
         self.seq += 1;
         id
@@ -96,44 +68,70 @@ impl<E> EventQueue<E> {
 
     /// Cancels a previously scheduled event.
     ///
-    /// Returns `true` if the event had not yet fired. Cancellation is lazy:
-    /// the entry stays in the heap and is skipped on pop.
+    /// Returns `true` iff the event had not yet fired. Cancellation frees
+    /// the payload slot immediately; the heap entry stays behind and is
+    /// discarded on pop because its generation no longer matches.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // We cannot see inside the heap; optimistically record the tombstone
-        // and let pop() discard it. An id that already fired is a no-op.
-        if id.0 >= self.seq {
-            return false;
-        }
-        self.cancelled.insert(id)
+        self.slab.remove(id).is_some()
     }
 
     /// Pops the earliest pending event, advancing virtual time.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.id) {
-                continue;
+        while let Some(e) = self.heap.pop() {
+            if let Some(payload) = self.slab.remove(e.id) {
+                self.now = e.at;
+                return Some((e.at, payload));
             }
-            self.now = s.at;
-            return Some((s.at, s.payload));
         }
         None
     }
 
-    /// Timestamp of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<Nanos> {
-        // Cancelled entries may sit at the top; this is a lower bound, which
-        // is all callers need (they re-check on pop).
-        self.heap.peek().map(|s| s.at)
+    /// Exact timestamp of the next pending event, if any.
+    ///
+    /// Stale cancelled entries at the top of the heap are discarded on
+    /// the way, so the returned time is exact, not a lower bound.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        while let Some(e) = self.heap.peek() {
+            if self.slab.contains(e.id) {
+                return Some(e.at);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
-    /// Number of pending (possibly including cancelled) entries.
+    /// Number of pending events (exact; cancelled events are not counted).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.slab.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.len() == self.cancelled.len()
+        self.slab.len() == 0
+    }
+}
+
+impl<E> Scheduler<E> for EventQueue<E> {
+    fn now(&self) -> Nanos {
+        EventQueue::now(self)
+    }
+    fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
+        EventQueue::schedule_at(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<Nanos> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
     }
 }
 
@@ -194,9 +192,19 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_false() {
-        let mut q: EventQueue<&str> = EventQueue::new();
-        assert!(!q.cancel(EventId(99)));
+    fn cancel_after_pop_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(Nanos(10), "fired");
+        assert_eq!(q.pop(), Some((Nanos(10), "fired")));
+        // Regression (the old tombstone design got this wrong): a cancel
+        // for an already-popped id is a no-op that must not skew the
+        // live-event accounting.
+        assert!(!q.cancel(id));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.schedule_at(Nanos(20), "next");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Nanos(20), "next")));
     }
 
     #[test]
@@ -208,20 +216,28 @@ mod tests {
     }
 
     #[test]
-    fn is_empty_accounts_for_cancellations() {
+    fn len_is_exact_under_cancellation() {
         let mut q = EventQueue::new();
-        let id = q.schedule_at(Nanos(10), 1);
+        let a = q.schedule_at(Nanos(10), 1);
+        let _b = q.schedule_at(Nanos(20), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        // The stale heap entry is invisible to the accounting.
+        assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
-        q.cancel(id);
+        assert_eq!(q.pop(), Some((Nanos(20), 2)));
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
     }
 
     #[test]
-    fn peek_time_lower_bound() {
+    fn peek_time_is_exact_past_cancelled_entries() {
         let mut q = EventQueue::new();
         q.schedule_at(Nanos(10), 1);
-        q.schedule_at(Nanos(5), 2);
+        let early = q.schedule_at(Nanos(5), 2);
         assert_eq!(q.peek_time(), Some(Nanos(5)));
+        q.cancel(early);
+        // Not a lower bound: the cancelled top is skipped.
+        assert_eq!(q.peek_time(), Some(Nanos(10)));
     }
 }

@@ -4,6 +4,7 @@
 //! virtual time `t`, when does it finish?" — while tracking utilization so
 //! experiments can report CPU% (Figure 10b) and link saturation (Figure 6).
 
+use crate::sched::{EventId, Scheduler};
 use crate::time::Nanos;
 
 /// A point-to-point link with a fixed bit rate and propagation latency.
@@ -91,6 +92,26 @@ impl Link {
         }
     }
 
+    /// Attempts to transmit a frame of `bytes` at time `now`, scheduling
+    /// an arrival event on `sched` if the frame is accepted.
+    ///
+    /// `arrival` maps the arrival instant to the event payload; it runs
+    /// only on success, so a dropped frame costs no payload construction.
+    /// The returned outcome lets the caller account drops.
+    pub fn transmit_then<E, S: Scheduler<E>>(
+        &mut self,
+        sched: &mut S,
+        now: Nanos,
+        bytes: u64,
+        arrival: impl FnOnce(Nanos) -> E,
+    ) -> TxOutcome {
+        let outcome = self.transmit(now, bytes);
+        if let TxOutcome::Sent { arrives, .. } = outcome {
+            sched.schedule_at(arrives, arrival(arrives));
+        }
+        outcome
+    }
+
     /// Frames dropped due to queue overflow.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -146,6 +167,23 @@ impl Cpu {
         self.busy_accum += cost;
         self.slices += 1;
         done
+    }
+
+    /// Runs `cost` of work starting no earlier than `now` and schedules a
+    /// completion event on `sched` at the finish instant.
+    ///
+    /// `done` maps the completion time to the event payload. Returns the
+    /// completion time and the scheduled event's id (for cancellation).
+    pub fn run_then<E, S: Scheduler<E>>(
+        &mut self,
+        sched: &mut S,
+        now: Nanos,
+        cost: Nanos,
+        done: impl FnOnce(Nanos) -> E,
+    ) -> (Nanos, EventId) {
+        let finish = self.run(now, cost);
+        let id = sched.schedule_at(finish, done(finish));
+        (finish, id)
     }
 
     /// The earliest instant at which new work could begin.
@@ -215,6 +253,21 @@ impl CpuPool {
     pub fn run_on(&mut self, idx: usize, now: Nanos, cost: Nanos) -> Nanos {
         let n = self.cpus.len();
         self.cpus[idx % n].run(now, cost)
+    }
+
+    /// Runs `cost` on vCPU `idx % len` starting no earlier than `now`
+    /// and schedules a completion event on `sched`: the pool analogue of
+    /// [`Cpu::run_then`].
+    pub fn run_on_then<E, S: Scheduler<E>>(
+        &mut self,
+        sched: &mut S,
+        idx: usize,
+        now: Nanos,
+        cost: Nanos,
+        done: impl FnOnce(Nanos) -> E,
+    ) -> (Nanos, EventId) {
+        let n = self.cpus.len();
+        self.cpus[idx % n].run_then(sched, now, cost, done)
     }
 
     /// The earliest instant at which new work could begin on vCPU
@@ -372,6 +425,24 @@ mod tests {
         assert!(!pool.idle_at(Nanos::from_micros(19)));
         assert!(pool.idle_at(Nanos::from_micros(20)));
         assert_eq!(pool.busy(), Nanos::from_micros(50));
+    }
+
+    #[test]
+    fn run_then_and_transmit_then_schedule_completions() {
+        use crate::sched::{EventSched, Scheduler, SchedulerKind};
+        let mut sched: EventSched<&str> = EventSched::new(SchedulerKind::Wheel);
+        let mut pool = CpuPool::new(2);
+        let (done, _id) =
+            pool.run_on_then(&mut sched, 0, Nanos::ZERO, Nanos::from_micros(10), |_| {
+                "cpu-done"
+            });
+        assert_eq!(done, Nanos::from_micros(10));
+        let mut l = Link::new(1_000_000_000, Nanos::from_micros(5), u64::MAX);
+        let tx = l.transmit_then(&mut sched, Nanos::ZERO, 125, |_| "frame-arrives");
+        assert!(matches!(tx, TxOutcome::Sent { .. }));
+        assert_eq!(sched.pop(), Some((Nanos::from_micros(6), "frame-arrives")));
+        assert_eq!(sched.pop(), Some((Nanos::from_micros(10), "cpu-done")));
+        assert_eq!(sched.pop(), None);
     }
 
     #[test]

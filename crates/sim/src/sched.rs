@@ -1,0 +1,297 @@
+//! The scheduling API: a [`Scheduler`] trait over pluggable backends.
+//!
+//! [`EventQueue`] (binary heap) is the oracle:
+//! small, obviously correct, comparison-based. [`TimerWheel`]
+//! (hierarchical timer wheel) is the default hot path: O(1) schedule and
+//! cancel, allocation-free dispatch in steady state. Both pop strictly in
+//! `(time, sequence)` order, so for the same schedule calls they produce
+//! byte-identical runs — `tests/scheduler.rs` holds them to that.
+//!
+//! Event identity is a slab slot plus a generation counter. Cancelling
+//! frees the slot and bumps the generation, so a stale entry still inside
+//! a heap or wheel bucket can never resolve to a recycled id: there is no
+//! tombstone side-table, `len()` is exact, and cancellation is O(1).
+
+use crate::queue::EventQueue;
+use crate::time::Nanos;
+use crate::wheel::TimerWheel;
+
+/// Identifies a scheduled event so it can be cancelled.
+///
+/// Packs a slab slot and a generation tag. Ids are only meaningful to the
+/// scheduler that issued them; a recycled slot gets a new generation, so
+/// an id never aliases a later event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// The contract every backend must honour:
+///
+/// * events pop in `(time, schedule order)` order — FIFO among equal
+///   timestamps, which is what makes whole-system runs replayable;
+/// * `schedule_at` clamps times in the past to `now()`, so handlers stay
+///   monotone;
+/// * `pop` advances `now()` to the popped event's timestamp;
+/// * `cancel` returns `true` iff the event was still pending — cancelling
+///   a popped or already-cancelled id is `false`, never a double-free;
+/// * `len`/`is_empty` count live events exactly, cancelled ones excluded.
+pub trait Scheduler<E> {
+    /// Current virtual time (the timestamp of the last popped event).
+    fn now(&self) -> Nanos;
+
+    /// Schedules `payload` at absolute time `at` (clamped to `now()`).
+    fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId;
+
+    /// Schedules `payload` after a relative delay from now.
+    fn schedule_in(&mut self, delay: Nanos, payload: E) -> EventId {
+        let at = self.now() + delay;
+        self.schedule_at(at, payload)
+    }
+
+    /// Cancels a pending event. `true` iff it had not yet fired.
+    fn cancel(&mut self, id: EventId) -> bool;
+
+    /// Pops the earliest pending event, advancing virtual time.
+    fn pop(&mut self) -> Option<(Nanos, E)>;
+
+    /// Exact timestamp of the next pending event, if any.
+    ///
+    /// Takes `&mut self` so backends can discard stale cancelled entries
+    /// (heap) or cascade wheel levels — the returned time is exact, not a
+    /// lower bound.
+    fn peek_time(&mut self) -> Option<Nanos>;
+
+    /// Number of pending events (exact; cancelled events are not counted).
+    fn len(&self) -> usize;
+
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Slab of event payloads shared by every backend: slot-recycled storage
+/// with generation tags, so the hot path never touches the allocator and
+/// `cancel` is a bounds check plus a generation compare.
+pub(crate) struct Slab<E> {
+    slots: Vec<SlabSlot<E>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+struct SlabSlot<E> {
+    gen: u32,
+    payload: Option<E>,
+}
+
+impl<E> Slab<E> {
+    pub(crate) fn new() -> Slab<E> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, payload: E) -> EventId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.payload = Some(payload);
+            EventId { slot, gen: s.gen }
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("slab capacity");
+            self.slots.push(SlabSlot {
+                gen: 0,
+                payload: Some(payload),
+            });
+            EventId { slot, gen: 0 }
+        }
+    }
+
+    /// Frees `id` if it is still live, bumping the slot generation so any
+    /// stale heap/wheel entry for it can never match again.
+    pub(crate) fn remove(&mut self, id: EventId) -> Option<E> {
+        let s = self.slots.get_mut(id.slot as usize)?;
+        if s.gen != id.gen {
+            return None;
+        }
+        let payload = s.payload.take()?;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        Some(payload)
+    }
+
+    pub(crate) fn contains(&self, id: EventId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|s| s.gen == id.gen && s.payload.is_some())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// A pending-event key: everything a backend needs to order and resolve
+/// an event without touching its payload.
+#[derive(Clone, Copy)]
+pub(crate) struct Entry {
+    pub(crate) at: Nanos,
+    pub(crate) seq: u64,
+    pub(crate) id: EventId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first with
+        // a FIFO tiebreak on the schedule sequence number.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Which [`Scheduler`] backend a simulation uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Comparison-based binary heap — the correctness oracle.
+    Heap,
+    /// Hierarchical timer wheel — the default hot path.
+    #[default]
+    Wheel,
+}
+
+/// A [`Scheduler`] whose backend is chosen at construction time.
+///
+/// This is what the systems embed: config picks [`SchedulerKind`], the
+/// event loop stays backend-agnostic.
+pub enum EventSched<E> {
+    /// Binary-heap backend ([`EventQueue`]).
+    Heap(EventQueue<E>),
+    /// Timer-wheel backend ([`TimerWheel`]).
+    Wheel(TimerWheel<E>),
+}
+
+impl<E> EventSched<E> {
+    /// Creates an empty scheduler of the requested kind at time zero.
+    pub fn new(kind: SchedulerKind) -> EventSched<E> {
+        match kind {
+            SchedulerKind::Heap => EventSched::Heap(EventQueue::new()),
+            SchedulerKind::Wheel => EventSched::Wheel(TimerWheel::new()),
+        }
+    }
+
+    /// The backend this scheduler dispatches to.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            EventSched::Heap(_) => SchedulerKind::Heap,
+            EventSched::Wheel(_) => SchedulerKind::Wheel,
+        }
+    }
+}
+
+impl<E> Default for EventSched<E> {
+    fn default() -> Self {
+        EventSched::new(SchedulerKind::default())
+    }
+}
+
+impl<E> Scheduler<E> for EventSched<E> {
+    fn now(&self) -> Nanos {
+        match self {
+            EventSched::Heap(q) => q.now(),
+            EventSched::Wheel(w) => w.now(),
+        }
+    }
+
+    fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
+        match self {
+            EventSched::Heap(q) => q.schedule_at(at, payload),
+            EventSched::Wheel(w) => w.schedule_at(at, payload),
+        }
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        match self {
+            EventSched::Heap(q) => q.cancel(id),
+            EventSched::Wheel(w) => w.cancel(id),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        match self {
+            EventSched::Heap(q) => q.pop(),
+            EventSched::Wheel(w) => w.pop(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<Nanos> {
+        match self {
+            EventSched::Heap(q) => q.peek_time(),
+            EventSched::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventSched::Heap(q) => q.len(),
+            EventSched::Wheel(w) => w.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_recycles_slots_with_fresh_generations() {
+        let mut slab: Slab<&str> = Slab::new();
+        let a = slab.insert("a");
+        assert_eq!(slab.remove(a), Some("a"));
+        let b = slab.insert("b");
+        // Same slot, new generation: the old id must not alias.
+        assert_eq!(a.slot, b.slot);
+        assert_ne!(a.gen, b.gen);
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn event_sched_dispatches_to_both_backends() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let mut s: EventSched<u32> = EventSched::new(kind);
+            assert_eq!(s.kind(), kind);
+            s.schedule_at(Nanos(20), 2);
+            s.schedule_at(Nanos(10), 1);
+            let dead = s.schedule_at(Nanos(15), 99);
+            assert!(s.cancel(dead));
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.peek_time(), Some(Nanos(10)));
+            assert_eq!(s.pop(), Some((Nanos(10), 1)));
+            assert_eq!(s.pop(), Some((Nanos(20), 2)));
+            assert_eq!(s.pop(), None);
+            assert!(s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Hierarchical timer wheel: the O(1) scheduler hot path.
+//!
+//! Six levels of 64 slots each. A slot at level `l` spans `64^l` ticks,
+//! one tick being `2^tick_shift` nanoseconds (default 1024 ns), so the
+//! wheel covers `64^6` ticks ≈ 19 hours before far-future events are
+//! parked in the outermost slot and re-sorted as time approaches.
+//! Schedule and cancel are O(1); dispatch amortizes one bucket cascade
+//! per level rollover and touches the allocator only to grow capacity,
+//! never in steady state.
+//!
+//! Determinism: events whose tick has been reached sit in a small `ready`
+//! heap ordered by `(time, sequence)` — the same total order the binary
+//! heap backend uses. Because every event still inside the wheel is in a
+//! strictly later tick than everything in `ready`, popping `ready` yields
+//! the global `(time, sequence)` minimum: the wheel replays byte-for-byte
+//! identical to [`EventQueue`](crate::queue::EventQueue).
+
+use std::collections::BinaryHeap;
+
+use crate::sched::{Entry, EventId, Scheduler, Slab};
+use crate::time::Nanos;
+
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels.
+const LEVELS: usize = 6;
+/// Default tick granularity: `2^10` ns = 1.024 µs per tick. Sub-tick
+/// ordering is exact regardless — same-tick events sort by `(at, seq)`
+/// in the ready heap — the tick only bounds bucket residency.
+const DEFAULT_TICK_SHIFT: u32 = 10;
+
+/// A hierarchical-timer-wheel [`Scheduler`] backend.
+pub struct TimerWheel<E> {
+    /// `LEVELS * SLOTS` buckets, level-major. Bucket vectors are drained
+    /// in place and put back so their capacity is reused forever.
+    buckets: Vec<Vec<Entry>>,
+    /// One occupancy bitmap per level: bit `s` set iff bucket `s` holds
+    /// entries. Finding the next expiring slot is a rotate + ctz.
+    occupied: [u64; LEVELS],
+    /// Entries whose tick has been reached, ordered by `(at, seq)`.
+    ready: BinaryHeap<Entry>,
+    slab: Slab<E>,
+    seq: u64,
+    now: Nanos,
+    /// The wheel's current tick; `ready` holds only entries at or before
+    /// it, the wheel only entries strictly after it.
+    cur_tick: u64,
+    tick_shift: u32,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel at time zero with the default 1.024 µs tick.
+    pub fn new() -> TimerWheel<E> {
+        TimerWheel::with_tick_shift(DEFAULT_TICK_SHIFT)
+    }
+
+    /// Creates an empty wheel whose tick is `2^tick_shift` nanoseconds.
+    ///
+    /// Smaller ticks cascade more, larger ticks put more events in one
+    /// ready batch; neither affects pop order, which is always exact.
+    pub fn with_tick_shift(tick_shift: u32) -> TimerWheel<E> {
+        assert!(tick_shift < 34, "tick must stay below 2^34 ns");
+        TimerWheel {
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            ready: BinaryHeap::new(),
+            slab: Slab::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+            cur_tick: 0,
+            tick_shift,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let id = self.slab.insert(payload);
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            id,
+        };
+        self.seq += 1;
+        let tick = at.as_nanos() >> self.tick_shift;
+        if tick <= self.cur_tick {
+            self.ready.push(entry);
+        } else {
+            let (level, slot) = self.position(tick);
+            self.buckets[level * SLOTS + slot].push(entry);
+            self.occupied[level] |= 1 << slot;
+        }
+        id
+    }
+
+    /// Schedules `payload` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: Nanos, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a pending event: a generation compare and a slot free.
+    ///
+    /// The bucket entry stays behind and is skipped when its slot drains —
+    /// its generation no longer matches. Returns `true` iff the event was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.slab.remove(id).is_some()
+    }
+
+    /// Pops the earliest pending event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        loop {
+            while let Some(e) = self.ready.pop() {
+                if let Some(payload) = self.slab.remove(e.id) {
+                    self.now = e.at;
+                    return Some((e.at, payload));
+                }
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    /// Exact timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        loop {
+            while let Some(e) = self.ready.peek() {
+                if self.slab.contains(e.id) {
+                    return Some(e.at);
+                }
+                self.ready.pop();
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    /// Number of pending events (exact; cancelled events are not counted).
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.slab.len() == 0
+    }
+
+    /// Picks the wheel position for an event in tick `tick > cur_tick`.
+    ///
+    /// The level is the innermost whose slot index for `tick` is within
+    /// 63 slots of the current position — that guarantees the chosen slot
+    /// starts strictly after `cur_tick`, so nothing is filed into a slot
+    /// that already expired.
+    fn position(&self, tick: u64) -> (usize, usize) {
+        let mask = SLOTS as u64 - 1;
+        let mut level = 0usize;
+        loop {
+            let shift = SLOT_BITS * level as u32;
+            let dist = (tick >> shift) - (self.cur_tick >> shift);
+            if dist < SLOTS as u64 {
+                return (level, ((tick >> shift) & mask) as usize);
+            }
+            if level == LEVELS - 1 {
+                // Beyond the wheel horizon: park in the farthest
+                // outermost slot; the cascade re-sorts it as time
+                // approaches.
+                let units = (self.cur_tick >> shift) + (SLOTS as u64 - 1);
+                return (level, (units & mask) as usize);
+            }
+            level += 1;
+        }
+    }
+
+    /// The next expiring slot across all levels: `(expiry_tick, level,
+    /// slot)` minimal by expiry. Ties prefer the outermost level so
+    /// cascades land before their tick's level-0 bucket is delivered.
+    fn next_slot(&self) -> Option<(u64, usize, usize)> {
+        let mask = SLOTS as u64 - 1;
+        let mut best: Option<(u64, usize, usize)> = None;
+        for level in 0..LEVELS {
+            let occ = self.occupied[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let pos = ((self.cur_tick >> shift) & mask) as u32;
+            let dist = u64::from(occ.rotate_right(pos).trailing_zeros());
+            let units = (self.cur_tick >> shift) + dist;
+            let expiry = units << shift;
+            // `<=` keeps the highest level among equal expiries: levels
+            // iterate innermost-first.
+            if best.is_none_or(|(b, _, _)| expiry <= b) {
+                best = Some((expiry, level, (units & mask) as usize));
+            }
+        }
+        best
+    }
+
+    /// Advances the wheel until `ready` holds the earliest pending
+    /// entries (cascading outer levels as needed). Returns `false` when
+    /// nothing is pending anywhere.
+    fn refill(&mut self) -> bool {
+        loop {
+            let Some((expiry, level, slot)) = self.next_slot() else {
+                return !self.ready.is_empty();
+            };
+            if !self.ready.is_empty() && expiry > self.cur_tick {
+                // Everything still in the wheel is in a strictly later
+                // tick than the entries already staged.
+                return true;
+            }
+            let idx = level * SLOTS + slot;
+            let mut bucket = std::mem::take(&mut self.buckets[idx]);
+            self.occupied[level] &= !(1u64 << slot);
+            self.cur_tick = self.cur_tick.max(expiry);
+            if level == 0 {
+                for e in bucket.drain(..) {
+                    self.ready.push(e);
+                }
+                self.buckets[idx] = bucket;
+                return true;
+            }
+            // Cascade: redistribute an outer bucket one or more levels
+            // down (or straight to `ready` once its tick is reached).
+            for e in bucket.drain(..) {
+                let tick = e.at.as_nanos() >> self.tick_shift;
+                if tick <= self.cur_tick {
+                    self.ready.push(e);
+                } else {
+                    let (l, s) = self.position(tick);
+                    self.buckets[l * SLOTS + s].push(e);
+                    self.occupied[l] |= 1 << s;
+                }
+            }
+            self.buckets[idx] = bucket;
+        }
+    }
+}
+
+impl<E> Scheduler<E> for TimerWheel<E> {
+    fn now(&self) -> Nanos {
+        TimerWheel::now(self)
+    }
+    fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
+        TimerWheel::schedule_at(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        TimerWheel::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        TimerWheel::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<Nanos> {
+        TimerWheel::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        TimerWheel::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        TimerWheel::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut w = TimerWheel::new();
+        // One event per level distance, scheduled shuffled.
+        let times = [
+            Nanos(3),                    // ready (tick 0)
+            Nanos(50 << 10),             // level 0
+            Nanos(5_000 << 10),          // level 1
+            Nanos(300_000 << 10),        // level 2
+            Nanos(20_000_000 << 10),     // level 3
+            Nanos(1_200_000_000 << 10),  // level 4
+            Nanos(70_000_000_000 << 10), // level 5
+        ];
+        for (i, t) in times.iter().enumerate().rev() {
+            w.schedule_at(*t, i);
+        }
+        for (i, t) in times.iter().enumerate() {
+            assert_eq!(w.pop(), Some((*t, i)), "event {i}");
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut w = TimerWheel::new();
+        for i in 0..100 {
+            w.schedule_at(Nanos(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(w.pop(), Some((Nanos(5), i)));
+        }
+    }
+
+    #[test]
+    fn same_tick_different_nanos_stay_ordered() {
+        let mut w = TimerWheel::new();
+        // All inside one 1024 ns tick, scheduled out of order.
+        w.schedule_at(Nanos(900), "c");
+        w.schedule_at(Nanos(100), "a");
+        w.schedule_at(Nanos(500), "b");
+        assert_eq!(w.pop(), Some((Nanos(100), "a")));
+        assert_eq!(w.pop(), Some((Nanos(500), "b")));
+        assert_eq!(w.pop(), Some((Nanos(900), "c")));
+    }
+
+    #[test]
+    fn beyond_horizon_events_cascade_back() {
+        let mut w = TimerWheel::new();
+        // Far beyond the 64^6-tick horizon.
+        let far = Nanos((1u64 << 36) * 1024 * 3);
+        w.schedule_at(far, "far");
+        w.schedule_at(Nanos(10), "near");
+        assert_eq!(w.pop(), Some((Nanos(10), "near")));
+        assert_eq!(w.pop(), Some((far, "far")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_exact_and_len_stays_live_count() {
+        let mut w = TimerWheel::new();
+        let a = w.schedule_at(Nanos(10), "a");
+        let b = w.schedule_at(Nanos(200_000), "b");
+        assert_eq!(w.len(), 2);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "double cancel is false");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.peek_time(), Some(Nanos(200_000)));
+        assert_eq!(w.pop(), Some((Nanos(200_000), "b")));
+        assert!(!w.cancel(b), "cancel after pop is false");
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn interleaves_schedules_during_drain() {
+        let mut w = TimerWheel::new();
+        w.schedule_at(Nanos(1000), 1u32);
+        assert_eq!(w.pop(), Some((Nanos(1000), 1)));
+        // Past times clamp to now; future ones land correctly even after
+        // the wheel has advanced.
+        w.schedule_at(Nanos(10), 2);
+        w.schedule_in(Nanos(100), 3);
+        assert_eq!(w.pop(), Some((Nanos(1000), 2)));
+        assert_eq!(w.pop(), Some((Nanos(1100), 3)));
+    }
+}

@@ -1,0 +1,167 @@
+//! One builder for both systems: [`SystemConfig`].
+//!
+//! The constructor proliferation it replaces (`new`, `new_with_queues`,
+//! `with_tuning`, `with_tuning_queues`, then `set_copy_mode` /
+//! `enable_watchdog` / `enable_tracing` calls sprinkled after) collapses
+//! into a single fluent description of a scenario that either
+//! [`build_net`](SystemConfig::build_net) or
+//! [`build_stor`](SystemConfig::build_stor) consumes. The old
+//! constructors survive as thin wrappers, but new code should not use
+//! them (clippy's `disallowed-methods` steers it here).
+
+use kite_core::BlkbackTuning;
+use kite_health::{MonitorConfig, SloConfig};
+use kite_sim::SchedulerKind;
+use kite_xen::{CopyMode, QueueMode};
+
+use crate::netsys::{BackendOs, NetSystem};
+use crate::storsys::StorSystem;
+
+/// Describes a full-system scenario; build it into a [`NetSystem`] or a
+/// [`StorSystem`].
+///
+/// ```
+/// use kite_system::{BackendOs, SystemConfig};
+/// use kite_sim::SchedulerKind;
+///
+/// let sys = SystemConfig::new(BackendOs::Kite, 42)
+///     .queues(4)
+///     .scheduler(SchedulerKind::Heap)
+///     .tracing(1 << 16)
+///     .build_net();
+/// assert_eq!(sys.queue_count(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    pub(crate) os: BackendOs,
+    pub(crate) seed: u64,
+    pub(crate) queue_mode: QueueMode,
+    pub(crate) copy_mode: CopyMode,
+    pub(crate) watchdog: Option<MonitorConfig>,
+    pub(crate) slo: Option<SloConfig>,
+    pub(crate) tracing: Option<usize>,
+    pub(crate) scheduler: SchedulerKind,
+    pub(crate) tuning: BlkbackTuning,
+}
+
+impl SystemConfig {
+    /// Starts a config with the two parameters every scenario needs: the
+    /// driver-domain OS and the determinism seed. Everything else
+    /// defaults to the paper's canonical single-queue setup.
+    pub fn new(os: BackendOs, seed: u64) -> SystemConfig {
+        SystemConfig {
+            os,
+            seed,
+            queue_mode: QueueMode::Single,
+            copy_mode: CopyMode::default(),
+            watchdog: None,
+            slo: None,
+            tracing: None,
+            scheduler: SchedulerKind::default(),
+            tuning: BlkbackTuning::default(),
+        }
+    }
+
+    /// Number of device queues: `1` is the legacy single-queue layout,
+    /// `n > 1` negotiates `n` ring pairs on an `n`-vCPU driver domain.
+    pub fn queues(mut self, n: u32) -> SystemConfig {
+        self.queue_mode = if n <= 1 {
+            QueueMode::Single
+        } else {
+            QueueMode::Multi(n)
+        };
+        self
+    }
+
+    /// Sets the queue layout explicitly (e.g. `QueueMode::Multi(1)`,
+    /// which is behaviorally identical to `Single` but exercises the
+    /// negotiation path).
+    pub fn queue_mode(mut self, mode: QueueMode) -> SystemConfig {
+        self.queue_mode = mode;
+        self
+    }
+
+    /// Grant-copy strategy for the backend data path.
+    pub fn copy_mode(mut self, mode: CopyMode) -> SystemConfig {
+        self.copy_mode = mode;
+        self
+    }
+
+    /// Enables the active watchdog (heartbeats + Dom0 probes) from time
+    /// zero instead of the failure oracle.
+    pub fn watchdog(mut self, cfg: MonitorConfig) -> SystemConfig {
+        self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Sets the request-latency SLO the watchdog folds into its verdict.
+    pub fn slo(mut self, cfg: SloConfig) -> SystemConfig {
+        self.slo = Some(cfg);
+        self
+    }
+
+    /// Enables structured tracing with an event-ring capacity of `cap`.
+    pub fn tracing(mut self, cap: usize) -> SystemConfig {
+        self.tracing = Some(cap);
+        self
+    }
+
+    /// Picks the scheduler backend (timer wheel by default; the binary
+    /// heap is the equivalence oracle).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> SystemConfig {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Blkback optimization switches (storage systems only).
+    pub fn tuning(mut self, tuning: BlkbackTuning) -> SystemConfig {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Builds the network scenario (client ⇄ NIC ⇄ driver domain ⇄
+    /// guest) with this configuration applied.
+    pub fn build_net(self) -> NetSystem {
+        let mut sys = NetSystem::from_config(&self);
+        self.finish_net(&mut sys);
+        sys
+    }
+
+    /// Builds the storage scenario (guest ⇄ blkfront ⇄ driver domain ⇄
+    /// NVMe) with this configuration applied.
+    pub fn build_stor(self) -> StorSystem {
+        let mut sys = StorSystem::from_config(&self);
+        self.finish_stor(&mut sys);
+        sys
+    }
+
+    fn finish_net(&self, sys: &mut NetSystem) {
+        if let Some(cap) = self.tracing {
+            sys.enable_tracing(cap);
+        }
+        if self.copy_mode != CopyMode::default() {
+            sys.set_copy_mode(self.copy_mode);
+        }
+        if let Some(slo) = self.slo {
+            sys.set_slo(slo);
+        }
+        if let Some(cfg) = self.watchdog {
+            sys.enable_watchdog(cfg);
+        }
+    }
+
+    fn finish_stor(&self, sys: &mut StorSystem) {
+        if let Some(cap) = self.tracing {
+            sys.enable_tracing(cap);
+        }
+        if self.copy_mode != CopyMode::default() {
+            sys.set_copy_mode(self.copy_mode);
+        }
+        if let Some(slo) = self.slo {
+            sys.set_slo(slo);
+        }
+        if let Some(cfg) = self.watchdog {
+            sys.enable_watchdog(cfg);
+        }
+    }
+}

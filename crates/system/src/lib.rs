@@ -7,8 +7,12 @@
 //! either the Kite or the Linux [`netsys::BackendOs`] profile, which is
 //! how every Kite-vs-Linux figure is produced.
 
+pub mod config;
 pub mod netsys;
 pub mod storsys;
+
+pub use config::SystemConfig;
+pub use kite_sim::SchedulerKind;
 
 pub use kite_health::{
     render_top, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,

@@ -32,13 +32,18 @@ use kite_net::{
     UdpDatagram,
 };
 use kite_rumprun::{kite_boot, kite_profile, BootSequence, OsProfile};
-use kite_sim::{Cpu, CpuPool, EventQueue, Histogram, Link, Nanos, OnlineStats, Pcg, TxOutcome};
+use kite_sim::{
+    Cpu, CpuPool, EventSched, Histogram, Link, Nanos, OnlineStats, Pcg, Scheduler, SchedulerKind,
+    TxOutcome,
+};
 use kite_trace::{EventKind, MetricsSnapshot};
 use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
-    Hypervisor, Port, QueueMode, XenbusState,
+    Hypervisor, Notification, Port, QueueMode, XenbusState,
 };
+
+use crate::config::SystemConfig;
 
 /// Which OS runs the driver domain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -219,7 +224,7 @@ pub struct NetSystem {
     pub hv: Hypervisor,
     /// Which OS the driver domain runs.
     pub os: BackendOs,
-    queue: EventQueue<Event>,
+    queue: EventSched<Event>,
     profile: OsProfile,
     driver: DomainId,
     guest: DomainId,
@@ -275,18 +280,29 @@ pub struct NetSystem {
 impl NetSystem {
     /// Builds the full scenario with the paper's domain layout and runs
     /// the xenbus connection handshake to `Connected` on both ends
-    /// (single-queue legacy layout).
+    /// (single-queue legacy layout). Shorthand for
+    /// `SystemConfig::new(os, seed).build_net()`.
     pub fn new(os: BackendOs, seed: u64) -> NetSystem {
-        NetSystem::new_with_queues(os, seed, QueueMode::Single)
+        SystemConfig::new(os, seed).build_net()
     }
 
-    /// Like [`NetSystem::new`], but with `queues` device queues: the
-    /// driver domain gets one vCPU per queue, the toolstack advertises
+    /// Like [`NetSystem::new`], but with `queues` device queues.
+    ///
+    /// Thin compatibility wrapper over [`SystemConfig`]; new code should
+    /// use the builder (`SystemConfig::new(..).queue_mode(..)`), which
+    /// also exposes copy mode, watchdog, tracing and scheduler choice.
+    pub fn new_with_queues(os: BackendOs, seed: u64, queues: QueueMode) -> NetSystem {
+        SystemConfig::new(os, seed).queue_mode(queues).build_net()
+    }
+
+    /// Builds the scenario from a [`SystemConfig`]: the driver domain
+    /// gets one vCPU per queue, the toolstack advertises
     /// `multi-queue-max-queues` on the backend, and the frontend
     /// negotiates that many ring pairs. `QueueMode::Multi(1)` takes the
     /// identical code path as `Single` (no multi-queue keys are ever
     /// written), so the two are behaviorally indistinguishable.
-    pub fn new_with_queues(os: BackendOs, seed: u64, queues: QueueMode) -> NetSystem {
+    pub(crate) fn from_config(cfg: &SystemConfig) -> NetSystem {
+        let (os, seed, queues) = (cfg.os, cfg.seed, cfg.queue_mode);
         let nqueues = queues.queues();
         let mut profile = os.profile();
         // Run-to-run noise: real machines vary a little between runs
@@ -359,7 +375,7 @@ impl NetSystem {
         NetSystem {
             hv,
             os,
-            queue: EventQueue::new(),
+            queue: EventSched::new(cfg.scheduler),
             profile,
             driver,
             guest,
@@ -581,6 +597,21 @@ impl NetSystem {
     }
 
     // ---- internals -----------------------------------------------------
+
+    /// Schedules delivery of an event-channel notification raised at
+    /// `done`: the one pattern every evtchn kick funnels through.
+    fn sched_irq(&mut self, done: Nanos, n: Option<Notification>) {
+        if let Some(n) = n {
+            let delay = self.hv.irq_delay();
+            self.queue.schedule_at(
+                done + delay,
+                Event::Irq {
+                    dom: n.domain,
+                    port: n.port,
+                },
+            );
+        }
+    }
 
     fn guest_cpu_run(&mut self, now: Nanos, cost: Nanos) -> Nanos {
         // Least-loaded dispatch over the DomU's 22 vCPUs.
@@ -811,11 +842,13 @@ impl NetSystem {
     /// Client machine puts a frame on the wire toward the server NIC.
     fn client_transmit(&mut self, now: Nanos, frame: Vec<u8>) {
         let wire_len = frame.len() as u64 + 24;
-        match self.client_link.transmit(now, wire_len) {
-            TxOutcome::Sent { arrives, .. } => {
-                self.queue.schedule_at(arrives, Event::WireToServer(frame));
-            }
-            TxOutcome::Dropped => self.metrics.drops += 1,
+        let sent = self
+            .client_link
+            .transmit_then(&mut self.queue, now, wire_len, |_| {
+                Event::WireToServer(frame)
+            });
+        if sent == TxOutcome::Dropped {
+            self.metrics.drops += 1;
         }
     }
 
@@ -862,16 +895,7 @@ impl NetSystem {
             // during an undetected-outage window is simply lost.
             if let Ok((n, send_cost)) = self.hv.evtchn_send(self.guest, port) {
                 let done = self.guest_cpu_run(now, send_cost);
-                if let Some(n) = n {
-                    let delay = self.hv.irq_delay();
-                    self.queue.schedule_at(
-                        done + delay,
-                        Event::Irq {
-                            dom: n.domain,
-                            port: n.port,
-                        },
-                    );
-                }
+                self.sched_irq(done, n);
             }
         }
     }
@@ -992,16 +1016,7 @@ impl NetSystem {
                 if batch.notify {
                     let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
                     let done = self.driver_cpus.run_on(q, done, c);
-                    if let Some(n) = n {
-                        let delay = self.hv.irq_delay();
-                        self.queue.schedule_at(
-                            done + delay,
-                            Event::Irq {
-                                dom: n.domain,
-                                port: n.port,
-                            },
-                        );
-                    }
+                    self.sched_irq(done, n);
                 }
                 if !batch.more && !had {
                     break;
@@ -1030,16 +1045,7 @@ impl NetSystem {
                 if batch.notify {
                     let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
                     let done = self.driver_cpus.run_on(q, done, c);
-                    if let Some(n) = n {
-                        let delay = self.hv.irq_delay();
-                        self.queue.schedule_at(
-                            done + delay,
-                            Event::Irq {
-                                dom: n.domain,
-                                port: n.port,
-                            },
-                        );
-                    }
+                    self.sched_irq(done, n);
                 }
                 if batch.delivered == 0 {
                     break; // either no frames queued or no Rx buffers posted
@@ -1309,16 +1315,7 @@ impl NetSystem {
                         // have died without the frontend knowing yet.
                         if let Ok((n, c)) = self.hv.evtchn_send(self.guest, evtchn) {
                             done = self.guest_cpu_run(done, c);
-                            if let Some(n) = n {
-                                let delay = self.hv.irq_delay();
-                                self.queue.schedule_at(
-                                    done + delay,
-                                    Event::Irq {
-                                        dom: n.domain,
-                                        port: n.port,
-                                    },
-                                );
-                            }
+                            self.sched_irq(done, n);
                         }
                     }
                     while let Some(frame) = self.netfront.as_mut().expect("checked").recv() {
@@ -1412,6 +1409,11 @@ impl NetSystem {
     /// Events processed (diagnostics).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// The scheduler backend this system's event loop runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
     }
 
     /// Turns on structured tracing with an event-ring capacity of `cap`.

@@ -20,14 +20,15 @@ use kite_health::{
     ProgressSample, SloConfig, TopRow, TopSnapshot,
 };
 use kite_rumprun::BootSequence;
-use kite_sim::{Cpu, CpuPool, EventQueue, Histogram, Nanos, Pcg};
+use kite_sim::{Cpu, CpuPool, EventSched, Histogram, Nanos, Pcg, Scheduler, SchedulerKind};
 use kite_trace::{EventKind, MetricsSnapshot};
 use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
-    Hypervisor, Port, QueueMode, XenbusState,
+    Hypervisor, Notification, Port, QueueMode, XenbusState,
 };
 
+use crate::config::SystemConfig;
 pub use crate::netsys::BackendOs;
 
 /// A logical I/O a workload submits.
@@ -139,7 +140,7 @@ pub struct StorSystem {
     pub hv: Hypervisor,
     /// Which OS the driver domain runs.
     pub os: BackendOs,
-    queue: EventQueue<Event>,
+    queue: EventSched<Event>,
     driver: DomainId,
     guest: DomainId,
     queue_mode: QueueMode,
@@ -194,28 +195,47 @@ pub struct StorSystem {
 impl StorSystem {
     /// Builds the scenario: a 500 GB-class NVMe passed through to the
     /// driver domain, blkfront in the guest, handshake to `Connected`.
+    /// Shorthand for `SystemConfig::new(os, seed).build_stor()`.
     pub fn new(os: BackendOs, seed: u64) -> StorSystem {
-        StorSystem::with_tuning(os, seed, BlkbackTuning::default())
+        SystemConfig::new(os, seed).build_stor()
     }
 
-    /// Builds the scenario with `queues` blkback rings on a driver domain
-    /// with one vCPU per ring (multi-queue ablations).
+    /// Builds the scenario with `queues` blkback rings.
+    ///
+    /// Thin compatibility wrapper over [`SystemConfig`]; new code should
+    /// use the builder.
     pub fn new_with_queues(os: BackendOs, seed: u64, queues: QueueMode) -> StorSystem {
-        StorSystem::with_tuning_queues(os, seed, BlkbackTuning::default(), queues)
+        SystemConfig::new(os, seed).queue_mode(queues).build_stor()
     }
 
     /// Builds the scenario with explicit blkback tuning (ablations).
+    ///
+    /// Thin compatibility wrapper over [`SystemConfig`]; new code should
+    /// use the builder.
     pub fn with_tuning(os: BackendOs, seed: u64, tuning: BlkbackTuning) -> StorSystem {
-        StorSystem::with_tuning_queues(os, seed, tuning, QueueMode::Single)
+        SystemConfig::new(os, seed).tuning(tuning).build_stor()
     }
 
     /// Builds the scenario with explicit tuning and ring count.
+    ///
+    /// Thin compatibility wrapper over [`SystemConfig`]; new code should
+    /// use the builder.
     pub fn with_tuning_queues(
         os: BackendOs,
         seed: u64,
         tuning: BlkbackTuning,
         queues: QueueMode,
     ) -> StorSystem {
+        SystemConfig::new(os, seed)
+            .tuning(tuning)
+            .queue_mode(queues)
+            .build_stor()
+    }
+
+    /// Builds the scenario from a [`SystemConfig`]: blkback rings on a
+    /// driver domain with one vCPU per ring (multi-queue ablations).
+    pub(crate) fn from_config(cfg: &SystemConfig) -> StorSystem {
+        let (os, seed, queues, tuning) = (cfg.os, cfg.seed, cfg.queue_mode, cfg.tuning);
         let nrings = queues.queues();
         let mut profile = os.profile();
         // Seed-derived run-to-run noise (see NetSystem::new).
@@ -272,13 +292,13 @@ impl StorSystem {
             Blkfront::connect_with_queues(&mut hv, &paths, nrings).expect("blkfront");
         let ready = mgr.drain_events(&mut hv).expect("events");
         assert_eq!(ready.len(), 1, "frontend discovered");
-        let cfg = BlkbackConfig {
+        let bb_cfg = BlkbackConfig {
             profile: profile.clone(),
             tuning,
             device_sectors: nvme.sectors,
         };
         let mut blkback: DeviceLifecycle<BlkbackInstance> =
-            DeviceLifecycle::new(ready[0].clone(), cfg);
+            DeviceLifecycle::new(ready[0].clone(), bb_cfg);
         blkback.connect(&mut hv).expect("blkback");
         blkfront.read_features(&mut hv, &paths).expect("features");
         let max_req_bytes = blkfront.max_request_bytes();
@@ -288,7 +308,7 @@ impl StorSystem {
         StorSystem {
             hv,
             os,
-            queue: EventQueue::new(),
+            queue: EventSched::new(cfg.scheduler),
             driver,
             guest,
             queue_mode: queues,
@@ -474,6 +494,11 @@ impl StorSystem {
         self.events_processed
     }
 
+    /// The scheduler backend this system's event loop runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
     /// Turns on structured tracing with an event-ring capacity of `cap`.
     pub fn enable_tracing(&mut self, cap: usize) {
         self.hv.trace.enable(cap);
@@ -519,6 +544,12 @@ impl StorSystem {
             return;
         };
         let done = self.guest_cpu_run(done, c);
+        self.sched_irq(done, n);
+    }
+
+    /// Schedules delivery of an event-channel notification raised at
+    /// `done`: the one pattern every evtchn kick funnels through.
+    fn sched_irq(&mut self, done: Nanos, n: Option<Notification>) {
         if let Some(n) = n {
             let delay = self.hv.irq_delay();
             self.queue.schedule_at(
@@ -972,16 +1003,7 @@ impl StorSystem {
                 if res.notify {
                     let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
                     let done = self.driver_cpus.run_on(res.ring, done, c);
-                    if let Some(n) = n {
-                        let delay = self.hv.irq_delay();
-                        self.queue.schedule_at(
-                            done + delay,
-                            Event::Irq {
-                                dom: n.domain,
-                                port: n.port,
-                            },
-                        );
-                    }
+                    self.sched_irq(done, n);
                 }
             }
             Event::DriverCrash => {

@@ -1,0 +1,127 @@
+//! Allocation-free drain guarantees, measured with a counting global
+//! allocator (one test so no other test thread pollutes the counter):
+//!
+//! 1. A warmed-up scheduler churn loop — pop, re-arm, cancel — performs
+//!    **zero** allocations on both backends: event slots recycle
+//!    through the slab, the wheel reuses bucket storage, the heap stays
+//!    within its high-water capacity.
+//! 2. A full 4-queue netback drain allocates identically across
+//!    identical traffic windows: per-frame payload allocations are
+//!    allowed (the data leaves the system), but nothing accumulates
+//!    per drain — no bookkeeping growth, no leak-shaped drift.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kite_sim::{EventSched, Nanos, Scheduler, SchedulerKind};
+use kite_system::{addrs, BackendOs, Side, SystemConfig};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Deterministic steady-state churn: every iteration pops one timer and
+/// re-arms it; every third iteration also cancels a victim and re-arms
+/// it. Live count stays constant, stale entries are bounded by the
+/// delay horizon, so a warmed-up scheduler has everything it needs.
+fn churn(sched: &mut EventSched<u32>, pending: &mut [Option<kite_sim::EventId>], iters: u32) {
+    // Two deterministic delay classes: short (level-0 buckets) and long
+    // (an outer wheel level), so the cascade path is exercised too.
+    let delay = |i: u32| {
+        if i.is_multiple_of(7) {
+            // ~2 ms sits in wheel level 1; its 64 slots rotate every
+            // ~4.2 ms of virtual time, so the warmup (≈11 ms) touches
+            // every slot the steady-state pattern can reach.
+            Nanos::from_micros(2_000)
+        } else {
+            Nanos::from_micros(50 + (i % 13) as u64)
+        }
+    };
+    for i in 0..iters {
+        let (now, flow) = sched.pop().expect("fleet never drains dry");
+        pending[flow as usize] = None;
+        pending[flow as usize] = Some(sched.schedule_at(now + delay(i), flow));
+        if i % 3 == 0 {
+            let victim = i.wrapping_mul(2_654_435_761) % pending.len() as u32;
+            if let Some(vid) = pending[victim as usize].take() {
+                sched.cancel(vid);
+            }
+            pending[victim as usize] = Some(sched.schedule_at(now + delay(i + 1), victim));
+        }
+    }
+}
+
+#[test]
+fn drain_paths_do_not_allocate_in_steady_state() {
+    // Phase 1: strict zero-alloc scheduler churn, both backends.
+    for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+        let mut sched: EventSched<u32> = EventSched::new(kind);
+        const FLEET: u32 = 1024;
+        let mut pending: Vec<Option<kite_sim::EventId>> = vec![None; FLEET as usize];
+        for f in 0..FLEET {
+            let at = sched.now() + Nanos::from_micros(1 + f as u64);
+            pending[f as usize] = Some(sched.schedule_at(at, f));
+        }
+        // Warmup: long enough that every bucket slot the steady-state
+        // pattern touches has been filled once and every capacity has
+        // hit its high-water mark.
+        churn(&mut sched, &mut pending, 1_000_000);
+        let before = allocs();
+        churn(&mut sched, &mut pending, 50_000);
+        assert_eq!(
+            allocs() - before,
+            0,
+            "scheduler churn allocated on {kind:?} backend"
+        );
+    }
+
+    // Phase 2: full 4-queue netback drain — identical windows allocate
+    // identically (frame payloads per window are fine; drift is not).
+    let mut sys = SystemConfig::new(BackendOs::Kite, 42).queues(4).build_net();
+    let window = |sys: &mut kite_system::NetSystem| {
+        let start = sys.now();
+        for i in 0..256u64 {
+            sys.send_udp_at(
+                start + Nanos::from_micros(10 + 20 * (i / 64)),
+                Side::Guest,
+                addrs::CLIENT,
+                9999,
+                1200 + (i % 64) as u16,
+                vec![i as u8; 1400],
+            );
+        }
+        let before = allocs();
+        sys.run_to_quiescence();
+        allocs() - before
+    };
+    let w: Vec<u64> = (0..8).map(|_| window(&mut sys)).collect();
+    // Windows can't be byte-equal: the system's cost-jitter Pcg state
+    // carries across windows, so wheel-bucket phase wobbles a handful
+    // of allocations either way. What must hold is flatness — any
+    // per-window bookkeeping leak would grow the later windows.
+    let (lo, hi) = (
+        *w[2..].iter().min().expect("nonempty"),
+        *w[2..].iter().max().expect("nonempty"),
+    );
+    assert!(
+        hi - lo <= lo / 100,
+        "4-queue netback drain allocations drift between identical windows: {w:?}"
+    );
+}

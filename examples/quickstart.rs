@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use kite::sim::Nanos;
-use kite::system::{addrs, BackendOs, NetSystem, Reply, Side};
+use kite::system::{addrs, BackendOs, Reply, Side, SystemConfig};
 use kite::xen::QueueMode;
 
 fn main() {
@@ -45,10 +45,11 @@ fn main() {
     // One call assembles the paper's Figure 2: Dom0, a Kite driver domain
     // with the NIC passed through, a 22-vCPU guest with netfront, and an
     // external client — with the xenbus handshake already at Connected.
-    let mut sys = NetSystem::new_with_queues(BackendOs::Kite, /* seed */ 42, mode);
+    let mut cfg = SystemConfig::new(BackendOs::Kite, /* seed */ 42).queue_mode(mode);
     if trace_path.is_some() {
-        sys.enable_tracing(kite::trace::DEFAULT_CAPACITY);
+        cfg = cfg.tracing(kite::trace::DEFAULT_CAPACITY);
     }
+    let mut sys = cfg.build_net();
 
     // The guest runs a tiny echo server.
     sys.set_guest_app(Box::new(|_, msg| {

@@ -12,10 +12,12 @@ use std::rc::Rc;
 
 use kite::core::BlkbackTuning;
 use kite::sim::Nanos;
-use kite::system::{BackendOs, IoKind, IoOp, StorSystem};
+use kite::system::{BackendOs, IoKind, IoOp, SystemConfig};
 
 fn sequential_write_read(tuning: BlkbackTuning, label: &str) {
-    let mut sys = StorSystem::with_tuning(BackendOs::Kite, 7, tuning);
+    let mut sys = SystemConfig::new(BackendOs::Kite, 7)
+        .tuning(tuning)
+        .build_stor();
     // 16 MiB of patterned data in 128 KiB logical writes.
     const CHUNK: usize = 128 * 1024;
     const TOTAL: usize = 16 * 1024 * 1024;

@@ -59,7 +59,18 @@ echo "==> repro --json: machine-readable bench snapshot"
 ./target/release/repro --json "$tdir/bench.json" > /dev/null
 [ -s "$tdir/bench.json" ] || { echo "verify: bench.json missing or empty" >&2; exit 1; }
 ./target/release/repro --json "$tdir/bench2.json" > /dev/null
-cmp "$tdir/bench.json" "$tdir/bench2.json" \
+# The sim_events_per_sec_* scenarios measure wall-clock scheduler
+# throughput — their event/cancel counts are deterministic but the
+# rate is not, so strip those scenarios before the byte comparison.
+for j in bench bench2; do
+    python3 - "$tdir/$j.json" "$tdir/$j.det.json" <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+det = [r for r in rows if not r["scenario"].startswith("mechanisms/sim_events_per_sec")]
+json.dump(det, open(sys.argv[2], "w"), sort_keys=True)
+EOF
+done
+cmp "$tdir/bench.det.json" "$tdir/bench2.det.json" \
     || { echo "verify: repro --json output not deterministic" >&2; exit 1; }
 
 echo "==> queue scaling: 4-queue netback must out-drain 1 queue"
@@ -78,6 +89,28 @@ q1 = tput["mechanisms/netback_queues_1"]
 q4 = tput["mechanisms/netback_queues_4"]
 assert q4 > q1, f"netback_queues_4 ({q4}) must beat netback_queues_1 ({q1})"
 EOF
+
+echo "==> scheduler throughput: wheel must not lose to the heap"
+# Wall-clock events/sec on the fleet-drain microbench. The shipped
+# BENCH_mechanisms.json records ~5x or better for the wheel; the gate
+# only requires wheel >= heap so it stays robust to noisy CI machines.
+python3 - "$tdir/bench.json" <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+eps = {
+    r["scenario"]: r["value"]
+    for r in rows
+    if r["metric"] == "events_per_sec"
+}
+heap = eps["mechanisms/sim_events_per_sec_heap"]
+wheel = eps["mechanisms/sim_events_per_sec_wheel"]
+assert wheel >= heap, f"timer wheel ({wheel:.0f} ev/s) lost to heap ({heap:.0f} ev/s)"
+EOF
+
+echo "==> allocation-free drain: counting-allocator test"
+# Re-run the zero-alloc gate on its own so an allocation regression on
+# the drain path is named explicitly, not buried in the suite above.
+cargo test --release --offline -q -p kite-system --test sched_alloc
 
 echo "==> repro top: kitetop snapshots are byte-identical"
 # The watchdog crash-cycle scenario renders from virtual-time state

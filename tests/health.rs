@@ -16,7 +16,9 @@ use std::rc::Rc;
 
 use kite_health::{render_top, HealthState, MonitorConfig, SloConfig};
 use kite_sim::Nanos;
-use kite_system::{addrs, BackendOs, DetectionMode, IoKind, IoOp, NetSystem, Side, StorSystem};
+use kite_system::{
+    addrs, BackendOs, DetectionMode, IoKind, IoOp, NetSystem, Side, StorSystem, SystemConfig,
+};
 use kite_xen::FaultPlan;
 
 const MSGS: u64 = 120;
@@ -341,9 +343,11 @@ fn slo_breach_marks_backend_suspect() {
 fn net_watchdog_detects_single_wedged_queue_via_ring_stall() {
     use kite::net::{flow, EtherType, EthernetFrame, IpProto, Ipv4Packet, MacAddr, UdpDatagram};
     use kite_xen::QueueMode;
-    let mut sys = NetSystem::new_with_queues(BackendOs::Kite, 42, QueueMode::Multi(4));
-    sys.enable_tracing(1 << 16);
-    sys.enable_watchdog(MonitorConfig::default());
+    let mut sys = SystemConfig::new(BackendOs::Kite, 42)
+        .queue_mode(QueueMode::Multi(4))
+        .tracing(1 << 16)
+        .watchdog(MonitorConfig::default())
+        .build_net();
     let received: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
     let r2 = received.clone();
     sys.set_client_app(Box::new(move |_, _| {

@@ -9,7 +9,7 @@ use kite::frontends::Netfront;
 use kite::net::MacAddr;
 use kite::rumprun::kite_profile;
 use kite::sim::Nanos;
-use kite::system::{addrs, BackendOs, IoKind, IoOp, NetSystem, Reply, Side, StorSystem};
+use kite::system::{addrs, BackendOs, IoKind, IoOp, NetSystem, Reply, Side};
 use kite::xen::xenbus::{read_state, switch_state};
 use kite::xen::{DeviceKind, DevicePaths, DomainKind, Hypervisor, XenbusState};
 
@@ -158,7 +158,9 @@ fn storage_correct_with_all_optimizations_off() {
         persistent_cap: 0,
         grant_copy: false,
     };
-    let mut sys = StorSystem::with_tuning(BackendOs::Kite, 5, tuning);
+    let mut sys = kite::system::SystemConfig::new(BackendOs::Kite, 5)
+        .tuning(tuning)
+        .build_stor();
     let data: Vec<u8> = (0..88 * 1024).map(|i| (i % 239) as u8).collect();
     sys.submit_at(
         Nanos::from_millis(1),

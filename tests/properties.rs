@@ -15,7 +15,7 @@ use kite::net::{
 };
 use kite::rumprun::kite_profile;
 use kite::sim::{Nanos, Pcg};
-use kite::system::{BackendOs, IoKind, IoOp, StorSystem};
+use kite::system::{BackendOs, IoKind, IoOp};
 use kite::xen::netif::{NetifRxRequest, NetifTxRequest, NetifTxResponse};
 use kite::xen::ring::{BackRing, FrontRing, RingEntry};
 use kite::xen::{
@@ -895,8 +895,10 @@ fn blkback_batched_matches_single_op() {
         ..BlkbackTuning::default()
     };
     let run = |mode: CopyMode, seed: u64| {
-        let mut sys = StorSystem::with_tuning(BackendOs::Kite, seed, tuning);
-        sys.set_copy_mode(mode);
+        let mut sys = kite::system::SystemConfig::new(BackendOs::Kite, seed)
+            .tuning(tuning)
+            .copy_mode(mode)
+            .build_stor();
         let mut rng = Pcg::new(seed, 0xb1);
         type CompletionLog = Rc<RefCell<Vec<(u64, bool, Option<Vec<u8>>)>>>;
         let reads: CompletionLog = Rc::new(RefCell::new(Vec::new()));
@@ -976,7 +978,9 @@ fn blkback_request_is_one_copy_batch() {
         persistent_cap: 0,
         ..BlkbackTuning::default()
     };
-    let mut sys = StorSystem::with_tuning(BackendOs::Kite, 3, tuning);
+    let mut sys = kite::system::SystemConfig::new(BackendOs::Kite, 3)
+        .tuning(tuning)
+        .build_stor();
     // 8 direct-sized writes: 16 KiB = 4 segments each, one batch apiece.
     let mut t = Nanos::from_micros(50);
     for i in 0..8u64 {
@@ -1079,7 +1083,7 @@ fn flow_steering_is_seed_stable_and_tuple_pure() {
 /// to one queue, and each queue is FIFO), with nothing dropped.
 #[test]
 fn per_flow_order_preserved_across_queue_counts() {
-    use kite::system::{addrs, NetSystem};
+    use kite::system::addrs;
     use kite::xen::QueueMode;
     const FLOWS: u64 = 8;
     const MSGS: u64 = 12;
@@ -1089,7 +1093,9 @@ fn per_flow_order_preserved_across_queue_counts() {
         } else {
             QueueMode::Multi(queues)
         };
-        let mut sys = NetSystem::new_with_queues(BackendOs::Kite, 42, mode);
+        let mut sys = kite::system::SystemConfig::new(BackendOs::Kite, 42)
+            .queue_mode(mode)
+            .build_net();
         let seen: Rc<RefCell<Vec<(u16, u8)>>> = Rc::new(RefCell::new(Vec::new()));
         let s2 = seen.clone();
         sys.set_client_app(Box::new(move |_, msg| {
@@ -1133,11 +1139,13 @@ fn per_flow_order_preserved_across_queue_counts() {
 /// trace export and metrics JSON as `QueueMode::Single`.
 #[test]
 fn multi_one_is_byte_equivalent_to_single() {
-    use kite::system::{addrs, NetSystem, Side};
+    use kite::system::{addrs, Side};
     use kite::xen::QueueMode;
     let run = |mode: QueueMode| {
-        let mut sys = NetSystem::new_with_queues(BackendOs::Kite, 77, mode);
-        sys.enable_tracing(1 << 16);
+        let mut sys = kite::system::SystemConfig::new(BackendOs::Kite, 77)
+            .queue_mode(mode)
+            .tracing(1 << 16)
+            .build_net();
         for i in 0..60u64 {
             sys.send_udp_at(
                 Nanos::from_millis(1 + 7 * i),

@@ -299,7 +299,9 @@ fn trace_export_is_byte_identical_across_same_seed_runs() {
 fn multi_queue_driver_recovers_all_queues_without_acked_loss() {
     use kite_xen::QueueMode;
     for hang in [false, true] {
-        let mut sys = NetSystem::new_with_queues(BackendOs::Kite, 42, QueueMode::Multi(4));
+        let mut sys = kite_system::SystemConfig::new(BackendOs::Kite, 42)
+            .queue_mode(QueueMode::Multi(4))
+            .build_net();
         assert_eq!(sys.queue_count(), 4, "all queues negotiated at boot");
         let seen: Rc<RefCell<Vec<(u16, u8)>>> = Rc::new(RefCell::new(Vec::new()));
         let s2 = seen.clone();
