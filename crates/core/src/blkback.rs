@@ -17,6 +17,15 @@
 //! thread; responses are pushed asynchronously from device-completion
 //! callbacks so later requests are never blocked behind earlier ones.
 //!
+//! The device side is submit-then-reap over NVMe queue pairs: each ring
+//! lazily creates one I/O SQ/CQ pair whose completion vector is steered
+//! to the ring's own vCPU, posts its whole merged batch, rings the
+//! doorbell once, and later reaps CQ entries in
+//! [`BlkbackInstance::reap_completions`] when the system layer delivers
+//! the completion interrupt. Each queue pair keeps its own sequential
+//! cursor inside the controller, so rings never poison each other's
+//! sequential detection.
+//!
 //! When the frontend negotiated `multi-queue-num-queues = n`, the
 //! instance runs `n` independent rings, each with its own event channel,
 //! request thread, persistent-grant cache and bounce pool (per-ring, as
@@ -26,7 +35,7 @@
 
 use std::collections::HashMap;
 
-use kite_devices::{Nvme, NvmeOp};
+use kite_devices::{NvmeCmd, NvmeController, NvmeOp, QueueId};
 use kite_rumprun::OsProfile;
 use kite_sim::Nanos;
 use kite_trace::EventKind;
@@ -130,35 +139,44 @@ impl BlkbackStats {
     }
 }
 
-/// A request submitted to the device; the system layer schedules the
-/// completion callback at `completes_at`.
+/// A request that failed validation and never reached the device; the
+/// system layer schedules its error response at `respond_at`.
 #[derive(Clone, Copy, Debug)]
-pub struct BlkSubmission {
+pub struct BlkFailure {
     /// The frontend's request id.
     pub req_id: u64,
-    /// When the device finishes all of this request's operations.
-    pub completes_at: Nanos,
+    /// When the error response becomes deliverable.
+    pub respond_at: Nanos,
 }
 
 /// Result of one request-thread batch.
 #[derive(Debug, Default)]
 pub struct BlkBatch {
-    /// Requests now in flight on the device.
-    pub submissions: Vec<BlkSubmission>,
+    /// Requests rejected during validation — they bypass the device and
+    /// complete through [`BlkbackInstance::complete`].
+    pub failures: Vec<BlkFailure>,
+    /// Completion interrupts to schedule: `(ring, fire_at)` per CQ entry
+    /// the doorbell posted. The system layer delivers each by calling
+    /// [`BlkbackInstance::reap_completions`] on the vCPU of the queue
+    /// pair's MSI-X vector.
+    pub cq_irqs: Vec<(usize, Nanos)>,
     /// vCPU cost of parsing, mapping and copying.
     pub cost: Nanos,
     /// More ring requests remain after the budget.
     pub more: bool,
 }
 
-/// Result of a completion callback.
+/// Result of a completion callback or CQ reap.
 #[derive(Debug, Default)]
 pub struct BlkComplete {
-    /// The frontend must be notified.
-    pub notify: bool,
-    /// The ring the response was pushed on — where the notify goes.
-    pub ring: usize,
-    /// vCPU cost of the callback (response push, unmaps).
+    /// Bitmask of rings whose frontend must be notified (bit `q` →
+    /// notify on [`BlkbackInstance::port_of`]`(q)`). A reap normally
+    /// touches only its own ring; rings sharing a queue pair (controller
+    /// cap exhausted) can fan out.
+    pub notify_rings: u64,
+    /// Requests completed by this call.
+    pub completed: u32,
+    /// vCPU cost of the callback (response pushes, unmaps).
     pub cost: Nanos,
 }
 
@@ -219,6 +237,10 @@ struct BbRing {
     persistent: PersistentCache,
     /// Lazily grown bounce pages staging grant-copy payloads.
     bounce: Vec<PageId>,
+    /// The NVMe I/O queue pair this ring submits through, created on the
+    /// first drain (connect has no device access). The completion vector
+    /// is steered to this ring's vCPU.
+    qid: Option<QueueId>,
     /// Fault-injection: a wedged ring's request thread never runs.
     wedged: bool,
 }
@@ -234,6 +256,8 @@ pub struct BlkbackInstance {
     rings: Vec<BbRing>,
     tuning: BlkbackTuning,
     in_flight: HashMap<u64, InFlight>,
+    /// NVMe command id → the frontend request ids a merged run carries.
+    cids: HashMap<u64, Vec<u64>>,
     profile: OsProfile,
     stats: BlkbackStats,
     device_sectors: u64,
@@ -243,6 +267,7 @@ pub struct BlkbackInstance {
     scratch_runs: Vec<Run>,
     scratch_run_reqs: Vec<u64>,
     scratch_flushes: Vec<u64>,
+    spare_cid_reqs: Vec<Vec<u64>>,
 }
 
 /// A mergeable device run pending submission: contiguous same-op
@@ -347,6 +372,7 @@ impl BlkbackInstance {
                 _ring_map: ring_map.handle,
                 persistent: PersistentCache::new(tuning.persistent_cap),
                 bounce: Vec::new(),
+                qid: None,
                 wedged: false,
             });
         }
@@ -358,6 +384,7 @@ impl BlkbackInstance {
             rings,
             tuning,
             in_flight: HashMap::new(),
+            cids: HashMap::new(),
             profile,
             stats: BlkbackStats::default(),
             device_sectors,
@@ -365,6 +392,7 @@ impl BlkbackInstance {
             scratch_runs: Vec::new(),
             scratch_run_reqs: Vec::new(),
             scratch_flushes: Vec::new(),
+            spare_cid_reqs: Vec::new(),
         })
     }
 
@@ -381,6 +409,34 @@ impl BlkbackInstance {
     /// Ring `q`'s backend-local event-channel port.
     pub fn port_of(&self, q: usize) -> Port {
         self.rings[q].evtchn
+    }
+
+    /// The NVMe queue pair ring `q` submits through, once its first
+    /// drain has created it.
+    pub fn qid_of(&self, q: usize) -> Option<QueueId> {
+        self.rings[q].qid
+    }
+
+    /// Ensures ring `q` has an I/O queue pair, creating one with its
+    /// completion vector steered to vCPU `q` (one ring ↔ one vCPU in the
+    /// driver domain's `CpuPool`). If the controller's queue cap is
+    /// already exhausted, the ring shares an existing pair round-robin —
+    /// the same degradation blk-mq applies when a device offers fewer
+    /// hardware queues than there are contexts.
+    fn ensure_queue(&mut self, device: &mut NvmeController, q: usize) -> QueueId {
+        if let Some(qid) = self.rings[q].qid {
+            return qid;
+        }
+        let qid = device.create_io_queues(q).unwrap_or_else(|| {
+            let shared: Vec<QueueId> = self.rings.iter().filter_map(|r| r.qid).collect();
+            assert!(
+                !shared.is_empty(),
+                "NVMe controller has no I/O queue pair available for blkback"
+            );
+            shared[q % shared.len()]
+        });
+        self.rings[q].qid = Some(qid);
+        qid
     }
 
     /// True if `port` belongs to any of this instance's rings.
@@ -554,7 +610,7 @@ impl BlkbackInstance {
     pub fn request_thread_run(
         &mut self,
         hv: &mut Hypervisor,
-        device: &mut Nvme,
+        device: &mut NvmeController,
         q: usize,
         now: Nanos,
         budget: usize,
@@ -595,9 +651,9 @@ impl BlkbackInstance {
             }
             if op != BLKIF_OP_READ && op != BLKIF_OP_WRITE {
                 self.fail_request(id, op, q);
-                batch.submissions.push(BlkSubmission {
+                batch.failures.push(BlkFailure {
                     req_id: id,
-                    completes_at: now + batch.cost,
+                    respond_at: now + batch.cost,
                 });
                 continue;
             }
@@ -605,9 +661,9 @@ impl BlkbackInstance {
                 Ok(s) => s,
                 Err(_) => {
                     self.fail_request(id, op, q);
-                    batch.submissions.push(BlkSubmission {
+                    batch.failures.push(BlkFailure {
                         req_id: id,
-                        completes_at: now + batch.cost,
+                        respond_at: now + batch.cost,
                     });
                     continue;
                 }
@@ -617,9 +673,9 @@ impl BlkbackInstance {
                 || req.sector() + total_sectors > self.device_sectors
             {
                 self.fail_request(id, op, q);
-                batch.submissions.push(BlkSubmission {
+                batch.failures.push(BlkFailure {
                     req_id: id,
-                    completes_at: now + batch.cost,
+                    respond_at: now + batch.cost,
                 });
                 continue;
             }
@@ -643,9 +699,9 @@ impl BlkbackInstance {
             };
             if !ok {
                 self.fail_request(id, op, q);
-                batch.submissions.push(BlkSubmission {
+                batch.failures.push(BlkFailure {
                     req_id: id,
-                    completes_at: now + batch.cost,
+                    respond_at: now + batch.cost,
                 });
                 continue;
             }
@@ -680,37 +736,49 @@ impl BlkbackInstance {
             run_reqs.push(id);
         }
 
-        // Submit merged runs to the device.
+        // Post merged runs to this ring's NVMe queue pair, then ring the
+        // doorbell once for the whole batch. The doorbell returns the CQ
+        // entries it posted; the system layer turns them into completion
+        // interrupts on the queue's MSI-X vCPU (submit-then-reap).
         let submit_at = now + batch.cost;
-        for (k, r) in runs.iter().enumerate() {
-            let kind = if r.op == BLKIF_OP_READ {
-                NvmeOp::Read
-            } else {
-                NvmeOp::Write
-            };
-            let done = device.submit(submit_at, kind, r.sector, r.bytes);
-            self.stats.device_ops += 1;
-            let reqs_end = runs.get(k + 1).map_or(run_reqs.len(), |n| n.reqs_start);
-            for &id in &run_reqs[r.reqs_start..reqs_end] {
-                batch.submissions.push(BlkSubmission {
-                    req_id: id,
-                    completes_at: done,
-                });
+        if !runs.is_empty() || !flushes.is_empty() {
+            let qid = self.ensure_queue(device, q);
+            for (k, r) in runs.iter().enumerate() {
+                let kind = if r.op == BLKIF_OP_READ {
+                    NvmeOp::Read
+                } else {
+                    NvmeOp::Write
+                };
+                let cid = device.sq_push(
+                    qid,
+                    NvmeCmd {
+                        op: kind,
+                        sector: r.sector,
+                        len_bytes: r.bytes,
+                    },
+                );
+                self.stats.device_ops += 1;
+                let reqs_end = runs.get(k + 1).map_or(run_reqs.len(), |n| n.reqs_start);
+                let mut ids = self.spare_cid_reqs.pop().unwrap_or_default();
+                ids.extend_from_slice(&run_reqs[r.reqs_start..reqs_end]);
+                self.cids.insert(cid.0, ids);
+            }
+            for &id in &flushes {
+                let cid = device.sq_push(qid, NvmeCmd::flush());
+                self.stats.device_ops += 1;
+                let mut ids = self.spare_cid_reqs.pop().unwrap_or_default();
+                ids.push(id);
+                self.cids.insert(cid.0, ids);
+            }
+            for e in device.ring_doorbell(qid, submit_at) {
+                batch.cq_irqs.push((q, e.completes_at));
             }
         }
-        for &id in &flushes {
-            let done = device.submit(submit_at, NvmeOp::Flush, 0, 0);
-            self.stats.device_ops += 1;
-            batch.submissions.push(BlkSubmission {
-                req_id: id,
-                completes_at: done,
-            });
-        }
+        let consumed = (batch.failures.len() + run_reqs.len() + flushes.len()) as u32;
         let rq = &mut self.rings[q];
         let page = hv.mem.page_mut(rq.ring_page)?;
         batch.more = rq.ring.final_check_for_requests(page);
-        if !batch.submissions.is_empty() {
-            let consumed = batch.submissions.len() as u32;
+        if consumed > 0 {
             let delivered = runs.len() as u32;
             let qid = self.qid(q);
             hv.trace.emit_with(self.back.0, || EventKind::RingDrain {
@@ -736,7 +804,7 @@ impl BlkbackInstance {
     fn map_request_data(
         &mut self,
         hv: &mut Hypervisor,
-        device: &mut Nvme,
+        device: &mut NvmeController,
         q: usize,
         segs: &[BlkifSegment],
         start_sector: u64,
@@ -782,7 +850,7 @@ impl BlkbackInstance {
     fn copy_request_data(
         &mut self,
         hv: &mut Hypervisor,
-        device: &mut Nvme,
+        device: &mut NvmeController,
         q: usize,
         segs: &[BlkifSegment],
         start_sector: u64,
@@ -865,16 +933,25 @@ impl BlkbackInstance {
         );
     }
 
-    /// Device-completion callback for one request: unmaps non-persistent
-    /// grants, pushes the response on the ring the request arrived on,
-    /// reports whether to notify the front (and on which ring, via
-    /// [`BlkbackInstance::port_of`] with [`BlkComplete::notify`]).
+    /// Completion callback for one request that never reached the device
+    /// (validation failure): pushes the error response on the ring the
+    /// request arrived on and reports which rings to notify.
     pub fn complete(&mut self, hv: &mut Hypervisor, req_id: u64) -> Result<BlkComplete> {
+        let mut out = BlkComplete::default();
+        self.complete_one(hv, req_id, &mut out)?;
+        self.check_notify(hv, &mut out)?;
+        Ok(out)
+    }
+
+    /// Pushes one request's response (completion bookkeeping shared by
+    /// the reap and failure paths); notify checks are batched separately.
+    fn complete_one(
+        &mut self,
+        hv: &mut Hypervisor,
+        req_id: u64,
+        out: &mut BlkComplete,
+    ) -> Result<()> {
         let fl = self.in_flight.remove(&req_id).ok_or(XenError::Inval)?;
-        let mut out = BlkComplete {
-            ring: fl.ring,
-            ..BlkComplete::default()
-        };
         for h in fl.unmap {
             out.cost += hv.unmap_grant(self.back, h)?;
         }
@@ -888,8 +965,58 @@ impl BlkbackInstance {
                 status: fl.status,
             },
         )?;
-        out.notify = rq.ring.push_responses(page);
+        out.notify_rings |= 1u64 << fl.ring;
+        out.completed += 1;
         out.cost += self.profile.per_block_request / 2;
+        Ok(())
+    }
+
+    /// Runs the ring notification protocol once per ring that received
+    /// responses, replacing the touched bits with the rings whose
+    /// frontend actually needs an event.
+    fn check_notify(&mut self, hv: &mut Hypervisor, out: &mut BlkComplete) -> Result<()> {
+        let touched = out.notify_rings;
+        out.notify_rings = 0;
+        for q in 0..self.rings.len() {
+            if touched & (1u64 << q) == 0 {
+                continue;
+            }
+            let rq = &mut self.rings[q];
+            let page = hv.mem.page_mut(rq.ring_page)?;
+            if rq.ring.push_responses(page) {
+                out.notify_rings |= 1u64 << q;
+            }
+        }
+        Ok(())
+    }
+
+    /// The completion-interrupt handler for ring `q`: reaps every CQ
+    /// entry due at `now` from the ring's queue pair, unmaps
+    /// non-persistent grants, pushes responses on the rings the requests
+    /// arrived on, and reports which frontends to notify. Runs on the
+    /// vCPU the queue pair's MSI-X vector is steered to.
+    pub fn reap_completions(
+        &mut self,
+        hv: &mut Hypervisor,
+        device: &mut NvmeController,
+        q: usize,
+        now: Nanos,
+    ) -> Result<BlkComplete> {
+        let mut out = BlkComplete::default();
+        let Some(qid) = self.rings[q].qid else {
+            return Ok(out);
+        };
+        while let Some(entry) = device.cq_pop(qid, now) {
+            let mut ids = self.cids.remove(&entry.cid.0).ok_or(XenError::Inval)?;
+            for &id in &ids {
+                self.complete_one(hv, id, &mut out)?;
+            }
+            ids.clear();
+            self.spare_cid_reqs.push(ids);
+        }
+        if out.completed > 0 {
+            self.check_notify(hv, &mut out)?;
+        }
         Ok(out)
     }
 
@@ -974,7 +1101,7 @@ pub struct BlkbackConfig {
 
 impl crate::lifecycle::BackendDevice for BlkbackInstance {
     type Config = BlkbackConfig;
-    type RunCtx = Nvme;
+    type RunCtx = NvmeController;
     type RunOutput = BlkBatch;
     const KIND: kite_xen::DeviceKind = kite_xen::DeviceKind::Vbd;
 
@@ -995,14 +1122,15 @@ impl crate::lifecycle::BackendDevice for BlkbackInstance {
     fn run(
         &mut self,
         hv: &mut Hypervisor,
-        device: &mut Nvme,
+        device: &mut NvmeController,
         now: Nanos,
         budget: usize,
     ) -> Result<BlkBatch> {
         let mut out = BlkBatch::default();
         for q in 0..self.rings.len() {
             let b = self.request_thread_run(hv, device, q, now, budget)?;
-            out.submissions.extend(b.submissions);
+            out.failures.extend(b.failures);
+            out.cq_irqs.extend(b.cq_irqs);
             out.cost += b.cost;
             out.more |= b.more;
         }

@@ -30,8 +30,8 @@ pub mod xl;
 
 pub use backend::{provision_device, BackendManager};
 pub use blkback::{
-    BlkBatch, BlkComplete, BlkSubmission, BlkbackConfig, BlkbackInstance, BlkbackStats,
-    BlkbackTuning, MAX_INDIRECT_SEGMENTS,
+    BlkBatch, BlkComplete, BlkFailure, BlkbackConfig, BlkbackInstance, BlkbackStats, BlkbackTuning,
+    MAX_INDIRECT_SEGMENTS,
 };
 pub use blockapp::{BlockApp, VbdStatus};
 pub use config::{DomainConfig, DriverDomainKind};

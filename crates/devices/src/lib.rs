@@ -2,14 +2,34 @@
 //!
 //! The paper's testbed exposes two devices to driver domains via PCI
 //! passthrough: an Intel 82599ES 10GbE NIC and a Samsung 970 EVO Plus
-//! NVMe SSD. [`nic::Nic`] and [`nvme::Nvme`] model their timing envelopes
-//! (link-rate serialization, interrupt moderation; channel-parallel flash
-//! with per-command latency) while carrying *real data* — frames are real
-//! bytes, and the SSD stores written sectors sparsely for read-back
-//! verification.
+//! NVMe SSD. [`nic::Nic`] and [`nvme::NvmeController`] model their timing
+//! envelopes (link-rate serialization, interrupt moderation;
+//! channel-parallel flash behind NVMe queue pairs with per-command
+//! latency) while carrying *real data* — frames are real bytes, and the
+//! SSD stores written sectors sparsely for read-back verification.
+//!
+//! Both models share the small [`Device`] surface, and both are
+//! configured by immutable cost profiles ([`NvmeProfile`], [`NicProfile`])
+//! built with `with_*` methods — the profile is consumed at construction,
+//! so runtime state derived from it can never silently desynchronize.
 
 pub mod nic;
 pub mod nvme;
 
-pub use nic::{Nic, RxIrq};
-pub use nvme::{Nvme, NvmeOp, NvmeProfile, SECTOR_SIZE};
+pub use nic::{Nic, NicProfile, RxIrq};
+pub use nvme::{
+    Cid, CqEntry, MsixVector, Nvme, NvmeCmd, NvmeController, NvmeOp, NvmeProfile, QueueId,
+    MAX_IO_QUEUES, SECTOR_SIZE, SQ_DEPTH,
+};
+
+/// The minimal surface every passthrough device model shares.
+pub trait Device {
+    /// The hardware model being simulated (as a PCI ID database would
+    /// print it).
+    fn model(&self) -> &'static str;
+
+    /// Function-level reset, as dom0 performs before re-assigning the
+    /// device to a replacement driver domain: queue and interrupt state
+    /// is dropped; durable contents and lifetime counters survive.
+    fn reset(&mut self);
+}

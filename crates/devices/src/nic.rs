@@ -10,6 +10,72 @@ use std::collections::VecDeque;
 
 use kite_sim::{Link, Nanos, TxOutcome};
 
+use crate::Device;
+
+/// Cost envelope of the NIC, consumed by [`Nic::with_profile`].
+///
+/// Like [`crate::NvmeProfile`], build it with `with_*` methods; the
+/// profile is read once at construction:
+///
+/// ```
+/// use kite_devices::{Nic, NicProfile};
+/// use kite_sim::Nanos;
+/// let nic = Nic::with_profile(
+///     NicProfile::default().with_irq_coalesce(Nanos::from_micros(50)),
+/// );
+/// assert_eq!(nic.irq_coalesce, Nanos::from_micros(50));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NicProfile {
+    /// Per-frame driver overhead (descriptor write, doorbell, DMA setup).
+    pub per_frame_tx: Nanos,
+    /// Interrupt moderation window.
+    pub irq_coalesce: Nanos,
+    /// Receive queue capacity in frames.
+    pub rx_queue_frames: usize,
+    /// Transmit-side queueing capacity in bytes (hardware ring + qdisc).
+    pub tx_queue_bytes: u64,
+}
+
+impl Default for NicProfile {
+    fn default() -> NicProfile {
+        // 82599ES at 10GbE: ITR default ≈ 20 µs; BQL keeps the hardware
+        // ring short but the qdisc absorbs tens of MB of TSO-era bursts.
+        NicProfile {
+            per_frame_tx: Nanos::from_nanos(250),
+            irq_coalesce: Nanos::from_micros(20),
+            rx_queue_frames: 2048,
+            tx_queue_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl NicProfile {
+    /// Sets the per-frame transmit overhead.
+    pub fn with_per_frame_tx(mut self, cost: Nanos) -> NicProfile {
+        self.per_frame_tx = cost;
+        self
+    }
+
+    /// Sets the interrupt moderation window.
+    pub fn with_irq_coalesce(mut self, window: Nanos) -> NicProfile {
+        self.irq_coalesce = window;
+        self
+    }
+
+    /// Sets the receive queue capacity in frames.
+    pub fn with_rx_queue_frames(mut self, frames: usize) -> NicProfile {
+        self.rx_queue_frames = frames;
+        self
+    }
+
+    /// Sets the transmit-side queueing capacity in bytes.
+    pub fn with_tx_queue_bytes(mut self, bytes: u64) -> NicProfile {
+        self.tx_queue_bytes = bytes;
+        self
+    }
+}
+
 /// Receive-side interrupt decision from [`Nic::rx_enqueue`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RxIrq {
@@ -43,15 +109,18 @@ pub struct Nic {
 impl Nic {
     /// A 10GbE NIC with 82599-like parameters.
     pub fn ten_gbe() -> Nic {
+        Nic::with_profile(NicProfile::default())
+    }
+
+    /// A 10GbE NIC with an explicit cost profile.
+    pub fn with_profile(profile: NicProfile) -> Nic {
         let mut link = Link::ten_gbe();
-        // Driver tx ring + qdisc: sized for TSO-era bursts (BQL keeps the
-        // hardware ring short, but the qdisc absorbs tens of MB).
-        link.queue_bytes = 64 * 1024 * 1024;
+        link.queue_bytes = profile.tx_queue_bytes;
         Nic {
             link,
-            per_frame_tx: Nanos::from_nanos(250),
-            irq_coalesce: Nanos::from_micros(20),
-            rx_queue_frames: 2048,
+            per_frame_tx: profile.per_frame_tx,
+            irq_coalesce: profile.irq_coalesce,
+            rx_queue_frames: profile.rx_queue_frames,
             rx_queue: VecDeque::new(),
             irq_pending: false,
             last_irq: Nanos::ZERO,
@@ -124,6 +193,21 @@ impl Nic {
     }
 }
 
+impl Device for Nic {
+    fn model(&self) -> &'static str {
+        "Intel 82599ES"
+    }
+
+    fn reset(&mut self) {
+        // Frames sitting in the rx queue at reset are lost on the floor —
+        // account them as drops so lifetime counters stay honest.
+        self.rx_dropped += self.rx_queue.len() as u64;
+        self.rx_queue.clear();
+        self.irq_pending = false;
+        self.last_irq = Nanos::ZERO;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +277,37 @@ mod tests {
     fn rearm_with_empty_queue_is_none() {
         let mut nic = Nic::ten_gbe();
         assert_eq!(nic.rearm_irq(Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn profile_builders_configure_the_nic() {
+        let nic = Nic::with_profile(
+            NicProfile::default()
+                .with_per_frame_tx(Nanos::from_nanos(500))
+                .with_irq_coalesce(Nanos::from_micros(5))
+                .with_rx_queue_frames(16)
+                .with_tx_queue_bytes(1024),
+        );
+        assert_eq!(nic.per_frame_tx, Nanos::from_nanos(500));
+        assert_eq!(nic.irq_coalesce, Nanos::from_micros(5));
+        assert_eq!(nic.rx_queue_frames, 16);
+        assert_eq!(nic.link.queue_bytes, 1024);
+    }
+
+    #[test]
+    fn reset_drops_queued_frames_and_interrupt_state() {
+        let mut nic = Nic::ten_gbe();
+        let t0 = Nanos::from_micros(100);
+        assert!(matches!(nic.rx_enqueue(t0, vec![0; 64]), RxIrq::FireAt(_)));
+        assert_eq!(nic.rx_enqueue(t0, vec![0; 64]), RxIrq::AlreadyPending);
+        nic.reset();
+        assert_eq!(nic.model(), "Intel 82599ES");
+        assert_eq!(nic.rx_backlog(), 0);
+        // Lifetime counters survive; the two queued frames count as drops.
+        assert_eq!(nic.rx_frames(), 2);
+        assert_eq!(nic.rx_dropped(), 2);
+        // Interrupt state is clean: the next frame fires immediately.
+        let t1 = Nanos::from_micros(101);
+        assert_eq!(nic.rx_enqueue(t1, vec![0; 64]), RxIrq::FireAt(t1));
     }
 }

@@ -10,6 +10,7 @@
 //! them (clippy's `disallowed-methods` steers it here).
 
 use kite_core::BlkbackTuning;
+use kite_devices::NvmeProfile;
 use kite_health::{MonitorConfig, SloConfig};
 use kite_sim::SchedulerKind;
 use kite_xen::{CopyMode, QueueMode};
@@ -42,6 +43,8 @@ pub struct SystemConfig {
     pub(crate) tracing: Option<usize>,
     pub(crate) scheduler: SchedulerKind,
     pub(crate) tuning: BlkbackTuning,
+    pub(crate) nvme_profile: Option<NvmeProfile>,
+    pub(crate) nvme_max_io_queues: Option<u16>,
 }
 
 impl SystemConfig {
@@ -59,6 +62,8 @@ impl SystemConfig {
             tracing: None,
             scheduler: SchedulerKind::default(),
             tuning: BlkbackTuning::default(),
+            nvme_profile: None,
+            nvme_max_io_queues: None,
         }
     }
 
@@ -116,6 +121,20 @@ impl SystemConfig {
     /// Blkback optimization switches (storage systems only).
     pub fn tuning(mut self, tuning: BlkbackTuning) -> SystemConfig {
         self.tuning = tuning;
+        self
+    }
+
+    /// NVMe cost profile for the storage device (storage systems only).
+    pub fn nvme_profile(mut self, profile: NvmeProfile) -> SystemConfig {
+        self.nvme_profile = Some(profile);
+        self
+    }
+
+    /// Caps the controller's I/O queue pairs (storage systems only).
+    /// Rings beyond the cap share queues round-robin, like blk-mq
+    /// mapping more contexts than hardware queues.
+    pub fn nvme_max_io_queues(mut self, max: u16) -> SystemConfig {
+        self.nvme_max_io_queues = Some(max);
         self
     }
 

@@ -13,7 +13,7 @@ use kite_core::{
     provision_device, BackendManager, BlkbackConfig, BlkbackInstance, BlkbackStats, BlkbackTuning,
     BlockApp, DeviceLifecycle, RecoveryStats,
 };
-use kite_devices::Nvme;
+use kite_devices::{Device, Nvme};
 use kite_frontends::Blkfront;
 use kite_health::{
     slo, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,
@@ -85,8 +85,17 @@ enum Event {
     },
     // `epoch` guards against completions of a crashed backend incarnation
     // hitting a replacement that happens to reuse the same request id.
-    BlkDone {
+    /// Error response for a request that failed validation and never
+    /// reached the device.
+    BlkError {
         req_id: u64,
+        ring: usize,
+        epoch: u64,
+    },
+    /// NVMe completion interrupt: a CQ entry on `ring`'s queue pair came
+    /// due; the reap runs on the vCPU its MSI-X vector is steered to.
+    NvmeCq {
+        ring: usize,
         epoch: u64,
     },
     Submit(IoOp),
@@ -267,7 +276,13 @@ impl StorSystem {
 
         // Scaled capacity: the data plane is sparse-real; 16 GiB of
         // addressable space is ample for the scaled workloads.
-        let nvme = Nvme::new(16);
+        let mut nvme = match &cfg.nvme_profile {
+            Some(profile) => Nvme::with_profile(16, profile.clone()),
+            None => Nvme::new(16),
+        };
+        if let Some(max) = cfg.nvme_max_io_queues {
+            nvme = nvme.with_max_io_queues(max as usize);
+        }
         let blockapp = BlockApp::start(&mut hv, driver, nvme.sectors).expect("blockapp");
 
         let mut mgr = BackendManager::new(driver, DeviceKind::Vbd);
@@ -697,11 +712,21 @@ impl StorSystem {
                     .request_thread_run(&mut self.hv, &mut self.nvme, q, now, 32)
                     .expect("request thread");
                 self.driver_cpus.run_on(q, now, batch.cost);
-                for s in batch.submissions {
+                for f in batch.failures {
                     self.queue.schedule_at(
-                        s.completes_at,
-                        Event::BlkDone {
-                            req_id: s.req_id,
+                        f.respond_at,
+                        Event::BlkError {
+                            req_id: f.req_id,
+                            ring: q,
+                            epoch: self.bb_epoch,
+                        },
+                    );
+                }
+                for (ring, fire_at) in batch.cq_irqs {
+                    self.queue.schedule_at(
+                        fire_at,
+                        Event::NvmeCq {
+                            ring,
                             epoch: self.bb_epoch,
                         },
                     );
@@ -710,6 +735,21 @@ impl StorSystem {
                     break;
                 }
             }
+        }
+    }
+
+    /// Charges a completion callback's cost to `vcpu` and sends the
+    /// frontend notification for every ring the callback flagged.
+    fn finish_blk_completion(&mut self, now: Nanos, vcpu: usize, res: kite_core::BlkComplete) {
+        let mut done = self.driver_cpus.run_on(vcpu, now, res.cost);
+        let mut mask = res.notify_rings;
+        while mask != 0 {
+            let q = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let evtchn = self.blkback.device().expect("connected").port_of(q);
+            let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
+            done = self.driver_cpus.run_on(vcpu, done, c);
+            self.sched_irq(done, n);
         }
     }
 
@@ -781,6 +821,11 @@ impl StorSystem {
         }
         self.hung = false;
         self.queue_wedged = false;
+        // Function-level reset before the NVMe is re-assigned to the
+        // replacement domain: the dead incarnation's queue pairs, cursors
+        // and unreaped CQ entries vanish; media contents survive. The
+        // new blkback recreates its queues lazily on first drain.
+        self.nvme.reset();
         let d0 = DomainId::DOM0;
         let bs = self.paths.backend_state();
         let _ = self.hv.switch_state(d0, &bs, XenbusState::Closing);
@@ -988,23 +1033,45 @@ impl StorSystem {
                     }
                 }
             }
-            Event::BlkDone { req_id, epoch } => {
+            Event::BlkError {
+                req_id,
+                ring,
+                epoch,
+            } => {
                 if epoch != self.bb_epoch || self.hung {
-                    // Completion of a crashed backend incarnation, or a
+                    // Response of a crashed backend incarnation, or a
                     // livelocked completion callback that never runs.
+                    return;
+                }
+                let Some(bb) = self.blkback.device_mut() else {
+                    return; // the request died with the driver domain
+                };
+                let res = bb.complete(&mut self.hv, req_id).expect("complete");
+                self.finish_blk_completion(now, ring, res);
+            }
+            Event::NvmeCq { ring, epoch } => {
+                if epoch != self.bb_epoch || self.hung {
+                    // A CQ entry of a crashed/reset controller incarnation,
+                    // or a livelocked interrupt handler that never runs.
                     return;
                 }
                 let Some(bb) = self.blkback.device_mut() else {
                     return; // the submission died with the driver domain
                 };
-                let res = bb.complete(&mut self.hv, req_id).expect("complete");
-                let evtchn = bb.port_of(res.ring);
-                let done = self.driver_cpus.run_on(res.ring, now, res.cost);
-                if res.notify {
-                    let (n, c) = self.hv.evtchn_send(self.driver, evtchn).expect("channel");
-                    let done = self.driver_cpus.run_on(res.ring, done, c);
-                    self.sched_irq(done, n);
+                // MSI-X steering: the completion interrupt lands on the
+                // vCPU the ring's queue-pair vector was created with (the
+                // ring's own vCPU, unless rings share a pair).
+                let vcpu = bb
+                    .qid_of(ring)
+                    .and_then(|qid| self.nvme.vector_of(qid))
+                    .map_or(ring, |v| v.vcpu);
+                let res = bb
+                    .reap_completions(&mut self.hv, &mut self.nvme, ring, now)
+                    .expect("reap");
+                if res.completed == 0 {
+                    return; // an earlier interrupt already reaped the entry
                 }
+                self.finish_blk_completion(now, vcpu, res);
             }
             Event::DriverCrash => {
                 self.pending_faults = self.pending_faults.saturating_sub(1);

@@ -5,7 +5,13 @@
 //!
 //! ```text
 //! cargo run --release --example storage_domain
+//! cargo run --release --example storage_domain -- --rings 4 --trace out.json
 //! ```
+//!
+//! `--rings N` runs the backend with `N` ring pairs on an `N`-vCPU
+//! driver domain (each ring gets its own NVMe queue pair); `--trace
+//! PATH` writes the first pass's Chrome trace to PATH, which
+//! `scripts/verify.sh` diffs across runs as a determinism gate.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -13,11 +19,21 @@ use std::rc::Rc;
 use kite::core::BlkbackTuning;
 use kite::sim::Nanos;
 use kite::system::{BackendOs, IoKind, IoOp, SystemConfig};
+use kite::xen::QueueMode;
 
-fn sequential_write_read(tuning: BlkbackTuning, label: &str) {
-    let mut sys = SystemConfig::new(BackendOs::Kite, 7)
+fn sequential_write_read(tuning: BlkbackTuning, label: &str, rings: u32, trace: Option<&str>) {
+    let mode = if rings <= 1 {
+        QueueMode::Single
+    } else {
+        QueueMode::Multi(rings)
+    };
+    let mut cfg = SystemConfig::new(BackendOs::Kite, 7)
         .tuning(tuning)
-        .build_stor();
+        .queue_mode(mode);
+    if trace.is_some() {
+        cfg = cfg.tracing(1 << 18);
+    }
+    let mut sys = cfg.build_stor();
     // 16 MiB of patterned data in 128 KiB logical writes.
     const CHUNK: usize = 128 * 1024;
     const TOTAL: usize = 16 * 1024 * 1024;
@@ -82,10 +98,31 @@ fn sequential_write_read(tuning: BlkbackTuning, label: &str) {
     snap.push_int("verify_failures", "count", *failures.borrow() as u64);
     print!("{}", snap.render_text());
     assert_eq!(*failures.borrow(), 0, "data must round-trip intact");
+
+    if let Some(path) = trace {
+        assert_eq!(sys.hv.trace.dropped(), 0, "trace ring must not overflow");
+        std::fs::write(path, sys.hv.export_chrome_trace()).expect("write trace");
+        println!("wrote Chrome trace to {path}");
+    }
 }
 
 fn main() {
-    sequential_write_read(BlkbackTuning::default(), "all optimizations on");
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let rings: u32 = flag("--rings").map_or(1, |v| v.parse().expect("--rings N"));
+    let trace = flag("--trace");
+
+    sequential_write_read(
+        BlkbackTuning::default(),
+        "all optimizations on",
+        rings,
+        trace.as_deref(),
+    );
     sequential_write_read(
         BlkbackTuning {
             batching: false,
@@ -95,6 +132,8 @@ fn main() {
             ..BlkbackTuning::default()
         },
         "batching + persistent grants off (batched grant copies)",
+        rings,
+        None,
     );
     sequential_write_read(
         BlkbackTuning {
@@ -102,5 +141,7 @@ fn main() {
             ..BlkbackTuning::default()
         },
         "indirect segments off (11-seg / 44KiB requests)",
+        rings,
+        None,
     );
 }

@@ -90,6 +90,41 @@ q4 = tput["mechanisms/netback_queues_4"]
 assert q4 > q1, f"netback_queues_4 ({q4}) must beat netback_queues_1 ({q1})"
 EOF
 
+echo "==> blkback rings: throughput must climb with ring count"
+# The report layer asserts the same staircase when building the rows;
+# check the shipped JSON too so either layer regressing fails the gate.
+python3 - "$tdir/bench.json" <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+tput = {
+    r["scenario"]: r["value"]
+    for r in rows
+    if r["metric"] == "throughput_mbps"
+}
+r1 = tput["mechanisms/blkback_rings_1"]
+r2 = tput["mechanisms/blkback_rings_2"]
+r4 = tput["mechanisms/blkback_rings_4"]
+assert r4 > r2 > r1, (
+    f"blkback rings must scale monotonically: "
+    f"rings_1={r1:.0f} rings_2={r2:.0f} rings_4={r4:.0f} mbps"
+)
+EOF
+
+echo "==> NVMe queue pairs: equivalence + cursor isolation tests"
+# Standalone so a queue-pair regression is named explicitly: the shim
+# equivalence, the heap/wheel 4-ring byte-identity, and the per-queue
+# sequential-cursor isolation property all live in this test binary.
+cargo test --release --offline -q -p kite-system --test nvme
+
+echo "==> 4-ring storage: deterministic Chrome trace"
+# Same-seed multi-ring storage runs must serialize byte-identical
+# traces — each ring has its own NVMe queue pair and MSI-X vector, so
+# this proves the multi-queue completion path is deterministic too.
+./target/release/examples/storage_domain --rings 4 --trace "$tdir/stor_a.json" > /dev/null
+./target/release/examples/storage_domain --rings 4 --trace "$tdir/stor_b.json" > /dev/null
+cmp "$tdir/stor_a.json" "$tdir/stor_b.json" \
+    || { echo "verify: same-seed 4-ring storage traces differ" >&2; exit 1; }
+
 echo "==> scheduler throughput: wheel must not lose to the heap"
 # Wall-clock events/sec on the fleet-drain microbench. The shipped
 # BENCH_mechanisms.json records ~5x or better for the wheel; the gate
