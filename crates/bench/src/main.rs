@@ -6,7 +6,12 @@
 //! repro --list           # what's available
 //! repro --json out.json  # machine-readable mechanisms/recovery/ablation results
 //! repro top              # kitetop: per-domain health through a crash cycle
+//! repro prof             # profiled 4-queue drain: self-time table + stacks
 //! ```
+//!
+//! `repro prof` options: `--collapsed <path>` writes the collapsed
+//! stacks for flamegraph tooling, `--series-csv <path>` /
+//! `--series-json <path>` write the sampler time series.
 //!
 //! Each experiment prints the paper's reported values alongside this
 //! reproduction's measurements. EXPERIMENTS.md is this program's output
@@ -19,6 +24,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("top") {
         print!("{}", report::kitetop_report());
+        return;
+    }
+    if args.first().map(String::as_str) == Some("prof") {
+        run_prof(&args[1..]);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--json") {
@@ -65,5 +74,38 @@ fn main() {
         println!("==== {} — {} ====", e.id, e.title);
         (e.run)();
         println!();
+    }
+}
+
+/// `repro prof [--collapsed <path>] [--series-csv <path>] [--series-json <path>]`
+///
+/// Prints the per-phase self-time table and the collapsed stacks from
+/// the profiled 4-queue netback drain; the optional paths export the
+/// collapsed stacks (for `flamegraph.pl` / `inferno-flamegraph`) and
+/// the sampler's deterministic time series.
+fn run_prof(args: &[String]) {
+    let path_after = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let run = report::prof_run();
+    println!("== per-phase self time (wall clock, 4-queue netback drain) ==");
+    print!("{}", run.table);
+    println!();
+    println!("== collapsed stacks (self ns; pipe into flamegraph.pl) ==");
+    print!("{}", run.collapsed);
+    for (flag, content) in [
+        ("--collapsed", &run.collapsed),
+        ("--series-csv", &run.series_csv),
+        ("--series-json", &run.series_json),
+    ] {
+        if let Some(path) = path_after(flag) {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
     }
 }

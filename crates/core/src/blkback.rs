@@ -615,6 +615,7 @@ impl BlkbackInstance {
         now: Nanos,
         budget: usize,
     ) -> Result<BlkBatch> {
+        let _prof = kite_prof::span(kite_prof::Phase::BlkbackSubmit);
         let mut batch = BlkBatch::default();
         if self.rings[q].wedged {
             return Ok(batch);
@@ -1002,6 +1003,7 @@ impl BlkbackInstance {
         q: usize,
         now: Nanos,
     ) -> Result<BlkComplete> {
+        let _prof = kite_prof::span(kite_prof::Phase::BlkbackReap);
         let mut out = BlkComplete::default();
         let Some(qid) = self.rings[q].qid else {
             return Ok(out);

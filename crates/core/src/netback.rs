@@ -331,6 +331,7 @@ impl NetbackInstance {
     /// (validating each request), issue the batch, then push responses in
     /// ring order from the per-op statuses.
     pub fn pusher_run(&mut self, hv: &mut Hypervisor, q: usize, budget: usize) -> Result<TxBatch> {
+        let _prof = kite_prof::span(kite_prof::Phase::NetbackTxDrain);
         let mut batch = TxBatch::default();
         if self.queues[q].wedged {
             return Ok(batch);
@@ -505,6 +506,7 @@ impl NetbackInstance {
         q: usize,
         budget: usize,
     ) -> Result<RxBatch> {
+        let _prof = kite_prof::span(kite_prof::Phase::NetbackRxDrain);
         let mut batch = RxBatch::default();
         if self.queues[q].wedged {
             batch.more = !self.queues[q].to_guest.is_empty();

@@ -223,6 +223,7 @@ impl<E> Scheduler<E> for EventSched<E> {
     }
 
     fn schedule_at(&mut self, at: Nanos, payload: E) -> EventId {
+        let _prof = kite_prof::span(kite_prof::Phase::SchedPush);
         match self {
             EventSched::Heap(q) => q.schedule_at(at, payload),
             EventSched::Wheel(w) => w.schedule_at(at, payload),
@@ -237,6 +238,7 @@ impl<E> Scheduler<E> for EventSched<E> {
     }
 
     fn pop(&mut self) -> Option<(Nanos, E)> {
+        let _prof = kite_prof::span(kite_prof::Phase::SchedPop);
         match self {
             EventSched::Heap(q) => q.pop(),
             EventSched::Wheel(w) => w.pop(),

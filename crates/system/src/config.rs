@@ -12,7 +12,7 @@
 use kite_core::BlkbackTuning;
 use kite_devices::NvmeProfile;
 use kite_health::{MonitorConfig, SloConfig};
-use kite_sim::SchedulerKind;
+use kite_sim::{Nanos, SchedulerKind};
 use kite_xen::{CopyMode, QueueMode};
 
 use crate::netsys::{BackendOs, NetSystem};
@@ -45,6 +45,8 @@ pub struct SystemConfig {
     pub(crate) tuning: BlkbackTuning,
     pub(crate) nvme_profile: Option<NvmeProfile>,
     pub(crate) nvme_max_io_queues: Option<u16>,
+    pub(crate) profiling: bool,
+    pub(crate) sampling: Option<(Nanos, usize)>,
 }
 
 impl SystemConfig {
@@ -64,6 +66,8 @@ impl SystemConfig {
             tuning: BlkbackTuning::default(),
             nvme_profile: None,
             nvme_max_io_queues: None,
+            profiling: false,
+            sampling: None,
         }
     }
 
@@ -138,6 +142,24 @@ impl SystemConfig {
         self
     }
 
+    /// Turns on the wall-clock self-profiler (`kite-prof`) for the
+    /// building thread. Spans opened by the scheduler, dispatch loop and
+    /// backends start recording; `kite_prof::report()` reads the result.
+    /// Wall-clock numbers are nondeterministic — keep them out of
+    /// anything diffed byte-for-byte (see DESIGN.md §14).
+    pub fn profiling(mut self, on: bool) -> SystemConfig {
+        self.profiling = on;
+        self
+    }
+
+    /// Enables the virtual-time metrics sampler: one snapshot every
+    /// `every`, at most `capacity` samples retained (oldest evicted).
+    /// Read the series back with `sys.sampler()`.
+    pub fn sampling(mut self, every: Nanos, capacity: usize) -> SystemConfig {
+        self.sampling = Some((every, capacity));
+        self
+    }
+
     /// Builds the network scenario (client ⇄ NIC ⇄ driver domain ⇄
     /// guest) with this configuration applied.
     pub fn build_net(self) -> NetSystem {
@@ -167,6 +189,12 @@ impl SystemConfig {
         if let Some(cfg) = self.watchdog {
             sys.enable_watchdog(cfg);
         }
+        if self.profiling {
+            kite_prof::enable();
+        }
+        if let Some((every, cap)) = self.sampling {
+            sys.enable_sampling(every, cap);
+        }
     }
 
     fn finish_stor(&self, sys: &mut StorSystem) {
@@ -181,6 +209,12 @@ impl SystemConfig {
         }
         if let Some(cfg) = self.watchdog {
             sys.enable_watchdog(cfg);
+        }
+        if self.profiling {
+            kite_prof::enable();
+        }
+        if let Some((every, cap)) = self.sampling {
+            sys.enable_sampling(every, cap);
         }
     }
 }

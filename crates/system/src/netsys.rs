@@ -36,7 +36,7 @@ use kite_sim::{
     Cpu, CpuPool, EventSched, Histogram, Link, Nanos, OnlineStats, Pcg, Scheduler, SchedulerKind,
     TxOutcome,
 };
-use kite_trace::{EventKind, MetricsSnapshot};
+use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler};
 use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
@@ -159,6 +159,25 @@ enum Event {
     BeatTick,
     /// Dom0's health monitor runs its next probe.
     ProbeTick,
+    /// The time-series sampler takes its next snapshot.
+    SampleTick,
+}
+
+/// Profiling phase for an event dispatch, by event kind.
+fn phase_of(ev: &Event) -> kite_prof::Phase {
+    use kite_prof::Phase;
+    match ev {
+        Event::AppSend { .. } => Phase::DispatchAppSend,
+        Event::WireToServer(_) | Event::WireToClient(_) | Event::ClientTxFrame(_) => {
+            Phase::DispatchWire
+        }
+        Event::NicIrq => Phase::DispatchNicIrq,
+        Event::Irq { .. } => Phase::DispatchIrq,
+        Event::DriverCrash | Event::DriverHang | Event::QueueWedge(_) => Phase::DispatchFault,
+        Event::DriverRestarted => Phase::DispatchRecovery,
+        Event::BeatTick | Event::ProbeTick => Phase::DispatchHealthTick,
+        Event::SampleTick => Phase::DispatchSample,
+    }
 }
 
 /// Largest message chunk crossing the PV path at once.
@@ -275,6 +294,7 @@ pub struct NetSystem {
     pending_faults: u32,
     slo_cfg: SloConfig,
     latency_hist: Histogram,
+    sampler: Option<TimeSeriesSampler>,
 }
 
 impl NetSystem {
@@ -418,6 +438,7 @@ impl NetSystem {
             pending_faults: 0,
             slo_cfg: SloConfig::default(),
             latency_hist: Histogram::default(),
+            sampler: None,
         }
     }
 
@@ -554,6 +575,64 @@ impl NetSystem {
             .schedule_at(now + cfg.heartbeat_interval, Event::BeatTick);
         self.queue
             .schedule_at(now + cfg.probe_interval, Event::ProbeTick);
+    }
+
+    /// Starts the time-series sampler: every `every` of virtual time a
+    /// `SampleTick` snapshots throughput counters (as deltas),
+    /// drop counters, per-queue RX depths, and the watchdog health state
+    /// into a bounded ring of `capacity` samples (oldest evicted first).
+    ///
+    /// The tick re-arms only while other events are still pending, so
+    /// [`run_to_quiescence`](Self::run_to_quiescence) terminates: the
+    /// sampler rides along with the workload instead of keeping the
+    /// clock alive on its own.
+    pub fn enable_sampling(&mut self, every: Nanos, capacity: usize) {
+        let mut sampler = TimeSeriesSampler::new(every, capacity)
+            .with_column("client_rx_bytes", SampleKind::Counter)
+            .with_column("guest_rx_bytes", SampleKind::Counter)
+            .with_column("drops", SampleKind::Counter)
+            .with_column("tx_packets", SampleKind::Counter)
+            .with_column("rx_dropped", SampleKind::Counter)
+            .with_column("health", SampleKind::Gauge);
+        for q in 0..self.queue_mode.queues() {
+            sampler = sampler.with_column(&format!("rx_qdepth_q{q}"), SampleKind::Gauge);
+        }
+        self.sampler = Some(sampler);
+        let now = self.queue.now();
+        self.queue.schedule_at(now + every, Event::SampleTick);
+    }
+
+    /// The time series recorded by [`enable_sampling`](Self::enable_sampling).
+    pub fn sampler(&self) -> Option<&TimeSeriesSampler> {
+        self.sampler.as_ref()
+    }
+
+    fn sample_now(&mut self, at: Nanos) {
+        let Some(mut sampler) = self.sampler.take() else {
+            return;
+        };
+        let stats = self.netback_stats();
+        let health = match self.health() {
+            None | Some(HealthState::Healthy) => 0u64,
+            Some(HealthState::Suspect { .. }) => 1,
+            _ => 2,
+        };
+        let mut raw = vec![
+            self.metrics.client_rx_bytes,
+            self.metrics.guest_rx_bytes,
+            self.metrics.drops,
+            stats.tx_packets,
+            stats.rx_dropped,
+            health,
+        ];
+        // Depths come back empty while the backend is down; pad so the
+        // sample width stays fixed.
+        let depths = self.rx_queue_depths();
+        for q in 0..self.queue_mode.queues() {
+            raw.push(depths.get(q as usize).copied().unwrap_or(0) as u64);
+        }
+        sampler.record(at, &raw);
+        self.sampler = Some(sampler);
     }
 
     /// Sets the request-latency SLO the watchdog folds into its verdict.
@@ -1195,6 +1274,7 @@ impl NetSystem {
     }
 
     fn handle(&mut self, now: Nanos, ev: Event) {
+        let _prof = kite_prof::span(phase_of(&ev));
         self.hv.trace.set_now(now);
         match ev {
             Event::AppSend {
@@ -1383,6 +1463,16 @@ impl NetSystem {
                 }
                 if self.watch_live() {
                     self.queue.schedule_at(now + interval, Event::ProbeTick);
+                }
+            }
+            Event::SampleTick => {
+                self.sample_now(now);
+                // Re-arm only while the workload is still producing
+                // events, so quiescence is reachable.
+                if let Some(every) = self.sampler.as_ref().map(|s| s.interval()) {
+                    if !self.queue.is_empty() {
+                        self.queue.schedule_at(now + every, Event::SampleTick);
+                    }
                 }
             }
         }

@@ -21,7 +21,7 @@ use kite_health::{
 };
 use kite_rumprun::BootSequence;
 use kite_sim::{Cpu, CpuPool, EventSched, Histogram, Nanos, Pcg, Scheduler, SchedulerKind};
-use kite_trace::{EventKind, MetricsSnapshot};
+use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler};
 use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
@@ -106,6 +106,22 @@ enum Event {
     DriverRestarted,
     BeatTick,
     ProbeTick,
+    /// The time-series sampler takes its next snapshot.
+    SampleTick,
+}
+
+/// Profiling phase for an event dispatch, by event kind.
+fn phase_of(ev: &Event) -> kite_prof::Phase {
+    use kite_prof::Phase;
+    match ev {
+        Event::Submit(_) => Phase::DispatchBlkSubmit,
+        Event::NvmeCq { .. } | Event::BlkError { .. } => Phase::DispatchBlkComplete,
+        Event::Irq { .. } => Phase::DispatchIrq,
+        Event::DriverCrash | Event::DriverHang | Event::QueueWedge(_) => Phase::DispatchFault,
+        Event::DriverRestarted => Phase::DispatchRecovery,
+        Event::BeatTick | Event::ProbeTick => Phase::DispatchHealthTick,
+        Event::SampleTick => Phase::DispatchSample,
+    }
 }
 
 #[derive(Debug)]
@@ -199,6 +215,7 @@ pub struct StorSystem {
     pending_faults: u32,
     slo_cfg: SloConfig,
     latency_hist: Histogram,
+    sampler: Option<TimeSeriesSampler>,
 }
 
 impl StorSystem {
@@ -360,6 +377,7 @@ impl StorSystem {
             pending_faults: 0,
             slo_cfg: SloConfig::default(),
             latency_hist: Histogram::default(),
+            sampler: None,
         }
     }
 
@@ -439,6 +457,54 @@ impl StorSystem {
     /// Sets the request-latency SLO the watchdog folds into its verdict.
     pub fn set_slo(&mut self, cfg: SloConfig) {
         self.slo_cfg = cfg;
+    }
+
+    /// Starts the time-series sampler: every `every` of virtual time a
+    /// `SampleTick` snapshots I/O counters (as deltas), queue
+    /// occupancy gauges, and the watchdog health state into a bounded
+    /// ring of `capacity` samples (oldest evicted first). The tick
+    /// re-arms only while other events are still pending so
+    /// [`run_to_quiescence`](Self::run_to_quiescence) terminates.
+    pub fn enable_sampling(&mut self, every: Nanos, capacity: usize) {
+        let sampler = TimeSeriesSampler::new(every, capacity)
+            .with_column("ios", SampleKind::Counter)
+            .with_column("read_bytes", SampleKind::Counter)
+            .with_column("write_bytes", SampleKind::Counter)
+            .with_column("requests", SampleKind::Counter)
+            .with_column("in_flight", SampleKind::Gauge)
+            .with_column("pendq", SampleKind::Gauge)
+            .with_column("health", SampleKind::Gauge);
+        self.sampler = Some(sampler);
+        let now = self.queue.now();
+        self.queue.schedule_at(now + every, Event::SampleTick);
+    }
+
+    /// The time series recorded by [`enable_sampling`](Self::enable_sampling).
+    pub fn sampler(&self) -> Option<&TimeSeriesSampler> {
+        self.sampler.as_ref()
+    }
+
+    fn sample_now(&mut self, at: Nanos) {
+        let Some(mut sampler) = self.sampler.take() else {
+            return;
+        };
+        let stats = self.blkback_stats();
+        let health = match self.health() {
+            None | Some(HealthState::Healthy) => 0u64,
+            Some(HealthState::Suspect { .. }) => 1,
+            _ => 2,
+        };
+        let raw = [
+            self.metrics.ios,
+            self.metrics.read_bytes,
+            self.metrics.write_bytes,
+            stats.requests,
+            self.req_map.len() as u64,
+            self.pendq.len() as u64,
+            health,
+        ];
+        sampler.record(at, &raw);
+        self.sampler = Some(sampler);
     }
 
     /// The active failure-detection mode.
@@ -928,6 +994,7 @@ impl StorSystem {
     }
 
     fn handle(&mut self, now: Nanos, ev: Event) {
+        let _prof = kite_prof::span(phase_of(&ev));
         self.hv.trace.set_now(now);
         match ev {
             Event::Submit(op) => {
@@ -1130,6 +1197,16 @@ impl StorSystem {
                 }
                 if self.watch_live() {
                     self.queue.schedule_at(now + interval, Event::ProbeTick);
+                }
+            }
+            Event::SampleTick => {
+                self.sample_now(now);
+                // Re-arm only while the workload is still producing
+                // events, so quiescence is reachable.
+                if let Some(every) = self.sampler.as_ref().map(|s| s.interval()) {
+                    if !self.queue.is_empty() {
+                        self.queue.schedule_at(now + every, Event::SampleTick);
+                    }
                 }
             }
         }

@@ -9,6 +9,10 @@
 //!    identical traffic windows: per-frame payload allocations are
 //!    allowed (the data leaves the system), but nothing accumulates
 //!    per drain — no bookkeeping growth, no leak-shaped drift.
+//! 3. Disabled profiler spans are strictly zero-alloc: `kite_prof`
+//!    instrumentation sits on the scheduler and backend hot paths, so
+//!    its off-by-default cost contract (one branch, no clock, no
+//!    allocation) is part of the same guarantee.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -123,5 +127,20 @@ fn drain_paths_do_not_allocate_in_steady_state() {
     assert!(
         hi - lo <= lo / 100,
         "4-queue netback drain allocations drift between identical windows: {w:?}"
+    );
+
+    // Phase 3: disabled profiler spans allocate nothing, for every
+    // phase in the registry.
+    kite_prof::disable();
+    let before = allocs();
+    for _ in 0..10_000 {
+        for p in kite_prof::Phase::ALL {
+            let _g = kite_prof::span(p);
+        }
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "disabled kite_prof::span must not allocate"
     );
 }

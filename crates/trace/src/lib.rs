@@ -8,6 +8,9 @@
 //!   allocation.
 //! * [`metrics`] — [`MetricsSnapshot`], the one rendering (text + JSON)
 //!   every bench and example reports through.
+//! * [`sampler`] — [`TimeSeriesSampler`], a bounded virtual-time metrics
+//!   time series (counter deltas + gauges) with deterministic CSV/JSON
+//!   export.
 //! * [`chrome`] — a Chrome-trace/Perfetto JSON exporter (one track per
 //!   domain, virtual-time microseconds) and its validator, backed by the
 //!   dependency-free parser in [`json`].
@@ -20,8 +23,10 @@
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod sampler;
 pub mod tracer;
 
 pub use json::JsonValue;
 pub use metrics::{Metric, MetricValue, MetricsSnapshot};
+pub use sampler::{Sample, SampleKind, TimeSeriesSampler};
 pub use tracer::{EventKind, NotifyOutcome, TraceEvent, TraceQuery, Tracer, DEFAULT_CAPACITY};

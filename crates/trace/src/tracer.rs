@@ -241,6 +241,7 @@ impl Tracer {
         let Some(inner) = &mut self.inner else {
             return;
         };
+        let _prof = kite_prof::span(kite_prof::Phase::TraceEmit);
         if inner.ring.len() == inner.capacity {
             inner.ring.pop_front();
             inner.dropped += 1;

@@ -265,6 +265,7 @@ impl Hypervisor {
         ops: &[GrantCopyOp],
         mode: crate::grant::CopyMode,
     ) -> BatchResult {
+        let _prof = kite_prof::span(kite_prof::Phase::GrantCopy);
         match mode {
             crate::grant::CopyMode::Batched => self.grant_copy_batch(caller, ops),
             crate::grant::CopyMode::SingleOp => {

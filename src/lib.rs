@@ -14,6 +14,8 @@
 //!   invocation, the bridge/block apps and the DHCP daemon;
 //! * [`system`] — full-system scenarios (client ⇄ driver domain ⇄ guest);
 //! * [`trace`] — virtual-time tracing, metrics snapshots, Chrome-trace export;
+//! * [`prof`] — scoped-span wall-clock self-profiler (tables, collapsed
+//!   stacks for flamegraphs);
 //! * [`security`] — gadget scanner, CVE analysis, attack-surface reports;
 //! * [`workloads`] — one generator per paper figure.
 //!
@@ -26,6 +28,7 @@ pub use kite_frontends as frontends;
 pub use kite_fs as fs;
 pub use kite_linux as linux;
 pub use kite_net as net;
+pub use kite_prof as prof;
 pub use kite_rumprun as rumprun;
 pub use kite_security as security;
 pub use kite_sim as sim;
