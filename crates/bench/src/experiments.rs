@@ -244,17 +244,19 @@ fn fig6() {
 
 fn fig7() {
     println!(
-        "{:<8} {:>10} {:>12} {:>12}",
-        "os", "ping ms", "netperf ms", "memtier ms"
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "os", "ping ms", "ping p99", "netperf ms", "netperf p99", "memtier ms"
     );
     for os in BackendOs::both() {
         let r = wl::latency::figure7(os, 42);
         println!(
-            "{:<8} {:>10.2} {:>12.2} {:>12.2}",
+            "{:<8} {:>10.2} {:>10.2} {:>12.2} {:>12.2} {:>12.2}",
             os.name(),
-            r.ping_ms,
-            r.netperf_ms,
-            r.memtier_ms
+            r.ping.mean_ms,
+            r.ping.p99_ms,
+            r.netperf.mean_ms,
+            r.netperf.p99_ms,
+            r.memtier.mean_ms
         );
     }
     println!("(paper: ping 0.51/0.31, netperf 0.18/0.10, memtier 0.16/0.15)");

@@ -7,6 +7,7 @@
 //! repro --json out.json  # machine-readable mechanisms/recovery/ablation results
 //! repro top              # kitetop: per-domain health through a crash cycle
 //! repro prof             # profiled 4-queue drain: self-time table + stacks
+//! repro lat              # per-stage latency waterfalls (echo + 4-ring storage)
 //! ```
 //!
 //! `repro prof` options: `--collapsed <path>` writes the collapsed
@@ -24,6 +25,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("top") {
         print!("{}", report::kitetop_report());
+        return;
+    }
+    if args.first().map(String::as_str) == Some("lat") {
+        print!("{}", report::lat_report());
         return;
     }
     if args.first().map(String::as_str) == Some("prof") {
@@ -48,7 +53,7 @@ fn main() {
     }
     let exps = all_experiments();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--all | --list | --json <path> | top | <id>...]");
+        eprintln!("usage: repro [--all | --list | --json <path> | top | lat | <id>...]");
         eprintln!("experiments:");
         for e in &exps {
             eprintln!("  {:8} {}", e.id, e.title);

@@ -553,6 +553,31 @@ pub fn queue_scaling_snapshots() -> Vec<MetricsSnapshot> {
     snaps
 }
 
+/// The `latency/figure7_<os>` rows: mean and p50/p99/p99.9 (ms) of the
+/// three Figure 7 workloads. Everything is virtual-time derived, so
+/// the rows join `repro --json`'s byte-determinism surface.
+pub fn latency_snapshots() -> Vec<MetricsSnapshot> {
+    [BackendOs::Kite, BackendOs::Linux]
+        .iter()
+        .map(|&os| {
+            let r = kite_workloads::latency::figure7(os, 11);
+            let mut snap =
+                MetricsSnapshot::new(format!("latency/figure7_{}", os.name().to_lowercase()));
+            for (wl, w) in [
+                ("ping", r.ping),
+                ("netperf", r.netperf),
+                ("memtier", r.memtier),
+            ] {
+                snap.push_float(format!("{wl}_mean_ms"), "ms", w.mean_ms);
+                snap.push_float(format!("{wl}_p50_ms"), "ms", w.p50_ms);
+                snap.push_float(format!("{wl}_p99_ms"), "ms", w.p99_ms);
+                snap.push_float(format!("{wl}_p999_ms"), "ms", w.p999_ms);
+            }
+            snap
+        })
+        .collect()
+}
+
 /// The `repro --json` result set: mechanisms + recovery (oracle and
 /// watchdog detection) + queue scaling + ablation.
 pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
@@ -572,6 +597,7 @@ pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
         )),
     ];
     snaps.extend(queue_scaling_snapshots());
+    snaps.extend(latency_snapshots());
     snaps.push(ablation_snapshot());
     snaps.push(scheduler_throughput_snapshot(SchedulerKind::Heap));
     snaps.push(scheduler_throughput_snapshot(SchedulerKind::Wheel));
@@ -591,6 +617,12 @@ pub fn standard_snapshots() -> Vec<MetricsSnapshot> {
 pub fn kitetop_report() -> String {
     let mut sys = NetSystem::new(BackendOs::Kite, 11);
     sys.enable_watchdog(MonitorConfig::default());
+    // Trace every echo so the P99_US column has per-domain data by the
+    // first snapshot; the pings all complete before the 2 s kill.
+    sys.enable_req_tracing(1);
+    for i in 0..16u16 {
+        sys.ping_at(Nanos::from_millis(50 * (u64::from(i) + 1)), i);
+    }
     for i in 0..120u64 {
         sys.send_udp_at(
             Nanos::from_millis(1 + 250 * i),
@@ -612,5 +644,150 @@ pub fn kitetop_report() -> String {
     }
     sys.run_to_quiescence();
     out.push_str(&render_top(&sys.top_snapshot()));
+    out
+}
+
+/// Virtual nanoseconds as fractional microseconds for report text.
+fn lat_us(n: Nanos) -> f64 {
+    n.as_nanos() as f64 / 1e3
+}
+
+/// Renders one scenario's per-stage latency table and its two worst
+/// request waterfalls from the run's request tracer.
+///
+/// Stage durations telescope (each inter-stamp gap books to the later
+/// stamp's stage), so a waterfall's `+delta` column sums exactly to the
+/// request's end-to-end latency, and the per-stage histograms partition
+/// the END_TO_END distribution with no gaps or double counting.
+fn lat_section(name: &str, req: &kite_trace::ReqTracer) -> String {
+    use std::fmt::Write as _;
+
+    use kite_trace::{ReqRecord, Stage};
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== lat: {name} — {} sampled of {} injected, {} completed ==",
+        req.sampled(),
+        req.seen(),
+        req.completed_len(),
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>10} {:>10} {:>10}",
+        "STAGE", "COUNT", "P50_US", "P99_US", "P999_US"
+    );
+    let row = |out: &mut String, label: &str, h: &kite_sim::Histogram| {
+        let qs = h.quantiles(&[0.5, 0.99, 0.999]);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+            label,
+            h.count(),
+            lat_us(qs[0]),
+            lat_us(qs[1]),
+            lat_us(qs[2]),
+        );
+    };
+    for &stage in &Stage::ALL {
+        if let Some(h) = req.stage_hist(stage) {
+            if h.count() > 0 {
+                row(&mut out, stage.name(), h);
+            }
+        }
+    }
+    if let Some(h) = req.e2e_hist() {
+        row(&mut out, "END_TO_END", h);
+    }
+    // The two slowest sampled requests, stamp by stamp. Ties break by
+    // id so the pick is deterministic.
+    let mut worst: Vec<&ReqRecord> = req.completed().collect();
+    worst.sort_by_key(|r| (std::cmp::Reverse(r.e2e()), r.id));
+    for rec in worst.iter().take(2) {
+        let _ = writeln!(
+            out,
+            "-- waterfall: req {} e2e {:.3} us --",
+            rec.id,
+            lat_us(rec.e2e()),
+        );
+        let t0 = rec.stamps.first().map_or(Nanos::ZERO, |s| s.at);
+        let mut prev = t0;
+        for s in &rec.stamps {
+            let q = s.qid.map_or_else(|| "-".into(), |q| q.to_string());
+            let _ = writeln!(
+                out,
+                "  +{:>9.3} us  {:<14} dom {:<2} q {:<2} (+{:.3} us)",
+                lat_us(s.at.saturating_sub(t0)),
+                s.stage.name(),
+                s.dom,
+                q,
+                lat_us(s.at.saturating_sub(prev)),
+            );
+            prev = s.at;
+        }
+    }
+    out
+}
+
+/// The `repro lat` report: per-stage latency waterfalls from end-to-end
+/// request tracing on the two canonical scenarios — the network echo
+/// path (256 pings through a Kite driver domain) and the 4-ring
+/// storage path (the `blkback_rings_4` workload). Each scenario also
+/// exports its flow-annotated Chrome trace and validates it (flow
+/// begin/end pairing included) before reporting. Everything is
+/// virtual-time derived: two runs print identical bytes.
+pub fn lat_report() -> String {
+    let mut out = String::new();
+
+    // Network echo: every 4th of 256 pings carries a ReqId.
+    let mut net = SystemConfig::new(BackendOs::Kite, 11)
+        .tracing(1 << 16)
+        .req_tracing(4)
+        .build_net();
+    for i in 0..256u16 {
+        net.ping_at(Nanos::from_millis(1 + 2 * u64::from(i)), i);
+    }
+    net.run_to_quiescence();
+    out.push_str(&lat_section("net_echo", &net.hv.req));
+    let doc = net.hv.export_chrome_trace();
+    let events = kite_trace::chrome::validate(&doc).expect("net echo trace must validate");
+    out.push_str(&format!("flow validation: OK ({events} events)\n\n"));
+
+    // 4-ring storage: the blkback_rings_4 workload (four interleaved
+    // sequential write streams on a low-penalty flash profile), every
+    // 3rd I/O sampled — 3 is coprime to the 4-way ring round-robin, so
+    // the samples visit every ring instead of aliasing onto one.
+    let mut stor = SystemConfig::new(BackendOs::Kite, 7)
+        .queue_mode(QueueMode::Multi(4))
+        .nvme_profile(
+            kite_devices::NvmeProfile::default().with_random_penalty(Nanos::from_micros(2)),
+        )
+        .tracing(1 << 16)
+        .req_tracing(3)
+        .build_stor();
+    const CHUNK: usize = 8 * 1024;
+    const STREAMS: u64 = 4;
+    const PER_STREAM: u64 = 64;
+    const REGION_SECTORS: u64 = 1 << 20;
+    let mut t = Nanos::from_micros(100);
+    for i in 0..(STREAMS * PER_STREAM) {
+        let stream = i % STREAMS;
+        let idx = i / STREAMS;
+        stor.submit_at(
+            t,
+            IoOp {
+                tag: i,
+                kind: IoKind::Write {
+                    sector: stream * REGION_SECTORS + idx * (CHUNK / 512) as u64,
+                    data: vec![0x5a; CHUNK],
+                },
+            },
+        );
+        t += Nanos::from_micros(2);
+    }
+    stor.run_to_quiescence();
+    out.push_str(&lat_section("storage_rings_4", &stor.hv.req));
+    let doc = stor.hv.export_chrome_trace();
+    let events = kite_trace::chrome::validate(&doc).expect("storage trace must validate");
+    out.push_str(&format!("flow validation: OK ({events} events)\n"));
     out
 }

@@ -47,7 +47,7 @@ use kite_xen::ring::BackRing;
 use kite_xen::xenbus::{MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
-    PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
+    PageId, Port, ReqId, ReqStage, Result, SlotClass, XenError, XenbusState, PAGE_SIZE,
 };
 
 use crate::netback::DEFAULT_MAX_QUEUES;
@@ -268,6 +268,10 @@ pub struct BlkbackInstance {
     scratch_run_reqs: Vec<u64>,
     scratch_flushes: Vec<u64>,
     spare_cid_reqs: Vec<Vec<u64>>,
+    /// Traced requests consumed in the current batch — `(frontend id,
+    /// req)` pairs kept so merged-run submission can hand each sample to
+    /// its NVMe command id. Empty whenever request tracing is off.
+    scratch_req: Vec<(u64, ReqId)>,
 }
 
 /// A mergeable device run pending submission: contiguous same-op
@@ -393,6 +397,7 @@ impl BlkbackInstance {
             scratch_run_reqs: Vec::new(),
             scratch_flushes: Vec::new(),
             spare_cid_reqs: Vec::new(),
+            scratch_req: Vec::new(),
         })
     }
 
@@ -637,6 +642,16 @@ impl BlkbackInstance {
             self.stats.requests += 1;
             let id = req.id();
             let op = req.io_op();
+            if let Some(r) = hv.req.take(SlotClass::BlkReq, id) {
+                hv.req.stamp_at(
+                    r,
+                    ReqStage::BackendFetch,
+                    self.back.0,
+                    self.qid(q),
+                    now + batch.cost,
+                );
+                self.scratch_req.push((id, r));
+            }
             if op == BLKIF_OP_FLUSH_DISKCACHE {
                 self.in_flight.insert(
                     id,
@@ -706,6 +721,19 @@ impl BlkbackInstance {
                 });
                 continue;
             }
+            if self.use_copy() {
+                if let Some(&(sid, r)) = self.scratch_req.last() {
+                    if sid == id {
+                        hv.req.stamp_at(
+                            r,
+                            ReqStage::GrantCopy,
+                            self.back.0,
+                            self.qid(q),
+                            now + batch.cost,
+                        );
+                    }
+                }
+            }
             self.in_flight.insert(
                 id,
                 InFlight {
@@ -760,13 +788,21 @@ impl BlkbackInstance {
                 );
                 self.stats.device_ops += 1;
                 let reqs_end = runs.get(k + 1).map_or(run_reqs.len(), |n| n.reqs_start);
+                let merged = &run_reqs[r.reqs_start..reqs_end];
+                if let Some(&(_, tr)) = self.scratch_req.iter().find(|(id, _)| merged.contains(id))
+                {
+                    hv.req.map(SlotClass::NvmeCid, cid.0, tr);
+                }
                 let mut ids = self.spare_cid_reqs.pop().unwrap_or_default();
-                ids.extend_from_slice(&run_reqs[r.reqs_start..reqs_end]);
+                ids.extend_from_slice(merged);
                 self.cids.insert(cid.0, ids);
             }
             for &id in &flushes {
                 let cid = device.sq_push(qid, NvmeCmd::flush());
                 self.stats.device_ops += 1;
+                if let Some(&(_, tr)) = self.scratch_req.iter().find(|(fid, _)| *fid == id) {
+                    hv.req.map(SlotClass::NvmeCid, cid.0, tr);
+                }
                 let mut ids = self.spare_cid_reqs.pop().unwrap_or_default();
                 ids.push(id);
                 self.cids.insert(cid.0, ids);
@@ -793,6 +829,7 @@ impl BlkbackInstance {
         runs.clear();
         run_reqs.clear();
         flushes.clear();
+        self.scratch_req.clear();
         self.scratch_runs = runs;
         self.scratch_run_reqs = run_reqs;
         self.scratch_flushes = flushes;
@@ -1009,6 +1046,13 @@ impl BlkbackInstance {
             return Ok(out);
         };
         while let Some(entry) = device.cq_pop(qid, now) {
+            if let Some(r) = hv.req.take(SlotClass::NvmeCid, entry.cid.0) {
+                let rq = self.qid(q);
+                hv.req
+                    .stamp_at(r, ReqStage::NvmeSubmit, self.back.0, rq, entry.submitted_at);
+                hv.req
+                    .stamp_at(r, ReqStage::NvmeComplete, self.back.0, rq, now);
+            }
             let mut ids = self.cids.remove(&entry.cid.0).ok_or(XenError::Inval)?;
             for &id in &ids {
                 self.complete_one(hv, id, &mut out)?;

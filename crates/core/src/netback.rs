@@ -35,7 +35,7 @@ use kite_xen::ring::BackRing;
 use kite_xen::xenbus::{MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
-    PageId, Port, Result, XenError, XenbusState, PAGE_SIZE,
+    PageId, Port, ReqId, ReqStage, Result, SlotClass, XenError, XenbusState, PAGE_SIZE,
 };
 
 use crate::stats::CopyStats;
@@ -165,6 +165,7 @@ pub struct NetbackInstance {
     scratch_tx: Vec<(u16, usize, Option<usize>)>,
     scratch_rx: Vec<(u16, usize)>,
     scratch_ops: Vec<GrantCopyOp>,
+    scratch_req: Vec<ReqId>,
 }
 
 fn connect_queue(hv: &mut Hypervisor, paths: &DevicePaths, root: &str) -> Result<NbQueue> {
@@ -259,6 +260,7 @@ impl NetbackInstance {
             scratch_tx: Vec::new(),
             scratch_rx: Vec::new(),
             scratch_ops: Vec::new(),
+            scratch_req: Vec::new(),
         })
     }
 
@@ -374,6 +376,13 @@ impl NetbackInstance {
                     len: size,
                 });
                 pending.push((req.id, size, Some(ops.len() - 1)));
+                // A traced request rides its ring slot into the drain.
+                let key = (q as u64) << 32 | req.id as u64;
+                if let Some(r) = hv.req.take(SlotClass::NetTx, key) {
+                    hv.req
+                        .stamp(r, ReqStage::BackendFetch, self.back.0, self.qid(q));
+                    self.scratch_req.push(r);
+                }
             } else {
                 self.stats.tx_errors += 1;
                 pending.push((req.id, size, None));
@@ -385,6 +394,17 @@ impl NetbackInstance {
         let result = hv.grant_copy_ops(self.back, &ops, self.copy_mode);
         self.stats.copy.record(self.copy_mode, ops.len(), &result);
         batch.cost += result.cost;
+        // Grant-copy stage: the batch completes one copy-cost after the
+        // drain began (within-event time does not advance on its own).
+        if !self.scratch_req.is_empty() {
+            let done = hv.req.now() + result.cost;
+            let qid = self.qid(q);
+            for &r in &self.scratch_req {
+                hv.req
+                    .stamp_at(r, ReqStage::GrantCopy, self.back.0, qid, done);
+            }
+            self.scratch_req.clear();
+        }
 
         for &(id, size, op_idx) in &pending {
             let status = match op_idx {

@@ -23,7 +23,8 @@ use kite_xen::netif::{NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxRe
 use kite_xen::ring::FrontRing;
 use kite_xen::xenbus::{negotiate_queues, switch_state, MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
 use kite_xen::{
-    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, Result, XenError, XenbusState,
+    DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, ReqId, ReqStage, Result, SlotClass,
+    XenError, XenbusState,
 };
 
 /// Number of packet buffer pages in each direction's pool, per queue.
@@ -275,11 +276,23 @@ impl Netfront {
     /// when `FrontOp::notify` is set). Fails with [`XenError::RingFull`]
     /// when the steered queue has no Tx slot or buffer free (UDP
     /// workloads count that as a drop).
-    pub fn send(&mut self, hv: &mut Hypervisor, frame: &[u8]) -> Result<(usize, FrontOp)> {
+    ///
+    /// A traced request (`req`) is mapped to the Tx ring slot it lands
+    /// in and stamped [`ReqStage::RingSubmit`], so the backend's drain
+    /// can pick the id back up from the slot.
+    ///
+    /// [`ReqStage::RingSubmit`]: kite_xen::ReqStage::RingSubmit
+    pub fn send(
+        &mut self,
+        hv: &mut Hypervisor,
+        frame: &[u8],
+        req: Option<ReqId>,
+    ) -> Result<(usize, FrontOp)> {
         if frame.len() > kite_xen::PAGE_SIZE {
             return Err(XenError::OutOfBounds);
         }
         let q = kite_net::flow::steer(frame, self.queues.len() as u32) as usize;
+        let multi = self.queues.len() > 1;
         let qu = &mut self.queues[q];
         if qu.tx.full() {
             self.tx_dropped += 1;
@@ -294,7 +307,7 @@ impl Netfront {
         };
         let buf = qu.tx_pool.pages[id as usize];
         hv.mem.page_mut(buf)?[..frame.len()].copy_from_slice(frame);
-        let req = NetifTxRequest {
+        let req_tx = NetifTxRequest {
             gref: qu.tx_pool.grefs[id as usize],
             offset: 0,
             flags: 0,
@@ -302,9 +315,15 @@ impl Netfront {
             size: frame.len() as u16,
         };
         let page = hv.mem.page_mut(qu.tx_page)?;
-        qu.tx.push_request(page, &req)?;
+        qu.tx.push_request(page, &req_tx)?;
         qu.in_flight_tx.push_back((id, frame.len() as u16));
         let notify = qu.tx.push_requests(page);
+        if let Some(r) = req {
+            let key = (q as u64) << 32 | id as u64;
+            hv.req.map(SlotClass::NetTx, key, r);
+            let qid = multi.then_some(q as u16);
+            hv.req.stamp(r, ReqStage::RingSubmit, self.guest.0, qid);
+        }
         Ok((
             q,
             FrontOp {

@@ -8,6 +8,7 @@
 //! [`Histogram::quantiles`].
 
 use kite_sim::{Histogram, Nanos};
+use kite_trace::{ReqTracer, Stage};
 
 /// Latency thresholds; `None` disables that quantile's check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +74,40 @@ pub fn evaluate(hist: &Histogram, cfg: &SloConfig) -> SloReport {
     }
 }
 
+/// Which stage a latency breach books to: the one whose own p99 is the
+/// largest share of the tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreachAttribution {
+    /// Stage name (see [`Stage::name`]).
+    pub stage: &'static str,
+    /// That stage's p99 duration.
+    pub p99: Nanos,
+}
+
+/// Attributes a breach to the per-stage histogram with the largest p99
+/// (ties break toward the earlier stage, so the verdict is
+/// deterministic). Returns `None` when request tracing is off or no
+/// sampled request has completed yet.
+pub fn attribute(req: &ReqTracer) -> Option<BreachAttribution> {
+    let mut worst: Option<BreachAttribution> = None;
+    for &stage in &Stage::ALL {
+        let Some(h) = req.stage_hist(stage) else {
+            return None; // tracing off: no histograms at all
+        };
+        if h.count() == 0 {
+            continue;
+        }
+        let p99 = h.quantile(0.99);
+        if worst.is_none_or(|w| p99 > w.p99) {
+            worst = Some(BreachAttribution {
+                stage: stage.name(),
+                p99,
+            });
+        }
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +145,29 @@ mod tests {
             ..SloConfig::default()
         };
         assert!(!evaluate(&hist_fast_with_slow_tail(), &lax).breached);
+    }
+
+    #[test]
+    fn attribute_names_the_dominating_stage() {
+        assert!(
+            attribute(&ReqTracer::disabled()).is_none(),
+            "tracing off: nothing to attribute"
+        );
+        let mut rt = ReqTracer::enabled(1, 16);
+        assert!(attribute(&rt).is_none(), "no completed request yet");
+        // One request whose grant-copy stage dwarfs the rest.
+        rt.set_now(Nanos(0));
+        let r = rt.admit(0).expect("sampled");
+        rt.set_now(Nanos(1_000));
+        rt.stamp(r, Stage::RingSubmit, 3, None);
+        rt.set_now(Nanos(2_000));
+        rt.stamp(r, Stage::BackendFetch, 2, None);
+        rt.set_now(Nanos(90_000));
+        rt.stamp(r, Stage::GrantCopy, 2, None);
+        rt.finish_at(r, 0, Nanos(91_000));
+        let b = attribute(&rt).expect("one completed request");
+        assert_eq!(b.stage, "grant_copy");
+        assert!(b.p99 >= Nanos(88_000), "the 88µs copy leg dominates");
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct TopRow {
     /// Per-queue Rx backlog depth on the live backend; empty for
     /// domains without a multi-queue-capable backend.
     pub rx_qdepth: Vec<u64>,
+    /// 99th-percentile per-stage latency booked to this domain by
+    /// request tracing, in microseconds; `None` when tracing is off or
+    /// no sampled request has completed a stage here.
+    pub p99_us: Option<f64>,
 }
 
 /// All rows at one virtual instant.
@@ -62,6 +66,13 @@ fn fmt_age(age: Option<Nanos>) -> String {
     match age {
         None => "-".to_string(),
         Some(a) => format!("{:.0}ms", a.as_millis_f64()),
+    }
+}
+
+fn fmt_p99(p99_us: Option<f64>) -> String {
+    match p99_us {
+        None => "-".to_string(),
+        Some(v) => format!("{v:.1}"),
     }
 }
 
@@ -86,7 +97,7 @@ pub fn render(snap: &TopSnapshot) -> String {
         rows.len()
     );
     out.push_str(&format!(
-        "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9} {:>8} {:>7} {:<11}\n",
+        "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9} {:>8} {:>7} {:>9} {:<11}\n",
         "DOM",
         "NAME",
         "KIND",
@@ -101,11 +112,12 @@ pub fn render(snap: &TopSnapshot) -> String {
         "REQ/S",
         "MB/S",
         "RX_DROP",
+        "P99_US",
         "RXQ_DEPTH",
     ));
     for r in &rows {
         out.push_str(&format!(
-            "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9.1} {:>8.2} {:>7} {:<11}\n",
+            "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9.1} {:>8.2} {:>7} {:>9} {:<11}\n",
             r.dom,
             r.name,
             r.kind,
@@ -120,6 +132,7 @@ pub fn render(snap: &TopSnapshot) -> String {
             r.req_per_sec,
             r.mbytes_per_sec,
             r.rx_dropped,
+            fmt_p99(r.p99_us),
             fmt_qdepth(&r.rx_qdepth),
         ));
     }
@@ -150,6 +163,7 @@ mod tests {
                     mbytes_per_sec: 0.056,
                     rx_dropped: 7,
                     rx_qdepth: vec![3, 0, 1, 2],
+                    p99_us: Some(184.75),
                 },
                 TopRow {
                     dom: 0,
@@ -167,6 +181,7 @@ mod tests {
                     mbytes_per_sec: 0.0,
                     rx_dropped: 0,
                     rx_qdepth: Vec::new(),
+                    p99_us: None,
                 },
             ],
         }
@@ -185,8 +200,10 @@ mod tests {
         assert!(lines[3].contains("suspect(2)"));
         assert!(lines[3].contains("1000ms"));
         assert!(lines[1].contains("RX_DROP"));
+        assert!(lines[1].contains("P99_US"));
         assert!(lines[1].contains("RXQ_DEPTH"));
         assert!(lines[3].contains("3/0/1/2"), "per-queue Rx depths");
+        assert!(lines[3].contains("184.8"), "p99 rendered in µs");
         assert!(lines[2].contains(" - "), "no backend: depth renders as -");
     }
 

@@ -41,6 +41,7 @@ pub struct SystemConfig {
     pub(crate) watchdog: Option<MonitorConfig>,
     pub(crate) slo: Option<SloConfig>,
     pub(crate) tracing: Option<usize>,
+    pub(crate) req_tracing: Option<u64>,
     pub(crate) scheduler: SchedulerKind,
     pub(crate) tuning: BlkbackTuning,
     pub(crate) nvme_profile: Option<NvmeProfile>,
@@ -62,6 +63,7 @@ impl SystemConfig {
             watchdog: None,
             slo: None,
             tracing: None,
+            req_tracing: None,
             scheduler: SchedulerKind::default(),
             tuning: BlkbackTuning::default(),
             nvme_profile: None,
@@ -112,6 +114,17 @@ impl SystemConfig {
     /// Enables structured tracing with an event-ring capacity of `cap`.
     pub fn tracing(mut self, cap: usize) -> SystemConfig {
         self.tracing = Some(cap);
+        self
+    }
+
+    /// Enables per-request stage tracing: every `sample_every`-th
+    /// injected request is tagged with a `ReqId` and followed through
+    /// the stack (ring submit, backend fetch, grant copy, device
+    /// residency, IRQ delivery), feeding per-stage latency histograms,
+    /// the `repro lat` waterfalls and Perfetto flow arrows. Off by
+    /// default; the disabled path allocates nothing.
+    pub fn req_tracing(mut self, sample_every: u64) -> SystemConfig {
+        self.req_tracing = Some(sample_every);
         self
     }
 
@@ -180,6 +193,9 @@ impl SystemConfig {
         if let Some(cap) = self.tracing {
             sys.enable_tracing(cap);
         }
+        if let Some(n) = self.req_tracing {
+            sys.enable_req_tracing(n);
+        }
         if self.copy_mode != CopyMode::default() {
             sys.set_copy_mode(self.copy_mode);
         }
@@ -200,6 +216,9 @@ impl SystemConfig {
     fn finish_stor(&self, sys: &mut StorSystem) {
         if let Some(cap) = self.tracing {
             sys.enable_tracing(cap);
+        }
+        if let Some(n) = self.req_tracing {
+            sys.enable_req_tracing(n);
         }
         if self.copy_mode != CopyMode::default() {
             sys.set_copy_mode(self.copy_mode);

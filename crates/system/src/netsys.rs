@@ -23,8 +23,8 @@ use kite_core::{
 use kite_devices::{Nic, RxIrq};
 use kite_frontends::Netfront;
 use kite_health::{
-    slo, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,
-    ProgressSample, SloConfig, TopRow, TopSnapshot,
+    slo, BreachAttribution, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher,
+    MonitorConfig, ProgressSample, SloConfig, TopRow, TopSnapshot,
 };
 use kite_linux::{linux_profile, ubuntu_boot};
 use kite_net::{
@@ -36,11 +36,11 @@ use kite_sim::{
     Cpu, CpuPool, EventSched, Histogram, Link, Nanos, OnlineStats, Pcg, Scheduler, SchedulerKind,
     TxOutcome,
 };
-use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler};
+use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler, DEFAULT_REQ_CAPACITY};
 use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
-    Hypervisor, Notification, Port, QueueMode, XenbusState,
+    Hypervisor, Notification, Port, QueueMode, ReqStage, SlotClass, XenbusState,
 };
 
 use crate::config::SystemConfig;
@@ -206,6 +206,25 @@ fn guest_idle_wake(idle: Nanos) -> Nanos {
     Nanos(idle.as_nanos() / GUEST_WAKE_DIV).min(GUEST_WAKE_CAP)
 }
 
+/// The ICMP echo sequence number carried by a raw frame, when it is one.
+/// Request tracing keys ping requests on this: the request and its reply
+/// share the sequence, so one `SlotClass::NetIcmp` entry follows the
+/// whole round trip. Only called while tracing is enabled — decoding
+/// allocates, and the disabled path must not.
+fn icmp_echo_seq(frame: &[u8]) -> Option<u16> {
+    let eth = EthernetFrame::decode(frame)?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Packet::decode(&eth.payload)?;
+    if ip.proto != IpProto::Icmp {
+        return None;
+    }
+    match IcmpMessage::decode(&ip.payload)? {
+        IcmpMessage::EchoRequest { seq, .. } | IcmpMessage::EchoReply { seq, .. } => Some(seq),
+    }
+}
+
 /// Measurement taps exposed to workloads.
 #[derive(Default)]
 pub struct NetMetrics {
@@ -295,6 +314,9 @@ pub struct NetSystem {
     slo_cfg: SloConfig,
     latency_hist: Histogram,
     sampler: Option<TimeSeriesSampler>,
+    /// Stage attribution of the most recent SLO p99 breach the watchdog
+    /// observed (request tracing on), for `kitetop`/health reporting.
+    last_breach: Option<BreachAttribution>,
 }
 
 impl NetSystem {
@@ -439,6 +461,7 @@ impl NetSystem {
             slo_cfg: SloConfig::default(),
             latency_hist: Histogram::default(),
             sampler: None,
+            last_breach: None,
         }
     }
 
@@ -507,6 +530,13 @@ impl NetSystem {
             ip.encode(),
         );
         self.icmp_sent.insert(seq, t);
+        // Injection point for request tracing: the sampler decides here
+        // whether this ping's round trip is followed stage by stage. The
+        // client machine is outside any domain; its stamps book to dom 0.
+        self.hv.req.set_now(t);
+        if let Some(r) = self.hv.req.admit(0) {
+            self.hv.req.map(SlotClass::NetIcmp, seq as u64, r);
+        }
         self.queue
             .schedule_at(t, Event::ClientTxFrame(frame.encode()));
     }
@@ -946,14 +976,24 @@ impl NetSystem {
         if self.netfront.is_none() {
             return; // backend down: frames wait for the replacement device
         }
+        // `now` includes the guest's idle-wake latency, which the
+        // per-event clock does not: re-aim the tracer so the RingSubmit
+        // stamps inside `send` book at the drain time, after RxDeliver.
+        self.hv.req.set_now(now);
         let mut notify: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         let mut cost = Nanos::ZERO;
         while let Some(frame) = self.guest_txq.front() {
+            let req = if self.hv.req.is_enabled() {
+                icmp_echo_seq(frame)
+                    .and_then(|seq| self.hv.req.lookup(SlotClass::NetIcmp, seq as u64))
+            } else {
+                None
+            };
             let res = self
                 .netfront
                 .as_mut()
                 .expect("checked")
-                .send(&mut self.hv, frame);
+                .send(&mut self.hv, frame, req);
             match res {
                 Ok((q, op)) => {
                     self.guest_txq.pop_front();
@@ -1111,6 +1151,17 @@ impl NetSystem {
                 to_wire.extend(self.bridge_forward(now, self.vif_port, f));
             }
             let t = self.driver_cpus.free_at(q).max(now);
+            if self.hv.req.is_enabled() {
+                let qid = (nqueues > 1).then_some(q as u16);
+                for f in &to_wire {
+                    if let Some(r) = icmp_echo_seq(f)
+                        .and_then(|seq| self.hv.req.lookup(SlotClass::NetIcmp, seq as u64))
+                    {
+                        let dom = self.driver.0;
+                        self.hv.req.stamp_at(r, ReqStage::NicTx, dom, qid, t);
+                    }
+                }
+            }
             self.nic_transmit(t, to_wire);
         }
 
@@ -1150,6 +1201,12 @@ impl NetSystem {
         match ip.proto {
             IpProto::Icmp => {
                 if let Some(msg) = IcmpMessage::decode(&ip.payload) {
+                    if let IcmpMessage::EchoRequest { seq, .. } = msg {
+                        if let Some(r) = self.hv.req.lookup(SlotClass::NetIcmp, seq as u64) {
+                            let dom = self.guest.0;
+                            self.hv.req.stamp_at(r, ReqStage::RxDeliver, dom, None, now);
+                        }
+                    }
                     if let Some(reply) = msg.reply() {
                         let rip =
                             Ipv4Packet::new(addrs::GUEST, ip.src, IpProto::Icmp, reply.encode());
@@ -1238,6 +1295,9 @@ impl NetSystem {
                         self.metrics.ping_rtts.push_nanos(now - t0);
                         self.latency_hist.record(now - t0);
                     }
+                    if let Some(r) = self.hv.req.take(SlotClass::NetIcmp, seq as u64) {
+                        self.hv.req.finish_at(r, 0, now);
+                    }
                 }
             }
             IpProto::Udp => {
@@ -1276,6 +1336,7 @@ impl NetSystem {
     fn handle(&mut self, now: Nanos, ev: Event) {
         let _prof = kite_prof::span(phase_of(&ev));
         self.hv.trace.set_now(now);
+        self.hv.req.set_now(now);
         match ev {
             Event::AppSend {
                 side,
@@ -1344,6 +1405,14 @@ impl NetSystem {
                 let t = self.driver_cpus.run_on(0, handler_done, per_frame);
                 let mut to_wire = Vec::new();
                 for f in frames {
+                    if self.hv.req.is_enabled() {
+                        if let Some(r) = icmp_echo_seq(&f)
+                            .and_then(|seq| self.hv.req.lookup(SlotClass::NetIcmp, seq as u64))
+                        {
+                            let dom = self.driver.0;
+                            self.hv.req.stamp(r, ReqStage::NicRx, dom, None);
+                        }
+                    }
                     to_wire.extend(self.bridge_forward(now, self.if_port, f));
                 }
                 self.nic_transmit(t, to_wire);
@@ -1454,7 +1523,13 @@ impl NetSystem {
                             .collect()
                     })
                     .unwrap_or_default();
-                let slo_ok = !slo::evaluate(&self.latency_hist, &self.slo_cfg).breached;
+                let slo_report = slo::evaluate(&self.latency_hist, &self.slo_cfg);
+                let slo_ok = !slo_report.breached;
+                if slo_report.breached {
+                    // Name the stage dominating the tail while it breaches
+                    // (needs request tracing; None otherwise).
+                    self.last_breach = slo::attribute(&self.hv.req);
+                }
                 let verdict = mon.probe_queues(&mut self.hv, now, &samples, slo_ok);
                 let interval = mon.config().probe_interval;
                 self.monitor = Some(mon);
@@ -1509,6 +1584,26 @@ impl NetSystem {
     /// Turns on structured tracing with an event-ring capacity of `cap`.
     pub fn enable_tracing(&mut self, cap: usize) {
         self.hv.trace.enable(cap);
+    }
+
+    /// Turns on per-request stage tracing: every `sample_every`-th
+    /// injected request is tagged with a [`kite_xen::ReqId`] and followed
+    /// through the stack, feeding per-stage latency histograms, the
+    /// `repro lat` waterfalls and Perfetto flow arrows.
+    pub fn enable_req_tracing(&mut self, sample_every: u64) {
+        self.hv.req.enable(sample_every, DEFAULT_REQ_CAPACITY);
+    }
+
+    /// Stage attribution of the most recent SLO breach the watchdog saw,
+    /// when request tracing was on to supply per-stage histograms.
+    pub fn last_breach(&self) -> Option<&BreachAttribution> {
+        self.last_breach.as_ref()
+    }
+
+    /// The histogram of client-observed echo RTTs (the same samples the
+    /// SLO monitor evaluates; mirrors `metrics.ping_rtts`).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
     }
 
     /// Collects the scenario's measurement taps, lifetime netback stats
@@ -1635,6 +1730,12 @@ impl NetSystem {
                     } else {
                         Vec::new()
                     },
+                    p99_us: self
+                        .hv
+                        .req
+                        .dom_hist(d.id.0)
+                        .filter(|h| h.count() > 0)
+                        .map(|h| h.quantile(0.99).as_nanos() as f64 / 1000.0),
                 }
             })
             .collect();

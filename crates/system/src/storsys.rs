@@ -16,16 +16,16 @@ use kite_core::{
 use kite_devices::{Device, Nvme};
 use kite_frontends::Blkfront;
 use kite_health::{
-    slo, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher, MonitorConfig,
-    ProgressSample, SloConfig, TopRow, TopSnapshot,
+    slo, BreachAttribution, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher,
+    MonitorConfig, ProgressSample, SloConfig, TopRow, TopSnapshot,
 };
 use kite_rumprun::BootSequence;
 use kite_sim::{Cpu, CpuPool, EventSched, Histogram, Nanos, Pcg, Scheduler, SchedulerKind};
-use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler};
+use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler, DEFAULT_REQ_CAPACITY};
 use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
-    Hypervisor, Notification, Port, QueueMode, XenbusState,
+    Hypervisor, Notification, Port, QueueMode, ReqId, ReqStage, SlotClass, XenbusState,
 };
 
 use crate::config::SystemConfig;
@@ -144,6 +144,8 @@ struct TagState {
     chunks: Vec<(usize, Vec<u8>)>, // (order, data) for reads
     want_data: bool,
     submitted: Nanos,
+    /// Request-tracing sample following this logical I/O, when tagged.
+    req: Option<ReqId>,
 }
 
 /// Storage metrics.
@@ -216,6 +218,9 @@ pub struct StorSystem {
     slo_cfg: SloConfig,
     latency_hist: Histogram,
     sampler: Option<TimeSeriesSampler>,
+    /// Stage attribution of the most recent SLO p99 breach the watchdog
+    /// observed (request tracing on), for `kitetop`/health reporting.
+    last_breach: Option<BreachAttribution>,
 }
 
 impl StorSystem {
@@ -377,6 +382,7 @@ impl StorSystem {
             pending_faults: 0,
             slo_cfg: SloConfig::default(),
             latency_hist: Histogram::default(),
+            last_breach: None,
             sampler: None,
         }
     }
@@ -585,6 +591,20 @@ impl StorSystem {
         self.hv.trace.enable(cap);
     }
 
+    /// Turns on per-request stage tracing: every `sample_every`-th
+    /// submitted logical I/O is tagged with a [`kite_xen::ReqId`] and
+    /// followed through the stack, feeding per-stage latency histograms,
+    /// the `repro lat` waterfalls and Perfetto flow arrows.
+    pub fn enable_req_tracing(&mut self, sample_every: u64) {
+        self.hv.req.enable(sample_every, DEFAULT_REQ_CAPACITY);
+    }
+
+    /// Stage attribution of the most recent SLO breach the watchdog saw,
+    /// when request tracing was on to supply per-stage histograms.
+    pub fn last_breach(&self) -> Option<&BreachAttribution> {
+        self.last_breach.as_ref()
+    }
+
     /// Collects the scenario's measurement taps, lifetime blkback stats
     /// and recovery accounting into one named snapshot.
     pub fn metrics_snapshot(&self, scenario: impl Into<String>) -> MetricsSnapshot {
@@ -705,6 +725,11 @@ impl StorSystem {
             self.metrics.write_bytes += data.len() as u64;
         }
         let chunks = self.chunks_of(&op);
+        // Injection point for request tracing: the sampler decides here
+        // whether this logical I/O is followed stage by stage. The guest
+        // application issues it, so the Inject stamp books to the guest.
+        self.hv.req.set_now(submitted);
+        let req = self.hv.req.admit(self.guest.0);
         self.tags.insert(
             op.tag,
             TagState {
@@ -713,6 +738,7 @@ impl StorSystem {
                 chunks: Vec::new(),
                 want_data,
                 submitted,
+                req,
             },
         );
         for c in chunks {
@@ -740,6 +766,17 @@ impl StorSystem {
             match res {
                 Ok((id, fo)) => {
                     let c = self.pendq.pop_front().expect("peeked");
+                    if let Some(r) = self.tags.get(&c.tag).and_then(|ts| ts.req) {
+                        // First chunk's ring entry defines the submit leg;
+                        // later chunks only map so the backend can find
+                        // the sample (first-touch keeps one stamp).
+                        self.hv.req.map(SlotClass::BlkReq, id, r);
+                        let bf = self.blkfront.as_ref().expect("checked");
+                        let qid =
+                            (bf.queue_count() > 1).then(|| bf.ring_of(id).unwrap_or(0) as u16);
+                        let dom = self.guest.0;
+                        self.hv.req.stamp_at(r, ReqStage::RingSubmit, dom, qid, now);
+                    }
                     if fo.notify {
                         let q = self
                             .blkfront
@@ -996,6 +1033,7 @@ impl StorSystem {
     fn handle(&mut self, now: Nanos, ev: Event) {
         let _prof = kite_prof::span(phase_of(&ev));
         self.hv.trace.set_now(now);
+        self.hv.req.set_now(now);
         match ev {
             Event::Submit(op) => {
                 let ok = self.try_submit(now, op, now);
@@ -1045,6 +1083,13 @@ impl StorSystem {
                         let Some(ts) = self.tags.get_mut(&tag) else {
                             continue;
                         };
+                        if let Some(r) = ts.req {
+                            // Guest sees the completion after wake-from-halt.
+                            let dom = self.guest.0;
+                            self.hv
+                                .req
+                                .stamp_at(r, ReqStage::IrqDeliver, dom, None, now);
+                        }
                         ts.ok &= c.ok;
                         if let Some(d) = c.data {
                             if ts.want_data {
@@ -1064,6 +1109,9 @@ impl StorSystem {
                             } else {
                                 None
                             };
+                            if let Some(r) = ts.req {
+                                self.hv.req.finish_at(r, self.guest.0, now);
+                            }
                             let lat = now - ts.submitted;
                             self.metrics.ios += 1;
                             self.metrics.latency.push_nanos(lat);
@@ -1188,7 +1236,13 @@ impl StorSystem {
                             .collect()
                     })
                     .unwrap_or_default();
-                let slo_ok = !slo::evaluate(&self.latency_hist, &self.slo_cfg).breached;
+                let slo_report = slo::evaluate(&self.latency_hist, &self.slo_cfg);
+                let slo_ok = !slo_report.breached;
+                if slo_report.breached {
+                    // Name the stage dominating the tail while it breaches
+                    // (needs request tracing; None otherwise).
+                    self.last_breach = slo::attribute(&self.hv.req);
+                }
                 let verdict = mon.probe_queues(&mut self.hv, now, &samples, slo_ok);
                 let interval = mon.config().probe_interval;
                 self.monitor = Some(mon);
@@ -1289,6 +1343,12 @@ impl StorSystem {
                             .collect(),
                         _ => Vec::new(),
                     },
+                    p99_us: self
+                        .hv
+                        .req
+                        .dom_hist(d.id.0)
+                        .filter(|h| h.count() > 0)
+                        .map(|h| h.quantile(0.99).as_nanos() as f64 / 1000.0),
                 }
             })
             .collect();

@@ -13,12 +13,17 @@
 //!    instrumentation sits on the scheduler and backend hot paths, so
 //!    its off-by-default cost contract (one branch, no clock, no
 //!    allocation) is part of the same guarantee.
+//! 4. A disabled request tracer is strictly zero-alloc across its whole
+//!    API: admit/stamp/map/lookup/take/finish ride the ring-submit,
+//!    drain and completion paths, so request tracing off must cost one
+//!    branch per call and nothing else.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use kite_sim::{EventSched, Nanos, Scheduler, SchedulerKind};
 use kite_system::{addrs, BackendOs, Side, SystemConfig};
+use kite_xen::{ReqId, ReqStage, ReqTracer, SlotClass};
 
 struct Counting;
 
@@ -142,5 +147,27 @@ fn drain_paths_do_not_allocate_in_steady_state() {
         allocs() - before,
         0,
         "disabled kite_prof::span must not allocate"
+    );
+
+    // Phase 4: the whole request-tracing API is zero-alloc while
+    // disabled — every call the datapaths make when `req_tracing` is
+    // off must be a single branch.
+    let mut rt = ReqTracer::disabled();
+    let before = allocs();
+    for i in 0..10_000u64 {
+        rt.set_now(Nanos(i));
+        assert!(rt.admit(0).is_none());
+        rt.stamp(ReqId(i), ReqStage::RingSubmit, 1, None);
+        rt.stamp_at(ReqId(i), ReqStage::GrantCopy, 1, Some(0), Nanos(i));
+        rt.map(SlotClass::NetTx, i, ReqId(i));
+        assert!(rt.lookup(SlotClass::NetTx, i).is_none());
+        assert!(rt.take(SlotClass::BlkReq, i).is_none());
+        rt.finish(ReqId(i), 0);
+        assert_eq!(rt.completed_len(), 0);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "disabled ReqTracer calls must not allocate"
     );
 }

@@ -8,12 +8,20 @@
 //! virtual-time microseconds with nanosecond precision, printed as
 //! fixed-point decimals so output is byte-stable across runs.
 //!
+//! When a [`ReqTracer`] is supplied ([`export_with_flows`]), every
+//! completed sampled request additionally draws a Perfetto *flow* — a
+//! begin/step/end chain of `"s"`/`"t"`/`"f"` events keyed by the
+//! request id — whose points land on the domain (or per-queue) track
+//! of each stage crossing, so the viewer renders an arrow following
+//! the request across the stack.
+//!
 //! [JSON object format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 use std::fmt::Write as _;
 
 use kite_sim::Nanos;
 
 use crate::metrics::json_escape;
+use crate::reqtrace::ReqTracer;
 use crate::tracer::{EventKind, Tracer};
 
 /// Virtual nanoseconds as Chrome-trace microseconds: `"{us}.{ns:03}"`.
@@ -86,6 +94,22 @@ fn queue_tid(dom: u16, qid: u16) -> u32 {
 /// queue's drain cadence as its own row. Single-queue drains (`qid:
 /// None`) stay on the domain track, byte-identical to the legacy layout.
 pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
+    export_with_flows(tracer, tracks, None)
+}
+
+/// [`export`], plus one Perfetto flow per completed sampled request.
+///
+/// Each [`ReqRecord`](crate::reqtrace::ReqRecord) with at least two
+/// stamps renders as a `"s"` event at its first stamp, `"t"` steps at
+/// the intermediate stamps and a `"f"` (binding `"bp":"e"`) at the
+/// last, all sharing the request id as the flow `"id"` and named
+/// `"req"` — Perfetto draws the arrow across the tracks the stamps
+/// land on. Passing `None` reproduces [`export`] byte-for-byte.
+pub fn export_with_flows(
+    tracer: &Tracer,
+    tracks: &[(u16, String)],
+    req: Option<&ReqTracer>,
+) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     for &(tid, ref name) in tracks {
@@ -106,6 +130,17 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
     for e in tracer.events() {
         if let EventKind::RingDrain { qid: Some(q), .. } = e.kind {
             queue_tracks.insert((e.dom, q));
+        }
+    }
+    // Flow points can land on per-queue tracks no drain touched; name
+    // those too so the viewer never shows a bare tid.
+    if let Some(rt) = req {
+        for rec in rt.completed() {
+            for s in &rec.stamps {
+                if let Some(q) = s.qid {
+                    queue_tracks.insert((s.dom, q));
+                }
+            }
         }
     }
     for &(dom, q) in &queue_tracks {
@@ -247,6 +282,43 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
             ),
         }
     }
+    // Flow arrows, one per completed sampled request, appended after
+    // the slice/instant events (Perfetto orders by ts, not position).
+    if let Some(rt) = req {
+        for rec in rt.completed() {
+            if rec.stamps.len() < 2 {
+                continue;
+            }
+            let last = rec.stamps.len() - 1;
+            for (i, s) in rec.stamps.iter().enumerate() {
+                let ph = if i == 0 {
+                    "s"
+                } else if i == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                let tid = match s.qid {
+                    Some(q) => queue_tid(s.dom, q),
+                    None => s.dom.into(),
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n  {{\"name\":\"req\",\"cat\":\"kite\",\"ph\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{}{},\"args\":{{\"stage\":{}}}}}",
+                    ph,
+                    tid,
+                    ts(s.at),
+                    rec.id,
+                    if ph == "f" { ",\"bp\":\"e\"" } else { "" },
+                    str_arg(s.stage.name()),
+                );
+            }
+        }
+    }
     let _ = write!(
         out,
         "\n],\"displayTimeUnit\":\"ns\",\"droppedEvents\":{}}}\n",
@@ -255,11 +327,15 @@ pub fn export(tracer: &Tracer, tracks: &[(u16, String)]) -> String {
     out
 }
 
-/// Validates a Chrome-trace document produced by [`export`]: it must
-/// parse as JSON, every event needs `pid`/`tid`/`ph` (and `ts` unless
-/// metadata), timestamps must be monotonic non-decreasing per track,
-/// and `droppedEvents` must be zero. Returns the number of non-metadata
-/// events.
+/// Validates a Chrome-trace document produced by [`export`] or
+/// [`export_with_flows`]: it must parse as JSON, every event needs
+/// `pid`/`tid`/`ph` (and `ts` unless metadata), timestamps must be
+/// monotonic non-decreasing per track, and `droppedEvents` must be
+/// zero. Flow events (`"s"`/`"t"`/`"f"`) are exempt from the per-track
+/// ordering (the exporter appends them after the slice events, and a
+/// flow legitimately revisits a track); instead each flow `"id"` must
+/// carry exactly one begin and one end with non-decreasing timestamps
+/// in between. Returns the number of non-metadata events.
 pub fn validate(doc: &str) -> Result<usize, String> {
     let value = crate::json::parse(doc)?;
     let events = value
@@ -274,6 +350,9 @@ pub fn validate(doc: &str) -> Result<usize, String> {
         return Err(format!("{dropped} events were dropped from the ring"));
     }
     let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    // id -> (begin count, end count, last ts seen on the flow)
+    let mut flows: std::collections::HashMap<u64, (u32, u32, f64)> =
+        std::collections::HashMap::new();
     let mut counted = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
@@ -295,6 +374,28 @@ pub fn validate(doc: &str) -> Result<usize, String> {
             .get("ts")
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if matches!(ph, "s" | "t" | "f") {
+            let id = ev
+                .get("id")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("event {i}: flow event missing id"))?;
+            let fl = flows
+                .entry(id.to_bits())
+                .or_insert((0, 0, f64::NEG_INFINITY));
+            if ts < fl.2 {
+                return Err(format!(
+                    "event {i}: flow {id} ts {ts} precedes {} — not monotonic",
+                    fl.2
+                ));
+            }
+            fl.2 = ts;
+            match ph {
+                "s" => fl.0 += 1,
+                "f" => fl.1 += 1,
+                _ => {}
+            }
+            continue;
+        }
         let prev = last_ts.entry(tid.to_bits()).or_insert(f64::NEG_INFINITY);
         if ts < *prev {
             return Err(format!(
@@ -302,6 +403,14 @@ pub fn validate(doc: &str) -> Result<usize, String> {
             ));
         }
         *prev = ts;
+    }
+    for (id, (begins, ends, _)) in &flows {
+        if *begins != 1 || *ends != 1 {
+            return Err(format!(
+                "flow {}: {begins} begin / {ends} end events — must pair exactly",
+                f64::from_bits(*id)
+            ));
+        }
     }
     Ok(counted)
 }
@@ -409,5 +518,68 @@ mod tests {
         t.emit_with(0, || EventKind::Milestone { what: "b" });
         let doc = export(&t, &[]);
         assert!(validate(&doc).unwrap_err().contains("dropped"));
+    }
+
+    fn sample_reqtracer() -> ReqTracer {
+        use crate::reqtrace::Stage;
+        let mut rt = ReqTracer::enabled(1, 16);
+        rt.set_now(Nanos::from_micros(1));
+        let req = rt.admit(0).expect("sampled");
+        rt.set_now(Nanos::from_micros(4));
+        rt.stamp(req, Stage::RingSubmit, 3, None);
+        rt.set_now(Nanos::from_micros(6));
+        rt.stamp(req, Stage::BackendFetch, 2, Some(1));
+        rt.set_now(Nanos::from_micros(9));
+        rt.finish(req, 0);
+        rt
+    }
+
+    #[test]
+    fn flow_export_validates_and_pairs() {
+        let t = sample_tracer();
+        let rt = sample_reqtracer();
+        let doc = export_with_flows(&t, &tracks(), Some(&rt));
+        // 4 tracer events + 4 flow points (s, 2×t, f).
+        assert_eq!(validate(&doc), Ok(8));
+        assert!(doc.contains("\"ph\":\"s\""), "{doc}");
+        assert!(doc.contains("\"ph\":\"f\",\"pid\":0"), "{doc}");
+        assert!(doc.contains("\"bp\":\"e\""), "{doc}");
+        assert!(doc.contains("\"stage\":\"ring_submit\""), "{doc}");
+        // The Some-qid stamp lands on its queue track, which gets named.
+        let qt = queue_tid(2, 1);
+        assert!(doc.contains(&format!("\"tid\":{qt},")), "{doc}");
+        assert!(doc.contains("netbackend/q1 (dom 2)"), "{doc}");
+    }
+
+    #[test]
+    fn flow_export_without_requests_matches_legacy_export() {
+        let t = sample_tracer();
+        let legacy = export(&t, &tracks());
+        assert_eq!(legacy, export_with_flows(&t, &tracks(), None));
+        // An enabled tracer with no completed requests adds nothing.
+        let rt = ReqTracer::enabled(1, 16);
+        assert_eq!(legacy, export_with_flows(&t, &tracks(), Some(&rt)));
+    }
+
+    #[test]
+    fn flow_export_is_byte_identical_for_identical_inputs() {
+        let a = export_with_flows(&sample_tracer(), &tracks(), Some(&sample_reqtracer()));
+        let b = export_with_flows(&sample_tracer(), &tracks(), Some(&sample_reqtracer()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_flags_unpaired_and_reordered_flows() {
+        // A begin with no end.
+        let doc = r#"{"traceEvents":[
+  {"name":"req","cat":"kite","ph":"s","pid":0,"tid":1,"ts":1.000,"id":7,"args":{}}
+],"displayTimeUnit":"ns","droppedEvents":0}"#;
+        assert!(validate(doc).unwrap_err().contains("must pair"));
+        // A flow whose steps go backwards in time.
+        let doc = r#"{"traceEvents":[
+  {"name":"req","cat":"kite","ph":"s","pid":0,"tid":1,"ts":5.000,"id":7,"args":{}},
+  {"name":"req","cat":"kite","ph":"f","bp":"e","pid":0,"tid":1,"ts":1.000,"id":7,"args":{}}
+],"displayTimeUnit":"ns","droppedEvents":0}"#;
+        assert!(validate(doc).unwrap_err().contains("not monotonic"));
     }
 }

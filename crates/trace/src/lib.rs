@@ -6,6 +6,10 @@
 //!   virtual time, plus the [`TraceQuery`] assertion API. Disabled by
 //!   default; the disabled emit path is a single branch and runs no
 //!   allocation.
+//! * [`reqtrace`] — [`ReqTracer`], per-request stage stamps: a
+//!   deterministic 1-in-N sample of requests carries a [`ReqId`]
+//!   through ring slots and device queues, producing latency
+//!   waterfalls, per-stage histograms and Perfetto flow arrows.
 //! * [`metrics`] — [`MetricsSnapshot`], the one rendering (text + JSON)
 //!   every bench and example reports through.
 //! * [`sampler`] — [`TimeSeriesSampler`], a bounded virtual-time metrics
@@ -23,10 +27,14 @@
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod reqtrace;
 pub mod sampler;
 pub mod tracer;
 
 pub use json::JsonValue;
 pub use metrics::{Metric, MetricValue, MetricsSnapshot};
+pub use reqtrace::{
+    ReqId, ReqRecord, ReqTracer, SlotClass, Stage, StageStamp, DEFAULT_REQ_CAPACITY,
+};
 pub use sampler::{Sample, SampleKind, TimeSeriesSampler};
 pub use tracer::{EventKind, NotifyOutcome, TraceEvent, TraceQuery, Tracer, DEFAULT_CAPACITY};

@@ -4,34 +4,98 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use kite_sim::{Nanos, OnlineStats};
+use kite_sim::{Histogram, Nanos, OnlineStats};
 use kite_system::{addrs, BackendOs, NetSystem, Reply, Side};
 
-/// One latency figure row.
-#[derive(Clone, Debug)]
+/// One latency figure row: mean plus tail per workload, in ms.
+#[derive(Clone, Copy, Debug)]
 pub struct LatencyReport {
     /// Driver-domain OS.
     pub os: BackendOs,
-    /// ping mean RTT in ms (100 echoes at 1 s intervals).
-    pub ping_ms: f64,
-    /// Netperf-style RR mean latency in ms (1000 req/s).
-    pub netperf_ms: f64,
-    /// memtier mean latency in ms (SET:GET 1:10, 8 KB values).
-    pub memtier_ms: f64,
+    /// ping RTTs (100 echoes at 1 s intervals).
+    pub ping: WorkloadLatency,
+    /// Netperf-style RR latency (1000 req/s).
+    pub netperf: WorkloadLatency,
+    /// memtier latency (SET:GET 1:10, 8 KB values).
+    pub memtier: WorkloadLatency,
+}
+
+/// Mean and tail percentiles of one workload's latencies, in
+/// milliseconds. The percentiles come from a log-bucketed
+/// [`Histogram`], so they carry its ~1.4% bucket-width quantization.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadLatency {
+    /// Sample mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+}
+
+/// Latency samples of one workload run: an [`OnlineStats`] for the mean
+/// (what Figure 7 plots) and a [`Histogram`] for the tail, fed from the
+/// same round trips.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    stats: OnlineStats,
+    hist: Histogram,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Records one round-trip sample.
+    pub fn push_nanos(&mut self, d: Nanos) {
+        self.stats.push_nanos(d);
+        self.hist.record(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Sample mean in nanoseconds, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// The mean and p50/p99/p99.9 in milliseconds (one bucket walk).
+    pub fn summary_ms(&self) -> WorkloadLatency {
+        let qs = self.hist.quantiles(&[0.5, 0.99, 0.999]);
+        let ms = |n: Nanos| n.as_nanos() as f64 / 1e6;
+        WorkloadLatency {
+            mean_ms: self.mean() / 1e6,
+            p50_ms: ms(qs[0]),
+            p99_ms: ms(qs[1]),
+            p999_ms: ms(qs[2]),
+        }
+    }
 }
 
 /// ping: `count` echoes at 1 s intervals.
-pub fn ping(os: BackendOs, count: u16, seed: u64) -> OnlineStats {
+pub fn ping(os: BackendOs, count: u16, seed: u64) -> LatencyStats {
     let mut sys = NetSystem::new(os, seed);
     for i in 0..count {
         sys.ping_at(Nanos::from_secs(1) * (u64::from(i) + 1), i);
     }
     sys.run_to_quiescence();
-    sys.metrics.ping_rtts.clone()
+    // The system records each echo RTT in both shapes already; adopt
+    // them instead of replaying the samples.
+    LatencyStats {
+        stats: sys.metrics.ping_rtts.clone(),
+        hist: sys.latency_histogram().clone(),
+    }
 }
 
 /// Netperf UDP_RR: `n` transactions at `rate_per_sec`.
-pub fn netperf_rr(os: BackendOs, n: u64, rate_per_sec: u64, seed: u64) -> OnlineStats {
+pub fn netperf_rr(os: BackendOs, n: u64, rate_per_sec: u64, seed: u64) -> LatencyStats {
     let mut sys = NetSystem::new(os, seed);
     sys.set_guest_app(Box::new(|_, msg| {
         vec![Reply {
@@ -42,7 +106,7 @@ pub fn netperf_rr(os: BackendOs, n: u64, rate_per_sec: u64, seed: u64) -> Online
             cost: Nanos::from_micros(3),
         }]
     }));
-    let rtts = Rc::new(RefCell::new(OnlineStats::new()));
+    let rtts = Rc::new(RefCell::new(LatencyStats::new()));
     let sent: Rc<RefCell<HashMap<u16, Nanos>>> = Rc::new(RefCell::new(HashMap::new()));
     let (r2, s2) = (rtts.clone(), sent.clone());
     sys.set_client_app(Box::new(move |now, msg| {
@@ -71,7 +135,7 @@ pub fn memtier(
     ops: u64,
     value_bytes: usize,
     seed: u64,
-) -> OnlineStats {
+) -> LatencyStats {
     use crate::common::{encode_msg, Reassembler};
 
     const KIND_GET: u16 = 1;
@@ -102,7 +166,7 @@ pub fn memtier(
         t0: Nanos,
         ops_done: u64,
     }
-    let rtts = Rc::new(RefCell::new(OnlineStats::new()));
+    let rtts = Rc::new(RefCell::new(LatencyStats::new()));
     let conns: Rc<RefCell<HashMap<u16, Conn>>> = Rc::new(RefCell::new(HashMap::new()));
     let per_conn_ops = ops / u64::from(connections);
     let client_asm = Rc::new(RefCell::new(Reassembler::new()));
@@ -162,9 +226,9 @@ pub fn memtier(
 pub fn figure7(os: BackendOs, seed: u64) -> LatencyReport {
     LatencyReport {
         os,
-        ping_ms: ping(os, 100, seed).mean() / 1e6,
-        netperf_ms: netperf_rr(os, 2000, 1000, seed + 1).mean() / 1e6,
-        memtier_ms: memtier(os, 4, 2000, 8192, seed + 2).mean() / 1e6,
+        ping: ping(os, 100, seed).summary_ms(),
+        netperf: netperf_rr(os, 2000, 1000, seed + 1).summary_ms(),
+        memtier: memtier(os, 4, 2000, 8192, seed + 2).summary_ms(),
     }
 }
 
@@ -176,24 +240,42 @@ mod tests {
     fn figure7_shape_kite_at_or_below_linux() {
         let kite = figure7(BackendOs::Kite, 10);
         let linux = figure7(BackendOs::Linux, 10);
-        assert!(kite.ping_ms < linux.ping_ms, "{kite:?} vs {linux:?}");
-        assert!(kite.netperf_ms < linux.netperf_ms, "{kite:?} vs {linux:?}");
         assert!(
-            kite.memtier_ms <= linux.memtier_ms * 1.05,
+            kite.ping.mean_ms < linux.ping.mean_ms,
+            "{kite:?} vs {linux:?}"
+        );
+        assert!(
+            kite.netperf.mean_ms < linux.netperf.mean_ms,
+            "{kite:?} vs {linux:?}"
+        );
+        assert!(
+            kite.memtier.mean_ms <= linux.memtier.mean_ms * 1.05,
             "{kite:?} vs {linux:?}"
         );
         // Magnitudes match the paper's figure.
         assert!(
-            (0.2..0.45).contains(&kite.ping_ms),
+            (0.2..0.45).contains(&kite.ping.mean_ms),
             "kite ping {}",
-            kite.ping_ms
+            kite.ping.mean_ms
         );
         assert!(
-            (0.35..0.65).contains(&linux.ping_ms),
+            (0.35..0.65).contains(&linux.ping.mean_ms),
             "linux ping {}",
-            linux.ping_ms
+            linux.ping.mean_ms
         );
-        assert!(kite.netperf_ms < 0.2, "kite netperf {}", kite.netperf_ms);
+        assert!(
+            kite.netperf.mean_ms < 0.2,
+            "kite netperf {}",
+            kite.netperf.mean_ms
+        );
+        // Percentiles are ordered and bracket the mean for every row.
+        for w in [kite.ping, kite.netperf, kite.memtier, linux.ping] {
+            assert!(
+                w.p50_ms <= w.p99_ms && w.p99_ms <= w.p999_ms,
+                "tail must be ordered: {w:?}"
+            );
+            assert!(w.p50_ms > 0.0 && w.p999_ms < 10.0, "magnitude sane: {w:?}");
+        }
     }
 
     #[test]
@@ -207,5 +289,22 @@ mod tests {
         let s = memtier(BackendOs::Kite, 4, 440, 8192, 4);
         assert_eq!(s.count(), 440);
         assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn ping_percentiles_come_from_the_same_samples_as_the_mean() {
+        let s = ping(BackendOs::Kite, 20, 5);
+        assert_eq!(s.count(), 20);
+        let w = s.summary_ms();
+        // The median brackets the mean loosely: the RTT distribution is
+        // skewed (a few fast first-wake pings pull the mean down) and
+        // log buckets quantize upward by one bucket (~1.4%), but a p50
+        // drawn from different samples than the mean would land far
+        // outside a 2x band.
+        assert!(
+            w.p50_ms <= w.mean_ms * 1.5 && w.p50_ms >= w.mean_ms * 0.5,
+            "{w:?}"
+        );
+        assert!(w.p50_ms <= w.p99_ms && w.p99_ms <= w.p999_ms, "{w:?}");
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use kite_sim::Nanos;
-use kite_trace::{EventKind, NotifyOutcome, Tracer};
+use kite_trace::{EventKind, NotifyOutcome, ReqTracer, Tracer};
 
 use crate::domain::{DomainId, DomainKind, DomainTable};
 use crate::error::Result;
@@ -68,6 +68,9 @@ pub struct Hypervisor {
     /// Structured event recorder (disabled by default; a disabled
     /// tracer's emit path is one branch and no allocation).
     pub trace: Tracer,
+    /// Per-request stage recorder (disabled by default; same one-branch
+    /// zero-allocation contract as `trace`).
+    pub req: ReqTracer,
     meters: HashMap<DomainId, HypercallMeter>,
 }
 
@@ -91,6 +94,7 @@ impl Hypervisor {
             costs: CostModel::default(),
             faults: FaultPlan::none(),
             trace: Tracer::disabled(),
+            req: ReqTracer::disabled(),
             meters: HashMap::new(),
         }
     }
@@ -451,14 +455,17 @@ impl Hypervisor {
     }
 
     /// Renders the recorded trace as a Chrome-trace/Perfetto JSON
-    /// document with one named track per domain ever created.
+    /// document with one named track per domain ever created. When
+    /// request tracing is on, every completed sampled request draws a
+    /// Perfetto flow arrow across the tracks it crossed.
     pub fn export_chrome_trace(&self) -> String {
         let tracks: Vec<(u16, String)> = self
             .domains
             .iter_all()
             .map(|d| (d.id.0, d.name.clone()))
             .collect();
-        kite_trace::chrome::export(&self.trace, &tracks)
+        let req = self.req.is_enabled().then_some(&self.req);
+        kite_trace::chrome::export_with_flows(&self.trace, &tracks, req)
     }
 }
 

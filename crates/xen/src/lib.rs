@@ -47,6 +47,7 @@ pub use grant::{
 pub use hypercall::{CostModel, HypercallKind, HypercallMeter};
 pub use hypervisor::{BatchResult, Hypervisor};
 pub use iommu::{Iommu, IommuFault};
+pub use kite_trace::reqtrace::{ReqId, ReqTracer, SlotClass, Stage as ReqStage};
 pub use mem::{MachineMemory, PageId, PAGE_SIZE};
 pub use pci::{Bdf, PciBus, PciClass, PciDevice};
 pub use ring::{BackRing, FrontRing, RingEntry};

@@ -198,6 +198,48 @@ echo "==> repro top: kitetop snapshots are byte-identical"
 cmp "$tdir/top_a.txt" "$tdir/top_b.txt" \
     || { echo "verify: repro top output not deterministic" >&2; exit 1; }
 
+echo "==> repro lat: per-stage waterfalls, flow arrows validated"
+# Both canonical scenarios run with request tracing on; each validates
+# its flow-annotated Chrome export (flow begin/end pairing included)
+# before printing, and every number is virtual-time derived — two runs
+# of the same build must print identical bytes.
+./target/release/repro lat > "$tdir/lat_a.txt"
+./target/release/repro lat > "$tdir/lat_b.txt"
+cmp "$tdir/lat_a.txt" "$tdir/lat_b.txt" \
+    || { echo "verify: repro lat output not deterministic" >&2; exit 1; }
+grep -q '^STAGE ' "$tdir/lat_a.txt" \
+    || { echo "verify: lat report missing the stage table" >&2; exit 1; }
+for row in grant_copy nvme_complete END_TO_END; do
+    grep -q "^$row " "$tdir/lat_a.txt" \
+        || { echo "verify: lat report missing $row row" >&2; exit 1; }
+done
+[ "$(grep -c '^flow validation: OK' "$tdir/lat_a.txt")" -eq 2 ] \
+    || { echo "verify: expected 2 flow-validated lat scenarios" >&2; exit 1; }
+
+echo "==> BENCH_mechanisms.json: row schema + wall marking"
+# The checked-in snapshot must carry the full row schema (scenario,
+# metric, unit, numeric value), mark exactly the wall-clock-derived
+# rows "wall":true, and include the latency percentile rows.
+python3 - BENCH_mechanisms.json <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+assert rows, "no rows"
+for r in rows:
+    for k in ("scenario", "metric", "unit"):
+        assert isinstance(r.get(k), str), f"row missing {k}: {r}"
+    assert isinstance(r.get("value"), (int, float)), f"row missing numeric value: {r}"
+wall_prefixes = ("mechanisms/sim_events_per_sec", "mechanisms/prof_")
+for r in rows:
+    if r["scenario"].startswith(wall_prefixes):
+        assert r.get("wall") is True, f"wall-clock row not marked: {r}"
+    else:
+        assert "wall" not in r, f"deterministic row marked wall: {r}"
+lat = {r["metric"] for r in rows if r["scenario"] == "latency/figure7_kite"}
+need = {f"{w}_{q}_ms" for w in ("ping", "netperf", "memtier")
+        for q in ("mean", "p50", "p99", "p999")}
+assert need <= lat, f"latency rows missing: {sorted(need - lat)}"
+EOF
+
 echo "==> cargo doc --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 

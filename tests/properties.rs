@@ -484,7 +484,7 @@ fn apply_net_ops(rig: &mut NetRig, ops: &[NetOp], payload_rng: &mut Pcg) -> (Vec
         match op {
             NetOp::Send(len) => {
                 let frame = random_bytes(payload_rng, *len);
-                let ok = rig.nf.send(&mut rig.hv, &frame).is_ok();
+                let ok = rig.nf.send(&mut rig.hv, &frame, None).is_ok();
                 log.push(Observed::Sent(ok));
             }
             NetOp::Enqueue(len) => {
@@ -826,7 +826,7 @@ fn netback_drain_is_one_hypercall() {
     rig.hv.trace.enable(1 << 12);
     for i in 0..20 {
         let frame = vec![i as u8; 100 + i * 7];
-        rig.nf.send(&mut rig.hv, &frame).unwrap();
+        rig.nf.send(&mut rig.hv, &frame, None).unwrap();
         rig.nb.enqueue_to_guest(frame);
     }
     let tx = rig.nb.pusher_run(&mut rig.hv, 0, 64).unwrap();
