@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use kite_bench::report;
+use kite_net::ether::ETH_FRAME_MAX;
 use kite_net::{Bridge, MacAddr};
 use kite_security::gadgets::decode::decode;
 use kite_sim::Nanos;
@@ -22,7 +23,7 @@ fn bench_ring(c: &mut Criterion) {
             offset: 0,
             flags: 0,
             id: 1,
-            size: 1514,
+            size: ETH_FRAME_MAX as u16,
         };
         b.iter(|| {
             f.push_request(&mut page, black_box(&req)).unwrap();
@@ -79,7 +80,7 @@ fn bench_grant_copy_batch(c: &mut Criterion) {
     let dd = hv.create_domain("dd", DomainKind::Driver, 256, 1);
     let gu = hv.create_domain("guest", DomainKind::Guest, 256, 2);
     const NOPS: usize = 32;
-    const LEN: usize = 1514;
+    const LEN: usize = ETH_FRAME_MAX;
     let mut ops = Vec::with_capacity(NOPS);
     for _ in 0..NOPS {
         let src = hv.alloc_page(gu).unwrap();
@@ -110,10 +111,10 @@ fn bench_grant_copy_batch(c: &mut Criterion) {
     );
     // Shared reporting path: same values land in `repro --json`.
     report::print_snapshots(&[report::grant_copy_snapshot()]);
-    c.bench_function("grant_copy_batched_32x1514", |b| {
+    c.bench_function(&format!("grant_copy_batched_32x{LEN}"), |b| {
         b.iter(|| black_box(hv.grant_copy_ops(dd, &ops, kite_xen::CopyMode::Batched)))
     });
-    c.bench_function("grant_copy_single_op_32x1514", |b| {
+    c.bench_function(&format!("grant_copy_single_op_32x{LEN}"), |b| {
         b.iter(|| black_box(hv.grant_copy_ops(dd, &ops, kite_xen::CopyMode::SingleOp)))
     });
 }

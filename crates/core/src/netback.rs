@@ -28,11 +28,15 @@ use kite_rumprun::OsProfile;
 use kite_sim::Nanos;
 use kite_trace::EventKind;
 use kite_xen::netif::{
-    NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse, NETIF_RSP_ERROR,
-    NETIF_RSP_OKAY,
+    NetifExtraInfo, NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse,
+    NETIF_MAX_GSO_FRAME, NETIF_MAX_TX_CHAIN, NETIF_RSP_ERROR, NETIF_RSP_NULL, NETIF_RSP_OKAY,
+    NETRXF_DATA_VALIDATED, NETRXF_MORE_DATA, NETTXF_EXTRA_INFO, NETTXF_MORE_DATA,
+    XEN_NETIF_EXTRA_TYPE_GSO,
 };
 use kite_xen::ring::BackRing;
-use kite_xen::xenbus::{MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
+use kite_xen::xenbus::{
+    FEATURE_GSO_KEY, FEATURE_NO_CSUM_KEY, MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY,
+};
 use kite_xen::{
     CopyMode, CopySide, DevicePaths, DomainId, GrantCopyOp, GrantRef, Hypervisor, MapHandle,
     PageId, Port, ReqId, ReqStage, Result, SlotClass, XenError, XenbusState, PAGE_SIZE,
@@ -86,6 +90,26 @@ pub struct NetbackStats {
     pub rx_dropped: u64,
     /// Malformed Tx requests rejected.
     pub tx_errors: u64,
+    /// GSO super-frames assembled from Tx descriptor chains.
+    pub gso_tx_frames: u64,
+    /// Wire segments those super-frames resolve to (what the NIC's TSO
+    /// engine actually emits).
+    pub gso_tx_segs: u64,
+    /// World → guest super-frames delivered across multi-slot Rx chains
+    /// (the LRO path).
+    pub lro_rx_frames: u64,
+    /// Chains rejected for a malformed GSO descriptor: zero MSS, zero
+    /// or > 64 KiB total length, or an unknown extra-info type.
+    pub gso_bad_size: u64,
+    /// Chains rejected because the ring ended mid-chain: an extra-info
+    /// or continuation slot was claimed but never published.
+    pub gso_truncated: u64,
+    /// Chains rejected because the claimed segment count, the fragment
+    /// byte sum, or the slot count disagree with the descriptor.
+    pub gso_seg_mismatch: u64,
+    /// Chain flags seen on a ring whose pair never negotiated
+    /// `feature-gso-tcpv4`.
+    pub gso_unnegotiated: u64,
     /// Grant-copy hypercall accounting for the Tx/Rx drains.
     pub copy: CopyStats,
 }
@@ -105,7 +129,19 @@ impl NetbackStats {
         self.rx_bytes += other.rx_bytes;
         self.rx_dropped += other.rx_dropped;
         self.tx_errors += other.tx_errors;
+        self.gso_tx_frames += other.gso_tx_frames;
+        self.gso_tx_segs += other.gso_tx_segs;
+        self.lro_rx_frames += other.lro_rx_frames;
+        self.gso_bad_size += other.gso_bad_size;
+        self.gso_truncated += other.gso_truncated;
+        self.gso_seg_mismatch += other.gso_seg_mismatch;
+        self.gso_unnegotiated += other.gso_unnegotiated;
         self.copy.merge(&other.copy);
+    }
+
+    /// Malformed-chain rejections, all causes.
+    pub fn gso_errors(&self) -> u64 {
+        self.gso_bad_size + self.gso_truncated + self.gso_seg_mismatch + self.gso_unnegotiated
     }
 
     /// Appends the Tx/Rx counters and copy accounting to a snapshot.
@@ -116,6 +152,13 @@ impl NetbackStats {
         snap.push_int("rx_bytes", "bytes", self.rx_bytes);
         snap.push_int("rx_dropped", "count", self.rx_dropped);
         snap.push_int("tx_errors", "count", self.tx_errors);
+        snap.push_int("gso_tx_frames", "count", self.gso_tx_frames);
+        snap.push_int("gso_tx_segs", "count", self.gso_tx_segs);
+        snap.push_int("lro_rx_frames", "count", self.lro_rx_frames);
+        snap.push_int("gso_bad_size", "count", self.gso_bad_size);
+        snap.push_int("gso_truncated", "count", self.gso_truncated);
+        snap.push_int("gso_seg_mismatch", "count", self.gso_seg_mismatch);
+        snap.push_int("gso_unnegotiated", "count", self.gso_unnegotiated);
         self.copy.append_metrics(snap, "copy_");
     }
 }
@@ -143,6 +186,35 @@ struct NbQueue {
     wedged: bool,
 }
 
+/// What became of one consumed Tx ring slot (drives its response).
+#[derive(Clone, Copy, Debug)]
+enum TxDisp {
+    /// A single-slot frame: the op at this index carries its payload.
+    Single(usize),
+    /// A fragment of the descriptor chain at this chain index.
+    Frag(usize),
+    /// Rejected by validation; answered `NETIF_RSP_ERROR`.
+    Reject,
+    /// An extra-info carrier slot; answered `NETIF_RSP_NULL`.
+    Null,
+}
+
+/// One GSO descriptor chain walked out of the Tx ring.
+#[derive(Clone, Copy, Debug)]
+struct TxChain {
+    /// Ops `[op_start, op_end)` hold the chain's fragments in order.
+    op_start: usize,
+    op_end: usize,
+    /// Super-frame length claimed by the descriptor.
+    total: usize,
+    /// Wire segments the NIC's TSO engine will cut it into.
+    segs: u32,
+    /// Whether validation accepted the chain.
+    valid: bool,
+    /// Filled after the copy batch: valid and every fragment copied.
+    ok: bool,
+}
+
 /// One netback instance (one per connected netfront).
 pub struct NetbackInstance {
     /// Driver domain running this backend.
@@ -158,12 +230,16 @@ pub struct NetbackInstance {
     /// Per-queue cap for world → guest frames awaiting Rx slots.
     pub rx_queue_cap: usize,
     profile: OsProfile,
+    gso: bool,
+    csum_offload: bool,
     stats: NetbackStats,
     // Drain-path scratch, recycled across calls so a warmed-up drain
     // performs no bookkeeping allocations (frame payloads still
     // allocate — they leave the instance).
-    scratch_tx: Vec<(u16, usize, Option<usize>)>,
-    scratch_rx: Vec<(u16, usize)>,
+    scratch_tx: Vec<(u16, TxDisp)>,
+    scratch_chains: Vec<TxChain>,
+    scratch_rx: Vec<(u16, usize, u16)>,
+    scratch_rxchain: Vec<(usize, usize, usize)>,
     scratch_ops: Vec<GrantCopyOp>,
     scratch_req: Vec<ReqId>,
 }
@@ -239,6 +315,20 @@ impl NetbackInstance {
         if nqueues > max {
             return Err(XenError::Inval);
         }
+        // Offload negotiation: chains are legal only when the toolstack
+        // advertised GSO under the backend path AND the frontend echoed
+        // it. Checksum offload rides along unless the frontend vetoed
+        // it with `feature-no-csum-offload` — either side staying
+        // silent is a graceful fallback, never an error.
+        let key_is_1 = |hv: &mut Hypervisor, path: &str| {
+            hv.store
+                .read(back, None, path)
+                .map(|v| v == "1")
+                .unwrap_or(false)
+        };
+        let gso = key_is_1(hv, &format!("{be}/{FEATURE_GSO_KEY}"))
+            && key_is_1(hv, &format!("{fe}/{FEATURE_GSO_KEY}"));
+        let csum_offload = gso && !key_is_1(hv, &format!("{fe}/{FEATURE_NO_CSUM_KEY}"));
         let mut queues = Vec::with_capacity(nqueues as usize);
         for k in 0..nqueues {
             let root = paths.frontend_queue_root(nqueues, k);
@@ -256,12 +346,26 @@ impl NetbackInstance {
             copy_mode: CopyMode::Batched,
             rx_queue_cap: 512,
             profile,
+            gso,
+            csum_offload,
             stats: NetbackStats::default(),
             scratch_tx: Vec::new(),
+            scratch_chains: Vec::new(),
             scratch_rx: Vec::new(),
+            scratch_rxchain: Vec::new(),
             scratch_ops: Vec::new(),
             scratch_req: Vec::new(),
         })
+    }
+
+    /// Whether the pair negotiated GSO descriptor chains.
+    pub fn gso(&self) -> bool {
+        self.gso
+    }
+
+    /// Whether the pair negotiated checksum offload.
+    pub fn csum_offload(&self) -> bool {
+        self.csum_offload
     }
 
     /// Instance statistics.
@@ -324,10 +428,65 @@ impl NetbackInstance {
         }
     }
 
+    /// Pops the next published Tx request of queue `q`, if any.
+    fn consume_tx(&mut self, hv: &Hypervisor, q: usize) -> Result<Option<NetifTxRequest>> {
+        let qu = &mut self.queues[q];
+        let page = hv.mem.page(qu.tx_page)?;
+        qu.tx_ring.consume_request(page)
+    }
+
+    /// Validates one data slot and, if sound, appends its grant-copy op
+    /// (staged through the next bounce page). Returns whether the slot
+    /// was accepted.
+    fn push_tx_op(
+        &mut self,
+        hv: &mut Hypervisor,
+        q: usize,
+        req: &NetifTxRequest,
+        ops: &mut Vec<GrantCopyOp>,
+    ) -> Result<bool> {
+        let size = req.size as usize;
+        let offset = req.offset as usize;
+        // Validate offset before any subtraction: a malicious frontend
+        // may send offset > PAGE_SIZE, which would underflow
+        // `PAGE_SIZE - offset`.
+        if size == 0 || offset >= PAGE_SIZE || size > PAGE_SIZE - offset {
+            return Ok(false);
+        }
+        while self.queues[q].bounce.len() < ops.len() + 1 {
+            let page = hv.alloc_page(self.back)?;
+            self.queues[q].bounce.push(page);
+        }
+        let dst = self.queues[q].bounce[ops.len()];
+        ops.push(GrantCopyOp {
+            src: CopySide::Grant {
+                granter: self.front,
+                gref: req.gref,
+                offset,
+            },
+            dst: CopySide::Local {
+                page: dst,
+                offset: 0,
+            },
+            len: size,
+        });
+        Ok(true)
+    }
+
     /// The **pusher** thread body for queue `q`: drains up to `budget`
-    /// Tx requests and hypervisor-copies every payload out of the guest
-    /// with **one** batched `GNTTABOP_copy` for the whole drain,
+    /// Tx ring slots and hypervisor-copies every payload out of the
+    /// guest with **one** batched `GNTTABOP_copy` for the whole drain,
     /// directly into the queue's frame buffers.
+    ///
+    /// With GSO negotiated, a slot flagged `NETTXF_EXTRA_INFO` /
+    /// `NETTXF_MORE_DATA` heads a descriptor chain: the extra-info slot
+    /// carries the GSO descriptor and the fragments that follow are
+    /// reassembled into one super-frame, charged **one** per-packet OS
+    /// cost for the whole chain — the amortisation GSO exists for.
+    /// Every consumed slot still gets exactly one response (extra-info
+    /// slots get [`NETIF_RSP_NULL`]); malformed chains are answered
+    /// with `NETIF_RSP_ERROR` on their data slots and land in a named
+    /// error counter, never a panic and never a leaked grant.
     ///
     /// The drain is three phases: walk the ring building the op list
     /// (validating each request), issue the batch, then push responses in
@@ -338,55 +497,165 @@ impl NetbackInstance {
         if self.queues[q].wedged {
             return Ok(batch);
         }
-        // A consumed request: its response id, and the index of its op in
-        // the copy batch (None when validation already rejected it).
+        // Consumed slots in ring order (each owes one response) and the
+        // descriptor chains they form.
         let mut pending = std::mem::take(&mut self.scratch_tx);
+        let mut chains = std::mem::take(&mut self.scratch_chains);
         let mut ops = std::mem::take(&mut self.scratch_ops);
-        for _ in 0..budget {
-            let req = {
-                let qu = &mut self.queues[q];
-                let page = hv.mem.page(qu.tx_page)?;
-                match qu.tx_ring.consume_request(page)? {
-                    Some(r) => r,
-                    None => break,
-                }
+        'drain: while pending.len() < budget {
+            let head = match self.consume_tx(hv, q)? {
+                Some(r) => r,
+                None => break,
             };
-            let size = req.size as usize;
-            let offset = req.offset as usize;
-            // Validate offset before any subtraction: a malicious frontend
-            // may send offset > PAGE_SIZE, which would underflow
-            // `PAGE_SIZE - offset`.
-            let valid = size != 0 && offset < PAGE_SIZE && size <= PAGE_SIZE - offset;
-            if valid {
-                while self.queues[q].bounce.len() < ops.len() + 1 {
-                    let page = hv.alloc_page(self.back)?;
-                    self.queues[q].bounce.push(page);
-                }
-                let dst = self.queues[q].bounce[ops.len()];
-                ops.push(GrantCopyOp {
-                    src: CopySide::Grant {
-                        granter: self.front,
-                        gref: req.gref,
-                        offset,
-                    },
-                    dst: CopySide::Local {
-                        page: dst,
-                        offset: 0,
-                    },
-                    len: size,
-                });
-                pending.push((req.id, size, Some(ops.len() - 1)));
-                // A traced request rides its ring slot into the drain.
-                let key = (q as u64) << 32 | req.id as u64;
-                if let Some(r) = hv.req.take(SlotClass::NetTx, key) {
-                    hv.req
-                        .stamp(r, ReqStage::BackendFetch, self.back.0, self.qid(q));
-                    self.scratch_req.push(r);
-                }
-            } else {
-                self.stats.tx_errors += 1;
-                pending.push((req.id, size, None));
+            // A traced request rides its (head) ring slot into the drain.
+            let key = (q as u64) << 32 | head.id as u64;
+            if let Some(r) = hv.req.take(SlotClass::NetTx, key) {
+                hv.req
+                    .stamp(r, ReqStage::BackendFetch, self.back.0, self.qid(q));
+                self.scratch_req.push(r);
             }
+            let chained = head.flags & (NETTXF_EXTRA_INFO | NETTXF_MORE_DATA) != 0;
+            if !chained {
+                // Single-slot frame: the legacy path, byte-identical to
+                // the pre-GSO drain.
+                if self.push_tx_op(hv, q, &head, &mut ops)? {
+                    pending.push((head.id, TxDisp::Single(ops.len() - 1)));
+                } else {
+                    self.stats.tx_errors += 1;
+                    pending.push((head.id, TxDisp::Reject));
+                }
+                batch.cost += self.profile.per_packet;
+                continue;
+            }
+            if !self.gso {
+                // Chain flags on a pair that never negotiated GSO:
+                // reject every slot of the chain (resyncing framing so
+                // one bad guest cannot desynchronise the ring).
+                self.stats.gso_unnegotiated += 1;
+                let mut cur = head;
+                loop {
+                    pending.push((cur.id, TxDisp::Reject));
+                    if cur.flags & NETTXF_EXTRA_INFO != 0 {
+                        match self.consume_tx(hv, q)? {
+                            Some(extra) => pending.push((extra.id, TxDisp::Reject)),
+                            None => break,
+                        }
+                    }
+                    if cur.flags & NETTXF_MORE_DATA == 0 {
+                        break;
+                    }
+                    match self.consume_tx(hv, q)? {
+                        Some(next) => cur = next,
+                        None => break,
+                    }
+                }
+                batch.cost += self.profile.per_packet;
+                continue;
+            }
+            // GSO chain walk. Ring order: head data slot, extra-info
+            // slot, then continuation fragments.
+            let chain_idx = chains.len();
+            let op_start = ops.len();
+            let mut valid = true;
+            pending.push((head.id, TxDisp::Frag(chain_idx)));
+            let mut extra = None;
+            if head.flags & NETTXF_EXTRA_INFO != 0 {
+                match self.consume_tx(hv, q)? {
+                    Some(slot) => {
+                        pending.push((slot.id, TxDisp::Null));
+                        extra = Some(NetifExtraInfo::from_tx_slot(&slot));
+                    }
+                    None => {
+                        // Extra-info claimed but the ring ended: the
+                        // guest published a torn chain.
+                        self.stats.gso_truncated += 1;
+                        let last = pending.len() - 1;
+                        pending[last].1 = TxDisp::Reject;
+                        batch.cost += self.profile.per_packet;
+                        break 'drain;
+                    }
+                }
+            }
+            let mut total = 0usize;
+            let mut nfrags = 0usize;
+            let mut cur = head;
+            loop {
+                nfrags += 1;
+                if nfrags <= NETIF_MAX_TX_CHAIN && valid {
+                    if self.push_tx_op(hv, q, &cur, &mut ops)? {
+                        total += cur.size as usize;
+                    } else {
+                        valid = false;
+                    }
+                } else {
+                    valid = false;
+                }
+                if cur.flags & NETTXF_MORE_DATA == 0 {
+                    break;
+                }
+                match self.consume_tx(hv, q)? {
+                    Some(next) => {
+                        pending.push((next.id, TxDisp::Frag(chain_idx)));
+                        cur = next;
+                    }
+                    None => {
+                        // Continuation claimed but the ring ended.
+                        valid = false;
+                        self.stats.gso_truncated += 1;
+                        break;
+                    }
+                }
+            }
+            // Cross-check the descriptor against what the chain
+            // actually carried (the SoK rule: every guest-parsed field
+            // is validated with bounded failure accounting).
+            let mut segs = 0u32;
+            if valid {
+                match extra {
+                    None => {
+                        // MORE_DATA without a GSO descriptor.
+                        valid = false;
+                        self.stats.gso_seg_mismatch += 1;
+                    }
+                    Some(e) => {
+                        let tl = e.total_len as usize;
+                        if e.kind != XEN_NETIF_EXTRA_TYPE_GSO
+                            || e.gso_size == 0
+                            || tl == 0
+                            || tl > NETIF_MAX_GSO_FRAME
+                        {
+                            valid = false;
+                            self.stats.gso_bad_size += 1;
+                        } else if tl != total
+                            || (e.total_len as u64).div_ceil(e.gso_size as u64) != e.gso_segs as u64
+                        {
+                            valid = false;
+                            self.stats.gso_seg_mismatch += 1;
+                        } else {
+                            segs = e.gso_segs as u32;
+                        }
+                    }
+                }
+            } else if nfrags > NETIF_MAX_TX_CHAIN {
+                self.stats.gso_seg_mismatch += 1;
+            } else if extra.is_some() || cur.flags & NETTXF_MORE_DATA != 0 {
+                // A fragment failed slot validation (frag rejections on
+                // truncated chains were already counted above).
+                self.stats.tx_errors += 1;
+            }
+            if !valid {
+                // Drop the chain's staged copies: rejected descriptors
+                // must not cost the backend grant-copy work.
+                ops.truncate(op_start);
+            }
+            chains.push(TxChain {
+                op_start,
+                op_end: ops.len(),
+                total,
+                segs,
+                valid,
+                ok: false,
+            });
             batch.cost += self.profile.per_packet;
         }
 
@@ -406,20 +675,57 @@ impl NetbackInstance {
             self.scratch_req.clear();
         }
 
-        for &(id, size, op_idx) in &pending {
-            let status = match op_idx {
-                Some(i) if result.statuses[i].is_okay() => {
+        for c in chains.iter_mut() {
+            if !c.valid {
+                continue;
+            }
+            c.ok = result.statuses[c.op_start..c.op_end]
+                .iter()
+                .all(|s| s.is_okay());
+            if !c.ok {
+                self.stats.tx_errors += 1;
+            }
+        }
+
+        let mut emitted = 0usize; // chains whose super-frame was pushed
+        for &(id, disp) in &pending {
+            let status = match disp {
+                TxDisp::Single(i) if result.statuses[i].is_okay() => {
+                    let size = ops[i].len;
                     let frame = hv.mem.page(self.queues[q].bounce[i])?[..size].to_vec();
                     self.stats.tx_packets += 1;
                     self.stats.tx_bytes += size as u64;
                     batch.frames.push(frame);
                     NETIF_RSP_OKAY
                 }
-                Some(_) => {
+                TxDisp::Single(_) => {
                     self.stats.tx_errors += 1;
                     NETIF_RSP_ERROR
                 }
-                None => NETIF_RSP_ERROR,
+                TxDisp::Frag(ci) if chains[ci].ok => {
+                    // The chain's head slot assembles the super-frame;
+                    // later fragments just acknowledge.
+                    if ci >= emitted {
+                        let c = chains[ci];
+                        let mut frame = Vec::with_capacity(c.total);
+                        for (op, &bounce) in ops[c.op_start..c.op_end]
+                            .iter()
+                            .zip(&self.queues[q].bounce[c.op_start..c.op_end])
+                        {
+                            frame.extend_from_slice(&hv.mem.page(bounce)?[..op.len]);
+                        }
+                        self.stats.tx_packets += 1;
+                        self.stats.tx_bytes += c.total as u64;
+                        self.stats.gso_tx_frames += 1;
+                        self.stats.gso_tx_segs += c.segs as u64;
+                        batch.frames.push(frame);
+                        emitted = ci + 1;
+                    }
+                    NETIF_RSP_OKAY
+                }
+                TxDisp::Frag(_) => NETIF_RSP_ERROR,
+                TxDisp::Reject => NETIF_RSP_ERROR,
+                TxDisp::Null => NETIF_RSP_NULL,
             };
             let qu = &mut self.queues[q];
             let page = hv.mem.page_mut(qu.tx_page)?;
@@ -446,8 +752,10 @@ impl NetbackInstance {
             });
         }
         pending.clear();
+        chains.clear();
         ops.clear();
         self.scratch_tx = pending;
+        self.scratch_chains = chains;
         self.scratch_ops = ops;
         Ok(batch)
     }
@@ -532,45 +840,82 @@ impl NetbackInstance {
             batch.more = !self.queues[q].to_guest.is_empty();
             return Ok(batch);
         }
-        // (response id, frame length) per op, in ring order.
+        // (response id, fragment length, response flags) per op, in
+        // ring order, and the chain span each delivered frame occupies.
         let mut posted = std::mem::take(&mut self.scratch_rx);
+        let mut rxchains = std::mem::take(&mut self.scratch_rxchain);
         let mut ops = std::mem::take(&mut self.scratch_ops);
         for _ in 0..budget {
-            if self.queues[q].to_guest.is_empty() {
+            let Some(front_len) = self.queues[q].to_guest.front().map(Vec::len) else {
                 break;
-            }
-            let req = {
-                let qu = &mut self.queues[q];
-                let page = hv.mem.page(qu.rx_page)?;
-                match qu.rx_ring.consume_request(page)? {
-                    Some(r) => r,
-                    None => break, // no posted buffers; frames stay queued
-                }
             };
+            // With GSO negotiated a super-frame spans several posted
+            // buffers; without it the legacy single-slot clamp applies.
+            let nfrags = if self.gso {
+                front_len.div_ceil(PAGE_SIZE).max(1)
+            } else {
+                1
+            };
+            let avail = {
+                let qu = &self.queues[q];
+                let page = hv.mem.page(qu.rx_page)?;
+                qu.rx_ring.unconsumed_requests(page) as usize
+            };
+            if avail < nfrags {
+                break; // never start a chain we cannot finish
+            }
             let frame = self.queues[q]
                 .to_guest
                 .pop_front()
                 .expect("checked non-empty");
-            let len = frame.len().min(PAGE_SIZE);
-            while self.queues[q].bounce.len() < ops.len() + 1 {
-                let page = hv.alloc_page(self.back)?;
-                self.queues[q].bounce.push(page);
+            let total = if self.gso {
+                frame.len()
+            } else {
+                frame.len().min(PAGE_SIZE)
+            };
+            let op_start = ops.len();
+            let mut off = 0usize;
+            for f in 0..nfrags {
+                let req = {
+                    let qu = &mut self.queues[q];
+                    let page = hv.mem.page(qu.rx_page)?;
+                    match qu.rx_ring.consume_request(page)? {
+                        Some(r) => r,
+                        None => break, // unreachable: avail checked
+                    }
+                };
+                let len = (total - off).min(PAGE_SIZE);
+                while self.queues[q].bounce.len() < ops.len() + 1 {
+                    let page = hv.alloc_page(self.back)?;
+                    self.queues[q].bounce.push(page);
+                }
+                let src = self.queues[q].bounce[ops.len()];
+                hv.mem.page_mut(src)?[..len].copy_from_slice(&frame[off..off + len]);
+                ops.push(GrantCopyOp {
+                    src: CopySide::Local {
+                        page: src,
+                        offset: 0,
+                    },
+                    dst: CopySide::Grant {
+                        granter: self.front,
+                        gref: req.gref,
+                        offset: 0,
+                    },
+                    len,
+                });
+                let mut flags = 0u16;
+                if f + 1 < nfrags {
+                    flags |= NETRXF_MORE_DATA;
+                }
+                if self.csum_offload {
+                    flags |= NETRXF_DATA_VALIDATED;
+                }
+                posted.push((req.id, len, flags));
+                off += len;
             }
-            let src = self.queues[q].bounce[ops.len()];
-            hv.mem.page_mut(src)?[..len].copy_from_slice(&frame[..len]);
-            ops.push(GrantCopyOp {
-                src: CopySide::Local {
-                    page: src,
-                    offset: 0,
-                },
-                dst: CopySide::Grant {
-                    granter: self.front,
-                    gref: req.gref,
-                    offset: 0,
-                },
-                len,
-            });
-            posted.push((req.id, len));
+            rxchains.push((op_start, ops.len(), total));
+            // One per-packet OS cost per frame, however many slots it
+            // spans — the receive-side (LRO) half of the amortisation.
             batch.cost += self.profile.per_packet;
         }
 
@@ -578,14 +923,29 @@ impl NetbackInstance {
         self.stats.copy.record(self.copy_mode, ops.len(), &result);
         batch.cost += result.cost;
 
-        for (i, &(id, len)) in posted.iter().enumerate() {
-            let status = if result.statuses[i].is_okay() {
+        // A frame delivers only if every fragment copied; a failed
+        // fragment drops the whole frame (the frontend discards the
+        // poisoned chain when it sees the error response).
+        for &(op_start, op_end, total) in &rxchains {
+            let ok = result.statuses[op_start..op_end]
+                .iter()
+                .all(|s| s.is_okay());
+            if ok {
                 self.stats.rx_packets += 1;
-                self.stats.rx_bytes += len as u64;
+                self.stats.rx_bytes += total as u64;
+                if op_end - op_start > 1 {
+                    self.stats.lro_rx_frames += 1;
+                }
                 batch.delivered += 1;
-                len as i16
             } else {
                 self.stats.rx_dropped += 1;
+            }
+        }
+
+        for (i, &(id, len, flags)) in posted.iter().enumerate() {
+            let status = if result.statuses[i].is_okay() {
+                len as i16
+            } else {
                 NETIF_RSP_ERROR
             };
             let qu = &mut self.queues[q];
@@ -595,7 +955,7 @@ impl NetbackInstance {
                 &NetifRxResponse {
                     id,
                     offset: 0,
-                    flags: 0,
+                    flags,
                     status,
                 },
             )?;
@@ -694,5 +1054,341 @@ impl crate::lifecycle::BackendDevice for NetbackInstance {
 
     fn close(self, hv: &mut Hypervisor) -> Result<()> {
         NetbackInstance::close(self, hv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{provision_device, BackendManager};
+    use kite_frontends::Netfront;
+    use kite_net::MacAddr;
+    use kite_rumprun::kite_profile;
+    use kite_xen::ring::FrontRing;
+    use kite_xen::{DeviceKind, DomainKind};
+
+    fn machine() -> (Hypervisor, DevicePaths) {
+        let mut hv = Hypervisor::new();
+        hv.create_domain("Domain-0", DomainKind::Dom0, 8192, 4);
+        let dd = hv.create_domain("netbackend", DomainKind::Driver, 1024, 1);
+        let gu = hv.create_domain("guest", DomainKind::Guest, 5120, 22);
+        let paths = DevicePaths::new(gu, dd, DeviceKind::Vif, 0);
+        provision_device(&mut hv, &paths).unwrap();
+        let mut mgr = BackendManager::new(dd, DeviceKind::Vif);
+        mgr.start(&mut hv).unwrap();
+        mgr.drain_events(&mut hv).unwrap();
+        (hv, paths)
+    }
+
+    fn advertise_gso(hv: &mut Hypervisor, paths: &DevicePaths) {
+        hv.store
+            .write(
+                DomainId::DOM0,
+                None,
+                &format!("{}/{FEATURE_GSO_KEY}", paths.backend()),
+                "1",
+            )
+            .unwrap();
+    }
+
+    /// Full pair with a real netfront and explicit feature choices.
+    fn pair(
+        be_gso: bool,
+        fe_gso: bool,
+        veto_csum: bool,
+    ) -> (Hypervisor, DevicePaths, Netfront, NetbackInstance) {
+        let (mut hv, paths) = machine();
+        if be_gso {
+            advertise_gso(&mut hv, &paths);
+        }
+        let nf = Netfront::connect_with_features(
+            &mut hv,
+            &paths,
+            MacAddr::local(1),
+            1,
+            fe_gso,
+            veto_csum,
+        )
+        .unwrap();
+        let nb = NetbackInstance::connect(&mut hv, &paths, kite_profile()).unwrap();
+        (hv, paths, nf, nb)
+    }
+
+    #[test]
+    fn offload_negotiation_requires_both_sides() {
+        let (_, _, nf, nb) = pair(true, false, false);
+        assert!(!nb.gso(), "frontend declined");
+        assert!(!nf.gso());
+        let (_, _, nf, nb) = pair(false, true, false);
+        assert!(!nb.gso(), "backend never advertised");
+        assert!(!nf.gso());
+        let (_, _, nf, nb) = pair(true, true, false);
+        assert!(nb.gso() && nb.csum_offload());
+        assert!(nf.gso());
+        let (_, _, _, nb) = pair(true, true, true);
+        assert!(nb.gso(), "csum veto leaves GSO up");
+        assert!(!nb.csum_offload());
+    }
+
+    #[test]
+    fn tx_chain_reassembles_a_super_frame() {
+        let (mut hv, _, mut nf, mut nb) = pair(true, true, false);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i * 7) as u8).collect();
+        let (q, _) = nf.send(&mut hv, &payload, None).unwrap();
+        let batch = nb.pusher_run(&mut hv, q, 128).unwrap();
+        assert_eq!(batch.frames.len(), 1);
+        assert_eq!(batch.frames[0], payload, "super-frame is byte-identical");
+        let s = nb.stats();
+        assert_eq!((s.tx_packets, s.gso_tx_frames), (1, 1));
+        assert_eq!(s.gso_tx_segs, 10_000u64.div_ceil(1472), "MSS segments");
+        assert_eq!(s.gso_errors(), 0);
+        // Every slot (head + extra + 2 frags) was answered; the frontend
+        // reaps them all and holds nothing in flight.
+        nf.on_irq(&mut hv).unwrap();
+        assert!(nf.take_unacked(&hv).is_empty());
+    }
+
+    #[test]
+    fn rx_chain_spans_posted_buffers() {
+        let (mut hv, _, mut nf, mut nb) = pair(true, true, false);
+        let frame: Vec<u8> = (0..9_500u32).map(|i| (i ^ 0x5a) as u8).collect();
+        assert!(nb.enqueue_to_guest(frame.clone()));
+        let batch = nb.soft_start_run(&mut hv, 0, 64).unwrap();
+        assert_eq!(batch.delivered, 1);
+        assert_eq!(nb.stats().lro_rx_frames, 1);
+        assert_eq!(nb.stats().rx_bytes, 9_500);
+        nf.on_irq(&mut hv).unwrap();
+        assert_eq!(nf.recv().unwrap(), frame, "reassembled across 3 buffers");
+        assert!(nf.recv().is_none());
+    }
+
+    #[test]
+    fn oversized_sends_fail_without_gso() {
+        let (mut hv, _, mut nf, _) = pair(false, false, false);
+        let big = vec![0u8; PAGE_SIZE + 1];
+        assert_eq!(
+            nf.send(&mut hv, &big, None).err(),
+            Some(XenError::OutOfBounds)
+        );
+        assert_eq!(nf.max_tx_frame(), PAGE_SIZE);
+    }
+
+    // ---- adversarial chains: a hand-driven frontend ---------------------
+
+    /// A bare Tx/Rx ring pair published like a netfront's, but driven by
+    /// hand so tests can publish malformed descriptor chains no real
+    /// frontend would.
+    struct RawFront {
+        tx: FrontRing<NetifTxRequest, NetifTxResponse>,
+        tx_page: PageId,
+        grefs: Vec<GrantRef>,
+    }
+
+    impl RawFront {
+        fn push(&mut self, hv: &mut Hypervisor, req: &NetifTxRequest) {
+            let page = hv.mem.page_mut(self.tx_page).unwrap();
+            self.tx.push_request(page, req).unwrap();
+        }
+
+        fn publish(&mut self, hv: &mut Hypervisor) {
+            let page = hv.mem.page_mut(self.tx_page).unwrap();
+            self.tx.push_requests(page);
+        }
+
+        fn responses(&mut self, hv: &Hypervisor) -> Vec<NetifTxResponse> {
+            let mut out = Vec::new();
+            let page = hv.mem.page(self.tx_page).unwrap();
+            while let Some(rsp) = self.tx.consume_response(page).unwrap() {
+                out.push(rsp);
+            }
+            out
+        }
+    }
+
+    fn raw_pair(gso: bool) -> (Hypervisor, DevicePaths, RawFront, NetbackInstance) {
+        let (mut hv, paths) = machine();
+        let (gu, dd) = (paths.front, paths.back);
+        if gso {
+            advertise_gso(&mut hv, &paths);
+            hv.store
+                .write(
+                    gu,
+                    None,
+                    &format!("{}/{FEATURE_GSO_KEY}", paths.frontend()),
+                    "1",
+                )
+                .unwrap();
+        }
+        let tx_page = hv.alloc_page(gu).unwrap();
+        let rx_page = hv.alloc_page(gu).unwrap();
+        let tx = FrontRing::init(hv.mem.page_mut(tx_page).unwrap());
+        let _rx: FrontRing<NetifRxRequest, NetifRxResponse> =
+            FrontRing::init(hv.mem.page_mut(rx_page).unwrap());
+        let tx_ref = hv.grant_access(gu, dd, tx_page, false).unwrap();
+        let rx_ref = hv.grant_access(gu, dd, rx_page, false).unwrap();
+        let (port, _) = hv.evtchn_alloc_unbound(gu, dd);
+        let root = paths.frontend_queue_root(1, 0);
+        for (key, val) in [
+            ("tx-ring-ref", tx_ref.0.to_string()),
+            ("rx-ring-ref", rx_ref.0.to_string()),
+            ("event-channel", port.0.to_string()),
+        ] {
+            hv.store
+                .write(gu, None, &format!("{root}/{key}"), &val)
+                .unwrap();
+        }
+        let mut grefs = Vec::new();
+        for _ in 0..8 {
+            let p = hv.alloc_page(gu).unwrap();
+            grefs.push(hv.grant_access(gu, dd, p, true).unwrap());
+        }
+        let nb = NetbackInstance::connect(&mut hv, &paths, kite_profile()).unwrap();
+        (hv, paths, RawFront { tx, tx_page, grefs }, nb)
+    }
+
+    fn data_slot(rf: &RawFront, id: u16, size: u16, flags: u16) -> NetifTxRequest {
+        NetifTxRequest {
+            gref: rf.grefs[id as usize],
+            offset: 0,
+            flags,
+            id,
+            size,
+        }
+    }
+
+    #[test]
+    fn chain_with_extra_claimed_but_ring_empty_errors_cleanly() {
+        let (mut hv, _, mut rf, mut nb) = raw_pair(true);
+        let maps_before = hv.grants.active_maps(nb.back);
+        let head = data_slot(&rf, 0, 100, NETTXF_EXTRA_INFO | NETTXF_MORE_DATA);
+        rf.push(&mut hv, &head);
+        rf.publish(&mut hv);
+        let batch = nb.pusher_run(&mut hv, 0, 128).unwrap();
+        assert!(batch.frames.is_empty());
+        assert_eq!(nb.stats().gso_truncated, 1);
+        let rsps = rf.responses(&hv);
+        assert_eq!(rsps.len(), 1, "the torn head still gets its response");
+        assert_eq!(rsps[0].status, NETIF_RSP_ERROR);
+        assert_eq!(hv.grants.active_maps(nb.back), maps_before, "no leaked map");
+    }
+
+    #[test]
+    fn descriptor_size_bounds_are_enforced() {
+        let (mut hv, _, mut rf, mut nb) = raw_pair(true);
+        // total_len = 0.
+        rf.push(&mut hv, &data_slot(&rf, 0, 100, NETTXF_EXTRA_INFO));
+        let zero = NetifExtraInfo {
+            kind: XEN_NETIF_EXTRA_TYPE_GSO,
+            gso_size: 1472,
+            gso_segs: 1,
+            total_len: 0,
+        };
+        rf.push(&mut hv, &zero.to_tx_slot());
+        // total_len > 64 KiB.
+        rf.push(&mut hv, &data_slot(&rf, 1, 100, NETTXF_EXTRA_INFO));
+        let huge = NetifExtraInfo {
+            kind: XEN_NETIF_EXTRA_TYPE_GSO,
+            gso_size: 1472,
+            gso_segs: 48,
+            total_len: (NETIF_MAX_GSO_FRAME + 1) as u32,
+        };
+        rf.push(&mut hv, &huge.to_tx_slot());
+        rf.publish(&mut hv);
+        let batch = nb.pusher_run(&mut hv, 0, 128).unwrap();
+        assert!(batch.frames.is_empty());
+        assert_eq!(nb.stats().gso_bad_size, 2);
+        let rsps = rf.responses(&hv);
+        assert_eq!(rsps.len(), 4, "one response per consumed slot");
+        assert_eq!(rsps[0].status, NETIF_RSP_ERROR);
+        assert_eq!(rsps[1].status, NETIF_RSP_NULL, "extra slot acked NULL");
+        assert_eq!(rsps[2].status, NETIF_RSP_ERROR);
+        assert_eq!(rsps[3].status, NETIF_RSP_NULL);
+    }
+
+    #[test]
+    fn seg_and_slot_count_disagreements_are_rejected() {
+        let (mut hv, _, mut rf, mut nb) = raw_pair(true);
+        // Claimed gso_segs disagrees with ceil(total/mss).
+        rf.push(&mut hv, &data_slot(&rf, 0, 100, NETTXF_EXTRA_INFO));
+        let wrong_segs = NetifExtraInfo {
+            kind: XEN_NETIF_EXTRA_TYPE_GSO,
+            gso_size: 50,
+            gso_segs: 7,
+            total_len: 100,
+        };
+        rf.push(&mut hv, &wrong_segs.to_tx_slot());
+        // Fragment byte sum disagrees with total_len.
+        rf.push(
+            &mut hv,
+            &data_slot(&rf, 1, 100, NETTXF_EXTRA_INFO | NETTXF_MORE_DATA),
+        );
+        let wrong_total = NetifExtraInfo {
+            kind: XEN_NETIF_EXTRA_TYPE_GSO,
+            gso_size: 100,
+            gso_segs: 2,
+            total_len: 200,
+        };
+        rf.push(&mut hv, &wrong_total.to_tx_slot());
+        rf.push(&mut hv, &data_slot(&rf, 2, 50, 0));
+        rf.publish(&mut hv);
+        let batch = nb.pusher_run(&mut hv, 0, 128).unwrap();
+        assert!(batch.frames.is_empty());
+        assert_eq!(nb.stats().gso_seg_mismatch, 2);
+        let rsps = rf.responses(&hv);
+        assert_eq!(rsps.len(), 5);
+        let errors = rsps.iter().filter(|r| r.status == NETIF_RSP_ERROR).count();
+        let nulls = rsps.iter().filter(|r| r.status == NETIF_RSP_NULL).count();
+        assert_eq!((errors, nulls), (3, 2));
+    }
+
+    #[test]
+    fn chains_on_an_unnegotiated_pair_are_rejected_and_resynced() {
+        let (mut hv, _, mut rf, mut nb) = raw_pair(false);
+        assert!(!nb.gso());
+        rf.push(
+            &mut hv,
+            &data_slot(&rf, 0, 100, NETTXF_EXTRA_INFO | NETTXF_MORE_DATA),
+        );
+        let extra = NetifExtraInfo {
+            kind: XEN_NETIF_EXTRA_TYPE_GSO,
+            gso_size: 100,
+            gso_segs: 2,
+            total_len: 150,
+        };
+        rf.push(&mut hv, &extra.to_tx_slot());
+        rf.push(&mut hv, &data_slot(&rf, 1, 50, 0));
+        // A well-formed single frame after the chain: framing resynced.
+        rf.push(&mut hv, &data_slot(&rf, 2, 60, 0));
+        rf.publish(&mut hv);
+        let batch = nb.pusher_run(&mut hv, 0, 128).unwrap();
+        assert_eq!(nb.stats().gso_unnegotiated, 1);
+        assert_eq!(batch.frames.len(), 1, "the single frame still flows");
+        assert_eq!(batch.frames[0].len(), 60);
+        let rsps = rf.responses(&hv);
+        assert_eq!(rsps.len(), 4);
+        assert_eq!(
+            rsps.iter().filter(|r| r.status == NETIF_RSP_ERROR).count(),
+            3,
+            "every chain slot rejected"
+        );
+        assert_eq!(rsps[3].status, NETIF_RSP_OKAY);
+    }
+
+    #[test]
+    fn guest_teardown_after_chain_errors_reclaims_every_grant() {
+        let (mut hv, paths, mut rf, mut nb) = raw_pair(true);
+        rf.push(
+            &mut hv,
+            &data_slot(&rf, 0, 100, NETTXF_EXTRA_INFO | NETTXF_MORE_DATA),
+        );
+        rf.publish(&mut hv);
+        nb.pusher_run(&mut hv, 0, 128).unwrap();
+        assert_eq!(nb.stats().gso_truncated, 1);
+        // Backend closes cleanly, then the guest dies: Xen must be able
+        // to reclaim every grant — nothing pinned by the failed chain.
+        nb.close(&mut hv).unwrap();
+        assert_eq!(hv.grants.active_maps(paths.back), 0);
+        hv.destroy_domain(paths.front).unwrap();
+        assert_eq!(hv.grants.live_grants(paths.front), 0);
     }
 }

@@ -16,7 +16,7 @@
 pub mod nic;
 pub mod nvme;
 
-pub use nic::{Nic, NicProfile, RxIrq};
+pub use nic::{LineRate, Nic, NicProfile, RxIrq};
 pub use nvme::{
     Cid, CqEntry, MsixVector, Nvme, NvmeCmd, NvmeController, NvmeOp, NvmeProfile, QueueId,
     MAX_IO_QUEUES, SECTOR_SIZE, SQ_DEPTH,

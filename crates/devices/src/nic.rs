@@ -29,6 +29,13 @@ use crate::Device;
 pub struct NicProfile {
     /// Per-frame driver overhead (descriptor write, doorbell, DMA setup).
     pub per_frame_tx: Nanos,
+    /// Extra overhead per wire segment when the TSO engine cuts a
+    /// super-frame (header replication, descriptor per segment). Zero
+    /// by default: hardware segmentation is nearly free next to the
+    /// per-frame doorbell, which is the whole point of offload.
+    pub per_seg_tx: Nanos,
+    /// Line rate of the attached wire in bits per second.
+    pub line_rate_bps: u64,
     /// Interrupt moderation window.
     pub irq_coalesce: Nanos,
     /// Receive queue capacity in frames.
@@ -37,12 +44,45 @@ pub struct NicProfile {
     pub tx_queue_bytes: u64,
 }
 
+/// Wire speeds the NIC models ship profiles for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineRate {
+    /// 10GbE (Intel 82599ES class) — the default.
+    Gbe10,
+    /// 25GbE (Intel E810 / Mellanox CX-5 class).
+    Gbe25,
+    /// 100GbE (Mellanox CX-6 class).
+    Gbe100,
+}
+
+impl LineRate {
+    /// The raw line rate in bits per second.
+    pub fn bps(self) -> u64 {
+        match self {
+            LineRate::Gbe10 => 10_000_000_000,
+            LineRate::Gbe25 => 25_000_000_000,
+            LineRate::Gbe100 => 100_000_000_000,
+        }
+    }
+
+    /// Stable label for scenario names, e.g. `"wire_25g"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            LineRate::Gbe10 => "wire_10g",
+            LineRate::Gbe25 => "wire_25g",
+            LineRate::Gbe100 => "wire_100g",
+        }
+    }
+}
+
 impl Default for NicProfile {
     fn default() -> NicProfile {
         // 82599ES at 10GbE: ITR default ≈ 20 µs; BQL keeps the hardware
         // ring short but the qdisc absorbs tens of MB of TSO-era bursts.
         NicProfile {
             per_frame_tx: Nanos::from_nanos(250),
+            per_seg_tx: Nanos::ZERO,
+            line_rate_bps: LineRate::Gbe10.bps(),
             irq_coalesce: Nanos::from_micros(20),
             rx_queue_frames: 2048,
             tx_queue_bytes: 64 * 1024 * 1024,
@@ -54,6 +94,25 @@ impl NicProfile {
     /// Sets the per-frame transmit overhead.
     pub fn with_per_frame_tx(mut self, cost: Nanos) -> NicProfile {
         self.per_frame_tx = cost;
+        self
+    }
+
+    /// Sets the per-wire-segment TSO overhead.
+    pub fn with_per_seg_tx(mut self, cost: Nanos) -> NicProfile {
+        self.per_seg_tx = cost;
+        self
+    }
+
+    /// Selects a wire speed. Faster parts also moderate interrupts
+    /// harder: the ITR window shrinks with the line rate so the IRQ
+    /// rate per byte stays in the envelope real drivers target.
+    pub fn with_line_rate(mut self, rate: LineRate) -> NicProfile {
+        self.line_rate_bps = rate.bps();
+        self.irq_coalesce = match rate {
+            LineRate::Gbe10 => Nanos::from_micros(20),
+            LineRate::Gbe25 => Nanos::from_micros(10),
+            LineRate::Gbe100 => Nanos::from_micros(5),
+        };
         self
     }
 
@@ -94,6 +153,8 @@ pub struct Nic {
     pub link: Link,
     /// Per-frame driver overhead (descriptor write, doorbell, DMA setup).
     pub per_frame_tx: Nanos,
+    /// Extra per-wire-segment overhead when TSO cuts a super-frame.
+    pub per_seg_tx: Nanos,
     /// Interrupt moderation window (82599 ITR default ≈ 20 µs at 10GbE).
     pub irq_coalesce: Nanos,
     /// Receive queue capacity in frames.
@@ -112,12 +173,14 @@ impl Nic {
         Nic::with_profile(NicProfile::default())
     }
 
-    /// A 10GbE NIC with an explicit cost profile.
+    /// A NIC with an explicit cost profile (wire speed included).
     pub fn with_profile(profile: NicProfile) -> Nic {
         let mut link = Link::ten_gbe();
+        link.rate_bps = profile.line_rate_bps;
         link.queue_bytes = profile.tx_queue_bytes;
         Nic {
             link,
+            per_seg_tx: profile.per_seg_tx,
             per_frame_tx: profile.per_frame_tx,
             irq_coalesce: profile.irq_coalesce,
             rx_queue_frames: profile.rx_queue_frames,
@@ -132,7 +195,16 @@ impl Nic {
 
     /// Transmits a frame at `now`; returns wire departure/arrival or drop.
     pub fn transmit(&mut self, now: Nanos, wire_bytes: u64) -> TxOutcome {
-        self.link.transmit(now + self.per_frame_tx, wire_bytes)
+        self.transmit_segs(now, wire_bytes, 1)
+    }
+
+    /// Transmits a (possibly TSO-segmented) frame: one per-frame
+    /// doorbell, plus the per-segment engine cost for every wire
+    /// segment the super-frame resolves to. `wire_bytes` already
+    /// includes the replicated headers and per-segment overhead.
+    pub fn transmit_segs(&mut self, now: Nanos, wire_bytes: u64, segs: u32) -> TxOutcome {
+        let cost = self.per_frame_tx + self.per_seg_tx * segs as u64;
+        self.link.transmit(now + cost, wire_bytes)
     }
 
     /// A frame arrived from the wire; queues it and decides on an IRQ.
@@ -222,6 +294,41 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn line_rate_profiles_scale_serialization() {
+        let mut nic25 = Nic::with_profile(NicProfile::default().with_line_rate(LineRate::Gbe25));
+        match nic25.transmit(Nanos::ZERO, 1538) {
+            TxOutcome::Sent { departs, .. } => {
+                // 250ns overhead + 1538B at 25Gbps = 492.1ns.
+                assert_eq!(departs.as_nanos(), 250 + 492);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(nic25.irq_coalesce, Nanos::from_micros(10));
+        let nic100 = Nic::with_profile(NicProfile::default().with_line_rate(LineRate::Gbe100));
+        assert_eq!(nic100.link.rate_bps, LineRate::Gbe100.bps());
+        assert_eq!(LineRate::Gbe25.label(), "wire_25g");
+    }
+
+    #[test]
+    fn per_segment_cost_is_charged_per_tso_segment() {
+        let mut nic =
+            Nic::with_profile(NicProfile::default().with_per_seg_tx(Nanos::from_nanos(40)));
+        match nic.transmit_segs(Nanos::ZERO, 1538, 4) {
+            TxOutcome::Sent { departs, .. } => {
+                assert_eq!(departs.as_nanos(), 250 + 4 * 40 + 1230);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The default profile charges nothing per segment, so
+        // `transmit` and `transmit_segs` agree.
+        let mut plain = Nic::ten_gbe();
+        let a = plain.transmit(Nanos::ZERO, 1538);
+        let mut plain2 = Nic::ten_gbe();
+        let b = plain2.transmit_segs(Nanos::ZERO, 1538, 16);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -19,9 +19,16 @@ use std::collections::VecDeque;
 
 use kite_net::MacAddr;
 use kite_sim::Nanos;
-use kite_xen::netif::{NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse};
+use kite_xen::netif::{
+    NetifExtraInfo, NetifRxRequest, NetifRxResponse, NetifTxRequest, NetifTxResponse,
+    NETIF_MAX_GSO_FRAME, NETIF_RSP_NULL, NETRXF_DATA_VALIDATED, NETRXF_MORE_DATA,
+    NETTXF_EXTRA_INFO, NETTXF_MORE_DATA, XEN_NETIF_EXTRA_TYPE_GSO,
+};
 use kite_xen::ring::FrontRing;
-use kite_xen::xenbus::{negotiate_queues, switch_state, MQ_MAX_QUEUES_KEY, MQ_NUM_QUEUES_KEY};
+use kite_xen::xenbus::{
+    negotiate_queues, switch_state, FEATURE_GSO_KEY, FEATURE_NO_CSUM_KEY, MQ_MAX_QUEUES_KEY,
+    MQ_NUM_QUEUES_KEY,
+};
 use kite_xen::{
     DevicePaths, DomainId, GrantRef, Hypervisor, PageId, Port, ReqId, ReqStage, Result, SlotClass,
     XenError, XenbusState,
@@ -65,9 +72,16 @@ struct NfQueue {
     rx_page: PageId,
     tx_pool: BufPool,
     rx_pool: BufPool,
-    // Tx requests pushed but not yet acknowledged: (buffer id, length),
-    // oldest first. What a crashed backend leaves unacknowledged.
-    in_flight_tx: VecDeque<(u16, u16)>,
+    // Tx requests pushed but not yet acknowledged: (buffer id, length,
+    // first-slot-of-frame), oldest first. What a crashed backend leaves
+    // unacknowledged; the first-markers let recovery reassemble GSO
+    // chains back into whole frames.
+    in_flight_tx: VecDeque<(u16, u16, bool)>,
+    // Rx super-frame reassembly: fragments flagged `NETRXF_MORE_DATA`
+    // accumulate here until the closing fragment arrives. A mid-chain
+    // error poisons the chain and the whole partial frame is dropped.
+    rx_partial: Vec<u8>,
+    rx_poisoned: bool,
 }
 
 /// The netfront driver instance.
@@ -83,6 +97,8 @@ pub struct Netfront {
     queues: Vec<NfQueue>,
     received: VecDeque<Vec<u8>>,
     tx_dropped: u64,
+    gso: bool,
+    csum_offload: bool,
 }
 
 fn make_pool(
@@ -152,6 +168,8 @@ fn make_queue(hv: &mut Hypervisor, paths: &DevicePaths, root: &str) -> Result<Nf
         tx_pool,
         rx_pool,
         in_flight_tx: VecDeque::new(),
+        rx_partial: Vec::new(),
+        rx_poisoned: false,
     })
 }
 
@@ -174,6 +192,24 @@ impl Netfront {
         paths: &DevicePaths,
         mac: MacAddr,
         max_queues: u32,
+    ) -> Result<Netfront> {
+        Netfront::connect_with_features(hv, paths, mac, max_queues, true, false)
+    }
+
+    /// [`Netfront::connect_with_queues`] with explicit offload choices.
+    ///
+    /// `want_gso` declines segmentation offload even when the backend
+    /// advertises `feature-gso-tcpv4` (the frontend simply never echoes
+    /// the key — graceful fallback, not an error). `veto_csum` writes
+    /// `feature-no-csum-offload`, keeping full-cost checksumming on the
+    /// guest even when GSO chains are negotiated.
+    pub fn connect_with_features(
+        hv: &mut Hypervisor,
+        paths: &DevicePaths,
+        mac: MacAddr,
+        max_queues: u32,
+        want_gso: bool,
+        veto_csum: bool,
     ) -> Result<Netfront> {
         let guest = paths.front;
         let fe = paths.frontend();
@@ -204,6 +240,28 @@ impl Netfront {
                 &nqueues.to_string(),
             )?;
         }
+        // Offload negotiation: echo the backend's GSO advertisement only
+        // if this frontend wants it. A backend that never advertised the
+        // key (or a frontend that declines) leaves both sides in the
+        // legacy single-slot protocol — no keys, no behavior change.
+        let back_gso = hv
+            .store
+            .read(
+                guest,
+                None,
+                &format!("{}/{}", paths.backend(), FEATURE_GSO_KEY),
+            )
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let gso = want_gso && back_gso;
+        if gso {
+            hv.store
+                .write(guest, None, &format!("{fe}/{FEATURE_GSO_KEY}"), "1")?;
+            if veto_csum {
+                hv.store
+                    .write(guest, None, &format!("{fe}/{FEATURE_NO_CSUM_KEY}"), "1")?;
+            }
+        }
         let mut queues = Vec::with_capacity(nqueues as usize);
         for k in 0..nqueues {
             let root = paths.frontend_queue_root(nqueues, k);
@@ -225,6 +283,8 @@ impl Netfront {
             queues,
             received: VecDeque::new(),
             tx_dropped: 0,
+            gso,
+            csum_offload: gso && !veto_csum,
         };
         nf.post_rx_buffers(hv)?;
         Ok(nf)
@@ -233,6 +293,21 @@ impl Netfront {
     /// Number of negotiated queues.
     pub fn queue_count(&self) -> usize {
         self.queues.len()
+    }
+
+    /// Whether GSO descriptor chains were negotiated with the backend.
+    pub fn gso(&self) -> bool {
+        self.gso
+    }
+
+    /// Largest frame [`Netfront::send`] accepts: one page without GSO,
+    /// a 64KB super-frame with it.
+    pub fn max_tx_frame(&self) -> usize {
+        if self.gso {
+            NETIF_MAX_GSO_FRAME
+        } else {
+            kite_xen::PAGE_SIZE
+        }
     }
 
     /// Queue `q`'s guest-local event-channel port.
@@ -277,6 +352,13 @@ impl Netfront {
     /// when the steered queue has no Tx slot or buffer free (UDP
     /// workloads count that as a drop).
     ///
+    /// With GSO negotiated a frame larger than one page becomes a
+    /// descriptor chain: a head slot flagged `NETTXF_EXTRA_INFO |
+    /// NETTXF_MORE_DATA`, the GSO extra-info slot, then continuation
+    /// fragments (`NETTXF_MORE_DATA` on all but the last). The chain is
+    /// pushed atomically — if the ring or pool cannot hold every slot,
+    /// nothing is pushed and the whole frame drops.
+    ///
     /// A traced request (`req`) is mapped to the Tx ring slot it lands
     /// in and stamped [`ReqStage::RingSubmit`], so the backend's drain
     /// can pick the id back up from the slot.
@@ -288,48 +370,80 @@ impl Netfront {
         frame: &[u8],
         req: Option<ReqId>,
     ) -> Result<(usize, FrontOp)> {
-        if frame.len() > kite_xen::PAGE_SIZE {
+        if frame.len() > self.max_tx_frame() {
             return Err(XenError::OutOfBounds);
         }
         let q = kite_net::flow::steer(frame, self.queues.len() as u32) as usize;
         let multi = self.queues.len() > 1;
+        let nfrags = frame.len().div_ceil(kite_xen::PAGE_SIZE).max(1);
+        let chained = self.gso && nfrags > 1;
+        // Data slots plus, for a chain, the extra-info slot.
+        let slots = if chained { nfrags + 1 } else { nfrags };
         let qu = &mut self.queues[q];
-        if qu.tx.full() {
+        if (qu.tx.free_requests() as usize) < slots || qu.tx_pool.free.len() < nfrags {
             self.tx_dropped += 1;
             return Err(XenError::RingFull);
         }
-        let id = match qu.tx_pool.alloc_id() {
-            Some(i) => i,
-            None => {
-                self.tx_dropped += 1;
-                return Err(XenError::RingFull);
+        let mss = kite_net::ether::TSO_MSS;
+        let mut head_id = 0u16;
+        let mut off = 0usize;
+        for f in 0..nfrags {
+            let id = qu.tx_pool.alloc_id().expect("checked pool headroom");
+            let len = (frame.len() - off).min(kite_xen::PAGE_SIZE);
+            let buf = qu.tx_pool.pages[id as usize];
+            hv.mem.page_mut(buf)?[..len].copy_from_slice(&frame[off..off + len]);
+            let mut flags = 0u16;
+            if chained {
+                if f == 0 {
+                    flags = NETTXF_EXTRA_INFO | NETTXF_MORE_DATA;
+                } else if f + 1 < nfrags {
+                    flags = NETTXF_MORE_DATA;
+                }
             }
-        };
-        let buf = qu.tx_pool.pages[id as usize];
-        hv.mem.page_mut(buf)?[..frame.len()].copy_from_slice(frame);
-        let req_tx = NetifTxRequest {
-            gref: qu.tx_pool.grefs[id as usize],
-            offset: 0,
-            flags: 0,
-            id,
-            size: frame.len() as u16,
-        };
+            let req_tx = NetifTxRequest {
+                gref: qu.tx_pool.grefs[id as usize],
+                offset: 0,
+                flags,
+                id,
+                size: len as u16,
+            };
+            let page = hv.mem.page_mut(qu.tx_page)?;
+            qu.tx.push_request(page, &req_tx)?;
+            qu.in_flight_tx.push_back((id, len as u16, f == 0));
+            if f == 0 {
+                head_id = id;
+                if chained {
+                    // The extra-info slot rides immediately after the
+                    // head, before any continuation fragment.
+                    let extra = NetifExtraInfo {
+                        kind: XEN_NETIF_EXTRA_TYPE_GSO,
+                        gso_size: mss as u16,
+                        gso_segs: frame.len().div_ceil(mss) as u16,
+                        total_len: frame.len() as u32,
+                    };
+                    let page = hv.mem.page_mut(qu.tx_page)?;
+                    qu.tx.push_request(page, &extra.to_tx_slot())?;
+                }
+            }
+            off += len;
+        }
         let page = hv.mem.page_mut(qu.tx_page)?;
-        qu.tx.push_request(page, &req_tx)?;
-        qu.in_flight_tx.push_back((id, frame.len() as u16));
         let notify = qu.tx.push_requests(page);
         if let Some(r) = req {
-            let key = (q as u64) << 32 | id as u64;
+            let key = (q as u64) << 32 | head_id as u64;
             hv.req.map(SlotClass::NetTx, key, r);
             let qid = multi.then_some(q as u16);
             hv.req.stamp(r, ReqStage::RingSubmit, self.guest.0, qid);
         }
+        // Guest-side cost: buffer copy + ring bookkeeping. With checksum
+        // offload the guest skips the software csum pass, halving the
+        // per-byte term.
+        let per_byte = if self.csum_offload { 32 } else { 16 };
         Ok((
             q,
             FrontOp {
                 notify,
-                // Guest-side cost: buffer copy + ring bookkeeping.
-                cost: Nanos::from_nanos(150 + frame.len() as u64 / 16),
+                cost: Nanos::from_nanos(150 + frame.len() as u64 / per_byte),
             },
         ))
     }
@@ -348,8 +462,14 @@ impl Netfront {
                     qu.tx.consume_response(page)?
                 };
                 let Some(rsp) = rsp else { break };
+                if rsp.status == NETIF_RSP_NULL {
+                    // Extra-info slot acknowledgment: its id field held
+                    // the descriptor kind, not a pool id — nothing to
+                    // release.
+                    continue;
+                }
                 qu.tx_pool.release_id(rsp.id);
-                qu.in_flight_tx.retain(|&(i, _)| i != rsp.id);
+                qu.in_flight_tx.retain(|&(i, _, _)| i != rsp.id);
                 cost += Nanos::from_nanos(80);
             }
             {
@@ -363,13 +483,33 @@ impl Netfront {
                     qu.rx.consume_response(page)?
                 };
                 let Some(rsp) = rsp else { break };
+                let more = rsp.flags & NETRXF_MORE_DATA != 0;
                 if rsp.status > 0 {
                     let len = rsp.status as usize;
                     let buf = qu.rx_pool.pages[rsp.id as usize];
-                    let data =
-                        hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len].to_vec();
-                    self.received.push_back(data);
-                    cost += Nanos::from_nanos(120 + len as u64 / 16);
+                    let data = &hv.mem.page(buf)?[rsp.offset as usize..rsp.offset as usize + len];
+                    qu.rx_partial.extend_from_slice(data);
+                    // The backend validated the checksum for us when it
+                    // set `NETRXF_DATA_VALIDATED`; the guest's software
+                    // pass is skipped and the per-byte cost halves.
+                    let per_byte = if rsp.flags & NETRXF_DATA_VALIDATED != 0 {
+                        32
+                    } else {
+                        16
+                    };
+                    cost += Nanos::from_nanos(120 + len as u64 / per_byte);
+                } else {
+                    // A failed fragment poisons the chain it belongs
+                    // to: nothing already accumulated may be delivered.
+                    qu.rx_poisoned = true;
+                }
+                if !more {
+                    if !qu.rx_poisoned && !qu.rx_partial.is_empty() {
+                        self.received.push_back(std::mem::take(&mut qu.rx_partial));
+                    } else {
+                        qu.rx_partial.clear();
+                    }
+                    qu.rx_poisoned = false;
                 }
                 qu.rx_pool.release_id(rsp.id);
             }
@@ -412,11 +552,20 @@ impl Netfront {
     pub fn take_unacked(&mut self, hv: &Hypervisor) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         for qu in &mut self.queues {
-            while let Some((id, len)) = qu.in_flight_tx.pop_front() {
+            // First-markers delimit GSO chains: a head slot flushes the
+            // frame accumulated so far, continuation slots append.
+            let mut partial: Vec<u8> = Vec::new();
+            while let Some((id, len, first)) = qu.in_flight_tx.pop_front() {
+                if first && !partial.is_empty() {
+                    out.push(std::mem::take(&mut partial));
+                }
                 let buf = qu.tx_pool.pages[id as usize];
                 if let Ok(page) = hv.mem.page(buf) {
-                    out.push(page[..len as usize].to_vec());
+                    partial.extend_from_slice(&page[..len as usize]);
                 }
+            }
+            if !partial.is_empty() {
+                out.push(partial);
             }
         }
         out

@@ -44,6 +44,10 @@ pub struct TopRow {
     /// World->guest frames dropped on backend Rx-queue overflow (or
     /// because no Rx buffers were posted), summed across incarnations.
     pub rx_dropped: u64,
+    /// Super-frames the backend moved as GSO/LRO descriptor chains
+    /// (both directions), summed across incarnations; 0 for domains
+    /// without a netback or when offload was never negotiated.
+    pub gso_frames: u64,
     /// Per-queue Rx backlog depth on the live backend; empty for
     /// domains without a multi-queue-capable backend.
     pub rx_qdepth: Vec<u64>,
@@ -97,7 +101,7 @@ pub fn render(snap: &TopSnapshot) -> String {
         rows.len()
     );
     out.push_str(&format!(
-        "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9} {:>8} {:>7} {:>9} {:<11}\n",
+        "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9} {:>8} {:>7} {:>7} {:>9} {:<11}\n",
         "DOM",
         "NAME",
         "KIND",
@@ -112,12 +116,13 @@ pub fn render(snap: &TopSnapshot) -> String {
         "REQ/S",
         "MB/S",
         "RX_DROP",
+        "GSO_FRM",
         "P99_US",
         "RXQ_DEPTH",
     ));
     for r in &rows {
         out.push_str(&format!(
-            "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9.1} {:>8.2} {:>7} {:>9} {:<11}\n",
+            "{:>4} {:<14} {:<7} {:<6} {:<11} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4} {:>9.1} {:>8.2} {:>7} {:>7} {:>9} {:<11}\n",
             r.dom,
             r.name,
             r.kind,
@@ -132,6 +137,7 @@ pub fn render(snap: &TopSnapshot) -> String {
             r.req_per_sec,
             r.mbytes_per_sec,
             r.rx_dropped,
+            r.gso_frames,
             fmt_p99(r.p99_us),
             fmt_qdepth(&r.rx_qdepth),
         ));
@@ -162,6 +168,7 @@ mod tests {
                     req_per_sec: 40.0,
                     mbytes_per_sec: 0.056,
                     rx_dropped: 7,
+                    gso_frames: 12,
                     rx_qdepth: vec![3, 0, 1, 2],
                     p99_us: Some(184.75),
                 },
@@ -180,6 +187,7 @@ mod tests {
                     req_per_sec: 0.0,
                     mbytes_per_sec: 0.0,
                     rx_dropped: 0,
+                    gso_frames: 0,
                     rx_qdepth: Vec::new(),
                     p99_us: None,
                 },
@@ -200,6 +208,7 @@ mod tests {
         assert!(lines[3].contains("suspect(2)"));
         assert!(lines[3].contains("1000ms"));
         assert!(lines[1].contains("RX_DROP"));
+        assert!(lines[1].contains("GSO_FRM"));
         assert!(lines[1].contains("P99_US"));
         assert!(lines[1].contains("RXQ_DEPTH"));
         assert!(lines[3].contains("3/0/1/2"), "per-queue Rx depths");

@@ -79,6 +79,37 @@ pub const ETH_MTU: usize = 1500;
 /// Per-frame wire overhead beyond the header+payload: preamble (8) +
 /// FCS (4) + inter-frame gap (12).
 pub const ETH_WIRE_OVERHEAD: usize = 24;
+/// Largest standard (non-jumbo) frame: header + one MTU of payload.
+pub const ETH_FRAME_MAX: usize = ETH_HEADER_LEN + ETH_MTU;
+/// IPv4 header length (no options).
+pub const IPV4_HEADER_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+/// Ethernet + IPv4 + UDP headers — what a TSO engine replicates onto
+/// every segment it cuts from a super-frame.
+pub const TSO_HEADERS_LEN: usize = ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN;
+/// Largest per-segment payload a TSO engine emits: one MTU minus the
+/// replicated L3/L4 headers.
+pub const TSO_MSS: usize = ETH_MTU - IPV4_HEADER_LEN - UDP_HEADER_LEN;
+
+/// Wire cost of transmitting `frame_len` bytes of guest-visible frame.
+///
+/// A frame that fits the standard MTU serializes as-is. A super-frame
+/// is cut into MSS-sized segments by the NIC's TSO engine, which
+/// replicates the Ethernet/IP/UDP headers onto each extra segment and
+/// pays [`ETH_WIRE_OVERHEAD`] per segment. Returns
+/// `(total wire bytes, segment count)`; the receive side coalesces the
+/// segments back into one frame (LRO), so the segment count never
+/// appears above the NIC on either end.
+pub fn tso_wire_cost(frame_len: usize) -> (u64, u32) {
+    if frame_len <= ETH_FRAME_MAX {
+        return ((frame_len + ETH_WIRE_OVERHEAD) as u64, 1);
+    }
+    let payload = frame_len - TSO_HEADERS_LEN;
+    let segs = payload.div_ceil(TSO_MSS);
+    let bytes = frame_len + (segs - 1) * TSO_HEADERS_LEN + segs * ETH_WIRE_OVERHEAD;
+    (bytes as u64, segs as u32)
+}
 
 /// A parsed Ethernet frame (borrowing nothing; payload owned).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -154,6 +185,31 @@ mod tests {
         let b = MacAddr::local(2);
         assert_ne!(a, b);
         assert!(!a.is_multicast());
+    }
+
+    #[test]
+    fn tso_wire_cost_segments_super_frames() {
+        // An MTU-sized frame is one segment with flat overhead.
+        assert_eq!(
+            tso_wire_cost(ETH_FRAME_MAX),
+            ((ETH_FRAME_MAX + ETH_WIRE_OVERHEAD) as u64, 1)
+        );
+        assert_eq!(tso_wire_cost(98), (122, 1));
+        // One byte over: two segments, one replicated header stack.
+        let (bytes, segs) = tso_wire_cost(ETH_FRAME_MAX + 1);
+        assert_eq!(segs, 2);
+        assert_eq!(
+            bytes,
+            (ETH_FRAME_MAX + 1 + TSO_HEADERS_LEN + 2 * ETH_WIRE_OVERHEAD) as u64
+        );
+        // A 64 KiB super-frame cuts into ceil(payload / MSS) segments
+        // and every segment fits the wire MTU.
+        let frame = 61824 + TSO_HEADERS_LEN;
+        let (bytes, segs) = tso_wire_cost(frame);
+        assert_eq!(segs, (61824_u32).div_ceil(TSO_MSS as u32));
+        assert!(bytes > frame as u64);
+        let per_seg_payload = 61824_usize.div_ceil(segs as usize);
+        assert!(per_seg_payload + TSO_HEADERS_LEN <= ETH_FRAME_MAX);
     }
 
     #[test]

@@ -96,6 +96,21 @@ impl IfTable {
         }
     }
 
+    /// `ifconfig <if> mtu <n>`: raises (jumbo/GSO super-frames) or
+    /// lowers the largest frame the interface accepts. Bounded by the
+    /// minimum IPv4 MTU below and the 64 KiB GSO super-frame above.
+    pub fn set_mtu(&mut self, name: &str, mtu: usize) -> bool {
+        if !(68..=65536).contains(&mtu) {
+            return false;
+        }
+        if let Some(i) = self.ifs.get_mut(name) {
+            i.mtu = mtu;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Looks up an interface.
     pub fn get(&self, name: &str) -> Option<&Interface> {
         self.ifs.get(name)
@@ -143,6 +158,20 @@ mod tests {
             t.by_addr("192.168.1.50".parse().unwrap()).unwrap().name,
             "ixg0"
         );
+    }
+
+    #[test]
+    fn mtu_knob_accepts_jumbo_and_rejects_nonsense() {
+        let mut t = IfTable::new();
+        t.attach("ixg0", IfKind::Physical, MacAddr::local(1));
+        assert_eq!(t.get("ixg0").unwrap().mtu, crate::ether::ETH_MTU);
+        assert!(t.set_mtu("ixg0", 9000), "jumbo frames");
+        assert_eq!(t.get("ixg0").unwrap().mtu, 9000);
+        assert!(t.set_mtu("ixg0", 65536), "GSO super-frame ceiling");
+        assert!(!t.set_mtu("ixg0", 65537));
+        assert!(!t.set_mtu("ixg0", 0));
+        assert!(!t.set_mtu("nope0", 1500));
+        assert_eq!(t.get("ixg0").unwrap().mtu, 65536, "rejects leave mtu");
     }
 
     #[test]

@@ -11,7 +11,8 @@ pub mod config;
 pub mod netsys;
 pub mod storsys;
 
-pub use config::SystemConfig;
+pub use config::{GsoMode, SystemConfig};
+pub use kite_devices::LineRate;
 pub use kite_sim::SchedulerKind;
 
 pub use kite_health::{
@@ -19,6 +20,6 @@ pub use kite_health::{
     SloConfig, TopRow, TopSnapshot,
 };
 pub use netsys::{
-    addrs, BackendOs, NetMetrics, NetSystem, Reply, Side, UdpHandler, UdpMsg, MAX_UDP,
+    addrs, BackendOs, NetMetrics, NetSystem, Reply, Side, UdpHandler, UdpMsg, GSO_UDP, MAX_UDP,
 };
 pub use storsys::{IoDone, IoHandler, IoKind, IoOp, StorMetrics, StorSystem};

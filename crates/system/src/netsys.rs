@@ -20,13 +20,14 @@ use kite_core::{
     provision_device, BackendManager, DeviceLifecycle, NetbackInstance, NetbackStats, NetworkApp,
     RecoveryStats,
 };
-use kite_devices::{Nic, RxIrq};
+use kite_devices::{LineRate, Nic, NicProfile, RxIrq};
 use kite_frontends::Netfront;
 use kite_health::{
     slo, BreachAttribution, DetectionMode, HealthMonitor, HealthState, HeartbeatPublisher,
     MonitorConfig, ProgressSample, SloConfig, TopRow, TopSnapshot,
 };
 use kite_linux::{linux_profile, ubuntu_boot};
+use kite_net::ether::{tso_wire_cost, TSO_MSS};
 use kite_net::{
     BridgePort, EtherType, EthernetFrame, Forward, IcmpMessage, IpProto, Ipv4Packet, MacAddr,
     UdpDatagram,
@@ -37,13 +38,13 @@ use kite_sim::{
     TxOutcome,
 };
 use kite_trace::{EventKind, MetricsSnapshot, SampleKind, TimeSeriesSampler, DEFAULT_REQ_CAPACITY};
-use kite_xen::xenbus::MQ_MAX_QUEUES_KEY;
+use kite_xen::xenbus::{FEATURE_GSO_KEY, MQ_MAX_QUEUES_KEY};
 use kite_xen::{
     Bdf, CopyMode, DeviceKind, DevicePaths, DomainId, DomainKind, DomainState, FaultPlan,
     Hypervisor, Notification, Port, QueueMode, ReqStage, SlotClass, XenbusState,
 };
 
-use crate::config::SystemConfig;
+use crate::config::{GsoMode, SystemConfig};
 
 /// Which OS runs the driver domain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -180,13 +181,21 @@ fn phase_of(ev: &Event) -> kite_prof::Phase {
     }
 }
 
-/// Largest message chunk crossing the PV path at once.
+/// Largest message chunk crossing the PV path at once in
+/// [`GsoMode::Legacy`].
 ///
-/// Real netfront/netback negotiate TSO/GSO, so the per-"packet" unit on
-/// the rings is a multi-KB aggregate that the NIC segments to wire MTU.
-/// We model that aggregation with page-sized chunks; wire serialization
-/// still charges the full byte count, so link-level timing is unchanged.
+/// Before segmentation offload was modeled explicitly, every scenario
+/// assumed a multi-KB aggregate unit on the rings; page-sized chunks
+/// stood in for TSO/GSO. Legacy mode keeps that abstraction (and its
+/// exact byte streams) for historical comparability. `GsoMode::Off`
+/// segments honestly to wire MTU; `GsoMode::On` moves real
+/// [`GSO_UDP`]-sized super-frames over descriptor chains.
 pub const MAX_UDP: usize = 4000;
+
+/// Message chunk crossing the PV path per descriptor chain with GSO on:
+/// 42 MSS-sized wire segments, the largest super-frame whose Ethernet
+/// framing stays under the 64KB protocol cap.
+pub const GSO_UDP: usize = TSO_MSS * 42;
 
 /// Cap on frames queued in the guest stack awaiting Tx ring slots.
 ///
@@ -267,6 +276,11 @@ pub struct NetSystem {
     driver: DomainId,
     guest: DomainId,
     queue_mode: QueueMode,
+    gso_mode: GsoMode,
+    wire: Option<LineRate>,
+    /// Largest UDP chunk the guest/client stacks hand to one PV transfer
+    /// (one ring slot, or one descriptor chain with GSO on).
+    max_tx_unit: usize,
     driver_cpus: CpuPool,
     nic: Nic,
     nic_bdf: Bdf,
@@ -402,6 +416,19 @@ impl NetSystem {
                 )
                 .expect("advertise queues");
         }
+        if cfg.gso_mode == GsoMode::On {
+            // The toolstack advertises segmentation offload under the
+            // backend path; the frontend echoes it when willing.
+            let be = paths.backend();
+            hv.store
+                .write(
+                    DomainId::DOM0,
+                    None,
+                    &format!("{be}/{FEATURE_GSO_KEY}"),
+                    "1",
+                )
+                .expect("advertise gso");
+        }
         mgr.drain_events(&mut hv).expect("scan");
         let netfront =
             Netfront::connect_with_queues(&mut hv, &paths, guest_mac, nqueues).expect("netfront");
@@ -422,8 +449,18 @@ impl NetSystem {
             driver,
             guest,
             queue_mode: queues,
+            gso_mode: cfg.gso_mode,
+            wire: cfg.wire,
+            max_tx_unit: match cfg.gso_mode {
+                GsoMode::Legacy => MAX_UDP,
+                GsoMode::Off => TSO_MSS,
+                GsoMode::On => GSO_UDP,
+            },
             driver_cpus: CpuPool::new(nqueues as usize),
-            nic: Nic::ten_gbe(),
+            nic: match cfg.wire {
+                None => Nic::ten_gbe(),
+                Some(rate) => Nic::with_profile(NicProfile::default().with_line_rate(rate)),
+            },
             nic_bdf: bdf,
             phys_mac,
             netapp,
@@ -443,7 +480,14 @@ impl NetSystem {
             client_mac,
             guest_txq: VecDeque::new(),
             guest_app: None,
-            client_link: Link::ten_gbe(),
+            client_link: match cfg.wire {
+                None => Link::ten_gbe(),
+                Some(rate) => {
+                    let mut l = Link::ten_gbe();
+                    l.rate_bps = rate.bps();
+                    l
+                }
+            },
             client_app: None,
             icmp_sent: HashMap::new(),
             boot: os.boot(),
@@ -496,10 +540,11 @@ impl NetSystem {
         src_port: u16,
         payload: Vec<u8>,
     ) {
-        let mut chunks: Vec<Vec<u8>> = if payload.len() <= MAX_UDP {
+        let unit = self.max_tx_unit;
+        let mut chunks: Vec<Vec<u8>> = if payload.len() <= unit {
             vec![payload]
         } else {
-            payload.chunks(MAX_UDP).map(|c| c.to_vec()).collect()
+            payload.chunks(unit).map(|c| c.to_vec()).collect()
         };
         for chunk in chunks.drain(..) {
             self.queue.schedule_at(
@@ -565,6 +610,23 @@ impl NetSystem {
     /// The negotiated queue layout.
     pub fn queue_mode(&self) -> QueueMode {
         self.queue_mode
+    }
+
+    /// The configured segmentation mode.
+    pub fn gso_mode(&self) -> GsoMode {
+        self.gso_mode
+    }
+
+    /// The configured wire profile (`None` = the stock 10GbE device).
+    pub fn wire(&self) -> Option<LineRate> {
+        self.wire
+    }
+
+    /// Whether the *connected* backend/frontend pair negotiated GSO
+    /// chains (false while the backend is down).
+    pub fn gso_negotiated(&self) -> bool {
+        self.netback.device().is_some_and(|nb| nb.gso())
+            && self.netfront.as_ref().is_some_and(|nf| nf.gso())
     }
 
     /// Queues on the currently connected netback (0 when down).
@@ -876,6 +938,21 @@ impl NetSystem {
                 )
                 .expect("re-advertise queues");
         }
+        if self.gso_mode == GsoMode::On {
+            // The replacement backend re-advertises offloads; the
+            // frontend renegotiates from scratch, exactly as at first
+            // connect — offloads survive crash recovery.
+            let be = self.paths.backend();
+            self.hv
+                .store
+                .write(
+                    DomainId::DOM0,
+                    None,
+                    &format!("{be}/{FEATURE_GSO_KEY}"),
+                    "1",
+                )
+                .expect("re-advertise gso");
+        }
         self.mgr.drain_events(&mut self.hv).expect("scan");
         let nf = Netfront::connect_with_queues(&mut self.hv, &self.paths, self.guest_mac, nqueues)
             .expect("netfront");
@@ -948,9 +1025,28 @@ impl NetSystem {
         EthernetFrame::new(self.mac_of(dst_ip), src_mac, EtherType::Ipv4, ip.encode()).encode()
     }
 
+    /// Wire footprint of one frame: byte count to serialize and the
+    /// number of MTU segments it becomes.
+    ///
+    /// `GsoMode::Legacy` keeps the historical abstraction — aggregates
+    /// cross the wire as-is with one framing overhead — so pre-offload
+    /// scenarios stay byte-identical. The explicit modes charge the
+    /// honest TSO cost: a super-frame is segmented to MTU with
+    /// replicated headers and per-segment framing.
+    fn wire_cost(&self, frame_len: usize) -> (u64, u32) {
+        match self.gso_mode {
+            GsoMode::Legacy => (frame_len as u64 + 24, 1),
+            GsoMode::Off | GsoMode::On => tso_wire_cost(frame_len),
+        }
+    }
+
     /// Client machine puts a frame on the wire toward the server NIC.
+    /// Super-frames go through the client NIC's TSO engine: the wire
+    /// carries MTU segments (with replicated headers and per-segment
+    /// framing overhead), so serialization charges the segmented byte
+    /// count even though the simulation moves the aggregate.
     fn client_transmit(&mut self, now: Nanos, frame: Vec<u8>) {
-        let wire_len = frame.len() as u64 + 24;
+        let (wire_len, _segs) = self.wire_cost(frame.len());
         let sent = self
             .client_link
             .transmit_then(&mut self.queue, now, wire_len, |_| {
@@ -1093,11 +1189,15 @@ impl NetSystem {
         to_wire
     }
 
-    /// Transmits frames out the physical NIC starting at `t`.
+    /// Transmits frames out the physical NIC starting at `t`. A frame
+    /// above wire MTU is a super-frame the NIC's TSO engine segments:
+    /// serialization charges the full segmented byte count and the
+    /// per-segment descriptor cost, but the frame crosses the simulated
+    /// wire as one unit.
     fn nic_transmit(&mut self, t: Nanos, frames: Vec<Vec<u8>>) {
         for frame in frames {
-            let wire_len = frame.len() as u64 + 24;
-            match self.nic.transmit(t, wire_len) {
+            let (wire_len, segs) = self.wire_cost(frame.len());
+            match self.nic.transmit_segs(t, wire_len, segs) {
                 TxOutcome::Sent { arrives, .. } => {
                     self.queue.schedule_at(arrives, Event::WireToClient(frame));
                 }
@@ -1159,6 +1259,10 @@ impl NetSystem {
                     {
                         let dom = self.driver.0;
                         self.hv.req.stamp_at(r, ReqStage::NicTx, dom, qid, t);
+                        let (_, segs) = self.wire_cost(f.len());
+                        if segs > 1 {
+                            self.hv.req.annotate_segs(r, ReqStage::NicTx, segs as u16);
+                        }
                     }
                 }
             }
@@ -1257,10 +1361,11 @@ impl NetSystem {
                 Side::Guest => self.guest_cpu_run(now, r.cost),
                 Side::Client => now + r.cost,
             };
-            let chunks: Vec<Vec<u8>> = if r.payload.len() <= MAX_UDP {
+            let unit = self.max_tx_unit;
+            let chunks: Vec<Vec<u8>> = if r.payload.len() <= unit {
                 vec![r.payload]
             } else {
-                r.payload.chunks(MAX_UDP).map(|c| c.to_vec()).collect()
+                r.payload.chunks(unit).map(|c| c.to_vec()).collect()
             };
             for chunk in chunks {
                 self.queue.schedule_at(
@@ -1725,6 +1830,11 @@ impl NetSystem {
                     req_per_sec,
                     mbytes_per_sec,
                     rx_dropped: if is_driver { stats.rx_dropped } else { 0 },
+                    gso_frames: if is_driver {
+                        stats.gso_tx_frames + stats.lro_rx_frames
+                    } else {
+                        0
+                    },
                     rx_qdepth: if is_driver {
                         self.rx_queue_depths().iter().map(|&d| d as u64).collect()
                     } else {

@@ -1335,6 +1335,7 @@ impl StorSystem {
                     req_per_sec,
                     mbytes_per_sec,
                     rx_dropped: 0,
+                    gso_frames: 0,
                     rx_qdepth: match self.blkback.device() {
                         Some(bb) if is_driver => bb
                             .queue_progress(&self.hv)

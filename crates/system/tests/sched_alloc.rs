@@ -134,6 +134,44 @@ fn drain_paths_do_not_allocate_in_steady_state() {
         "4-queue netback drain allocations drift between identical windows: {w:?}"
     );
 
+    // Phase 2b: the same flatness contract holds on the GSO super-frame
+    // path — descriptor-chain walks, extra-info parsing and multi-slot
+    // Rx chains all run out of recycled scratch, so a 4-queue offload
+    // drain must not accumulate bookkeeping either.
+    let mut sys = SystemConfig::new(BackendOs::Kite, 43)
+        .queues(4)
+        .gso(true)
+        .build_net();
+    assert!(sys.gso_negotiated());
+    let window = |sys: &mut kite_system::NetSystem| {
+        let start = sys.now();
+        for i in 0..64u64 {
+            // ~30KB messages: every send crosses the ring as a chained
+            // super-frame (extra-info slot + multiple frags).
+            sys.send_udp_at(
+                start + Nanos::from_micros(10 + 20 * (i / 16)),
+                Side::Guest,
+                addrs::CLIENT,
+                9999,
+                1200 + (i % 64) as u16,
+                vec![i as u8; 30_000],
+            );
+        }
+        let before = allocs();
+        sys.run_to_quiescence();
+        allocs() - before
+    };
+    let w: Vec<u64> = (0..8).map(|_| window(&mut sys)).collect();
+    assert!(sys.netback_stats().gso_tx_frames > 0, "chains exercised");
+    let (lo, hi) = (
+        *w[2..].iter().min().expect("nonempty"),
+        *w[2..].iter().max().expect("nonempty"),
+    );
+    assert!(
+        hi - lo <= lo / 100,
+        "GSO super-frame drain allocations drift between identical windows: {w:?}"
+    );
+
     // Phase 3: disabled profiler spans allocate nothing, for every
     // phase in the registry.
     kite_prof::disable();

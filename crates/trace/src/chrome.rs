@@ -426,7 +426,7 @@ mod tests {
         t.emit_with(2, || EventKind::GrantCopyBatch {
             ops: 20,
             ok_ops: 20,
-            bytes: 20 * 1514,
+            bytes: 20 * kite_net::ether::ETH_FRAME_MAX as u64,
             cost: Nanos::from_nanos(4_500),
         });
         t.emit_with(2, || EventKind::Notify {

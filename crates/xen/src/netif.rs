@@ -18,12 +18,87 @@ pub const NETTXF_MORE_DATA: u16 = 4;
 /// Tx flag: an extra-info slot follows (`NETTXF_extra_info`).
 pub const NETTXF_EXTRA_INFO: u16 = 8;
 
+/// Rx flag: packet data already validated (`NETRXF_data_validated`).
+pub const NETRXF_DATA_VALIDATED: u16 = 1;
+/// Rx flag: checksum not yet computed (`NETRXF_csum_blank`).
+pub const NETRXF_CSUM_BLANK: u16 = 2;
+/// Rx flag: more fragments of this packet follow (`NETRXF_more_data`).
+pub const NETRXF_MORE_DATA: u16 = 4;
+/// Rx flag: an extra-info slot follows (`NETRXF_extra_info`).
+pub const NETRXF_EXTRA_INFO: u16 = 8;
+
 /// Response status: success.
 pub const NETIF_RSP_OKAY: i16 = 0;
 /// Response status: generic error.
 pub const NETIF_RSP_ERROR: i16 = -1;
 /// Response status: packet dropped.
 pub const NETIF_RSP_DROPPED: i16 = -2;
+/// Response status for a slot that carried a [`NetifExtraInfo`] rather
+/// than packet data (`NETIF_RSP_NULL`). The ring protocol produces
+/// exactly one response per consumed request slot, so extra-info slots
+/// are answered too — with a status the frontend must skip.
+pub const NETIF_RSP_NULL: i16 = 1;
+
+/// `XEN_NETIF_EXTRA_TYPE_GSO`: the extra-info slot describes a GSO
+/// super-frame.
+pub const XEN_NETIF_EXTRA_TYPE_GSO: u8 = 1;
+
+/// Largest super-frame a GSO descriptor chain may carry, in bytes
+/// (matches Linux's 64 KiB GSO limit).
+pub const NETIF_MAX_GSO_FRAME: usize = 65536;
+
+/// Most data fragments one descriptor chain may span: a 64 KiB
+/// super-frame across 4 KiB granted pages, plus slack for an unaligned
+/// first fragment. Chains longer than this are malformed.
+pub const NETIF_MAX_TX_CHAIN: usize = NETIF_MAX_GSO_FRAME / crate::mem::PAGE_SIZE + 1;
+
+/// A GSO descriptor (`struct netif_extra_info`). It does not travel in
+/// a struct of its own: the frontend encodes it into the Tx ring slot
+/// immediately after a request flagged [`NETTXF_EXTRA_INFO`], exactly
+/// like Xen's request/extra-info union.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetifExtraInfo {
+    /// Extra-info discriminator (`XEN_NETIF_EXTRA_TYPE_*`).
+    pub kind: u8,
+    /// Maximum segment size the NIC should cut the super-frame into
+    /// (the flow's MSS); `gso.size` in real Xen.
+    pub gso_size: u16,
+    /// Number of wire segments the sender claims the super-frame
+    /// resolves to. Real Xen derives this in the backend; carrying the
+    /// guest's claim lets the backend cross-check it (SoK validation).
+    pub gso_segs: u16,
+    /// Total payload bytes across every data fragment of the chain.
+    pub total_len: u32,
+}
+
+impl NetifExtraInfo {
+    /// Encodes the descriptor into a Tx ring slot. Real Xen overlays
+    /// `struct netif_extra_info` on the request union; this mapping is
+    /// the same idea with the fields spelled out:
+    /// `gref` carries `total_len`, `offset` carries `gso_size`,
+    /// `flags` carries `gso_segs`, `id` carries the extra type, and
+    /// `size` is zero.
+    pub fn to_tx_slot(self) -> NetifTxRequest {
+        NetifTxRequest {
+            gref: GrantRef(self.total_len),
+            offset: self.gso_size,
+            flags: self.gso_segs,
+            id: self.kind as u16,
+            size: 0,
+        }
+    }
+
+    /// Decodes an extra-info descriptor from a Tx ring slot (the slot
+    /// following a request flagged `NETTXF_EXTRA_INFO`).
+    pub fn from_tx_slot(slot: &NetifTxRequest) -> Self {
+        NetifExtraInfo {
+            kind: slot.id as u8,
+            gso_size: slot.offset,
+            gso_segs: slot.flags,
+            total_len: slot.gref.0,
+        }
+    }
+}
 
 /// A transmit request: the guest offers `size` bytes at `offset` within the
 /// page granted via `gref`.
@@ -180,6 +255,32 @@ mod tests {
         let mut buf = [0u8; NetifTxResponse::SIZE];
         r.write_to(&mut buf);
         assert_eq!(NetifTxResponse::read_from(&buf), r);
+    }
+
+    #[test]
+    fn extra_info_roundtrips_through_a_tx_slot() {
+        let e = NetifExtraInfo {
+            kind: XEN_NETIF_EXTRA_TYPE_GSO,
+            gso_size: 1448,
+            gso_segs: 43,
+            total_len: 61824,
+        };
+        let slot = e.to_tx_slot();
+        // The carrier slot serializes like any other Tx request.
+        let mut buf = [0u8; NetifTxRequest::SIZE];
+        slot.write_to(&mut buf);
+        let back = NetifExtraInfo::from_tx_slot(&NetifTxRequest::read_from(&buf));
+        assert_eq!(back, e);
+        assert_eq!(slot.size, 0, "extra slots carry no packet data");
+    }
+
+    #[test]
+    fn chain_bounds_cover_a_64k_super_frame() {
+        assert_eq!(NETIF_MAX_GSO_FRAME, 65536);
+        // 16 full pages of data plus one slot of slack; with the
+        // extra-info slot a maximal chain still fits a 256-slot ring.
+        assert_eq!(NETIF_MAX_TX_CHAIN, 17);
+        assert!(NETIF_MAX_TX_CHAIN + 1 < NET_TX_RING_SIZE as usize);
     }
 
     #[test]

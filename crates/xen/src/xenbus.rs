@@ -151,6 +151,19 @@ pub fn negotiate_queues(front_max: u32, back_max: u32) -> u32 {
     front_max.max(1).min(back_max.max(1))
 }
 
+/// Segmentation-offload advertisement key (`feature-gso-tcpv4`). The
+/// toolstack writes `1` under the backend path when the backend can
+/// segment super-frames; a willing frontend echoes `1` under its own
+/// path. GSO descriptor chains are legal on the rings only when both
+/// writes happened — either side staying silent falls back to
+/// single-slot frames.
+pub const FEATURE_GSO_KEY: &str = "feature-gso-tcpv4";
+
+/// Checksum-offload veto key (`feature-no-csum-offload`). Offload is
+/// implied by a GSO-capable pair; a frontend that insists on software
+/// checksums writes `1` under its own path to decline.
+pub const FEATURE_NO_CSUM_KEY: &str = "feature-no-csum-offload";
+
 /// Path helpers for one frontend/backend device pair.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DevicePaths {

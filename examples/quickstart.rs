@@ -5,13 +5,17 @@
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --trace out.json
 //! cargo run --release --example quickstart -- --queues 4 --trace out.json
+//! cargo run --release --example quickstart -- --gso
 //! ```
 //!
 //! With `--trace <path>`, the run records every hypercall, notify,
 //! xenbus transition and ring drain, and exports a Chrome-trace JSON
 //! (open it at <https://ui.perfetto.dev>). With `--queues <n>`, the
 //! vif pair negotiates `n` queues on an `n`-vCPU driver domain and the
-//! trace shows one ring-drain track per queue.
+//! trace shows one ring-drain track per queue. With `--gso`, the pair
+//! negotiates `feature-gso-tcpv4`, the echo payload grows to a 40KB
+//! super-frame, and the snapshot shows the descriptor chains that
+//! carried it.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -36,6 +40,7 @@ fn main() {
                 .expect("--queues takes a number")
         })
         .unwrap_or(1);
+    let gso = args.iter().any(|a| a == "--gso");
     let mode = if queues <= 1 {
         QueueMode::Single
     } else {
@@ -46,6 +51,9 @@ fn main() {
     // with the NIC passed through, a 22-vCPU guest with netfront, and an
     // external client — with the xenbus handshake already at Connected.
     let mut cfg = SystemConfig::new(BackendOs::Kite, /* seed */ 42).queue_mode(mode);
+    if gso {
+        cfg = cfg.gso(true);
+    }
     if trace_path.is_some() {
         cfg = cfg.tracing(kite::trace::DEFAULT_CAPACITY);
     }
@@ -74,6 +82,13 @@ fn main() {
     // Multi-queue runs use several flows per queue (distinct source
     // ports) so Toeplitz steering lands traffic on every ring.
     let flows: u16 = if queues <= 1 { 1 } else { queues as u16 * 8 };
+    // With offload negotiated, a 40KB payload rides the rings as one
+    // descriptor chain each way instead of ~28 MTU-sized slots.
+    let payload: Vec<u8> = if gso {
+        (0..40_000u32).map(|i| i as u8).collect()
+    } else {
+        b"hello through the driver domain".to_vec()
+    };
     for f in 0..flows {
         sys.send_udp_at(
             Nanos::from_millis(1 + u64::from(f)),
@@ -81,7 +96,7 @@ fn main() {
             addrs::GUEST,
             7,
             40000 + f,
-            b"hello through the driver domain".to_vec(),
+            payload.clone(),
         );
     }
     sys.run_to_quiescence();
@@ -97,6 +112,10 @@ fn main() {
     let mut snap = sys.metrics_snapshot("quickstart/echo");
     snap.push_int("queues", "count", sys.queue_count() as u64);
     snap.push_int("echo_replies", "count", echoed.len() as u64);
+    snap.push_int("gso_negotiated", "bool", u64::from(sys.gso_negotiated()));
+    let nb = sys.netback_stats();
+    snap.push_int("gso_tx_frames", "count", nb.gso_tx_frames);
+    snap.push_int("lro_rx_frames", "count", nb.lro_rx_frames);
     snap.push_int(
         "driver_hypercalls",
         "count",
@@ -104,6 +123,12 @@ fn main() {
     );
     print!("{}", snap.render_text());
     assert_eq!(echoed.len(), flows as usize, "every echo must arrive");
+    if gso {
+        assert!(
+            nb.gso_tx_frames > 0 && nb.lro_rx_frames > 0,
+            "offload run must move super-frames both ways"
+        );
+    }
 
     if let Some(path) = trace_path {
         let doc = sys.hv.export_chrome_trace();

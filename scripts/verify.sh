@@ -92,6 +92,45 @@ q4 = tput["mechanisms/netback_queues_4"]
 assert q4 > q1, f"netback_queues_4 ({q4}) must beat netback_queues_1 ({q1})"
 EOF
 
+echo "==> segmentation offload: GSO and wire-profile rows, shipped snapshot"
+# The report layer asserts these when building the rows; re-check the
+# checked-in snapshot so a regression in either layer fails the gate.
+python3 - BENCH_mechanisms.json <<'PYEOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+tput = {
+    r["scenario"]: r["value"]
+    for r in rows
+    if r["metric"] == "throughput_mbps"
+}
+off = tput["mechanisms/netback_gso_off"]
+on = tput["mechanisms/netback_gso_on"]
+assert on > off, f"netback_gso_on ({on:.0f}) must beat netback_gso_off ({off:.0f})"
+assert on >= 2 * off, (
+    f"GSO must at least double single-queue goodput: off={off:.0f} on={on:.0f} mbps"
+)
+w10 = tput["mechanisms/netback_wire_10g"]
+w25 = tput["mechanisms/netback_wire_25g"]
+w100 = tput["mechanisms/netback_wire_100g"]
+assert w100 > w25 > w10, (
+    f"goodput must climb with the line rate: "
+    f"10g={w10:.0f} 25g={w25:.0f} 100g={w100:.0f} mbps"
+)
+q4 = tput["mechanisms/netback_wire_25g_queues_4"]
+q8 = tput["mechanisms/netback_wire_25g_queues_8"]
+assert q8 > q4, f"netback_wire_25g_queues_8 ({q8:.0f}) must beat queues_4 ({q4:.0f})"
+assert q8 > 10_000, f"8 queues on 25GbE must break the 10GbE ceiling: {q8:.0f} mbps"
+PYEOF
+
+echo "==> GSO run: deterministic Chrome trace"
+# Same-seed multi-queue offload runs must serialize byte-identical
+# traces: descriptor-chain framing, extra-info slots and LRO chains are
+# all on the determinism surface.
+./target/release/examples/quickstart --gso --queues 4 --trace "$tdir/gso_a.json" > /dev/null
+./target/release/examples/quickstart --gso --queues 4 --trace "$tdir/gso_b.json" > /dev/null
+cmp "$tdir/gso_a.json" "$tdir/gso_b.json" \
+    || { echo "verify: same-seed GSO traces differ" >&2; exit 1; }
+
 echo "==> blkback rings: throughput must climb with ring count"
 # The report layer asserts the same staircase when building the rows;
 # check the shipped JSON too so either layer regressing fails the gate.
